@@ -1,0 +1,47 @@
+//! Exports the synthetic population as `.net` files for `buffopt-cli`,
+//! turning the workload into a file-based benchmark suite.
+//!
+//! ```text
+//! cargo run --release -p buffopt-bench --bin export_nets -- OUT_DIR [COUNT]
+//! ```
+
+use buffopt_netlist::{write, ParsedNet};
+use buffopt_workload::{estimation_scenario, generate, WorkloadConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let out_dir = args.next().unwrap_or_else(|| "nets".to_string());
+    let count: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
+    let cfg = WorkloadConfig {
+        net_count: count,
+        ..WorkloadConfig::default()
+    };
+    std::fs::create_dir_all(&out_dir)?;
+    let nets = generate(&cfg);
+    for net in &nets {
+        let scenario = estimation_scenario(&net.tree, &cfg);
+        let parsed = ParsedNet {
+            name: Some(format!("net{:03}", net.id)),
+            node_names: net
+                .tree
+                .node_ids()
+                .map(|v| {
+                    if v == net.tree.source() {
+                        Some("source".to_string())
+                    } else {
+                        Some(format!("n{}", v.index()))
+                    }
+                })
+                .collect(),
+            tree: net.tree.clone(),
+            scenario,
+        };
+        let path = format!("{out_dir}/net{:03}.net", net.id);
+        std::fs::write(&path, write(&parsed))?;
+    }
+    println!(
+        "wrote {} nets to {out_dir}/ — try: buffopt-cli {out_dir}/net000.net --verify",
+        nets.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Fig. 3 — the worked noise-computation example: a driver, a branch
+//! node, and two sinks; the harness prints the downstream currents
+//! (eq. 7), per-wire noise (eq. 8) and sink noise (eq. 9) step by step.
+//! The same instance is locked down as a hand-computed unit test in
+//! `buffopt-noise`.
+//!
+//! ```text
+//! cargo run --release -p buffopt-bench --bin fig3
+//! ```
+
+use buffopt_noise::{metric, NoiseScenario};
+use buffopt_tree::{Driver, SinkSpec, TreeBuilder, Wire};
+
+fn main() {
+    let r_so = 50.0;
+    let mut b = TreeBuilder::new(Driver::new(r_so, 0.0));
+    let a = b
+        .add_internal(b.source(), Wire::from_rc(100.0, 100.0e-15, 500.0))
+        .expect("a");
+    let s1 = b
+        .add_sink(
+            a,
+            Wire::from_rc(80.0, 60.0e-15, 300.0),
+            SinkSpec::new(5e-15, 1e-9, 0.8),
+        )
+        .expect("s1");
+    let s2 = b
+        .add_sink(
+            a,
+            Wire::from_rc(120.0, 40.0e-15, 200.0),
+            SinkSpec::new(5e-15, 1e-9, 0.6),
+        )
+        .expect("s2");
+    let tree = b.build().expect("tree");
+    let factor = 1.0e9; // λ·µ chosen so each wire's current is 1e9 · C_w
+    let mut scenario = NoiseScenario::quiet(&tree);
+    for v in [a, s1, s2] {
+        scenario.set_factor(v, factor);
+    }
+
+    println!("Fig. 3: example noise computation (driver so, branch a, sinks s1 s2)");
+    let currents = metric::downstream_current(&tree, &scenario);
+    println!("eq. 7  downstream currents:");
+    println!("  I(s1) = {:.1} uA", currents[s1.index()] * 1e6);
+    println!("  I(s2) = {:.1} uA", currents[s2.index()] * 1e6);
+    println!("  I(a)  = {:.1} uA", currents[a.index()] * 1e6);
+    println!(
+        "  I(so) = {:.1} uA",
+        currents[tree.source().index()] * 1e6
+    );
+    println!("eq. 8  per-wire noise:");
+    for (name, v) in [("w1 = (so,a)", a), ("w2 = (a,s1)", s1), ("w3 = (a,s2)", s2)] {
+        println!(
+            "  Noise({name}) = {:.2} mV",
+            metric::wire_noise(&tree, &scenario, v, &currents) * 1e3
+        );
+    }
+    println!("eq. 9  sink noise from the driver (Rso = {r_so} ohm):");
+    for sn in metric::sink_noise(&tree, &scenario) {
+        println!(
+            "  Noise(so -> {}) = {:.2} mV (margin {:.0} mV, {})",
+            sn.sink,
+            sn.noise * 1e3,
+            sn.margin * 1e3,
+            if sn.is_violation() { "VIOLATION" } else { "ok" }
+        );
+    }
+    let ns = metric::noise_slack(&tree, &scenario);
+    println!("eq. 12 noise slacks:");
+    println!("  NS(a)  = {:.4} V", ns[a.index()]);
+    println!("  NS(so) = {:.4} V", ns[tree.source().index()]);
+}

@@ -1,0 +1,70 @@
+//! Figs. 6–7 and Theorem 1 — the maximum un-buffered wire length, swept
+//! against driver resistance and noise slack, plus the iterative buffer
+//! placement of Algorithm 1 on a long line (Fig. 7 shows the insertion
+//! order from the sink up).
+//!
+//! ```text
+//! cargo run --release -p buffopt-bench --bin fig7_maxlen
+//! ```
+
+use buffopt::algorithm1;
+use buffopt_buffers::{BufferLibrary, BufferType};
+use buffopt_noise::theorem1::{max_unbuffered_length, MaxLength};
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::{Driver, SinkSpec, Technology, TreeBuilder};
+
+fn main() {
+    let tech = Technology::global_layer();
+    let r = tech.resistance_per_micron;
+    let i = 0.7 * 7.2e9 * tech.capacitance_per_micron; // λ·µ·c per µm
+
+    println!("Theorem 1: maximum un-buffered length l_max (µm)");
+    println!("technology: r = {r} ohm/um, i = {:.3e} A/um", i);
+    println!();
+    println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "Rb \\ NS", "0.2 V", "0.4 V", "0.6 V", "0.8 V");
+    for rb in [0.0, 100.0, 200.0, 400.0, 800.0] {
+        let mut row = format!("{rb:<12}");
+        for ns in [0.2, 0.4, 0.6, 0.8] {
+            let cell = match max_unbuffered_length(rb, r, i, 0.0, ns) {
+                MaxLength::Bounded(l) => format!("{l:>10.0}"),
+                MaxLength::Unbounded => format!("{:>10}", "inf"),
+                MaxLength::Infeasible => format!("{:>10}", "-"),
+            };
+            row.push_str(&cell);
+        }
+        println!("{row}");
+    }
+    println!();
+    println!(
+        "limit with Rb = 0, I(v) = 0: sqrt(2 NS / (r i)) = {:.0} um at NS = 0.8 V",
+        (2.0 * 0.8 / (r * i)).sqrt()
+    );
+
+    // Fig. 7: iterative application on a 20 mm line.
+    println!();
+    println!("Fig. 7: Algorithm 1 on a 20 mm line (buffers placed sink-to-source)");
+    let mut b = TreeBuilder::new(Driver::new(300.0, 20e-12));
+    b.add_sink(
+        b.source(),
+        tech.wire(20_000.0),
+        SinkSpec::new(20e-15, 2e-9, 0.8),
+    )
+    .expect("sink");
+    let tree = b.build().expect("tree");
+    let scenario = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
+    let lib = BufferLibrary::single(BufferType::new("buf", 12e-15, 200.0, 25e-12, 0.9));
+    let sol = algorithm1::avoid_noise(&tree, &scenario, &lib).expect("solvable");
+    println!("inserted {} buffers; positions from the sink:", sol.inserted());
+    // Walk up from the sink, printing cumulative distances of buffers.
+    let mut v = sol.tree.sinks()[0];
+    let mut dist = 0.0;
+    let mut idx = 1;
+    while let Some(p) = sol.tree.parent(v) {
+        dist += sol.tree.parent_wire(v).expect("wire").length;
+        if sol.assignment.buffer_at(p).is_some() {
+            println!("  b{idx}: {dist:.0} um above the sink");
+            idx += 1;
+        }
+        v = p;
+    }
+}

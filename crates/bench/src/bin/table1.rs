@@ -1,0 +1,30 @@
+//! Table I — sink distribution of the 500 test nets.
+//!
+//! ```text
+//! cargo run --release -p buffopt-bench --bin table1
+//! ```
+
+use buffopt_workload::{generate, sink_histogram, WorkloadConfig};
+
+fn main() {
+    let cfg = WorkloadConfig::default();
+    let nets = generate(&cfg);
+    let hist = sink_histogram(&nets);
+
+    println!("Table I: sink distribution of the {} test nets", nets.len());
+    println!("{:<10} {:>10}", "sinks", "nets");
+    for (label, count) in &hist {
+        println!("{label:<10} {count:>10}");
+    }
+    println!("{:<10} {:>10}", "total", hist.iter().map(|(_, c)| c).sum::<usize>());
+
+    let total_cap: f64 = nets.iter().map(|n| n.tree.total_capacitance()).sum();
+    let total_len: f64 = nets.iter().map(|n| n.tree.total_wire_length()).sum();
+    println!();
+    println!(
+        "population: {:.1} mm total wire, {:.1} pF total capacitance, seed {:#x}",
+        total_len / 1000.0,
+        total_cap * 1e12,
+        cfg.seed
+    );
+}

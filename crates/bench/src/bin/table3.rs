@@ -1,0 +1,66 @@
+//! Table III — noise-avoidance comparison of BuffOpt vs DelayOpt(k):
+//! remaining metric violations, nets-by-buffer-count histogram, total
+//! buffers, CPU time.
+//!
+//! Paper shape: DelayOpt(4) inserts far more buffers than BuffOpt yet
+//! leaves violations; BuffOpt leaves none and is *faster* than
+//! DelayOpt(k ≥ 3) because noise pruning shrinks its candidate lists.
+//!
+//! ```text
+//! cargo run --release -p buffopt-bench --bin table3
+//! ```
+
+use buffopt_bench::{
+    metric_violations, prepare, run_buffopt, run_delayopt_k, secs, ExperimentSetup, RunOutcome,
+};
+
+fn row(
+    name: &str,
+    nets: &[buffopt_bench::PreparedNet],
+    lib: &buffopt_buffers::BufferLibrary,
+    run: &RunOutcome,
+) {
+    let violations = metric_violations(nets, lib, &run.solutions);
+    let (hist, total) = run.buffer_histogram();
+    println!(
+        "{:<12} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}",
+        name,
+        violations,
+        hist[0],
+        hist[1],
+        hist[2],
+        hist[3],
+        hist[4],
+        total,
+        secs(run.cpu)
+    );
+}
+
+fn main() {
+    let setup = ExperimentSetup::default();
+    eprintln!("preparing {} nets ...", setup.config.net_count);
+    let nets = prepare(&setup);
+
+    println!("Table III: BuffOpt vs DelayOpt(k) noise avoidance");
+    println!(
+        "{:<12} {:>10} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8} {:>8}",
+        "algorithm", "violations", "0 buf", "1 buf", "2 buf", "3 buf", "4+ buf", "total", "cpu(s)"
+    );
+
+    eprintln!("running BuffOpt ...");
+    let b = run_buffopt(&nets, &setup.library);
+    row("BuffOpt", &nets, &setup.library, &b);
+
+    for k in 1..=4 {
+        eprintln!("running DelayOpt({k}) ...");
+        let d = run_delayopt_k(&nets, &setup.library, k);
+        row(&format!("DelayOpt({k})"), &nets, &setup.library, &d);
+    }
+
+    println!();
+    println!(
+        "violations = nets with at least one Devgan-metric violation after \
+         insertion (unbuffered nets that violate count for DelayOpt rows \
+         whenever delay optimization left them noisy)"
+    );
+}

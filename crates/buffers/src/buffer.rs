@@ -1,0 +1,158 @@
+use std::fmt;
+
+/// Identifier of a buffer type within a [`BufferLibrary`](crate::BufferLibrary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufferId(pub(crate) u32);
+
+impl BufferId {
+    /// Index into the owning library.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index; must come from the same library.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        BufferId(index as u32)
+    }
+}
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// One buffer (repeater) type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferType {
+    /// Library cell name, e.g. `"buf_x4"`.
+    pub name: String,
+    /// Input pin capacitance `Cin(b)` in farads.
+    pub input_capacitance: f64,
+    /// Output (intrinsic) resistance `Rb(b)` in ohms.
+    pub resistance: f64,
+    /// Intrinsic delay `Db(b)` in seconds.
+    pub intrinsic_delay: f64,
+    /// Tolerable noise margin at the input, `NM(b)`, in volts.
+    pub noise_margin: f64,
+    /// True for inverting repeaters.
+    pub inverting: bool,
+    /// Relative area/power cost (arbitrary units ≥ 0); used by power-aware
+    /// objectives such as minimizing total inserted buffer cost.
+    pub cost: f64,
+}
+
+impl BufferType {
+    /// Creates a non-inverting buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any electrical quantity is negative or non-finite.
+    pub fn new(
+        name: impl Into<String>,
+        input_capacitance: f64,
+        resistance: f64,
+        intrinsic_delay: f64,
+        noise_margin: f64,
+    ) -> Self {
+        let b = BufferType {
+            name: name.into(),
+            input_capacitance,
+            resistance,
+            intrinsic_delay,
+            noise_margin,
+            inverting: false,
+            cost: 1.0,
+        };
+        b.validate();
+        b
+    }
+
+    /// Marks the buffer as inverting.
+    pub fn inverting(mut self) -> Self {
+        self.inverting = true;
+        self
+    }
+
+    /// Sets the relative area/power cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost` is negative or non-finite.
+    pub fn with_cost(mut self, cost: f64) -> Self {
+        assert!(
+            cost.is_finite() && cost >= 0.0,
+            "buffer cost must be finite and non-negative, got {cost}"
+        );
+        self.cost = cost;
+        self
+    }
+
+    fn validate(&self) {
+        for (what, v) in [
+            ("input capacitance", self.input_capacitance),
+            ("resistance", self.resistance),
+            ("intrinsic delay", self.intrinsic_delay),
+            ("noise margin", self.noise_margin),
+        ] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "buffer {what} must be finite and non-negative, got {v}"
+            );
+        }
+    }
+
+    /// Gate delay of this buffer driving `load` farads (eq. 3):
+    /// `Db + Rb · load`.
+    #[inline]
+    pub fn delay(&self, load: f64) -> f64 {
+        self.intrinsic_delay + self.resistance * load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip_and_display() {
+        let id = BufferId::from_index(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "b3");
+    }
+
+    #[test]
+    fn delay_is_linear_in_load() {
+        let b = BufferType::new("x", 5e-15, 400.0, 30e-12, 0.9);
+        let d0 = b.delay(0.0);
+        let d1 = b.delay(100e-15);
+        assert!((d0 - 30e-12).abs() < 1e-21);
+        assert!((d1 - d0 - 400.0 * 100e-15).abs() < 1e-21);
+    }
+
+    #[test]
+    fn inverting_builder() {
+        let b = BufferType::new("inv", 5e-15, 400.0, 20e-12, 0.9).inverting();
+        assert!(b.inverting);
+    }
+
+    #[test]
+    fn cost_builder() {
+        let b = BufferType::new("x", 5e-15, 400.0, 20e-12, 0.9).with_cost(4.0);
+        assert!((b.cost - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise margin")]
+    fn negative_margin_panics() {
+        BufferType::new("bad", 5e-15, 400.0, 20e-12, -0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost")]
+    fn nan_cost_panics() {
+        BufferType::new("x", 5e-15, 400.0, 20e-12, 0.9).with_cost(f64::NAN);
+    }
+}

@@ -1,0 +1,148 @@
+//! Parametric buffer-library generators.
+//!
+//! The paper's experiments use a pre-characterized IBM cell library with
+//! "5 inverting and 6 noninverting buffers of varying power levels".
+//! [`ibm_like`] builds an analogous family: a base device scaled across
+//! power levels, with output resistance falling and input capacitance
+//! rising proportionally to drive strength — the classic width-scaling
+//! trade-off. The absolute values are 0.25 µm-class.
+
+use crate::buffer::BufferType;
+use crate::library::BufferLibrary;
+
+/// Parameters of a width-scaled repeater family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilySpec {
+    /// Output resistance of the 1× device (ohms).
+    pub base_resistance: f64,
+    /// Input capacitance of the 1× device (farads).
+    pub base_input_capacitance: f64,
+    /// Intrinsic delay, common across the family (seconds).
+    pub intrinsic_delay: f64,
+    /// Noise margin, common across the family (volts).
+    pub noise_margin: f64,
+    /// Whether the family is inverting.
+    pub inverting: bool,
+}
+
+impl FamilySpec {
+    /// Expands the family across the given power levels (device widths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level is not strictly positive and finite.
+    pub fn expand(&self, prefix: &str, levels: &[f64]) -> Vec<BufferType> {
+        levels
+            .iter()
+            .map(|&k| {
+                assert!(k.is_finite() && k > 0.0, "power level must be positive");
+                let mut b = BufferType::new(
+                    format!("{prefix}_x{k}"),
+                    self.base_input_capacitance * k,
+                    self.base_resistance / k,
+                    self.intrinsic_delay,
+                    self.noise_margin,
+                )
+                .with_cost(k);
+                if self.inverting {
+                    b = b.inverting();
+                }
+                b
+            })
+            .collect()
+    }
+}
+
+/// The default inverting family: single CMOS stage, fast, 0.85 V margin.
+pub fn inverting_family() -> FamilySpec {
+    FamilySpec {
+        base_resistance: 1800.0,
+        base_input_capacitance: 4.0e-15,
+        intrinsic_delay: 25.0e-12,
+        noise_margin: 0.85,
+        inverting: true,
+    }
+}
+
+/// The default non-inverting family: two stages, slower intrinsic delay,
+/// slightly better margin.
+pub fn non_inverting_family() -> FamilySpec {
+    FamilySpec {
+        base_resistance: 2200.0,
+        base_input_capacitance: 3.5e-15,
+        intrinsic_delay: 45.0e-12,
+        noise_margin: 0.9,
+        inverting: false,
+    }
+}
+
+/// An 11-buffer library mirroring the paper's: 5 inverting power levels
+/// (1×–16×) plus 6 non-inverting power levels (1×–32×).
+pub fn ibm_like() -> BufferLibrary {
+    let mut lib: BufferLibrary = inverting_family()
+        .expand("inv", &[1.0, 2.0, 4.0, 8.0, 16.0])
+        .into_iter()
+        .collect();
+    lib.extend(non_inverting_family().expand("buf", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]));
+    lib
+}
+
+/// A single mid-strength non-inverting buffer — the single-type library
+/// under which every optimality theorem of the paper applies.
+pub fn single_buffer() -> BufferLibrary {
+    BufferLibrary::single(
+        BufferType::new("buf_x8", 28.0e-15, 275.0, 45.0e-12, 0.9).with_cost(8.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ibm_like_has_11_buffers() {
+        let lib = ibm_like();
+        assert_eq!(lib.len(), 11);
+        assert_eq!(lib.iter().filter(|b| b.inverting).count(), 5);
+        assert_eq!(lib.iter().filter(|b| !b.inverting).count(), 6);
+    }
+
+    #[test]
+    fn resistance_falls_capacitance_rises_with_level() {
+        let fam = non_inverting_family().expand("buf", &[1.0, 2.0, 4.0]);
+        assert!(fam[0].resistance > fam[1].resistance);
+        assert!(fam[1].resistance > fam[2].resistance);
+        assert!(fam[0].input_capacitance < fam[1].input_capacitance);
+        // R·C product is width-invariant.
+        let rc0 = fam[0].resistance * fam[0].input_capacitance;
+        let rc2 = fam[2].resistance * fam[2].input_capacitance;
+        assert!((rc0 - rc2).abs() / rc0 < 1e-12);
+    }
+
+    #[test]
+    fn names_carry_prefix_and_level() {
+        let fam = inverting_family().expand("inv", &[4.0]);
+        assert_eq!(fam[0].name, "inv_x4");
+        assert!(fam[0].inverting);
+        assert!((fam[0].cost - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_buffer_library() {
+        let lib = single_buffer();
+        assert_eq!(lib.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power level")]
+    fn zero_level_panics() {
+        inverting_family().expand("inv", &[0.0]);
+    }
+
+    #[test]
+    fn strongest_in_ibm_like_is_x32_buffer() {
+        let lib = ibm_like();
+        let id = lib.min_resistance().expect("non-empty");
+        assert_eq!(lib.buffer(id).name, "buf_x32");
+    }
+}

@@ -1,0 +1,37 @@
+//! Buffer (repeater) electrical models and libraries.
+//!
+//! The dynamic programs of the BuffOpt reproduction see a buffer as a
+//! five-quantity device, exactly as the paper's linear gate model (eq. 3)
+//! requires:
+//!
+//! * input capacitance `Cin(b)` (farads) — the load the buffer presents,
+//! * output resistance `Rb(b)` (ohms) — drives the downstream RC tree,
+//! * intrinsic delay `Db(b)` (seconds),
+//! * noise margin `NM(b)` (volts) — noise tolerated at the buffer's input,
+//! * polarity (inverting / non-inverting).
+//!
+//! [`BufferLibrary`] collects buffer types; [`catalog`] generates the
+//! 11-buffer (5 inverting + 6 non-inverting) power-level family used to
+//! mirror the paper's experimental library.
+//!
+//! # Example
+//!
+//! ```
+//! use buffopt_buffers::catalog;
+//!
+//! let lib = catalog::ibm_like();
+//! assert_eq!(lib.len(), 11);
+//! assert_eq!(lib.iter().filter(|b| b.inverting).count(), 5);
+//! let strongest = lib.min_resistance().expect("non-empty");
+//! assert!(lib.buffer(strongest).resistance < 300.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+pub mod catalog;
+mod library;
+
+pub use buffer::{BufferId, BufferType};
+pub use library::BufferLibrary;

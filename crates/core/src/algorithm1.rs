@@ -1,0 +1,356 @@
+//! Algorithm 1 of the paper: optimal noise avoidance for single-sink nets.
+//!
+//! Starting at the sink with `(I, NS) = (0, NM)`, walk the chain toward the
+//! source. On each wire, if even a buffer at the wire's top would violate
+//! the accumulated noise budget, insert a buffer at the maximal distance
+//! Theorem 1 allows (possibly several per wire), resetting the state to
+//! `(0, NM_b)`. Finally, if the driver itself would violate, insert one
+//! buffer immediately below the source. Each buffer is placed as far up the
+//! tree as possible, which is what makes the insertion count minimum
+//! (Theorem 3); run time is `O(n + k)` for `k` insertions.
+
+use buffopt_buffers::{BufferId, BufferLibrary};
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::{NodeId, RoutingTree};
+
+use crate::assignment::Assignment;
+use crate::climb::{climb_wire_with_upstream, ClimbState, UpstreamSummary, NOISE_TOL};
+use crate::error::CoreError;
+use crate::rebuild::{rebuild_with_insertions, Rebuilt, WireInsertion};
+
+/// A buffered single-sink net produced by [`avoid_noise`].
+#[derive(Debug, Clone)]
+pub struct SingleSinkSolution {
+    /// The tree with inserted buffer positions materialized as nodes.
+    pub tree: RoutingTree,
+    /// The noise scenario transferred onto the new tree.
+    pub scenario: NoiseScenario,
+    /// Buffers placed at the new nodes.
+    pub assignment: Assignment,
+    /// The buffer type used (smallest-resistance buffer of the library).
+    pub buffer: BufferId,
+}
+
+impl SingleSinkSolution {
+    /// Number of inserted buffers.
+    pub fn inserted(&self) -> usize {
+        self.assignment.count()
+    }
+}
+
+/// Validates that `tree` is a chain from source to exactly one sink and
+/// returns the nodes of the chain bottom-up (sink first, source last).
+fn chain_bottom_up(tree: &RoutingTree) -> Result<Vec<NodeId>, CoreError> {
+    for v in tree.node_ids() {
+        if tree.children(v).len() > 1 {
+            return Err(CoreError::NotSingleSink(v));
+        }
+    }
+    if tree.sinks().len() != 1 {
+        return Err(CoreError::NotSingleSink(tree.source()));
+    }
+    let mut chain = vec![tree.sinks()[0]];
+    while let Some(p) = tree.parent(*chain.last().expect("non-empty")) {
+        chain.push(p);
+    }
+    debug_assert_eq!(*chain.last().expect("non-empty"), tree.source());
+    Ok(chain)
+}
+
+/// Runs Algorithm 1 on a single-sink net.
+///
+/// Theorem 1 shows the smallest-resistance buffer always allows the widest
+/// spacing, so for a multi-buffer library the problem reduces to that
+/// single type (the paper's remark after Theorem 3); this function performs
+/// the reduction itself.
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyLibrary`] — no buffer types available;
+/// * [`CoreError::NotSingleSink`] — the tree branches;
+/// * [`CoreError::ScenarioMismatch`] — scenario built for another tree;
+/// * [`CoreError::NoiseUnfixable`] — no placement can satisfy the margins.
+pub fn avoid_noise(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+) -> Result<SingleSinkSolution, CoreError> {
+    let buffer_id = lib.min_resistance().ok_or(CoreError::EmptyLibrary)?;
+    let buffer = lib.buffer(buffer_id);
+    if scenario.len() != tree.len() {
+        return Err(CoreError::ScenarioMismatch {
+            tree_len: tree.len(),
+            scenario_len: scenario.len(),
+        });
+    }
+    let chain = chain_bottom_up(tree)?;
+    let sink_spec = tree.sink_spec(chain[0]).expect("chain starts at sink");
+    let mut state = ClimbState::at_sink(sink_spec.noise_margin);
+    let mut insertions: Vec<WireInsertion> = Vec::new();
+    let rso = tree.driver().resistance;
+
+    // Electrical summary of the stretch strictly above each wire, for the
+    // driver-rescue refinement (minimality even when Rso < Rb).
+    let wire_count = chain.len() - 1;
+    let mut upstream = vec![
+        UpstreamSummary {
+            driver_resistance: rso,
+            ..UpstreamSummary::default()
+        };
+        wire_count
+    ];
+    for j in (0..wire_count.saturating_sub(1)).rev() {
+        // upstream[j] = wire of chain[j+1] composed below upstream[j+1].
+        let v = chain[j + 1];
+        let w = tree.parent_wire(v).expect("below source");
+        let i_w = scenario.factor(v) * w.capacitance;
+        let above = upstream[j + 1];
+        upstream[j] = UpstreamSummary {
+            driver_resistance: rso,
+            resistance: w.resistance + above.resistance,
+            current: i_w + above.current,
+            base_noise: w.resistance * i_w / 2.0 + above.base_noise + i_w * above.resistance,
+        };
+    }
+
+    // Climb every wire of the chain (the wire of chain[i] connects it to
+    // chain[i+1]).
+    for (j, &v) in chain[..wire_count].iter().enumerate() {
+        let wire = tree.parent_wire(v).expect("below source");
+        let (next, dists) = climb_wire_with_upstream(
+            wire,
+            scenario.factor(v),
+            buffer,
+            v,
+            state,
+            Some(&upstream[j]),
+        )?;
+        state = next;
+        insertions.extend(dists.into_iter().map(|d| WireInsertion {
+            wire: v,
+            dist_from_bottom: d,
+            buffer: buffer_id,
+        }));
+    }
+
+    // Step 5: the driver check. The climb invariant guarantees
+    // Rb·I ≤ NS, so a buffer right below the source always fixes a driver
+    // violation (possible only when Rso > Rb).
+    if rso * state.current > state.slack + NOISE_TOL {
+        let top = chain[chain.len() - 2]; // child of the source
+        let len = tree.parent_wire(top).expect("wire").length;
+        insertions.push(WireInsertion {
+            wire: top,
+            dist_from_bottom: len,
+            buffer: buffer_id,
+        });
+    }
+
+    let Rebuilt {
+        tree,
+        scenario,
+        assignment,
+        ..
+    } = rebuild_with_insertions(tree, scenario, &insertions)?;
+    Ok(SingleSinkSolution {
+        tree,
+        scenario,
+        assignment,
+        buffer: buffer_id,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit;
+    use buffopt_buffers::BufferType;
+    use buffopt_tree::{Driver, SinkSpec, Technology, TreeBuilder, Wire};
+
+    fn lib() -> BufferLibrary {
+        BufferLibrary::single(BufferType::new("b", 10e-15, 200.0, 20e-12, 0.9))
+    }
+
+    fn two_pin(len: f64, driver_r: f64, nm: f64) -> RoutingTree {
+        let tech = Technology::global_layer();
+        let mut b = TreeBuilder::new(Driver::new(driver_r, 10e-12));
+        b.add_sink(b.source(), tech.wire(len), SinkSpec::new(20e-15, 1e-9, nm))
+            .expect("sink");
+        b.build().expect("tree")
+    }
+
+    fn estimation(tree: &RoutingTree) -> NoiseScenario {
+        NoiseScenario::estimation(tree, 0.7, 7.2e9)
+    }
+
+    #[test]
+    fn short_net_needs_no_buffers() {
+        let t = two_pin(500.0, 150.0, 0.8);
+        let s = estimation(&t);
+        let sol = avoid_noise(&t, &s, &lib()).expect("solve");
+        assert_eq!(sol.inserted(), 0);
+        assert!(!audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment).has_violation());
+    }
+
+    #[test]
+    fn long_net_is_fixed_and_audits_clean() {
+        for len in [5_000.0, 20_000.0, 60_000.0] {
+            let t = two_pin(len, 300.0, 0.8);
+            let s = estimation(&t);
+            let before = buffopt_noise::metric::NoiseReport::analyze(&t, &s);
+            let sol = avoid_noise(&t, &s, &lib()).expect("solve");
+            let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment);
+            if before.has_violation() {
+                assert!(sol.inserted() > 0, "violating net needs buffers at {len}");
+            }
+            assert!(
+                !after.has_violation(),
+                "audit must be clean at {len}: worst headroom {}",
+                after.worst_headroom()
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_count_grows_with_length() {
+        let s_of = |len: f64| {
+            let t = two_pin(len, 300.0, 0.8);
+            let s = estimation(&t);
+            avoid_noise(&t, &s, &lib()).expect("solve").inserted()
+        };
+        let a = s_of(10_000.0);
+        let b = s_of(40_000.0);
+        let c = s_of(160_000.0);
+        assert!(a <= b && b <= c);
+        assert!(c > a, "16x the length needs more buffers");
+    }
+
+    #[test]
+    fn driver_violation_fixed_by_buffer_below_source() {
+        // Wire short enough that climbing inserts nothing, but a huge
+        // driver resistance violates at the source.
+        let t = two_pin(3_000.0, 20_000.0, 0.8);
+        let s = estimation(&t);
+        let report = buffopt_noise::metric::NoiseReport::analyze(&t, &s);
+        assert!(report.has_violation(), "driver noise must violate");
+        let sol = avoid_noise(&t, &s, &lib()).expect("solve");
+        assert!(sol.inserted() >= 1);
+        let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment);
+        assert!(!after.has_violation());
+        // The inserted buffer hangs right below the source.
+        let (buf_node, _) = sol.assignment.iter().next().expect("buffer");
+        assert_eq!(sol.tree.parent(buf_node), Some(sol.tree.source()));
+        assert!(sol
+            .tree
+            .parent_wire(buf_node)
+            .expect("wire")
+            .length
+            .abs()
+            < 1e-9);
+    }
+
+    #[test]
+    fn multi_buffer_library_reduces_to_min_resistance() {
+        let mut multilib = lib();
+        multilib.push(BufferType::new("weak", 2e-15, 2000.0, 10e-12, 0.9));
+        let t = two_pin(40_000.0, 300.0, 0.8);
+        let s = estimation(&t);
+        let sol = avoid_noise(&t, &s, &multilib).expect("solve");
+        assert_eq!(multilib.buffer(sol.buffer).name, "b");
+        for (_, b) in sol.assignment.iter() {
+            assert_eq!(b, sol.buffer);
+        }
+    }
+
+    #[test]
+    fn branching_tree_is_rejected() {
+        let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+        let a = b
+            .add_internal(b.source(), Wire::from_rc(1.0, 1e-15, 1.0))
+            .expect("a");
+        for _ in 0..2 {
+            b.add_sink(
+                a,
+                Wire::from_rc(1.0, 1e-15, 1.0),
+                SinkSpec::new(1e-15, 1e-9, 0.8),
+            )
+            .expect("sink");
+        }
+        let t = b.build().expect("tree");
+        let s = NoiseScenario::quiet(&t);
+        assert!(matches!(
+            avoid_noise(&t, &s, &lib()),
+            Err(CoreError::NotSingleSink(_))
+        ));
+    }
+
+    #[test]
+    fn empty_library_is_rejected() {
+        let t = two_pin(1000.0, 100.0, 0.8);
+        let s = estimation(&t);
+        assert_eq!(
+            avoid_noise(&t, &s, &BufferLibrary::new()).expect_err("empty"),
+            CoreError::EmptyLibrary
+        );
+    }
+
+    #[test]
+    fn minimality_against_discrete_search() {
+        // Exhaustively search buffer subsets over a finely segmented copy
+        // of the net; Algorithm 1 (continuous positions) must never use
+        // more buffers than the best discrete solution.
+        use buffopt_tree::segment;
+        let t = two_pin(16_000.0, 300.0, 0.8);
+        let s = estimation(&t);
+        let sol = avoid_noise(&t, &s, &lib()).expect("solve");
+
+        // Noise-driven spacing for this technology is ~2.4 mm, so 1 mm
+        // sites leave the discrete problem comfortably feasible.
+        let seg = segment::segment_wires(&t, 1_000.0).expect("segment");
+        let s_seg = s.for_segmented(&seg);
+        let sites: Vec<NodeId> = seg
+            .tree
+            .node_ids()
+            .filter(|&v| seg.tree.node(v).kind.is_feasible_site())
+            .collect();
+        assert!(sites.len() <= 16, "keep the exhaustive search tractable");
+        let mut best = usize::MAX;
+        for mask in 0u32..(1 << sites.len()) {
+            let popcount = mask.count_ones() as usize;
+            if popcount >= best {
+                continue;
+            }
+            let mut a = Assignment::empty(&seg.tree);
+            for (i, &site) in sites.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    a.insert(site, BufferId::from_index(0));
+                }
+            }
+            if !audit::noise(&seg.tree, &s_seg, &lib(), &a).has_violation() {
+                best = popcount;
+            }
+        }
+        assert!(best < usize::MAX, "discrete search found a fix");
+        assert!(
+            sol.inserted() <= best,
+            "continuous optimum {} must not exceed discrete optimum {}",
+            sol.inserted(),
+            best
+        );
+    }
+
+    #[test]
+    fn already_segmented_chain_works() {
+        use buffopt_tree::segment;
+        let t = two_pin(25_000.0, 300.0, 0.8);
+        let seg = segment::segment_wires(&t, 1000.0).expect("segment");
+        let s = estimation(&t).for_segmented(&seg);
+        let sol = avoid_noise(&seg.tree, &s, &lib()).expect("solve");
+        let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment);
+        assert!(!after.has_violation());
+        // Same net unsegmented: buffer counts agree (positions are
+        // continuous either way).
+        let plain = avoid_noise(&t, &estimation(&t), &lib()).expect("solve");
+        assert_eq!(sol.inserted(), plain.inserted());
+    }
+}

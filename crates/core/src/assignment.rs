@@ -1,0 +1,155 @@
+use buffopt_buffers::{BufferId, BufferLibrary};
+use buffopt_tree::{NodeId, RoutingTree};
+
+/// The paper's mapping `M: IN(T) → B ∪ {b̄}` — which buffer (if any) sits
+/// at each internal node of a routing tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    slots: Vec<Option<BufferId>>,
+}
+
+impl Assignment {
+    /// The empty assignment (no buffers) for `tree`.
+    pub fn empty(tree: &RoutingTree) -> Self {
+        Assignment {
+            slots: vec![None; tree.len()],
+        }
+    }
+
+    /// Builds an assignment from `(node, buffer)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node id is out of range for `tree`.
+    pub fn from_pairs<I>(tree: &RoutingTree, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, BufferId)>,
+    {
+        let mut a = Assignment::empty(tree);
+        for (v, b) in pairs {
+            a.insert(v, b);
+        }
+        a
+    }
+
+    /// Places buffer `b` at node `v` (replacing any previous buffer there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn insert(&mut self, v: NodeId, b: BufferId) {
+        self.slots[v.index()] = Some(b);
+    }
+
+    /// Removes any buffer at `v`, returning it.
+    pub fn remove(&mut self, v: NodeId) -> Option<BufferId> {
+        self.slots[v.index()].take()
+    }
+
+    /// The buffer at `v`, if any.
+    #[inline]
+    pub fn buffer_at(&self, v: NodeId) -> Option<BufferId> {
+        self.slots[v.index()]
+    }
+
+    /// Number of inserted buffers (`|M|` in the paper).
+    pub fn count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True if no buffer is inserted anywhere.
+    pub fn is_unbuffered(&self) -> bool {
+        self.slots.iter().all(Option::is_none)
+    }
+
+    /// Iterator over `(node, buffer)` pairs in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, BufferId)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|b| (NodeId::from_index(i), b)))
+    }
+
+    /// Total area/power cost of the inserted buffers under `lib`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a stored [`BufferId`] is out of range for `lib`.
+    pub fn total_cost(&self, lib: &BufferLibrary) -> f64 {
+        self.iter().map(|(_, b)| lib.buffer(b).cost).sum()
+    }
+
+    /// Number of nodes covered (equals the node count of the matching
+    /// tree).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the assignment covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffopt_buffers::BufferType;
+    use buffopt_tree::{Driver, SinkSpec, TreeBuilder, Wire};
+
+    fn tree() -> RoutingTree {
+        let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+        let m = b
+            .add_internal(b.source(), Wire::from_rc(10.0, 1e-15, 10.0))
+            .expect("m");
+        b.add_sink(
+            m,
+            Wire::from_rc(10.0, 1e-15, 10.0),
+            SinkSpec::new(1e-15, 1e-9, 0.8),
+        )
+        .expect("s");
+        b.build().expect("tree")
+    }
+
+    #[test]
+    fn empty_assignment_has_no_buffers() {
+        let t = tree();
+        let a = Assignment::empty(&t);
+        assert!(a.is_unbuffered());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.len(), t.len());
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let t = tree();
+        let mut a = Assignment::empty(&t);
+        let v = NodeId::from_index(1);
+        let b = BufferId::from_index(0);
+        a.insert(v, b);
+        assert_eq!(a.buffer_at(v), Some(b));
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.remove(v), Some(b));
+        assert!(a.is_unbuffered());
+    }
+
+    #[test]
+    fn from_pairs_and_iter() {
+        let t = tree();
+        let v = NodeId::from_index(1);
+        let b = BufferId::from_index(2);
+        let a = Assignment::from_pairs(&t, [(v, b)]);
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(pairs, vec![(v, b)]);
+    }
+
+    #[test]
+    fn total_cost_sums_buffer_costs() {
+        let t = tree();
+        let mut lib = BufferLibrary::new();
+        let cheap = lib.push(BufferType::new("c", 1e-15, 100.0, 1e-12, 0.9).with_cost(1.0));
+        let _big = lib.push(BufferType::new("b", 4e-15, 25.0, 1e-12, 0.9).with_cost(4.0));
+        let a = Assignment::from_pairs(&t, [(NodeId::from_index(1), cheap)]);
+        assert!((a.total_cost(&lib) - 1.0).abs() < 1e-12);
+    }
+}

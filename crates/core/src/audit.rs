@@ -1,0 +1,519 @@
+//! Independent re-analysis of a buffered net.
+//!
+//! The dynamic programs carry incremental `(C, q, I, NS)` state; this
+//! module recomputes delay and Devgan noise **from scratch** on the final
+//! `(tree, assignment)` pair by splitting the net at its restoring stages.
+//! Every optimizer in this crate is cross-checked against these audits in
+//! the test-suite, and the experiment harnesses report audited numbers
+//! only.
+
+use buffopt_buffers::BufferLibrary;
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::{elmore, NodeId, RoutingTree};
+
+use crate::assignment::Assignment;
+
+/// Result of [`delay`]: Elmore timing of the buffered net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayAudit {
+    /// Arrival time at each node (at a buffered node: the buffer *output*).
+    pub arrival: Vec<f64>,
+    /// Per-sink `(sink, source-to-sink delay)`.
+    pub sink_delays: Vec<(NodeId, f64)>,
+    /// `min_sink (RAT − delay)`: the net meets timing iff non-negative.
+    pub slack: f64,
+}
+
+impl DelayAudit {
+    /// The largest source-to-sink delay.
+    pub fn max_delay(&self) -> f64 {
+        self.sink_delays
+            .iter()
+            .map(|&(_, d)| d)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// True if every sink meets its required arrival time.
+    pub fn meets_timing(&self) -> bool {
+        self.slack >= 0.0
+    }
+}
+
+/// Downstream load at each node of the buffered tree, plus the load each
+/// node *presents upstream* (its buffer's input capacitance when buffered).
+///
+/// Returns `(load_below, presented)` tables indexed by [`NodeId`]:
+/// `load_below[v]` is what a gate at `v` would drive; `presented[v]` is
+/// what the parent wire of `v` sees at its lower end.
+pub fn buffered_loads(
+    tree: &RoutingTree,
+    lib: &BufferLibrary,
+    assignment: &Assignment,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut below = vec![0.0; tree.len()];
+    let mut presented = vec![0.0; tree.len()];
+    for v in tree.postorder() {
+        let own = tree.sink_spec(v).map_or(0.0, |s| s.capacitance);
+        let sum: f64 = tree
+            .children(v)
+            .iter()
+            .map(|&c| {
+                let w = tree.parent_wire(c).expect("child has wire");
+                w.capacitance + presented[c.index()]
+            })
+            .sum();
+        below[v.index()] = own + sum;
+        presented[v.index()] = match assignment.buffer_at(v) {
+            Some(b) => lib.buffer(b).input_capacitance,
+            None => below[v.index()],
+        };
+    }
+    (below, presented)
+}
+
+/// Recomputes Elmore delay of the buffered net (eq. 2–4 with buffers as
+/// linear gates).
+///
+/// # Panics
+///
+/// Panics if `assignment` does not match the tree.
+pub fn delay(tree: &RoutingTree, lib: &BufferLibrary, assignment: &Assignment) -> DelayAudit {
+    assert_eq!(assignment.len(), tree.len(), "assignment does not match");
+    let (below, presented) = buffered_loads(tree, lib, assignment);
+    let mut arrival = vec![0.0; tree.len()];
+    let d = tree.driver();
+    for v in tree.preorder() {
+        if v == tree.source() {
+            arrival[v.index()] =
+                elmore::gate_delay(d.intrinsic_delay, d.resistance, below[v.index()]);
+            continue;
+        }
+        let p = tree.parent(v).expect("non-source");
+        let w = tree.parent_wire(v).expect("non-source");
+        // The wire sees the presented load (buffer input if buffered).
+        let mut t = arrival[p.index()] + elmore::wire_delay(w, presented[v.index()]);
+        if let Some(b) = assignment.buffer_at(v) {
+            let buf = lib.buffer(b);
+            t += buf.delay(below[v.index()]);
+        }
+        arrival[v.index()] = t;
+    }
+    let sink_delays: Vec<(NodeId, f64)> = tree
+        .sinks()
+        .iter()
+        .map(|&s| (s, arrival[s.index()]))
+        .collect();
+    let slack = tree
+        .sinks()
+        .iter()
+        .map(|&s| {
+            tree.sink_spec(s).expect("is sink").required_arrival_time - arrival[s.index()]
+        })
+        .fold(f64::INFINITY, f64::min);
+    DelayAudit {
+        arrival,
+        sink_delays,
+        slack,
+    }
+}
+
+/// One noise constraint checked by [`noise`]: either an original sink or
+/// the input of an inserted buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseCheck {
+    /// The node where noise is measured.
+    pub node: NodeId,
+    /// Devgan-metric noise propagated from the nearest upstream restoring
+    /// gate (eq. 9).
+    pub noise: f64,
+    /// The margin the noise is checked against (sink `NM` or buffer `NM`).
+    pub margin: f64,
+    /// True when the check point is an inserted buffer's input.
+    pub is_buffer_input: bool,
+}
+
+impl NoiseCheck {
+    /// True if the noise exceeds the margin.
+    ///
+    /// A picovolt tolerance absorbs floating-point residue: optimal
+    /// placements meet their constraint with exact equality (Theorem 1),
+    /// and recomputing the same quantity along a different association
+    /// order can land within ~1 ulp on either side.
+    pub fn is_violation(&self) -> bool {
+        self.noise > self.margin + 1e-12
+    }
+}
+
+/// Result of [`noise`]: every noise constraint of the buffered net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseAudit {
+    /// All checked constraints (sinks and buffer inputs).
+    pub checks: Vec<NoiseCheck>,
+}
+
+impl NoiseAudit {
+    /// True if any constraint is violated.
+    pub fn has_violation(&self) -> bool {
+        self.checks.iter().any(NoiseCheck::is_violation)
+    }
+
+    /// Violated constraints.
+    pub fn violations(&self) -> impl Iterator<Item = &NoiseCheck> {
+        self.checks.iter().filter(|c| c.is_violation())
+    }
+
+    /// The smallest `margin − noise` across constraints (negative when
+    /// violating), or `f64::INFINITY` if nothing was checked.
+    pub fn worst_headroom(&self) -> f64 {
+        self.checks
+            .iter()
+            .map(|c| c.margin - c.noise)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Per-node downstream coupling currents of the buffered net:
+/// `(below, reported)` where `below[v]` is the current a gate at `v` must
+/// supply and `reported[v]` is what flows through the parent wire's lower
+/// end (zero for buffered nodes, whose subtree current is supplied by the
+/// buffer).
+pub fn buffered_currents(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    assignment: &Assignment,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut below = vec![0.0; tree.len()];
+    let mut reported = vec![0.0; tree.len()];
+    for v in tree.postorder() {
+        let sum: f64 = tree
+            .children(v)
+            .iter()
+            .map(|&c| scenario.wire_current(tree, c) + reported[c.index()])
+            .sum();
+        below[v.index()] = sum;
+        reported[v.index()] = if assignment.buffer_at(v).is_some() {
+            0.0
+        } else {
+            sum
+        };
+    }
+    (below, reported)
+}
+
+/// Recomputes Devgan-metric noise on the buffered net by splitting it at
+/// restoring stages (the driver and every inserted buffer) and applying
+/// eq. 9 within each stage.
+///
+/// # Panics
+///
+/// Panics if `assignment` or `scenario` does not match the tree.
+pub fn noise(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    assignment: &Assignment,
+) -> NoiseAudit {
+    assert_eq!(assignment.len(), tree.len(), "assignment does not match");
+    assert_eq!(scenario.len(), tree.len(), "scenario does not match");
+    let (below, reported) = buffered_currents(tree, scenario, assignment);
+    let mut checks = Vec::new();
+
+    // Every restoring gate starts a stage.
+    let mut gates: Vec<(NodeId, f64)> = vec![(tree.source(), tree.driver().resistance)];
+    for (v, b) in assignment.iter() {
+        gates.push((v, lib.buffer(b).resistance));
+    }
+
+    for (root, gate_r) in gates {
+        let gate_term = gate_r * below[root.index()];
+        // DFS down the stage, stopping at buffer inputs and sinks.
+        let mut stack = vec![(root, gate_term)];
+        while let Some((v, acc)) = stack.pop() {
+            for &c in tree.children(v) {
+                let w = tree.parent_wire(c).expect("child has wire");
+                let i_w = scenario.wire_current(tree, c);
+                let acc_c = acc + w.resistance * (i_w / 2.0 + reported[c.index()]);
+                if let Some(b) = assignment.buffer_at(c) {
+                    checks.push(NoiseCheck {
+                        node: c,
+                        noise: acc_c,
+                        margin: lib.buffer(b).noise_margin,
+                        is_buffer_input: true,
+                    });
+                    // The buffer restores the signal; do not descend.
+                } else if let Some(spec) = tree.sink_spec(c) {
+                    checks.push(NoiseCheck {
+                        node: c,
+                        noise: acc_c,
+                        margin: spec.noise_margin,
+                        is_buffer_input: false,
+                    });
+                } else {
+                    stack.push((c, acc_c));
+                }
+            }
+        }
+    }
+    checks.sort_by_key(|c| c.node);
+    NoiseAudit { checks }
+}
+
+/// Signal polarity at every node of a buffered net: `false` where the
+/// signal equals the source polarity, `true` where it is complemented by
+/// an odd number of inverting buffers on the path. Sinks must read
+/// `false` for a polarity-legal solution (the Lillis inverting-buffer
+/// rule).
+pub fn signal_parity(
+    tree: &RoutingTree,
+    lib: &BufferLibrary,
+    assignment: &Assignment,
+) -> Vec<bool> {
+    let mut parity = vec![false; tree.len()];
+    for v in tree.preorder() {
+        let from_parent = tree.parent(v).is_some_and(|p| parity[p.index()]);
+        let flips = assignment
+            .buffer_at(v)
+            .is_some_and(|b| lib.buffer(b).inverting);
+        parity[v.index()] = from_parent ^ flips;
+    }
+    parity
+}
+
+/// True if every sink of the buffered net receives the true (non-
+/// complemented) signal.
+pub fn polarity_legal(
+    tree: &RoutingTree,
+    lib: &BufferLibrary,
+    assignment: &Assignment,
+) -> bool {
+    let parity = signal_parity(tree, lib, assignment);
+    tree.sinks().iter().all(|&s| !parity[s.index()])
+}
+
+/// A restoring stage of a buffered net: the gate that drives it and the
+/// points where the stage ends (sinks and buffer inputs). Used by the
+/// simulation referee to analyze each stage as an independent coupled
+/// circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Node carrying the driving gate (the source or a buffered node).
+    pub root: NodeId,
+    /// Output resistance of the driving gate.
+    pub gate_resistance: f64,
+    /// Nodes belonging to the stage, excluding `root`, including boundary
+    /// nodes.
+    pub members: Vec<NodeId>,
+    /// `(node, margin, extra load capacitance)` for each stage end point:
+    /// sinks carry their pin capacitance, buffer inputs their `Cin`.
+    pub ends: Vec<(NodeId, f64, f64)>,
+}
+
+/// Decomposes a buffered net into its restoring stages.
+pub fn stages(
+    tree: &RoutingTree,
+    lib: &BufferLibrary,
+    assignment: &Assignment,
+) -> Vec<Stage> {
+    let mut gates: Vec<(NodeId, f64)> = vec![(tree.source(), tree.driver().resistance)];
+    for (v, b) in assignment.iter() {
+        gates.push((v, lib.buffer(b).resistance));
+    }
+    gates
+        .into_iter()
+        .map(|(root, gate_resistance)| {
+            let mut members = Vec::new();
+            let mut ends = Vec::new();
+            let mut stack: Vec<NodeId> = tree.children(root).to_vec();
+            while let Some(v) = stack.pop() {
+                members.push(v);
+                if let Some(b) = assignment.buffer_at(v) {
+                    let buf = lib.buffer(b);
+                    ends.push((v, buf.noise_margin, buf.input_capacitance));
+                } else if let Some(spec) = tree.sink_spec(v) {
+                    ends.push((v, spec.noise_margin, spec.capacitance));
+                } else {
+                    stack.extend(tree.children(v).iter().copied());
+                }
+            }
+            members.sort();
+            ends.sort_by_key(|e| e.0);
+            Stage {
+                root,
+                gate_resistance,
+                members,
+                ends,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffopt_buffers::{BufferId, BufferType};
+    use buffopt_tree::{slack, Driver, SinkSpec, TreeBuilder, Wire};
+
+    fn lib1() -> BufferLibrary {
+        BufferLibrary::single(BufferType::new("b", 10e-15, 200.0, 20e-12, 0.9))
+    }
+
+    /// source -(w)- m -(w)- sink, both wires identical.
+    fn chain() -> (RoutingTree, NodeId) {
+        let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
+        let m = b
+            .add_internal(b.source(), Wire::from_rc(400.0, 500e-15, 2000.0))
+            .expect("m");
+        b.add_sink(
+            m,
+            Wire::from_rc(400.0, 500e-15, 2000.0),
+            SinkSpec::new(30e-15, 2e-9, 0.8),
+        )
+        .expect("s");
+        (b.build().expect("tree"), m)
+    }
+
+    #[test]
+    fn unbuffered_delay_matches_plain_elmore() {
+        let (t, _) = chain();
+        let audit = delay(&t, &lib1(), &Assignment::empty(&t));
+        let plain = elmore::arrival_times(&t);
+        for v in t.node_ids() {
+            assert!((audit.arrival[v.index()] - plain[v.index()]).abs() < 1e-21);
+        }
+        assert!((audit.slack - slack::source_slack(&t)).abs() < 1e-21);
+    }
+
+    #[test]
+    fn buffer_decouples_downstream_load() {
+        let (t, m) = chain();
+        let lib = lib1();
+        let mut a = Assignment::empty(&t);
+        a.insert(m, BufferId::from_index(0));
+        let (below, presented) = buffered_loads(&t, &lib, &a);
+        // Upstream of m: source sees first wire + Cin only.
+        assert!((presented[m.index()] - 10e-15).abs() < 1e-27);
+        // The buffer itself drives the second wire + sink pin.
+        assert!((below[m.index()] - 530e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn buffering_long_chain_reduces_delay() {
+        let (t, m) = chain();
+        let lib = lib1();
+        let unbuffered = delay(&t, &lib, &Assignment::empty(&t));
+        let mut a = Assignment::empty(&t);
+        a.insert(m, BufferId::from_index(0));
+        let buffered = delay(&t, &lib, &a);
+        assert!(
+            buffered.max_delay() < unbuffered.max_delay(),
+            "buffer splits a quadratic wire: {} !< {}",
+            buffered.max_delay(),
+            unbuffered.max_delay()
+        );
+    }
+
+    #[test]
+    fn delay_audit_by_hand_with_buffer() {
+        let (t, m) = chain();
+        let lib = lib1();
+        let mut a = Assignment::empty(&t);
+        a.insert(m, BufferId::from_index(0));
+        let audit = delay(&t, &lib, &a);
+        // Stage 1: driver drives w1 + Cin = 510 fF.
+        let t_src = 10e-12 + 300.0 * 510e-15;
+        let t_in_m = t_src + 400.0 * (250e-15 + 10e-15);
+        // Buffer drives w2 + pin = 530 fF.
+        let t_out_m = t_in_m + 20e-12 + 200.0 * 530e-15;
+        let t_sink = t_out_m + 400.0 * (250e-15 + 30e-15);
+        let sink = t.sinks()[0];
+        assert!((audit.arrival[sink.index()] - t_sink).abs() < 1e-18);
+    }
+
+    #[test]
+    fn noise_audit_unbuffered_matches_metric() {
+        let (t, _) = chain();
+        let s = NoiseScenario::estimation(&t, 0.7, 7.2e9);
+        let audit = noise(&t, &s, &lib1(), &Assignment::empty(&t));
+        let metric = buffopt_noise::metric::sink_noise(&t, &s);
+        assert_eq!(audit.checks.len(), 1);
+        assert!((audit.checks[0].noise - metric[0].noise).abs() < 1e-15);
+    }
+
+    #[test]
+    fn buffer_reduces_sink_noise_and_adds_a_check() {
+        let (t, m) = chain();
+        let s = NoiseScenario::estimation(&t, 0.7, 7.2e9);
+        let lib = lib1();
+        let before = noise(&t, &s, &lib, &Assignment::empty(&t));
+        let mut a = Assignment::empty(&t);
+        a.insert(m, BufferId::from_index(0));
+        let after = noise(&t, &s, &lib, &a);
+        assert_eq!(after.checks.len(), 2);
+        let buf_check = after
+            .checks
+            .iter()
+            .find(|c| c.is_buffer_input)
+            .expect("buffer check");
+        let sink_check = after
+            .checks
+            .iter()
+            .find(|c| !c.is_buffer_input)
+            .expect("sink check");
+        assert!(buf_check.noise < before.checks[0].noise);
+        assert!(sink_check.noise < before.checks[0].noise);
+    }
+
+    #[test]
+    fn buffered_noise_by_hand() {
+        let (t, m) = chain();
+        let lib = lib1();
+        let mut scenario = NoiseScenario::quiet(&t);
+        // Put coupling only on the lower wire: factor so I_w2 = 100 µA.
+        scenario.set_factor(t.sinks()[0], 100e-6 / 500e-15);
+        let mut a = Assignment::empty(&t);
+        a.insert(m, BufferId::from_index(0));
+        let audit = noise(&t, &scenario, &lib, &a);
+        // Buffer input: upper wire quiet, no downstream current reported
+        // (buffer decouples) ⇒ noise = Rso·0 + R_w1·(0 + 0) = 0.
+        let buf_check = audit
+            .checks
+            .iter()
+            .find(|c| c.is_buffer_input)
+            .expect("buffer check");
+        assert!(buf_check.noise.abs() < 1e-15);
+        // Sink: gate term Rb·100µ = 20 mV, wire 400·(50µ + 0) = 20 mV.
+        let sink_check = audit
+            .checks
+            .iter()
+            .find(|c| !c.is_buffer_input)
+            .expect("sink check");
+        assert!((sink_check.noise - 40e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_decomposition_counts() {
+        let (t, m) = chain();
+        let lib = lib1();
+        let mut a = Assignment::empty(&t);
+        a.insert(m, BufferId::from_index(0));
+        let st = stages(&t, &lib, &a);
+        assert_eq!(st.len(), 2);
+        let drv_stage = st.iter().find(|s| s.root == t.source()).expect("driver");
+        assert_eq!(drv_stage.ends.len(), 1);
+        assert_eq!(drv_stage.ends[0].0, m);
+        let buf_stage = st.iter().find(|s| s.root == m).expect("buffer");
+        assert_eq!(buf_stage.ends[0].0, t.sinks()[0]);
+        assert!((buf_stage.gate_resistance - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_headroom_sign() {
+        let (t, _) = chain();
+        let s = NoiseScenario::estimation(&t, 0.7, 7.2e9);
+        let audit = noise(&t, &s, &lib1(), &Assignment::empty(&t));
+        assert_eq!(
+            audit.has_violation(),
+            audit.worst_headroom() < 0.0
+        );
+    }
+}

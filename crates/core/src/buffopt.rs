@@ -1,0 +1,468 @@
+//! **BuffOpt** — Algorithm 3 of the paper: simultaneous noise and delay
+//! optimization (Problem 2), plus the Problem 3 production mode (fewest
+//! buffers such that noise *and* timing are satisfied, slack maximized as
+//! a secondary objective).
+
+use buffopt_buffers::BufferLibrary;
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::RoutingTree;
+
+use crate::assignment::Assignment;
+use crate::delayopt::Solution;
+use crate::dp::{self, DpConfig, SourceCand};
+use crate::error::CoreError;
+
+/// Options for the BuffOpt optimizers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuffOptOptions {
+    /// Hard cap on the number of inserted buffers.
+    pub max_buffers: Option<usize>,
+    /// Prune only candidates dominated in `(C, q, I, NS)` rather than the
+    /// paper's `(C, q)`. Slower but exact when the library violates the
+    /// Theorem 5 assumptions (`Cin` not minimal, margins not ordered).
+    pub conservative_pruning: bool,
+    /// Track signal polarity through inverting buffers (Lillis): sinks
+    /// must receive the true signal, so inverters may only appear in
+    /// pairs along any source-to-sink path.
+    pub polarity_aware: bool,
+}
+
+fn to_solution(tree: &RoutingTree, c: SourceCand) -> Solution {
+    Solution {
+        assignment: Assignment::from_pairs(tree, c.set.to_vec()),
+        slack: c.slack,
+        buffers: c.count,
+        cost: c.cost,
+        meets_noise: true,
+    }
+}
+
+fn config_of(options: &BuffOptOptions) -> DpConfig {
+    DpConfig {
+        noise: true,
+        max_buffers: options.max_buffers,
+        conservative: options.conservative_pruning,
+        polarity: options.polarity_aware,
+        cost_aware: false,
+    }
+}
+
+/// Problem 2: maximize the source timing slack such that every noise
+/// constraint (sinks and inserted buffer inputs) is satisfied.
+///
+/// Optimal for single-type libraries under the paper's Theorem 5
+/// assumptions; within ~2 % of the delay-only upper bound for the
+/// 11-buffer library (paper Table IV, reproduced in the bench crate).
+///
+/// # Errors
+///
+/// * [`CoreError::EmptyLibrary`] — no buffer types;
+/// * [`CoreError::ScenarioMismatch`] — scenario built for another tree;
+/// * [`CoreError::NoFeasibleCandidate`] — no insertion satisfies the noise
+///   margins (e.g. insufficient wire segmenting).
+pub fn optimize(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    options: &BuffOptOptions,
+) -> Result<Solution, CoreError> {
+    let cands = dp::run(tree, Some(scenario), lib, &config_of(options))?;
+    let best = cands
+        .into_iter()
+        .max_by(|a, b| a.slack.partial_cmp(&b.slack).expect("finite slack"))
+        .ok_or(CoreError::NoFeasibleCandidate)?;
+    Ok(to_solution(tree, best))
+}
+
+/// The best noise-clean solution for every buffer count up to
+/// `max_buffers`; entry `k` is `None` when no `k`-buffer solution survives
+/// (dominated by a smaller count, or noise-infeasible).
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn optimize_per_count(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    max_buffers: usize,
+    options: &BuffOptOptions,
+) -> Result<Vec<Option<Solution>>, CoreError> {
+    let cfg = DpConfig {
+        max_buffers: Some(max_buffers),
+        ..config_of(options)
+    };
+    let cands = dp::run(tree, Some(scenario), lib, &cfg)?;
+    let mut out: Vec<Option<Solution>> = (0..=max_buffers).map(|_| None).collect();
+    for c in cands {
+        let count = c.count;
+        let better = count <= max_buffers
+            && out[count].as_ref().is_none_or(|prev| c.slack > prev.slack);
+        if better {
+            out[count] = Some(to_solution(tree, c));
+        }
+    }
+    Ok(out)
+}
+
+/// Problem 3 (the tool's production mode): the solution with the fewest
+/// buffers such that **both** noise and timing constraints are satisfied,
+/// maximizing slack as a secondary objective. When no buffer count meets
+/// timing, returns the noise-clean solution with the best slack (its
+/// `slack` will be negative), mirroring how a physical-design flow
+/// degrades gracefully.
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn min_buffers(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    options: &BuffOptOptions,
+) -> Result<Solution, CoreError> {
+    let mut cands = dp::run(tree, Some(scenario), lib, &config_of(options))?;
+    cands.sort_by(|a, b| {
+        a.count
+            .cmp(&b.count)
+            .then(b.slack.partial_cmp(&a.slack).expect("finite slack"))
+    });
+    if let Some(first_meeting) = cands.iter().position(|c| c.slack >= 0.0) {
+        // Counts ascend and slack descends within a count, so the first
+        // timing-feasible entry is the fewest-buffer, best-slack one.
+        let c = cands.swap_remove(first_meeting);
+        return Ok(to_solution(tree, c));
+    }
+    let best = cands
+        .into_iter()
+        .max_by(|a, b| a.slack.partial_cmp(&b.slack).expect("finite slack"))
+        .ok_or(CoreError::NoFeasibleCandidate)?;
+    Ok(to_solution(tree, best))
+}
+
+/// The Lillis power objective: the solution with the smallest **total
+/// buffer cost** (area/power units from [`buffopt_buffers::BufferType::cost`])
+/// such that both noise and timing constraints are satisfied; slack is
+/// maximized as a secondary objective. Falls back to the best-slack
+/// noise-clean solution when no candidate meets timing.
+///
+/// Unlike [`min_buffers`], two solutions with the same buffer count but
+/// different device sizes are distinguished, so the DP runs with cost
+/// tracking (pairwise pruning — somewhat slower).
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn min_cost(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    options: &BuffOptOptions,
+) -> Result<Solution, CoreError> {
+    let cfg = DpConfig {
+        cost_aware: true,
+        ..config_of(options)
+    };
+    let cands = dp::run(tree, Some(scenario), lib, &cfg)?;
+    let best_meeting = cands
+        .iter()
+        .filter(|c| c.slack >= 0.0)
+        .min_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .expect("finite costs")
+                .then(b.slack.partial_cmp(&a.slack).expect("finite slack"))
+        })
+        .cloned();
+    let chosen = match best_meeting {
+        Some(c) => c,
+        None => cands
+            .into_iter()
+            .max_by(|a, b| a.slack.partial_cmp(&b.slack).expect("finite slack"))
+            .ok_or(CoreError::NoFeasibleCandidate)?,
+    };
+    Ok(to_solution(tree, chosen))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit;
+    use crate::delayopt::{self, DelayOptOptions};
+    use buffopt_buffers::{catalog, BufferLibrary, BufferType};
+    use buffopt_noise::metric::NoiseReport;
+    use buffopt_tree::{segment, Driver, SinkSpec, Technology, TreeBuilder};
+
+    fn estimation(tree: &RoutingTree) -> NoiseScenario {
+        NoiseScenario::estimation(tree, 0.7, 7.2e9)
+    }
+
+    fn two_pin_segmented(len: f64, pieces: usize, rat: f64) -> RoutingTree {
+        let tech = Technology::global_layer();
+        let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
+        b.add_sink(b.source(), tech.wire(len), SinkSpec::new(20e-15, rat, 0.8))
+            .expect("sink");
+        let t = b.build().expect("tree");
+        segment::segment_uniform(&t, pieces).expect("segment").tree
+    }
+
+    fn y_net_segmented(trunk: f64, arm: f64, pieces: usize) -> RoutingTree {
+        let tech = Technology::global_layer();
+        let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
+        let j = b.add_internal(b.source(), tech.wire(trunk)).expect("j");
+        for _ in 0..2 {
+            b.add_sink(j, tech.wire(arm), SinkSpec::new(20e-15, 1.5e-9, 0.8))
+                .expect("sink");
+        }
+        let t = b.build().expect("tree");
+        segment::segment_uniform(&t, pieces).expect("segment").tree
+    }
+
+    #[test]
+    fn fixes_noise_and_audits_clean() {
+        let t = two_pin_segmented(20_000.0, 16, 2e-9);
+        let s = estimation(&t);
+        let lib = catalog::ibm_like();
+        assert!(NoiseReport::analyze(&t, &s).has_violation());
+        let sol = optimize(&t, &s, &lib, &BuffOptOptions::default()).expect("solve");
+        assert!(sol.buffers > 0);
+        let na = audit::noise(&t, &s, &lib, &sol.assignment);
+        assert!(!na.has_violation(), "worst headroom {}", na.worst_headroom());
+        let da = audit::delay(&t, &lib, &sol.assignment);
+        assert!((sol.slack - da.slack).abs() < 1e-15);
+    }
+
+    #[test]
+    fn never_worse_noise_than_unconstrained_never_better_slack() {
+        let t = y_net_segmented(8_000.0, 6_000.0, 6);
+        let s = estimation(&t);
+        let lib = catalog::ibm_like();
+        let noise_sol = optimize(&t, &s, &lib, &BuffOptOptions::default()).expect("buffopt");
+        let delay_sol =
+            delayopt::optimize(&t, &lib, &DelayOptOptions::default()).expect("delayopt");
+        // DelayOpt is an upper bound on BuffOpt's slack (paper Section V-C).
+        assert!(noise_sol.slack <= delay_sol.slack + 1e-15);
+        // And BuffOpt is noise-clean while DelayOpt need not be.
+        assert!(!audit::noise(&t, &s, &lib, &noise_sol.assignment).has_violation());
+    }
+
+    #[test]
+    fn matches_exhaustive_single_buffer_library() {
+        // Theorem 5 setting: one buffer type, Cin below sink caps, margin
+        // above sink margins. The DP must find the exhaustive optimum of
+        // Problem 2.
+        let t = y_net_segmented(6_000.0, 4_000.0, 4);
+        let s = estimation(&t);
+        let lib = BufferLibrary::single(BufferType::new("b", 8e-15, 220.0, 25e-12, 0.9));
+        let sol = optimize(&t, &s, &lib, &BuffOptOptions::default()).expect("solve");
+
+        let sites: Vec<_> = t
+            .node_ids()
+            .filter(|&v| t.node(v).kind.is_feasible_site())
+            .collect();
+        assert!(sites.len() <= 16);
+        let mut best = f64::NEG_INFINITY;
+        for mask in 0u32..(1 << sites.len()) {
+            let mut a = Assignment::empty(&t);
+            for (i, &site) in sites.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    a.insert(site, buffopt_buffers::BufferId::from_index(0));
+                }
+            }
+            if audit::noise(&t, &s, &lib, &a).has_violation() {
+                continue;
+            }
+            best = best.max(audit::delay(&t, &lib, &a).slack);
+        }
+        assert!(best > f64::NEG_INFINITY, "some legal assignment exists");
+        assert!(
+            (sol.slack - best).abs() < 1e-14,
+            "DP {} vs exhaustive {}",
+            sol.slack,
+            best
+        );
+    }
+
+    #[test]
+    fn min_buffers_prefers_fewer_when_timing_met() {
+        let t = two_pin_segmented(20_000.0, 16, 3e-9); // loose timing
+        let s = estimation(&t);
+        let lib = catalog::ibm_like();
+        let max_slack = optimize(&t, &s, &lib, &BuffOptOptions::default()).expect("p2");
+        let frugal = min_buffers(&t, &s, &lib, &BuffOptOptions::default()).expect("p3");
+        assert!(frugal.buffers <= max_slack.buffers);
+        assert!(frugal.slack >= 0.0, "timing met");
+        assert!(!audit::noise(&t, &s, &lib, &frugal.assignment).has_violation());
+    }
+
+    #[test]
+    fn min_buffers_falls_back_to_best_slack() {
+        let t = two_pin_segmented(20_000.0, 16, 1e-12); // impossible timing
+        let s = estimation(&t);
+        let lib = catalog::ibm_like();
+        let sol = min_buffers(&t, &s, &lib, &BuffOptOptions::default()).expect("p3");
+        assert!(sol.slack < 0.0, "timing is unmeetable");
+        assert!(!audit::noise(&t, &s, &lib, &sol.assignment).has_violation());
+    }
+
+    #[test]
+    fn per_count_zero_entry_absent_when_unbuffered_violates() {
+        let t = two_pin_segmented(20_000.0, 16, 2e-9);
+        let s = estimation(&t);
+        let lib = catalog::ibm_like();
+        assert!(NoiseReport::analyze(&t, &s).has_violation());
+        let per =
+            optimize_per_count(&t, &s, &lib, 12, &BuffOptOptions::default()).expect("per-count");
+        assert!(per[0].is_none(), "unbuffered candidate violates noise");
+        assert!(per.iter().flatten().count() >= 1);
+        for sol in per.iter().flatten() {
+            assert!(!audit::noise(&t, &s, &lib, &sol.assignment).has_violation());
+        }
+    }
+
+    #[test]
+    fn conservative_pruning_never_loses_feasibility() {
+        // A pathological library violating Theorem 5's assumptions: the
+        // fast buffer has a huge Cin and a tiny margin.
+        let mut lib = BufferLibrary::new();
+        lib.push(BufferType::new("fast", 60e-15, 80.0, 10e-12, 0.30));
+        lib.push(BufferType::new("clean", 6e-15, 450.0, 30e-12, 0.95));
+        let t = two_pin_segmented(25_000.0, 20, 3e-9);
+        let s = estimation(&t);
+        let paper = optimize(&t, &s, &lib, &BuffOptOptions::default());
+        let safe = optimize(
+            &t,
+            &s,
+            &lib,
+            &BuffOptOptions {
+                conservative_pruning: true,
+                ..BuffOptOptions::default()
+            },
+        );
+        let safe_sol = safe.expect("conservative mode must find the fix");
+        assert!(!audit::noise(&t, &s, &lib, &safe_sol.assignment).has_violation());
+        if let Ok(p) = paper {
+            // When both succeed, conservative is at least as good.
+            assert!(safe_sol.slack >= p.slack - 1e-15);
+        }
+    }
+
+    #[test]
+    fn polarity_aware_solutions_are_polarity_legal() {
+        let t = two_pin_segmented(20_000.0, 16, 2e-9);
+        let s = estimation(&t);
+        let lib = catalog::ibm_like(); // 5 inverting + 6 non-inverting
+        let free = optimize(&t, &s, &lib, &BuffOptOptions::default()).expect("free");
+        let strict = optimize(
+            &t,
+            &s,
+            &lib,
+            &BuffOptOptions {
+                polarity_aware: true,
+                ..BuffOptOptions::default()
+            },
+        )
+        .expect("strict");
+        assert!(audit::polarity_legal(&t, &lib, &strict.assignment));
+        // Polarity is a restriction: it can never beat the free optimum.
+        assert!(strict.slack <= free.slack + 1e-15);
+        assert!(!audit::noise(&t, &s, &lib, &strict.assignment).has_violation());
+    }
+
+    #[test]
+    fn inverter_only_library_pairs_up_under_polarity() {
+        // With only inverting buffers, a polarity-legal chain must carry
+        // an even number of them.
+        let mut lib = BufferLibrary::new();
+        lib.push(BufferType::new("inv", 6e-15, 300.0, 15e-12, 0.9).inverting());
+        // 500 µm sites: coarse 1 mm sites force an odd buffer count on
+        // this net, which is genuinely parity-infeasible.
+        let t = two_pin_segmented(12_000.0, 24, 2e-9);
+        let s = estimation(&t);
+        let sol = optimize(
+            &t,
+            &s,
+            &lib,
+            &BuffOptOptions {
+                polarity_aware: true,
+                ..BuffOptOptions::default()
+            },
+        )
+        .expect("solvable with inverter pairs");
+        assert_eq!(sol.buffers % 2, 0, "chain needs an even inverter count");
+        assert!(audit::polarity_legal(&t, &lib, &sol.assignment));
+        // Without polarity tracking the same run may use an odd count.
+        let free = optimize(&t, &s, &lib, &BuffOptOptions::default()).expect("free");
+        assert!(free.slack >= sol.slack - 1e-15);
+    }
+
+    #[test]
+    fn min_cost_never_exceeds_min_buffers_cost() {
+        let t = two_pin_segmented(18_000.0, 14, 3e-9);
+        let s = estimation(&t);
+        let lib = catalog::ibm_like();
+        let frugal_count = min_buffers(&t, &s, &lib, &BuffOptOptions::default()).expect("p3");
+        let frugal_cost = min_cost(&t, &s, &lib, &BuffOptOptions::default()).expect("cost");
+        assert!(frugal_cost.cost <= frugal_count.cost + 1e-12);
+        assert!(frugal_cost.slack >= 0.0, "timing met");
+        assert!(!audit::noise(&t, &s, &lib, &frugal_cost.assignment).has_violation());
+        // The reported cost matches the assignment.
+        assert!(
+            (frugal_cost.cost - frugal_cost.assignment.total_cost(&lib)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn min_cost_prefers_small_devices_when_slack_allows() {
+        // Loose timing: the cheapest fix should avoid x16/x32 monsters.
+        let t = two_pin_segmented(14_000.0, 14, 10e-9);
+        let s = estimation(&t);
+        let lib = catalog::ibm_like();
+        let sol = min_cost(&t, &s, &lib, &BuffOptOptions::default()).expect("cost");
+        let max_level = sol
+            .assignment
+            .iter()
+            .map(|(_, b)| lib.buffer(b).cost)
+            .fold(0.0f64, f64::max);
+        assert!(
+            max_level <= 8.0 + 1e-12,
+            "no x16/x32 devices in the cheap fix, got max level {max_level}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_algorithm2_on_buffer_count_for_pure_noise() {
+        // With RAT = +inf, Problem 3 degenerates to Problem 1; the DP's
+        // min-buffer answer must match Algorithm 2 when buffer sites are
+        // dense enough.
+        use crate::algorithm2;
+        let tech = Technology::global_layer();
+        let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
+        let j = b.add_internal(b.source(), tech.wire(12_000.0)).expect("j");
+        for _ in 0..2 {
+            b.add_sink(
+                j,
+                tech.wire(9_000.0),
+                SinkSpec::new(20e-15, f64::INFINITY, 0.8),
+            )
+            .expect("sink");
+        }
+        let t0 = b.build().expect("tree");
+        let lib = BufferLibrary::single(BufferType::new("b", 10e-15, 200.0, 20e-12, 0.9));
+
+        let a2 = algorithm2::avoid_noise(&t0, &estimation(&t0), &lib).expect("alg2");
+
+        let seg = segment::segment_wires(&t0, 250.0).expect("segment");
+        let s_seg = estimation(&t0).for_segmented(&seg);
+        let p3 = min_buffers(&seg.tree, &s_seg, &lib, &BuffOptOptions::default()).expect("p3");
+        // Discrete sites within 250 µm of the continuous optimum: at most
+        // one extra buffer.
+        assert!(
+            p3.buffers <= a2.inserted() + 1,
+            "DP {} vs continuous optimum {}",
+            p3.buffers,
+            a2.inserted()
+        );
+        assert!(p3.buffers >= a2.inserted(), "cannot beat the optimum");
+    }
+}

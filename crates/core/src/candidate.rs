@@ -1,0 +1,182 @@
+//! Persistent (shared-tail) solution sets for the dynamic programs.
+//!
+//! Paper footnote 7: storing the full mapping `M` inside every candidate is
+//! wasteful; instead candidates hold pointers and the final solution is
+//! revealed by traversing them. [`PSet`] is exactly that: an immutable DAG
+//! of elements and joins with `O(1)` clone, `O(1)` push and `O(1)` join.
+
+use std::sync::Arc;
+
+#[derive(Debug)]
+enum Node<T> {
+    Elem { value: T, rest: PSet<T> },
+    Join(PSet<T>, PSet<T>),
+}
+
+/// An immutable multiset with structural sharing.
+#[derive(Debug)]
+pub(crate) struct PSet<T>(Option<Arc<Node<T>>>);
+
+impl<T> Clone for PSet<T> {
+    fn clone(&self) -> Self {
+        PSet(self.0.clone())
+    }
+}
+
+impl<T> Default for PSet<T> {
+    fn default() -> Self {
+        PSet(None)
+    }
+}
+
+impl<T: Clone> PSet<T> {
+    /// The empty set.
+    pub fn empty() -> Self {
+        PSet(None)
+    }
+
+    /// A new set with one more element.
+    pub fn insert(&self, value: T) -> Self {
+        PSet(Some(Arc::new(Node::Elem {
+            value,
+            rest: self.clone(),
+        })))
+    }
+
+    /// The union of two sets (they come from disjoint subtrees).
+    pub fn join(&self, other: &PSet<T>) -> Self {
+        match (&self.0, &other.0) {
+            (None, _) => other.clone(),
+            (_, None) => self.clone(),
+            _ => PSet(Some(Arc::new(Node::Join(self.clone(), other.clone())))),
+        }
+    }
+
+    /// Collects the elements into a vector (order unspecified).
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&PSet<T>> = vec![self];
+        while let Some(s) = stack.pop() {
+            match s.0.as_deref() {
+                None => {}
+                Some(Node::Elem { value, rest }) => {
+                    out.push(value.clone());
+                    stack.push(rest);
+                }
+                Some(Node::Join(a, b)) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of elements (walks the structure).
+    #[allow(dead_code)] // exercised by unit tests and kept for debugging
+    pub fn count(&self) -> usize {
+        let mut n = 0;
+        let mut stack: Vec<&PSet<T>> = vec![self];
+        while let Some(s) = stack.pop() {
+            match s.0.as_deref() {
+                None => {}
+                Some(Node::Elem { rest, .. }) => {
+                    n += 1;
+                    stack.push(rest);
+                }
+                Some(Node::Join(a, b)) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+            }
+        }
+        n
+    }
+}
+
+// A naive recursive drop of a deep chain could overflow the stack; unlink
+// iteratively instead, stopping at shared (strong count > 1) nodes.
+impl<T> Drop for PSet<T> {
+    fn drop(&mut self) {
+        let mut stack = Vec::new();
+        if let Some(arc) = self.0.take() {
+            stack.push(arc);
+        }
+        while let Some(arc) = stack.pop() {
+            if let Ok(node) = Arc::try_unwrap(arc) {
+                match node {
+                    Node::Elem { mut rest, .. } => {
+                        if let Some(a) = rest.0.take() {
+                            stack.push(a);
+                        }
+                    }
+                    Node::Join(mut a, mut b) => {
+                        if let Some(x) = a.0.take() {
+                            stack.push(x);
+                        }
+                        if let Some(y) = b.0.take() {
+                            stack.push(y);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        let s: PSet<u32> = PSet::empty();
+        assert!(s.to_vec().is_empty());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn insert_is_persistent() {
+        let s0: PSet<u32> = PSet::empty();
+        let s1 = s0.insert(1);
+        let s2 = s1.insert(2);
+        assert_eq!(s0.count(), 0);
+        assert_eq!(s1.count(), 1);
+        assert_eq!(s2.count(), 2);
+        let mut v = s2.to_vec();
+        v.sort();
+        assert_eq!(v, vec![1, 2]);
+    }
+
+    #[test]
+    fn join_unions_disjoint_sets() {
+        let left = PSet::empty().insert(1);
+        let right = PSet::empty().insert(2).insert(3);
+        let joined = left.join(&right);
+        assert_eq!(joined.count(), 3);
+        assert_eq!(left.join(&PSet::empty()).count(), 1);
+        assert_eq!(PSet::<u32>::empty().join(&right).count(), 2);
+    }
+
+    #[test]
+    fn shared_tail_is_not_duplicated() {
+        let base = PSet::empty().insert(1);
+        let a = base.insert(2);
+        let b = base.insert(3);
+        let joined = a.join(&b);
+        // Element 1 appears via both branches: PSet is a multiset over
+        // paths, and disjointness is the caller's contract. Count follows
+        // structure.
+        assert_eq!(joined.count(), 4);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_on_drop() {
+        let mut s = PSet::empty();
+        for i in 0..200_000u32 {
+            s = s.insert(i);
+        }
+        assert_eq!(s.count(), 200_000);
+        drop(s);
+    }
+}

@@ -1,0 +1,357 @@
+//! The shared wire-climbing step of Algorithms 1 and 2: walk a single wire
+//! bottom-to-top, inserting buffers at the maximal distance Theorem 1
+//! allows whenever the noise budget would otherwise be exceeded.
+
+use buffopt_buffers::BufferType;
+use buffopt_noise::theorem1::{self, MaxLength};
+use buffopt_tree::{NodeId, Wire};
+
+use crate::error::CoreError;
+
+/// Absolute noise-comparison tolerance (volts). A buffer placed at exactly
+/// the Theorem 1 distance meets its constraint with equality; the tolerance
+/// absorbs the floating-point residue of the quadratic root.
+pub(crate) const NOISE_TOL: f64 = 1e-12;
+
+/// Minimum forward progress per insertion (µm); two insertions closer than
+/// this at the same spot mean the constraints are unsatisfiable.
+const PROGRESS_EPS: f64 = 1e-9;
+
+/// Noise state while climbing: the downstream coupling current `I` and the
+/// noise slack `NS` at the current position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct ClimbState {
+    /// Downstream coupling current (amperes).
+    pub current: f64,
+    /// Noise slack (volts).
+    pub slack: f64,
+}
+
+impl ClimbState {
+    /// The state at a sink with noise margin `nm` (eq. 12 base case).
+    pub fn at_sink(nm: f64) -> Self {
+        ClimbState {
+            current: 0.0,
+            slack: nm,
+        }
+    }
+
+    /// The state just above a freshly inserted buffer.
+    pub fn above_buffer(buffer: &BufferType) -> Self {
+        ClimbState {
+            current: 0.0,
+            slack: buffer.noise_margin,
+        }
+    }
+}
+
+/// Electrical summary of the path *above* the current wire up to the
+/// driver, used by Algorithm 1's driver-rescue test: when the real driver
+/// is stronger than the buffer (`Rso < Rb`), finishing the remaining path
+/// with **no** further buffers may satisfy the constraints even where a
+/// buffer at the wire top would not (paper footnote 8's caveat).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct UpstreamSummary {
+    /// Driver output resistance `R_so`.
+    pub driver_resistance: f64,
+    /// Total wire resistance from the top of the current wire to the
+    /// source (Ω).
+    pub resistance: f64,
+    /// Total coupling current injected on that stretch (A).
+    pub current: f64,
+    /// Noise the stretch adds when its downstream current is zero (V):
+    /// `Σ R_w (I_w/2 + current injected below w within the stretch)`.
+    pub base_noise: f64,
+}
+
+impl UpstreamSummary {
+    /// Noise at the bottom of the stretch when the driver completes it
+    /// with no further buffer and the downstream current entering the
+    /// stretch is `i_bottom`.
+    pub fn completes_with(&self, i_bottom: f64, slack: f64) -> bool {
+        let total = self.driver_resistance * (i_bottom + self.current)
+            + self.base_noise
+            + i_bottom * self.resistance;
+        total <= slack + NOISE_TOL
+    }
+}
+
+/// Climbs one wire from its bottom end to its top end, inserting buffers of
+/// type `buffer` at maximal distances when needed.
+///
+/// Returns the state at the top of the wire and the distances (µm from the
+/// wire's bottom end, ascending) where buffers were inserted. When
+/// `upstream` is provided (Algorithm 1, where the path to the driver is
+/// unique), an insertion is skipped if the driver can finish the whole
+/// remaining path unbuffered — the driver-rescue refinement that keeps
+/// the count minimal even when `Rso < Rb`.
+///
+/// Invariant maintained (and relied upon by the source check): on return,
+/// either `Rb · current ≤ slack` (a buffer at the wire top is feasible) or
+/// the driver-rescue test has certified the unbuffered completion.
+///
+/// # Errors
+///
+/// Returns [`CoreError::NoiseUnfixable`] when no insertion satisfies the
+/// constraints (e.g. a zero noise margin, or a lumped zero-length wire
+/// whose own noise exceeds the buffer margin).
+pub(crate) fn climb_wire_with_upstream(
+    wire: &Wire,
+    factor: f64,
+    buffer: &BufferType,
+    wire_node: NodeId,
+    state: ClimbState,
+    upstream: Option<&UpstreamSummary>,
+) -> Result<(ClimbState, Vec<f64>), CoreError> {
+    let rb = buffer.resistance;
+    let nm_b = buffer.noise_margin;
+    let mut cur = state;
+    let mut inserted: Vec<f64> = Vec::new();
+
+    // Driver-rescue test: can the real driver finish this whole wire plus
+    // everything above it with no further buffer?
+    let rescued = |rem_r: f64, rem_i: f64, rem_noise0: f64, s: ClimbState| -> bool {
+        match upstream {
+            Some(up) => {
+                let combined = UpstreamSummary {
+                    driver_resistance: up.driver_resistance,
+                    resistance: up.resistance + rem_r,
+                    current: up.current + rem_i,
+                    base_noise: rem_noise0 + rem_i * up.resistance + up.base_noise,
+                };
+                combined.completes_with(s.current, s.slack)
+            }
+            None => false,
+        }
+    };
+
+    if wire.length <= 0.0 {
+        // Lumped wire (binarization dummy or a zero-length stub): handle
+        // without the per-micron formulation.
+        let i_w = factor * wire.capacitance;
+        let noise = wire.resistance * (i_w / 2.0 + cur.current);
+        let noise_top = rb * (cur.current + i_w) + noise;
+        if noise_top <= cur.slack + NOISE_TOL
+            || rescued(wire.resistance, i_w, wire.resistance * i_w / 2.0, cur)
+        {
+            return Ok((
+                ClimbState {
+                    current: cur.current + i_w,
+                    slack: cur.slack - noise,
+                },
+                inserted,
+            ));
+        }
+        // Insert at the bottom end, then the wire must fit in the buffer's
+        // own margin.
+        inserted.push(0.0);
+        let noise_rest = wire.resistance * (i_w / 2.0);
+        if rb * i_w + noise_rest <= nm_b + NOISE_TOL {
+            return Ok((
+                ClimbState {
+                    current: i_w,
+                    slack: nm_b - noise_rest,
+                },
+                inserted,
+            ));
+        }
+        return Err(CoreError::NoiseUnfixable(wire_node));
+    }
+
+    let r = wire.resistance / wire.length; // Ω/µm
+    let i = factor * wire.capacitance / wire.length; // A/µm
+    let mut consumed = 0.0_f64;
+    loop {
+        let rem = wire.length - consumed;
+        if rem <= 0.0 {
+            break;
+        }
+        // Would a buffer at the wire top satisfy everything below? If not,
+        // can the real driver still finish the remaining path unbuffered?
+        let noise_top = theorem1::noise_across(rb, r, i, cur.current, rem);
+        if noise_top <= cur.slack + NOISE_TOL
+            || rescued(r * rem, i * rem, r * rem * (i * rem / 2.0), cur)
+        {
+            cur = ClimbState {
+                current: cur.current + i * rem,
+                slack: cur.slack - r * rem * (i * rem / 2.0 + cur.current),
+            };
+            break;
+        }
+        // A buffer is needed inside this wire at the maximal distance.
+        let lmax = match theorem1::max_unbuffered_length(rb, r, i, cur.current, cur.slack) {
+            MaxLength::Bounded(l) => l.min(rem),
+            // Unbounded contradicts noise_top > slack; Infeasible breaks
+            // the climbing invariant — both mean unfixable constraints.
+            MaxLength::Unbounded | MaxLength::Infeasible => {
+                return Err(CoreError::NoiseUnfixable(wire_node))
+            }
+        };
+        if lmax < PROGRESS_EPS && inserted.last().is_some_and(|&d| consumed - d < PROGRESS_EPS) {
+            // No forward progress: stacking buffers at one spot cannot help.
+            return Err(CoreError::NoiseUnfixable(wire_node));
+        }
+        consumed += lmax;
+        inserted.push(consumed);
+        cur = ClimbState::above_buffer(buffer);
+    }
+    debug_assert!(
+        upstream.is_some() || rb * cur.current <= cur.slack + NOISE_TOL,
+        "climb invariant violated: Rb*I = {} > NS = {}",
+        rb * cur.current,
+        cur.slack
+    );
+    Ok((cur, inserted))
+}
+
+/// [`climb_wire_with_upstream`] without the driver-rescue refinement —
+/// used by Algorithm 2, where merges make the remaining path to the
+/// driver ambiguous (the paper's footnote 8 assumes `Rso > Rb` there).
+pub(crate) fn climb_wire(
+    wire: &Wire,
+    factor: f64,
+    buffer: &BufferType,
+    wire_node: NodeId,
+    state: ClimbState,
+) -> Result<(ClimbState, Vec<f64>), CoreError> {
+    climb_wire_with_upstream(wire, factor, buffer, wire_node, state, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffopt_noise::theorem1::noise_across;
+
+    fn buf() -> BufferType {
+        BufferType::new("b", 10e-15, 200.0, 20e-12, 0.9)
+    }
+
+    fn wire(len: f64) -> Wire {
+        // Global-layer-like: 0.08 Ω/µm, 0.25 fF/µm.
+        Wire::from_rc(0.08 * len, 0.25e-15 * len, len)
+    }
+
+    const FACTOR: f64 = 0.7 * 7.2e9;
+
+    #[test]
+    fn short_wire_needs_no_buffer() {
+        let w = wire(100.0);
+        let (state, ins) = climb_wire(
+            &w,
+            FACTOR,
+            &buf(),
+            NodeId::from_index(1),
+            ClimbState::at_sink(0.8),
+        )
+        .expect("climb");
+        assert!(ins.is_empty());
+        assert!(state.current > 0.0);
+        assert!(state.slack < 0.8);
+    }
+
+    #[test]
+    fn long_wire_gets_buffers_at_max_distance() {
+        // Make the wire long enough that multiple buffers are forced.
+        let w = wire(80_000.0);
+        let (state, ins) = climb_wire(
+            &w,
+            FACTOR,
+            &buf(),
+            NodeId::from_index(1),
+            ClimbState::at_sink(0.8),
+        )
+        .expect("climb");
+        assert!(!ins.is_empty(), "80 mm of coupled wire must need buffers");
+        // Distances ascend strictly.
+        for pair in ins.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        // First buffer noise is exactly the sink margin (maximal distance).
+        let r = w.resistance / w.length;
+        let i = FACTOR * w.capacitance / w.length;
+        let noise = noise_across(200.0, r, i, 0.0, ins[0]);
+        assert!((noise - 0.8).abs() < 1e-9, "first placement is maximal");
+        // Later gaps are equal (steady state: slack NM_b, current 0).
+        if ins.len() >= 3 {
+            let g1 = ins[2] - ins[1];
+            let g2 = ins[1] - ins[0];
+            assert!((g1 - g2).abs() < 1e-6);
+        }
+        // Invariant at the top.
+        assert!(200.0 * state.current <= state.slack + NOISE_TOL);
+    }
+
+    #[test]
+    fn climbing_matches_metric_when_no_buffer() {
+        // Pass-through updates must equal the closed-form wire noise.
+        let w = wire(500.0);
+        let start = ClimbState {
+            current: 30e-6,
+            slack: 0.5,
+        };
+        let (state, ins) =
+            climb_wire(&w, FACTOR, &buf(), NodeId::from_index(1), start).expect("climb");
+        assert!(ins.is_empty());
+        let i_w = FACTOR * w.capacitance;
+        let wire_noise = w.resistance * (i_w / 2.0 + 30e-6);
+        assert!((state.slack - (0.5 - wire_noise)).abs() < 1e-15);
+        assert!((state.current - (30e-6 + i_w)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn dummy_wire_passes_through() {
+        let w = Wire::dummy();
+        let start = ClimbState {
+            current: 1e-4,
+            slack: 0.3,
+        };
+        let (state, ins) =
+            climb_wire(&w, FACTOR, &buf(), NodeId::from_index(1), start).expect("climb");
+        assert!(ins.is_empty());
+        assert_eq!(state, start);
+    }
+
+    #[test]
+    fn zero_margin_buffer_is_unfixable_on_long_wire() {
+        let bad = BufferType::new("bad", 10e-15, 200.0, 20e-12, 0.0);
+        let w = wire(50_000.0);
+        let err = climb_wire(
+            &w,
+            FACTOR,
+            &bad,
+            NodeId::from_index(1),
+            ClimbState::at_sink(0.8),
+        )
+        .expect_err("zero-margin buffers cannot fix an infinite run");
+        assert!(matches!(err, CoreError::NoiseUnfixable(_)));
+    }
+
+    #[test]
+    fn lumped_wire_unfixable_when_own_noise_exceeds_buffer_margin() {
+        let w = Wire::from_rc(5000.0, 2000e-15, 0.0);
+        let start = ClimbState {
+            current: 40e-6,
+            slack: 0.25,
+        };
+        // With the default factor this lumped wire's own noise exceeds any
+        // margin: expect NoiseUnfixable.
+        let res = climb_wire(&w, FACTOR, &buf(), NodeId::from_index(1), start);
+        assert!(matches!(res, Err(CoreError::NoiseUnfixable(_))));
+    }
+
+    #[test]
+    fn lumped_wire_fixable_with_small_coupling() {
+        let w = Wire::from_rc(500.0, 200e-15, 0.0);
+        let small_factor = 1.0e8; // I_w = 20 µA
+        let start = ClimbState {
+            current: 2.0e-3, // large downstream current forces the insert
+            slack: 0.45,
+        };
+        let (state, ins) =
+            climb_wire(&w, small_factor, &buf(), NodeId::from_index(1), start).expect("climb");
+        assert_eq!(ins, vec![0.0]);
+        // Above the buffer: current is just the wire's own.
+        assert!((state.current - 20e-6).abs() < 1e-12);
+        assert!(state.slack <= 0.9);
+    }
+}

@@ -1,0 +1,578 @@
+//! The van Ginneken-style dynamic-programming engine shared by
+//! [`crate::delayopt`] (no noise checks — the paper's baseline) and
+//! [`crate::buffopt`] (Algorithm 3).
+//!
+//! Candidates are the paper's 5-tuples `(C, q, I, NS, M)` extended with the
+//! Lillis buffer count, so one bottom-up pass yields the best solution *for
+//! every number of buffers* (`DelayOpt(k)`, Problem 3):
+//!
+//! * `C` — downstream load capacitance seen at the node (eq. 1);
+//! * `q` — timing slack `min (RAT − delay)` over downstream sinks (eq. 5);
+//! * `I` — downstream coupling current (eq. 7);
+//! * `NS` — noise slack (eq. 12);
+//! * `M` — the partial solution, held as a persistent set (footnote 7).
+//!
+//! The noise modifications (boldface in the paper's Fig. 10/11) are:
+//! a buffer is only inserted when it can legally drive its subtree
+//! (`Rb·I ≤ NS`), candidates whose noise slack goes negative are dead and
+//! dropped, and the driver is checked at the source. Pruning follows the
+//! paper (`(C, q)` dominance per buffer count, with lower counts allowed
+//! to dominate higher ones); an optional *conservative* mode also requires
+//! `(I, NS)` dominance before discarding, which restores exactness for
+//! libraries that break Theorem 5's assumptions.
+
+use buffopt_buffers::{BufferId, BufferLibrary};
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::{NodeId, RoutingTree, Wire};
+
+use crate::candidate::PSet;
+use crate::climb::NOISE_TOL;
+use crate::error::CoreError;
+
+/// A DP candidate (paper Fig. 10: `(C, q, I, NS, M)` plus the Lillis
+/// extensions: buffer count, total buffer cost, and signal parity).
+#[derive(Debug, Clone)]
+pub(crate) struct DpCand {
+    pub cap: f64,
+    pub q: f64,
+    pub cur: f64,
+    pub ns: f64,
+    pub count: usize,
+    /// Total area/power cost of the inserted buffers.
+    pub cost: f64,
+    /// Number of signal inversions inside the subtree, mod 2. All sinks
+    /// of a candidate share it (mixed-parity merges are rejected when
+    /// polarity tracking is on).
+    pub parity: bool,
+    pub set: PSet<(NodeId, BufferId)>,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DpConfig {
+    /// Enforce noise constraints (Algorithm 3) or ignore them (DelayOpt).
+    pub noise: bool,
+    /// Hard cap on inserted buffers (`DelayOpt(k)` runs with `Some(k)`).
+    pub max_buffers: Option<usize>,
+    /// Keep candidates unless dominated in *all four* electrical
+    /// dimensions. Slower, but exact for libraries violating the paper's
+    /// Theorem 5 assumptions.
+    pub conservative: bool,
+    /// Track signal polarity through inverting buffers (Lillis): sinks
+    /// must receive the true signal, so only even-inversion paths are
+    /// legal and merges require matching parity.
+    pub polarity: bool,
+    /// Track total buffer cost and include it in dominance, enabling
+    /// minimum-power objectives. Forces pairwise pruning.
+    pub cost_aware: bool,
+}
+
+impl Default for DpConfig {
+    fn default() -> Self {
+        DpConfig {
+            noise: true,
+            max_buffers: None,
+            conservative: false,
+            polarity: false,
+            cost_aware: false,
+        }
+    }
+}
+
+/// A feasible solution observed at the source, after the driver.
+#[derive(Debug, Clone)]
+pub(crate) struct SourceCand {
+    /// Timing slack at the source including the driver gate delay.
+    pub slack: f64,
+    /// Number of inserted buffers.
+    pub count: usize,
+    /// Total cost of the inserted buffers.
+    pub cost: f64,
+    /// The insertions.
+    pub set: PSet<(NodeId, BufferId)>,
+}
+
+fn prune(cands: &mut Vec<DpCand>, cfg: &DpConfig) {
+    if cands.len() <= 1 {
+        return;
+    }
+    if cfg.conservative || cfg.cost_aware {
+        // Pairwise dominance over every tracked dimension. With
+        // `cost_aware` the cost joins the comparison; with `polarity`
+        // only same-parity candidates are comparable.
+        let noise_dims = cfg.conservative;
+        let mut keep: Vec<DpCand> = Vec::with_capacity(cands.len());
+        'outer: for c in cands.drain(..) {
+            let mut i = 0;
+            while i < keep.len() {
+                let k = &keep[i];
+                let comparable = !cfg.polarity || k.parity == c.parity;
+                let k_dominates = comparable
+                    && k.cap <= c.cap
+                    && k.q >= c.q
+                    && (!noise_dims || (k.cur <= c.cur && k.ns >= c.ns))
+                    && k.count <= c.count
+                    && (!cfg.cost_aware || k.cost <= c.cost);
+                if k_dominates {
+                    continue 'outer;
+                }
+                let c_dominates = comparable
+                    && c.cap <= k.cap
+                    && c.q >= k.q
+                    && (!noise_dims || (c.cur <= k.cur && c.ns >= k.ns))
+                    && c.count <= k.count
+                    && (!cfg.cost_aware || c.cost <= k.cost);
+                if c_dominates {
+                    keep.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            keep.push(c);
+        }
+        *cands = keep;
+        return;
+    }
+    // Paper pruning: (C, q) dominance, where a candidate may also be
+    // dominated by one with fewer (or equal) buffers. Sort by
+    // (parity, count, cap, -q) and sweep classes in ascending count,
+    // carrying the cumulative frontier of lower counts per parity.
+    cands.sort_by(|a, b| {
+        a.parity
+            .cmp(&b.parity)
+            .then(a.count.cmp(&b.count))
+            .then(a.cap.partial_cmp(&b.cap).expect("finite caps"))
+            .then(b.q.partial_cmp(&a.q).expect("finite slacks"))
+    });
+    // cumulative frontier: (cap ascending, prefix-max q) from lower counts.
+    let mut frontier: Vec<(f64, f64)> = Vec::new();
+    let mut out: Vec<DpCand> = Vec::new();
+    let mut i = 0;
+    let n = cands.len();
+    while i < n {
+        let count = cands[i].count;
+        let parity = cands[i].parity;
+        if i > 0 && cands[i - 1].parity != parity {
+            frontier.clear(); // parities are incomparable
+        }
+        let mut class_survivors: Vec<DpCand> = Vec::new();
+        let mut best_q = f64::NEG_INFINITY;
+        while i < n && cands[i].count == count && cands[i].parity == parity {
+            let c = &cands[i];
+            // In-class sweep: caps ascend, so c survives the class iff its
+            // q strictly exceeds everything cheaper seen so far...
+            let dominated_in_class = c.q <= best_q;
+            // ...and the cumulative lower-count frontier: max q among
+            // entries with cap ≤ c.cap.
+            let dominated_cross = frontier_max_q(&frontier, c.cap) >= c.q;
+            if !dominated_in_class && !dominated_cross {
+                best_q = c.q;
+                class_survivors.push(c.clone());
+            }
+            i += 1;
+        }
+        for c in &class_survivors {
+            frontier_insert(&mut frontier, c.cap, c.q);
+        }
+        out.extend(class_survivors);
+    }
+    *cands = out;
+}
+
+/// Max `q` among frontier entries with `cap ≤ limit` (−∞ if none).
+fn frontier_max_q(frontier: &[(f64, f64)], limit: f64) -> f64 {
+    // frontier is sorted by cap ascending with strictly increasing prefix
+    // max q (we store the running max directly).
+    match frontier.binary_search_by(|&(cap, _)| {
+        cap.partial_cmp(&limit).expect("finite caps")
+    }) {
+        Ok(mut idx) => {
+            // Multiple equal caps collapse on insert; step to the entry.
+            while idx + 1 < frontier.len() && frontier[idx + 1].0 <= limit {
+                idx += 1;
+            }
+            frontier[idx].1
+        }
+        Err(0) => f64::NEG_INFINITY,
+        Err(idx) => frontier[idx - 1].1,
+    }
+}
+
+/// Inserts `(cap, q)` keeping caps ascending and q the running prefix max.
+fn frontier_insert(frontier: &mut Vec<(f64, f64)>, cap: f64, q: f64) {
+    let pos = frontier
+        .binary_search_by(|&(c, _)| c.partial_cmp(&cap).expect("finite caps"))
+        .unwrap_or_else(|e| e);
+    // q must beat the prefix max to matter.
+    let prefix = if pos == 0 {
+        f64::NEG_INFINITY
+    } else {
+        frontier[pos - 1].1
+    };
+    if q <= prefix {
+        return;
+    }
+    frontier.insert(pos, (cap, q.max(prefix)));
+    // Fix running max downstream and drop obsolete entries.
+    let mut run = q.max(prefix);
+    let mut j = pos + 1;
+    while j < frontier.len() {
+        if frontier[j].1 <= run {
+            frontier.remove(j);
+        } else {
+            run = frontier[j].1;
+            j += 1;
+        }
+    }
+}
+
+/// Applies the parent wire of a node to a candidate (paper Step 6).
+fn add_wire(c: &DpCand, wire: &Wire, wire_current: f64) -> DpCand {
+    DpCand {
+        cap: c.cap + wire.capacitance,
+        q: c.q - wire.resistance * (wire.capacitance / 2.0 + c.cap),
+        cur: c.cur + wire_current,
+        ns: c.ns - wire.resistance * (wire_current / 2.0 + c.cur),
+        count: c.count,
+        cost: c.cost,
+        parity: c.parity,
+        set: c.set.clone(),
+    }
+}
+
+/// Merges the candidate lists of two children (paper Steps 3–4): loads and
+/// currents add, slacks take the minimum.
+fn merge(left: &[DpCand], right: &[DpCand], cfg: &DpConfig) -> Vec<DpCand> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    for a in left {
+        for b in right {
+            if cfg.polarity && a.parity != b.parity {
+                // Mixed-parity merge would feed one branch an inverted
+                // signal; only same-parity pairs are legal.
+                continue;
+            }
+            let count = a.count + b.count;
+            if let Some(max) = cfg.max_buffers {
+                if count > max {
+                    continue;
+                }
+            }
+            out.push(DpCand {
+                cap: a.cap + b.cap,
+                q: a.q.min(b.q),
+                cur: a.cur + b.cur,
+                ns: a.ns.min(b.ns),
+                count,
+                cost: a.cost + b.cost,
+                parity: a.parity,
+                set: a.set.join(&b.set),
+            });
+        }
+    }
+    out
+}
+
+/// Buffer-insertion step at a feasible node (paper Step 5 with the
+/// boldface noise guard): for every buffer type and every count class,
+/// the candidate producing the largest post-buffer slack — such that the
+/// buffer can legally drive the subtree — spawns a new candidate.
+fn insert_buffers(
+    v: NodeId,
+    cands: &mut Vec<DpCand>,
+    lib: &BufferLibrary,
+    cfg: &DpConfig,
+) {
+    let mut fresh: Vec<DpCand> = Vec::new();
+    for (bid, buf) in lib.entries() {
+        // Best per (count, parity) class. With cost tracking, different
+        // downstream costs are incomparable, so every feasible candidate
+        // spawns one (pairwise pruning collapses the list afterwards).
+        let mut best: Vec<Option<(f64, usize)>> = Vec::new(); // q_new, index
+        for (idx, c) in cands.iter().enumerate() {
+            if let Some(max) = cfg.max_buffers {
+                if c.count + 1 > max {
+                    continue;
+                }
+            }
+            if cfg.noise && buf.resistance * c.cur > c.ns + NOISE_TOL {
+                continue; // the buffer would violate downstream noise
+            }
+            let q_new = c.q - buf.delay(c.cap);
+            if cfg.cost_aware {
+                fresh.push(buffered_candidate(v, c, bid, buf, q_new));
+                continue;
+            }
+            let class = 2 * c.count + usize::from(c.parity);
+            if best.len() <= class {
+                best.resize(class + 1, None);
+            }
+            let slot = &mut best[class];
+            if slot.is_none_or(|(bq, _)| q_new > bq) {
+                *slot = Some((q_new, idx));
+            }
+        }
+        for slot in best.into_iter().flatten() {
+            let (q_new, idx) = slot;
+            let c = &cands[idx];
+            fresh.push(buffered_candidate(v, c, bid, buf, q_new));
+        }
+    }
+    cands.extend(fresh);
+}
+
+/// The candidate created by placing buffer `bid` at `v` on top of `c`.
+fn buffered_candidate(
+    v: NodeId,
+    c: &DpCand,
+    bid: BufferId,
+    buf: &buffopt_buffers::BufferType,
+    q_new: f64,
+) -> DpCand {
+    DpCand {
+        cap: buf.input_capacitance,
+        q: q_new,
+        cur: 0.0,
+        ns: buf.noise_margin,
+        count: c.count + 1,
+        cost: c.cost + buf.cost,
+        parity: c.parity ^ buf.inverting,
+        set: c.set.insert((v, bid)),
+    }
+}
+
+/// Runs the DP over `tree` and returns every feasible source solution,
+/// reduced to the best slack per buffer count (ascending count).
+///
+/// With `cfg.noise` set, `scenario` must match the tree and all returned
+/// solutions satisfy every noise constraint.
+pub(crate) fn run(
+    tree: &RoutingTree,
+    scenario: Option<&NoiseScenario>,
+    lib: &BufferLibrary,
+    cfg: &DpConfig,
+) -> Result<Vec<SourceCand>, CoreError> {
+    if lib.is_empty() {
+        return Err(CoreError::EmptyLibrary);
+    }
+    if let Some(s) = scenario {
+        if s.len() != tree.len() {
+            return Err(CoreError::ScenarioMismatch {
+                tree_len: tree.len(),
+                scenario_len: s.len(),
+            });
+        }
+    }
+    debug_assert!(
+        !cfg.noise || scenario.is_some(),
+        "noise mode requires a scenario"
+    );
+    let wire_current = |v: NodeId| -> f64 {
+        scenario.map_or(0.0, |s| s.wire_current(tree, v))
+    };
+
+    let mut lists: Vec<Option<Vec<DpCand>>> = vec![None; tree.len()];
+    for v in tree.postorder() {
+        let mut cands: Vec<DpCand> = if let Some(spec) = tree.sink_spec(v) {
+            vec![DpCand {
+                cap: spec.capacitance,
+                q: spec.required_arrival_time,
+                cur: 0.0,
+                ns: spec.noise_margin,
+                count: 0,
+                cost: 0.0,
+                parity: false,
+                set: PSet::empty(),
+            }]
+        } else {
+            // Wire-adjust each child list up to v, then merge.
+            let mut climbed: Vec<Vec<DpCand>> = Vec::new();
+            for &c in tree.children(v) {
+                let wire = tree.parent_wire(c).expect("child has wire");
+                let iw = wire_current(c);
+                let list = lists[c.index()].take().expect("postorder order");
+                let adjusted: Vec<DpCand> = list
+                    .iter()
+                    .map(|cand| add_wire(cand, wire, iw))
+                    .filter(|cand| !cfg.noise || cand.ns >= -NOISE_TOL)
+                    .collect();
+                if adjusted.is_empty() {
+                    return Err(CoreError::NoFeasibleCandidate);
+                }
+                climbed.push(adjusted);
+            }
+            match climbed.len() {
+                1 => climbed.pop().expect("one child"),
+                2 => {
+                    let right = climbed.pop().expect("two children");
+                    let left = climbed.pop().expect("two children");
+                    let merged = merge(&left, &right, cfg);
+                    if merged.is_empty() {
+                        return Err(CoreError::NoFeasibleCandidate);
+                    }
+                    merged
+                }
+                _ => unreachable!("trees are binary and internals have children"),
+            }
+        };
+        if tree.node(v).kind.is_feasible_site() {
+            insert_buffers(v, &mut cands, lib, cfg);
+        }
+        prune(&mut cands, cfg);
+        lists[v.index()] = Some(cands);
+    }
+
+    // The driver (paper Fig. 10 Steps 2–4).
+    let d = tree.driver();
+    let source_list = lists[tree.source().index()].take().expect("source");
+    let mut out: Vec<SourceCand> = Vec::new();
+    for c in source_list {
+        if cfg.noise && d.resistance * c.cur > c.ns + NOISE_TOL {
+            continue;
+        }
+        if cfg.polarity && c.parity {
+            continue; // sinks would receive the complemented signal
+        }
+        let slack = c.q - (d.intrinsic_delay + d.resistance * c.cap);
+        out.push(SourceCand {
+            slack,
+            count: c.count,
+            cost: c.cost,
+            set: c.set,
+        });
+    }
+    // Reduce: drop solutions dominated in (slack, count, cost).
+    out.sort_by(|a, b| {
+        a.count
+            .cmp(&b.count)
+            .then(a.cost.partial_cmp(&b.cost).expect("finite costs"))
+            .then(b.slack.partial_cmp(&a.slack).expect("finite slacks"))
+    });
+    let mut reduced: Vec<SourceCand> = Vec::new();
+    for c in out {
+        let dominated = reduced.iter().any(|k| {
+            k.count <= c.count && k.cost <= c.cost + 1e-12 && k.slack >= c.slack - 1e-30
+        });
+        if !dominated {
+            reduced.push(c);
+        }
+    }
+    if reduced.is_empty() {
+        return Err(CoreError::NoFeasibleCandidate);
+    }
+    Ok(reduced)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(cap: f64, q: f64, count: usize) -> DpCand {
+        DpCand {
+            cap,
+            q,
+            cur: 0.0,
+            ns: 1.0,
+            count,
+            cost: count as f64,
+            parity: false,
+            set: PSet::empty(),
+        }
+    }
+
+    #[test]
+    fn prune_keeps_2d_frontier() {
+        let cfg = DpConfig {
+            noise: false,
+            ..DpConfig::default()
+        };
+        let mut v = vec![
+            cand(1.0, 10.0, 0),
+            cand(2.0, 9.0, 0),  // dominated: more cap, less q
+            cand(0.5, 8.0, 0),  // survives: cheapest
+            cand(3.0, 12.0, 0), // survives: best q
+        ];
+        prune(&mut v, &cfg);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn prune_lower_count_dominates_higher() {
+        let cfg = DpConfig {
+            noise: false,
+            ..DpConfig::default()
+        };
+        let mut v = vec![cand(1.0, 10.0, 0), cand(1.5, 9.0, 2), cand(0.9, 11.0, 1)];
+        // count-2 candidate is worse than count-0 in cap and q: dropped.
+        prune(&mut v, &cfg);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|c| c.count != 2));
+    }
+
+    #[test]
+    fn prune_conservative_keeps_noise_diverse() {
+        let cfg = DpConfig {
+            noise: true,
+            conservative: true,
+            ..DpConfig::default()
+        };
+        let mut a = cand(1.0, 10.0, 0);
+        a.cur = 1e-3;
+        a.ns = 0.1; // bad noise, good timing
+        let mut b = cand(2.0, 8.0, 0);
+        b.cur = 1e-6;
+        b.ns = 0.8; // good noise, worse timing
+        let mut v = vec![a, b];
+        prune(&mut v, &cfg);
+        assert_eq!(v.len(), 2, "conservative mode keeps the noise-clean one");
+    }
+
+    #[test]
+    fn paper_prune_would_drop_the_noise_clean_one() {
+        let cfg = DpConfig {
+            noise: true,
+            conservative: false,
+            ..DpConfig::default()
+        };
+        let mut a = cand(1.0, 10.0, 0);
+        a.cur = 1e-3;
+        a.ns = 0.1;
+        let mut b = cand(2.0, 8.0, 0);
+        b.cur = 1e-6;
+        b.ns = 0.8;
+        let mut v = vec![a, b];
+        prune(&mut v, &cfg);
+        assert_eq!(v.len(), 1, "paper pruning is (C, q) only");
+    }
+
+    #[test]
+    fn frontier_queries() {
+        let mut f: Vec<(f64, f64)> = Vec::new();
+        frontier_insert(&mut f, 2.0, 5.0);
+        frontier_insert(&mut f, 1.0, 3.0);
+        frontier_insert(&mut f, 3.0, 4.0); // obsolete: q below prefix max
+        assert_eq!(frontier_max_q(&f, 0.5), f64::NEG_INFINITY);
+        assert!((frontier_max_q(&f, 1.0) - 3.0).abs() < 1e-12);
+        assert!((frontier_max_q(&f, 2.5) - 5.0).abs() < 1e-12);
+        assert!((frontier_max_q(&f, 10.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_wire_matches_formulas() {
+        let c = DpCand {
+            cap: 10e-15,
+            q: 1e-9,
+            cur: 5e-6,
+            ns: 0.5,
+            count: 0,
+            cost: 0.0,
+            parity: false,
+            set: PSet::empty(),
+        };
+        let w = Wire::from_rc(100.0, 40e-15, 200.0);
+        let out = add_wire(&c, &w, 8e-6);
+        assert!((out.cap - 50e-15).abs() < 1e-27);
+        assert!((out.q - (1e-9 - 100.0 * (20e-15 + 10e-15))).abs() < 1e-21);
+        assert!((out.cur - 13e-6).abs() < 1e-15);
+        assert!((out.ns - (0.5 - 100.0 * (4e-6 + 5e-6))).abs() < 1e-12);
+    }
+}

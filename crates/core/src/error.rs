@@ -1,0 +1,103 @@
+use std::error::Error;
+use std::fmt;
+
+use buffopt_tree::{NodeId, TreeError};
+
+/// Error raised by the buffer-insertion algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The buffer library is empty; every algorithm needs at least one
+    /// buffer type.
+    EmptyLibrary,
+    /// Algorithm 1 requires a single-sink net (a chain from source to one
+    /// sink); the offending node has more than one child.
+    NotSingleSink(NodeId),
+    /// No buffer placement can satisfy the noise constraints. Carried node
+    /// is where the contradiction surfaced (e.g. a sink whose margin is
+    /// below the buffer-driven noise floor, or the source for a driver that
+    /// no insertion can relieve).
+    NoiseUnfixable(NodeId),
+    /// The dynamic program ended with no candidate satisfying the
+    /// constraints (noise, polarity, or buffer-count cap).
+    NoFeasibleCandidate,
+    /// The provided noise scenario does not match the tree (length
+    /// mismatch); it was probably built for a different tree.
+    ScenarioMismatch {
+        /// Nodes in the tree.
+        tree_len: usize,
+        /// Entries in the scenario.
+        scenario_len: usize,
+    },
+    /// A tree transformation failed while materializing a solution.
+    Tree(TreeError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyLibrary => write!(f, "buffer library is empty"),
+            CoreError::NotSingleSink(v) => {
+                write!(f, "net is not single-sink: node {v} branches")
+            }
+            CoreError::NoiseUnfixable(v) => {
+                write!(f, "noise constraints cannot be satisfied (detected at {v})")
+            }
+            CoreError::NoFeasibleCandidate => {
+                write!(f, "no candidate satisfies all constraints")
+            }
+            CoreError::ScenarioMismatch {
+                tree_len,
+                scenario_len,
+            } => write!(
+                f,
+                "noise scenario covers {scenario_len} nodes but tree has {tree_len}"
+            ),
+            CoreError::Tree(e) => write!(f, "tree transformation failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Tree(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TreeError> for CoreError {
+    fn from(e: TreeError) -> Self {
+        CoreError::Tree(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::ScenarioMismatch {
+            tree_len: 5,
+            scenario_len: 3,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn tree_error_converts_and_chains() {
+        let inner = TreeError::NoSinks;
+        let e: CoreError = inner.clone().into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("no sinks"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

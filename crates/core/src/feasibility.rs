@@ -1,0 +1,224 @@
+//! Pre-flight checks: do the paper's optimality assumptions hold for this
+//! (tree, library) pair, and is a noise fix possible at all?
+//!
+//! Theorem 5 proves Algorithm 3 optimal when the library has a single
+//! buffer `b` with `Cin(b) ≤ min sink capacitance` and
+//! `NM(b) ≥ max sink noise margin`; Section IV-C discusses what can go
+//! wrong otherwise (a large-`Cin` buffer is instantly pruned; paper
+//! pruning may drop noise-feasible candidates). [`check_theorem5`] reports
+//! which assumptions fail so a caller can decide between the default and
+//! the conservative pruning mode.
+
+use buffopt_buffers::BufferLibrary;
+use buffopt_noise::theorem1::{max_unbuffered_length, MaxLength};
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::RoutingTree;
+
+/// One violated Theorem 5 assumption.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Theorem5Issue {
+    /// The library holds more than one buffer type (optimality is then
+    /// only empirical — within ~2 % in the paper's Table IV).
+    MultipleBufferTypes {
+        /// Library size.
+        count: usize,
+    },
+    /// A buffer's input capacitance exceeds some sink's pin capacitance.
+    InputCapAboveSink {
+        /// Offending buffer name.
+        buffer: String,
+        /// The buffer's input capacitance (F).
+        input_capacitance: f64,
+        /// The smallest sink capacitance in the tree (F).
+        min_sink_capacitance: f64,
+    },
+    /// A buffer's noise margin is below some sink's margin.
+    MarginBelowSink {
+        /// Offending buffer name.
+        buffer: String,
+        /// The buffer's noise margin (V).
+        noise_margin: f64,
+        /// The largest sink margin in the tree (V).
+        max_sink_margin: f64,
+    },
+}
+
+impl std::fmt::Display for Theorem5Issue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Theorem5Issue::MultipleBufferTypes { count } => {
+                write!(f, "library has {count} buffer types (theorem assumes one)")
+            }
+            Theorem5Issue::InputCapAboveSink {
+                buffer,
+                input_capacitance,
+                min_sink_capacitance,
+            } => write!(
+                f,
+                "buffer {buffer} input capacitance {input_capacitance:.3e} F exceeds \
+                 the smallest sink capacitance {min_sink_capacitance:.3e} F"
+            ),
+            Theorem5Issue::MarginBelowSink {
+                buffer,
+                noise_margin,
+                max_sink_margin,
+            } => write!(
+                f,
+                "buffer {buffer} noise margin {noise_margin} V is below the largest \
+                 sink margin {max_sink_margin} V"
+            ),
+        }
+    }
+}
+
+/// Checks the Theorem 5 assumptions of `lib` against `tree`. An empty
+/// result means Algorithm 3 is provably optimal on this instance; any
+/// entry suggests enabling
+/// [`conservative_pruning`](crate::buffopt::BuffOptOptions).
+pub fn check_theorem5(tree: &RoutingTree, lib: &BufferLibrary) -> Vec<Theorem5Issue> {
+    let mut issues = Vec::new();
+    if lib.len() > 1 {
+        issues.push(Theorem5Issue::MultipleBufferTypes { count: lib.len() });
+    }
+    let min_sink_cap = tree
+        .sinks()
+        .iter()
+        .filter_map(|&s| tree.sink_spec(s).map(|x| x.capacitance))
+        .fold(f64::INFINITY, f64::min);
+    let max_sink_margin = tree
+        .sinks()
+        .iter()
+        .filter_map(|&s| tree.sink_spec(s).map(|x| x.noise_margin))
+        .fold(0.0f64, f64::max);
+    for b in lib.iter() {
+        if b.input_capacitance > min_sink_cap {
+            issues.push(Theorem5Issue::InputCapAboveSink {
+                buffer: b.name.clone(),
+                input_capacitance: b.input_capacitance,
+                min_sink_capacitance: min_sink_cap,
+            });
+        }
+        if b.noise_margin < max_sink_margin {
+            issues.push(Theorem5Issue::MarginBelowSink {
+                buffer: b.name.clone(),
+                noise_margin: b.noise_margin,
+                max_sink_margin,
+            });
+        }
+    }
+    issues
+}
+
+/// A quick necessary-condition screen for noise fixability: every wire's
+/// candidate-site spacing must stay below the Theorem 1 bound achievable
+/// with the library's best buffer from a *clean* state (`I = 0`,
+/// `NS = NM_b`). Returns the wires (by lower-node id) whose span exceeds
+/// that bound — each needs finer segmenting (or is hopeless if already at
+/// the geometric limit).
+///
+/// This is necessary, not sufficient: currents accumulated at merges can
+/// tighten spacing further.
+pub fn screen_segment_spacing(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+) -> Vec<buffopt_tree::NodeId> {
+    let Some(bid) = lib.min_resistance() else {
+        return tree
+            .node_ids()
+            .filter(|&v| tree.parent_wire(v).is_some())
+            .collect();
+    };
+    let buf = lib.buffer(bid);
+    let mut flagged = Vec::new();
+    for v in tree.node_ids() {
+        let Some(w) = tree.parent_wire(v) else { continue };
+        if w.length <= 0.0 || w.capacitance <= 0.0 {
+            continue;
+        }
+        let r = w.resistance / w.length;
+        let i = scenario.factor(v) * w.capacitance / w.length;
+        match max_unbuffered_length(buf.resistance, r, i, 0.0, buf.noise_margin) {
+            MaxLength::Bounded(l) if w.length > l + 1e-9 => flagged.push(v),
+            MaxLength::Infeasible => flagged.push(v),
+            _ => {}
+        }
+    }
+    flagged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffopt_buffers::{catalog, BufferLibrary, BufferType};
+    use buffopt_tree::{segment, Driver, SinkSpec, Technology, TreeBuilder};
+
+    fn net(len: f64) -> RoutingTree {
+        let tech = Technology::global_layer();
+        let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
+        b.add_sink(b.source(), tech.wire(len), SinkSpec::new(20e-15, 1e-9, 0.8))
+            .expect("sink");
+        b.build().expect("tree")
+    }
+
+    #[test]
+    fn good_single_buffer_passes() {
+        let t = net(5_000.0);
+        let lib = BufferLibrary::single(BufferType::new("b", 10e-15, 200.0, 20e-12, 0.9));
+        assert!(check_theorem5(&t, &lib).is_empty());
+    }
+
+    #[test]
+    fn multi_type_library_is_flagged() {
+        let t = net(5_000.0);
+        let issues = check_theorem5(&t, &catalog::ibm_like());
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, Theorem5Issue::MultipleBufferTypes { count: 11 })));
+        // The x16/x32 devices exceed the 20 fF sink pins.
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, Theorem5Issue::InputCapAboveSink { .. })));
+    }
+
+    #[test]
+    fn low_margin_buffer_is_flagged() {
+        let t = net(5_000.0);
+        let lib = BufferLibrary::single(BufferType::new("weak_nm", 5e-15, 200.0, 20e-12, 0.5));
+        let issues = check_theorem5(&t, &lib);
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].to_string().contains("0.5"));
+    }
+
+    #[test]
+    fn spacing_screen_flags_coarse_segmentation() {
+        let t = net(20_000.0);
+        let s = NoiseScenario::estimation(&t, 0.7, 7.2e9);
+        let lib = BufferLibrary::single(BufferType::new("b", 10e-15, 200.0, 20e-12, 0.9));
+        // Unsegmented 20 mm wire: hopeless.
+        assert_eq!(screen_segment_spacing(&t, &s, &lib).len(), 1);
+        // Finely segmented: clean.
+        let seg = segment::segment_wires(&t, 500.0).expect("segment");
+        let s2 = s.for_segmented(&seg);
+        assert!(screen_segment_spacing(&seg.tree, &s2, &lib).is_empty());
+    }
+
+    #[test]
+    fn quiet_scenario_never_flags() {
+        let t = net(50_000.0);
+        let s = NoiseScenario::quiet(&t);
+        let lib = BufferLibrary::single(BufferType::new("b", 10e-15, 200.0, 20e-12, 0.9));
+        assert!(screen_segment_spacing(&t, &s, &lib).is_empty());
+    }
+
+    #[test]
+    fn empty_library_flags_every_wire() {
+        let t = net(5_000.0);
+        let s = NoiseScenario::estimation(&t, 0.7, 7.2e9);
+        assert_eq!(
+            screen_segment_spacing(&t, &s, &BufferLibrary::new()).len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Materializes mid-wire buffer insertions: rebuilds a routing tree with
+//! new internal nodes at the chosen positions, carries the noise scenario
+//! over, and produces the matching [`Assignment`].
+//!
+//! Algorithms 1 and 2 place buffers at *continuous* positions along wires
+//! (the maximal distance of Theorem 1), so unlike the van Ginneken-style
+//! DP they cannot simply mark existing nodes.
+
+use buffopt_buffers::BufferId;
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::{NodeId, NodeKind, RoutingTree, TreeBuilder, Wire};
+
+use crate::assignment::Assignment;
+use crate::error::CoreError;
+
+/// A buffer placed on the parent wire of `wire` (a node of the *original*
+/// tree), `dist_from_bottom` microns above that node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct WireInsertion {
+    /// Lower endpoint of the wire carrying the buffer.
+    pub wire: NodeId,
+    /// Distance (µm) of the buffer above the wire's lower endpoint; must
+    /// lie in `[0, wire length]`.
+    pub dist_from_bottom: f64,
+    /// Which buffer to insert.
+    pub buffer: BufferId,
+}
+
+/// The output of [`rebuild_with_insertions`].
+#[derive(Debug, Clone)]
+pub(crate) struct Rebuilt {
+    /// The tree with insertion points materialized as internal nodes.
+    pub tree: RoutingTree,
+    /// The scenario carried over (pieces inherit their wire's factor).
+    pub scenario: NoiseScenario,
+    /// Buffers placed at the new nodes.
+    pub assignment: Assignment,
+    /// For each new-tree node, the original node it corresponds to
+    /// (`None` for inserted buffer positions).
+    #[allow(dead_code)] // kept for diagnostics and exercised by tests
+    pub original: Vec<Option<NodeId>>,
+}
+
+/// Rebuilds `tree` with the given insertions materialized.
+///
+/// Multiple insertions on one wire are allowed; insertions at equal
+/// distances stack adjacently with zero-length wire between them.
+pub(crate) fn rebuild_with_insertions(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    insertions: &[WireInsertion],
+) -> Result<Rebuilt, CoreError> {
+    if scenario.len() != tree.len() {
+        return Err(CoreError::ScenarioMismatch {
+            tree_len: tree.len(),
+            scenario_len: scenario.len(),
+        });
+    }
+    // Group insertions per wire, sorted by descending distance (top first —
+    // we build downward from the parent).
+    let mut per_wire: Vec<Vec<(f64, BufferId)>> = vec![Vec::new(); tree.len()];
+    for ins in insertions {
+        let w = tree
+            .parent_wire(ins.wire)
+            .ok_or(CoreError::NoiseUnfixable(ins.wire))?;
+        debug_assert!(
+            ins.dist_from_bottom >= -1e-9 && ins.dist_from_bottom <= w.length + 1e-9,
+            "insertion distance {} outside wire of length {}",
+            ins.dist_from_bottom,
+            w.length
+        );
+        per_wire[ins.wire.index()].push((ins.dist_from_bottom.clamp(0.0, w.length), ins.buffer));
+    }
+    for list in &mut per_wire {
+        list.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite distances"));
+    }
+
+    let mut builder = TreeBuilder::new(*tree.driver());
+    let mut new_of = vec![None::<NodeId>; tree.len()];
+    new_of[tree.source().index()] = Some(builder.source());
+    let mut original = vec![Some(tree.source())];
+    let mut factors = vec![0.0];
+    let mut pairs: Vec<(NodeId, BufferId)> = Vec::new();
+
+    for v in tree.preorder() {
+        if v == tree.source() {
+            continue;
+        }
+        let parent = tree.parent(v).expect("non-source");
+        let wire = *tree.parent_wire(v).expect("non-source");
+        let factor = scenario.factor(v);
+        let mut attach_to = new_of[parent.index()].expect("parent visited");
+        let mut upper_bound = wire.length; // distance of the piece's top end
+        let piece = |from: f64, to: f64| -> Wire {
+            // Piece spanning [from, to] measured from the wire bottom.
+            let span = (to - from).max(0.0);
+            let frac = if wire.length > 0.0 {
+                span / wire.length
+            } else {
+                0.0
+            };
+            Wire {
+                resistance: wire.resistance * frac,
+                capacitance: wire.capacitance * frac,
+                length: span,
+            }
+        };
+        for &(dist, buffer) in &per_wire[v.index()] {
+            let id = builder.add_internal(attach_to, piece(dist, upper_bound))?;
+            original.push(None);
+            factors.push(factor);
+            pairs.push((id, buffer));
+            attach_to = id;
+            upper_bound = dist;
+        }
+        let last = piece(0.0, upper_bound);
+        let id = match &tree.node(v).kind {
+            NodeKind::Sink(s) => builder.add_sink(attach_to, last, s.clone())?,
+            NodeKind::Internal { feasible: true } => builder.add_internal(attach_to, last)?,
+            NodeKind::Internal { feasible: false } => {
+                builder.add_infeasible_internal(attach_to, last)?
+            }
+            NodeKind::Source(_) => unreachable!("single source"),
+        };
+        original.push(Some(v));
+        factors.push(factor);
+        new_of[v.index()] = Some(id);
+    }
+
+    let new_tree = builder.build()?;
+    debug_assert_eq!(new_tree.len(), original.len());
+    let mut new_scenario = NoiseScenario::quiet(&new_tree);
+    for (i, f) in factors.iter().enumerate() {
+        new_scenario.set_factor(NodeId::from_index(i), *f);
+    }
+    let assignment = Assignment::from_pairs(&new_tree, pairs);
+    Ok(Rebuilt {
+        tree: new_tree,
+        scenario: new_scenario,
+        assignment,
+        original,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffopt_tree::{Driver, SinkSpec};
+
+    fn two_pin() -> (RoutingTree, NodeId) {
+        let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+        let s = b
+            .add_sink(
+                b.source(),
+                Wire::from_rc(500.0, 1000e-15, 2000.0),
+                SinkSpec::new(10e-15, 1e-9, 0.8),
+            )
+            .expect("sink");
+        (b.build().expect("tree"), s)
+    }
+
+    #[test]
+    fn single_insertion_splits_wire() {
+        let (t, s) = two_pin();
+        let scen = NoiseScenario::estimation(&t, 0.7, 7.2e9);
+        let r = rebuild_with_insertions(
+            &t,
+            &scen,
+            &[WireInsertion {
+                wire: s,
+                dist_from_bottom: 500.0,
+                buffer: BufferId::from_index(0),
+            }],
+        )
+        .expect("rebuild");
+        assert_eq!(r.tree.len(), 3);
+        assert_eq!(r.assignment.count(), 1);
+        // Totals preserved.
+        assert!((r.tree.total_wire_length() - 2000.0).abs() < 1e-9);
+        assert!((r.tree.total_capacitance() - t.total_capacitance()).abs() < 1e-27);
+        // The buffer node sits 500 µm above the sink.
+        let (buf_node, _) = r.assignment.iter().next().expect("one buffer");
+        let sink = r.tree.sinks()[0];
+        assert_eq!(r.tree.parent(sink), Some(buf_node));
+        assert!((r.tree.parent_wire(sink).expect("wire").length - 500.0).abs() < 1e-9);
+        assert!(
+            (r.tree.parent_wire(buf_node).expect("wire").length - 1500.0).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn multiple_insertions_order_top_down() {
+        let (t, s) = two_pin();
+        let scen = NoiseScenario::quiet(&t);
+        let mk = |d: f64| WireInsertion {
+            wire: s,
+            dist_from_bottom: d,
+            buffer: BufferId::from_index(0),
+        };
+        let r = rebuild_with_insertions(&t, &scen, &[mk(400.0), mk(1200.0), mk(1800.0)])
+            .expect("rebuild");
+        assert_eq!(r.assignment.count(), 3);
+        // Walk down from source: wire lengths 200, 600, 800, 400.
+        let mut v = r.tree.children(r.tree.source())[0];
+        let mut lengths = vec![r.tree.parent_wire(v).expect("wire").length];
+        while let Some(&c) = r.tree.children(v).first() {
+            lengths.push(r.tree.parent_wire(c).expect("wire").length);
+            v = c;
+        }
+        let want = [200.0, 600.0, 800.0, 400.0];
+        assert_eq!(lengths.len(), want.len());
+        for (got, want) in lengths.iter().zip(want) {
+            assert!((got - want).abs() < 1e-9, "{lengths:?}");
+        }
+    }
+
+    #[test]
+    fn insertion_at_wire_top_gives_zero_upper_piece() {
+        let (t, s) = two_pin();
+        let scen = NoiseScenario::quiet(&t);
+        let r = rebuild_with_insertions(
+            &t,
+            &scen,
+            &[WireInsertion {
+                wire: s,
+                dist_from_bottom: 2000.0,
+                buffer: BufferId::from_index(0),
+            }],
+        )
+        .expect("rebuild");
+        let (buf_node, _) = r.assignment.iter().next().expect("one buffer");
+        assert!(r.tree.parent_wire(buf_node).expect("wire").length.abs() < 1e-9);
+        assert_eq!(r.tree.parent(buf_node), Some(r.tree.source()));
+    }
+
+    #[test]
+    fn scenario_factor_carries_to_pieces() {
+        let (t, s) = two_pin();
+        let scen = NoiseScenario::estimation(&t, 0.7, 7.2e9);
+        let r = rebuild_with_insertions(
+            &t,
+            &scen,
+            &[WireInsertion {
+                wire: s,
+                dist_from_bottom: 1000.0,
+                buffer: BufferId::from_index(0),
+            }],
+        )
+        .expect("rebuild");
+        let total_before: f64 = t.node_ids().map(|v| scen.wire_current(&t, v)).sum();
+        let total_after: f64 = r
+            .tree
+            .node_ids()
+            .map(|v| r.scenario.wire_current(&r.tree, v))
+            .sum();
+        assert!((total_before - total_after).abs() < 1e-18);
+    }
+
+    #[test]
+    fn no_insertions_is_a_copy() {
+        let (t, _) = two_pin();
+        let scen = NoiseScenario::quiet(&t);
+        let r = rebuild_with_insertions(&t, &scen, &[]).expect("rebuild");
+        assert_eq!(r.tree.len(), t.len());
+        assert!(r.assignment.is_unbuffered());
+        assert_eq!(r.original, vec![Some(t.source()), Some(t.sinks()[0])]);
+    }
+}

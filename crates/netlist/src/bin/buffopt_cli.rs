@@ -1,0 +1,278 @@
+//! `buffopt-cli` — fix the noise and timing of a `.net` file from the
+//! command line.
+//!
+//! ```text
+//! buffopt-cli NET_FILE [--segment UM] [--mode p2|p3|cost|noise|greedy]
+//!             [--lib ibm|single] [--polarity] [--conservative] [--verify]
+//!             [--dump]
+//! ```
+//!
+//! * `--segment UM` — Alpert–Devgan wire segmenting pitch (default 500);
+//! * `--mode` — `p3` (default): fewest buffers meeting noise+timing;
+//!   `p2`: maximize slack under noise constraints; `cost`: cheapest
+//!   buffers meeting both; `noise`: pure noise avoidance (Algorithm 2,
+//!   continuous positions); `greedy`: the related-work iterative
+//!   single-buffer baseline (for comparison — expect more buffers);
+//! * `--lib` — the 11-buffer IBM-like catalog (default) or a single type;
+//! * `--polarity` — enforce the inverting-buffer pairing rule;
+//! * `--conservative` — exact 4-D pruning;
+//! * `--verify` — run the transient-simulation referee on the result;
+//! * `--dump` — print the parsed routing tree before optimizing.
+
+use std::process::ExitCode;
+
+use buffopt::buffopt::{self as algo3, BuffOptOptions};
+use buffopt::iterative::{self, IterativeOptions};
+use buffopt::{algorithm2, audit, Assignment};
+use buffopt_buffers::{catalog, BufferLibrary};
+use buffopt_netlist::parse;
+use buffopt_noise::NoiseScenario;
+use buffopt_sim::referee::{self, RefereeOptions};
+use buffopt_tree::{segment, RoutingTree};
+
+struct Args {
+    file: String,
+    segment: f64,
+    mode: Mode,
+    library: BufferLibrary,
+    polarity: bool,
+    conservative: bool,
+    verify: bool,
+    dump: bool,
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    P2,
+    P3,
+    Cost,
+    Noise,
+    Greedy,
+}
+
+fn usage() -> String {
+    "usage: buffopt-cli NET_FILE [--segment UM] [--mode p2|p3|cost|noise|greedy] \
+     [--lib ibm|single] [--polarity] [--conservative] [--verify] [--dump]"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut file = None;
+    let mut segment = 500.0;
+    let mut mode = Mode::P3;
+    let mut library = catalog::ibm_like();
+    let mut polarity = false;
+    let mut conservative = false;
+    let mut verify = false;
+    let mut dump = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--segment" => {
+                let v = it.next().ok_or_else(usage)?;
+                segment = v.parse().map_err(|_| format!("bad --segment {v:?}"))?;
+            }
+            "--mode" => {
+                mode = match it.next().as_deref() {
+                    Some("p2") => Mode::P2,
+                    Some("p3") => Mode::P3,
+                    Some("cost") => Mode::Cost,
+                    Some("noise") => Mode::Noise,
+                    Some("greedy") => Mode::Greedy,
+                    other => return Err(format!("bad --mode {other:?}")),
+                };
+            }
+            "--lib" => {
+                library = match it.next().as_deref() {
+                    Some("ibm") => catalog::ibm_like(),
+                    Some("single") => catalog::single_buffer(),
+                    other => return Err(format!("bad --lib {other:?}")),
+                };
+            }
+            "--polarity" => polarity = true,
+            "--conservative" => conservative = true,
+            "--verify" => verify = true,
+            "--dump" => dump = true,
+            "--help" | "-h" => return Err(usage()),
+            other if file.is_none() && !other.starts_with('-') => {
+                file = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        file: file.ok_or_else(usage)?,
+        segment,
+        mode,
+        library,
+        polarity,
+        conservative,
+        verify,
+        dump,
+    })
+}
+
+fn report(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    assignment: &Assignment,
+    verify: bool,
+) -> bool {
+    let d = audit::delay(tree, lib, assignment);
+    let n = audit::noise(tree, scenario, lib, assignment);
+    println!(
+        "buffers: {} (cost {:.0}), max delay {:.1} ps, timing slack {:+.1} ps, \
+         worst noise headroom {:+.1} mV",
+        assignment.count(),
+        assignment.total_cost(lib) + 0.0, // normalizes -0.0 in the output
+        d.max_delay() * 1e12,
+        d.slack * 1e12,
+        n.worst_headroom() * 1e3
+    );
+    for (node, b) in assignment.iter() {
+        println!("  place {} at {}", lib.buffer(b).name, node);
+    }
+    let mut ok = !n.has_violation();
+    if verify {
+        let ropts = RefereeOptions::default();
+        let mut worst = 0.0f64;
+        let mut sim_ok = true;
+        for stage in audit::stages(tree, lib, assignment) {
+            if stage.ends.is_empty() {
+                continue;
+            }
+            let ends: Vec<_> = stage.ends.iter().map(|&(nd, _, c)| (nd, c)).collect();
+            match referee::stage_peak_noise(
+                tree,
+                scenario,
+                stage.root,
+                stage.gate_resistance,
+                &ends,
+                &ropts,
+            ) {
+                Ok(peaks) => {
+                    for (m, &(_, margin, _)) in peaks.iter().zip(&stage.ends) {
+                        worst = worst.max(m.peak);
+                        if m.peak > margin {
+                            sim_ok = false;
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("simulation failed: {e}");
+                    sim_ok = false;
+                }
+            }
+        }
+        println!(
+            "simulation referee: worst stage peak {:.1} mV — {}",
+            worst * 1e3,
+            if sim_ok { "clean" } else { "VIOLATING" }
+        );
+        ok &= sim_ok;
+    }
+    ok
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.file);
+            return ExitCode::from(2);
+        }
+    };
+    let net = match parse(&text) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "net {}: {} sinks, {:.1} mm wire, {:.1} fF",
+        net.name.as_deref().unwrap_or("(unnamed)"),
+        net.tree.sinks().len(),
+        net.tree.total_wire_length() / 1000.0,
+        net.tree.total_capacitance() * 1e15
+    );
+    if args.dump {
+        print!("{}", buffopt_tree::render(&net.tree));
+    }
+
+    if args.mode == Mode::Noise {
+        // Continuous-position noise avoidance on the raw tree.
+        match algorithm2::avoid_noise(&net.tree, &net.scenario, &args.library) {
+            Ok(sol) => {
+                let ok = report(
+                    &sol.tree,
+                    &sol.scenario,
+                    &args.library,
+                    &sol.assignment,
+                    args.verify,
+                );
+                return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            }
+            Err(e) => {
+                eprintln!("noise avoidance failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let seg = match segment::segment_wires(&net.tree, args.segment) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("segmenting failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let scenario = net.scenario.for_segmented(&seg);
+    let tree = seg.tree;
+    let opts = BuffOptOptions {
+        max_buffers: None,
+        conservative_pruning: args.conservative,
+        polarity_aware: args.polarity,
+    };
+    let sol = match args.mode {
+        Mode::P2 => algo3::optimize(&tree, &scenario, &args.library, &opts),
+        Mode::P3 => algo3::min_buffers(&tree, &scenario, &args.library, &opts),
+        Mode::Cost => algo3::min_cost(&tree, &scenario, &args.library, &opts),
+        Mode::Greedy => iterative::optimize(
+            &tree,
+            &scenario,
+            &args.library,
+            &IterativeOptions {
+                noise: true,
+                max_buffers: None,
+            },
+        ),
+        Mode::Noise => unreachable!("handled above"),
+    };
+    match sol {
+        Ok(sol) => {
+            let ok = report(&tree, &scenario, &args.library, &sol.assignment, args.verify)
+                && sol.slack >= 0.0;
+            if sol.slack < 0.0 {
+                eprintln!("warning: timing not met (slack {:.1} ps)", sol.slack * 1e12);
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("optimization failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,609 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::{Driver, NodeId, RoutingTree, SinkSpec, TreeBuilder, Wire};
+
+/// A net loaded from the text format.
+#[derive(Debug, Clone)]
+pub struct ParsedNet {
+    /// Optional net name (`net` line).
+    pub name: Option<String>,
+    /// The routing tree.
+    pub tree: RoutingTree,
+    /// Per-wire coupling factors.
+    pub scenario: NoiseScenario,
+    /// Node names in [`NodeId`] order (binarization dummies get `None`).
+    pub node_names: Vec<Option<String>>,
+}
+
+impl ParsedNet {
+    /// Looks up a node by its file name.
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.node_names
+            .iter()
+            .position(|n| n.as_deref() == Some(name))
+            .map(NodeId::from_index)
+    }
+}
+
+/// Error while parsing the net format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseNetError {
+    /// 1-based line number (0 for file-level problems).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseNetError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        ParseNetError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "net file invalid: {}", self.message)
+        } else {
+            write!(f, "net file line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseNetError {}
+
+#[derive(Debug)]
+struct WireLine {
+    line: usize,
+    parent: String,
+    child: String,
+    wire: Wire,
+    factor: f64,
+}
+
+#[derive(Debug)]
+struct SinkLine {
+    line: usize,
+    node: String,
+    spec: SinkSpec,
+}
+
+fn parse_f64(line: usize, what: &str, token: &str) -> Result<f64, ParseNetError> {
+    if token.eq_ignore_ascii_case("inf") {
+        return Ok(f64::INFINITY);
+    }
+    token
+        .parse::<f64>()
+        .map_err(|_| ParseNetError::at(line, format!("invalid {what}: {token:?}")))
+}
+
+/// Parses a net from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseNetError`] with the offending line for syntax errors,
+/// duplicate definitions, cycles, unreachable nodes, leaves without sink
+/// specs, or sink specs on internal nodes.
+pub fn parse(text: &str) -> Result<ParsedNet, ParseNetError> {
+    let mut name: Option<String> = None;
+    let mut driver: Option<(usize, Driver)> = None;
+    let mut wires: Vec<WireLine> = Vec::new();
+    let mut sinks: Vec<SinkLine> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "net" => {
+                if tokens.len() != 2 {
+                    return Err(ParseNetError::at(lno, "expected: net NAME"));
+                }
+                name = Some(tokens[1].to_string());
+            }
+            "driver" => {
+                if tokens.len() != 3 {
+                    return Err(ParseNetError::at(lno, "expected: driver R D"));
+                }
+                if driver.is_some() {
+                    return Err(ParseNetError::at(lno, "duplicate driver line"));
+                }
+                let r = parse_f64(lno, "driver resistance", tokens[1])?;
+                let d = parse_f64(lno, "driver intrinsic delay", tokens[2])?;
+                let drv = Driver::try_new(r, d)
+                    .map_err(|e| ParseNetError::at(lno, e.to_string()))?;
+                driver = Some((lno, drv));
+            }
+            "wire" => {
+                if !(6..=7).contains(&tokens.len()) {
+                    return Err(ParseNetError::at(
+                        lno,
+                        "expected: wire PARENT CHILD R C LENGTH [FACTOR]",
+                    ));
+                }
+                let r = parse_f64(lno, "wire resistance", tokens[3])?;
+                let c = parse_f64(lno, "wire capacitance", tokens[4])?;
+                let l = parse_f64(lno, "wire length", tokens[5])?;
+                let factor = if tokens.len() == 7 {
+                    parse_f64(lno, "coupling factor", tokens[6])?
+                } else {
+                    0.0
+                };
+                if !(factor.is_finite() && factor >= 0.0) {
+                    return Err(ParseNetError::at(lno, "coupling factor must be ≥ 0"));
+                }
+                let wire = Wire::try_from_rc(r, c, l)
+                    .map_err(|e| ParseNetError::at(lno, e.to_string()))?;
+                if tokens[2] == "source" {
+                    return Err(ParseNetError::at(lno, "the source cannot be a wire child"));
+                }
+                wires.push(WireLine {
+                    line: lno,
+                    parent: tokens[1].to_string(),
+                    child: tokens[2].to_string(),
+                    wire,
+                    factor,
+                });
+            }
+            "sink" => {
+                if tokens.len() != 5 {
+                    return Err(ParseNetError::at(lno, "expected: sink NODE CAP RAT NM"));
+                }
+                let cap = parse_f64(lno, "sink capacitance", tokens[2])?;
+                let rat = parse_f64(lno, "required arrival time", tokens[3])?;
+                let nm = parse_f64(lno, "noise margin", tokens[4])?;
+                let spec = SinkSpec::try_new(cap, rat, nm)
+                    .map_err(|e| ParseNetError::at(lno, e.to_string()))?;
+                sinks.push(SinkLine {
+                    line: lno,
+                    node: tokens[1].to_string(),
+                    spec,
+                });
+            }
+            other => {
+                return Err(ParseNetError::at(lno, format!("unknown directive {other:?}")));
+            }
+        }
+    }
+
+    let (_, driver) =
+        driver.ok_or_else(|| ParseNetError::at(0, "missing driver line"))?;
+    if wires.is_empty() {
+        return Err(ParseNetError::at(0, "no wires"));
+    }
+
+    // Adjacency and duplicate-parent detection.
+    let mut children: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut seen_child: HashMap<&str, usize> = HashMap::new();
+    for (i, w) in wires.iter().enumerate() {
+        if let Some(&first) = seen_child.get(w.child.as_str()) {
+            return Err(ParseNetError::at(
+                w.line,
+                format!(
+                    "node {:?} already has a parent (line {})",
+                    w.child, wires[first].line
+                ),
+            ));
+        }
+        seen_child.insert(&w.child, i);
+        children.entry(&w.parent).or_default().push(i);
+    }
+    let sink_of: HashMap<&str, &SinkLine> = {
+        let mut m = HashMap::new();
+        for s in &sinks {
+            if m.insert(s.node.as_str(), s).is_some() {
+                return Err(ParseNetError::at(
+                    s.line,
+                    format!("duplicate sink spec for {:?}", s.node),
+                ));
+            }
+        }
+        m
+    };
+    for s in &sinks {
+        if !seen_child.contains_key(s.node.as_str()) {
+            return Err(ParseNetError::at(
+                s.line,
+                format!("sink {:?} is not the child of any wire", s.node),
+            ));
+        }
+        if children.contains_key(s.node.as_str()) {
+            return Err(ParseNetError::at(
+                s.line,
+                format!("sink {:?} has children; sinks must be leaves", s.node),
+            ));
+        }
+    }
+
+    // BFS from "source", building the tree.
+    let mut builder = TreeBuilder::new(driver);
+    let mut names: Vec<Option<String>> = vec![Some("source".to_string())];
+    let mut factors: Vec<f64> = vec![0.0];
+    let mut placed = vec![false; wires.len()];
+    let mut queue: Vec<(String, NodeId)> =
+        vec![("source".to_string(), builder.source())];
+    while let Some((pname, pid)) = queue.pop() {
+        let Some(kids) = children.get(pname.as_str()) else {
+            continue;
+        };
+        for &wi in kids {
+            let w = &wires[wi];
+            placed[wi] = true;
+            let id = if let Some(s) = sink_of.get(w.child.as_str()) {
+                builder
+                    .add_sink(pid, w.wire, s.spec.clone().with_name(w.child.clone()))
+                    .map_err(|e| ParseNetError::at(w.line, e.to_string()))?
+            } else {
+                if !children.contains_key(w.child.as_str()) {
+                    return Err(ParseNetError::at(
+                        w.line,
+                        format!("leaf node {:?} has no sink spec", w.child),
+                    ));
+                }
+                builder
+                    .add_internal(pid, w.wire)
+                    .map_err(|e| ParseNetError::at(w.line, e.to_string()))?
+            };
+            names.push(Some(w.child.clone()));
+            factors.push(w.factor);
+            queue.push((w.child.clone(), id));
+        }
+    }
+    if let Some(orphan) = placed.iter().position(|&p| !p) {
+        return Err(ParseNetError::at(
+            wires[orphan].line,
+            format!(
+                "wire {:?} -> {:?} is not reachable from the source",
+                wires[orphan].parent, wires[orphan].child
+            ),
+        ));
+    }
+    let tree = builder
+        .build()
+        .map_err(|e| ParseNetError::at(0, e.to_string()))?;
+    // Binarization may have appended dummies.
+    while names.len() < tree.len() {
+        names.push(None);
+        factors.push(0.0);
+    }
+    let mut scenario = NoiseScenario::quiet(&tree);
+    for (i, f) in factors.iter().enumerate() {
+        scenario.set_factor(NodeId::from_index(i), *f);
+    }
+    Ok(ParsedNet {
+        name,
+        tree,
+        scenario,
+        node_names: names,
+    })
+}
+
+/// Writes a net back to the text format (round-trips with [`parse`] up to
+/// node naming of binarization dummies, which are emitted as `_dN`).
+pub fn write(net: &ParsedNet) -> String {
+    let tree = &net.tree;
+    let mut out = String::from("# buffopt net format v1\n");
+    if let Some(name) = &net.name {
+        out.push_str(&format!("net {name}\n"));
+    }
+    let d = tree.driver();
+    out.push_str(&format!("driver {} {}\n", d.resistance, d.intrinsic_delay));
+    let name_of = |v: NodeId| -> String {
+        if v == tree.source() {
+            "source".to_string()
+        } else {
+            net.node_names
+                .get(v.index())
+                .and_then(|n| n.clone())
+                .unwrap_or_else(|| format!("_d{}", v.index()))
+        }
+    };
+    for v in tree.preorder() {
+        if let (Some(p), Some(w)) = (tree.parent(v), tree.parent_wire(v)) {
+            let factor = net.scenario.factor(v);
+            if factor > 0.0 {
+                out.push_str(&format!(
+                    "wire {} {} {} {} {} {}\n",
+                    name_of(p),
+                    name_of(v),
+                    w.resistance,
+                    w.capacitance,
+                    w.length,
+                    factor
+                ));
+            } else {
+                out.push_str(&format!(
+                    "wire {} {} {} {} {}\n",
+                    name_of(p),
+                    name_of(v),
+                    w.resistance,
+                    w.capacitance,
+                    w.length
+                ));
+            }
+        }
+        if let Some(s) = tree.sink_spec(v) {
+            let rat = if s.required_arrival_time.is_infinite() {
+                "inf".to_string()
+            } else {
+                s.required_arrival_time.to_string()
+            };
+            out.push_str(&format!(
+                "sink {} {} {} {}\n",
+                name_of(v),
+                s.capacitance,
+                rat,
+                s.noise_margin
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# demo
+net demo
+driver 300 2e-11
+wire source j1 320 1e-12 4000 5.04e9
+wire j1 s1 240 7.5e-13 3000 5.04e9
+wire j1 s2 120 3.8e-13 1500
+sink s1 2e-14 1.2e-9 0.8
+sink s2 1.2e-14 inf 0.8
+";
+
+    #[test]
+    fn parses_sample() {
+        let net = parse(SAMPLE).expect("valid");
+        assert_eq!(net.name.as_deref(), Some("demo"));
+        assert_eq!(net.tree.sinks().len(), 2);
+        assert!((net.tree.driver().resistance - 300.0).abs() < 1e-9);
+        let s1 = net.node("s1").expect("s1 exists");
+        assert!((net.scenario.factor(s1) - 5.04e9).abs() < 1.0);
+        let s2 = net.node("s2").expect("s2 exists");
+        assert_eq!(net.scenario.factor(s2), 0.0);
+        assert!(net
+            .tree
+            .sink_spec(s2)
+            .expect("sink")
+            .required_arrival_time
+            .is_infinite());
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let net = parse(SAMPLE).expect("valid");
+        let text = write(&net);
+        let net2 = parse(&text).expect("round-trip parses");
+        assert_eq!(net.tree, net2.tree);
+        assert_eq!(net.scenario, net2.scenario);
+        assert_eq!(net.name, net2.name);
+    }
+
+    #[test]
+    fn missing_driver_is_an_error() {
+        let err = parse("wire source s1 1 1e-15 1\nsink s1 1e-15 1e-9 0.8\n")
+            .expect_err("no driver");
+        assert!(err.to_string().contains("driver"));
+    }
+
+    #[test]
+    fn leaf_without_sink_spec_is_an_error() {
+        let err = parse("driver 100 0\nwire source a 1 1e-15 1\n").expect_err("bad");
+        assert!(err.to_string().contains("no sink spec"), "{err}");
+    }
+
+    #[test]
+    fn sink_with_children_is_an_error() {
+        let text = "\
+driver 100 0
+wire source a 1 1e-15 1
+wire a b 1 1e-15 1
+sink a 1e-15 1e-9 0.8
+sink b 1e-15 1e-9 0.8
+";
+        let err = parse(text).expect_err("bad");
+        assert!(err.to_string().contains("leaves"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_parent_is_an_error() {
+        let text = "\
+driver 100 0
+wire source a 1 1e-15 1
+wire source b 1 1e-15 1
+wire a c 1 1e-15 1
+wire b c 1 1e-15 1
+sink c 1e-15 1e-9 0.8
+";
+        let err = parse(text).expect_err("two parents");
+        assert!(err.to_string().contains("already has a parent"), "{err}");
+    }
+
+    #[test]
+    fn unreachable_wire_is_an_error() {
+        let text = "\
+driver 100 0
+wire source a 1 1e-15 1
+wire ghost b 1 1e-15 1
+sink a 1e-15 1e-9 0.8
+sink b 1e-15 1e-9 0.8
+";
+        let err = parse(text).expect_err("orphan");
+        assert!(err.to_string().contains("not reachable"), "{err}");
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let err = parse("driver 100 zero\n").expect_err("bad number");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let err = parse("driver 1 0\nfrobnicate x\n").expect_err("unknown");
+        assert!(err.to_string().contains("frobnicate"));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn high_degree_node_binarizes_and_roundtrips() {
+        let text = "\
+driver 100 0
+wire source hub 10 1e-14 100
+wire hub a 1 1e-15 10
+wire hub b 1 1e-15 10
+wire hub c 1 1e-15 10 3e9
+sink a 1e-15 1e-9 0.8
+sink b 1e-15 1e-9 0.8
+sink c 1e-15 1e-9 0.8
+";
+        let net = parse(text).expect("valid");
+        assert_eq!(net.tree.sinks().len(), 3);
+        assert!(net.tree.node_ids().all(|v| net.tree.children(v).len() <= 2));
+        let again = parse(&write(&net)).expect("round-trip");
+        assert_eq!(net.tree.total_capacitance(), again.tree.total_capacitance());
+        // The coupled wire keeps its factor through the round-trip.
+        let c1 = net.node("c").expect("c");
+        let c2 = again.node("c").expect("c");
+        assert_eq!(net.scenario.factor(c1), again.scenario.factor(c2));
+    }
+
+    mod properties {
+        use super::*;
+        use buffopt_tree::TreeBuilder;
+        use proptest::prelude::*;
+
+        /// Random net recipe: parent pick + sink flag + RC values.
+        fn arb_recipe() -> impl Strategy<Value = Vec<(usize, bool, f64, f64, f64)>> {
+            prop::collection::vec(
+                (
+                    0usize..32,
+                    prop::bool::ANY,
+                    0.1f64..1000.0,
+                    1e-16f64..1e-12,
+                    1.0f64..5000.0,
+                ),
+                1..24,
+            )
+        }
+
+        fn build(recipe: &[(usize, bool, f64, f64, f64)]) -> Option<ParsedNet> {
+            let mut b = TreeBuilder::new(Driver::new(250.0, 1e-11));
+            let mut attachable = vec![b.source()];
+            let mut names: Vec<Option<String>> = vec![Some("source".into())];
+            let mut factors = vec![0.0];
+            let mut sinks = 0;
+            for (i, &(pick, is_sink, r, c, l)) in recipe.iter().enumerate() {
+                let parent = attachable[pick % attachable.len()];
+                let wire = Wire::from_rc(r, c, l);
+                if is_sink {
+                    b.add_sink(parent, wire, SinkSpec::new(1e-14, 1e-9, 0.8))
+                        .expect("attachable");
+                    sinks += 1;
+                } else {
+                    let id = b.add_internal(parent, wire).expect("attachable");
+                    attachable.push(id);
+                }
+                names.push(Some(format!("n{i}")));
+                factors.push(if i % 3 == 0 { 5.04e9 } else { 0.0 });
+            }
+            if sinks == 0 {
+                return None;
+            }
+            let tree = b.build().ok()?;
+            // Leaf internal nodes are not expressible in the format
+            // (every leaf must be a sink); skip such recipes.
+            for v in tree.node_ids() {
+                if tree.children(v).is_empty() && tree.sink_spec(v).is_none() {
+                    return None;
+                }
+            }
+            while names.len() < tree.len() {
+                names.push(None);
+                factors.push(0.0);
+            }
+            let mut scenario = NoiseScenario::quiet(&tree);
+            for (i, f) in factors.iter().enumerate() {
+                scenario.set_factor(NodeId::from_index(i), *f);
+            }
+            Some(ParsedNet {
+                name: Some("prop".into()),
+                tree,
+                scenario,
+                node_names: names,
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// write → parse round-trips every electrical quantity (node
+            /// ids may be relabeled, so compare isomorphism invariants:
+            /// totals, Elmore delay, metric noise — f64 Display is
+            /// round-trip precise in Rust so these are exact).
+            #[test]
+            fn roundtrip_random_nets(recipe in arb_recipe()) {
+                use buffopt_noise::metric;
+                use buffopt_tree::{elmore, slack};
+                let Some(net) = build(&recipe) else { return Ok(()); };
+                let text = write(&net);
+                let again = parse(&text).expect("own output parses");
+                prop_assert_eq!(&net.name, &again.name);
+                prop_assert_eq!(net.tree.sinks().len(), again.tree.sinks().len());
+                prop_assert_eq!(net.tree.len(), again.tree.len());
+                // Node order may change, so summation order may differ:
+                // allow a few ulps.
+                prop_assert!(
+                    (net.tree.total_capacitance() - again.tree.total_capacitance()).abs()
+                        < 1e-9 * net.tree.total_capacitance().max(1e-300)
+                );
+                prop_assert!(
+                    (net.tree.total_wire_length() - again.tree.total_wire_length()).abs()
+                        < 1e-9 * net.tree.total_wire_length().max(1e-300)
+                );
+                let d1 = elmore::max_sink_delay(&net.tree);
+                let d2 = elmore::max_sink_delay(&again.tree);
+                prop_assert!((d1 - d2).abs() < 1e-9 * d1.abs().max(1e-300));
+                let q1 = slack::source_slack(&net.tree);
+                let q2 = slack::source_slack(&again.tree);
+                prop_assert!((q1 - q2).abs() < 1e-9 * q1.abs().max(1e-15));
+                let n1 = metric::NoiseReport::analyze(&net.tree, &net.scenario);
+                let n2 = metric::NoiseReport::analyze(&again.tree, &again.scenario);
+                prop_assert!(
+                    (n1.worst_headroom() - n2.worst_headroom()).abs()
+                        < 1e-9 * n1.worst_headroom().abs().max(1e-12)
+                );
+                let i1: f64 = net
+                    .tree
+                    .node_ids()
+                    .map(|v| net.scenario.wire_current(&net.tree, v))
+                    .sum();
+                let i2: f64 = again
+                    .tree
+                    .node_ids()
+                    .map(|v| again.scenario.wire_current(&again.tree, v))
+                    .sum();
+                prop_assert!((i1 - i2).abs() < 1e-9 * i1.abs().max(1e-300));
+            }
+        }
+    }
+
+    #[test]
+    fn source_as_child_rejected() {
+        let err = parse("driver 1 0\nwire a source 1 1e-15 1\n").expect_err("bad");
+        assert!(err.to_string().contains("source"));
+    }
+}

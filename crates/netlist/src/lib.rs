@@ -1,0 +1,49 @@
+//! A plain-text net format and the `buffopt-cli` optimizer built on it.
+//!
+//! The format describes one net per file: the driving gate, the wires of
+//! its routing tree (with optional per-wire coupling factors), and the
+//! sink pins. It exists so the optimizer can be driven without writing
+//! Rust — extraction flows dump `.net` files, `buffopt-cli` fixes them.
+//!
+//! ```text
+//! # buffopt net format v1
+//! net my_bus_bit
+//! driver 300 20e-12
+//! wire source j1 320 1e-12 4000 5.04e9
+//! wire j1 s1 240 7.5e-13 3000 5.04e9
+//! wire j1 s2 120 3.8e-13 1500
+//! sink s1 2e-14 1.2e-9 0.8
+//! sink s2 1.2e-14 inf 0.8
+//! ```
+//!
+//! * `driver R D` — output resistance (Ω) and intrinsic delay (s);
+//! * `wire PARENT CHILD R C LENGTH [FACTOR]` — lumped resistance (Ω),
+//!   capacitance (F), length (µm) and the optional Devgan coupling factor
+//!   `Σ λ·µ` (V/s, default 0);
+//! * `sink NODE CAP RAT NM` — pin capacitance (F), required arrival time
+//!   (s, `inf` allowed), noise margin (V);
+//! * the root node is always called `source`; `#` starts a comment.
+//!
+//! # Example
+//!
+//! ```
+//! use buffopt_netlist::parse;
+//!
+//! # fn main() -> Result<(), buffopt_netlist::ParseNetError> {
+//! let text = "\
+//! driver 300 2e-11
+//! wire source s1 400 1e-12 5000 5e9
+//! sink s1 2e-14 1e-9 0.8
+//! ";
+//! let net = parse(text)?;
+//! assert_eq!(net.tree.sinks().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod format;
+
+pub use format::{parse, write, ParseNetError, ParsedNet};

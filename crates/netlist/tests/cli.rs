@@ -1,0 +1,154 @@
+//! End-to-end tests of the `buffopt-cli` binary via `CARGO_BIN_EXE`.
+
+use std::io::Write;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_buffopt-cli"))
+}
+
+fn write_net(content: &str) -> tempfile_like::TempPath {
+    tempfile_like::write(content)
+}
+
+/// Minimal self-contained temp-file helper (no external crates).
+mod tempfile_like {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct TempPath(pub PathBuf);
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    pub fn write(content: &str) -> TempPath {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "buffopt-cli-test-{}-{n}.net",
+            std::process::id()
+        ));
+        std::fs::write(&path, content).expect("temp file is writable");
+        TempPath(path)
+    }
+}
+
+const VIOLATING_NET: &str = "\
+net t1
+driver 400 3e-11
+wire source j1 320 1e-12 4000 5.04e9
+wire j1 a 240 7.5e-13 3000 5.04e9
+wire j1 b 120 3.75e-13 1500 5.04e9
+sink a 2e-14 1.2e-9 0.8
+sink b 1.2e-14 1.2e-9 0.8
+";
+
+const CLEAN_NET: &str = "\
+net t2
+driver 150 2e-11
+wire source s 40 1.25e-13 500
+sink s 1.5e-14 5e-10 0.8
+";
+
+#[test]
+fn fixes_violating_net_and_exits_zero() {
+    let f = write_net(VIOLATING_NET);
+    let out = cli()
+        .arg(&f.0)
+        .args(["--mode", "p3"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("buffers:"), "{stdout}");
+    assert!(stdout.contains("place"), "a violating net needs buffers: {stdout}");
+}
+
+#[test]
+fn clean_net_needs_no_buffers() {
+    let f = write_net(CLEAN_NET);
+    let out = cli().arg(&f.0).output().expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("buffers: 0"), "{stdout}");
+}
+
+#[test]
+fn verify_flag_runs_the_referee() {
+    let f = write_net(VIOLATING_NET);
+    let out = cli()
+        .arg(&f.0)
+        .args(["--verify"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("simulation referee"), "{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn noise_mode_uses_continuous_positions() {
+    let f = write_net(VIOLATING_NET);
+    let out = cli()
+        .arg(&f.0)
+        .args(["--mode", "noise"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("noise headroom"), "{stdout}");
+}
+
+#[test]
+fn cost_mode_reports_cost() {
+    let f = write_net(VIOLATING_NET);
+    let out = cli()
+        .arg(&f.0)
+        .args(["--mode", "cost", "--lib", "ibm"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+}
+
+#[test]
+fn bad_file_exits_2() {
+    let out = cli()
+        .arg("/nonexistent/definitely-missing.net")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn parse_error_reports_line() {
+    let f = write_net("driver 100 zero\n");
+    let out = cli().arg(&f.0).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 1"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    let out = cli().arg("--frobnicate").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn impossible_timing_warns_but_reports() {
+    let tight = VIOLATING_NET.replace("1.2e-9", "1e-12");
+    let f = write_net(&tight);
+    let out = cli().arg(&f.0).output().expect("binary runs");
+    // Noise is fixed but timing is impossible: non-zero exit + warning.
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("timing not met"), "{stderr}");
+    let _ = std::io::stdout().flush();
+}

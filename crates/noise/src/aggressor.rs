@@ -1,0 +1,100 @@
+/// A switching aggressor net coupled to some victim wire.
+///
+/// The Devgan metric characterizes an aggressor by two numbers (eq. 6):
+///
+/// * `coupling_ratio` — λ, the ratio of coupling capacitance to the victim
+///   wire's own capacitance over the coupled run;
+/// * `slope` — µ, the aggressor signal slope in volts/second, i.e. the
+///   power-supply voltage divided by the input rise time at the output of
+///   the aggressor's driver.
+///
+/// The current injected into a victim wire of capacitance `C_w` is
+/// `λ · µ · C_w` amperes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggressor {
+    /// Coupling-to-wire-capacitance ratio λ (dimensionless, ≥ 0).
+    pub coupling_ratio: f64,
+    /// Aggressor signal slope µ in V/s.
+    pub slope: f64,
+}
+
+impl Aggressor {
+    /// Creates an aggressor from its coupling ratio λ and slope µ (V/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is negative or non-finite.
+    pub fn new(coupling_ratio: f64, slope: f64) -> Self {
+        assert!(
+            coupling_ratio.is_finite() && coupling_ratio >= 0.0,
+            "coupling ratio must be finite and non-negative, got {coupling_ratio}"
+        );
+        assert!(
+            slope.is_finite() && slope >= 0.0,
+            "aggressor slope must be finite and non-negative, got {slope}"
+        );
+        Aggressor {
+            coupling_ratio,
+            slope,
+        }
+    }
+
+    /// Creates an aggressor from a supply voltage (V) and rise time (s):
+    /// `µ = V_dd / t_rise`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is negative or `rise_time` is not strictly positive.
+    pub fn from_rise_time(coupling_ratio: f64, vdd: f64, rise_time: f64) -> Self {
+        assert!(
+            rise_time.is_finite() && rise_time > 0.0,
+            "rise time must be positive, got {rise_time}"
+        );
+        assert!(
+            vdd.is_finite() && vdd >= 0.0,
+            "supply voltage must be non-negative, got {vdd}"
+        );
+        Aggressor::new(coupling_ratio, vdd / rise_time)
+    }
+
+    /// The current-per-farad factor `λ · µ` (units V/s): multiplied by the
+    /// victim wire capacitance this yields the injected current (eq. 6).
+    #[inline]
+    pub fn factor(&self) -> f64 {
+        self.coupling_ratio * self.slope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_estimation_mode_factor() {
+        // λ = 0.7, 1.8 V supply, 0.25 ns rise time ⇒ µ = 7.2 V/ns.
+        let a = Aggressor::from_rise_time(0.7, 1.8, 0.25e-9);
+        assert!((a.slope - 7.2e9).abs() < 1.0);
+        assert!((a.factor() - 0.7 * 7.2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn current_scales_with_wire_cap() {
+        let a = Aggressor::new(0.5, 4.0e9);
+        let cw = 100.0e-15;
+        let current = a.factor() * cw;
+        // 0.5 * 4e9 * 100e-15 = 2e-4 A
+        assert!((current - 2.0e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "coupling ratio")]
+    fn negative_ratio_panics() {
+        Aggressor::new(-0.1, 1.0e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "rise time")]
+    fn zero_rise_time_panics() {
+        Aggressor::from_rise_time(0.5, 1.8, 0.0);
+    }
+}

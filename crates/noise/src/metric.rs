@@ -1,0 +1,437 @@
+//! The Devgan metric proper: downstream currents (eq. 7), per-wire noise
+//! (eq. 8), sink noise (eq. 9), and noise slack (eq. 12) — all over the
+//! *unbuffered* tree. Buffered-tree noise is audited by splitting at the
+//! restoring gates, which the `buffopt` core crate does on top of these
+//! primitives.
+
+use buffopt_tree::{NodeId, RoutingTree};
+
+use crate::scenario::NoiseScenario;
+
+/// Total downstream coupling current `I(v)` for every node (eq. 7):
+/// `I(v) = Σ_{children c} (I_wire(c) + I(c))`. Sinks inject no current of
+/// their own. Index by [`NodeId`].
+pub fn downstream_current(tree: &RoutingTree, scenario: &NoiseScenario) -> Vec<f64> {
+    let mut current = vec![0.0; tree.len()];
+    for v in tree.postorder() {
+        let below: f64 = tree
+            .children(v)
+            .iter()
+            .map(|&c| scenario.wire_current(tree, c) + current[c.index()])
+            .sum();
+        current[v.index()] = below;
+    }
+    current
+}
+
+/// Noise voltage added by the parent wire of `v` (eq. 8, π-model):
+/// `Noise(w) = R_w · (I_w / 2 + I(v))`, where `I(v)` is the downstream
+/// current at the wire's lower end. Zero for the source (no parent wire).
+///
+/// # Panics
+///
+/// Panics if `currents` does not match the tree.
+pub fn wire_noise(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    v: NodeId,
+    currents: &[f64],
+) -> f64 {
+    assert_eq!(currents.len(), tree.len(), "current table does not match");
+    match tree.parent_wire(v) {
+        Some(w) => {
+            let i_w = scenario.wire_current(tree, v);
+            w.resistance * (i_w / 2.0 + currents[v.index()])
+        }
+        None => 0.0,
+    }
+}
+
+/// Noise slack `NS(v)` for every node (eq. 12):
+///
+/// * at a sink, `NS(s) = NM(s)`;
+/// * at an inner node, `NS(v) = min_child (NS(child) − Noise(wire))`.
+///
+/// `NS(v)` is the noise budget left for everything at or above `v`: the
+/// downstream noise constraints hold iff the noise seen at `v` (gate term
+/// plus upstream wires) is at most `NS(v)`.
+pub fn noise_slack(tree: &RoutingTree, scenario: &NoiseScenario) -> Vec<f64> {
+    let currents = downstream_current(tree, scenario);
+    noise_slack_with_currents(tree, scenario, &currents)
+}
+
+/// Same as [`noise_slack`] but reuses a [`downstream_current`] table.
+///
+/// # Panics
+///
+/// Panics if `currents` does not match the tree.
+pub fn noise_slack_with_currents(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    currents: &[f64],
+) -> Vec<f64> {
+    assert_eq!(currents.len(), tree.len(), "current table does not match");
+    let mut ns = vec![f64::INFINITY; tree.len()];
+    for v in tree.postorder() {
+        if let Some(s) = tree.sink_spec(v) {
+            ns[v.index()] = s.noise_margin;
+        } else {
+            let mut best = f64::INFINITY;
+            for &c in tree.children(v) {
+                let w_noise = wire_noise(tree, scenario, c, currents);
+                best = best.min(ns[c.index()] - w_noise);
+            }
+            ns[v.index()] = best;
+        }
+    }
+    ns
+}
+
+/// Noise measured at one sink.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinkNoise {
+    /// The sink node.
+    pub sink: NodeId,
+    /// Peak noise (volts) propagated from the upstream restoring gate
+    /// (eq. 9).
+    pub noise: f64,
+    /// The sink's noise margin (volts).
+    pub margin: f64,
+}
+
+impl SinkNoise {
+    /// True if the noise exceeds the margin (an electrical fault, eq. 11).
+    /// A picovolt tolerance absorbs floating-point residue at exactly-met
+    /// constraints.
+    pub fn is_violation(&self) -> bool {
+        self.noise > self.margin + 1e-12
+    }
+
+    /// Margin minus noise; negative when violating.
+    pub fn headroom(&self) -> f64 {
+        self.margin - self.noise
+    }
+}
+
+/// Noise at every sink of the unbuffered tree, driven from the source
+/// gate (eq. 9 with `u = s_o`): `R_so · I(s_o) + Σ path wire noise`.
+pub fn sink_noise(tree: &RoutingTree, scenario: &NoiseScenario) -> Vec<SinkNoise> {
+    sink_noise_from(
+        tree,
+        scenario,
+        tree.source(),
+        tree.driver().resistance,
+    )
+}
+
+/// Noise at every sink downstream of `u`, where `u` carries a restoring
+/// gate of output resistance `gate_resistance` (eq. 9). The path from the
+/// gate's output to each sink must contain no other restoring stage — the
+/// caller (the buffered-tree audit) guarantees that by splitting at
+/// buffers.
+pub fn sink_noise_from(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    u: NodeId,
+    gate_resistance: f64,
+) -> Vec<SinkNoise> {
+    let currents = downstream_current(tree, scenario);
+    let gate_term = gate_resistance * currents[u.index()];
+    // Accumulate wire noise down from u.
+    let mut acc = vec![f64::NAN; tree.len()];
+    acc[u.index()] = gate_term;
+    let mut out = Vec::new();
+    // Preorder restricted to the subtree of u.
+    let mut stack = vec![u];
+    while let Some(v) = stack.pop() {
+        if v != u {
+            let p = tree.parent(v).expect("below u");
+            acc[v.index()] = acc[p.index()] + wire_noise(tree, scenario, v, &currents);
+        }
+        if let Some(spec) = tree.sink_spec(v) {
+            out.push(SinkNoise {
+                sink: v,
+                noise: acc[v.index()],
+                margin: spec.noise_margin,
+            });
+        }
+        for &c in tree.children(v) {
+            stack.push(c);
+        }
+    }
+    out.sort_by_key(|sn| sn.sink);
+    out
+}
+
+/// Summary of a noise analysis run over one net.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseReport {
+    /// Per-sink noise.
+    pub sinks: Vec<SinkNoise>,
+}
+
+impl NoiseReport {
+    /// Analyzes the unbuffered tree driven from its source.
+    pub fn analyze(tree: &RoutingTree, scenario: &NoiseScenario) -> Self {
+        NoiseReport {
+            sinks: sink_noise(tree, scenario),
+        }
+    }
+
+    /// Sinks whose noise exceeds their margin.
+    pub fn violations(&self) -> impl Iterator<Item = &SinkNoise> {
+        self.sinks.iter().filter(|s| s.is_violation())
+    }
+
+    /// True if any sink violates.
+    pub fn has_violation(&self) -> bool {
+        self.sinks.iter().any(SinkNoise::is_violation)
+    }
+
+    /// The worst (most negative) headroom across sinks, or `f64::INFINITY`
+    /// for a tree with no sinks analyzed.
+    pub fn worst_headroom(&self) -> f64 {
+        self.sinks
+            .iter()
+            .map(SinkNoise::headroom)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffopt_tree::{Driver, SinkSpec, TreeBuilder, Wire};
+
+    /// The Fig. 3 structure: a driver `so`, a branch node `a`, and two
+    /// sinks `s1`, `s2`. Wires carry explicit resistances; currents are
+    /// induced by per-wire aggressor factors. We hand-compute eq. 7–9.
+    struct Fig3 {
+        tree: RoutingTree,
+        scenario: NoiseScenario,
+        a: NodeId,
+        s1: NodeId,
+        s2: NodeId,
+    }
+
+    fn fig3() -> Fig3 {
+        let r_so = 50.0;
+        let mut b = TreeBuilder::new(Driver::new(r_so, 0.0));
+        // Wire capacitances chosen so factor 1e9 gives round currents:
+        // I1 = 100 µA, I2 = 60 µA, I3 = 40 µA.
+        let a = b
+            .add_internal(b.source(), Wire::from_rc(100.0, 100.0e-15, 500.0))
+            .expect("a");
+        let s1 = b
+            .add_sink(
+                a,
+                Wire::from_rc(80.0, 60.0e-15, 300.0),
+                SinkSpec::new(5e-15, 1e-9, 0.8),
+            )
+            .expect("s1");
+        let s2 = b
+            .add_sink(
+                a,
+                Wire::from_rc(120.0, 40.0e-15, 200.0),
+                SinkSpec::new(5e-15, 1e-9, 0.6),
+            )
+            .expect("s2");
+        let tree = b.build().expect("tree");
+        let f = 1.0e9; // λ·µ factor so that I_w = 1e9 · C_w
+        let mut scenario = NoiseScenario::quiet(&tree);
+        scenario.set_factor(a, f);
+        scenario.set_factor(s1, f);
+        scenario.set_factor(s2, f);
+        Fig3 {
+            tree,
+            scenario,
+            a,
+            s1,
+            s2,
+        }
+    }
+
+    #[test]
+    fn fig3_downstream_currents_eq7() {
+        let f = fig3();
+        let i = downstream_current(&f.tree, &f.scenario);
+        // I(s1) = I(s2) = 0 (sinks inject nothing below themselves).
+        assert_eq!(i[f.s1.index()], 0.0);
+        assert_eq!(i[f.s2.index()], 0.0);
+        // I(a) = I_w2 + I_w3 = 60µ + 40µ = 100 µA.
+        assert!((i[f.a.index()] - 100.0e-6).abs() < 1e-12);
+        // I(so) = I_w1 + I(a) = 100µ + 100µ = 200 µA.
+        assert!((i[f.tree.source().index()] - 200.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig3_wire_noise_eq8() {
+        let f = fig3();
+        let i = downstream_current(&f.tree, &f.scenario);
+        // Noise(w1) = R1 (I1/2 + I(a)) = 100 (50µ + 100µ) = 15 mV.
+        let n1 = wire_noise(&f.tree, &f.scenario, f.a, &i);
+        assert!((n1 - 15.0e-3).abs() < 1e-12);
+        // Noise(w2) = 80 (30µ + 0) = 2.4 mV.
+        let n2 = wire_noise(&f.tree, &f.scenario, f.s1, &i);
+        assert!((n2 - 2.4e-3).abs() < 1e-12);
+        // Noise(w3) = 120 (20µ + 0) = 2.4 mV.
+        let n3 = wire_noise(&f.tree, &f.scenario, f.s2, &i);
+        assert!((n3 - 2.4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig3_sink_noise_eq9() {
+        let f = fig3();
+        // Driver term: R_so · I(so) = 50 · 200µ = 10 mV.
+        // Noise(so→s1) = 10 + 15 + 2.4 = 27.4 mV;
+        // Noise(so→s2) = 10 + 15 + 2.4 = 27.4 mV.
+        let noise = sink_noise(&f.tree, &f.scenario);
+        let n1 = noise.iter().find(|s| s.sink == f.s1).expect("s1");
+        let n2 = noise.iter().find(|s| s.sink == f.s2).expect("s2");
+        assert!((n1.noise - 27.4e-3).abs() < 1e-12);
+        assert!((n2.noise - 27.4e-3).abs() < 1e-12);
+        assert!(!n1.is_violation());
+    }
+
+    #[test]
+    fn fig3_noise_slack_eq12() {
+        let f = fig3();
+        let ns = noise_slack(&f.tree, &f.scenario);
+        // NS(s1) = 0.8, NS(s2) = 0.6.
+        assert!((ns[f.s1.index()] - 0.8).abs() < 1e-12);
+        assert!((ns[f.s2.index()] - 0.6).abs() < 1e-12);
+        // NS(a) = min(0.8 − 2.4m, 0.6 − 2.4m) = 0.5976.
+        assert!((ns[f.a.index()] - 0.5976).abs() < 1e-12);
+        // NS(so) = NS(a) − Noise(w1) = 0.5976 − 0.015 = 0.5826.
+        assert!((ns[f.tree.source().index()] - 0.5826).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constraint_equivalence_noise_vs_slack() {
+        // Eq. 11 holds iff gate noise ≤ NS at the gate's node: check both
+        // formulations agree on a violating and a passing configuration.
+        for (factor, expect_violation) in [(1.0e9, false), (400.0e9, true)] {
+            let mut f = fig3();
+            for v in [f.a, f.s1, f.s2] {
+                f.scenario.set_factor(v, factor);
+            }
+            let report = NoiseReport::analyze(&f.tree, &f.scenario);
+            let ns = noise_slack(&f.tree, &f.scenario);
+            let i = downstream_current(&f.tree, &f.scenario);
+            let gate_noise = f.tree.driver().resistance * i[f.tree.source().index()];
+            let slack_says_violation = gate_noise > ns[f.tree.source().index()];
+            assert_eq!(report.has_violation(), slack_says_violation);
+            assert_eq!(report.has_violation(), expect_violation, "factor {factor}");
+        }
+    }
+
+    #[test]
+    fn noise_from_midpoint_excludes_upstream() {
+        // Measuring from `a` with a small gate resistance must see less
+        // noise than from the source.
+        let f = fig3();
+        let from_a = sink_noise_from(&f.tree, &f.scenario, f.a, 10.0);
+        let from_so = sink_noise(&f.tree, &f.scenario);
+        for (na, ns) in from_a.iter().zip(from_so.iter()) {
+            assert_eq!(na.sink, ns.sink);
+            assert!(na.noise < ns.noise);
+        }
+    }
+
+    #[test]
+    fn quiet_scenario_has_zero_noise() {
+        let f = fig3();
+        let quiet = NoiseScenario::quiet(&f.tree);
+        let report = NoiseReport::analyze(&f.tree, &quiet);
+        assert!(report.sinks.iter().all(|s| s.noise == 0.0));
+        assert!(!report.has_violation());
+        assert!((report.worst_headroom() - 0.6).abs() < 1e-12);
+    }
+
+    mod properties {
+        use super::*;
+        use buffopt_tree::{Driver, SinkSpec, TreeBuilder, Wire};
+        use proptest::prelude::*;
+
+        fn chain(lens: &[f64], factor: f64) -> (RoutingTree, NoiseScenario) {
+            let mut b = TreeBuilder::new(Driver::new(200.0, 0.0));
+            let mut prev = b.source();
+            for (i, &l) in lens.iter().enumerate() {
+                let w = Wire::from_rc(0.08 * l, 0.25e-15 * l, l);
+                prev = if i + 1 == lens.len() {
+                    b.add_sink(prev, w, SinkSpec::new(10e-15, 1e-9, 0.8))
+                        .expect("sink")
+                } else {
+                    b.add_internal(prev, w).expect("internal")
+                };
+            }
+            let t = b.build().expect("tree");
+            let s = NoiseScenario::estimation(&t, 1.0, factor);
+            (t, s)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Sink noise grows monotonically with the coupling factor.
+            #[test]
+            fn noise_monotone_in_factor(
+                lens in prop::collection::vec(100.0f64..3000.0, 1..6),
+                f1 in 1.0e8f64..5.0e9,
+                scale in 1.01f64..10.0,
+            ) {
+                let (t, s1) = chain(&lens, f1);
+                let (_, s2) = chain(&lens, f1 * scale);
+                let n1 = sink_noise(&t, &s1)[0].noise;
+                let n2 = sink_noise(&t, &s2)[0].noise;
+                prop_assert!(n2 > n1, "{n2} !> {n1}");
+                // And linearly: noise scales exactly with the factor.
+                prop_assert!((n2 / n1 - scale).abs() < 1e-9);
+            }
+
+            /// Extending a chain never reduces the noise at its sink, and
+            /// never increases the noise slack at the source.
+            #[test]
+            fn noise_monotone_in_length(
+                lens in prop::collection::vec(100.0f64..3000.0, 2..6),
+            ) {
+                let (t_full, s_full) = chain(&lens, 5.04e9);
+                let shorter: Vec<f64> = lens[..lens.len() - 1].to_vec();
+                let (t_short, s_short) = chain(&shorter, 5.04e9);
+                let n_full = sink_noise(&t_full, &s_full)[0].noise;
+                let n_short = sink_noise(&t_short, &s_short)[0].noise;
+                prop_assert!(n_full >= n_short - 1e-15);
+                let ns_full = noise_slack(&t_full, &s_full)[t_full.source().index()];
+                let ns_short = noise_slack(&t_short, &s_short)[t_short.source().index()];
+                prop_assert!(ns_full <= ns_short + 1e-15);
+            }
+
+            /// Splitting any wire in two leaves every metric quantity
+            /// unchanged (the metric is additive along wires).
+            #[test]
+            fn metric_invariant_under_segmentation(
+                lens in prop::collection::vec(100.0f64..3000.0, 1..5),
+            ) {
+                use buffopt_tree::segment;
+                let (t, s) = chain(&lens, 5.04e9);
+                let seg = segment::segment_uniform(&t, 2).expect("segment");
+                let s2 = s.for_segmented(&seg);
+                let before = sink_noise(&t, &s)[0].noise;
+                let after = sink_noise(&seg.tree, &s2)[0].noise;
+                prop_assert!((before - after).abs() < 1e-12,
+                    "metric changed under segmentation: {before} vs {after}");
+            }
+        }
+    }
+
+    #[test]
+    fn headroom_sign_convention() {
+        let sn = SinkNoise {
+            sink: NodeId::from_index(1),
+            noise: 0.9,
+            margin: 0.8,
+        };
+        assert!(sn.is_violation());
+        assert!((sn.headroom() + 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,306 @@
+//! Theorem 1 of the paper: the longest wire a buffer may drive without a
+//! noise violation, and the minimum aggressor separation distance (eq. 17).
+//!
+//! For a uniform wire of length `l` with resistance `r` Ω/µm and injected
+//! coupling current `i` A/µm, driven by a gate of resistance `R_b`, with
+//! downstream current `I(v)` and noise slack `NS(v)` at the far end, the
+//! noise seen at the far end is
+//!
+//! ```text
+//! Noise(l) = R_b · (I(v) + i·l)  +  r·l · (i·l/2 + I(v))
+//! ```
+//!
+//! Requiring `Noise(l) ≤ NS(v)` is a quadratic in `l` (eq. 15), whose
+//! positive root (eq. 13) is the maximum driveable length.
+
+/// Maximum wire length result of [`max_unbuffered_length`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MaxLength {
+    /// The constraint can never be violated — any length works (no coupling
+    /// current anywhere and the fixed terms fit in the slack).
+    Unbounded,
+    /// A finite bound in microns; a wire at exactly this length meets the
+    /// constraint with equality.
+    Bounded(f64),
+    /// Even a zero-length wire violates: `NS(v) < R_b · I(v)`. A buffer
+    /// should have been inserted further downstream (the paper's "too
+    /// late" case).
+    Infeasible,
+}
+
+impl MaxLength {
+    /// The finite bound, if any.
+    pub fn length(self) -> Option<f64> {
+        match self {
+            MaxLength::Bounded(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// True if a wire of length `l` satisfies the constraint.
+    pub fn admits(self, l: f64) -> bool {
+        match self {
+            MaxLength::Unbounded => true,
+            MaxLength::Bounded(max) => l <= max + 1e-9,
+            MaxLength::Infeasible => false,
+        }
+    }
+}
+
+/// Noise at the far end of a uniform wire of length `l` driven by a gate
+/// of resistance `driver_resistance`, with per-micron wire resistance
+/// `r_per_micron`, per-micron injected current `i_per_micron`, and
+/// downstream current `downstream_current` at the far end (the quantity
+/// bounded by Theorem 1).
+pub fn noise_across(
+    driver_resistance: f64,
+    r_per_micron: f64,
+    i_per_micron: f64,
+    downstream_current: f64,
+    l: f64,
+) -> f64 {
+    driver_resistance * (downstream_current + i_per_micron * l)
+        + r_per_micron * l * (i_per_micron * l / 2.0 + downstream_current)
+}
+
+/// Theorem 1 (eq. 13): the maximum length of a uniform wire driven by a
+/// buffer of resistance `buffer_resistance` such that the noise constraint
+/// `NS(v)` at the far end is met.
+///
+/// All arguments must be non-negative; `noise_slack` may be any finite
+/// value (a negative slack is reported as [`MaxLength::Infeasible`]).
+///
+/// # Panics
+///
+/// Panics if any argument is NaN.
+pub fn max_unbuffered_length(
+    buffer_resistance: f64,
+    r_per_micron: f64,
+    i_per_micron: f64,
+    downstream_current: f64,
+    noise_slack: f64,
+) -> MaxLength {
+    assert!(
+        !buffer_resistance.is_nan()
+            && !r_per_micron.is_nan()
+            && !i_per_micron.is_nan()
+            && !downstream_current.is_nan()
+            && !noise_slack.is_nan(),
+        "Theorem 1 arguments must not be NaN"
+    );
+    let fixed = buffer_resistance * downstream_current;
+    if noise_slack < fixed {
+        return MaxLength::Infeasible;
+    }
+    let budget = noise_slack - fixed; // ≥ 0
+    // Quadratic: (r·i/2)·l² + (Rb·i + r·I)·l − budget ≤ 0.
+    let a = r_per_micron * i_per_micron / 2.0;
+    let b = buffer_resistance * i_per_micron + r_per_micron * downstream_current;
+    if a == 0.0 {
+        if b == 0.0 {
+            // Noise does not grow with length at all.
+            return MaxLength::Unbounded;
+        }
+        return MaxLength::Bounded(budget / b);
+    }
+    // Positive root of a·l² + b·l − budget = 0.
+    let disc = b * b + 4.0 * a * budget;
+    let l = (-b + disc.sqrt()) / (2.0 * a);
+    MaxLength::Bounded(l)
+}
+
+/// Result of [`min_separation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Separation {
+    /// The wire meets its noise constraint at any aggressor distance.
+    AnyDistance,
+    /// The aggressor must run at least this many microns away.
+    AtLeast(f64),
+    /// No distance is large enough (the coupling-free noise alone already
+    /// violates).
+    Impossible,
+}
+
+/// Eq. 17: for a coupling ratio that falls off with distance as
+/// `λ(d) = κ / d`, the minimum separation `d` between victim and a single
+/// aggressor such that a wire of length `wire_length` driven by
+/// `buffer_resistance` meets its noise slack.
+///
+/// `slope` is the aggressor slope µ (V/s) and `cap_per_micron` the victim
+/// wire's capacitance per micron.
+#[allow(clippy::too_many_arguments)] // mirrors the eq. 17 parameter list
+pub fn min_separation(
+    kappa: f64,
+    slope: f64,
+    cap_per_micron: f64,
+    buffer_resistance: f64,
+    r_per_micron: f64,
+    wire_length: f64,
+    downstream_current: f64,
+    noise_slack: f64,
+) -> Separation {
+    // Noise(l) = i · (Rb·l + r·l²/2) + Rb·I + r·l·I  with  i = (κ/d)·µ·c.
+    let coupling_gain =
+        buffer_resistance * wire_length + r_per_micron * wire_length * wire_length / 2.0;
+    let fixed = buffer_resistance * downstream_current
+        + r_per_micron * wire_length * downstream_current;
+    let budget = noise_slack - fixed;
+    if budget < 0.0 {
+        return Separation::Impossible;
+    }
+    let numer = kappa * slope * cap_per_micron * coupling_gain;
+    if numer <= 0.0 {
+        return Separation::AnyDistance;
+    }
+    if budget == 0.0 {
+        return Separation::Impossible;
+    }
+    Separation::AtLeast(numer / budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: f64 = 0.08; // Ω/µm
+    const I: f64 = 2.0e-10; // A/µm
+
+    #[test]
+    fn bound_is_tight() {
+        // Noise at exactly l_max equals the slack.
+        let ns = 0.25;
+        let rb = 200.0;
+        let idown = 150.0e-6;
+        match max_unbuffered_length(rb, R, I, idown, ns) {
+            MaxLength::Bounded(l) => {
+                let noise = noise_across(rb, R, I, idown, l);
+                assert!((noise - ns).abs() < 1e-9, "noise {noise} vs slack {ns}");
+            }
+            other => panic!("expected a finite bound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_driver_zero_downstream_matches_closed_form() {
+        // Paper: maximum wire length with Rb = 0, I(v) = 0 is
+        // sqrt(2·NS / (r·i)).
+        let ns = 0.4;
+        let expect = (2.0 * ns / (R * I)).sqrt();
+        match max_unbuffered_length(0.0, R, I, 0.0, ns) {
+            MaxLength::Bounded(l) => assert!((l - expect).abs() / expect < 1e-12),
+            other => panic!("expected bound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_decreases_with_driver_resistance() {
+        // The paper's second observation after Theorem 1.
+        let ns = 0.3;
+        let idown = 50.0e-6;
+        let mut prev = f64::INFINITY;
+        for rb in [0.0, 100.0, 300.0, 900.0, 2700.0] {
+            let l = max_unbuffered_length(rb, R, I, idown, ns)
+                .length()
+                .expect("finite");
+            assert!(l < prev, "l_max must shrink as Rb grows");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn length_decreases_with_downstream_current() {
+        let ns = 0.3;
+        let mut prev = f64::INFINITY;
+        for idown in [0.0, 1e-5, 1e-4, 1e-3] {
+            let l = max_unbuffered_length(250.0, R, I, idown, ns)
+                .length()
+                .expect("finite");
+            assert!(l < prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn infeasible_when_slack_below_fixed_term() {
+        // NS < Rb·I(v): the "too late to insert" case.
+        let res = max_unbuffered_length(1000.0, R, I, 1.0e-3, 0.5);
+        assert_eq!(res, MaxLength::Infeasible);
+        assert!(!res.admits(0.0));
+    }
+
+    #[test]
+    fn zero_slack_zero_current_is_zero_or_unbounded() {
+        // With zero coupling current anywhere, noise never grows.
+        assert_eq!(
+            max_unbuffered_length(100.0, R, 0.0, 0.0, 0.1),
+            MaxLength::Unbounded
+        );
+        // With coupling but no resistance anywhere relevant: linear bound.
+        match max_unbuffered_length(100.0, 0.0, I, 0.0, 0.1) {
+            MaxLength::Bounded(l) => {
+                assert!((noise_across(100.0, 0.0, I, 0.0, l) - 0.1).abs() < 1e-12);
+            }
+            other => panic!("expected bound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exactly_equal_slack_gives_zero_length() {
+        // NS == Rb·I ⇒ budget 0 ⇒ l = 0 (a buffer fits only right here).
+        let rb = 100.0;
+        let idown = 1.0e-3;
+        match max_unbuffered_length(rb, R, I, idown, rb * idown) {
+            MaxLength::Bounded(l) => assert!(l.abs() < 1e-12),
+            other => panic!("expected Bounded(0), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admits_respects_bound() {
+        let m = MaxLength::Bounded(100.0);
+        assert!(m.admits(99.0));
+        assert!(m.admits(100.0));
+        assert!(!m.admits(101.0));
+        assert!(MaxLength::Unbounded.admits(1e12));
+    }
+
+    #[test]
+    fn separation_scales_inverse_with_budget() {
+        let d1 = match min_separation(1.0, 7.2e9, 0.25e-15, 200.0, R, 1000.0, 0.0, 0.4) {
+            Separation::AtLeast(d) => d,
+            other => panic!("{other:?}"),
+        };
+        let d2 = match min_separation(1.0, 7.2e9, 0.25e-15, 200.0, R, 1000.0, 0.0, 0.8) {
+            Separation::AtLeast(d) => d,
+            other => panic!("{other:?}"),
+        };
+        assert!((d1 / d2 - 2.0).abs() < 1e-9, "double budget halves distance");
+    }
+
+    #[test]
+    fn separation_impossible_when_fixed_noise_exceeds_slack() {
+        let s = min_separation(1.0, 7.2e9, 0.25e-15, 1000.0, R, 1000.0, 1.0e-3, 0.2);
+        assert_eq!(s, Separation::Impossible);
+    }
+
+    #[test]
+    fn separation_any_distance_without_coupling() {
+        let s = min_separation(0.0, 7.2e9, 0.25e-15, 100.0, R, 1000.0, 0.0, 0.2);
+        assert_eq!(s, Separation::AnyDistance);
+    }
+
+    #[test]
+    fn separation_verifies_against_theorem1() {
+        // At the computed distance, the coupling factor κ/d applied to the
+        // wire produces noise exactly equal to the slack.
+        let (kappa, slope, c, rb, len, idown, ns) =
+            (2.0, 7.2e9, 0.25e-15, 150.0, 2000.0, 20.0e-6, 0.35);
+        let d = match min_separation(kappa, slope, c, rb, R, len, idown, ns) {
+            Separation::AtLeast(d) => d,
+            other => panic!("{other:?}"),
+        };
+        let i = (kappa / d) * slope * c;
+        let noise = noise_across(rb, R, i, idown, len);
+        assert!((noise - ns).abs() < 1e-9);
+    }
+}

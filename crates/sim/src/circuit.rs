@@ -1,0 +1,318 @@
+//! Nodal-analysis circuit description.
+//!
+//! Only the element types the coupled-noise problem needs are provided:
+//! resistors (node–node and node–ground), capacitors (node–node and
+//! node–ground), and capacitors from a node to an ideal *waveform source*
+//! (the aggressor rail). Victim drivers holding their net quiet are plain
+//! resistors to ground; aggressor drive strength can be folded into the
+//! waveform's slope.
+
+use crate::matrix::Matrix;
+
+/// Index of a circuit node (ground is implicit and not a `SimNode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimNode(pub(crate) usize);
+
+impl SimNode {
+    /// Index into voltage vectors returned by the transient engine.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An ideal voltage waveform driving coupling capacitors (the aggressor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Waveform {
+    /// A saturated ramp: 0 V until `start`, rising linearly to `level`
+    /// over `rise`, then holding. This is the aggressor model under which
+    /// the Devgan metric is derived (`µ = level / rise`).
+    Ramp {
+        /// Start time of the transition (s).
+        start: f64,
+        /// Rise time (s); must be positive.
+        rise: f64,
+        /// Final level (V).
+        level: f64,
+    },
+    /// A constant level (useful for tests).
+    Constant(f64),
+}
+
+impl Waveform {
+    /// The waveform value at time `t`.
+    pub fn at(&self, t: f64) -> f64 {
+        match *self {
+            Waveform::Ramp { start, rise, level } => {
+                if t <= start {
+                    0.0
+                } else if t >= start + rise {
+                    level
+                } else {
+                    level * (t - start) / rise
+                }
+            }
+            Waveform::Constant(v) => v,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Resistor {
+    pub a: Option<SimNode>, // None = ground
+    pub b: Option<SimNode>,
+    pub ohms: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Capacitor {
+    pub a: Option<SimNode>,
+    pub b: Option<SimNode>,
+    pub farads: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SourceCap {
+    pub node: SimNode,
+    pub farads: f64,
+    pub source: usize, // index into sources
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SourceRes {
+    pub node: SimNode,
+    pub ohms: f64,
+    pub source: usize,
+}
+
+/// A linear RC circuit under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_count: usize,
+    pub(crate) resistors: Vec<Resistor>,
+    pub(crate) capacitors: Vec<Capacitor>,
+    pub(crate) source_caps: Vec<SourceCap>,
+    pub(crate) source_res: Vec<SourceRes>,
+    pub(crate) sources: Vec<Waveform>,
+}
+
+impl Circuit {
+    /// An empty circuit.
+    pub fn new() -> Self {
+        Circuit::default()
+    }
+
+    /// Adds a node and returns its handle.
+    pub fn node(&mut self) -> SimNode {
+        let n = SimNode(self.node_count);
+        self.node_count += 1;
+        n
+    }
+
+    /// Number of (non-ground) nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Registers an aggressor waveform; returns its index for
+    /// [`Circuit::coupling_cap`].
+    pub fn waveform(&mut self, w: Waveform) -> usize {
+        self.sources.push(w);
+        self.sources.len() - 1
+    }
+
+    fn check_positive(what: &str, v: f64) {
+        assert!(v.is_finite() && v > 0.0, "{what} must be positive, got {v}");
+    }
+
+    /// Resistor between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not strictly positive.
+    pub fn resistor(&mut self, a: SimNode, b: SimNode, ohms: f64) {
+        Self::check_positive("resistance", ohms);
+        self.resistors.push(Resistor {
+            a: Some(a),
+            b: Some(b),
+            ohms,
+        });
+    }
+
+    /// Resistor from a node to ground (e.g. a quiet driver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not strictly positive.
+    pub fn resistor_to_ground(&mut self, a: SimNode, ohms: f64) {
+        Self::check_positive("resistance", ohms);
+        self.resistors.push(Resistor {
+            a: Some(a),
+            b: None,
+            ohms,
+        });
+    }
+
+    /// Capacitor between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is negative or non-finite (zero is allowed and
+    /// ignored at stamping time).
+    pub fn capacitor(&mut self, a: SimNode, b: SimNode, farads: f64) {
+        assert!(farads.is_finite() && farads >= 0.0, "capacitance ≥ 0");
+        self.capacitors.push(Capacitor {
+            a: Some(a),
+            b: Some(b),
+            farads,
+        });
+    }
+
+    /// Capacitor from a node to ground.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Circuit::capacitor`].
+    pub fn capacitor_to_ground(&mut self, a: SimNode, farads: f64) {
+        assert!(farads.is_finite() && farads >= 0.0, "capacitance ≥ 0");
+        self.capacitors.push(Capacitor {
+            a: Some(a),
+            b: None,
+            farads,
+        });
+    }
+
+    /// Coupling capacitor from `node` to the ideal waveform source
+    /// `source` (from [`Circuit::waveform`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range or `farads` invalid.
+    pub fn coupling_cap(&mut self, node: SimNode, farads: f64, source: usize) {
+        assert!(farads.is_finite() && farads >= 0.0, "capacitance ≥ 0");
+        assert!(source < self.sources.len(), "unknown waveform source");
+        self.source_caps.push(SourceCap {
+            node,
+            farads,
+            source,
+        });
+    }
+
+    /// Resistor from `node` to the ideal waveform source `source` — a
+    /// Thevenin driver (e.g. a gate driving a rising step). Stamps as a
+    /// conductance to ground plus a time-varying Norton current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not strictly positive or `source` is unknown.
+    pub fn resistor_to_source(&mut self, node: SimNode, ohms: f64, source: usize) {
+        Self::check_positive("resistance", ohms);
+        assert!(source < self.sources.len(), "unknown waveform source");
+        self.source_res.push(SourceRes { node, ohms, source });
+    }
+
+    /// Stamps the conductance matrix `G` (resistors only).
+    pub(crate) fn stamp_conductance(&self) -> Matrix {
+        let n = self.node_count.max(1);
+        let mut g = Matrix::zeros(n, n);
+        for r in &self.resistors {
+            let cond = 1.0 / r.ohms;
+            match (r.a, r.b) {
+                (Some(a), Some(b)) => {
+                    g[(a.0, a.0)] += cond;
+                    g[(b.0, b.0)] += cond;
+                    g[(a.0, b.0)] -= cond;
+                    g[(b.0, a.0)] -= cond;
+                }
+                (Some(a), None) | (None, Some(a)) => g[(a.0, a.0)] += cond,
+                (None, None) => {}
+            }
+        }
+        for sr in &self.source_res {
+            g[(sr.node.0, sr.node.0)] += 1.0 / sr.ohms;
+        }
+        g
+    }
+
+    /// Stamps the capacitance matrix `C` (all capacitors, with source-side
+    /// terminals treated as fixed — their contribution appears on the RHS
+    /// during integration).
+    pub(crate) fn stamp_capacitance(&self) -> Matrix {
+        let n = self.node_count.max(1);
+        let mut c = Matrix::zeros(n, n);
+        for cap in &self.capacitors {
+            match (cap.a, cap.b) {
+                (Some(a), Some(b)) => {
+                    c[(a.0, a.0)] += cap.farads;
+                    c[(b.0, b.0)] += cap.farads;
+                    c[(a.0, b.0)] -= cap.farads;
+                    c[(b.0, a.0)] -= cap.farads;
+                }
+                (Some(a), None) | (None, Some(a)) => c[(a.0, a.0)] += cap.farads,
+                (None, None) => {}
+            }
+        }
+        for sc in &self.source_caps {
+            c[(sc.node.0, sc.node.0)] += sc.farads;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_waveform_shape() {
+        let w = Waveform::Ramp {
+            start: 1e-9,
+            rise: 2e-9,
+            level: 1.8,
+        };
+        assert_eq!(w.at(0.0), 0.0);
+        assert_eq!(w.at(1e-9), 0.0);
+        assert!((w.at(2e-9) - 0.9).abs() < 1e-12);
+        assert!((w.at(3e-9) - 1.8).abs() < 1e-12);
+        assert!((w.at(10e-9) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_stamp_two_node_divider() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let b = c.node();
+        c.resistor(a, b, 100.0);
+        c.resistor_to_ground(b, 50.0);
+        let g = c.stamp_conductance();
+        assert!((g[(0, 0)] - 0.01).abs() < 1e-15);
+        assert!((g[(0, 1)] + 0.01).abs() < 1e-15);
+        assert!((g[(1, 1)] - 0.03).abs() < 1e-15);
+    }
+
+    #[test]
+    fn capacitance_stamp_includes_source_caps() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        let src = c.waveform(Waveform::Constant(1.0));
+        c.capacitor_to_ground(a, 10e-15);
+        c.coupling_cap(a, 5e-15, src);
+        let m = c.stamp_capacitance();
+        assert!((m[(0, 0)] - 15e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance")]
+    fn zero_resistance_panics() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.resistor_to_ground(a, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown waveform")]
+    fn coupling_to_missing_source_panics() {
+        let mut c = Circuit::new();
+        let a = c.node();
+        c.coupling_cap(a, 1e-15, 0);
+    }
+}

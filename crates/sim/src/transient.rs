@@ -1,0 +1,398 @@
+//! Fixed-step transient integration: backward Euler (robust, L-stable)
+//! and trapezoidal (second-order accurate).
+//!
+//! With a constant step `h`, nodal backward Euler solves
+//! `(G + C/h)·v⁽ⁿ⁺¹⁾ = C/h·v⁽ⁿ⁾ + i_src(tⁿ⁺¹)` each step, where the
+//! source vector carries the coupling-capacitor injections
+//! `C_c/h · (v_s(tⁿ⁺¹) − v_s(tⁿ))` from ideal aggressor waveforms.
+//! Trapezoidal integration of `C·v′ + G·v = b(t)` over one step gives
+//! `(2C/h + G)·v⁽ⁿ⁺¹⁾ = (2C/h − G)·v⁽ⁿ⁾ + b⁽ⁿ⁾ + b⁽ⁿ⁺¹⁾ + 2·C_c·Δv_s/h`.
+//! Either way the left-hand matrix is constant, so it is LU-factored
+//! once.
+
+use crate::circuit::Circuit;
+use crate::matrix::{LuFactors, Matrix, SingularMatrixError};
+
+/// Integration scheme for [`run_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// First-order, L-stable — never rings, slightly damps peaks.
+    #[default]
+    BackwardEuler,
+    /// Second-order accurate; the standard SPICE default.
+    Trapezoidal,
+}
+
+/// Result of a transient run.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    /// Time points (uniform grid including t = 0).
+    pub time: Vec<f64>,
+    /// Per-node waveforms: `voltages[node][step]`.
+    pub voltages: Vec<Vec<f64>>,
+}
+
+impl TransientResult {
+    /// The maximum absolute voltage observed at `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn peak_abs(&self, node: usize) -> f64 {
+        self.voltages[node]
+            .iter()
+            .fold(0.0_f64, |acc, &v| acc.max(v.abs()))
+    }
+
+    /// Total time (s) the absolute voltage at `node` spends above
+    /// `threshold` — the noise *pulse width* the Devgan metric ignores
+    /// (Section II-B of the paper). Piecewise-linear between steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn time_above(&self, node: usize, threshold: f64) -> f64 {
+        let w = &self.voltages[node];
+        let mut total = 0.0;
+        for k in 1..w.len() {
+            let (a, b) = (w[k - 1].abs(), w[k].abs());
+            let dt = self.time[k] - self.time[k - 1];
+            total += match (a > threshold, b > threshold) {
+                (true, true) => dt,
+                (false, false) => 0.0,
+                (false, true) => dt * (b - threshold) / (b - a),
+                (true, false) => dt * (a - threshold) / (a - b),
+            };
+        }
+        total
+    }
+
+    /// First time the voltage at `node` crosses `threshold` (rising), or
+    /// `None` if it never does. Linear interpolation between steps.
+    pub fn crossing_time(&self, node: usize, threshold: f64) -> Option<f64> {
+        let w = &self.voltages[node];
+        for k in 1..w.len() {
+            if w[k - 1] < threshold && w[k] >= threshold {
+                let frac = (threshold - w[k - 1]) / (w[k] - w[k - 1]);
+                return Some(self.time[k - 1] + frac * (self.time[k] - self.time[k - 1]));
+            }
+        }
+        None
+    }
+}
+
+/// Runs backward-Euler integration from all-zero initial conditions.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] when the network has a floating node
+/// (no DC path to ground), which makes `G + C/h` singular.
+///
+/// # Panics
+///
+/// Panics if `step` or `duration` is not strictly positive.
+pub fn run(
+    circuit: &Circuit,
+    step: f64,
+    duration: f64,
+) -> Result<TransientResult, SingularMatrixError> {
+    run_with(circuit, step, duration, Method::BackwardEuler)
+}
+
+/// [`run`] with an explicit integration scheme.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] when the network has a floating node.
+///
+/// # Panics
+///
+/// Panics if `step` or `duration` is not strictly positive.
+pub fn run_with(
+    circuit: &Circuit,
+    step: f64,
+    duration: f64,
+    method: Method,
+) -> Result<TransientResult, SingularMatrixError> {
+    assert!(step.is_finite() && step > 0.0, "time step must be positive");
+    assert!(
+        duration.is_finite() && duration > 0.0,
+        "duration must be positive"
+    );
+    let n = circuit.node_count();
+    let steps = (duration / step).ceil() as usize;
+    if n == 0 {
+        return Ok(TransientResult {
+            time: (0..=steps).map(|k| k as f64 * step).collect(),
+            voltages: Vec::new(),
+        });
+    }
+    let g = circuit.stamp_conductance();
+    let c = circuit.stamp_capacitance();
+    // BE: A = G + C/h.  TR: A = G + 2C/h, and the RHS uses (2C/h − G)·v.
+    let cap_scale = match method {
+        Method::BackwardEuler => 1.0 / step,
+        Method::Trapezoidal => 2.0 / step,
+    };
+    let mut a = Matrix::zeros(n, n);
+    for r in 0..n {
+        for col in 0..n {
+            a[(r, col)] = g[(r, col)] + c[(r, col)] * cap_scale;
+        }
+    }
+    let lu = LuFactors::factor(&a)?;
+
+    let mut v = vec![0.0; n];
+    let mut result = TransientResult {
+        time: Vec::with_capacity(steps + 1),
+        voltages: vec![Vec::with_capacity(steps + 1); n],
+    };
+    let record = |res: &mut TransientResult, t: f64, v: &[f64]| {
+        res.time.push(t);
+        for (node, &val) in v.iter().enumerate() {
+            res.voltages[node].push(val);
+        }
+    };
+    record(&mut result, 0.0, &v);
+
+    let mut src_prev: Vec<f64> = circuit.sources.iter().map(|w| w.at(0.0)).collect();
+    for k in 1..=steps {
+        let t = k as f64 * step;
+        let t_prev = (k - 1) as f64 * step;
+        // rhs = (cap_scale·C [− G for TR]) · v_prev + source terms.
+        let mut rhs = c.mul_vec(&v);
+        for r in rhs.iter_mut() {
+            *r *= cap_scale;
+        }
+        if method == Method::Trapezoidal {
+            let gv = g.mul_vec(&v);
+            for (r, gvi) in rhs.iter_mut().zip(gv) {
+                *r -= gvi;
+            }
+        }
+        // Coupling-capacitor injection: BE gets C_c·Δv_s/h, TR 2·C_c·Δv_s/h.
+        for sc in &circuit.source_caps {
+            let now = circuit.sources[sc.source].at(t);
+            let before = src_prev[sc.source];
+            rhs[sc.node.index()] += sc.farads * cap_scale * (now - before);
+        }
+        // Thevenin drivers: BE uses b(tⁿ⁺¹); TR uses b(tⁿ) + b(tⁿ⁺¹).
+        for sr in &circuit.source_res {
+            let term = match method {
+                Method::BackwardEuler => circuit.sources[sr.source].at(t) / sr.ohms,
+                Method::Trapezoidal => {
+                    (circuit.sources[sr.source].at(t) + circuit.sources[sr.source].at(t_prev))
+                        / sr.ohms
+                }
+            };
+            rhs[sr.node.index()] += term;
+        }
+        for (i, w) in circuit.sources.iter().enumerate() {
+            src_prev[i] = w.at(t);
+        }
+        v = lu.solve(&rhs);
+        record(&mut result, t, &v);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Waveform;
+
+    /// RC low-pass step response via a coupling cap is awkward; test the
+    /// classic discharge instead: precharge through injection, then decay.
+    #[test]
+    fn rc_injection_peak_matches_theory() {
+        // Node with R to ground and coupling cap Cc to a ramp source:
+        // during the ramp, steady-state noise = R·Cc·(dV/dt) for
+        // R·(Cc+Cg) ≪ rise. Choose values where the plateau is reached.
+        let r = 1000.0;
+        let cc = 10e-15;
+        let rise = 1e-9;
+        let level = 1.8;
+        let mut cir = Circuit::new();
+        let x = cir.node();
+        let src = cir.waveform(Waveform::Ramp {
+            start: 0.0,
+            rise,
+            level,
+        });
+        cir.resistor_to_ground(x, r);
+        cir.coupling_cap(x, cc, src);
+        let res = run(&cir, rise / 2000.0, 2.0 * rise).expect("regular");
+        let plateau = r * cc * level / rise; // 18 mV
+        let peak = res.peak_abs(x.index());
+        assert!(
+            (peak - plateau).abs() / plateau < 0.02,
+            "peak {peak} vs plateau {plateau}"
+        );
+    }
+
+    #[test]
+    fn rc_charging_time_constant() {
+        // Drive node through R from a "source" modeled as a ramp with a
+        // very fast rise and a huge coupling cap ≈ voltage source... use
+        // instead: R-C charge via Thevenin equivalent is beyond the
+        // element set, so verify the discharge time constant: inject until
+        // plateau, stop the ramp, watch exp decay with τ = R(Cc+Cg).
+        let r = 1000.0;
+        let cc = 20e-15;
+        let cg = 30e-15;
+        let rise = 0.2e-9;
+        let mut cir = Circuit::new();
+        let x = cir.node();
+        let src = cir.waveform(Waveform::Ramp {
+            start: 0.0,
+            rise,
+            level: 1.8,
+        });
+        cir.resistor_to_ground(x, r);
+        cir.coupling_cap(x, cc, src);
+        cir.capacitor_to_ground(x, cg);
+        let h = 1e-12;
+        let res = run(&cir, h, 3e-9).expect("regular");
+        // Find the value right when the ramp ends and one τ later.
+        let k_end = (rise / h).round() as usize;
+        let tau = r * (cc + cg);
+        let k_tau = k_end + (tau / h).round() as usize;
+        let v_end = res.voltages[x.index()][k_end];
+        let v_tau = res.voltages[x.index()][k_tau];
+        let ratio = v_tau / v_end;
+        assert!(
+            (ratio - (-1.0_f64).exp()).abs() < 0.02,
+            "decay ratio {ratio} vs 1/e"
+        );
+    }
+
+    #[test]
+    fn charge_conservation_two_floating_nodes() {
+        // Two nodes joined by a cap, each with R to ground: injected
+        // charge splits and decays; simulation must stay finite and decay
+        // to zero.
+        let mut cir = Circuit::new();
+        let a = cir.node();
+        let b = cir.node();
+        let src = cir.waveform(Waveform::Ramp {
+            start: 0.0,
+            rise: 0.5e-9,
+            level: 1.8,
+        });
+        cir.resistor_to_ground(a, 500.0);
+        cir.resistor_to_ground(b, 700.0);
+        cir.capacitor(a, b, 15e-15);
+        cir.coupling_cap(a, 8e-15, src);
+        let res = run(&cir, 1e-12, 20e-9).expect("regular");
+        let last_a = *res.voltages[a.index()].last().expect("non-empty");
+        let last_b = *res.voltages[b.index()].last().expect("non-empty");
+        assert!(last_a.abs() < 1e-6 && last_b.abs() < 1e-6, "decayed");
+        assert!(res.peak_abs(b.index()) > 0.0, "coupling propagated");
+        assert!(res.peak_abs(b.index()) < res.peak_abs(a.index()));
+    }
+
+    #[test]
+    fn rc_charging_through_thevenin_driver() {
+        // Classic step response: v(t) = V·(1 − e^{−t/RC}); the 50 % point
+        // falls at RC·ln 2.
+        let (r, c, v) = (1000.0, 100e-15, 1.0);
+        let mut cir = Circuit::new();
+        let x = cir.node();
+        let src = cir.waveform(Waveform::Constant(v));
+        cir.resistor_to_source(x, r, src);
+        cir.capacitor_to_ground(x, c);
+        let res = run(&cir, 0.2e-12, 1e-9).expect("regular");
+        let t50 = res.crossing_time(x.index(), 0.5).expect("charges");
+        let expect = r * c * 2.0_f64.ln();
+        assert!(
+            (t50 - expect).abs() / expect < 0.01,
+            "t50 {t50} vs RC·ln2 {expect}"
+        );
+        let last = *res.voltages[x.index()].last().expect("non-empty");
+        assert!((last - v).abs() < 1e-3);
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut cir = Circuit::new();
+        let a = cir.node();
+        let _b = cir.node(); // no connection at all
+        cir.resistor_to_ground(a, 100.0);
+        assert!(run(&cir, 1e-12, 1e-9).is_err());
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_backward_euler() {
+        // RC charge with a coarse step: compare both methods against the
+        // exact solution v(t) = 1 − e^{−t/RC} at t = RC.
+        let (r, c) = (1000.0, 100e-15);
+        let tau = r * c;
+        let mut cir = Circuit::new();
+        let x = cir.node();
+        let src = cir.waveform(Waveform::Constant(1.0));
+        cir.resistor_to_source(x, r, src);
+        cir.capacitor_to_ground(x, c);
+        let h = tau / 10.0; // deliberately coarse
+        let exact = 1.0 - (-1.0f64).exp();
+        let sample = |m: Method| {
+            // duration 0.95*tau makes ceil() land on exactly 10 steps, so
+            // the last sample sits at t = tau.
+            let res = run_with(&cir, h, tau * 0.95, m).expect("regular");
+            assert_eq!(res.time.len(), 11);
+            *res.voltages[x.index()].last().expect("non-empty")
+        };
+        let err_be = (sample(Method::BackwardEuler) - exact).abs();
+        let err_tr = (sample(Method::Trapezoidal) - exact).abs();
+        assert!(
+            err_tr < err_be / 5.0,
+            "TR error {err_tr} should be well below BE error {err_be}"
+        );
+    }
+
+    #[test]
+    fn methods_agree_at_fine_steps() {
+        let mut cir = Circuit::new();
+        let x = cir.node();
+        let src = cir.waveform(Waveform::Ramp {
+            start: 0.0,
+            rise: 1e-9,
+            level: 1.8,
+        });
+        cir.resistor_to_ground(x, 800.0);
+        cir.coupling_cap(x, 15e-15, src);
+        cir.capacitor_to_ground(x, 25e-15);
+        let h = 0.2e-12;
+        let be = run_with(&cir, h, 3e-9, Method::BackwardEuler).expect("ok");
+        let tr = run_with(&cir, h, 3e-9, Method::Trapezoidal).expect("ok");
+        let (pa, pb) = (be.peak_abs(x.index()), tr.peak_abs(x.index()));
+        assert!((pa - pb).abs() / pb < 0.01, "BE {pa} vs TR {pb}");
+    }
+
+    #[test]
+    fn time_above_measures_pulse_width() {
+        let res = TransientResult {
+            time: vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            voltages: vec![vec![0.0, 1.0, 1.0, 0.0, 0.0]],
+        };
+        // Above 0.5: enters at t=0.5, leaves at t=2.5 ⇒ width 2.
+        assert!((res.time_above(0, 0.5) - 2.0).abs() < 1e-12);
+        assert_eq!(res.time_above(0, 2.0), 0.0);
+        // Negative excursions count via |v|.
+        let res2 = TransientResult {
+            time: vec![0.0, 1.0, 2.0],
+            voltages: vec![vec![0.0, -1.0, 0.0]],
+        };
+        assert!((res2.time_above(0, 0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_time_interpolates() {
+        let res = TransientResult {
+            time: vec![0.0, 1.0, 2.0],
+            voltages: vec![vec![0.0, 0.5, 1.0]],
+        };
+        let t = res.crossing_time(0, 0.75).expect("crosses");
+        assert!((t - 1.5).abs() < 1e-12);
+        assert!(res.crossing_time(0, 2.0).is_none());
+    }
+}

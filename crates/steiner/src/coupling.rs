@@ -1,0 +1,453 @@
+//! Geometric coupling extraction: from routed victim wires and aggressor
+//! tracks in the plane to a per-wire Devgan [`NoiseScenario`].
+//!
+//! The paper's premise (Section I): "the amount of coupling capacitance
+//! from one net to another is proportional to the distance that the two
+//! nets run parallel to each other", and the coupling ratio falls off
+//! inversely with separation, `λ(d) = κ / d` (the form behind eq. 17's
+//! separation-distance result). This module evaluates exactly that model
+//! over rectilinear geometry:
+//!
+//! * for each victim wire segment and each parallel aggressor segment,
+//!   compute the *overlap length* of their projections and the
+//!   perpendicular separation `d`;
+//! * the wire's effective coupling ratio accumulates
+//!   `(overlap / wire length) · κ / d`, clamped by a minimum spacing and
+//!   cut off beyond a maximum;
+//! * multiplied by the aggressor's slope µ it becomes the wire's
+//!   `Σ λ·µ` factor (eq. 6).
+//!
+//! Perpendicular crossings contribute nothing (their parallel run is a
+//! point), matching the usual extraction simplification.
+
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::NodeId;
+
+use crate::{Point, RoutedNet};
+
+/// A switching neighbour, described by its planar path and signal slope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggressorTrack {
+    /// Rectilinear polyline (consecutive points axis-aligned; non-axis-
+    /// aligned segments couple to nothing).
+    pub path: Vec<Point>,
+    /// Signal slope µ in V/s (e.g. `vdd / rise_time`).
+    pub slope: f64,
+}
+
+/// The `λ(d) = κ / d` coupling model of the paper's eq. 16–17.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CouplingModel {
+    /// Proportionality constant κ (µm): `λ = κ / d` for separation `d`.
+    pub kappa: f64,
+    /// Minimum separation (µm); smaller distances clamp here (wires
+    /// cannot be closer than one routing pitch).
+    pub min_distance: f64,
+    /// Maximum separation (µm); beyond it coupling is negligible.
+    pub max_distance: f64,
+}
+
+impl Default for CouplingModel {
+    /// κ = 0.42 µm with 0.6–6 µm range: a victim at minimum pitch sees
+    /// λ = 0.7, the paper's estimation-mode ratio.
+    fn default() -> Self {
+        CouplingModel {
+            kappa: 0.42,
+            min_distance: 0.6,
+            max_distance: 6.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Orientation {
+    Horizontal,
+    Vertical,
+}
+
+fn orientation(a: Point, b: Point) -> Option<Orientation> {
+    let dx = (a.x - b.x).abs();
+    let dy = (a.y - b.y).abs();
+    if dx > 0.0 && dy == 0.0 {
+        Some(Orientation::Horizontal)
+    } else if dy > 0.0 && dx == 0.0 {
+        Some(Orientation::Vertical)
+    } else {
+        None // zero-length or diagonal
+    }
+}
+
+/// Overlap length and separation of two parallel segments, or `None` when
+/// they do not run parallel with positive overlap.
+fn parallel_overlap(v0: Point, v1: Point, a0: Point, a1: Point) -> Option<(f64, f64)> {
+    let ov = orientation(v0, v1)?;
+    let oa = orientation(a0, a1)?;
+    if ov != oa {
+        return None;
+    }
+    let (v_lo, v_hi, v_perp, a_lo, a_hi, a_perp) = match ov {
+        Orientation::Horizontal => (
+            v0.x.min(v1.x),
+            v0.x.max(v1.x),
+            v0.y,
+            a0.x.min(a1.x),
+            a0.x.max(a1.x),
+            a0.y,
+        ),
+        Orientation::Vertical => (
+            v0.y.min(v1.y),
+            v0.y.max(v1.y),
+            v0.x,
+            a0.y.min(a1.y),
+            a0.y.max(a1.y),
+            a0.x,
+        ),
+    };
+    let overlap = (v_hi.min(a_hi) - v_lo.max(a_lo)).max(0.0);
+    if overlap <= 0.0 {
+        return None;
+    }
+    Some((overlap, (v_perp - a_perp).abs()))
+}
+
+/// Effective `Σ λ·µ` factor (V/s) for an arbitrary axis-aligned segment
+/// against the aggressor tracks: the per-unit-length coupling the segment
+/// would carry as a victim wire. Zero-length or diagonal segments return
+/// zero.
+pub fn segment_coupling_factor(
+    a: Point,
+    b: Point,
+    tracks: &[AggressorTrack],
+    model: &CouplingModel,
+) -> f64 {
+    let len = a.manhattan(b);
+    if len <= 0.0 || orientation(a, b).is_none() {
+        return 0.0;
+    }
+    let mut factor = 0.0;
+    for track in tracks {
+        for seg in track.path.windows(2) {
+            let Some((overlap, d)) = parallel_overlap(a, b, seg[0], seg[1]) else {
+                continue;
+            };
+            if d > model.max_distance {
+                continue;
+            }
+            let lambda = model.kappa / d.max(model.min_distance);
+            factor += (overlap / len) * lambda.min(1.0) * track.slope;
+        }
+    }
+    factor
+}
+
+/// Noise-aware Steiner estimation: for every MST edge, pick the L-shape
+/// orientation (lower-L vs upper-L — identical wirelength and RC) whose
+/// legs collect the smaller injected coupling current, then extract the
+/// final scenario. A lightweight take on simultaneous routing and noise
+/// avoidance (the paper cites Okamoto–Cong \[23\] for the full problem).
+///
+/// Returns the routed net together with its extracted scenario.
+///
+/// # Errors
+///
+/// Returns [`buffopt_tree::TreeError::NoSinks`] if the net has no sinks.
+pub fn noise_aware_steiner(
+    net: &crate::NetGeometry,
+    tech: &buffopt_tree::Technology,
+    tracks: &[AggressorTrack],
+    model: &CouplingModel,
+) -> Result<(RoutedNet, NoiseScenario), buffopt_tree::TreeError> {
+    let c_per_um = tech.capacitance_per_micron;
+    let routed = crate::steiner_tree_routed_with(net, tech, &mut |_, from, to| {
+        let legs = |bend: Point| -> f64 {
+            // Injected current of the two legs (factor · capacitance).
+            segment_coupling_factor(from, bend, tracks, model)
+                * (from.manhattan(bend) * c_per_um)
+                + segment_coupling_factor(bend, to, tracks, model)
+                    * (bend.manhattan(to) * c_per_um)
+        };
+        let lower = legs(Point::new(to.x, from.y));
+        let upper = legs(Point::new(from.x, to.y));
+        if upper < lower {
+            crate::BendPolicy::VerticalFirst
+        } else {
+            crate::BendPolicy::HorizontalFirst
+        }
+    })?;
+    let scenario = extract_scenario(&routed, tracks, model);
+    Ok((routed, scenario))
+}
+
+/// Extracts a [`NoiseScenario`] for `routed` from the aggressor tracks
+/// under `model`. Wires without geometry (binarization dummies, taps)
+/// stay quiet.
+///
+/// # Panics
+///
+/// Panics if the model is degenerate (non-positive κ or distances, or
+/// `min_distance > max_distance`) or an aggressor slope is negative.
+pub fn extract_scenario(
+    routed: &RoutedNet,
+    tracks: &[AggressorTrack],
+    model: &CouplingModel,
+) -> NoiseScenario {
+    assert!(
+        model.kappa > 0.0 && model.min_distance > 0.0 && model.max_distance >= model.min_distance,
+        "degenerate coupling model"
+    );
+    let tree = &routed.tree;
+    let mut scenario = NoiseScenario::quiet(tree);
+    for v in tree.node_ids() {
+        let Some(Some((p0, p1))) = routed.segments.get(v.index()).copied() else {
+            continue;
+        };
+        let Some(w) = tree.parent_wire(v) else { continue };
+        if w.length <= 0.0 {
+            continue;
+        }
+        let mut factor = 0.0;
+        for track in tracks {
+            assert!(track.slope >= 0.0, "aggressor slope must be non-negative");
+            for seg in track.path.windows(2) {
+                let Some((overlap, d)) = parallel_overlap(p0, p1, seg[0], seg[1]) else {
+                    continue;
+                };
+                if d > model.max_distance {
+                    continue;
+                }
+                let lambda = model.kappa / d.max(model.min_distance);
+                factor += (overlap / w.length) * lambda.min(1.0) * track.slope;
+            }
+        }
+        scenario.set_factor(NodeId::from_index(v.index()), factor);
+    }
+    scenario
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{steiner_tree_routed, NetGeometry};
+    use buffopt_noise::metric;
+    use buffopt_tree::{Driver, SinkSpec, Technology};
+
+    fn straight_victim(len: f64) -> RoutedNet {
+        let net = NetGeometry {
+            source: Point::new(0.0, 0.0),
+            driver: Driver::new(300.0, 10e-12),
+            sinks: vec![(
+                Point::new(len, 0.0),
+                SinkSpec::new(20e-15, 1e-9, 0.8),
+            )],
+        };
+        steiner_tree_routed(&net, &Technology::global_layer()).expect("routed")
+    }
+
+    fn track_at(y: f64, x0: f64, x1: f64, slope: f64) -> AggressorTrack {
+        AggressorTrack {
+            path: vec![Point::new(x0, y), Point::new(x1, y)],
+            slope,
+        }
+    }
+
+    #[test]
+    fn full_parallel_run_gives_kappa_over_d() {
+        let routed = straight_victim(4_000.0);
+        let d = 1.2;
+        let mu = 7.2e9;
+        let s = extract_scenario(
+            &routed,
+            &[track_at(d, 0.0, 4_000.0, mu)],
+            &CouplingModel::default(),
+        );
+        let sink = routed.tree.sinks()[0];
+        let expect = (0.42 / d) * mu;
+        assert!(
+            (s.factor(sink) - expect).abs() / expect < 1e-12,
+            "factor {} vs {expect}",
+            s.factor(sink)
+        );
+    }
+
+    #[test]
+    fn partial_overlap_scales_proportionally() {
+        let routed = straight_victim(4_000.0);
+        let full = extract_scenario(
+            &routed,
+            &[track_at(1.0, 0.0, 4_000.0, 7.2e9)],
+            &CouplingModel::default(),
+        );
+        let half = extract_scenario(
+            &routed,
+            &[track_at(1.0, 1_000.0, 3_000.0, 7.2e9)],
+            &CouplingModel::default(),
+        );
+        let sink = routed.tree.sinks()[0];
+        assert!((half.factor(sink) * 2.0 - full.factor(sink)).abs() < 1.0);
+    }
+
+    #[test]
+    fn perpendicular_crossing_couples_nothing() {
+        let routed = straight_victim(4_000.0);
+        let crossing = AggressorTrack {
+            path: vec![Point::new(2_000.0, -100.0), Point::new(2_000.0, 100.0)],
+            slope: 7.2e9,
+        };
+        let s = extract_scenario(&routed, &[crossing], &CouplingModel::default());
+        let sink = routed.tree.sinks()[0];
+        assert_eq!(s.factor(sink), 0.0);
+    }
+
+    #[test]
+    fn distance_cutoff_and_clamp() {
+        let routed = straight_victim(2_000.0);
+        let sink = routed.tree.sinks()[0];
+        let model = CouplingModel::default();
+        // Beyond max distance: nothing.
+        let far = extract_scenario(&routed, &[track_at(10.0, 0.0, 2_000.0, 7.2e9)], &model);
+        assert_eq!(far.factor(sink), 0.0);
+        // Below min distance: clamps to λ(min) = 0.42/0.6 = 0.7, the
+        // paper's estimation-mode ratio.
+        let near = extract_scenario(&routed, &[track_at(0.1, 0.0, 2_000.0, 7.2e9)], &model);
+        assert!((near.factor(sink) - 0.7 * 7.2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn multiple_tracks_accumulate() {
+        let routed = straight_victim(3_000.0);
+        let sink = routed.tree.sinks()[0];
+        let t1 = track_at(1.0, 0.0, 3_000.0, 4.0e9);
+        let t2 = track_at(-2.0, 0.0, 3_000.0, 8.0e9);
+        let both = extract_scenario(&routed, &[t1.clone(), t2.clone()], &CouplingModel::default());
+        let only1 = extract_scenario(&routed, &[t1], &CouplingModel::default());
+        let only2 = extract_scenario(&routed, &[t2], &CouplingModel::default());
+        assert!(
+            (both.factor(sink) - only1.factor(sink) - only2.factor(sink)).abs() < 1.0,
+            "eq. 6: aggressor currents add"
+        );
+    }
+
+    #[test]
+    fn noise_decreases_monotonically_with_separation() {
+        let routed = straight_victim(5_000.0);
+        let mut prev = f64::INFINITY;
+        for d in [0.8, 1.2, 2.0, 3.5, 5.5] {
+            let s = extract_scenario(
+                &routed,
+                &[track_at(d, 0.0, 5_000.0, 7.2e9)],
+                &CouplingModel::default(),
+            );
+            let noise = metric::sink_noise(&routed.tree, &s)[0].noise;
+            assert!(noise < prev, "noise must fall with distance: {noise} at {d}");
+            prev = noise;
+        }
+    }
+
+    #[test]
+    fn separation_distance_cross_checks_theorem1() {
+        // Place the aggressor at the eq. 17 minimum separation; the
+        // extracted scenario should then meet the margin with ~equality.
+        use buffopt_noise::theorem1::{min_separation, Separation};
+        let len = 3_000.0;
+        let routed = straight_victim(len);
+        let tech = Technology::global_layer();
+        let model = CouplingModel::default();
+        let mu = 7.2e9;
+        let rso = 300.0;
+        let nm = 0.8;
+        let Separation::AtLeast(d) = min_separation(
+            model.kappa,
+            mu,
+            tech.capacitance_per_micron,
+            rso,
+            tech.resistance_per_micron,
+            len,
+            0.0,
+            nm,
+        ) else {
+            panic!("expected a finite separation");
+        };
+        assert!(d > model.min_distance && d < model.max_distance, "d = {d}");
+        let s = extract_scenario(&routed, &[track_at(d, 0.0, len, mu)], &model);
+        let noise = metric::sink_noise(&routed.tree, &s)[0].noise;
+        assert!(
+            (noise - nm).abs() < 1e-6,
+            "at the eq. 17 distance the margin is met with equality: {noise}"
+        );
+    }
+
+    #[test]
+    fn noise_aware_routing_dodges_the_aggressor() {
+        // The aggressor hugs the lower-L path; the upper-L is quiet. The
+        // noise-aware estimator must pick the upper-L and beat the default
+        // embedding's noise.
+        use buffopt_tree::Technology;
+        let net = NetGeometry {
+            source: Point::new(0.0, 0.0),
+            driver: Driver::new(300.0, 10e-12),
+            sinks: vec![(
+                Point::new(3_000.0, 2_000.0),
+                SinkSpec::new(20e-15, 1e-9, 0.8),
+            )],
+        };
+        let tech = Technology::global_layer();
+        let model = CouplingModel::default();
+        // Track along y = -1 µm: parallel to the lower-L's horizontal leg
+        // (which runs at y = 0), far from the upper-L's (at y = 2000).
+        let tracks = [AggressorTrack {
+            path: vec![Point::new(0.0, -1.0), Point::new(3_000.0, -1.0)],
+            slope: 7.2e9,
+        }];
+        let (aware, aware_scen) =
+            noise_aware_steiner(&net, &tech, &tracks, &model).expect("routed");
+        let default = steiner_tree_routed(&net, &tech).expect("routed");
+        let default_scen = extract_scenario(&default, &tracks, &model);
+        let n_aware = metric::sink_noise(&aware.tree, &aware_scen)[0].noise;
+        let n_default = metric::sink_noise(&default.tree, &default_scen)[0].noise;
+        assert!(
+            n_aware < n_default / 10.0,
+            "aware {n_aware} should be far below default {n_default}"
+        );
+        // Same wirelength either way.
+        assert!(
+            (aware.tree.total_wire_length() - default.tree.total_wire_length()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn segment_factor_handles_degenerate_segments() {
+        let tracks = [track_at(1.0, 0.0, 100.0, 1e9)];
+        let model = CouplingModel::default();
+        let p = Point::new(0.0, 0.0);
+        assert_eq!(segment_coupling_factor(p, p, &tracks, &model), 0.0);
+        let diag = Point::new(50.0, 50.0);
+        assert_eq!(segment_coupling_factor(p, diag, &tracks, &model), 0.0);
+        let par = Point::new(100.0, 0.0);
+        assert!(segment_coupling_factor(p, par, &tracks, &model) > 0.0);
+    }
+
+    #[test]
+    fn l_shaped_victim_couples_per_leg() {
+        // Victim bends; an aggressor parallel to the vertical leg only
+        // couples there.
+        let net = NetGeometry {
+            source: Point::new(0.0, 0.0),
+            driver: Driver::new(300.0, 10e-12),
+            sinks: vec![(
+                Point::new(2_000.0, 3_000.0),
+                SinkSpec::new(20e-15, 1e-9, 0.8),
+            )],
+        };
+        let routed = steiner_tree_routed(&net, &Technology::global_layer()).expect("routed");
+        let vertical_agg = AggressorTrack {
+            path: vec![Point::new(2_001.0, 0.0), Point::new(2_001.0, 3_000.0)],
+            slope: 7.2e9,
+        };
+        let s = extract_scenario(&routed, &[vertical_agg], &CouplingModel::default());
+        // Find the horizontal-leg node (bend) and the sink (vertical leg).
+        let sink = routed.tree.sinks()[0];
+        let bend = routed.tree.parent(sink).expect("bend");
+        assert_eq!(s.factor(bend), 0.0, "horizontal leg is unperturbed");
+        assert!(s.factor(sink) > 0.0, "vertical leg couples");
+    }
+}

@@ -1,0 +1,365 @@
+//! Rectilinear Steiner-tree estimation.
+//!
+//! The paper assumes "the input routing tree topology is fixed or that a
+//! Steiner estimation has been computed for the given net" (Section II).
+//! This crate provides that estimation for the synthetic workload: a
+//! Prim rectilinear MST over the pin locations with L-shape edge
+//! embedding (one bend per edge), yielding a [`RoutingTree`] whose wire
+//! lengths are Manhattan distances scaled by a [`Technology`].
+//!
+//! # Example
+//!
+//! ```
+//! use buffopt_steiner::{NetGeometry, Point, steiner_tree};
+//! use buffopt_tree::{Driver, SinkSpec, Technology};
+//!
+//! # fn main() -> Result<(), buffopt_tree::TreeError> {
+//! let net = NetGeometry {
+//!     source: Point::new(0.0, 0.0),
+//!     driver: Driver::new(200.0, 20.0e-12),
+//!     sinks: vec![
+//!         (Point::new(3000.0, 1000.0), SinkSpec::new(15.0e-15, 1.0e-9, 0.8)),
+//!         (Point::new(1000.0, 2500.0), SinkSpec::new(10.0e-15, 1.0e-9, 0.8)),
+//!     ],
+//! };
+//! let tree = steiner_tree(&net, &Technology::global_layer())?;
+//! assert_eq!(tree.sinks().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coupling;
+mod mst;
+mod point;
+
+pub use mst::prim_mst;
+pub use point::Point;
+
+use buffopt_tree::{Driver, NodeId, RoutingTree, SinkSpec, Technology, TreeBuilder, TreeError};
+
+/// A routing tree that remembers where each wire runs in the plane, so
+/// coupling can be extracted geometrically ([`coupling`]).
+#[derive(Debug, Clone)]
+pub struct RoutedNet {
+    /// The electrical routing tree.
+    pub tree: RoutingTree,
+    /// Per-node geometry of the parent wire as `(upper end, lower end)`
+    /// points; `None` for the source and for binarization dummies.
+    pub segments: Vec<Option<(Point, Point)>>,
+}
+
+/// Geometric description of a net: driver location plus sink pins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetGeometry {
+    /// Location of the driving gate's output pin (µm).
+    pub source: Point,
+    /// The driving gate.
+    pub driver: Driver,
+    /// Sink pins with their electrical/timing specs.
+    pub sinks: Vec<(Point, SinkSpec)>,
+}
+
+impl NetGeometry {
+    /// Half-perimeter of the pin bounding box (µm) — the classic net-size
+    /// estimate.
+    pub fn half_perimeter(&self) -> f64 {
+        let xs = std::iter::once(self.source.x).chain(self.sinks.iter().map(|(p, _)| p.x));
+        let ys = std::iter::once(self.source.y).chain(self.sinks.iter().map(|(p, _)| p.y));
+        let (mut xmin, mut xmax, mut ymin, mut ymax) =
+            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        for x in xs {
+            xmin = xmin.min(x);
+            xmax = xmax.max(x);
+        }
+        for y in ys {
+            ymin = ymin.min(y);
+            ymax = ymax.max(y);
+        }
+        (xmax - xmin) + (ymax - ymin)
+    }
+}
+
+/// Builds a routing tree for `net`: Prim rectilinear MST over
+/// source + sinks, L-shape embedding (horizontal leg first), wires scaled
+/// by `tech`. A sink that has MST children receives a co-located Steiner
+/// tap so sinks stay leaves.
+///
+/// # Errors
+///
+/// Returns [`TreeError::NoSinks`] if the net has no sinks.
+pub fn steiner_tree(net: &NetGeometry, tech: &Technology) -> Result<RoutingTree, TreeError> {
+    steiner_tree_routed(net, tech).map(|r| r.tree)
+}
+
+/// Which leg of an L-shaped edge is routed first (from the parent end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BendPolicy {
+    /// Horizontal leg first, then vertical — the classic lower-L.
+    #[default]
+    HorizontalFirst,
+    /// Vertical leg first, then horizontal — the upper-L.
+    VerticalFirst,
+}
+
+/// Like [`steiner_tree`], but also returns the planar geometry of every
+/// wire for coupling extraction.
+///
+/// # Errors
+///
+/// Returns [`TreeError::NoSinks`] if the net has no sinks.
+pub fn steiner_tree_routed(net: &NetGeometry, tech: &Technology) -> Result<RoutedNet, TreeError> {
+    steiner_tree_routed_with(net, tech, &mut |_, _, _| BendPolicy::HorizontalFirst)
+}
+
+/// Like [`steiner_tree_routed`], with a per-edge bend-policy callback
+/// `(edge index, from, to) → policy`. Both L orientations have identical
+/// wirelength and RC; they differ only in *where* the wire runs, which is
+/// what geometric coupling extraction cares about (see
+/// [`coupling::noise_aware_steiner`]).
+///
+/// # Errors
+///
+/// Returns [`TreeError::NoSinks`] if the net has no sinks.
+pub fn steiner_tree_routed_with(
+    net: &NetGeometry,
+    tech: &Technology,
+    policy: &mut dyn FnMut(usize, Point, Point) -> BendPolicy,
+) -> Result<RoutedNet, TreeError> {
+    if net.sinks.is_empty() {
+        return Err(TreeError::NoSinks);
+    }
+    // Points: 0 = source, 1.. = sinks.
+    let points: Vec<Point> = std::iter::once(net.source)
+        .chain(net.sinks.iter().map(|(p, _)| *p))
+        .collect();
+    let edges = prim_mst(&points);
+    // Orient edges away from the source via BFS.
+    let n = points.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in &edges {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut order: Vec<(usize, usize)> = Vec::new(); // (parent, child)
+    let mut seen = vec![false; n];
+    seen[0] = true;
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                order.push((u, v));
+                queue.push_back(v);
+            }
+        }
+    }
+
+    let mut builder = TreeBuilder::new(net.driver);
+    // Representative builder node for each point (where children attach).
+    let mut rep: Vec<Option<NodeId>> = vec![None; n];
+    rep[0] = Some(builder.source());
+    // Per-builder-node wire geometry (index order matches node creation).
+    let mut segments: Vec<Option<(Point, Point)>> = vec![None];
+    // Sinks with MST children need a Steiner tap; find child counts.
+    let mut child_count = vec![0usize; n];
+    for &(p, _) in &order {
+        child_count[p] += 1;
+    }
+
+    // Create each point's node(s) in BFS order.
+    for (edge_idx, &(p, c)) in order.iter().enumerate() {
+        let from = points[p];
+        let to = points[c];
+        let parent_node = rep[p].expect("BFS order");
+        // L-shape: first leg per policy, then the other.
+        let dx = (to.x - from.x).abs();
+        let dy = (to.y - from.y).abs();
+        let (bend, first_len, second_len) =
+            match policy(edge_idx, from, to) {
+                BendPolicy::HorizontalFirst => (Point::new(to.x, from.y), dx, dy),
+                BendPolicy::VerticalFirst => (Point::new(from.x, to.y), dy, dx),
+            };
+        let mut attach = parent_node;
+        let mut leg_start = from;
+        if dx > 0.0 && dy > 0.0 {
+            attach = builder.add_internal(attach, tech.wire(first_len))?;
+            segments.push(Some((from, bend)));
+            leg_start = bend;
+        }
+        let last_leg = if dx > 0.0 && dy > 0.0 {
+            second_len
+        } else {
+            dx + dy // straight edge (one of them is zero)
+        };
+        let wire = tech.wire(last_leg);
+        // c is always a sink index (≥ 1 maps to sinks[c-1]).
+        let spec = net.sinks[c - 1].1.clone();
+        if child_count[c] > 0 {
+            // Steiner tap at the sink location; the pin hangs off it.
+            let tap = builder.add_internal(attach, wire)?;
+            segments.push(Some((leg_start, to)));
+            builder.add_sink(tap, tech.wire(0.0), spec)?;
+            segments.push(Some((to, to)));
+            rep[c] = Some(tap);
+        } else {
+            let leaf = builder.add_sink(attach, wire, spec)?;
+            segments.push(Some((leg_start, to)));
+            rep[c] = Some(leaf);
+        }
+    }
+    let tree = builder.build()?;
+    // Binarization dummies (if any) carry no geometry.
+    while segments.len() < tree.len() {
+        segments.push(None);
+    }
+    Ok(RoutedNet { tree, segments })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink(x: f64, y: f64) -> (Point, SinkSpec) {
+        (Point::new(x, y), SinkSpec::new(10e-15, 1e-9, 0.8))
+    }
+
+    fn net(sinks: Vec<(Point, SinkSpec)>) -> NetGeometry {
+        NetGeometry {
+            source: Point::new(0.0, 0.0),
+            driver: Driver::new(200.0, 10e-12),
+            sinks,
+        }
+    }
+
+    fn mst_length(points: &[Point]) -> f64 {
+        prim_mst(points)
+            .iter()
+            .map(|&(a, b)| points[a].manhattan(points[b]))
+            .sum()
+    }
+
+    #[test]
+    fn two_pin_straight() {
+        let n = net(vec![sink(5000.0, 0.0)]);
+        let t = steiner_tree(&n, &Technology::global_layer()).expect("tree");
+        assert_eq!(t.sinks().len(), 1);
+        assert!((t.total_wire_length() - 5000.0).abs() < 1e-9);
+        assert!(t.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn two_pin_l_shape_has_bend() {
+        let n = net(vec![sink(3000.0, 2000.0)]);
+        let t = steiner_tree(&n, &Technology::global_layer()).expect("tree");
+        assert!((t.total_wire_length() - 5000.0).abs() < 1e-9);
+        // Source, bend, sink.
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn wirelength_equals_mst_length() {
+        // L-shape embedding preserves Manhattan edge lengths.
+        let sinks = vec![
+            sink(1000.0, 4000.0),
+            sink(-2000.0, 1500.0),
+            sink(3000.0, -500.0),
+            sink(500.0, 500.0),
+            sink(4000.0, 4000.0),
+        ];
+        let n = net(sinks);
+        let points: Vec<Point> = std::iter::once(n.source)
+            .chain(n.sinks.iter().map(|(p, _)| *p))
+            .collect();
+        let t = steiner_tree(&n, &Technology::global_layer()).expect("tree");
+        assert!((t.total_wire_length() - mst_length(&points)).abs() < 1e-6);
+        assert_eq!(t.sinks().len(), 5);
+        assert!(t.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn coincident_sink_gets_zero_wire() {
+        let n = net(vec![sink(0.0, 0.0), sink(1000.0, 0.0)]);
+        let t = steiner_tree(&n, &Technology::global_layer()).expect("tree");
+        assert_eq!(t.sinks().len(), 2);
+        assert!((t.total_wire_length() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chained_sinks_produce_taps() {
+        // Three collinear sinks: the middle ones carry MST children, so
+        // they must become taps with leaf pins.
+        let n = net(vec![sink(1000.0, 0.0), sink(2000.0, 0.0), sink(3000.0, 0.0)]);
+        let t = steiner_tree(&n, &Technology::global_layer()).expect("tree");
+        assert_eq!(t.sinks().len(), 3);
+        for &s in t.sinks() {
+            assert!(t.children(s).is_empty(), "sinks stay leaves");
+        }
+        assert!((t.total_wire_length() - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_sinks_is_an_error() {
+        let n = net(vec![]);
+        assert!(matches!(
+            steiner_tree(&n, &Technology::global_layer()),
+            Err(TreeError::NoSinks)
+        ));
+    }
+
+    #[test]
+    fn half_perimeter() {
+        let n = net(vec![sink(3000.0, -1000.0), sink(-500.0, 2000.0)]);
+        assert!((n.half_perimeter() - (3500.0 + 3000.0)).abs() < 1e-9);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+            prop::collection::vec((0.0f64..10_000.0, 0.0f64..10_000.0), 1..25)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// L-shape embedding preserves total MST length exactly, the
+            /// tree is well-formed, and wirelength ≥ half-perimeter.
+            #[test]
+            fn embedding_preserves_mst_length(pts in arb_points()) {
+                let n = net(pts.iter().map(|&(x, y)| sink(x, y)).collect());
+                let points: Vec<Point> = std::iter::once(n.source)
+                    .chain(n.sinks.iter().map(|(p, _)| *p))
+                    .collect();
+                let t = steiner_tree(&n, &Technology::global_layer()).expect("tree");
+                prop_assert!((t.total_wire_length() - mst_length(&points)).abs() < 1e-6);
+                prop_assert!(t.check_invariants().is_empty());
+                prop_assert_eq!(t.sinks().len(), n.sinks.len());
+                prop_assert!(t.total_wire_length() >= n.half_perimeter() - 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn big_random_net_is_well_formed() {
+        let mut sinks = Vec::new();
+        let mut state = 0x1234_5678_u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 10_000) as f64
+        };
+        for _ in 0..40 {
+            sinks.push(sink(rnd(), rnd()));
+        }
+        let n = net(sinks);
+        let t = steiner_tree(&n, &Technology::global_layer()).expect("tree");
+        assert_eq!(t.sinks().len(), 40);
+        assert!(t.check_invariants().is_empty());
+        assert!(t.total_wire_length() >= n.half_perimeter() - 1e-9);
+    }
+}

@@ -1,0 +1,153 @@
+//! Prim's minimum spanning tree under the Manhattan metric — the
+//! topology backbone of the Steiner estimation. `O(n²)`, which is exact
+//! and plenty fast for net-sized point sets.
+
+use crate::point::Point;
+
+/// Computes the MST edges over `points` (indices into the slice) under
+/// Manhattan distance. Returns `points.len() − 1` edges; an empty or
+/// single-point input yields no edges.
+pub fn prim_mst(points: &[Point]) -> Vec<(usize, usize)> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_link = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    in_tree[0] = true;
+    for j in 1..n {
+        best_dist[j] = points[0].manhattan(points[j]);
+    }
+    for _ in 1..n {
+        // Closest out-of-tree point.
+        let (next, _) = best_dist
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| !in_tree[j])
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"))
+            .expect("some point remains");
+        in_tree[next] = true;
+        edges.push((best_link[next], next));
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = points[next].manhattan(points[j]);
+                if d < best_dist[j] {
+                    best_dist[j] = d;
+                    best_link[j] = next;
+                }
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(points: &[Point], edges: &[(usize, usize)]) -> f64 {
+        edges
+            .iter()
+            .map(|&(a, b)| points[a].manhattan(points[b]))
+            .sum()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(prim_mst(&[]).is_empty());
+        assert!(prim_mst(&[Point::new(0.0, 0.0)]).is_empty());
+    }
+
+    #[test]
+    fn two_points_one_edge() {
+        let pts = [Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+        let e = prim_mst(&pts);
+        assert_eq!(e, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn collinear_chain() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        let e = prim_mst(&pts);
+        assert_eq!(e.len(), 4);
+        assert!((total(&pts, &e) - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn square_spanning() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 10.0),
+            Point::new(10.0, 10.0),
+        ];
+        let e = prim_mst(&pts);
+        assert_eq!(e.len(), 3);
+        assert!((total(&pts, &e) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_exhaustive_on_small_sets() {
+        // Check Prim's total against brute-force over all spanning trees
+        // (via Kruskal-like enumeration of edge subsets) for 5 points.
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(7.0, 2.0),
+            Point::new(3.0, 9.0),
+            Point::new(8.0, 8.0),
+            Point::new(1.0, 4.0),
+        ];
+        let prim_total = total(&pts, &prim_mst(&pts));
+        // All edges.
+        let mut all = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                all.push((i, j));
+            }
+        }
+        let mut best = f64::INFINITY;
+        // Choose any 4 edges; keep spanning acyclic sets.
+        let m = all.len();
+        for mask in 0u32..(1 << m) {
+            if mask.count_ones() != 4 {
+                continue;
+            }
+            let mut parent: Vec<usize> = (0..5).collect();
+            fn find(p: &mut Vec<usize>, x: usize) -> usize {
+                if p[x] != x {
+                    let r = find(p, p[x]);
+                    p[x] = r;
+                }
+                p[x]
+            }
+            let mut ok = true;
+            let mut len = 0.0;
+            for (k, &(a, b)) in all.iter().enumerate() {
+                if mask & (1 << k) == 0 {
+                    continue;
+                }
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra == rb {
+                    ok = false;
+                    break;
+                }
+                parent[ra] = rb;
+                len += pts[a].manhattan(pts[b]);
+            }
+            if ok {
+                best = best.min(len);
+            }
+        }
+        assert!((prim_total - best).abs() < 1e-9, "prim {prim_total} vs {best}");
+    }
+
+    #[test]
+    fn duplicate_points_zero_edges() {
+        let pts = [Point::new(5.0, 5.0), Point::new(5.0, 5.0), Point::new(9.0, 5.0)];
+        let e = prim_mst(&pts);
+        assert_eq!(e.len(), 2);
+        assert!((total(&pts, &e) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// A 2-D location in microns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate (µm).
+    pub x: f64,
+    /// Y coordinate (µm).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates in microns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate is not finite.
+    pub fn new(x: f64, y: f64) -> Self {
+        assert!(x.is_finite() && y.is_finite(), "coordinates must be finite");
+        Point { x, y }
+    }
+
+    /// Manhattan (rectilinear) distance to `other`, in microns.
+    pub fn manhattan(self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, -4.0);
+        assert!((a.manhattan(b) - 7.0).abs() < 1e-12);
+        assert!((b.manhattan(a) - 7.0).abs() < 1e-12);
+        assert_eq!(a.manhattan(a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_coordinate_panics() {
+        Point::new(f64::NAN, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1.0, 2.5).to_string(), "(1.0, 2.5)");
+    }
+}

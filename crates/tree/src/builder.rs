@@ -1,0 +1,276 @@
+use crate::error::TreeError;
+use crate::node::{Driver, Node, NodeId, NodeKind, SinkSpec, Wire};
+use crate::tree::RoutingTree;
+
+/// Incremental constructor for [`RoutingTree`].
+///
+/// Nodes may be attached with arbitrary degree; [`TreeBuilder::build`]
+/// binarizes the tree by inserting zero-length dummy internal nodes exactly
+/// as paper footnote 1 prescribes, so the algorithms always see a binary
+/// tree. Dummy nodes are *infeasible* buffer sites.
+///
+/// # Example
+///
+/// ```
+/// use buffopt_tree::{TreeBuilder, Driver, SinkSpec, Wire};
+///
+/// # fn main() -> Result<(), buffopt_tree::TreeError> {
+/// let mut b = TreeBuilder::new(Driver::new(120.0, 30.0e-12));
+/// let branch = b.add_internal(b.source(), Wire::from_rc(200.0, 80.0e-15, 400.0))?;
+/// for _ in 0..3 {
+///     b.add_sink(branch, Wire::from_rc(50.0, 20.0e-15, 100.0),
+///                SinkSpec::new(10.0e-15, 1.0e-9, 0.8))?;
+/// }
+/// let tree = b.build()?; // third child folded under a dummy node
+/// assert!(tree.node_ids().all(|id| tree.children(id).len() <= 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+    sinks: Vec<NodeId>,
+}
+
+impl TreeBuilder {
+    /// Starts a tree whose source is driven by `driver`.
+    pub fn new(driver: Driver) -> Self {
+        TreeBuilder {
+            nodes: vec![Node {
+                kind: NodeKind::Source(driver),
+                parent: None,
+                parent_wire: None,
+                children: Vec::new(),
+            }],
+            sinks: Vec::new(),
+        }
+    }
+
+    /// The source node id (always valid).
+    pub fn source(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if only the source exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    fn attach(&mut self, parent: NodeId, wire: Wire, kind: NodeKind) -> Result<NodeId, TreeError> {
+        let parent_node = self
+            .nodes
+            .get(parent.index())
+            .ok_or(TreeError::UnknownNode(parent))?;
+        if parent_node.kind.is_sink() {
+            return Err(TreeError::ChildOfSink(parent));
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        if kind.is_sink() {
+            self.sinks.push(id);
+        }
+        self.nodes.push(Node {
+            kind,
+            parent: Some(parent),
+            parent_wire: Some(wire),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        Ok(id)
+    }
+
+    /// Adds a feasible internal node (candidate buffer site) below `parent`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::UnknownNode`] if `parent` does not exist and
+    /// [`TreeError::ChildOfSink`] if `parent` is a sink.
+    pub fn add_internal(&mut self, parent: NodeId, wire: Wire) -> Result<NodeId, TreeError> {
+        self.attach(parent, wire, NodeKind::Internal { feasible: true })
+    }
+
+    /// Adds an internal node where buffers may *not* be placed (e.g. a point
+    /// under a wiring blockage).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TreeBuilder::add_internal`].
+    pub fn add_infeasible_internal(
+        &mut self,
+        parent: NodeId,
+        wire: Wire,
+    ) -> Result<NodeId, TreeError> {
+        self.attach(parent, wire, NodeKind::Internal { feasible: false })
+    }
+
+    /// Adds a sink leaf below `parent`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TreeBuilder::add_internal`].
+    pub fn add_sink(
+        &mut self,
+        parent: NodeId,
+        wire: Wire,
+        sink: SinkSpec,
+    ) -> Result<NodeId, TreeError> {
+        self.attach(parent, wire, NodeKind::Sink(sink))
+    }
+
+    /// Finishes construction: binarizes nodes of degree ≥ 3 with zero-length
+    /// dummies and validates the result.
+    ///
+    /// Binarization keeps the first child in place and folds the remaining
+    /// children pairwise under fresh dummy nodes; which children are grouped
+    /// does not affect any algorithm's output (paper footnote 1) because the
+    /// dummy wires are electrically empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::NoSinks`] if no sink was ever added.
+    pub fn build(mut self) -> Result<RoutingTree, TreeError> {
+        if self.sinks.is_empty() {
+            return Err(TreeError::NoSinks);
+        }
+        // Binarize: repeatedly fold surplus children under a dummy node.
+        let mut queue: Vec<NodeId> = (0..self.nodes.len() as u32).map(NodeId).collect();
+        while let Some(id) = queue.pop() {
+            if self.nodes[id.index()].children.len() <= 2 {
+                continue;
+            }
+            // Keep children[0]; fold children[1..] under a dummy.
+            let surplus: Vec<NodeId> = self.nodes[id.index()].children.split_off(1);
+            let dummy = NodeId(self.nodes.len() as u32);
+            self.nodes.push(Node {
+                kind: NodeKind::Internal { feasible: false },
+                parent: Some(id),
+                parent_wire: Some(Wire::dummy()),
+                children: surplus.clone(),
+            });
+            self.nodes[id.index()].children.push(dummy);
+            for c in surplus {
+                self.nodes[c.index()].parent = Some(dummy);
+            }
+            // The dummy may itself still have > 2 children.
+            queue.push(dummy);
+        }
+        let tree = RoutingTree {
+            nodes: self.nodes,
+            source: NodeId(0),
+            sinks: self.sinks,
+        };
+        debug_assert!(tree.check_invariants().is_empty());
+        Ok(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink_spec() -> SinkSpec {
+        SinkSpec::new(10e-15, 1e-9, 0.8)
+    }
+
+    #[test]
+    fn empty_builder_has_only_source() {
+        let b = TreeBuilder::new(Driver::new(100.0, 0.0));
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn build_without_sinks_fails() {
+        let b = TreeBuilder::new(Driver::new(100.0, 0.0));
+        assert_eq!(b.build().expect_err("no sinks"), TreeError::NoSinks);
+    }
+
+    #[test]
+    fn attach_to_unknown_node_fails() {
+        let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+        let bogus = NodeId::from_index(99);
+        assert!(matches!(
+            b.add_internal(bogus, Wire::dummy()),
+            Err(TreeError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn attach_below_sink_fails() {
+        let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+        let s = b
+            .add_sink(b.source(), Wire::dummy(), sink_spec())
+            .expect("add sink");
+        assert!(matches!(
+            b.add_internal(s, Wire::dummy()),
+            Err(TreeError::ChildOfSink(_))
+        ));
+    }
+
+    #[test]
+    fn two_pin_net_builds() {
+        let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+        b.add_sink(b.source(), Wire::from_rc(10.0, 1e-15, 10.0), sink_spec())
+            .expect("add sink");
+        let t = b.build().expect("build");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.sinks().len(), 1);
+    }
+
+    #[test]
+    fn high_degree_node_is_binarized() {
+        let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+        let hub = b
+            .add_internal(b.source(), Wire::from_rc(10.0, 1e-15, 10.0))
+            .expect("hub");
+        for _ in 0..5 {
+            b.add_sink(hub, Wire::from_rc(1.0, 1e-15, 1.0), sink_spec())
+                .expect("sink");
+        }
+        let t = b.build().expect("build");
+        assert!(t.node_ids().all(|id| t.children(id).len() <= 2));
+        assert_eq!(t.sinks().len(), 5);
+        assert!(t.check_invariants().is_empty());
+        // Dummies are electrically empty, so total capacitance is unchanged:
+        // 1 + 5*1 fF wires + 5*10 fF pins.
+        assert!((t.total_capacitance() - 56e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn binarization_preserves_reachability() {
+        let mut b = TreeBuilder::new(Driver::new(50.0, 0.0));
+        let hub = b
+            .add_internal(b.source(), Wire::from_rc(1.0, 1e-15, 1.0))
+            .expect("hub");
+        let mut expected = Vec::new();
+        for _ in 0..7 {
+            expected.push(
+                b.add_sink(hub, Wire::from_rc(1.0, 1e-15, 1.0), sink_spec())
+                    .expect("sink"),
+            );
+        }
+        let t = b.build().expect("build");
+        let mut down = t.downstream_sinks(t.source());
+        down.sort();
+        let mut want = expected.clone();
+        want.sort();
+        assert_eq!(down, want);
+    }
+
+    #[test]
+    fn infeasible_internal_marked() {
+        let mut b = TreeBuilder::new(Driver::new(50.0, 0.0));
+        let blocked = b
+            .add_infeasible_internal(b.source(), Wire::from_rc(1.0, 1e-15, 1.0))
+            .expect("blocked");
+        b.add_sink(blocked, Wire::from_rc(1.0, 1e-15, 1.0), sink_spec())
+            .expect("sink");
+        let t = b.build().expect("build");
+        assert!(!t.node(blocked).kind.is_feasible_site());
+        assert_eq!(t.feasible_site_count(), 0);
+    }
+}

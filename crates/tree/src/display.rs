@@ -1,0 +1,141 @@
+//! ASCII rendering of routing trees for logs and CLI dumps.
+
+use std::fmt::Write as _;
+
+use crate::node::NodeKind;
+use crate::tree::RoutingTree;
+
+/// Renders the tree as an indented ASCII outline, one node per line with
+/// its electrical summary.
+///
+/// ```
+/// use buffopt_tree::{TreeBuilder, Driver, SinkSpec, Wire, render};
+///
+/// # fn main() -> Result<(), buffopt_tree::TreeError> {
+/// let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+/// b.add_sink(b.source(), Wire::from_rc(50.0, 20.0e-15, 100.0),
+///            SinkSpec::new(5.0e-15, 1.0e-9, 0.8))?;
+/// let text = render(&b.build()?);
+/// assert!(text.contains("source"));
+/// assert!(text.contains("sink"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn render(tree: &RoutingTree) -> String {
+    let mut out = String::new();
+    render_node(tree, tree.source(), 0, &mut out);
+    out
+}
+
+fn render_node(tree: &RoutingTree, v: crate::NodeId, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    let wire_info = match tree.parent_wire(v) {
+        Some(w) => format!(
+            " <- wire {:.1} ohm / {:.1} fF / {:.0} um",
+            w.resistance,
+            w.capacitance * 1e15,
+            w.length
+        ),
+        None => String::new(),
+    };
+    match &tree.node(v).kind {
+        NodeKind::Source(d) => {
+            let _ = writeln!(
+                out,
+                "{v} source (driver {:.0} ohm, {:.1} ps)",
+                d.resistance,
+                d.intrinsic_delay * 1e12
+            );
+        }
+        NodeKind::Sink(s) => {
+            let name = s.name.as_deref().unwrap_or("");
+            let rat = if s.required_arrival_time.is_infinite() {
+                "inf".to_string()
+            } else {
+                format!("{:.0} ps", s.required_arrival_time * 1e12)
+            };
+            let _ = writeln!(
+                out,
+                "{v} sink {name} ({:.1} fF, RAT {rat}, NM {:.2} V){wire_info}",
+                s.capacitance * 1e15,
+                s.noise_margin
+            );
+        }
+        NodeKind::Internal { feasible } => {
+            let _ = writeln!(
+                out,
+                "{v} {}{wire_info}",
+                if *feasible { "site" } else { "blocked" }
+            );
+        }
+    }
+    for &c in tree.children(v) {
+        render_node(tree, c, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use crate::node::{Driver, SinkSpec, Wire};
+
+    #[test]
+    fn renders_every_node_once() {
+        let mut b = TreeBuilder::new(Driver::new(200.0, 10e-12));
+        let j = b
+            .add_internal(b.source(), Wire::from_rc(10.0, 5e-15, 100.0))
+            .expect("j");
+        b.add_sink(
+            j,
+            Wire::from_rc(5.0, 2e-15, 50.0),
+            SinkSpec::new(1e-15, 1e-9, 0.8).with_name("rx0"),
+        )
+        .expect("s1");
+        b.add_infeasible_internal(j, Wire::from_rc(5.0, 2e-15, 50.0))
+            .expect("blocked")
+            .index();
+        let t = b.build().expect("tree");
+        let text = render(&t);
+        assert_eq!(text.lines().count(), t.len());
+        assert!(text.contains("source (driver 200 ohm"));
+        assert!(text.contains("sink rx0"));
+        assert!(text.contains("blocked"));
+        assert!(text.contains("site"));
+    }
+
+    #[test]
+    fn infinite_rat_prints_inf() {
+        let mut b = TreeBuilder::new(Driver::new(200.0, 0.0));
+        b.add_sink(
+            b.source(),
+            Wire::dummy(),
+            SinkSpec::new(1e-15, f64::INFINITY, 0.8),
+        )
+        .expect("sink");
+        let text = render(&b.build().expect("tree"));
+        assert!(text.contains("RAT inf"));
+    }
+
+    #[test]
+    fn indentation_tracks_depth() {
+        let mut b = TreeBuilder::new(Driver::new(200.0, 0.0));
+        let a = b
+            .add_internal(b.source(), Wire::from_rc(1.0, 1e-15, 1.0))
+            .expect("a");
+        b.add_sink(
+            a,
+            Wire::from_rc(1.0, 1e-15, 1.0),
+            SinkSpec::new(1e-15, 1e-9, 0.8),
+        )
+        .expect("sink");
+        let t = b.build().expect("tree");
+        let text = render(&t);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines[0].starts_with(' '));
+        assert!(lines[1].starts_with("  "));
+        assert!(lines[2].starts_with("    "));
+    }
+}

@@ -1,0 +1,241 @@
+//! Elmore delay analysis (Section II-A of the paper).
+//!
+//! The Elmore model is chosen for the same reason the paper gives: it is
+//! *additive* — a path delay is the sum of its edge delays — which is what
+//! makes the dynamic programs provably optimal (paper footnote 4).
+
+use crate::node::{NodeId, Wire};
+use crate::tree::RoutingTree;
+
+/// Downstream lumped capacitance `C(v)` for every node (eq. 1):
+/// the total capacitance of the subtree hanging below `v`, i.e. all subtree
+/// wire capacitance plus all subtree sink pin capacitance.
+///
+/// Runs in `O(n)` over a postorder sweep. Index the result by [`NodeId`].
+pub fn downstream_capacitance(tree: &RoutingTree) -> Vec<f64> {
+    let mut cap = vec![0.0; tree.len()];
+    for v in tree.postorder() {
+        let own = tree.sink_spec(v).map_or(0.0, |s| s.capacitance);
+        let below: f64 = tree
+            .children(v)
+            .iter()
+            .map(|&c| {
+                let w = tree.parent_wire(c).expect("non-source child has a wire");
+                w.capacitance + cap[c.index()]
+            })
+            .sum();
+        cap[v.index()] = own + below;
+    }
+    cap
+}
+
+/// Elmore delay of a single wire `w = (u, v)` given the downstream load
+/// `C(v)` at its lower end (eq. 2): `R_w · (C_w / 2 + C(v))`.
+#[inline]
+pub fn wire_delay(wire: &Wire, load_below: f64) -> f64 {
+    wire.resistance * (wire.capacitance / 2.0 + load_below)
+}
+
+/// Linear gate delay (eq. 3): `D_g + R_g · C(load)`.
+#[inline]
+pub fn gate_delay(intrinsic_delay: f64, resistance: f64, load: f64) -> f64 {
+    intrinsic_delay + resistance * load
+}
+
+/// Signal arrival time at every node of the *unbuffered* tree, with the
+/// input arriving at the source gate at time zero (eq. 4).
+///
+/// `t(source)` is the driver gate delay; each child adds its parent-wire
+/// Elmore delay. Index the result by [`NodeId`].
+pub fn arrival_times(tree: &RoutingTree) -> Vec<f64> {
+    let cap = downstream_capacitance(tree);
+    arrival_times_with_loads(tree, &cap)
+}
+
+/// Same as [`arrival_times`] but reuses a precomputed
+/// [`downstream_capacitance`] table.
+///
+/// # Panics
+///
+/// Panics if `cap` has a different length than the tree.
+pub fn arrival_times_with_loads(tree: &RoutingTree, cap: &[f64]) -> Vec<f64> {
+    assert_eq!(cap.len(), tree.len(), "load table does not match tree");
+    let mut t = vec![0.0; tree.len()];
+    let d = tree.driver();
+    for v in tree.preorder() {
+        if v == tree.source() {
+            t[v.index()] = gate_delay(d.intrinsic_delay, d.resistance, cap[v.index()]);
+        } else {
+            let p = tree.parent(v).expect("non-source has parent");
+            let w = tree.parent_wire(v).expect("non-source has wire");
+            t[v.index()] = t[p.index()] + wire_delay(w, cap[v.index()]);
+        }
+    }
+    t
+}
+
+/// Source-to-sink Elmore delay `Delay(s_o → s_i)` including the driver gate
+/// delay, or `None` if `sink` is not a sink of the tree.
+pub fn source_to_sink_delay(tree: &RoutingTree, sink: NodeId) -> Option<f64> {
+    tree.sink_spec(sink)?;
+    Some(arrival_times(tree)[sink.index()])
+}
+
+/// The maximum source-to-sink delay of the unbuffered tree.
+pub fn max_sink_delay(tree: &RoutingTree) -> f64 {
+    let t = arrival_times(tree);
+    tree.sinks()
+        .iter()
+        .map(|&s| t[s.index()])
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use crate::node::{Driver, SinkSpec};
+
+    const EPS: f64 = 1e-18;
+
+    /// Two-pin net with hand-computed Elmore numbers.
+    fn two_pin() -> RoutingTree {
+        let mut b = TreeBuilder::new(Driver::new(100.0, 10.0e-12));
+        b.add_sink(
+            b.source(),
+            Wire::from_rc(200.0, 100.0e-15, 500.0),
+            SinkSpec::new(20.0e-15, 1.0e-9, 0.8),
+        )
+        .expect("sink");
+        b.build().expect("tree")
+    }
+
+    #[test]
+    fn two_pin_load() {
+        let t = two_pin();
+        let cap = downstream_capacitance(&t);
+        // Source sees wire + pin; sink sees only its own pin.
+        assert!((cap[t.source().index()] - 120.0e-15).abs() < EPS);
+        assert!((cap[t.sinks()[0].index()] - 20.0e-15).abs() < EPS);
+    }
+
+    #[test]
+    fn two_pin_delay_by_hand() {
+        let t = two_pin();
+        // driver: 10ps + 100 * 120f = 10ps + 12ps = 22ps
+        // wire: 200 * (50f + 20f) = 14ps
+        let d = source_to_sink_delay(&t, t.sinks()[0]).expect("is a sink");
+        assert!((d - 36.0e-12).abs() < 1e-15, "got {d}");
+    }
+
+    #[test]
+    fn delay_of_non_sink_is_none() {
+        let t = two_pin();
+        assert!(source_to_sink_delay(&t, t.source()).is_none());
+    }
+
+    #[test]
+    fn branch_loads_add() {
+        // source -(w0)- a -{ s1, s2 }
+        let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+        let a = b
+            .add_internal(b.source(), Wire::from_rc(100.0, 40e-15, 100.0))
+            .expect("a");
+        b.add_sink(
+            a,
+            Wire::from_rc(50.0, 10e-15, 50.0),
+            SinkSpec::new(5e-15, 1e-9, 0.8),
+        )
+        .expect("s1");
+        b.add_sink(
+            a,
+            Wire::from_rc(80.0, 20e-15, 80.0),
+            SinkSpec::new(7e-15, 1e-9, 0.8),
+        )
+        .expect("s2");
+        let t = b.build().expect("tree");
+        let cap = downstream_capacitance(&t);
+        assert!((cap[a.index()] - (10e-15 + 5e-15 + 20e-15 + 7e-15)).abs() < EPS);
+        assert!((cap[t.source().index()] - (40e-15 + cap[a.index()])).abs() < EPS);
+    }
+
+    #[test]
+    fn arrival_time_is_monotone_down_the_tree() {
+        let mut b = TreeBuilder::new(Driver::new(100.0, 1e-12));
+        let mut prev = b.source();
+        for _ in 0..10 {
+            prev = b
+                .add_internal(prev, Wire::from_rc(10.0, 5e-15, 10.0))
+                .expect("chain");
+        }
+        b.add_sink(
+            prev,
+            Wire::from_rc(10.0, 5e-15, 10.0),
+            SinkSpec::new(2e-15, 1e-9, 0.8),
+        )
+        .expect("sink");
+        let t = b.build().expect("tree");
+        let times = arrival_times(&t);
+        for v in t.node_ids() {
+            if let Some(p) = t.parent(v) {
+                assert!(times[v.index()] >= times[p.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn path_delay_is_sum_of_edge_delays() {
+        // The additivity property the paper relies on (footnote 4).
+        let mut b = TreeBuilder::new(Driver::new(150.0, 2e-12));
+        let a = b
+            .add_internal(b.source(), Wire::from_rc(120.0, 60e-15, 300.0))
+            .expect("a");
+        let s = b
+            .add_sink(
+                a,
+                Wire::from_rc(90.0, 30e-15, 150.0),
+                SinkSpec::new(12e-15, 1e-9, 0.8),
+            )
+            .expect("s");
+        let t = b.build().expect("tree");
+        let cap = downstream_capacitance(&t);
+        let drv = gate_delay(2e-12, 150.0, cap[t.source().index()]);
+        let e1 = wire_delay(t.parent_wire(a).expect("wire"), cap[a.index()]);
+        let e2 = wire_delay(t.parent_wire(s).expect("wire"), cap[s.index()]);
+        let total = source_to_sink_delay(&t, s).expect("sink");
+        assert!((total - (drv + e1 + e2)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn max_sink_delay_picks_worst() {
+        let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+        let a = b
+            .add_internal(b.source(), Wire::from_rc(10.0, 1e-15, 10.0))
+            .expect("a");
+        let near = b
+            .add_sink(
+                a,
+                Wire::from_rc(1.0, 1e-15, 1.0),
+                SinkSpec::new(1e-15, 1e-9, 0.8),
+            )
+            .expect("near");
+        let far = b
+            .add_sink(
+                a,
+                Wire::from_rc(500.0, 200e-15, 1000.0),
+                SinkSpec::new(1e-15, 1e-9, 0.8),
+            )
+            .expect("far");
+        let t = b.build().expect("tree");
+        let times = arrival_times(&t);
+        assert!(times[far.index()] > times[near.index()]);
+        assert!((max_sink_delay(&t) - times[far.index()]).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "load table")]
+    fn mismatched_load_table_panics() {
+        let t = two_pin();
+        let _ = arrival_times_with_loads(&t, &[0.0]);
+    }
+}

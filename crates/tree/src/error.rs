@@ -1,0 +1,107 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::node::NodeId;
+
+/// Error raised while constructing or transforming a routing tree.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TreeError {
+    /// A referenced node does not exist in the tree being built.
+    UnknownNode(NodeId),
+    /// A child was attached under a sink, which must stay a leaf.
+    ChildOfSink(NodeId),
+    /// The finished tree has no sinks.
+    NoSinks,
+    /// A numeric argument that must be finite and non-negative was not.
+    InvalidQuantity {
+        /// Human-readable name of the offending quantity.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A numeric argument that must be strictly positive was not.
+    NonPositiveQuantity {
+        /// Human-readable name of the offending quantity.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            TreeError::ChildOfSink(id) => {
+                write!(f, "cannot attach a child below sink node {id}")
+            }
+            TreeError::NoSinks => write!(f, "routing tree has no sinks"),
+            TreeError::InvalidQuantity { what, value } => {
+                write!(f, "{what} must be finite and non-negative, got {value}")
+            }
+            TreeError::NonPositiveQuantity { what, value } => {
+                write!(f, "{what} must be strictly positive, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for TreeError {}
+
+pub(crate) fn check_non_negative(what: &'static str, value: f64) -> Result<(), TreeError> {
+    if value.is_finite() && value >= 0.0 {
+        Ok(())
+    } else {
+        Err(TreeError::InvalidQuantity { what, value })
+    }
+}
+
+pub(crate) fn check_positive(what: &'static str, value: f64) -> Result<(), TreeError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(TreeError::NonPositiveQuantity { what, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_quantity_name() {
+        let err = TreeError::InvalidQuantity {
+            what: "wire resistance",
+            value: -1.0,
+        };
+        let text = err.to_string();
+        assert!(text.contains("wire resistance"));
+        assert!(text.contains("-1"));
+    }
+
+    #[test]
+    fn check_non_negative_accepts_zero() {
+        assert!(check_non_negative("x", 0.0).is_ok());
+        assert!(check_non_negative("x", 1.5).is_ok());
+    }
+
+    #[test]
+    fn check_non_negative_rejects_nan_and_negative() {
+        assert!(check_non_negative("x", f64::NAN).is_err());
+        assert!(check_non_negative("x", -0.1).is_err());
+        assert!(check_non_negative("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn check_positive_rejects_zero() {
+        assert!(check_positive("x", 0.0).is_err());
+        assert!(check_positive("x", 1.0e-18).is_ok());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TreeError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! Routing-tree substrate for interconnect optimization.
+//!
+//! This crate provides the data structures and analyses that every algorithm
+//! in the BuffOpt reproduction is built on:
+//!
+//! * [`RoutingTree`] — an arena-backed, binary routing tree with a unique
+//!   source (driver), a set of sinks, and RC wires (Section II of the paper);
+//! * [`elmore`] — downstream load capacitance (eq. 1), Elmore wire delay
+//!   (eq. 2), linear gate delay (eq. 3), and source-to-sink path delay
+//!   (eq. 4);
+//! * [`slack`] — required-arrival-time propagation and the per-node timing
+//!   slack `q(v) = min_{s ∈ SI(v)} (RAT(s) − Delay(v → s))` (eq. 5);
+//! * [`segment`] — the Alpert–Devgan wire-segmenting preprocessing step that
+//!   turns long wires into chains of candidate buffer sites;
+//! * [`Technology`] — per-micron wire resistance/capacitance presets.
+//!
+//! # Conventions
+//!
+//! All electrical quantities are SI: ohms, farads, seconds, volts, amperes.
+//! Geometric lengths are microns. Each non-source node `v` owns the unique
+//! *parent wire* that connects it to its parent, so a wire is addressed by
+//! the [`NodeId`] of its lower (child) endpoint.
+//!
+//! # Example
+//!
+//! ```
+//! use buffopt_tree::{TreeBuilder, Driver, SinkSpec, Wire};
+//!
+//! # fn main() -> Result<(), buffopt_tree::TreeError> {
+//! let mut b = TreeBuilder::new(Driver::new(100.0, 20.0e-12));
+//! let mid = b.add_internal(b.source(), Wire::from_rc(500.0, 200.0e-15, 1000.0))?;
+//! b.add_sink(mid, Wire::from_rc(250.0, 100.0e-15, 500.0),
+//!            SinkSpec::new(50.0e-15, 1.0e-9, 0.8))?;
+//! let tree = b.build()?;
+//! let loads = buffopt_tree::elmore::downstream_capacitance(&tree);
+//! assert!(loads[tree.source()] > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod display;
+pub mod elmore;
+mod error;
+mod node;
+pub mod segment;
+pub mod slack;
+mod technology;
+mod tree;
+
+pub use builder::TreeBuilder;
+pub use display::render;
+pub use error::TreeError;
+pub use node::{Driver, Node, NodeId, NodeKind, SinkSpec, Wire};
+pub use technology::Technology;
+pub use tree::{Postorder, Preorder, RoutingTree};

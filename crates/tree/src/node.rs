@@ -1,0 +1,357 @@
+use std::fmt;
+
+use crate::error::{check_non_negative, TreeError};
+
+/// Identifier of a node inside a [`RoutingTree`](crate::RoutingTree).
+///
+/// Also identifies the unique *parent wire* of the node (every node except
+/// the source has exactly one wire connecting it to its parent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Index into per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index. Intended for per-node tables produced
+    /// by analyses in this crate; indices must come from the same tree.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl<T> std::ops::Index<NodeId> for Vec<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, id: NodeId) -> &T {
+        &self[id.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<NodeId> for Vec<T> {
+    #[inline]
+    fn index_mut(&mut self, id: NodeId) -> &mut T {
+        &mut self[id.index()]
+    }
+}
+
+/// The gate driving a net at its source node.
+///
+/// Gate delay follows the paper's linear model (eq. 3):
+/// `Delay(g) = D_g + R_g · C(load)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Driver {
+    /// Intrinsic (output) resistance `R_g` in ohms.
+    pub resistance: f64,
+    /// Intrinsic delay `D_g` in seconds.
+    pub intrinsic_delay: f64,
+}
+
+impl Driver {
+    /// Creates a driver from its resistance (ohms) and intrinsic delay
+    /// (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is negative or non-finite; use
+    /// [`Driver::try_new`] for fallible construction.
+    pub fn new(resistance: f64, intrinsic_delay: f64) -> Self {
+        Self::try_new(resistance, intrinsic_delay).expect("invalid driver parameters")
+    }
+
+    /// Fallible counterpart of [`Driver::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::InvalidQuantity`] if either value is negative or
+    /// non-finite.
+    pub fn try_new(resistance: f64, intrinsic_delay: f64) -> Result<Self, TreeError> {
+        check_non_negative("driver resistance", resistance)?;
+        check_non_negative("driver intrinsic delay", intrinsic_delay)?;
+        Ok(Driver {
+            resistance,
+            intrinsic_delay,
+        })
+    }
+}
+
+/// Electrical and timing specification of a sink pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkSpec {
+    /// Input pin capacitance in farads.
+    pub capacitance: f64,
+    /// Required arrival time `RAT(s)` in seconds (signal leaves the source
+    /// at time zero).
+    pub required_arrival_time: f64,
+    /// Tolerable noise margin `NM(s)` in volts.
+    pub noise_margin: f64,
+    /// Optional human-readable pin name, used in reports.
+    pub name: Option<String>,
+}
+
+impl SinkSpec {
+    /// Creates a sink from capacitance (farads), required arrival time
+    /// (seconds) and noise margin (volts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacitance or noise margin is negative or non-finite; use
+    /// [`SinkSpec::try_new`] for fallible construction. (The required
+    /// arrival time may be any finite value, including `f64::INFINITY` for
+    /// non-critical sinks, following footnote 6 of the paper.)
+    pub fn new(capacitance: f64, required_arrival_time: f64, noise_margin: f64) -> Self {
+        Self::try_new(capacitance, required_arrival_time, noise_margin)
+            .expect("invalid sink parameters")
+    }
+
+    /// Fallible counterpart of [`SinkSpec::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::InvalidQuantity`] if capacitance or noise margin
+    /// is negative or non-finite, or if the required arrival time is NaN.
+    pub fn try_new(
+        capacitance: f64,
+        required_arrival_time: f64,
+        noise_margin: f64,
+    ) -> Result<Self, TreeError> {
+        check_non_negative("sink capacitance", capacitance)?;
+        check_non_negative("sink noise margin", noise_margin)?;
+        if required_arrival_time.is_nan() {
+            return Err(TreeError::InvalidQuantity {
+                what: "sink required arrival time",
+                value: required_arrival_time,
+            });
+        }
+        Ok(SinkSpec {
+            capacitance,
+            required_arrival_time,
+            noise_margin,
+            name: None,
+        })
+    }
+
+    /// Attaches a human-readable name to the sink.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+}
+
+/// A wire segment connecting a node to its parent.
+///
+/// Electrically a wire is a lumped `(R, C)` pair with the paper's π-model
+/// interpretation; geometrically it carries a length in microns so that
+/// segmenting and the Theorem 1 length bound can reason per unit length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wire {
+    /// Total wire resistance in ohms.
+    pub resistance: f64,
+    /// Total wire capacitance in farads.
+    pub capacitance: f64,
+    /// Geometric length in microns. Zero-length wires are legal; they arise
+    /// from binarization dummies (paper footnote 1).
+    pub length: f64,
+}
+
+impl Wire {
+    /// Creates a wire from total resistance (ohms), total capacitance
+    /// (farads) and length (microns).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite arguments; use [`Wire::try_from_rc`]
+    /// for fallible construction.
+    pub fn from_rc(resistance: f64, capacitance: f64, length: f64) -> Self {
+        Self::try_from_rc(resistance, capacitance, length).expect("invalid wire parameters")
+    }
+
+    /// Fallible counterpart of [`Wire::from_rc`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::InvalidQuantity`] on negative or non-finite
+    /// arguments.
+    pub fn try_from_rc(resistance: f64, capacitance: f64, length: f64) -> Result<Self, TreeError> {
+        check_non_negative("wire resistance", resistance)?;
+        check_non_negative("wire capacitance", capacitance)?;
+        check_non_negative("wire length", length)?;
+        Ok(Wire {
+            resistance,
+            capacitance,
+            length,
+        })
+    }
+
+    /// A zero-length, zero-RC wire used as a binarization dummy.
+    pub fn dummy() -> Self {
+        Wire {
+            resistance: 0.0,
+            capacitance: 0.0,
+            length: 0.0,
+        }
+    }
+
+    /// True if this wire is electrically and geometrically empty.
+    pub fn is_dummy(&self) -> bool {
+        self.resistance == 0.0 && self.capacitance == 0.0 && self.length == 0.0
+    }
+
+    /// Splits the wire into `pieces` equal segments, preserving total R, C
+    /// and length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pieces` is zero.
+    pub fn split(&self, pieces: usize) -> Wire {
+        assert!(pieces > 0, "cannot split a wire into zero pieces");
+        let n = pieces as f64;
+        Wire {
+            resistance: self.resistance / n,
+            capacitance: self.capacitance / n,
+            length: self.length / n,
+        }
+    }
+}
+
+/// What lives at a node of the routing tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// The unique source, driven by a gate.
+    Source(Driver),
+    /// A sink pin (leaf).
+    Sink(SinkSpec),
+    /// An internal node: a Steiner branch point, a segmenting point, or a
+    /// binarization dummy. `feasible` records whether a buffer may be placed
+    /// here (Step 5 of van Ginneken's `Find_Candidates` only considers
+    /// feasible nodes).
+    Internal {
+        /// Whether a buffer may legally be placed at this node.
+        feasible: bool,
+    },
+}
+
+impl NodeKind {
+    /// True for [`NodeKind::Sink`].
+    pub fn is_sink(&self) -> bool {
+        matches!(self, NodeKind::Sink(_))
+    }
+
+    /// True for [`NodeKind::Source`].
+    pub fn is_source(&self) -> bool {
+        matches!(self, NodeKind::Source(_))
+    }
+
+    /// True for internal nodes that may receive a buffer.
+    pub fn is_feasible_site(&self) -> bool {
+        matches!(self, NodeKind::Internal { feasible: true })
+    }
+}
+
+/// One node of a [`RoutingTree`](crate::RoutingTree) with its parent link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// What the node is.
+    pub kind: NodeKind,
+    /// Parent node, `None` only for the source.
+    pub parent: Option<NodeId>,
+    /// The wire connecting this node to its parent; `None` only for the
+    /// source.
+    pub parent_wire: Option<Wire>,
+    /// Children in left-to-right order; at most two after binarization.
+    pub children: Vec<NodeId>,
+}
+
+impl Node {
+    /// Left child `T_l(v)` if present.
+    pub fn left(&self) -> Option<NodeId> {
+        self.children.first().copied()
+    }
+
+    /// Right child `T_r(v)` if present.
+    pub fn right(&self) -> Option<NodeId> {
+        self.children.get(1).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    #[allow(clippy::useless_vec)] // the point is indexing a Vec by NodeId
+    fn vec_indexing_by_node_id() {
+        let v = vec![10, 20, 30];
+        assert_eq!(v[NodeId::from_index(1)], 20);
+    }
+
+    #[test]
+    fn driver_rejects_negative_resistance() {
+        assert!(Driver::try_new(-1.0, 0.0).is_err());
+        assert!(Driver::try_new(100.0, f64::NAN).is_err());
+        assert!(Driver::try_new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn sink_allows_infinite_rat() {
+        let s = SinkSpec::try_new(10e-15, f64::INFINITY, 0.8).expect("infinite RAT is legal");
+        assert!(s.required_arrival_time.is_infinite());
+    }
+
+    #[test]
+    fn sink_rejects_nan_rat() {
+        assert!(SinkSpec::try_new(10e-15, f64::NAN, 0.8).is_err());
+    }
+
+    #[test]
+    fn sink_name_builder() {
+        let s = SinkSpec::new(1e-15, 1e-9, 0.5).with_name("d_in");
+        assert_eq!(s.name.as_deref(), Some("d_in"));
+    }
+
+    #[test]
+    fn wire_split_preserves_totals() {
+        let w = Wire::from_rc(900.0, 300e-15, 1500.0);
+        let piece = w.split(3);
+        assert!((piece.resistance * 3.0 - w.resistance).abs() < 1e-9);
+        assert!((piece.capacitance * 3.0 - w.capacitance).abs() < 1e-24);
+        assert!((piece.length * 3.0 - w.length).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pieces")]
+    fn wire_split_zero_panics() {
+        Wire::dummy().split(0);
+    }
+
+    #[test]
+    fn dummy_wire_is_dummy() {
+        assert!(Wire::dummy().is_dummy());
+        assert!(!Wire::from_rc(1.0, 0.0, 0.0).is_dummy());
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::Source(Driver::new(1.0, 0.0)).is_source());
+        assert!(NodeKind::Sink(SinkSpec::new(0.0, 0.0, 0.0)).is_sink());
+        assert!(NodeKind::Internal { feasible: true }.is_feasible_site());
+        assert!(!NodeKind::Internal { feasible: false }.is_feasible_site());
+    }
+}

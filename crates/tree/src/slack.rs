@@ -1,0 +1,168 @@
+//! Timing-slack analysis (eq. 5 of the paper).
+//!
+//! The paper defines the slack of a node `v` as
+//! `q(v) = min_{s ∈ SI(v)} (RAT(s) − Delay(v → s))`, where `SI(v)` is the
+//! set of sinks downstream of `v` and `Delay(v → s)` is the Elmore delay of
+//! the wire path from `v` to `s`. The timing constraints of the net hold if
+//! and only if the slack at the source, after subtracting the driver gate
+//! delay, is non-negative.
+
+use crate::elmore::{self, downstream_capacitance};
+use crate::tree::RoutingTree;
+
+/// Per-node timing slack `q(v)` of the unbuffered tree, computed bottom-up
+/// in `O(n)`:
+///
+/// * at a sink, `q(s) = RAT(s)`;
+/// * at an inner node, `q(v) = min_child (q(child) − Delay(wire(v, child)))`.
+///
+/// Note that `q(source)` does **not** include the driver gate delay; see
+/// [`source_slack`].
+pub fn timing_slack(tree: &RoutingTree) -> Vec<f64> {
+    let cap = downstream_capacitance(tree);
+    timing_slack_with_loads(tree, &cap)
+}
+
+/// Same as [`timing_slack`] but reuses a precomputed load table.
+///
+/// # Panics
+///
+/// Panics if `cap` has a different length than the tree.
+pub fn timing_slack_with_loads(tree: &RoutingTree, cap: &[f64]) -> Vec<f64> {
+    assert_eq!(cap.len(), tree.len(), "load table does not match tree");
+    let mut q = vec![f64::INFINITY; tree.len()];
+    for v in tree.postorder() {
+        if let Some(s) = tree.sink_spec(v) {
+            q[v.index()] = s.required_arrival_time;
+        } else {
+            let mut best = f64::INFINITY;
+            for &c in tree.children(v) {
+                let w = tree.parent_wire(c).expect("non-source child has wire");
+                let through = q[c.index()] - elmore::wire_delay(w, cap[c.index()]);
+                best = best.min(through);
+            }
+            q[v.index()] = best;
+        }
+    }
+    q
+}
+
+/// The slack available at the source *after* the driver gate delay:
+/// `q(s_o) − (D_so + R_so · C(s_o))`. The net meets timing iff this is
+/// non-negative (eq. 5).
+pub fn source_slack(tree: &RoutingTree) -> f64 {
+    let cap = downstream_capacitance(tree);
+    let q = timing_slack_with_loads(tree, &cap);
+    let d = tree.driver();
+    q[tree.source().index()]
+        - elmore::gate_delay(d.intrinsic_delay, d.resistance, cap[tree.source().index()])
+}
+
+/// True if every sink meets its required arrival time (eq. 5).
+pub fn meets_timing(tree: &RoutingTree) -> bool {
+    source_slack(tree) >= 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use crate::node::{Driver, SinkSpec, Wire};
+
+    #[test]
+    fn sink_slack_is_rat() {
+        let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+        let s = b
+            .add_sink(
+                b.source(),
+                Wire::from_rc(10.0, 1e-15, 10.0),
+                SinkSpec::new(1e-15, 2.5e-9, 0.8),
+            )
+            .expect("sink");
+        let t = b.build().expect("tree");
+        let q = timing_slack(&t);
+        assert!((q[s.index()] - 2.5e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    fn source_slack_equals_rat_minus_total_delay_two_pin() {
+        let mut b = TreeBuilder::new(Driver::new(100.0, 10e-12));
+        let s = b
+            .add_sink(
+                b.source(),
+                Wire::from_rc(200.0, 100e-15, 500.0),
+                SinkSpec::new(20e-15, 1e-9, 0.8),
+            )
+            .expect("sink");
+        let t = b.build().expect("tree");
+        let delay = elmore::source_to_sink_delay(&t, s).expect("sink");
+        assert!((source_slack(&t) - (1e-9 - delay)).abs() < 1e-21);
+    }
+
+    #[test]
+    fn branch_slack_takes_minimum() {
+        let mut b = TreeBuilder::new(Driver::new(0.0, 0.0));
+        let a = b
+            .add_internal(b.source(), Wire::dummy())
+            .expect("a");
+        // Critical sink: tight RAT through a slow wire.
+        b.add_sink(
+            a,
+            Wire::from_rc(1000.0, 400e-15, 2000.0),
+            SinkSpec::new(30e-15, 0.3e-9, 0.8),
+        )
+        .expect("critical");
+        // Relaxed sink.
+        b.add_sink(
+            a,
+            Wire::from_rc(10.0, 4e-15, 20.0),
+            SinkSpec::new(1e-15, 5e-9, 0.8),
+        )
+        .expect("relaxed");
+        let t = b.build().expect("tree");
+        let cap = elmore::downstream_capacitance(&t);
+        let q = timing_slack_with_loads(&t, &cap);
+        let crit = t.sinks()[0];
+        let w = t.parent_wire(crit).expect("wire");
+        let expect = 0.3e-9 - elmore::wire_delay(w, cap[crit.index()]);
+        assert!((q[a.index()] - expect).abs() < 1e-21);
+    }
+
+    #[test]
+    fn infinite_rat_sink_never_constrains() {
+        // Footnote 6: non-critical sinks get RAT = +inf.
+        let mut b = TreeBuilder::new(Driver::new(0.0, 0.0));
+        let a = b.add_internal(b.source(), Wire::dummy()).expect("a");
+        b.add_sink(
+            a,
+            Wire::from_rc(10.0, 4e-15, 20.0),
+            SinkSpec::new(1e-15, 1e-9, 0.8),
+        )
+        .expect("finite");
+        b.add_sink(
+            a,
+            Wire::from_rc(9999.0, 999e-15, 9999.0),
+            SinkSpec::new(99e-15, f64::INFINITY, 0.8),
+        )
+        .expect("infinite");
+        let t = b.build().expect("tree");
+        let q = timing_slack(&t);
+        assert!(q[a.index()].is_finite());
+    }
+
+    #[test]
+    fn meets_timing_flips_with_rat() {
+        let build = |rat: f64| {
+            let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+            b.add_sink(
+                b.source(),
+                Wire::from_rc(200.0, 100e-15, 500.0),
+                SinkSpec::new(20e-15, rat, 0.8),
+            )
+            .expect("sink");
+            b.build().expect("tree")
+        };
+        assert!(meets_timing(&build(1e-9)));
+        assert!(!meets_timing(&build(1e-12)));
+    }
+}

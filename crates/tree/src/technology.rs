@@ -1,0 +1,117 @@
+use crate::error::{check_non_negative, TreeError};
+use crate::node::Wire;
+
+/// Per-unit-length wire parasitics for a metal layer.
+///
+/// The paper's era (late-1990s, 0.25 µm-class PowerPC) has global wires with
+/// resistance around 0.03–0.15 Ω/µm and total capacitance around
+/// 0.2–0.4 fF/µm, with coupling an increasingly large fraction of the total.
+/// The presets below bracket that range; the exact values matter only for
+/// absolute numbers, not for the qualitative results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Wire resistance per micron (Ω/µm).
+    pub resistance_per_micron: f64,
+    /// Total wire capacitance per micron (F/µm), including the coupling
+    /// fraction.
+    pub capacitance_per_micron: f64,
+}
+
+impl Technology {
+    /// Creates a technology from per-micron resistance (Ω/µm) and
+    /// capacitance (F/µm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::InvalidQuantity`] on negative or non-finite
+    /// arguments.
+    pub fn new(resistance_per_micron: f64, capacitance_per_micron: f64) -> Result<Self, TreeError> {
+        check_non_negative("resistance per micron", resistance_per_micron)?;
+        check_non_negative("capacitance per micron", capacitance_per_micron)?;
+        Ok(Technology {
+            resistance_per_micron,
+            capacitance_per_micron,
+        })
+    }
+
+    /// Thick, wide top-layer global wiring: low resistance.
+    /// 0.08 Ω/µm, 0.25 fF/µm.
+    pub fn global_layer() -> Self {
+        Technology {
+            resistance_per_micron: 0.08,
+            capacitance_per_micron: 0.25e-15,
+        }
+    }
+
+    /// Mid-stack wiring used for medium-length routes.
+    /// 0.25 Ω/µm, 0.30 fF/µm.
+    pub fn intermediate_layer() -> Self {
+        Technology {
+            resistance_per_micron: 0.25,
+            capacitance_per_micron: 0.30e-15,
+        }
+    }
+
+    /// Thin local wiring: high resistance.
+    /// 0.8 Ω/µm, 0.35 fF/µm.
+    pub fn local_layer() -> Self {
+        Technology {
+            resistance_per_micron: 0.8,
+            capacitance_per_micron: 0.35e-15,
+        }
+    }
+
+    /// Builds a [`Wire`] of the given length (µm) in this technology.
+    pub fn wire(&self, length: f64) -> Wire {
+        Wire {
+            resistance: self.resistance_per_micron * length,
+            capacitance: self.capacitance_per_micron * length,
+            length,
+        }
+    }
+}
+
+impl Default for Technology {
+    /// The global-layer preset, matching the paper's long global nets.
+    fn default() -> Self {
+        Technology::global_layer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_scales_linearly() {
+        let tech = Technology::global_layer();
+        let w = tech.wire(1000.0);
+        assert!((w.resistance - 80.0).abs() < 1e-12);
+        assert!((w.capacitance - 0.25e-12).abs() < 1e-27);
+        assert!((w.length - 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_order_by_resistance() {
+        assert!(
+            Technology::global_layer().resistance_per_micron
+                < Technology::intermediate_layer().resistance_per_micron
+        );
+        assert!(
+            Technology::intermediate_layer().resistance_per_micron
+                < Technology::local_layer().resistance_per_micron
+        );
+    }
+
+    #[test]
+    fn default_is_global() {
+        assert_eq!(Technology::default(), Technology::global_layer());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(Technology::new(-1.0, 0.1e-15).is_err());
+        assert!(Technology::new(0.1, f64::NAN).is_err());
+        assert!(Technology::new(0.0, 0.0).is_ok());
+    }
+}

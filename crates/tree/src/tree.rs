@@ -1,0 +1,458 @@
+use crate::node::{Driver, Node, NodeId, NodeKind, SinkSpec, Wire};
+
+/// An immutable, arena-backed routing tree `T = (V, E)` with a unique source
+/// `s_o`, sinks `SI`, and internal nodes `IN` (Section II of the paper).
+///
+/// Constructed through [`TreeBuilder`](crate::TreeBuilder); guaranteed binary
+/// (every node has at most two children) and connected. All analyses index
+/// per-node tables by [`NodeId`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingTree {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) source: NodeId,
+    pub(crate) sinks: Vec<NodeId>,
+}
+
+impl RoutingTree {
+    /// The unique source node.
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// All sink nodes, in insertion order.
+    #[inline]
+    pub fn sinks(&self) -> &[NodeId] {
+        &self.sinks
+    }
+
+    /// Number of nodes (source + sinks + internal).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree holds no nodes. Never true for built trees, which
+    /// always contain at least a source and one sink.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this tree.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The driver at the source.
+    pub fn driver(&self) -> &Driver {
+        match &self.node(self.source).kind {
+            NodeKind::Source(d) => d,
+            _ => unreachable!("source node always holds a driver"),
+        }
+    }
+
+    /// The sink specification at `id`, if `id` is a sink.
+    pub fn sink_spec(&self, id: NodeId) -> Option<&SinkSpec> {
+        match &self.node(id).kind {
+            NodeKind::Sink(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The wire above `id` (connecting it to its parent). `None` for the
+    /// source.
+    #[inline]
+    pub fn parent_wire(&self, id: NodeId) -> Option<&Wire> {
+        self.node(id).parent_wire.as_ref()
+    }
+
+    /// The parent of `id`. `None` for the source.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Children of `id` in left-to-right order.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Iterator over all node ids in arena order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Nodes in postorder (children before parents, source last).
+    pub fn postorder(&self) -> Postorder<'_> {
+        Postorder::new(self, self.source)
+    }
+
+    /// Nodes of the subtree rooted at `root` in postorder.
+    pub fn postorder_from(&self, root: NodeId) -> Postorder<'_> {
+        Postorder::new(self, root)
+    }
+
+    /// Nodes in preorder (source first, parents before children).
+    pub fn preorder(&self) -> Preorder<'_> {
+        Preorder::new(self, self.source)
+    }
+
+    /// The ordered path of nodes from `from` down to `to`, inclusive, or
+    /// `None` if `to` is not in the subtree of `from`.
+    pub fn path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        let mut rev = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = self.parent(cur)?;
+            rev.push(cur);
+        }
+        rev.reverse();
+        Some(rev)
+    }
+
+    /// Sinks downstream of `v` (the paper's `SI(v)`), including `v` itself
+    /// when `v` is a sink.
+    pub fn downstream_sinks(&self, v: NodeId) -> Vec<NodeId> {
+        self.postorder_from(v)
+            .filter(|&n| self.node(n).kind.is_sink())
+            .collect()
+    }
+
+    /// Total wire length (microns) of all wires in the tree.
+    pub fn total_wire_length(&self) -> f64 {
+        self.node_ids()
+            .filter_map(|id| self.parent_wire(id).map(|w| w.length))
+            .sum()
+    }
+
+    /// Total lumped wire capacitance (farads) plus sink pin capacitance —
+    /// the "total capacitance" by which the paper ranks its 500 test nets.
+    pub fn total_capacitance(&self) -> f64 {
+        let wires: f64 = self
+            .node_ids()
+            .filter_map(|id| self.parent_wire(id).map(|w| w.capacitance))
+            .sum();
+        let pins: f64 = self
+            .sinks
+            .iter()
+            .filter_map(|&s| self.sink_spec(s).map(|spec| spec.capacitance))
+            .sum();
+        wires + pins
+    }
+
+    /// Number of internal nodes where a buffer may be placed.
+    pub fn feasible_site_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.is_feasible_site())
+            .count()
+    }
+
+    /// Checks the structural invariants of the tree, returning a list of
+    /// human-readable violations (empty when the tree is well-formed). The
+    /// builder establishes these invariants; this is a debugging aid for
+    /// transformations layered on top.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for id in self.node_ids() {
+            let node = self.node(id);
+            if node.children.len() > 2 {
+                problems.push(format!("{id} has {} children (> 2)", node.children.len()));
+            }
+            match (&node.parent, &node.parent_wire) {
+                (None, None) => {
+                    if id != self.source {
+                        problems.push(format!("{id} has no parent but is not the source"));
+                    }
+                }
+                (Some(_), Some(_)) => {}
+                _ => problems.push(format!("{id} has mismatched parent/parent_wire")),
+            }
+            if node.kind.is_sink() && !node.children.is_empty() {
+                problems.push(format!("sink {id} has children"));
+            }
+            for &c in &node.children {
+                if c.index() >= self.nodes.len() {
+                    problems.push(format!("{id} references out-of-range child {c}"));
+                } else if self.node(c).parent != Some(id) {
+                    problems.push(format!("child {c} of {id} does not point back"));
+                }
+            }
+        }
+        let reached = self.postorder().count();
+        if reached != self.nodes.len() {
+            problems.push(format!(
+                "only {reached} of {} nodes reachable from the source",
+                self.nodes.len()
+            ));
+        }
+        problems
+    }
+}
+
+/// Postorder traversal over a [`RoutingTree`], produced by
+/// [`RoutingTree::postorder`].
+#[derive(Debug)]
+pub struct Postorder<'a> {
+    tree: &'a RoutingTree,
+    // Stack of (node, next-child-index-to-visit).
+    stack: Vec<(NodeId, usize)>,
+}
+
+impl<'a> Postorder<'a> {
+    fn new(tree: &'a RoutingTree, root: NodeId) -> Self {
+        Postorder {
+            tree,
+            stack: vec![(root, 0)],
+        }
+    }
+}
+
+impl Iterator for Postorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            let &(node, child_idx) = self.stack.last()?;
+            let children = self.tree.children(node);
+            if child_idx < children.len() {
+                self.stack.last_mut().expect("non-empty").1 += 1;
+                self.stack.push((children[child_idx], 0));
+            } else {
+                self.stack.pop();
+                return Some(node);
+            }
+        }
+    }
+}
+
+/// Preorder traversal over a [`RoutingTree`], produced by
+/// [`RoutingTree::preorder`].
+#[derive(Debug)]
+pub struct Preorder<'a> {
+    tree: &'a RoutingTree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Preorder<'a> {
+    fn new(tree: &'a RoutingTree, root: NodeId) -> Self {
+        Preorder {
+            tree,
+            stack: vec![root],
+        }
+    }
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let node = self.stack.pop()?;
+        // Push right before left so the left child is visited first.
+        for &c in self.tree.children(node).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+
+    fn three_sink_tree() -> RoutingTree {
+        // source - a - {s1, b - {s2, s3}}
+        let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+        let a = b
+            .add_internal(b.source(), Wire::from_rc(10.0, 1e-15, 10.0))
+            .expect("attach a");
+        b.add_sink(
+            a,
+            Wire::from_rc(5.0, 1e-15, 5.0),
+            SinkSpec::new(2e-15, 1e-9, 0.8),
+        )
+        .expect("attach s1");
+        let n2 = b
+            .add_internal(a, Wire::from_rc(7.0, 2e-15, 7.0))
+            .expect("attach b");
+        b.add_sink(
+            n2,
+            Wire::from_rc(3.0, 1e-15, 3.0),
+            SinkSpec::new(1e-15, 1e-9, 0.8),
+        )
+        .expect("attach s2");
+        b.add_sink(
+            n2,
+            Wire::from_rc(4.0, 1e-15, 4.0),
+            SinkSpec::new(1e-15, 1e-9, 0.8),
+        )
+        .expect("attach s3");
+        b.build().expect("valid tree")
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let t = three_sink_tree();
+        let order: Vec<NodeId> = t.postorder().collect();
+        assert_eq!(order.len(), t.len());
+        assert_eq!(*order.last().expect("non-empty"), t.source());
+        let pos: Vec<usize> = t
+            .node_ids()
+            .map(|id| order.iter().position(|&x| x == id).expect("visited"))
+            .collect();
+        for id in t.node_ids() {
+            for &c in t.children(id) {
+                assert!(
+                    pos[c.index()] < pos[id.index()],
+                    "child {c} must precede parent {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn preorder_visits_parents_first() {
+        let t = three_sink_tree();
+        let order: Vec<NodeId> = t.preorder().collect();
+        assert_eq!(order.len(), t.len());
+        assert_eq!(order[0], t.source());
+        let pos: Vec<usize> = t
+            .node_ids()
+            .map(|id| order.iter().position(|&x| x == id).expect("visited"))
+            .collect();
+        for id in t.node_ids() {
+            for &c in t.children(id) {
+                assert!(pos[c.index()] > pos[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn path_between_source_and_sink() {
+        let t = three_sink_tree();
+        let sink = t.sinks()[2];
+        let path = t.path(t.source(), sink).expect("sink is downstream");
+        assert_eq!(path[0], t.source());
+        assert_eq!(*path.last().expect("non-empty"), sink);
+        // Each consecutive pair is a parent/child edge.
+        for pair in path.windows(2) {
+            assert_eq!(t.parent(pair[1]), Some(pair[0]));
+        }
+    }
+
+    #[test]
+    fn path_to_non_descendant_is_none() {
+        let t = three_sink_tree();
+        let s1 = t.sinks()[0];
+        let s2 = t.sinks()[1];
+        assert!(t.path(s1, s2).is_none());
+    }
+
+    #[test]
+    fn downstream_sinks_of_source_is_all() {
+        let t = three_sink_tree();
+        let mut down = t.downstream_sinks(t.source());
+        down.sort();
+        let mut all = t.sinks().to_vec();
+        all.sort();
+        assert_eq!(down, all);
+    }
+
+    #[test]
+    fn totals_are_sums() {
+        let t = three_sink_tree();
+        assert!((t.total_wire_length() - 29.0).abs() < 1e-12);
+        // wires: 1+1+2+1+1 fF, pins: 2+1+1 fF
+        assert!((t.total_capacitance() - 10e-15).abs() < 1e-27);
+    }
+
+    #[test]
+    fn invariants_hold_for_built_tree() {
+        let t = three_sink_tree();
+        assert!(t.check_invariants().is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random tree recipe: a sequence of (parent index modulo current
+        /// size, is_sink) instructions.
+        fn arb_recipe() -> impl Strategy<Value = Vec<(usize, bool)>> {
+            prop::collection::vec((0usize..64, prop::bool::ANY), 1..40)
+        }
+
+        fn build(recipe: &[(usize, bool)]) -> Option<RoutingTree> {
+            let mut b = TreeBuilder::new(Driver::new(100.0, 0.0));
+            let mut attachable = vec![b.source()];
+            let mut sinks = 0usize;
+            for &(pick, is_sink) in recipe {
+                let parent = attachable[pick % attachable.len()];
+                let wire = Wire::from_rc(10.0, 5e-15, 20.0);
+                if is_sink {
+                    b.add_sink(parent, wire, SinkSpec::new(1e-15, 1e-9, 0.8))
+                        .expect("parent is attachable");
+                    sinks += 1;
+                } else {
+                    let id = b.add_internal(parent, wire).expect("attachable");
+                    attachable.push(id);
+                }
+            }
+            if sinks == 0 {
+                return None;
+            }
+            Some(b.build().expect("has sinks"))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Every built tree is binary, connected, and traversals
+            /// visit each node exactly once.
+            #[test]
+            fn built_trees_are_well_formed(recipe in arb_recipe()) {
+                let Some(t) = build(&recipe) else { return Ok(()); };
+                prop_assert!(t.check_invariants().is_empty());
+                prop_assert_eq!(t.postorder().count(), t.len());
+                prop_assert_eq!(t.preorder().count(), t.len());
+                // Path from source reaches every node.
+                for v in t.node_ids() {
+                    prop_assert!(t.path(t.source(), v).is_some());
+                }
+                // Downstream sinks of the source are exactly the sinks.
+                let mut a = t.downstream_sinks(t.source());
+                a.sort();
+                let mut b = t.sinks().to_vec();
+                b.sort();
+                prop_assert_eq!(a, b);
+            }
+
+            /// Loads are additive: the source load equals total tree
+            /// capacitance, and every node's load is bounded by it.
+            #[test]
+            fn loads_are_additive(recipe in arb_recipe()) {
+                let Some(t) = build(&recipe) else { return Ok(()); };
+                let cap = crate::elmore::downstream_capacitance(&t);
+                let total = t.total_capacitance();
+                prop_assert!((cap[t.source().index()] - total).abs() < 1e-24);
+                for v in t.node_ids() {
+                    prop_assert!(cap[v.index()] <= total + 1e-24);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn driver_accessor() {
+        let t = three_sink_tree();
+        assert!((t.driver().resistance - 100.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+use buffopt_tree::Technology;
+
+/// The sink-count distribution of the population, as count buckets.
+///
+/// The paper's Table I reports the distribution of the 500 test nets'
+/// sink counts; the preset below reproduces its shape (the overwhelming
+/// majority of large-capacitance global nets have one or two sinks, with
+/// a thin tail beyond ten).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkDistribution {
+    /// `(min_sinks, max_sinks, net_count)` buckets; sink counts are drawn
+    /// uniformly within a bucket.
+    pub buckets: Vec<(usize, usize, usize)>,
+}
+
+impl SinkDistribution {
+    /// The Table I shape: 500 nets, dominated by 1–2 sink nets.
+    pub fn paper_table1() -> Self {
+        SinkDistribution {
+            buckets: vec![
+                (1, 1, 324),
+                (2, 2, 113),
+                (3, 3, 31),
+                (4, 4, 11),
+                (5, 5, 8),
+                (6, 10, 9),
+                (11, 18, 4),
+            ],
+        }
+    }
+
+    /// Total net count across buckets.
+    pub fn total(&self) -> usize {
+        self.buckets.iter().map(|&(_, _, n)| n).sum()
+    }
+
+    /// A flat list of sink counts (bucket order; the generator shuffles).
+    pub(crate) fn expand(&self, mut pick: impl FnMut(usize, usize) -> usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.total());
+        for &(lo, hi, n) in &self.buckets {
+            for _ in 0..n {
+                out.push(pick(lo, hi));
+            }
+        }
+        out
+    }
+}
+
+/// Configuration of the synthetic population and the estimation-mode
+/// noise environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// RNG seed; the whole population is a pure function of the config.
+    pub seed: u64,
+    /// Number of nets (`500` in the paper). When this differs from the
+    /// distribution's total, sink counts are sampled proportionally.
+    pub net_count: usize,
+    /// Sink-count distribution.
+    pub distribution: SinkDistribution,
+    /// Die edge length (µm); pins are placed inside this square.
+    pub die_size: f64,
+    /// Minimum net half-perimeter (µm) — the paper keeps only the
+    /// largest-capacitance nets, i.e. long global routes.
+    pub min_half_perimeter: f64,
+    /// Maximum net half-perimeter (µm).
+    pub max_half_perimeter: f64,
+    /// Wire technology.
+    pub technology: Technology,
+    /// Coupling-to-total-capacitance ratio λ (paper: 0.7).
+    pub coupling_ratio: f64,
+    /// Supply voltage (paper: 1.8 V).
+    pub vdd: f64,
+    /// Aggressor rise time (paper: 0.25 ns).
+    pub rise_time: f64,
+    /// Noise margin for every gate (paper: 0.8 V).
+    pub noise_margin: f64,
+    /// Required arrival time at every sink (s); the paper's tables use
+    /// equal slacks, which makes slack maximization equal to minimizing
+    /// the worst source-to-sink delay (footnote 6).
+    pub required_arrival_time: f64,
+    /// Driver catalog as `(resistance Ω, intrinsic delay s)` power levels.
+    pub drivers: Vec<(f64, f64)>,
+    /// Sink input-capacitance range (F).
+    pub sink_cap_range: (f64, f64),
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0xB0FF_0997,
+            net_count: 500,
+            distribution: SinkDistribution::paper_table1(),
+            die_size: 15_000.0,
+            min_half_perimeter: 1_200.0,
+            max_half_perimeter: 9_000.0,
+            technology: Technology::global_layer(),
+            coupling_ratio: 0.7,
+            vdd: 1.8,
+            rise_time: 0.25e-9,
+            noise_margin: 0.8,
+            required_arrival_time: 1.2e-9,
+            drivers: vec![
+                (150.0, 25.0e-12),
+                (250.0, 30.0e-12),
+                (400.0, 35.0e-12),
+                (650.0, 40.0e-12),
+            ],
+            sink_cap_range: (5.0e-15, 30.0e-15),
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// The estimation-mode aggressor slope `µ = V_dd / t_rise` (V/s).
+    pub fn slope(&self) -> f64 {
+        self.vdd / self.rise_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals_500() {
+        assert_eq!(SinkDistribution::paper_table1().total(), 500);
+    }
+
+    #[test]
+    fn expand_respects_buckets() {
+        let d = SinkDistribution {
+            buckets: vec![(1, 1, 3), (5, 7, 2)],
+        };
+        let counts = d.expand(|lo, hi| (lo + hi) / 2);
+        assert_eq!(counts, vec![1, 1, 1, 6, 6]);
+    }
+
+    #[test]
+    fn default_slope_is_7_2_v_per_ns() {
+        let cfg = WorkloadConfig::default();
+        assert!((cfg.slope() - 7.2e9).abs() < 1.0);
+    }
+}

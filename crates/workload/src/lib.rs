@@ -1,0 +1,58 @@
+//! Synthetic microprocessor workload for the paper's experiments.
+//!
+//! The paper evaluates on "a set of 500 nets from a modern PowerPC
+//! microprocessor design … the 500 nets with largest total capacitances
+//! were chosen for analysis, since these nets were most likely to have
+//! noise violations" (Section V). That design data is proprietary, so
+//! this crate generates a **deterministic, seeded population** with the
+//! same observable characteristics:
+//!
+//! * the sink-count distribution of Table I (skewed heavily toward one-
+//!   and two-sink global nets);
+//! * long, high-capacitance routes (millimetres of global wiring) so that
+//!   the large majority of nets carry estimation-mode noise violations,
+//!   matching Table II's 423-of-500 rate;
+//! * drivers drawn from a small power-level catalog, sink pins with
+//!   library-like capacitances and a uniform noise margin (the paper uses
+//!   0.8 V for every gate).
+//!
+//! All randomness flows through a single seeded `StdRng`, so the
+//! population (and therefore every table in the bench crate) is
+//! bit-for-bit reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod population;
+
+pub use config::{SinkDistribution, WorkloadConfig};
+pub use population::{generate, sink_histogram, GeneratedNet};
+
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::RoutingTree;
+
+/// The estimation-mode noise scenario of the paper's experiments:
+/// a single aggressor on every wire with coupling ratio
+/// `config.coupling_ratio` and slope `config.vdd / config.rise_time`.
+pub fn estimation_scenario(tree: &RoutingTree, config: &WorkloadConfig) -> NoiseScenario {
+    NoiseScenario::estimation(tree, config.coupling_ratio, config.vdd / config.rise_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_uses_config_slope() {
+        let cfg = WorkloadConfig::default();
+        let nets = generate(&WorkloadConfig {
+            net_count: 1,
+            ..cfg.clone()
+        });
+        let s = estimation_scenario(&nets[0].tree, &cfg);
+        let sink = nets[0].tree.sinks()[0];
+        let expect = 0.7 * (1.8 / 0.25e-9);
+        assert!((s.factor(sink) - expect).abs() / expect < 1e-12);
+    }
+}

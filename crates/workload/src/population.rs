@@ -1,0 +1,244 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use buffopt_steiner::{steiner_tree, NetGeometry, Point};
+use buffopt_tree::{Driver, RoutingTree, SinkSpec};
+
+use crate::config::WorkloadConfig;
+
+/// One generated net: its geometry and the Steiner-estimated routing
+/// tree.
+#[derive(Debug, Clone)]
+pub struct GeneratedNet {
+    /// Stable index within the population.
+    pub id: usize,
+    /// Pin locations and driver.
+    pub geometry: NetGeometry,
+    /// The routing tree built by the Steiner estimator.
+    pub tree: RoutingTree,
+}
+
+impl GeneratedNet {
+    /// Number of sinks.
+    pub fn sink_count(&self) -> usize {
+        self.tree.sinks().len()
+    }
+}
+
+/// Generates the deterministic net population described by `config`.
+///
+/// Each net draws a sink count from the configured distribution, places
+/// its source uniformly on the die, spreads sinks inside a bounding box
+/// whose half-perimeter is log-uniform between the configured limits
+/// (biasing toward the long global routes the paper selects), and runs
+/// the Steiner estimator.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (no drivers, zero nets, or
+/// an empty distribution).
+pub fn generate(config: &WorkloadConfig) -> Vec<GeneratedNet> {
+    assert!(config.net_count > 0, "net count must be positive");
+    assert!(!config.drivers.is_empty(), "driver catalog must be non-empty");
+    assert!(
+        config.distribution.total() > 0,
+        "sink distribution must be non-empty"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Draw sink counts: expand the distribution, shuffle, and resize to
+    // net_count by cycling (exact when net_count == distribution total).
+    let mut counts = config
+        .distribution
+        .expand(|lo, hi| rng.gen_range(lo..=hi));
+    counts.shuffle(&mut rng);
+    while counts.len() < config.net_count {
+        let idx = rng.gen_range(0..counts.len());
+        let c = counts[idx];
+        counts.push(c);
+    }
+    counts.truncate(config.net_count);
+
+    let mut nets = Vec::with_capacity(config.net_count);
+    for (id, &sink_count) in counts.iter().enumerate() {
+        // Log-uniform half-perimeter: long nets dominate but the lower
+        // decade is represented (those are the ~15 % that pass noise).
+        let log_lo = config.min_half_perimeter.ln();
+        let log_hi = config.max_half_perimeter.ln();
+        let hp = (rng.gen_range(log_lo..log_hi)).exp();
+        // Aspect ratio of the net bounding box.
+        let aspect: f64 = rng.gen_range(0.25..0.75);
+        let w = hp * aspect;
+        let h = hp - w;
+        // Source placed somewhere on the die such that the box fits.
+        let sx = rng.gen_range(0.0..(config.die_size - w).max(1.0));
+        let sy = rng.gen_range(0.0..(config.die_size - h).max(1.0));
+        // Source at a box corner (global nets run away from the driver).
+        let source = Point::new(sx, sy);
+        let (rso, dso) = config.drivers[rng.gen_range(0..config.drivers.len())];
+
+        let mut sinks = Vec::with_capacity(sink_count);
+        for i in 0..sink_count {
+            // The first sink pins the far corner so the half-perimeter is
+            // exact; the rest scatter inside the box.
+            let (px, py) = if i == 0 {
+                (sx + w, sy + h)
+            } else {
+                (
+                    sx + rng.gen_range(0.2..1.0) * w,
+                    sy + rng.gen_range(0.2..1.0) * h,
+                )
+            };
+            let cap = rng.gen_range(config.sink_cap_range.0..=config.sink_cap_range.1);
+            sinks.push((
+                Point::new(px, py),
+                SinkSpec::new(cap, config.required_arrival_time, config.noise_margin)
+                    .with_name(format!("net{id}_s{i}")),
+            ));
+        }
+        let geometry = NetGeometry {
+            source,
+            driver: Driver::new(rso, dso),
+            sinks,
+        };
+        let tree = steiner_tree(&geometry, &config.technology)
+            .expect("generated nets always have sinks");
+        nets.push(GeneratedNet { id, geometry, tree });
+    }
+    nets
+}
+
+/// Histogram of sink counts: `(bucket label, count)` using the paper's
+/// Table I buckets.
+pub fn sink_histogram(nets: &[GeneratedNet]) -> Vec<(String, usize)> {
+    let buckets: [(usize, usize, &str); 7] = [
+        (1, 1, "1"),
+        (2, 2, "2"),
+        (3, 3, "3"),
+        (4, 4, "4"),
+        (5, 5, "5"),
+        (6, 10, "6-10"),
+        (11, usize::MAX, ">10"),
+    ];
+    buckets
+        .iter()
+        .map(|&(lo, hi, label)| {
+            let n = nets
+                .iter()
+                .filter(|net| {
+                    let s = net.sink_count();
+                    s >= lo && s <= hi
+                })
+                .count();
+            (label.to_string(), n)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SinkDistribution;
+
+    #[test]
+    fn population_is_deterministic() {
+        let cfg = WorkloadConfig {
+            net_count: 25,
+            ..WorkloadConfig::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), 25);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tree, y.tree);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = WorkloadConfig {
+            net_count: 10,
+            ..WorkloadConfig::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&WorkloadConfig { seed: 1, ..cfg.clone() });
+        assert!(a.iter().zip(&b).any(|(x, y)| x.tree != y.tree));
+    }
+
+    #[test]
+    fn full_population_matches_table1_histogram() {
+        let cfg = WorkloadConfig::default();
+        let nets = generate(&cfg);
+        assert_eq!(nets.len(), 500);
+        let hist = sink_histogram(&nets);
+        let expect = [324, 113, 31, 11, 8, 9, 4];
+        for ((label, got), want) in hist.iter().zip(expect) {
+            assert_eq!(*got, want, "bucket {label}");
+        }
+    }
+
+    #[test]
+    fn half_perimeters_within_bounds() {
+        let cfg = WorkloadConfig {
+            net_count: 100,
+            ..WorkloadConfig::default()
+        };
+        for net in generate(&cfg) {
+            let hp = net.geometry.half_perimeter();
+            assert!(
+                hp >= cfg.min_half_perimeter * 0.99 && hp <= cfg.max_half_perimeter * 1.01,
+                "half-perimeter {hp} outside [{}, {}]",
+                cfg.min_half_perimeter,
+                cfg.max_half_perimeter
+            );
+        }
+    }
+
+    #[test]
+    fn trees_are_well_formed() {
+        let cfg = WorkloadConfig {
+            net_count: 60,
+            ..WorkloadConfig::default()
+        };
+        for net in generate(&cfg) {
+            assert!(net.tree.check_invariants().is_empty());
+            assert!(net.sink_count() >= 1);
+            assert!(net.tree.total_capacitance() > 0.0);
+        }
+    }
+
+    #[test]
+    fn custom_distribution_respected() {
+        let cfg = WorkloadConfig {
+            net_count: 12,
+            distribution: SinkDistribution {
+                buckets: vec![(3, 3, 12)],
+            },
+            ..WorkloadConfig::default()
+        };
+        for net in generate(&cfg) {
+            assert_eq!(net.sink_count(), 3);
+        }
+    }
+
+    #[test]
+    fn most_nets_violate_noise_in_estimation_mode() {
+        // The population is calibrated so the large majority of nets have
+        // estimation-mode violations (paper: 423/500 by the metric).
+        use buffopt_noise::metric::NoiseReport;
+        let cfg = WorkloadConfig::default();
+        let nets = generate(&cfg);
+        let violating = nets
+            .iter()
+            .filter(|net| {
+                let s = crate::estimation_scenario(&net.tree, &cfg);
+                NoiseReport::analyze(&net.tree, &s).has_violation()
+            })
+            .count();
+        assert!(
+            (300..=490).contains(&violating),
+            "violating nets = {violating} of 500; population calibration drifted"
+        );
+    }
+}

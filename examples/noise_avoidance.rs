@@ -1,0 +1,100 @@
+//! Pure noise avoidance (Problem 1): Algorithms 1 and 2 on a critical
+//! data bus, with Theorem 1 driving every placement.
+//!
+//! ```text
+//! cargo run --release --example noise_avoidance
+//! ```
+//!
+//! Scenario: a 64-bit bus escape where one victim line runs 18 mm beside
+//! simultaneously switching neighbours, plus a 3-sink fanout net. Timing
+//! is uncritical — the goal is the *minimum* number of repeaters that
+//! makes the nets electrically safe.
+
+use buffopt::{algorithm1, algorithm2, audit};
+use buffopt_buffers::{BufferLibrary, BufferType};
+use buffopt_noise::theorem1::{max_unbuffered_length, MaxLength};
+use buffopt_noise::{metric::NoiseReport, Aggressor, NoiseScenario};
+use buffopt_tree::{Driver, SinkSpec, Technology, TreeBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::global_layer();
+    let lib = BufferLibrary::single(
+        BufferType::new("rep_x8", 14.0e-15, 210.0, 28.0e-12, 0.9).with_cost(8.0),
+    );
+
+    // --- Part 1: the Theorem 1 budget for this technology ------------
+    let i_per_um = 0.7 * 7.2e9 * tech.capacitance_per_micron;
+    if let MaxLength::Bounded(l) =
+        max_unbuffered_length(210.0, tech.resistance_per_micron, i_per_um, 0.0, 0.9)
+    {
+        println!("Theorem 1: a rep_x8 may drive at most {l:.0} um of coupled bus wire");
+    }
+
+    // --- Part 2: Algorithm 1 on one 18 mm bus bit --------------------
+    let mut b = TreeBuilder::new(Driver::new(350.0, 25.0e-12));
+    b.add_sink(
+        b.source(),
+        tech.wire(18_000.0),
+        SinkSpec::new(18.0e-15, f64::INFINITY, 0.8).with_name("bus_bit_rx"),
+    )?;
+    let bus = b.build()?;
+    let bus_scenario = NoiseScenario::estimation(&bus, 0.7, 7.2e9);
+    let before = NoiseReport::analyze(&bus, &bus_scenario);
+    println!(
+        "\nbus bit before: {:.0} mV over an 800 mV margin",
+        before.sinks[0].noise * 1e3
+    );
+    let sol = algorithm1::avoid_noise(&bus, &bus_scenario, &lib)?;
+    println!(
+        "Algorithm 1 placed {} repeaters (each at its maximal Theorem 1 distance)",
+        sol.inserted()
+    );
+    let after = audit::noise(&sol.tree, &sol.scenario, &lib, &sol.assignment);
+    println!(
+        "bus bit after: worst headroom {:+.1} mV ({})",
+        after.worst_headroom() * 1e3,
+        if after.has_violation() { "VIOLATING" } else { "clean" }
+    );
+    assert!(!after.has_violation());
+
+    // --- Part 3: Algorithm 2 on a 3-sink fanout net -------------------
+    let mut b = TreeBuilder::new(Driver::new(350.0, 25.0e-12));
+    let j = b.add_internal(b.source(), tech.wire(5_000.0))?;
+    let heavy = b.add_sink(
+        j,
+        tech.wire(9_000.0),
+        SinkSpec::new(20.0e-15, f64::INFINITY, 0.8).with_name("far"),
+    )?;
+    b.add_sink(
+        j,
+        tech.wire(2_500.0),
+        SinkSpec::new(12.0e-15, f64::INFINITY, 0.8).with_name("near_a"),
+    )?;
+    let fan = b.build()?;
+    // Non-uniform coupling: the far branch runs beside a fast clock
+    // (λ = 0.8, 0.15 ns edges); the rest see estimation-mode defaults.
+    let mut fan_scenario = NoiseScenario::estimation(&fan, 0.7, 7.2e9);
+    fan_scenario.set_factor(heavy, Aggressor::from_rise_time(0.8, 1.8, 0.15e-9).factor());
+
+    let sol2 = algorithm2::avoid_noise(&fan, &fan_scenario, &lib)?;
+    println!(
+        "\nAlgorithm 2 fixed the fanout net with {} repeaters",
+        sol2.inserted()
+    );
+    let audit2 = audit::noise(&sol2.tree, &sol2.scenario, &lib, &sol2.assignment);
+    for check in &audit2.checks {
+        println!(
+            "  {} at {}: {:.0} mV / {:.0} mV",
+            if check.is_buffer_input { "repeater" } else { "sink    " },
+            check.node,
+            check.noise * 1e3,
+            check.margin * 1e3
+        );
+    }
+    assert!(!audit2.has_violation());
+    println!(
+        "total repeater cost: {:.0} units",
+        sol2.assignment.total_cost(&lib)
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Simultaneous buffer insertion and wire sizing (the Lillis extension):
+//! a resistive mid-layer route where widening the wire buys back delay
+//! that buffers alone cannot, while noise constraints stay enforced.
+//!
+//! ```text
+//! cargo run --release --example wire_sizing
+//! ```
+
+use buffopt::wiresize::{self, WireSizeOptions};
+use buffopt::{audit, Assignment};
+use buffopt_buffers::catalog;
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::{segment, Driver, NodeId, SinkSpec, Technology, TreeBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8 mm route on the resistive intermediate layer.
+    let tech = Technology::intermediate_layer();
+    let mut b = TreeBuilder::new(Driver::new(300.0, 20.0e-12));
+    b.add_sink(b.source(), tech.wire(8_000.0), SinkSpec::new(20.0e-15, 1.5e-9, 0.8))?;
+    let tree = segment::segment_wires(&b.build()?, 800.0)?.tree;
+    let scenario = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
+    let lib = catalog::ibm_like();
+
+    let unbuffered = audit::delay(&tree, &lib, &Assignment::empty(&tree));
+    println!(
+        "unbuffered: max delay {:.0} ps",
+        unbuffered.max_delay() * 1e12
+    );
+
+    for (label, widths) in [
+        ("buffers only      (w = 1)", vec![1.0]),
+        ("buffers + sizing  (w = 1,2,4)", vec![1.0, 2.0, 4.0]),
+    ] {
+        let sol = wiresize::optimize(
+            &tree,
+            &scenario,
+            &lib,
+            &WireSizeOptions {
+                widths,
+                ..WireSizeOptions::default()
+            },
+        )?;
+        let resized = sol.apply_widths(&tree);
+        // Coupling factors carry over per farad.
+        let mut s2 = NoiseScenario::quiet(&resized);
+        for v in resized.node_ids() {
+            s2.set_factor(v, scenario.factor(v));
+        }
+        let d = audit::delay(&resized, &lib, &sol.assignment);
+        let n = audit::noise(&resized, &s2, &lib, &sol.assignment);
+        let widened = sol
+            .widths
+            .iter()
+            .enumerate()
+            .filter(|&(_, &w)| w > 1.0)
+            .map(|(i, &w)| format!("{}×{w}", NodeId::from_index(i)))
+            .collect::<Vec<_>>();
+        println!(
+            "{label}: {} buffers, max delay {:.0} ps, slack {:+.0} ps, \
+             noise headroom {:+.0} mV",
+            sol.buffers,
+            d.max_delay() * 1e12,
+            sol.slack * 1e12,
+            n.worst_headroom() * 1e3
+        );
+        if !widened.is_empty() {
+            println!("  widened wires: {}", widened.join(" "));
+        }
+        assert!(!n.has_violation());
+    }
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Root crate of the BuffOpt reproduction: re-exports for examples/tests.
+pub use buffopt as core;
+pub use buffopt_buffers as buffers;
+pub use buffopt_noise as noise;
+pub use buffopt_sim as sim;
+pub use buffopt_steiner as steiner;
+pub use buffopt_tree as tree;
+pub use buffopt_workload as workload;
