@@ -30,8 +30,7 @@ fn base_net() -> RoutingTree {
 fn prepared(max_segment: f64) -> (RoutingTree, NoiseScenario) {
     let t0 = base_net();
     let seg = segment::segment_wires(&t0, max_segment).expect("segment");
-    let scenario =
-        NoiseScenario::estimation(&t0, 0.7, 7.2e9).for_segmented(&seg);
+    let scenario = NoiseScenario::estimation(&t0, 0.7, 7.2e9).for_segmented(&seg);
     (seg.tree, scenario)
 }
 
@@ -65,8 +64,7 @@ fn bench_pruning_modes(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("paper_cq", |b| {
         b.iter(|| {
-            algo3::optimize(&tree, &scenario, &lib, &BuffOptOptions::default())
-                .expect("solves")
+            algo3::optimize(&tree, &scenario, &lib, &BuffOptOptions::default()).expect("solves")
         })
     });
     group.bench_function("conservative_4d", |b| {
@@ -100,8 +98,7 @@ fn bench_library_size(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                algo3::optimize(&tree, &scenario, lib, &BuffOptOptions::default())
-                    .expect("solves")
+                algo3::optimize(&tree, &scenario, lib, &BuffOptOptions::default()).expect("solves")
             })
         });
     }

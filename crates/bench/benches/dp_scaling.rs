@@ -41,14 +41,11 @@ fn bench_scaling(c: &mut Criterion) {
         let tree = comb_net(sinks);
         let scenario = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
         group.bench_with_input(BenchmarkId::new("delayopt", sinks), &sinks, |b, _| {
-            b.iter(|| {
-                delayopt::optimize(&tree, &lib, &DelayOptOptions::default()).expect("solves")
-            })
+            b.iter(|| delayopt::optimize(&tree, &lib, &DelayOptOptions::default()).expect("solves"))
         });
         group.bench_with_input(BenchmarkId::new("buffopt", sinks), &sinks, |b, _| {
             b.iter(|| {
-                algo3::optimize(&tree, &scenario, &lib, &BuffOptOptions::default())
-                    .expect("solves")
+                algo3::optimize(&tree, &scenario, &lib, &BuffOptOptions::default()).expect("solves")
             })
         });
     }
@@ -112,6 +109,7 @@ fn bench_greedy_baseline(c: &mut Criterion) {
                 &IterativeOptions {
                     noise: false,
                     max_buffers: None,
+                    ..Default::default()
                 },
             )
             .expect("solves")

@@ -18,8 +18,12 @@ fn main() {
     // A 4 mm victim running parallel to an aggressor over its whole span.
     let tech = Technology::global_layer();
     let mut b = TreeBuilder::new(Driver::new(250.0, 30e-12));
-    b.add_sink(b.source(), tech.wire(4_000.0), SinkSpec::new(20e-15, 1.2e-9, 0.8))
-        .expect("sink");
+    b.add_sink(
+        b.source(),
+        tech.wire(4_000.0),
+        SinkSpec::new(20e-15, 1.2e-9, 0.8),
+    )
+    .expect("sink");
     let seg = segment::segment_wires(&b.build().expect("tree"), 2_000.0).expect("segment");
     let tree = seg.tree;
     let scenario = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
@@ -62,15 +66,9 @@ fn main() {
     let mut worst_width = 0.0f64;
     for st in &stages {
         let ends: Vec<_> = st.ends.iter().map(|&(n, _, c)| (n, c)).collect();
-        for m in referee::stage_peak_noise(
-            &tree,
-            &scenario,
-            st.root,
-            st.gate_resistance,
-            &ends,
-            &ropts,
-        )
-        .expect("sim")
+        for m in
+            referee::stage_peak_noise(&tree, &scenario, st.root, st.gate_resistance, &ends, &ropts)
+                .expect("sim")
         {
             if m.peak > worst_sim {
                 worst_sim = m.peak;
@@ -92,8 +90,16 @@ fn main() {
     let fixed_b = !n_audit.has_violation();
     println!(
         "unbuffered: {} | buffered: {}",
-        if fixed_a { "meets margin" } else { "VIOLATES margin" },
-        if fixed_b { "meets margin" } else { "VIOLATES margin" },
+        if fixed_a {
+            "meets margin"
+        } else {
+            "VIOLATES margin"
+        },
+        if fixed_b {
+            "meets margin"
+        } else {
+            "VIOLATES margin"
+        },
     );
     println!(
         "the buffer splits the coupled run, restoring the signal mid-way; \

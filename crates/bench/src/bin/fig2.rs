@@ -52,7 +52,10 @@ fn main() {
     let scenario = NoiseScenario::from_aggressors(&tree, per_wire.clone());
 
     println!("Fig. 2: wire segmenting for multiple aggressor nets");
-    println!("{:<8} {:<22} {:>14}", "piece", "coupled aggressors", "I_w (uA)");
+    println!(
+        "{:<8} {:<22} {:>14}",
+        "piece", "coupled aggressors", "I_w (uA)"
+    );
     for (i, (n, _)) in per_wire.iter().enumerate() {
         let names: Vec<&str> = aggressors
             .iter()

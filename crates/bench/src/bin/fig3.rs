@@ -44,10 +44,7 @@ fn main() {
     println!("  I(s1) = {:.1} uA", currents[s1.index()] * 1e6);
     println!("  I(s2) = {:.1} uA", currents[s2.index()] * 1e6);
     println!("  I(a)  = {:.1} uA", currents[a.index()] * 1e6);
-    println!(
-        "  I(so) = {:.1} uA",
-        currents[tree.source().index()] * 1e6
-    );
+    println!("  I(so) = {:.1} uA", currents[tree.source().index()] * 1e6);
     println!("eq. 8  per-wire noise:");
     for (name, v) in [("w1 = (so,a)", a), ("w2 = (a,s1)", s1), ("w3 = (a,s2)", s2)] {
         println!(

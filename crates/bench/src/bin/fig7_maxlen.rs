@@ -21,7 +21,10 @@ fn main() {
     println!("Theorem 1: maximum un-buffered length l_max (µm)");
     println!("technology: r = {r} ohm/um, i = {:.3e} A/um", i);
     println!();
-    println!("{:<12} {:>10} {:>10} {:>10} {:>10}", "Rb \\ NS", "0.2 V", "0.4 V", "0.6 V", "0.8 V");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "Rb \\ NS", "0.2 V", "0.4 V", "0.6 V", "0.8 V"
+    );
     for rb in [0.0, 100.0, 200.0, 400.0, 800.0] {
         let mut row = format!("{rb:<12}");
         for ns in [0.2, 0.4, 0.6, 0.8] {
@@ -54,7 +57,10 @@ fn main() {
     let scenario = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
     let lib = BufferLibrary::single(BufferType::new("buf", 12e-15, 200.0, 25e-12, 0.9));
     let sol = algorithm1::avoid_noise(&tree, &scenario, &lib).expect("solvable");
-    println!("inserted {} buffers; positions from the sink:", sol.inserted());
+    println!(
+        "inserted {} buffers; positions from the sink:",
+        sol.inserted()
+    );
     // Walk up from the sink, printing cumulative distances of buffers.
     let mut v = sol.tree.sinks()[0];
     let mut dist = 0.0;

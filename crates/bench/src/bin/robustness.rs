@@ -9,11 +9,9 @@
 
 use buffopt::delayopt::{self, DelayOptOptions};
 use buffopt::Assignment;
-use buffopt_bench::{
-    audited_max_delay, metric_violations, prepare, run_buffopt, ExperimentSetup,
-};
+use buffopt_bench::{audited_max_delay, metric_violations, prepare, run_buffopt, ExperimentSetup};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let seeds: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -26,7 +24,13 @@ fn main() {
     for k in 0..seeds {
         let mut setup = ExperimentSetup::default();
         setup.config.seed = setup.config.seed.wrapping_add(k.wrapping_mul(0x9E37_79B9));
-        let nets = prepare(&setup);
+        let nets = match prepare(&setup) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("population preparation failed: {e}");
+                return std::process::ExitCode::from(3);
+            }
+        };
         let none = vec![None; nets.len()];
         let before = metric_violations(&nets, &setup.library, &none);
         let run = run_buffopt(&nets, &setup.library);
@@ -40,8 +44,7 @@ fn main() {
             if sol.buffers == 0 {
                 continue;
             }
-            let base =
-                audited_max_delay(&net.tree, &setup.library, &Assignment::empty(&net.tree));
+            let base = audited_max_delay(&net.tree, &setup.library, &Assignment::empty(&net.tree));
             red_b += base - audited_max_delay(&net.tree, &setup.library, &sol.assignment);
             let d = delayopt::optimize(
                 &net.tree,
@@ -69,4 +72,5 @@ fn main() {
         "expected shape on every seed: most nets violate before, zero after, \
          penalty well under the paper's 2% bound"
     );
+    std::process::ExitCode::SUCCESS
 }

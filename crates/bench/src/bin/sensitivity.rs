@@ -9,7 +9,7 @@
 
 use buffopt_bench::{metric_violations, prepare, run_buffopt, ExperimentSetup};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     println!("sensitivity of the 500-net experiment to estimation-mode parameters");
     println!(
         "{:>8} {:>10} {:>12} {:>10}",
@@ -25,7 +25,13 @@ fn main() {
         let mut setup = ExperimentSetup::default();
         setup.config.coupling_ratio = lambda;
         setup.config.rise_time = rise;
-        let nets = prepare(&setup);
+        let nets = match prepare(&setup) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("population preparation failed: {e}");
+                return std::process::ExitCode::from(3);
+            }
+        };
         let none = vec![None; nets.len()];
         let before = metric_violations(&nets, &setup.library, &none);
         let run = run_buffopt(&nets, &setup.library);
@@ -42,4 +48,5 @@ fn main() {
         "stronger coupling (higher lambda, faster edges) -> more violations \
          and more repeaters; BuffOpt clears all of them in every setting"
     );
+    std::process::ExitCode::SUCCESS
 }

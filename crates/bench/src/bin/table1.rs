@@ -16,7 +16,11 @@ fn main() {
     for (label, count) in &hist {
         println!("{label:<10} {count:>10}");
     }
-    println!("{:<10} {:>10}", "total", hist.iter().map(|(_, c)| c).sum::<usize>());
+    println!(
+        "{:<10} {:>10}",
+        "total",
+        hist.iter().map(|(_, c)| c).sum::<usize>()
+    );
 
     let total_cap: f64 = nets.iter().map(|n| n.tree.total_capacitance()).sum();
     let total_len: f64 = nets.iter().map(|n| n.tree.total_wire_length()).sum();

@@ -8,15 +8,23 @@
 //! cargo run --release -p buffopt-bench --bin table2
 //! ```
 
+use std::process::ExitCode;
+
 use buffopt_bench::{
     metric_violations, prepare, referee_violations, run_buffopt, secs, ExperimentSetup,
 };
 use buffopt_sim::RefereeOptions;
 
-fn main() {
+fn main() -> ExitCode {
     let setup = ExperimentSetup::default();
     eprintln!("preparing {} nets ...", setup.config.net_count);
-    let nets = prepare(&setup);
+    let nets = match prepare(&setup) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("population preparation failed: {e}");
+            return ExitCode::from(3);
+        }
+    };
     let none = vec![None; nets.len()];
 
     eprintln!("metric analysis (unbuffered) ...");
@@ -58,4 +66,5 @@ fn main() {
         secs(run.cpu),
         unsolved
     );
+    ExitCode::SUCCESS
 }

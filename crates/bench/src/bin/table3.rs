@@ -36,10 +36,16 @@ fn row(
     );
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let setup = ExperimentSetup::default();
     eprintln!("preparing {} nets ...", setup.config.net_count);
-    let nets = prepare(&setup);
+    let nets = match prepare(&setup) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("population preparation failed: {e}");
+            return std::process::ExitCode::from(3);
+        }
+    };
 
     println!("Table III: BuffOpt vs DelayOpt(k) noise avoidance");
     println!(
@@ -63,4 +69,5 @@ fn main() {
          insertion (unbuffered nets that violate count for DelayOpt rows \
          whenever delay optimization left them noisy)"
     );
+    std::process::ExitCode::SUCCESS
 }

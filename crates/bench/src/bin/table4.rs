@@ -14,10 +14,16 @@ use buffopt::delayopt::{self, DelayOptOptions};
 use buffopt::Assignment;
 use buffopt_bench::{audited_max_delay, prepare, run_buffopt, ExperimentSetup};
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let setup = ExperimentSetup::default();
     eprintln!("preparing {} nets ...", setup.config.net_count);
-    let nets = prepare(&setup);
+    let nets = match prepare(&setup) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("population preparation failed: {e}");
+            return std::process::ExitCode::from(3);
+        }
+    };
     eprintln!("running BuffOpt ...");
     let b = run_buffopt(&nets, &setup.library);
 
@@ -36,7 +42,8 @@ fn main() {
             continue;
         }
         let k = sol.buffers.min(MAXK);
-        let unbuffered = audited_max_delay(&net.tree, &setup.library, &Assignment::empty(&net.tree));
+        let unbuffered =
+            audited_max_delay(&net.tree, &setup.library, &Assignment::empty(&net.tree));
         let with_buffopt = audited_max_delay(&net.tree, &setup.library, &sol.assignment);
         let d = delayopt::optimize(
             &net.tree,
@@ -91,5 +98,9 @@ fn main() {
             (avg_d - avg_b) / avg_d * 100.0
         );
     }
-    println!("nets with zero buffers (excluded from averages): {}", count[0]);
+    println!(
+        "nets with zero buffers (excluded from averages): {}",
+        count[0]
+    );
+    std::process::ExitCode::SUCCESS
 }

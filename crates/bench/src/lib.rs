@@ -18,13 +18,13 @@
 use std::time::{Duration, Instant};
 
 use buffopt::audit;
-use buffopt::buffopt::{self as bopt, BuffOptOptions};
 use buffopt::delayopt::{self, DelayOptOptions, Solution};
 use buffopt::Assignment;
 use buffopt_buffers::{catalog, BufferLibrary};
 use buffopt_noise::NoiseScenario;
+use buffopt_pipeline::{run_batch, BatchReport, NetInput, PipelineConfig};
 use buffopt_sim::referee::{self, RefereeOptions};
-use buffopt_tree::{segment, RoutingTree};
+use buffopt_tree::{segment, RoutingTree, TreeError};
 use buffopt_workload::{estimation_scenario, generate, WorkloadConfig};
 
 /// Experiment-wide setup: workload, library, segmenting granularity.
@@ -63,20 +63,24 @@ pub struct PreparedNet {
 }
 
 /// Generates and prepares the whole population.
-pub fn prepare(setup: &ExperimentSetup) -> Vec<PreparedNet> {
+///
+/// # Errors
+///
+/// Propagates the segmentation error (e.g. a non-positive
+/// `max_segment`) instead of panicking, so harnesses can report it and
+/// exit cleanly.
+pub fn prepare(setup: &ExperimentSetup) -> Result<Vec<PreparedNet>, TreeError> {
     generate(&setup.config)
         .into_iter()
         .map(|net| {
-            let seg = segment::segment_wires(&net.tree, setup.max_segment)
-                .expect("positive segment length");
-            let scenario =
-                estimation_scenario(&net.tree, &setup.config).for_segmented(&seg);
-            PreparedNet {
+            let seg = segment::segment_wires(&net.tree, setup.max_segment)?;
+            let scenario = estimation_scenario(&net.tree, &setup.config).for_segmented(&seg);
+            Ok(PreparedNet {
                 id: net.id,
                 sink_count: net.tree.sinks().len(),
                 tree: seg.tree,
                 scenario,
-            }
+            })
         })
         .collect()
 }
@@ -105,18 +109,33 @@ impl RunOutcome {
 }
 
 /// Runs BuffOpt in its production mode (Problem 3: fewest buffers meeting
-/// noise and timing, slack secondary) over every net.
+/// noise and timing, slack secondary) over every net, through the
+/// fault-isolated pipeline: a net that panics, busts its budget, or turns
+/// out infeasible yields `None` instead of taking the run down.
 pub fn run_buffopt(nets: &[PreparedNet], library: &BufferLibrary) -> RunOutcome {
-    let opts = BuffOptOptions::default();
-    let start = Instant::now();
-    let solutions = nets
-        .iter()
-        .map(|n| bopt::min_buffers(&n.tree, &n.scenario, library, &opts).ok())
-        .collect();
+    let report = run_buffopt_batch(nets, library);
     RunOutcome {
-        solutions,
-        cpu: start.elapsed(),
+        solutions: report.outcomes.into_iter().map(|o| o.solution).collect(),
+        cpu: report.wall,
     }
+}
+
+/// The same run with the full per-net outcome records (degradation rung,
+/// attempts, wall time) preserved, for harnesses that report them.
+pub fn run_buffopt_batch(nets: &[PreparedNet], library: &BufferLibrary) -> BatchReport {
+    let inputs: Vec<NetInput> = nets
+        .iter()
+        .map(|n| NetInput::Parsed {
+            name: format!("net{}", n.id),
+            tree: n.tree.clone(),
+            scenario: n.scenario.clone(),
+        })
+        .collect();
+    let cfg = PipelineConfig {
+        max_segment: None, // `prepare` already segmented the trees
+        ..PipelineConfig::new(library.clone())
+    };
+    run_batch(&inputs, &cfg)
 }
 
 /// Runs `DelayOpt(k)` (delay-optimal with at most `k` buffers) over every
@@ -232,7 +251,7 @@ mod tests {
     #[test]
     fn prepare_produces_segmented_nets() {
         let setup = small_setup();
-        let nets = prepare(&setup);
+        let nets = prepare(&setup).expect("prepare");
         assert_eq!(nets.len(), 20);
         for n in &nets {
             assert!(n.tree.check_invariants().is_empty());
@@ -249,7 +268,7 @@ mod tests {
     #[test]
     fn buffopt_clears_metric_violations_on_sample() {
         let setup = small_setup();
-        let nets = prepare(&setup);
+        let nets = prepare(&setup).expect("prepare");
         let before = metric_violations(&nets, &setup.library, &vec![None; nets.len()]);
         let run = run_buffopt(&nets, &setup.library);
         let after = metric_violations(&nets, &setup.library, &run.solutions);
@@ -261,7 +280,7 @@ mod tests {
     #[test]
     fn referee_flags_at_most_metric_count() {
         let setup = small_setup();
-        let nets = prepare(&setup);
+        let nets = prepare(&setup).expect("prepare");
         let none = vec![None; nets.len()];
         let metric = metric_violations(&nets, &setup.library, &none);
         let refv = referee_violations(
@@ -283,7 +302,7 @@ mod tests {
     #[test]
     fn histogram_sums_to_population() {
         let setup = small_setup();
-        let nets = prepare(&setup);
+        let nets = prepare(&setup).expect("prepare");
         let run = run_buffopt(&nets, &setup.library);
         let (hist, total) = run.buffer_histogram();
         assert_eq!(hist.iter().sum::<usize>(), 20);
@@ -293,7 +312,7 @@ mod tests {
     #[test]
     fn delayopt_k_respects_cap() {
         let setup = small_setup();
-        let nets = prepare(&setup);
+        let nets = prepare(&setup).expect("prepare");
         let run = run_delayopt_k(&nets, &setup.library, 2);
         for sol in run.solutions.iter().flatten() {
             assert!(sol.buffers <= 2);

@@ -90,9 +90,7 @@ pub fn ibm_like() -> BufferLibrary {
 /// A single mid-strength non-inverting buffer — the single-type library
 /// under which every optimality theorem of the paper applies.
 pub fn single_buffer() -> BufferLibrary {
-    BufferLibrary::single(
-        BufferType::new("buf_x8", 28.0e-15, 275.0, 45.0e-12, 0.9).with_cost(8.0),
-    )
+    BufferLibrary::single(BufferType::new("buf_x8", 28.0e-15, 275.0, 45.0e-12, 0.9).with_cost(8.0))
 }
 
 #[cfg(test)]

@@ -240,13 +240,7 @@ mod tests {
         // The inserted buffer hangs right below the source.
         let (buf_node, _) = sol.assignment.iter().next().expect("buffer");
         assert_eq!(sol.tree.parent(buf_node), Some(sol.tree.source()));
-        assert!(sol
-            .tree
-            .parent_wire(buf_node)
-            .expect("wire")
-            .length
-            .abs()
-            < 1e-9);
+        assert!(sol.tree.parent_wire(buf_node).expect("wire").length.abs() < 1e-9);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use buffopt_noise::NoiseScenario;
 use buffopt_tree::{NodeId, RoutingTree};
 
 use crate::assignment::Assignment;
+use crate::budget::RunBudget;
 use crate::candidate::PSet;
 use crate::climb::{climb_wire, ClimbState, NOISE_TOL};
 use crate::error::CoreError;
@@ -239,6 +240,24 @@ pub fn avoid_noise(
     scenario: &NoiseScenario,
     lib: &BufferLibrary,
 ) -> Result<MultiSinkSolution, CoreError> {
+    avoid_noise_budgeted(tree, scenario, lib, &RunBudget::default())
+}
+
+/// [`avoid_noise`] under a [`RunBudget`]: the deadline is checked at every
+/// tree node and candidate lists are gated on the budget's candidate cap,
+/// so a pathological net aborts with a typed error instead of running
+/// away. The default budget reproduces [`avoid_noise`] exactly.
+///
+/// # Errors
+///
+/// Those of [`avoid_noise`], plus [`CoreError::BudgetExceeded`] /
+/// [`CoreError::DeadlineExceeded`].
+pub fn avoid_noise_budgeted(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    budget: &RunBudget,
+) -> Result<MultiSinkSolution, CoreError> {
     let buffer_id = lib.min_resistance().ok_or(CoreError::EmptyLibrary)?;
     let buffer = lib.buffer(buffer_id).clone();
     if scenario.len() != tree.len() {
@@ -247,9 +266,11 @@ pub fn avoid_noise(
             scenario_len: scenario.len(),
         });
     }
+    budget.admit_tree(tree.len())?;
 
     let mut lists: Vec<Option<Vec<Cand>>> = vec![None; tree.len()];
     for v in tree.postorder() {
+        budget.check_deadline()?;
         let mut list = if let Some(spec) = tree.sink_spec(v) {
             vec![Cand {
                 current: 0.0,
@@ -279,6 +300,7 @@ pub fn avoid_noise(
                 _ => unreachable!("trees are binary"),
             }
         };
+        budget.admit_candidates(list.len())?;
         prune(&mut list);
         lists[v.index()] = Some(list);
     }
@@ -369,7 +391,11 @@ mod tests {
 
     #[test]
     fn violating_y_net_is_fixed() {
-        for (trunk, arm) in [(10_000.0, 5_000.0), (30_000.0, 10_000.0), (2_000.0, 20_000.0)] {
+        for (trunk, arm) in [
+            (10_000.0, 5_000.0),
+            (30_000.0, 10_000.0),
+            (2_000.0, 20_000.0),
+        ] {
             let t = y_net(trunk, arm, 0.8);
             let s = estimation(&t);
             let before = NoiseReport::analyze(&t, &s);
@@ -391,12 +417,8 @@ mod tests {
         let tech = Technology::global_layer();
         for len in [8_000.0, 25_000.0, 70_000.0] {
             let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
-            b.add_sink(
-                b.source(),
-                tech.wire(len),
-                SinkSpec::new(20e-15, 1e-9, 0.8),
-            )
-            .expect("sink");
+            b.add_sink(b.source(), tech.wire(len), SinkSpec::new(20e-15, 1e-9, 0.8))
+                .expect("sink");
             let t = b.build().expect("tree");
             let s = estimation(&t);
             let a1 = algorithm1::avoid_noise(&t, &s, &lib()).expect("alg1");
@@ -499,9 +521,7 @@ mod tests {
     fn many_sink_star_is_fixed() {
         let tech = Technology::global_layer();
         let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
-        let hub = b
-            .add_internal(b.source(), tech.wire(5_000.0))
-            .expect("hub");
+        let hub = b.add_internal(b.source(), tech.wire(5_000.0)).expect("hub");
         for i in 0..6 {
             b.add_sink(
                 hub,

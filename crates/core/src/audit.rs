@@ -106,9 +106,7 @@ pub fn delay(tree: &RoutingTree, lib: &BufferLibrary, assignment: &Assignment) -
     let slack = tree
         .sinks()
         .iter()
-        .map(|&s| {
-            tree.sink_spec(s).expect("is sink").required_arrival_time - arrival[s.index()]
-        })
+        .map(|&s| tree.sink_spec(s).expect("is sink").required_arrival_time - arrival[s.index()])
         .fold(f64::INFINITY, f64::min);
     DelayAudit {
         arrival,
@@ -281,11 +279,7 @@ pub fn signal_parity(
 
 /// True if every sink of the buffered net receives the true (non-
 /// complemented) signal.
-pub fn polarity_legal(
-    tree: &RoutingTree,
-    lib: &BufferLibrary,
-    assignment: &Assignment,
-) -> bool {
+pub fn polarity_legal(tree: &RoutingTree, lib: &BufferLibrary, assignment: &Assignment) -> bool {
     let parity = signal_parity(tree, lib, assignment);
     tree.sinks().iter().all(|&s| !parity[s.index()])
 }
@@ -309,11 +303,7 @@ pub struct Stage {
 }
 
 /// Decomposes a buffered net into its restoring stages.
-pub fn stages(
-    tree: &RoutingTree,
-    lib: &BufferLibrary,
-    assignment: &Assignment,
-) -> Vec<Stage> {
+pub fn stages(tree: &RoutingTree, lib: &BufferLibrary, assignment: &Assignment) -> Vec<Stage> {
     let mut gates: Vec<(NodeId, f64)> = vec![(tree.source(), tree.driver().resistance)];
     for (v, b) in assignment.iter() {
         gates.push((v, lib.buffer(b).resistance));
@@ -511,9 +501,6 @@ mod tests {
         let (t, _) = chain();
         let s = NoiseScenario::estimation(&t, 0.7, 7.2e9);
         let audit = noise(&t, &s, &lib1(), &Assignment::empty(&t));
-        assert_eq!(
-            audit.has_violation(),
-            audit.worst_headroom() < 0.0
-        );
+        assert_eq!(audit.has_violation(), audit.worst_headroom() < 0.0);
     }
 }

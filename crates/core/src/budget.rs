@@ -1,0 +1,155 @@
+//! Resource budgets for the optimizers.
+//!
+//! The paper's production story is a batch sweep over the 500 worst nets
+//! of a microprocessor design; in that setting a single pathological net
+//! must not be allowed to hang or exhaust the machine. A [`RunBudget`]
+//! bounds the three resources a run can consume — wall-clock time, live
+//! DP candidates, and tree size — and the optimizers abort with the typed
+//! errors [`CoreError::BudgetExceeded`] / [`CoreError::DeadlineExceeded`]
+//! instead of OOMing or spinning.
+//!
+//! The default budget is unlimited, so existing callers see identical
+//! results; batch drivers tighten it per net.
+//!
+//! [`CoreError::BudgetExceeded`]: crate::CoreError::BudgetExceeded
+//! [`CoreError::DeadlineExceeded`]: crate::CoreError::DeadlineExceeded
+
+use std::time::{Duration, Instant};
+
+use crate::error::{BudgetResource, CoreError};
+
+/// Resource limits for one optimizer run. All limits default to `None`
+/// (unlimited), which reproduces the unbudgeted behaviour exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunBudget {
+    /// Abort with [`CoreError::DeadlineExceeded`] once this instant has
+    /// passed. Checked at every tree node (DP) or round (greedy), so the
+    /// overshoot is bounded by one merge step.
+    ///
+    /// [`CoreError::DeadlineExceeded`]: crate::CoreError::DeadlineExceeded
+    pub deadline: Option<Instant>,
+    /// Abort with [`CoreError::BudgetExceeded`] when a candidate list (or
+    /// a pending merge product) would exceed this many entries. This is
+    /// the Shi–Li resource: candidate growth is what makes the DP
+    /// quadratic-and-worse on adversarial inputs.
+    ///
+    /// [`CoreError::BudgetExceeded`]: crate::CoreError::BudgetExceeded
+    pub max_candidates: Option<usize>,
+    /// Refuse trees with more nodes than this before doing any work.
+    pub max_tree_nodes: Option<usize>,
+}
+
+impl RunBudget {
+    /// An unlimited budget (the default).
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// This budget with a deadline `limit` from now.
+    #[must_use]
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.deadline = Instant::now().checked_add(limit).or(self.deadline);
+        self
+    }
+
+    /// This budget with a candidate-list cap.
+    #[must_use]
+    pub fn with_max_candidates(mut self, max: usize) -> Self {
+        self.max_candidates = Some(max);
+        self
+    }
+
+    /// This budget with a tree-size cap.
+    #[must_use]
+    pub fn with_max_tree_nodes(mut self, max: usize) -> Self {
+        self.max_tree_nodes = Some(max);
+        self
+    }
+
+    /// Errors when the deadline has passed.
+    pub(crate) fn check_deadline(&self) -> Result<(), CoreError> {
+        match self.deadline {
+            Some(d) if Instant::now() > d => Err(CoreError::DeadlineExceeded),
+            _ => Ok(()),
+        }
+    }
+
+    /// Errors when a tree of `nodes` nodes is over the cap.
+    pub(crate) fn admit_tree(&self, nodes: usize) -> Result<(), CoreError> {
+        match self.max_tree_nodes {
+            Some(limit) if nodes > limit => Err(CoreError::BudgetExceeded {
+                resource: BudgetResource::TreeNodes,
+                limit,
+                observed: nodes,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Errors when a candidate list of `observed` entries (or a merge
+    /// about to produce that many) is over the cap.
+    pub(crate) fn admit_candidates(&self, observed: usize) -> Result<(), CoreError> {
+        match self.max_candidates {
+            Some(limit) if observed > limit => Err(CoreError::BudgetExceeded {
+                resource: BudgetResource::Candidates,
+                limit,
+                observed,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        let b = RunBudget::default();
+        assert!(b.check_deadline().is_ok());
+        assert!(b.admit_tree(usize::MAX).is_ok());
+        assert!(b.admit_candidates(usize::MAX).is_ok());
+        assert_eq!(b, RunBudget::unlimited());
+    }
+
+    #[test]
+    fn expired_deadline_errors() {
+        let b = RunBudget {
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+            ..RunBudget::default()
+        };
+        assert!(matches!(
+            b.check_deadline(),
+            Err(CoreError::DeadlineExceeded)
+        ));
+    }
+
+    #[test]
+    fn future_deadline_passes() {
+        let b = RunBudget::default().with_time_limit(Duration::from_secs(3600));
+        assert!(b.check_deadline().is_ok());
+    }
+
+    #[test]
+    fn candidate_cap_is_inclusive() {
+        let b = RunBudget::default().with_max_candidates(8);
+        assert!(b.admit_candidates(8).is_ok());
+        let err = b.admit_candidates(9).expect_err("over cap");
+        assert!(matches!(
+            err,
+            CoreError::BudgetExceeded {
+                resource: BudgetResource::Candidates,
+                limit: 8,
+                observed: 9,
+            }
+        ));
+    }
+
+    #[test]
+    fn tree_cap_is_inclusive() {
+        let b = RunBudget::default().with_max_tree_nodes(100);
+        assert!(b.admit_tree(100).is_ok());
+        assert!(b.admit_tree(101).is_err());
+    }
+}

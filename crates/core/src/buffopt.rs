@@ -8,8 +8,9 @@ use buffopt_noise::NoiseScenario;
 use buffopt_tree::RoutingTree;
 
 use crate::assignment::Assignment;
+use crate::budget::RunBudget;
 use crate::delayopt::Solution;
-use crate::dp::{self, DpConfig, SourceCand};
+use crate::dp::{self, DpConfig, DpStats, SourceCand};
 use crate::error::CoreError;
 
 /// Options for the BuffOpt optimizers.
@@ -25,15 +26,20 @@ pub struct BuffOptOptions {
     /// must receive the true signal, so inverters may only appear in
     /// pairs along any source-to-sink path.
     pub polarity_aware: bool,
+    /// Resource limits; the default is unlimited. A capped run aborts
+    /// with [`CoreError::BudgetExceeded`] / [`CoreError::DeadlineExceeded`]
+    /// instead of exhausting the machine.
+    pub budget: RunBudget,
 }
 
-fn to_solution(tree: &RoutingTree, c: SourceCand) -> Solution {
+fn to_solution(tree: &RoutingTree, c: SourceCand, stats: &DpStats) -> Solution {
     Solution {
         assignment: Assignment::from_pairs(tree, c.set.to_vec()),
         slack: c.slack,
         buffers: c.count,
         cost: c.cost,
         meets_noise: true,
+        peak_candidates: stats.peak_candidates,
     }
 }
 
@@ -66,12 +72,18 @@ pub fn optimize(
     lib: &BufferLibrary,
     options: &BuffOptOptions,
 ) -> Result<Solution, CoreError> {
-    let cands = dp::run(tree, Some(scenario), lib, &config_of(options))?;
+    let (cands, stats) = dp::run(
+        tree,
+        Some(scenario),
+        lib,
+        &config_of(options),
+        &options.budget,
+    )?;
     let best = cands
         .into_iter()
         .max_by(|a, b| a.slack.partial_cmp(&b.slack).expect("finite slack"))
         .ok_or(CoreError::NoFeasibleCandidate)?;
-    Ok(to_solution(tree, best))
+    Ok(to_solution(tree, best, &stats))
 }
 
 /// The best noise-clean solution for every buffer count up to
@@ -92,14 +104,14 @@ pub fn optimize_per_count(
         max_buffers: Some(max_buffers),
         ..config_of(options)
     };
-    let cands = dp::run(tree, Some(scenario), lib, &cfg)?;
+    let (cands, stats) = dp::run(tree, Some(scenario), lib, &cfg, &options.budget)?;
     let mut out: Vec<Option<Solution>> = (0..=max_buffers).map(|_| None).collect();
     for c in cands {
         let count = c.count;
-        let better = count <= max_buffers
-            && out[count].as_ref().is_none_or(|prev| c.slack > prev.slack);
+        let better =
+            count <= max_buffers && out[count].as_ref().is_none_or(|prev| c.slack > prev.slack);
         if better {
-            out[count] = Some(to_solution(tree, c));
+            out[count] = Some(to_solution(tree, c, &stats));
         }
     }
     Ok(out)
@@ -121,7 +133,13 @@ pub fn min_buffers(
     lib: &BufferLibrary,
     options: &BuffOptOptions,
 ) -> Result<Solution, CoreError> {
-    let mut cands = dp::run(tree, Some(scenario), lib, &config_of(options))?;
+    let (mut cands, stats) = dp::run(
+        tree,
+        Some(scenario),
+        lib,
+        &config_of(options),
+        &options.budget,
+    )?;
     cands.sort_by(|a, b| {
         a.count
             .cmp(&b.count)
@@ -131,13 +149,13 @@ pub fn min_buffers(
         // Counts ascend and slack descends within a count, so the first
         // timing-feasible entry is the fewest-buffer, best-slack one.
         let c = cands.swap_remove(first_meeting);
-        return Ok(to_solution(tree, c));
+        return Ok(to_solution(tree, c, &stats));
     }
     let best = cands
         .into_iter()
         .max_by(|a, b| a.slack.partial_cmp(&b.slack).expect("finite slack"))
         .ok_or(CoreError::NoFeasibleCandidate)?;
-    Ok(to_solution(tree, best))
+    Ok(to_solution(tree, best, &stats))
 }
 
 /// The Lillis power objective: the solution with the smallest **total
@@ -163,7 +181,7 @@ pub fn min_cost(
         cost_aware: true,
         ..config_of(options)
     };
-    let cands = dp::run(tree, Some(scenario), lib, &cfg)?;
+    let (cands, stats) = dp::run(tree, Some(scenario), lib, &cfg, &options.budget)?;
     let best_meeting = cands
         .iter()
         .filter(|c| c.slack >= 0.0)
@@ -181,7 +199,7 @@ pub fn min_cost(
             .max_by(|a, b| a.slack.partial_cmp(&b.slack).expect("finite slack"))
             .ok_or(CoreError::NoFeasibleCandidate)?,
     };
-    Ok(to_solution(tree, chosen))
+    Ok(to_solution(tree, chosen, &stats))
 }
 
 #[cfg(test)]
@@ -227,7 +245,11 @@ mod tests {
         let sol = optimize(&t, &s, &lib, &BuffOptOptions::default()).expect("solve");
         assert!(sol.buffers > 0);
         let na = audit::noise(&t, &s, &lib, &sol.assignment);
-        assert!(!na.has_violation(), "worst headroom {}", na.worst_headroom());
+        assert!(
+            !na.has_violation(),
+            "worst headroom {}",
+            na.worst_headroom()
+        );
         let da = audit::delay(&t, &lib, &sol.assignment);
         assert!((sol.slack - da.slack).abs() < 1e-15);
     }
@@ -407,9 +429,7 @@ mod tests {
         assert!(frugal_cost.slack >= 0.0, "timing met");
         assert!(!audit::noise(&t, &s, &lib, &frugal_cost.assignment).has_violation());
         // The reported cost matches the assignment.
-        assert!(
-            (frugal_cost.cost - frugal_cost.assignment.total_cost(&lib)).abs() < 1e-12
-        );
+        assert!((frugal_cost.cost - frugal_cost.assignment.total_cost(&lib)).abs() < 1e-12);
     }
 
     #[test]

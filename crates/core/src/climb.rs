@@ -187,7 +187,11 @@ pub(crate) fn climb_wire_with_upstream(
                 return Err(CoreError::NoiseUnfixable(wire_node))
             }
         };
-        if lmax < PROGRESS_EPS && inserted.last().is_some_and(|&d| consumed - d < PROGRESS_EPS) {
+        if lmax < PROGRESS_EPS
+            && inserted
+                .last()
+                .is_some_and(|&d| consumed - d < PROGRESS_EPS)
+        {
             // No forward progress: stacking buffers at one spot cannot help.
             return Err(CoreError::NoiseUnfixable(wire_node));
         }

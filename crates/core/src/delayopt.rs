@@ -7,6 +7,7 @@ use buffopt_buffers::BufferLibrary;
 use buffopt_tree::RoutingTree;
 
 use crate::assignment::Assignment;
+use crate::budget::RunBudget;
 use crate::dp::{self, DpConfig};
 use crate::error::CoreError;
 
@@ -20,6 +21,8 @@ pub struct DelayOptOptions {
     /// must receive the true signal, so inverters may only appear in
     /// pairs along any source-to-sink path.
     pub polarity_aware: bool,
+    /// Resource limits; the default is unlimited.
+    pub budget: RunBudget,
 }
 
 /// A buffered solution returned by the optimizers.
@@ -36,6 +39,10 @@ pub struct Solution {
     pub cost: f64,
     /// True when the solution was produced under noise constraints.
     pub meets_noise: bool,
+    /// Largest candidate list the DP held at any node (before pruning) —
+    /// how close the run came to a candidate budget. Zero for optimizers
+    /// that do not run the DP (e.g. the greedy baseline).
+    pub peak_candidates: usize,
 }
 
 /// Maximizes the source timing slack (Problem 2 without noise
@@ -57,7 +64,7 @@ pub fn optimize(
         polarity: options.polarity_aware,
         ..DpConfig::default()
     };
-    let cands = dp::run(tree, None, lib, &cfg)?;
+    let (cands, stats) = dp::run(tree, None, lib, &cfg, &options.budget)?;
     let best = cands
         .into_iter()
         .max_by(|a, b| a.slack.partial_cmp(&b.slack).expect("finite slack"))
@@ -68,6 +75,7 @@ pub fn optimize(
         buffers: best.count,
         cost: best.cost,
         meets_noise: false,
+        peak_candidates: stats.peak_candidates,
     })
 }
 
@@ -89,7 +97,7 @@ pub fn optimize_per_count(
         max_buffers: Some(max_buffers),
         ..DpConfig::default()
     };
-    let cands = dp::run(tree, None, lib, &cfg)?;
+    let (cands, stats) = dp::run(tree, None, lib, &cfg, &RunBudget::default())?;
     let mut out: Vec<Option<Solution>> = (0..=max_buffers).map(|_| None).collect();
     for c in cands {
         if c.count <= max_buffers
@@ -103,6 +111,7 @@ pub fn optimize_per_count(
                 buffers: c.count,
                 cost: c.cost,
                 meets_noise: false,
+                peak_candidates: stats.peak_candidates,
             });
         }
     }

@@ -25,6 +25,7 @@ use buffopt_buffers::{BufferId, BufferLibrary};
 use buffopt_noise::NoiseScenario;
 use buffopt_tree::{NodeId, RoutingTree, Wire};
 
+use crate::budget::RunBudget;
 use crate::candidate::PSet;
 use crate::climb::NOISE_TOL;
 use crate::error::CoreError;
@@ -77,6 +78,14 @@ impl Default for DpConfig {
             cost_aware: false,
         }
     }
+}
+
+/// Run statistics the DP reports alongside its solutions, so batch
+/// drivers can record how close a net came to its resource caps.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DpStats {
+    /// Largest candidate list observed at any node, before pruning.
+    pub peak_candidates: usize,
 }
 
 /// A feasible solution observed at the source, after the driver.
@@ -183,9 +192,7 @@ fn prune(cands: &mut Vec<DpCand>, cfg: &DpConfig) {
 fn frontier_max_q(frontier: &[(f64, f64)], limit: f64) -> f64 {
     // frontier is sorted by cap ascending with strictly increasing prefix
     // max q (we store the running max directly).
-    match frontier.binary_search_by(|&(cap, _)| {
-        cap.partial_cmp(&limit).expect("finite caps")
-    }) {
+    match frontier.binary_search_by(|&(cap, _)| cap.partial_cmp(&limit).expect("finite caps")) {
         Ok(mut idx) => {
             // Multiple equal caps collapse on insert; step to the entry.
             while idx + 1 < frontier.len() && frontier[idx + 1].0 <= limit {
@@ -276,12 +283,7 @@ fn merge(left: &[DpCand], right: &[DpCand], cfg: &DpConfig) -> Vec<DpCand> {
 /// boldface noise guard): for every buffer type and every count class,
 /// the candidate producing the largest post-buffer slack — such that the
 /// buffer can legally drive the subtree — spawns a new candidate.
-fn insert_buffers(
-    v: NodeId,
-    cands: &mut Vec<DpCand>,
-    lib: &BufferLibrary,
-    cfg: &DpConfig,
-) {
+fn insert_buffers(v: NodeId, cands: &mut Vec<DpCand>, lib: &BufferLibrary, cfg: &DpConfig) {
     let mut fresh: Vec<DpCand> = Vec::new();
     for (bid, buf) in lib.entries() {
         // Best per (count, parity) class. With cost tracking, different
@@ -350,7 +352,8 @@ pub(crate) fn run(
     scenario: Option<&NoiseScenario>,
     lib: &BufferLibrary,
     cfg: &DpConfig,
-) -> Result<Vec<SourceCand>, CoreError> {
+    budget: &RunBudget,
+) -> Result<(Vec<SourceCand>, DpStats), CoreError> {
     if lib.is_empty() {
         return Err(CoreError::EmptyLibrary);
     }
@@ -366,12 +369,13 @@ pub(crate) fn run(
         !cfg.noise || scenario.is_some(),
         "noise mode requires a scenario"
     );
-    let wire_current = |v: NodeId| -> f64 {
-        scenario.map_or(0.0, |s| s.wire_current(tree, v))
-    };
+    budget.admit_tree(tree.len())?;
+    let wire_current = |v: NodeId| -> f64 { scenario.map_or(0.0, |s| s.wire_current(tree, v)) };
 
+    let mut stats = DpStats::default();
     let mut lists: Vec<Option<Vec<DpCand>>> = vec![None; tree.len()];
     for v in tree.postorder() {
+        budget.check_deadline()?;
         let mut cands: Vec<DpCand> = if let Some(spec) = tree.sink_spec(v) {
             vec![DpCand {
                 cap: spec.capacitance,
@@ -405,6 +409,9 @@ pub(crate) fn run(
                 2 => {
                     let right = climbed.pop().expect("two children");
                     let left = climbed.pop().expect("two children");
+                    // The merge product is the resource that explodes on
+                    // adversarial nets — gate on it *before* allocating.
+                    budget.admit_candidates(left.len().saturating_mul(right.len()))?;
                     let merged = merge(&left, &right, cfg);
                     if merged.is_empty() {
                         return Err(CoreError::NoFeasibleCandidate);
@@ -417,6 +424,8 @@ pub(crate) fn run(
         if tree.node(v).kind.is_feasible_site() {
             insert_buffers(v, &mut cands, lib, cfg);
         }
+        budget.admit_candidates(cands.len())?;
+        stats.peak_candidates = stats.peak_candidates.max(cands.len());
         prune(&mut cands, cfg);
         lists[v.index()] = Some(cands);
     }
@@ -449,9 +458,9 @@ pub(crate) fn run(
     });
     let mut reduced: Vec<SourceCand> = Vec::new();
     for c in out {
-        let dominated = reduced.iter().any(|k| {
-            k.count <= c.count && k.cost <= c.cost + 1e-12 && k.slack >= c.slack - 1e-30
-        });
+        let dominated = reduced
+            .iter()
+            .any(|k| k.count <= c.count && k.cost <= c.cost + 1e-12 && k.slack >= c.slack - 1e-30);
         if !dominated {
             reduced.push(c);
         }
@@ -459,7 +468,7 @@ pub(crate) fn run(
     if reduced.is_empty() {
         return Err(CoreError::NoFeasibleCandidate);
     }
-    Ok(reduced)
+    Ok((reduced, stats))
 }
 
 #[cfg(test)]

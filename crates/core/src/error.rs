@@ -31,6 +31,39 @@ pub enum CoreError {
     },
     /// A tree transformation failed while materializing a solution.
     Tree(TreeError),
+    /// A [`RunBudget`](crate::RunBudget) resource cap was exceeded; the
+    /// run was aborted rather than allowed to exhaust the machine.
+    BudgetExceeded {
+        /// Which capped resource overflowed.
+        resource: BudgetResource,
+        /// The configured cap.
+        limit: usize,
+        /// What the run needed (first over-cap observation).
+        observed: usize,
+    },
+    /// The [`RunBudget`](crate::RunBudget) deadline passed before the run
+    /// finished.
+    DeadlineExceeded,
+}
+
+/// The cappable resources of a [`RunBudget`](crate::RunBudget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BudgetResource {
+    /// Live DP candidates (per-node list size, including pending merge
+    /// products).
+    Candidates,
+    /// Nodes in the routing tree.
+    TreeNodes,
+}
+
+impl fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetResource::Candidates => write!(f, "candidates"),
+            BudgetResource::TreeNodes => write!(f, "tree nodes"),
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -54,6 +87,15 @@ impl fmt::Display for CoreError {
                 "noise scenario covers {scenario_len} nodes but tree has {tree_len}"
             ),
             CoreError::Tree(e) => write!(f, "tree transformation failed: {e}"),
+            CoreError::BudgetExceeded {
+                resource,
+                limit,
+                observed,
+            } => write!(
+                f,
+                "resource budget exceeded: {observed} {resource} over cap {limit}"
+            ),
+            CoreError::DeadlineExceeded => write!(f, "deadline exceeded before run finished"),
         }
     }
 }
@@ -99,5 +141,36 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CoreError>();
+        assert_send_sync::<BudgetResource>();
+    }
+
+    #[test]
+    fn budget_exceeded_displays_all_parts() {
+        let e = CoreError::BudgetExceeded {
+            resource: BudgetResource::Candidates,
+            limit: 100,
+            observed: 250,
+        };
+        let s = e.to_string();
+        assert!(s.contains("250"), "{s}");
+        assert!(s.contains("100"), "{s}");
+        assert!(s.contains("candidates"), "{s}");
+        assert!(e.source().is_none());
+
+        let t = CoreError::BudgetExceeded {
+            resource: BudgetResource::TreeNodes,
+            limit: 4,
+            observed: 9,
+        };
+        assert!(t.to_string().contains("tree nodes"));
+    }
+
+    #[test]
+    fn deadline_exceeded_displays() {
+        let e = CoreError::DeadlineExceeded;
+        assert!(e.to_string().contains("deadline"));
+        assert!(e.source().is_none());
+        // Budget errors are values, comparable for retry logic.
+        assert_eq!(e.clone(), CoreError::DeadlineExceeded);
     }
 }

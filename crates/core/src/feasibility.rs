@@ -133,7 +133,9 @@ pub fn screen_segment_spacing(
     let buf = lib.buffer(bid);
     let mut flagged = Vec::new();
     for v in tree.node_ids() {
-        let Some(w) = tree.parent_wire(v) else { continue };
+        let Some(w) = tree.parent_wire(v) else {
+            continue;
+        };
         if w.length <= 0.0 || w.capacitance <= 0.0 {
             continue;
         }

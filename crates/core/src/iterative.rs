@@ -17,6 +17,7 @@ use buffopt_tree::RoutingTree;
 
 use crate::assignment::Assignment;
 use crate::audit;
+use crate::budget::RunBudget;
 use crate::delayopt::Solution;
 use crate::error::CoreError;
 
@@ -29,6 +30,10 @@ pub struct IterativeOptions {
     pub noise: bool,
     /// Stop after this many insertions.
     pub max_buffers: Option<usize>,
+    /// Resource limits; the default is unlimited. The deadline is checked
+    /// once per greedy round (each round audits every site × buffer pair,
+    /// so rounds are the unit of progress).
+    pub budget: RunBudget,
 }
 
 /// Greedy iterative buffer insertion: one buffer per round at the
@@ -60,6 +65,7 @@ pub fn optimize(
             scenario_len: scenario.len(),
         });
     }
+    options.budget.admit_tree(tree.len())?;
     let score = |a: &Assignment| -> (usize, f64) {
         let violations = if options.noise {
             audit::noise(tree, scenario, lib, a)
@@ -83,6 +89,7 @@ pub fn optimize(
     let mut current = Assignment::empty(tree);
     let mut current_score = score(&current);
     loop {
+        options.budget.check_deadline()?;
         if let Some(max) = options.max_buffers {
             if current.count() >= max {
                 break;
@@ -124,6 +131,7 @@ pub fn optimize(
         assignment: current,
         cost,
         meets_noise: options.noise,
+        peak_candidates: 0, // greedy holds no candidate lists
     })
 }
 
@@ -162,6 +170,7 @@ mod tests {
                 &IterativeOptions {
                     noise: false,
                     max_buffers: None,
+                    ..Default::default()
                 },
             )
             .expect("greedy always returns without noise mode");
@@ -187,6 +196,7 @@ mod tests {
             &IterativeOptions {
                 noise: true,
                 max_buffers: None,
+                ..Default::default()
             },
         )
         .expect("fixable net");
@@ -212,6 +222,7 @@ mod tests {
                 &IterativeOptions {
                     noise: false,
                     max_buffers: None,
+                    ..Default::default()
                 },
             )
             .expect("greedy");
@@ -236,6 +247,7 @@ mod tests {
             &IterativeOptions {
                 noise: false,
                 max_buffers: Some(2),
+                ..Default::default()
             },
         )
         .expect("greedy");
@@ -254,6 +266,7 @@ mod tests {
             &IterativeOptions {
                 noise: true,
                 max_buffers: None,
+                ..Default::default()
             },
         )
         .expect("clean net");

@@ -51,6 +51,7 @@ pub mod algorithm1;
 pub mod algorithm2;
 mod assignment;
 pub mod audit;
+mod budget;
 pub mod buffopt;
 mod candidate;
 mod climb;
@@ -63,5 +64,6 @@ mod rebuild;
 pub mod wiresize;
 
 pub use assignment::Assignment;
+pub use budget::RunBudget;
 pub use delayopt::Solution;
-pub use error::CoreError;
+pub use error::{BudgetResource, CoreError};

@@ -183,9 +183,7 @@ mod tests {
         let sink = r.tree.sinks()[0];
         assert_eq!(r.tree.parent(sink), Some(buf_node));
         assert!((r.tree.parent_wire(sink).expect("wire").length - 500.0).abs() < 1e-9);
-        assert!(
-            (r.tree.parent_wire(buf_node).expect("wire").length - 1500.0).abs() < 1e-9
-        );
+        assert!((r.tree.parent_wire(buf_node).expect("wire").length - 1500.0).abs() < 1e-9);
     }
 
     #[test]

@@ -344,8 +344,12 @@ mod tests {
     fn net(len: f64, pieces: usize) -> RoutingTree {
         let tech = Technology::global_layer();
         let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
-        b.add_sink(b.source(), tech.wire(len), SinkSpec::new(20e-15, 1.5e-9, 0.8))
-            .expect("sink");
+        b.add_sink(
+            b.source(),
+            tech.wire(len),
+            SinkSpec::new(20e-15, 1.5e-9, 0.8),
+        )
+        .expect("sink");
         segment::segment_uniform(&b.build().expect("tree"), pieces)
             .expect("segment")
             .tree
@@ -442,8 +446,12 @@ mod tests {
         // On a resistance-dominated net, widening trades buffers away.
         let tech = Technology::local_layer(); // 0.8 Ω/µm: resistive
         let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
-        b.add_sink(b.source(), tech.wire(6_000.0), SinkSpec::new(20e-15, 2e-9, 0.8))
-            .expect("sink");
+        b.add_sink(
+            b.source(),
+            tech.wire(6_000.0),
+            SinkSpec::new(20e-15, 2e-9, 0.8),
+        )
+        .expect("sink");
         let t = segment::segment_uniform(&b.build().expect("tree"), 8)
             .expect("segment")
             .tree;

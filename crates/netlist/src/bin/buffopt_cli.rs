@@ -1,10 +1,14 @@
-//! `buffopt-cli` — fix the noise and timing of a `.net` file from the
+//! `buffopt-cli` — fix the noise and timing of `.net` files from the
 //! command line.
 //!
 //! ```text
 //! buffopt-cli NET_FILE [--segment UM] [--mode p2|p3|cost|noise|greedy]
 //!             [--lib ibm|single] [--polarity] [--conservative] [--verify]
-//!             [--dump]
+//!             [--dump] [--time-limit-ms N] [--max-candidates N]
+//!             [--max-tree-nodes N]
+//! buffopt-cli --batch DIR [--segment UM] [--lib ibm|single] [--polarity]
+//!             [--conservative] [--time-limit-ms N] [--max-candidates N]
+//!             [--max-tree-nodes N]
 //! ```
 //!
 //! * `--segment UM` — Alpert–Devgan wire segmenting pitch (default 500);
@@ -17,21 +21,40 @@
 //! * `--polarity` — enforce the inverting-buffer pairing rule;
 //! * `--conservative` — exact 4-D pruning;
 //! * `--verify` — run the transient-simulation referee on the result;
-//! * `--dump` — print the parsed routing tree before optimizing.
+//! * `--dump` — print the parsed routing tree before optimizing;
+//! * `--batch DIR` — run the fault-isolated pipeline over every `*.net`
+//!   file in `DIR`: one JSONL outcome record per net on stdout, summary on
+//!   stderr. A malformed, infeasible, or budget-busting net degrades that
+//!   net only; the batch always completes;
+//! * `--time-limit-ms` / `--max-candidates` / `--max-tree-nodes` —
+//!   per-net resource budget (unlimited when omitted).
+//!
+//! Exit codes: `0` every net optimized (noise and timing met); `1` at
+//! least one net degraded (noise clean, timing unmet); `2` at least one
+//! net infeasible (noise cannot be fixed, or the referee found a
+//! violation); `3` usage, IO, or parse error.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use buffopt::buffopt::{self as algo3, BuffOptOptions};
 use buffopt::iterative::{self, IterativeOptions};
-use buffopt::{algorithm2, audit, Assignment};
+use buffopt::{algorithm2, audit, Assignment, CoreError, RunBudget};
 use buffopt_buffers::{catalog, BufferLibrary};
 use buffopt_netlist::parse;
 use buffopt_noise::NoiseScenario;
+use buffopt_pipeline::{run_batch, NetInput, PipelineConfig};
 use buffopt_sim::referee::{self, RefereeOptions};
 use buffopt_tree::{segment, RoutingTree};
 
+const EXIT_OK: u8 = 0;
+const EXIT_DEGRADED: u8 = 1;
+const EXIT_INFEASIBLE: u8 = 2;
+const EXIT_USAGE: u8 = 3;
+
 struct Args {
-    file: String,
+    file: Option<String>,
+    batch: Option<String>,
     segment: f64,
     mode: Mode,
     library: BufferLibrary,
@@ -39,6 +62,23 @@ struct Args {
     conservative: bool,
     verify: bool,
     dump: bool,
+    time_limit_ms: Option<u64>,
+    max_candidates: Option<usize>,
+    max_tree_nodes: Option<usize>,
+}
+
+impl Args {
+    fn budget(&self) -> RunBudget {
+        let mut b = RunBudget {
+            deadline: None,
+            max_candidates: self.max_candidates,
+            max_tree_nodes: self.max_tree_nodes,
+        };
+        if let Some(ms) = self.time_limit_ms {
+            b = b.with_time_limit(Duration::from_millis(ms));
+        }
+        b
+    }
 }
 
 #[derive(PartialEq)]
@@ -52,28 +92,36 @@ enum Mode {
 
 fn usage() -> String {
     "usage: buffopt-cli NET_FILE [--segment UM] [--mode p2|p3|cost|noise|greedy] \
-     [--lib ibm|single] [--polarity] [--conservative] [--verify] [--dump]"
+     [--lib ibm|single] [--polarity] [--conservative] [--verify] [--dump] \
+     [--time-limit-ms N] [--max-candidates N] [--max-tree-nodes N]\n\
+     \x20      buffopt-cli --batch DIR [shared flags as above]"
         .to_string()
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut file = None;
-    let mut segment = 500.0;
-    let mut mode = Mode::P3;
-    let mut library = catalog::ibm_like();
-    let mut polarity = false;
-    let mut conservative = false;
-    let mut verify = false;
-    let mut dump = false;
+    let mut args = Args {
+        file: None,
+        batch: None,
+        segment: 500.0,
+        mode: Mode::P3,
+        library: catalog::ibm_like(),
+        polarity: false,
+        conservative: false,
+        verify: false,
+        dump: false,
+        time_limit_ms: None,
+        max_candidates: None,
+        max_tree_nodes: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--segment" => {
                 let v = it.next().ok_or_else(usage)?;
-                segment = v.parse().map_err(|_| format!("bad --segment {v:?}"))?;
+                args.segment = v.parse().map_err(|_| format!("bad --segment {v:?}"))?;
             }
             "--mode" => {
-                mode = match it.next().as_deref() {
+                args.mode = match it.next().as_deref() {
                     Some("p2") => Mode::P2,
                     Some("p3") => Mode::P3,
                     Some("cost") => Mode::Cost,
@@ -83,42 +131,64 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--lib" => {
-                library = match it.next().as_deref() {
+                args.library = match it.next().as_deref() {
                     Some("ibm") => catalog::ibm_like(),
                     Some("single") => catalog::single_buffer(),
                     other => return Err(format!("bad --lib {other:?}")),
                 };
             }
-            "--polarity" => polarity = true,
-            "--conservative" => conservative = true,
-            "--verify" => verify = true,
-            "--dump" => dump = true,
+            "--batch" => {
+                args.batch = Some(it.next().ok_or_else(usage)?);
+            }
+            "--time-limit-ms" => {
+                let v = it.next().ok_or_else(usage)?;
+                args.time_limit_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --time-limit-ms {v:?}"))?,
+                );
+            }
+            "--max-candidates" => {
+                let v = it.next().ok_or_else(usage)?;
+                args.max_candidates = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --max-candidates {v:?}"))?,
+                );
+            }
+            "--max-tree-nodes" => {
+                let v = it.next().ok_or_else(usage)?;
+                args.max_tree_nodes = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --max-tree-nodes {v:?}"))?,
+                );
+            }
+            "--polarity" => args.polarity = true,
+            "--conservative" => args.conservative = true,
+            "--verify" => args.verify = true,
+            "--dump" => args.dump = true,
             "--help" | "-h" => return Err(usage()),
-            other if file.is_none() && !other.starts_with('-') => {
-                file = Some(other.to_string());
+            other if args.file.is_none() && !other.starts_with('-') => {
+                args.file = Some(other.to_string());
             }
             other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
         }
     }
-    Ok(Args {
-        file: file.ok_or_else(usage)?,
-        segment,
-        mode,
-        library,
-        polarity,
-        conservative,
-        verify,
-        dump,
-    })
+    if args.batch.is_none() && args.file.is_none() {
+        return Err(usage());
+    }
+    if args.batch.is_some() && args.file.is_some() {
+        return Err(format!("--batch and NET_FILE are exclusive\n{}", usage()));
+    }
+    Ok(args)
 }
 
+/// Prints the result summary; returns (noise_ok, referee_ok).
 fn report(
     tree: &RoutingTree,
     scenario: &NoiseScenario,
     lib: &BufferLibrary,
     assignment: &Assignment,
     verify: bool,
-) -> bool {
+) -> (bool, bool) {
     let d = audit::delay(tree, lib, assignment);
     let n = audit::noise(tree, scenario, lib, assignment);
     println!(
@@ -133,11 +203,11 @@ fn report(
     for (node, b) in assignment.iter() {
         println!("  place {} at {}", lib.buffer(b).name, node);
     }
-    let mut ok = !n.has_violation();
+    let noise_ok = !n.has_violation();
+    let mut referee_ok = true;
     if verify {
         let ropts = RefereeOptions::default();
         let mut worst = 0.0f64;
-        let mut sim_ok = true;
         for stage in audit::stages(tree, lib, assignment) {
             if stage.ends.is_empty() {
                 continue;
@@ -155,24 +225,90 @@ fn report(
                     for (m, &(_, margin, _)) in peaks.iter().zip(&stage.ends) {
                         worst = worst.max(m.peak);
                         if m.peak > margin {
-                            sim_ok = false;
+                            referee_ok = false;
                         }
                     }
                 }
                 Err(e) => {
                     eprintln!("simulation failed: {e}");
-                    sim_ok = false;
+                    referee_ok = false;
                 }
             }
         }
         println!(
             "simulation referee: worst stage peak {:.1} mV — {}",
             worst * 1e3,
-            if sim_ok { "clean" } else { "VIOLATING" }
+            if referee_ok { "clean" } else { "VIOLATING" }
         );
-        ok &= sim_ok;
     }
-    ok
+    (noise_ok, referee_ok)
+}
+
+/// Exit code for a single-net optimizer error. Parse and usage mistakes
+/// exit 3 before the optimizer runs; every error the optimizer itself
+/// reports (infeasible noise, budget exhausted) means "no usable result".
+fn error_exit(_e: &CoreError) -> u8 {
+    EXIT_INFEASIBLE
+}
+
+fn run_batch_mode(args: &Args, dir: &str) -> ExitCode {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read directory {dir}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "net"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no .net files in {dir}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+
+    let inputs: Vec<NetInput> = paths
+        .iter()
+        .map(|p| {
+            let name = p
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.display().to_string());
+            match std::fs::read_to_string(p) {
+                Err(e) => NetInput::Failed {
+                    name,
+                    error: format!("cannot read: {e}"),
+                },
+                Ok(text) => match parse(&text) {
+                    Ok(net) => NetInput::Parsed {
+                        name: net.name.clone().unwrap_or(name),
+                        tree: net.tree,
+                        scenario: net.scenario,
+                    },
+                    Err(e) => NetInput::Failed {
+                        name,
+                        error: e.to_string(),
+                    },
+                },
+            }
+        })
+        .collect();
+
+    let cfg = PipelineConfig {
+        library: args.library.clone(),
+        max_segment: Some(args.segment),
+        time_limit: args.time_limit_ms.map(Duration::from_millis),
+        max_candidates: args.max_candidates,
+        max_tree_nodes: args.max_tree_nodes,
+        conservative: args.conservative,
+        polarity: args.polarity,
+    };
+    let report = run_batch(&inputs, &cfg);
+    print!("{}", report.to_jsonl());
+    eprintln!("{} in {:.1} s", report.summary(), report.wall.as_secs_f64());
+    ExitCode::from(report.exit_code().clamp(0, 255) as u8)
 }
 
 fn main() -> ExitCode {
@@ -180,21 +316,25 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("{msg}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
-    let text = match std::fs::read_to_string(&args.file) {
+    if let Some(dir) = args.batch.clone() {
+        return run_batch_mode(&args, &dir);
+    }
+    let file = args.file.as_deref().expect("checked in parse_args");
+    let text = match std::fs::read_to_string(file) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("cannot read {}: {e}", args.file);
-            return ExitCode::from(2);
+            eprintln!("cannot read {file}: {e}");
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let net = match parse(&text) {
         Ok(n) => n,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     println!(
@@ -207,23 +347,28 @@ fn main() -> ExitCode {
     if args.dump {
         print!("{}", buffopt_tree::render(&net.tree));
     }
+    let budget = args.budget();
 
     if args.mode == Mode::Noise {
         // Continuous-position noise avoidance on the raw tree.
-        match algorithm2::avoid_noise(&net.tree, &net.scenario, &args.library) {
+        match algorithm2::avoid_noise_budgeted(&net.tree, &net.scenario, &args.library, &budget) {
             Ok(sol) => {
-                let ok = report(
+                let (noise_ok, referee_ok) = report(
                     &sol.tree,
                     &sol.scenario,
                     &args.library,
                     &sol.assignment,
                     args.verify,
                 );
-                return if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+                return if noise_ok && referee_ok {
+                    ExitCode::from(EXIT_OK)
+                } else {
+                    ExitCode::from(EXIT_INFEASIBLE)
+                };
             }
             Err(e) => {
                 eprintln!("noise avoidance failed: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(error_exit(&e));
             }
         }
     }
@@ -232,7 +377,7 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => {
             eprintln!("segmenting failed: {e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let scenario = net.scenario.for_segmented(&seg);
@@ -241,6 +386,7 @@ fn main() -> ExitCode {
         max_buffers: None,
         conservative_pruning: args.conservative,
         polarity_aware: args.polarity,
+        budget,
     };
     let sol = match args.mode {
         Mode::P2 => algo3::optimize(&tree, &scenario, &args.library, &opts),
@@ -253,26 +399,34 @@ fn main() -> ExitCode {
             &IterativeOptions {
                 noise: true,
                 max_buffers: None,
+                budget,
             },
         ),
         Mode::Noise => unreachable!("handled above"),
     };
     match sol {
         Ok(sol) => {
-            let ok = report(&tree, &scenario, &args.library, &sol.assignment, args.verify)
-                && sol.slack >= 0.0;
+            let (noise_ok, referee_ok) = report(
+                &tree,
+                &scenario,
+                &args.library,
+                &sol.assignment,
+                args.verify,
+            );
             if sol.slack < 0.0 {
                 eprintln!("warning: timing not met (slack {:.1} ps)", sol.slack * 1e12);
             }
-            if ok {
-                ExitCode::SUCCESS
+            if !noise_ok || !referee_ok {
+                ExitCode::from(EXIT_INFEASIBLE)
+            } else if sol.slack < 0.0 {
+                ExitCode::from(EXIT_DEGRADED)
             } else {
-                ExitCode::FAILURE
+                ExitCode::from(EXIT_OK)
             }
         }
         Err(e) => {
             eprintln!("optimization failed: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(error_exit(&e))
         }
     }
 }

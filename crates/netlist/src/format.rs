@@ -3,7 +3,7 @@ use std::error::Error;
 use std::fmt;
 
 use buffopt_noise::NoiseScenario;
-use buffopt_tree::{Driver, NodeId, RoutingTree, SinkSpec, TreeBuilder, Wire};
+use buffopt_tree::{Driver, NodeId, RoutingTree, SinkSpec, TreeBuilder, TreeError, Wire};
 
 /// A net loaded from the text format.
 #[derive(Debug, Clone)]
@@ -34,24 +34,151 @@ pub struct ParseNetError {
     /// 1-based line number (0 for file-level problems).
     pub line: usize,
     /// What went wrong.
-    pub message: String,
+    pub kind: ParseNetErrorKind,
+}
+
+/// The distinct ways a net file can be rejected. Hostile input — byte
+/// soup, non-finite or negative quantities, duplicate definitions,
+/// cycles, disconnected wires — maps to a typed variant rather than a
+/// panic, so batch drivers can classify failures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseNetErrorKind {
+    /// A directive with the wrong number or shape of tokens.
+    Syntax(String),
+    /// A line starting with a token no grammar rule knows.
+    UnknownDirective(String),
+    /// A token that should be a number but does not parse as one.
+    InvalidNumber {
+        /// Human-readable name of the quantity.
+        what: String,
+        /// The offending token.
+        token: String,
+    },
+    /// A quantity that parsed but is NaN, infinite, or negative where the
+    /// format requires a finite non-negative value.
+    InvalidQuantity {
+        /// Human-readable name of the quantity.
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A second `driver` line.
+    DuplicateDriver,
+    /// No `driver` line at all.
+    MissingDriver,
+    /// No `wire` lines at all.
+    NoWires,
+    /// `source` named as a wire child.
+    SourceAsChild,
+    /// A node named as the child of two different wires.
+    DuplicateParent {
+        /// The doubly-parented node.
+        node: String,
+        /// Line of the first wire that claimed it.
+        first_line: usize,
+    },
+    /// Two sink specs for the same node.
+    DuplicateSink(String),
+    /// A sink spec naming a node that no wire reaches.
+    SinkNotWired(String),
+    /// A sink spec on a node that has children.
+    SinkNotLeaf(String),
+    /// A leaf wire child with no sink spec.
+    LeafWithoutSink(String),
+    /// Wires that close a loop instead of forming a tree.
+    Cycle(String),
+    /// A wire whose parent chain never reaches the source.
+    Orphan {
+        /// Parent name of the unreachable wire.
+        parent: String,
+        /// Child name of the unreachable wire.
+        child: String,
+    },
+    /// Tree construction failed for a reason not covered above.
+    Tree(String),
+}
+
+impl fmt::Display for ParseNetErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetErrorKind::Syntax(msg) => write!(f, "{msg}"),
+            ParseNetErrorKind::UnknownDirective(d) => {
+                write!(f, "unknown directive {d:?}")
+            }
+            ParseNetErrorKind::InvalidNumber { what, token } => {
+                write!(f, "invalid {what}: {token:?}")
+            }
+            ParseNetErrorKind::InvalidQuantity { what, value } => {
+                write!(f, "{what} must be finite and non-negative, got {value}")
+            }
+            ParseNetErrorKind::DuplicateDriver => write!(f, "duplicate driver line"),
+            ParseNetErrorKind::MissingDriver => write!(f, "missing driver line"),
+            ParseNetErrorKind::NoWires => write!(f, "no wires"),
+            ParseNetErrorKind::SourceAsChild => {
+                write!(f, "the source cannot be a wire child")
+            }
+            ParseNetErrorKind::DuplicateParent { node, first_line } => {
+                write!(f, "node {node:?} already has a parent (line {first_line})")
+            }
+            ParseNetErrorKind::DuplicateSink(node) => {
+                write!(f, "duplicate sink spec for {node:?}")
+            }
+            ParseNetErrorKind::SinkNotWired(node) => {
+                write!(f, "sink {node:?} is not the child of any wire")
+            }
+            ParseNetErrorKind::SinkNotLeaf(node) => {
+                write!(f, "sink {node:?} has children; sinks must be leaves")
+            }
+            ParseNetErrorKind::LeafWithoutSink(node) => {
+                write!(f, "leaf node {node:?} has no sink spec")
+            }
+            ParseNetErrorKind::Cycle(node) => {
+                write!(f, "wires form a cycle through {node:?}")
+            }
+            ParseNetErrorKind::Orphan { parent, child } => {
+                write!(
+                    f,
+                    "wire {parent:?} -> {child:?} is not reachable from the source"
+                )
+            }
+            ParseNetErrorKind::Tree(msg) => write!(f, "{msg}"),
+        }
+    }
 }
 
 impl ParseNetError {
-    fn at(line: usize, message: impl Into<String>) -> Self {
-        ParseNetError {
-            line,
-            message: message.into(),
-        }
+    fn at(line: usize, kind: ParseNetErrorKind) -> Self {
+        ParseNetError { line, kind }
+    }
+
+    fn syntax(line: usize, message: impl Into<String>) -> Self {
+        ParseNetError::at(line, ParseNetErrorKind::Syntax(message.into()))
+    }
+
+    /// Wraps a tree-construction error, promoting quantity violations to
+    /// their own kind so callers can tell bad numbers from bad topology.
+    fn tree(line: usize, e: TreeError) -> Self {
+        let kind = match e {
+            TreeError::InvalidQuantity { what, value }
+            | TreeError::NonPositiveQuantity { what, value } => {
+                ParseNetErrorKind::InvalidQuantity {
+                    what: what.to_string(),
+                    value,
+                }
+            }
+            other => ParseNetErrorKind::Tree(other.to_string()),
+        };
+        ParseNetError::at(line, kind)
     }
 }
 
 impl fmt::Display for ParseNetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line == 0 {
-            write!(f, "net file invalid: {}", self.message)
+            write!(f, "net file invalid: {}", self.kind)
         } else {
-            write!(f, "net file line {}: {}", self.line, self.message)
+            write!(f, "net file line {}: {}", self.line, self.kind)
         }
     }
 }
@@ -78,9 +205,32 @@ fn parse_f64(line: usize, what: &str, token: &str) -> Result<f64, ParseNetError>
     if token.eq_ignore_ascii_case("inf") {
         return Ok(f64::INFINITY);
     }
-    token
-        .parse::<f64>()
-        .map_err(|_| ParseNetError::at(line, format!("invalid {what}: {token:?}")))
+    token.parse::<f64>().map_err(|_| {
+        ParseNetError::at(
+            line,
+            ParseNetErrorKind::InvalidNumber {
+                what: what.to_string(),
+                token: token.to_string(),
+            },
+        )
+    })
+}
+
+/// Like [`parse_f64`] but additionally rejects NaN, infinities, and
+/// negative values — the rule for every quantity except a sink's
+/// required arrival time (which may be `inf`).
+fn parse_finite(line: usize, what: &str, token: &str) -> Result<f64, ParseNetError> {
+    let v = parse_f64(line, what, token)?;
+    if !(v.is_finite() && v >= 0.0) {
+        return Err(ParseNetError::at(
+            line,
+            ParseNetErrorKind::InvalidQuantity {
+                what: what.to_string(),
+                value: v,
+            },
+        ));
+    }
+    Ok(v)
 }
 
 /// Parses a net from the text format.
@@ -106,45 +256,40 @@ pub fn parse(text: &str) -> Result<ParsedNet, ParseNetError> {
         match tokens[0] {
             "net" => {
                 if tokens.len() != 2 {
-                    return Err(ParseNetError::at(lno, "expected: net NAME"));
+                    return Err(ParseNetError::syntax(lno, "expected: net NAME"));
                 }
                 name = Some(tokens[1].to_string());
             }
             "driver" => {
                 if tokens.len() != 3 {
-                    return Err(ParseNetError::at(lno, "expected: driver R D"));
+                    return Err(ParseNetError::syntax(lno, "expected: driver R D"));
                 }
                 if driver.is_some() {
-                    return Err(ParseNetError::at(lno, "duplicate driver line"));
+                    return Err(ParseNetError::at(lno, ParseNetErrorKind::DuplicateDriver));
                 }
-                let r = parse_f64(lno, "driver resistance", tokens[1])?;
-                let d = parse_f64(lno, "driver intrinsic delay", tokens[2])?;
-                let drv = Driver::try_new(r, d)
-                    .map_err(|e| ParseNetError::at(lno, e.to_string()))?;
+                let r = parse_finite(lno, "driver resistance", tokens[1])?;
+                let d = parse_finite(lno, "driver intrinsic delay", tokens[2])?;
+                let drv = Driver::try_new(r, d).map_err(|e| ParseNetError::tree(lno, e))?;
                 driver = Some((lno, drv));
             }
             "wire" => {
                 if !(6..=7).contains(&tokens.len()) {
-                    return Err(ParseNetError::at(
+                    return Err(ParseNetError::syntax(
                         lno,
                         "expected: wire PARENT CHILD R C LENGTH [FACTOR]",
                     ));
                 }
-                let r = parse_f64(lno, "wire resistance", tokens[3])?;
-                let c = parse_f64(lno, "wire capacitance", tokens[4])?;
-                let l = parse_f64(lno, "wire length", tokens[5])?;
+                let r = parse_finite(lno, "wire resistance", tokens[3])?;
+                let c = parse_finite(lno, "wire capacitance", tokens[4])?;
+                let l = parse_finite(lno, "wire length", tokens[5])?;
                 let factor = if tokens.len() == 7 {
-                    parse_f64(lno, "coupling factor", tokens[6])?
+                    parse_finite(lno, "coupling factor", tokens[6])?
                 } else {
                     0.0
                 };
-                if !(factor.is_finite() && factor >= 0.0) {
-                    return Err(ParseNetError::at(lno, "coupling factor must be ≥ 0"));
-                }
-                let wire = Wire::try_from_rc(r, c, l)
-                    .map_err(|e| ParseNetError::at(lno, e.to_string()))?;
+                let wire = Wire::try_from_rc(r, c, l).map_err(|e| ParseNetError::tree(lno, e))?;
                 if tokens[2] == "source" {
-                    return Err(ParseNetError::at(lno, "the source cannot be a wire child"));
+                    return Err(ParseNetError::at(lno, ParseNetErrorKind::SourceAsChild));
                 }
                 wires.push(WireLine {
                     line: lno,
@@ -156,13 +301,13 @@ pub fn parse(text: &str) -> Result<ParsedNet, ParseNetError> {
             }
             "sink" => {
                 if tokens.len() != 5 {
-                    return Err(ParseNetError::at(lno, "expected: sink NODE CAP RAT NM"));
+                    return Err(ParseNetError::syntax(lno, "expected: sink NODE CAP RAT NM"));
                 }
-                let cap = parse_f64(lno, "sink capacitance", tokens[2])?;
+                let cap = parse_finite(lno, "sink capacitance", tokens[2])?;
                 let rat = parse_f64(lno, "required arrival time", tokens[3])?;
-                let nm = parse_f64(lno, "noise margin", tokens[4])?;
-                let spec = SinkSpec::try_new(cap, rat, nm)
-                    .map_err(|e| ParseNetError::at(lno, e.to_string()))?;
+                let nm = parse_finite(lno, "noise margin", tokens[4])?;
+                let spec =
+                    SinkSpec::try_new(cap, rat, nm).map_err(|e| ParseNetError::tree(lno, e))?;
                 sinks.push(SinkLine {
                     line: lno,
                     node: tokens[1].to_string(),
@@ -170,15 +315,18 @@ pub fn parse(text: &str) -> Result<ParsedNet, ParseNetError> {
                 });
             }
             other => {
-                return Err(ParseNetError::at(lno, format!("unknown directive {other:?}")));
+                return Err(ParseNetError::at(
+                    lno,
+                    ParseNetErrorKind::UnknownDirective(other.to_string()),
+                ));
             }
         }
     }
 
     let (_, driver) =
-        driver.ok_or_else(|| ParseNetError::at(0, "missing driver line"))?;
+        driver.ok_or_else(|| ParseNetError::at(0, ParseNetErrorKind::MissingDriver))?;
     if wires.is_empty() {
-        return Err(ParseNetError::at(0, "no wires"));
+        return Err(ParseNetError::at(0, ParseNetErrorKind::NoWires));
     }
 
     // Adjacency and duplicate-parent detection.
@@ -188,10 +336,10 @@ pub fn parse(text: &str) -> Result<ParsedNet, ParseNetError> {
         if let Some(&first) = seen_child.get(w.child.as_str()) {
             return Err(ParseNetError::at(
                 w.line,
-                format!(
-                    "node {:?} already has a parent (line {})",
-                    w.child, wires[first].line
-                ),
+                ParseNetErrorKind::DuplicateParent {
+                    node: w.child.clone(),
+                    first_line: wires[first].line,
+                },
             ));
         }
         seen_child.insert(&w.child, i);
@@ -203,7 +351,7 @@ pub fn parse(text: &str) -> Result<ParsedNet, ParseNetError> {
             if m.insert(s.node.as_str(), s).is_some() {
                 return Err(ParseNetError::at(
                     s.line,
-                    format!("duplicate sink spec for {:?}", s.node),
+                    ParseNetErrorKind::DuplicateSink(s.node.clone()),
                 ));
             }
         }
@@ -213,13 +361,13 @@ pub fn parse(text: &str) -> Result<ParsedNet, ParseNetError> {
         if !seen_child.contains_key(s.node.as_str()) {
             return Err(ParseNetError::at(
                 s.line,
-                format!("sink {:?} is not the child of any wire", s.node),
+                ParseNetErrorKind::SinkNotWired(s.node.clone()),
             ));
         }
         if children.contains_key(s.node.as_str()) {
             return Err(ParseNetError::at(
                 s.line,
-                format!("sink {:?} has children; sinks must be leaves", s.node),
+                ParseNetErrorKind::SinkNotLeaf(s.node.clone()),
             ));
         }
     }
@@ -229,8 +377,7 @@ pub fn parse(text: &str) -> Result<ParsedNet, ParseNetError> {
     let mut names: Vec<Option<String>> = vec![Some("source".to_string())];
     let mut factors: Vec<f64> = vec![0.0];
     let mut placed = vec![false; wires.len()];
-    let mut queue: Vec<(String, NodeId)> =
-        vec![("source".to_string(), builder.source())];
+    let mut queue: Vec<(String, NodeId)> = vec![("source".to_string(), builder.source())];
     while let Some((pname, pid)) = queue.pop() {
         let Some(kids) = children.get(pname.as_str()) else {
             continue;
@@ -241,17 +388,17 @@ pub fn parse(text: &str) -> Result<ParsedNet, ParseNetError> {
             let id = if let Some(s) = sink_of.get(w.child.as_str()) {
                 builder
                     .add_sink(pid, w.wire, s.spec.clone().with_name(w.child.clone()))
-                    .map_err(|e| ParseNetError::at(w.line, e.to_string()))?
+                    .map_err(|e| ParseNetError::tree(w.line, e))?
             } else {
                 if !children.contains_key(w.child.as_str()) {
                     return Err(ParseNetError::at(
                         w.line,
-                        format!("leaf node {:?} has no sink spec", w.child),
+                        ParseNetErrorKind::LeafWithoutSink(w.child.clone()),
                     ));
                 }
                 builder
                     .add_internal(pid, w.wire)
-                    .map_err(|e| ParseNetError::at(w.line, e.to_string()))?
+                    .map_err(|e| ParseNetError::tree(w.line, e))?
             };
             names.push(Some(w.child.clone()));
             factors.push(w.factor);
@@ -259,17 +406,29 @@ pub fn parse(text: &str) -> Result<ParsedNet, ParseNetError> {
         }
     }
     if let Some(orphan) = placed.iter().position(|&p| !p) {
-        return Err(ParseNetError::at(
-            wires[orphan].line,
-            format!(
-                "wire {:?} -> {:?} is not reachable from the source",
-                wires[orphan].parent, wires[orphan].child
-            ),
-        ));
+        // Distinguish a closed loop from a merely disconnected subtree:
+        // walk the parent chain upward from the unplaced wire; revisiting
+        // a node means the wires cycle (BFS from the source can never
+        // enter a cycle, so every wire on it stays unplaced).
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        let mut cur = wires[orphan].child.as_str();
+        let kind = loop {
+            if !seen.insert(cur) {
+                break ParseNetErrorKind::Cycle(cur.to_string());
+            }
+            match seen_child.get(cur) {
+                Some(&wi) => cur = wires[wi].parent.as_str(),
+                None => {
+                    break ParseNetErrorKind::Orphan {
+                        parent: wires[orphan].parent.clone(),
+                        child: wires[orphan].child.clone(),
+                    }
+                }
+            }
+        };
+        return Err(ParseNetError::at(wires[orphan].line, kind));
     }
-    let tree = builder
-        .build()
-        .map_err(|e| ParseNetError::at(0, e.to_string()))?;
+    let tree = builder.build().map_err(|e| ParseNetError::tree(0, e))?;
     // Binarization may have appended dummies.
     while names.len() < tree.len() {
         names.push(None);
@@ -394,8 +553,8 @@ sink s2 1.2e-14 inf 0.8
 
     #[test]
     fn missing_driver_is_an_error() {
-        let err = parse("wire source s1 1 1e-15 1\nsink s1 1e-15 1e-9 0.8\n")
-            .expect_err("no driver");
+        let err =
+            parse("wire source s1 1 1e-15 1\nsink s1 1e-15 1e-9 0.8\n").expect_err("no driver");
         assert!(err.to_string().contains("driver"));
     }
 
@@ -605,5 +764,243 @@ sink c 1e-15 1e-9 0.8
     fn source_as_child_rejected() {
         let err = parse("driver 1 0\nwire a source 1 1e-15 1\n").expect_err("bad");
         assert!(err.to_string().contains("source"));
+    }
+
+    /// One test per [`ParseNetErrorKind`] variant: the hostile input that
+    /// produces it, the kind itself, and its Display text.
+    mod error_kinds {
+        use super::*;
+
+        fn kind_of(text: &str) -> ParseNetError {
+            parse(text).expect_err("input must be rejected")
+        }
+
+        #[test]
+        fn syntax() {
+            let e = kind_of("net a b\n");
+            assert_eq!(
+                e.kind,
+                ParseNetErrorKind::Syntax("expected: net NAME".into())
+            );
+            assert_eq!(e.line, 1);
+            assert!(e.to_string().contains("expected: net NAME"));
+        }
+
+        #[test]
+        fn unknown_directive() {
+            let e = kind_of("driver 1 0\nfrobnicate x\n");
+            assert_eq!(
+                e.kind,
+                ParseNetErrorKind::UnknownDirective("frobnicate".into())
+            );
+            assert!(e.to_string().contains("frobnicate"));
+        }
+
+        #[test]
+        fn invalid_number() {
+            let e = kind_of("driver 100 zero\n");
+            assert_eq!(
+                e.kind,
+                ParseNetErrorKind::InvalidNumber {
+                    what: "driver intrinsic delay".into(),
+                    token: "zero".into(),
+                }
+            );
+            assert!(e.to_string().contains("zero"));
+        }
+
+        #[test]
+        fn invalid_quantity_negative() {
+            let e = kind_of("driver -5 0\n");
+            assert_eq!(
+                e.kind,
+                ParseNetErrorKind::InvalidQuantity {
+                    what: "driver resistance".into(),
+                    value: -5.0,
+                }
+            );
+            assert!(e.to_string().contains("finite"));
+        }
+
+        #[test]
+        fn invalid_quantity_infinite_wire() {
+            // `inf` is only legal as a required arrival time.
+            let e = kind_of("driver 1 0\nwire source s inf 1e-15 1\nsink s 1e-15 1e-9 0.8\n");
+            assert!(matches!(
+                e.kind,
+                ParseNetErrorKind::InvalidQuantity { ref what, value }
+                    if what == "wire resistance" && value.is_infinite()
+            ));
+            assert_eq!(e.line, 2);
+        }
+
+        #[test]
+        fn invalid_quantity_nan_is_a_bad_number() {
+            // "NaN" parses as f64 but fails the finite check.
+            let e = kind_of("driver NaN 0\n");
+            assert!(matches!(
+                e.kind,
+                ParseNetErrorKind::InvalidQuantity { value, .. } if value.is_nan()
+            ));
+        }
+
+        #[test]
+        fn invalid_quantity_negative_coupling() {
+            let e = kind_of("driver 1 0\nwire source s 1 1e-15 1 -2e9\nsink s 1e-15 1e-9 0.8\n");
+            assert!(matches!(
+                e.kind,
+                ParseNetErrorKind::InvalidQuantity { ref what, .. } if what == "coupling factor"
+            ));
+        }
+
+        #[test]
+        fn duplicate_driver() {
+            let e = kind_of("driver 1 0\ndriver 2 0\n");
+            assert_eq!(e.kind, ParseNetErrorKind::DuplicateDriver);
+            assert_eq!(e.line, 2);
+            assert!(e.to_string().contains("duplicate driver"));
+        }
+
+        #[test]
+        fn missing_driver() {
+            let e = kind_of("wire source s 1 1e-15 1\nsink s 1e-15 1e-9 0.8\n");
+            assert_eq!(e.kind, ParseNetErrorKind::MissingDriver);
+            assert_eq!(e.line, 0);
+            assert!(e.to_string().contains("driver"));
+        }
+
+        #[test]
+        fn no_wires() {
+            let e = kind_of("driver 1 0\n");
+            assert_eq!(e.kind, ParseNetErrorKind::NoWires);
+            assert!(e.to_string().contains("no wires"));
+        }
+
+        #[test]
+        fn source_as_child() {
+            let e = kind_of("driver 1 0\nwire a source 1 1e-15 1\n");
+            assert_eq!(e.kind, ParseNetErrorKind::SourceAsChild);
+        }
+
+        #[test]
+        fn duplicate_parent() {
+            let text = "\
+driver 1 0
+wire source a 1 1e-15 1
+wire source b 1 1e-15 1
+wire a c 1 1e-15 1
+wire b c 1 1e-15 1
+sink c 1e-15 1e-9 0.8
+";
+            let e = kind_of(text);
+            assert_eq!(
+                e.kind,
+                ParseNetErrorKind::DuplicateParent {
+                    node: "c".into(),
+                    first_line: 4,
+                }
+            );
+            assert_eq!(e.line, 5);
+            assert!(e.to_string().contains("already has a parent"));
+        }
+
+        #[test]
+        fn duplicate_sink() {
+            let text = "\
+driver 1 0
+wire source s 1 1e-15 1
+sink s 1e-15 1e-9 0.8
+sink s 2e-15 1e-9 0.8
+";
+            let e = kind_of(text);
+            assert_eq!(e.kind, ParseNetErrorKind::DuplicateSink("s".into()));
+            assert_eq!(e.line, 4);
+        }
+
+        #[test]
+        fn sink_not_wired() {
+            let e = kind_of("driver 1 0\nwire source s 1 1e-15 1\nsink s 1e-15 1e-9 0.8\nsink ghost 1e-15 1e-9 0.8\n");
+            assert_eq!(e.kind, ParseNetErrorKind::SinkNotWired("ghost".into()));
+        }
+
+        #[test]
+        fn sink_not_leaf() {
+            let text = "\
+driver 1 0
+wire source a 1 1e-15 1
+wire a b 1 1e-15 1
+sink a 1e-15 1e-9 0.8
+sink b 1e-15 1e-9 0.8
+";
+            let e = kind_of(text);
+            assert_eq!(e.kind, ParseNetErrorKind::SinkNotLeaf("a".into()));
+            assert!(e.to_string().contains("leaves"));
+        }
+
+        #[test]
+        fn leaf_without_sink() {
+            let e = kind_of("driver 1 0\nwire source a 1 1e-15 1\n");
+            assert_eq!(e.kind, ParseNetErrorKind::LeafWithoutSink("a".into()));
+            assert!(e.to_string().contains("no sink spec"));
+        }
+
+        #[test]
+        fn cycle() {
+            let text = "\
+driver 1 0
+wire source s 1 1e-15 1
+wire a b 1 1e-15 1
+wire b a 1 1e-15 1
+sink s 1e-15 1e-9 0.8
+";
+            let e = kind_of(text);
+            assert!(
+                matches!(e.kind, ParseNetErrorKind::Cycle(_)),
+                "expected a cycle, got {:?}",
+                e.kind
+            );
+            assert!(e.to_string().contains("cycle"));
+        }
+
+        #[test]
+        fn orphan() {
+            let text = "\
+driver 1 0
+wire source a 1 1e-15 1
+wire ghost b 1 1e-15 1
+sink a 1e-15 1e-9 0.8
+sink b 1e-15 1e-9 0.8
+";
+            let e = kind_of(text);
+            assert_eq!(
+                e.kind,
+                ParseNetErrorKind::Orphan {
+                    parent: "ghost".into(),
+                    child: "b".into(),
+                }
+            );
+            assert!(e.to_string().contains("not reachable"));
+        }
+
+        #[test]
+        fn tree_variant_displays_raw_message() {
+            let e = ParseNetError {
+                line: 0,
+                kind: ParseNetErrorKind::Tree("routing tree has no sinks".into()),
+            };
+            assert_eq!(e.to_string(), "net file invalid: routing tree has no sinks");
+        }
+
+        #[test]
+        fn error_trait_contract() {
+            use std::error::Error as _;
+            let e = kind_of("driver 1 0\n");
+            // Leaf error: no source, non-empty Display, thread-safe.
+            assert!(e.source().is_none());
+            assert!(!e.to_string().is_empty());
+            fn assert_send_sync<T: Send + Sync + 'static>() {}
+            assert_send_sync::<ParseNetError>();
+            assert_send_sync::<ParseNetErrorKind>();
+        }
     }
 }

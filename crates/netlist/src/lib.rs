@@ -46,4 +46,4 @@
 
 mod format;
 
-pub use format::{parse, write, ParseNetError, ParsedNet};
+pub use format::{parse, write, ParseNetError, ParseNetErrorKind, ParsedNet};

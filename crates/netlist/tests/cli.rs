@@ -28,12 +28,31 @@ mod tempfile_like {
 
     pub fn write(content: &str) -> TempPath {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "buffopt-cli-test-{}-{n}.net",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("buffopt-cli-test-{}-{n}.net", std::process::id()));
         std::fs::write(&path, content).expect("temp file is writable");
         TempPath(path)
+    }
+
+    pub struct TempDir(pub PathBuf);
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    /// A fresh directory populated with the given `(file name, content)`
+    /// pairs.
+    pub fn dir(files: &[(&str, &str)]) -> TempDir {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("buffopt-cli-batch-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("temp dir is creatable");
+        for (name, content) in files {
+            std::fs::write(path.join(name), content).expect("net file writes");
+        }
+        TempDir(path)
     }
 }
 
@@ -63,9 +82,16 @@ fn fixes_violating_net_and_exits_zero() {
         .output()
         .expect("binary runs");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout.contains("buffers:"), "{stdout}");
-    assert!(stdout.contains("place"), "a violating net needs buffers: {stdout}");
+    assert!(
+        stdout.contains("place"),
+        "a violating net needs buffers: {stdout}"
+    );
 }
 
 #[test]
@@ -116,39 +142,160 @@ fn cost_mode_reports_cost() {
 }
 
 #[test]
-fn bad_file_exits_2() {
+fn bad_file_exits_3() {
     let out = cli()
         .arg("/nonexistent/definitely-missing.net")
         .output()
         .expect("binary runs");
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3));
 }
 
 #[test]
 fn parse_error_reports_line() {
     let f = write_net("driver 100 zero\n");
     let out = cli().arg(&f.0).output().expect("binary runs");
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("line 1"), "{stderr}");
 }
 
 #[test]
-fn unknown_flag_exits_2_with_usage() {
+fn unknown_flag_exits_3_with_usage() {
     let out = cli().arg("--frobnicate").output().expect("binary runs");
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(3));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("usage:"), "{stderr}");
 }
 
 #[test]
-fn impossible_timing_warns_but_reports() {
+fn impossible_timing_exits_1_with_warning() {
     let tight = VIOLATING_NET.replace("1.2e-9", "1e-12");
     let f = write_net(&tight);
     let out = cli().arg(&f.0).output().expect("binary runs");
-    // Noise is fixed but timing is impossible: non-zero exit + warning.
-    assert!(!out.status.success());
+    // Noise is fixed but timing is impossible: degraded exit + warning.
+    assert_eq!(out.status.code(), Some(1));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("timing not met"), "{stderr}");
     let _ = std::io::stdout().flush();
+}
+
+#[test]
+fn tree_node_budget_exits_2_with_typed_error() {
+    let f = write_net(VIOLATING_NET);
+    let out = cli()
+        .arg(&f.0)
+        .args(["--max-tree-nodes", "2"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("tree nodes"), "{stderr}");
+}
+
+#[test]
+fn expired_deadline_exits_2_not_hangs() {
+    let f = write_net(VIOLATING_NET);
+    let out = cli()
+        .arg(&f.0)
+        .args(["--time-limit-ms", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline"), "{stderr}");
+}
+
+#[test]
+fn batch_emits_one_record_per_net_and_ranks_exit() {
+    // Four nets: healthy, malformed, noise-infeasible, budget-busting
+    // (the tree-node cap below admits the small nets but not this one).
+    let hopeless = VIOLATING_NET.replace(" 0.8", " 1e-6");
+    let big = {
+        let mut s = String::from("net big\ndriver 300 2e-11\n");
+        for i in 0..40 {
+            let parent = if i == 0 {
+                "source".to_string()
+            } else {
+                format!("n{}", i - 1)
+            };
+            s.push_str(&format!("wire {parent} n{i} 80 2.5e-13 1000 5.04e9\n"));
+        }
+        s.push_str("sink n39 2e-14 1.2e-9 0.8\n");
+        s
+    };
+    let d = tempfile_like::dir(&[
+        ("healthy.net", CLEAN_NET),
+        ("mangled.net", "driver 100 zero\n"),
+        ("hopeless.net", &hopeless),
+        ("big.net", &big),
+    ]);
+    let out = cli()
+        .args(["--batch", d.0.to_str().expect("utf8 path")])
+        .args(["--max-tree-nodes", "30"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "one JSONL record per net: {stdout}");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains(r#""outcome":"#), "{line}");
+    }
+    // Sorted by file name: big, healthy, hopeless, mangled — and each
+    // lands on a different outcome. The big net busts the tree-node cap
+    // on every rung, so all that remains is the unbuffered diagnosis; the
+    // hopeless margin defeats the DP rungs but continuous noise avoidance
+    // still serves it (timing unmet ⇒ degraded).
+    assert!(lines[0].contains(r#""net":"big""#), "{}", lines[0]);
+    assert!(
+        lines[0].contains(r#""outcome":"infeasible""#),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[0].contains("tree nodes"), "{}", lines[0]);
+    assert!(
+        lines[1].contains(r#""outcome":"optimized""#),
+        "{}",
+        lines[1]
+    );
+    assert!(lines[2].contains(r#""outcome":"degraded""#), "{}", lines[2]);
+    assert!(
+        lines[3].contains(r#""outcome":"parse_error""#),
+        "{}",
+        lines[3]
+    );
+    // The parse error outranks everything else.
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("4 nets"), "{stderr}");
+}
+
+#[test]
+fn batch_of_healthy_nets_exits_zero() {
+    let d = tempfile_like::dir(&[
+        ("a.net", CLEAN_NET),
+        ("b.net", VIOLATING_NET),
+        ("notes.txt", "not a net file; must be ignored"),
+    ]);
+    let out = cli()
+        .args(["--batch", d.0.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 2, "{stdout}");
+}
+
+#[test]
+fn batch_of_missing_dir_exits_3() {
+    let out = cli()
+        .args(["--batch", "/nonexistent/never-a-dir"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
 }

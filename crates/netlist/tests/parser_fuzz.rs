@@ -1,0 +1,111 @@
+//! Parser fuzzing: `parse` must never panic, whatever bytes arrive.
+//!
+//! Three generators of increasing structure: raw byte soup (exercises
+//! tokenization), directive soup (random well-formed-ish lines, exercises
+//! the graph validation), and near-valid mutation (corrupt a valid file a
+//! few bytes at a time, exercises every error path close to the happy
+//! path). On top of "no panic" we assert the error contract: a reported
+//! line number never exceeds the line count, and the message renders.
+
+use buffopt_netlist::{parse, write};
+use proptest::prelude::*;
+
+/// The error contract every rejection must honor.
+fn well_formed_rejection(text: &str) -> Result<(), TestCaseError> {
+    if let Err(e) = parse(text) {
+        prop_assert!(
+            e.line <= text.lines().count(),
+            "error line {} beyond the {}-line input",
+            e.line,
+            text.lines().count()
+        );
+        prop_assert!(!e.to_string().is_empty());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(0u8..=255u8, 0..512)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        well_formed_rejection(&text)?;
+    }
+}
+
+/// One random net-format-flavored line: mostly grammatical directives
+/// over a tiny node-name alphabet (so duplicates, cycles, and orphans
+/// actually happen), with occasional genuine garbage.
+fn arb_line() -> impl Strategy<Value = String> {
+    (
+        0u8..8,
+        0u8..6,
+        0u8..6,
+        -1e3f64..1e3,
+        -1e-12f64..1e-12,
+        0f64..5e3,
+    )
+        .prop_map(|(directive, a, b, x, y, z)| match directive {
+            0 => format!("driver {x} {y}"),
+            1 => format!("wire n{a} n{b} {x} {y} {z}"),
+            2 => format!("wire source n{b} {x} {y} {z} {x}"),
+            3 => format!("sink n{a} {y} {z} {x}"),
+            4 => format!("sink n{a} {y} inf {x}"),
+            5 => format!("net n{a}"),
+            6 => format!("# comment {x}"),
+            _ => format!("{x} wire sink ## n{b}"),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn directive_soup_never_panics(lines in prop::collection::vec(arb_line(), 0..24)) {
+        let text = lines.join("\n");
+        well_formed_rejection(&text)?;
+    }
+}
+
+const VALID: &str = "\
+net fuzzbase
+driver 300 2e-11
+wire source j1 320 1e-12 4000 5.04e9
+wire j1 s1 240 7.5e-13 3000 5.04e9
+wire j1 s2 120 3.8e-13 1500
+sink s1 2e-14 1.2e-9 0.8
+sink s2 1.2e-14 inf 0.8
+";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Corrupt a known-valid file with a handful of byte edits. Whatever
+    /// still parses must also survive a write → parse round-trip.
+    #[test]
+    fn near_valid_mutations_never_panic(
+        edits in prop::collection::vec((0usize..256, 0u8..=255u8, 0u8..3), 1..6),
+    ) {
+        let mut bytes = VALID.as_bytes().to_vec();
+        for &(pos, byte, op) in &edits {
+            if bytes.is_empty() {
+                break;
+            }
+            let pos = pos % bytes.len();
+            match op {
+                0 => bytes[pos] = byte,          // overwrite
+                1 => bytes.insert(pos, byte),    // insert
+                _ => {                           // delete
+                    bytes.remove(pos);
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        well_formed_rejection(&text)?;
+        if let Ok(net) = parse(&text) {
+            let again = parse(&write(&net));
+            prop_assert!(again.is_ok(), "own output failed to re-parse: {:?}", again.err());
+        }
+    }
+}

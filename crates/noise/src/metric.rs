@@ -116,12 +116,7 @@ impl SinkNoise {
 /// Noise at every sink of the unbuffered tree, driven from the source
 /// gate (eq. 9 with `u = s_o`): `R_so · I(s_o) + Σ path wire noise`.
 pub fn sink_noise(tree: &RoutingTree, scenario: &NoiseScenario) -> Vec<SinkNoise> {
-    sink_noise_from(
-        tree,
-        scenario,
-        tree.source(),
-        tree.driver().resistance,
-    )
+    sink_noise_from(tree, scenario, tree.source(), tree.driver().resistance)
 }
 
 /// Noise at every sink downstream of `u`, where `u` carries a restoring

@@ -120,9 +120,7 @@ impl NoiseScenario {
     /// by the Theorem 1 length bound. Zero for zero-length wires.
     pub fn current_per_micron(&self, tree: &RoutingTree, v: NodeId) -> f64 {
         match tree.parent_wire(v) {
-            Some(w) if w.length > 0.0 => {
-                self.factors[v.index()] * w.capacitance / w.length
-            }
+            Some(w) if w.length > 0.0 => self.factors[v.index()] * w.capacitance / w.length,
             _ => 0.0,
         }
     }

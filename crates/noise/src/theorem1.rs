@@ -93,7 +93,7 @@ pub fn max_unbuffered_length(
         return MaxLength::Infeasible;
     }
     let budget = noise_slack - fixed; // ≥ 0
-    // Quadratic: (r·i/2)·l² + (Rb·i + r·I)·l − budget ≤ 0.
+                                      // Quadratic: (r·i/2)·l² + (Rb·i + r·I)·l − budget ≤ 0.
     let a = r_per_micron * i_per_micron / 2.0;
     let b = buffer_resistance * i_per_micron + r_per_micron * downstream_current;
     if a == 0.0 {
@@ -142,8 +142,8 @@ pub fn min_separation(
     // Noise(l) = i · (Rb·l + r·l²/2) + Rb·I + r·l·I  with  i = (κ/d)·µ·c.
     let coupling_gain =
         buffer_resistance * wire_length + r_per_micron * wire_length * wire_length / 2.0;
-    let fixed = buffer_resistance * downstream_current
-        + r_per_micron * wire_length * downstream_current;
+    let fixed =
+        buffer_resistance * downstream_current + r_per_micron * wire_length * downstream_current;
     let budget = noise_slack - fixed;
     if budget < 0.0 {
         return Separation::Impossible;
@@ -274,7 +274,10 @@ mod tests {
             Separation::AtLeast(d) => d,
             other => panic!("{other:?}"),
         };
-        assert!((d1 / d2 - 2.0).abs() < 1e-9, "double budget halves distance");
+        assert!(
+            (d1 / d2 - 2.0).abs() < 1e-9,
+            "double budget halves distance"
+        );
     }
 
     #[test]

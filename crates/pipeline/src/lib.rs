@@ -1,0 +1,821 @@
+//! Fault-isolated batch optimization pipeline.
+//!
+//! The paper's production story (Section VI) is a sweep over the 500
+//! noisiest nets of a microprocessor design. At that scale a single
+//! pathological net must not take down the batch: this crate wraps each
+//! per-net run in a panic boundary and a [`RunBudget`], walks a graceful-
+//! degradation ladder when the preferred formulation fails, and emits a
+//! structured outcome record per net so the batch is diagnosable after
+//! the fact.
+//!
+//! # The degradation ladder
+//!
+//! Each net descends until a rung holds:
+//!
+//! 1. [`Rung::Problem3`] — BuffOpt's production mode: fewest buffers
+//!    meeting *both* noise and timing. Serves the net when slack ≥ 0.
+//! 2. [`Rung::Problem2`] — maximum slack under noise constraints; accepted
+//!    even when timing is unmeetable (negative slack ⇒ degraded).
+//! 3. [`Rung::NoiseOnly`] — Algorithm 2 continuous noise avoidance on the
+//!    unsegmented tree: ignores timing entirely, but leaves the net
+//!    functionally correct.
+//! 4. [`Rung::Unbuffered`] — nothing worked; the net is left untouched and
+//!    the record carries an unbuffered noise/timing diagnosis.
+//!
+//! Every rung runs inside `catch_unwind` and under the per-net budget, so
+//! a panic or a runaway candidate explosion in one net degrades *that*
+//! net and the batch keeps going.
+//!
+//! [`RunBudget`]: buffopt::RunBudget
+
+#![warn(missing_docs)]
+
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use buffopt::buffopt::{self as algo3, BuffOptOptions};
+use buffopt::{algorithm2, audit, Assignment, CoreError, RunBudget, Solution};
+use buffopt_buffers::BufferLibrary;
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::{segment, RoutingTree};
+
+/// One net handed to [`run_batch`]: either a parsed tree + scenario, or a
+/// record of why parsing failed (kept so the batch report covers every
+/// input file).
+#[derive(Debug, Clone)]
+pub enum NetInput {
+    /// A net ready to optimize.
+    Parsed {
+        /// Net name (usually the file stem).
+        name: String,
+        /// The routing tree (unsegmented; the pipeline segments it).
+        tree: RoutingTree,
+        /// The noise scenario for `tree`.
+        scenario: NoiseScenario,
+    },
+    /// A net that failed to parse; `error` is the parser's message.
+    Failed {
+        /// Net name (usually the file stem).
+        name: String,
+        /// Why parsing failed.
+        error: String,
+    },
+}
+
+/// Batch-wide configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The buffer library every net is optimized against.
+    pub library: BufferLibrary,
+    /// Segment wires to at most this length (µm) before the DP runs;
+    /// `None` means the trees are already segmented.
+    pub max_segment: Option<f64>,
+    /// Per-net wall-clock limit; each net gets a fresh deadline.
+    pub time_limit: Option<Duration>,
+    /// Per-node candidate-list cap (see [`RunBudget::max_candidates`]).
+    pub max_candidates: Option<usize>,
+    /// Tree-size cap (see [`RunBudget::max_tree_nodes`]).
+    pub max_tree_nodes: Option<usize>,
+    /// Conservative 4-D pruning in the DP rungs.
+    pub conservative: bool,
+    /// Polarity-aware DP rungs.
+    pub polarity: bool,
+}
+
+impl PipelineConfig {
+    /// A config with the given library, 500 µm segmenting, and no
+    /// resource limits.
+    pub fn new(library: BufferLibrary) -> Self {
+        PipelineConfig {
+            library,
+            max_segment: Some(500.0),
+            time_limit: None,
+            max_candidates: None,
+            max_tree_nodes: None,
+            conservative: false,
+            polarity: false,
+        }
+    }
+
+    /// The budget for one net, with a fresh deadline.
+    fn budget(&self) -> RunBudget {
+        let mut b = RunBudget {
+            deadline: None,
+            max_candidates: self.max_candidates,
+            max_tree_nodes: self.max_tree_nodes,
+        };
+        if let Some(limit) = self.time_limit {
+            b = b.with_time_limit(limit);
+        }
+        b
+    }
+}
+
+/// Which ladder rung produced (or last diagnosed) a net's result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rung {
+    /// BuffOpt Problem 3: fewest buffers meeting noise and timing.
+    Problem3,
+    /// BuffOpt Problem 2: maximum slack under noise constraints.
+    Problem2,
+    /// Algorithm 2: continuous noise avoidance, timing ignored.
+    NoiseOnly,
+    /// No optimizer succeeded; unbuffered diagnosis only.
+    Unbuffered,
+}
+
+impl Rung {
+    /// Stable lowercase identifier used in the JSONL records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rung::Problem3 => "problem3",
+            Rung::Problem2 => "problem2",
+            Rung::NoiseOnly => "noise_only",
+            Rung::Unbuffered => "unbuffered",
+        }
+    }
+}
+
+/// Final classification of a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Noise and timing both met.
+    Optimized,
+    /// Noise met, timing not (or unknown, for the noise-only rung).
+    Degraded,
+    /// Noise constraints cannot be satisfied; net left unbuffered.
+    Infeasible,
+    /// The input never parsed.
+    ParseError,
+    /// Unexpected failure (panic or tree transformation error) on every
+    /// rung, including the diagnosis.
+    Failed,
+}
+
+impl Outcome {
+    /// Stable lowercase identifier used in the JSONL records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Optimized => "optimized",
+            Outcome::Degraded => "degraded",
+            Outcome::Infeasible => "infeasible",
+            Outcome::ParseError => "parse_error",
+            Outcome::Failed => "failed",
+        }
+    }
+}
+
+/// A rung that was tried and did not serve the net, with the reason.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    /// The rung that failed.
+    pub rung: Rung,
+    /// Why it failed (error display, panic payload, or "timing unmet").
+    pub error: String,
+}
+
+/// The structured per-net record (one JSONL line each).
+#[derive(Debug, Clone)]
+pub struct NetOutcome {
+    /// Net name.
+    pub name: String,
+    /// Final classification.
+    pub outcome: Outcome,
+    /// The rung that served the net (`None` for parse errors / failures).
+    pub rung: Option<Rung>,
+    /// Terminal error for `infeasible` / `parse_error` / `failed` nets.
+    pub error: Option<String>,
+    /// Rungs tried before the serving one, with why each fell through.
+    pub attempts: Vec<Attempt>,
+    /// Wall-clock time spent on this net (all rungs).
+    pub wall: Duration,
+    /// Peak DP candidate-list size across the successful rung (0 when no
+    /// DP rung succeeded).
+    pub candidate_peak: usize,
+    /// Buffers inserted by the serving solution.
+    pub buffers: Option<usize>,
+    /// Audited timing slack of the serving solution (seconds).
+    pub slack: Option<f64>,
+    /// Audited worst noise headroom of the serving solution (volts,
+    /// normalized); negative means a violation remains.
+    pub worst_headroom: Option<f64>,
+    /// The serving solution, for callers that apply it (not serialized).
+    pub solution: Option<Solution>,
+}
+
+impl NetOutcome {
+    fn shell(name: &str, outcome: Outcome) -> Self {
+        NetOutcome {
+            name: name.to_string(),
+            outcome,
+            rung: None,
+            error: None,
+            attempts: Vec::new(),
+            wall: Duration::ZERO,
+            candidate_peak: 0,
+            buffers: None,
+            slack: None,
+            worst_headroom: None,
+            solution: None,
+        }
+    }
+
+    /// This record as one JSON object (no trailing newline).
+    ///
+    /// Schema (all keys always present):
+    /// `net`, `outcome`, `rung`, `error`, `wall_ms`, `candidate_peak`,
+    /// `buffers`, `slack`, `worst_headroom`, `attempts` (array of
+    /// `{rung, error}`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\"net\":");
+        push_json_str(&mut s, &self.name);
+        s.push_str(",\"outcome\":\"");
+        s.push_str(self.outcome.as_str());
+        s.push_str("\",\"rung\":");
+        match self.rung {
+            Some(r) => {
+                s.push('"');
+                s.push_str(r.as_str());
+                s.push('"');
+            }
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"error\":");
+        match &self.error {
+            Some(e) => push_json_str(&mut s, e),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"wall_ms\":");
+        push_json_f64(&mut s, self.wall.as_secs_f64() * 1e3);
+        s.push_str(",\"candidate_peak\":");
+        s.push_str(&self.candidate_peak.to_string());
+        s.push_str(",\"buffers\":");
+        match self.buffers {
+            Some(b) => s.push_str(&b.to_string()),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"slack\":");
+        match self.slack {
+            Some(v) => push_json_f64(&mut s, v),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"worst_headroom\":");
+        match self.worst_headroom {
+            Some(v) => push_json_f64(&mut s, v),
+            None => s.push_str("null"),
+        }
+        s.push_str(",\"attempts\":[");
+        for (i, a) in self.attempts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"rung\":\"");
+            s.push_str(a.rung.as_str());
+            s.push_str("\",\"error\":");
+            push_json_str(&mut s, &a.error);
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:e}` prints valid JSON exponent notation ("1.5e-9").
+        out.push_str(&format!("{v:e}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Everything a batch run produced.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One record per input net, in input order.
+    pub outcomes: Vec<NetOutcome>,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+}
+
+/// Aggregate counts over a [`BatchReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchSummary {
+    /// Nets in the batch.
+    pub total: usize,
+    /// Noise and timing met.
+    pub optimized: usize,
+    /// Served by a lower rung (noise clean, timing unmet/unknown).
+    pub degraded: usize,
+    /// Noise-infeasible, left unbuffered.
+    pub infeasible: usize,
+    /// Inputs that never parsed.
+    pub parse_errors: usize,
+    /// Unexpected failures (every rung panicked or errored).
+    pub failed: usize,
+    /// Total buffers inserted across serving solutions.
+    pub buffers: usize,
+}
+
+impl BatchReport {
+    /// Aggregate counts.
+    pub fn summary(&self) -> BatchSummary {
+        let mut s = BatchSummary {
+            total: self.outcomes.len(),
+            ..BatchSummary::default()
+        };
+        for o in &self.outcomes {
+            match o.outcome {
+                Outcome::Optimized => s.optimized += 1,
+                Outcome::Degraded => s.degraded += 1,
+                Outcome::Infeasible => s.infeasible += 1,
+                Outcome::ParseError => s.parse_errors += 1,
+                Outcome::Failed => s.failed += 1,
+            }
+            s.buffers += o.buffers.unwrap_or(0);
+        }
+        s
+    }
+
+    /// All records as JSON lines (one object per line, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            out.push_str(&o.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The process exit code a batch driver should report: worst outcome
+    /// wins — 3 parse/failure, 2 infeasible, 1 degraded, 0 all optimized.
+    pub fn exit_code(&self) -> i32 {
+        let s = self.summary();
+        if s.parse_errors + s.failed > 0 {
+            3
+        } else if s.infeasible > 0 {
+            2
+        } else if s.degraded > 0 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+impl std::fmt::Display for BatchSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nets: {} optimized, {} degraded, {} infeasible, \
+             {} parse errors, {} failed; {} buffers inserted",
+            self.total,
+            self.optimized,
+            self.degraded,
+            self.infeasible,
+            self.parse_errors,
+            self.failed,
+            self.buffers
+        )
+    }
+}
+
+/// Runs `f` inside a panic boundary; a panic becomes an `Err` message.
+fn guarded<T>(f: impl FnOnce() -> Result<T, CoreError>) -> Result<T, String> {
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => Err(format!("panic: {}", panic_message(&payload))),
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string payload".to_string()
+    }
+}
+
+/// Optimizes one net down the degradation ladder. Never panics and never
+/// runs past the configured budget (plus one bounded DP step).
+pub fn optimize_net(
+    name: &str,
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    cfg: &PipelineConfig,
+) -> NetOutcome {
+    let start = Instant::now();
+    let budget = cfg.budget();
+    let mut out = NetOutcome::shell(name, Outcome::Failed);
+
+    // Segment for the DP rungs. Algorithm 2 (rung 3) works on the raw
+    // tree, so a segmentation failure only skips rungs 1–2.
+    let segmented: Result<(RoutingTree, NoiseScenario), String> = match cfg.max_segment {
+        None => Ok((tree.clone(), scenario.clone())),
+        Some(max_seg) => match guarded(|| {
+            let seg = segment::segment_wires(tree, max_seg)?;
+            let s = scenario.for_segmented(&seg);
+            Ok((seg.tree, s))
+        }) {
+            Ok(pair) => Ok(pair),
+            Err(e) => Err(format!("segmentation failed: {e}")),
+        },
+    };
+
+    let options = BuffOptOptions {
+        conservative_pruning: cfg.conservative,
+        polarity_aware: cfg.polarity,
+        budget,
+        ..BuffOptOptions::default()
+    };
+
+    if let Ok((work_tree, work_scenario)) = &segmented {
+        // Rung 1 — Problem 3: fewest buffers meeting noise AND timing.
+        match guarded(|| algo3::min_buffers(work_tree, work_scenario, &cfg.library, &options)) {
+            Ok(sol) if sol.slack >= 0.0 => {
+                return finish(
+                    out,
+                    Outcome::Optimized,
+                    Rung::Problem3,
+                    sol,
+                    work_tree,
+                    work_scenario,
+                    &cfg.library,
+                    start,
+                );
+            }
+            Ok(sol) => out.attempts.push(Attempt {
+                rung: Rung::Problem3,
+                error: format!("timing unmet: best noise-clean slack {:e} s", sol.slack),
+            }),
+            Err(e) => out.attempts.push(Attempt {
+                rung: Rung::Problem3,
+                error: e,
+            }),
+        }
+
+        // Rung 2 — Problem 2: maximize slack under noise; negative slack
+        // is accepted as a degraded (noise-clean) result.
+        match guarded(|| algo3::optimize(work_tree, work_scenario, &cfg.library, &options)) {
+            Ok(sol) => {
+                let outcome = if sol.slack >= 0.0 {
+                    Outcome::Optimized
+                } else {
+                    Outcome::Degraded
+                };
+                return finish(
+                    out,
+                    outcome,
+                    Rung::Problem2,
+                    sol,
+                    work_tree,
+                    work_scenario,
+                    &cfg.library,
+                    start,
+                );
+            }
+            Err(e) => out.attempts.push(Attempt {
+                rung: Rung::Problem2,
+                error: e,
+            }),
+        }
+    } else if let Err(e) = &segmented {
+        out.attempts.push(Attempt {
+            rung: Rung::Problem3,
+            error: e.clone(),
+        });
+    }
+
+    // Rung 3 — Algorithm 2 noise-only, continuous positions on the raw
+    // tree (independent of segmentation, so it also rescues nets whose
+    // segmentation failed).
+    match guarded(|| algorithm2::avoid_noise_budgeted(tree, scenario, &cfg.library, &budget)) {
+        Ok(sol) => {
+            let audit_result = guarded(|| {
+                let noise = audit::noise(&sol.tree, &sol.scenario, &cfg.library, &sol.assignment);
+                let delay = audit::delay(&sol.tree, &cfg.library, &sol.assignment);
+                Ok((noise.worst_headroom(), delay.slack))
+            });
+            out.outcome = Outcome::Degraded;
+            out.rung = Some(Rung::NoiseOnly);
+            out.buffers = Some(sol.inserted());
+            if let Ok((headroom, slack)) = audit_result {
+                out.worst_headroom = Some(headroom);
+                out.slack = Some(slack);
+            }
+            out.wall = start.elapsed();
+            return out;
+        }
+        Err(e) => out.attempts.push(Attempt {
+            rung: Rung::NoiseOnly,
+            error: e,
+        }),
+    }
+
+    // Rung 4 — unbuffered diagnosis: report how bad the untouched net is.
+    match guarded(|| {
+        let empty = Assignment::empty(tree);
+        let noise = audit::noise(tree, scenario, &cfg.library, &empty);
+        let delay = audit::delay(tree, &cfg.library, &empty);
+        Ok((noise.worst_headroom(), delay.slack))
+    }) {
+        Ok((headroom, slack)) => {
+            out.outcome = Outcome::Infeasible;
+            out.rung = Some(Rung::Unbuffered);
+            out.error = Some(format!(
+                "no rung succeeded; unbuffered worst noise headroom {headroom:e}, slack {slack:e} s"
+            ));
+            out.buffers = Some(0);
+            out.worst_headroom = Some(headroom);
+            out.slack = Some(slack);
+        }
+        Err(e) => {
+            out.outcome = Outcome::Failed;
+            out.error = Some(format!("diagnosis failed: {e}"));
+        }
+    }
+    out.wall = start.elapsed();
+    out
+}
+
+/// Builds the success record for a DP rung, auditing noise headroom.
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    mut out: NetOutcome,
+    outcome: Outcome,
+    rung: Rung,
+    sol: Solution,
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    start: Instant,
+) -> NetOutcome {
+    out.outcome = outcome;
+    out.rung = Some(rung);
+    out.buffers = Some(sol.buffers);
+    out.slack = Some(sol.slack);
+    out.candidate_peak = sol.peak_candidates;
+    if let Ok(headroom) =
+        guarded(|| Ok(audit::noise(tree, scenario, lib, &sol.assignment).worst_headroom()))
+    {
+        out.worst_headroom = Some(headroom);
+    }
+    out.solution = Some(sol);
+    out.wall = start.elapsed();
+    out
+}
+
+/// Runs the whole batch with the default panic hook silenced, so per-net
+/// panics do not spray backtraces over the batch progress output.
+pub fn run_batch(inputs: &[NetInput], cfg: &PipelineConfig) -> BatchReport {
+    let start = Instant::now();
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let outcomes = inputs
+        .iter()
+        .map(|input| match input {
+            NetInput::Parsed {
+                name,
+                tree,
+                scenario,
+            } => optimize_net(name, tree, scenario, cfg),
+            NetInput::Failed { name, error } => {
+                let mut o = NetOutcome::shell(name, Outcome::ParseError);
+                o.error = Some(error.clone());
+                o
+            }
+        })
+        .collect();
+    panic::set_hook(prev_hook);
+    BatchReport {
+        outcomes,
+        wall: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffopt_buffers::catalog;
+    use buffopt_tree::{Driver, SinkSpec, Technology, TreeBuilder};
+
+    fn estimation(tree: &RoutingTree) -> NoiseScenario {
+        NoiseScenario::estimation(tree, 0.7, 7.2e9)
+    }
+
+    /// A plain two-pin net; `rat` controls timing difficulty.
+    fn two_pin(len: f64, rat: f64, margin: f64) -> RoutingTree {
+        let tech = Technology::global_layer();
+        let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
+        b.add_sink(
+            b.source(),
+            tech.wire(len),
+            SinkSpec::new(20e-15, rat, margin),
+        )
+        .expect("sink");
+        b.build().expect("tree")
+    }
+
+    /// A net with a lumped (zero-length) 2 pF / 100 Ω load at the sink:
+    /// its own coupled noise beats every buffer margin in the catalog, so
+    /// no insertion anywhere can quiet it — genuinely noise-infeasible.
+    /// (A *distributed* wire never is: Algorithm 2 slides a buffer
+    /// arbitrarily close to the sink and rescues any positive margin.)
+    fn lumped_pin() -> RoutingTree {
+        let tech = Technology::global_layer();
+        let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
+        let elbow = b
+            .add_internal(b.source(), tech.wire(5_000.0))
+            .expect("stem");
+        b.add_sink(
+            elbow,
+            buffopt_tree::Wire::from_rc(100.0, 2e-12, 0.0),
+            SinkSpec::new(20e-15, 2e-9, 0.8),
+        )
+        .expect("lumped sink");
+        b.build().expect("tree")
+    }
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig::new(catalog::ibm_like())
+    }
+
+    #[test]
+    fn healthy_net_is_optimized_on_rung_one() {
+        let t = two_pin(12_000.0, 3e-9, 0.8);
+        let o = optimize_net("healthy", &t, &estimation(&t), &cfg());
+        assert_eq!(o.outcome, Outcome::Optimized);
+        assert_eq!(o.rung, Some(Rung::Problem3));
+        assert!(o.attempts.is_empty(), "{:?}", o.attempts);
+        assert!(o.slack.unwrap() >= 0.0);
+        assert!(o.worst_headroom.unwrap() >= 0.0);
+        assert!(o.candidate_peak > 0);
+        assert!(o.solution.is_some());
+    }
+
+    #[test]
+    fn impossible_timing_degrades_to_problem_two() {
+        let t = two_pin(20_000.0, 1e-12, 0.8); // RAT below flight time
+        let o = optimize_net("tight", &t, &estimation(&t), &cfg());
+        assert_eq!(o.outcome, Outcome::Degraded);
+        assert_eq!(o.rung, Some(Rung::Problem2));
+        assert_eq!(o.attempts.len(), 1);
+        assert_eq!(o.attempts[0].rung, Rung::Problem3);
+        assert!(o.slack.unwrap() < 0.0);
+        assert!(o.worst_headroom.unwrap() >= 0.0, "noise still clean");
+    }
+
+    #[test]
+    fn hopeless_margin_lands_on_unbuffered_diagnosis() {
+        // A lumped load whose noise floor beats any buffer margin: no
+        // insertion satisfies it (NoiseUnfixable / NoFeasibleCandidate on
+        // every rung).
+        let t = lumped_pin();
+        let o = optimize_net("doomed", &t, &estimation(&t), &cfg());
+        assert_eq!(o.outcome, Outcome::Infeasible);
+        assert_eq!(o.rung, Some(Rung::Unbuffered));
+        assert_eq!(o.buffers, Some(0));
+        assert!(o.worst_headroom.unwrap() < 0.0, "diagnosis shows violation");
+        assert!(o.attempts.len() >= 3, "{:?}", o.attempts);
+        assert!(o.error.as_deref().unwrap().contains("headroom"));
+    }
+
+    #[test]
+    fn tiny_candidate_budget_is_reported_not_fatal() {
+        let t = two_pin(20_000.0, 2e-9, 0.8);
+        let mut c = cfg();
+        c.max_candidates = Some(1); // even a sink list of 1 survives, but
+                                    // any insertion overflows
+        let o = optimize_net("capped", &t, &estimation(&t), &c);
+        // DP rungs die on the budget; Algorithm 2 holds ≤1 candidate on a
+        // chain, so the net degrades to noise-only instead of failing.
+        assert_eq!(o.outcome, Outcome::Degraded);
+        assert_eq!(o.rung, Some(Rung::NoiseOnly));
+        assert!(
+            o.attempts
+                .iter()
+                .any(|a| a.error.contains("budget") || a.error.contains("cap")),
+            "{:?}",
+            o.attempts
+        );
+    }
+
+    #[test]
+    fn tree_node_budget_blocks_dp_rungs() {
+        let t = two_pin(20_000.0, 2e-9, 0.8);
+        let mut c = cfg();
+        c.max_tree_nodes = Some(3); // segmented tree is far larger
+        let o = optimize_net("small-cap", &t, &estimation(&t), &c);
+        assert!(o.attempts.iter().any(|a| a.error.contains("tree nodes")));
+        assert_ne!(o.outcome, Outcome::Failed);
+    }
+
+    #[test]
+    fn expired_deadline_yields_typed_error_not_hang() {
+        let t = two_pin(20_000.0, 2e-9, 0.8);
+        let mut c = cfg();
+        c.time_limit = Some(Duration::ZERO);
+        let start = Instant::now();
+        let o = optimize_net("deadline", &t, &estimation(&t), &c);
+        assert!(start.elapsed() < Duration::from_secs(10), "no hang");
+        assert!(
+            o.attempts.iter().any(|a| a.error.contains("deadline")),
+            "{:?}",
+            o.attempts
+        );
+    }
+
+    #[test]
+    fn guarded_turns_panics_into_errors() {
+        let r: Result<(), String> = guarded(|| panic!("boom {}", 42));
+        assert_eq!(r.unwrap_err(), "panic: boom 42");
+        let r: Result<(), String> = guarded(|| Err(CoreError::EmptyLibrary));
+        assert!(r.unwrap_err().contains("empty"));
+        assert_eq!(guarded(|| Ok(7)).unwrap(), 7);
+    }
+
+    #[test]
+    fn batch_covers_every_input_and_exit_codes_rank() {
+        let healthy = two_pin(12_000.0, 3e-9, 0.8);
+        let doomed = lumped_pin();
+        let inputs = vec![
+            NetInput::Parsed {
+                name: "a".into(),
+                scenario: estimation(&healthy),
+                tree: healthy,
+            },
+            NetInput::Failed {
+                name: "b".into(),
+                error: "line 3: gibberish".into(),
+            },
+            NetInput::Parsed {
+                name: "c".into(),
+                scenario: estimation(&doomed),
+                tree: doomed,
+            },
+        ];
+        let report = run_batch(&inputs, &cfg());
+        assert_eq!(report.outcomes.len(), 3);
+        let s = report.summary();
+        assert_eq!(
+            (s.optimized, s.parse_errors, s.infeasible),
+            (1, 1, 1),
+            "{s}"
+        );
+        assert_eq!(report.exit_code(), 3, "parse error dominates");
+
+        let jsonl = report.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        assert!(jsonl.contains("\"outcome\":\"parse_error\""));
+        assert!(jsonl.contains("\"net\":\"a\""));
+    }
+
+    #[test]
+    fn json_escaping_is_sound() {
+        let mut o = NetOutcome::shell("we\"ird\\name\n", Outcome::ParseError);
+        o.error = Some("tab\there".into());
+        let j = o.to_json();
+        assert!(j.contains(r#""net":"we\"ird\\name\n""#), "{j}");
+        assert!(j.contains(r#""error":"tab\there""#), "{j}");
+        // Non-finite floats serialize as null, not as invalid JSON.
+        o.slack = Some(f64::INFINITY);
+        assert!(o.to_json().contains("\"slack\":null"));
+    }
+
+    #[test]
+    fn default_budget_matches_direct_optimizer_results() {
+        let t = two_pin(16_000.0, 2.5e-9, 0.8);
+        let s = estimation(&t);
+        let c = cfg();
+        let o = optimize_net("parity", &t, &s, &c);
+        // Reproduce rung 1 by hand on the identically segmented tree.
+        let seg = segment::segment_wires(&t, 500.0).expect("segment");
+        let s_seg = s.for_segmented(&seg);
+        let direct = algo3::min_buffers(&seg.tree, &s_seg, &c.library, &BuffOptOptions::default())
+            .expect("direct");
+        assert_eq!(o.buffers, Some(direct.buffers));
+        assert!((o.slack.unwrap() - direct.slack).abs() < 1e-18);
+    }
+}

@@ -36,5 +36,5 @@ pub mod referee;
 pub mod transient;
 
 pub use circuit::{Circuit, SimNode, Waveform};
-pub use transient::Method;
 pub use referee::{RefereeOptions, StageMeasurement, TimedAggressor};
+pub use transient::Method;

@@ -161,10 +161,8 @@ pub fn noise_aware_steiner(
     let routed = crate::steiner_tree_routed_with(net, tech, &mut |_, from, to| {
         let legs = |bend: Point| -> f64 {
             // Injected current of the two legs (factor · capacitance).
-            segment_coupling_factor(from, bend, tracks, model)
-                * (from.manhattan(bend) * c_per_um)
-                + segment_coupling_factor(bend, to, tracks, model)
-                    * (bend.manhattan(to) * c_per_um)
+            segment_coupling_factor(from, bend, tracks, model) * (from.manhattan(bend) * c_per_um)
+                + segment_coupling_factor(bend, to, tracks, model) * (bend.manhattan(to) * c_per_um)
         };
         let lower = legs(Point::new(to.x, from.y));
         let upper = legs(Point::new(from.x, to.y));
@@ -201,7 +199,9 @@ pub fn extract_scenario(
         let Some(Some((p0, p1))) = routed.segments.get(v.index()).copied() else {
             continue;
         };
-        let Some(w) = tree.parent_wire(v) else { continue };
+        let Some(w) = tree.parent_wire(v) else {
+            continue;
+        };
         if w.length <= 0.0 {
             continue;
         }
@@ -235,10 +235,7 @@ mod tests {
         let net = NetGeometry {
             source: Point::new(0.0, 0.0),
             driver: Driver::new(300.0, 10e-12),
-            sinks: vec![(
-                Point::new(len, 0.0),
-                SinkSpec::new(20e-15, 1e-9, 0.8),
-            )],
+            sinks: vec![(Point::new(len, 0.0), SinkSpec::new(20e-15, 1e-9, 0.8))],
         };
         steiner_tree_routed(&net, &Technology::global_layer()).expect("routed")
     }
@@ -318,7 +315,11 @@ mod tests {
         let sink = routed.tree.sinks()[0];
         let t1 = track_at(1.0, 0.0, 3_000.0, 4.0e9);
         let t2 = track_at(-2.0, 0.0, 3_000.0, 8.0e9);
-        let both = extract_scenario(&routed, &[t1.clone(), t2.clone()], &CouplingModel::default());
+        let both = extract_scenario(
+            &routed,
+            &[t1.clone(), t2.clone()],
+            &CouplingModel::default(),
+        );
         let only1 = extract_scenario(&routed, &[t1], &CouplingModel::default());
         let only2 = extract_scenario(&routed, &[t2], &CouplingModel::default());
         assert!(
@@ -338,7 +339,10 @@ mod tests {
                 &CouplingModel::default(),
             );
             let noise = metric::sink_noise(&routed.tree, &s)[0].noise;
-            assert!(noise < prev, "noise must fall with distance: {noise} at {d}");
+            assert!(
+                noise < prev,
+                "noise must fall with distance: {noise} at {d}"
+            );
             prev = noise;
         }
     }
@@ -409,9 +413,7 @@ mod tests {
             "aware {n_aware} should be far below default {n_default}"
         );
         // Same wirelength either way.
-        assert!(
-            (aware.tree.total_wire_length() - default.tree.total_wire_length()).abs() < 1e-9
-        );
+        assert!((aware.tree.total_wire_length() - default.tree.total_wire_length()).abs() < 1e-9);
     }
 
     #[test]

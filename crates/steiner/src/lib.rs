@@ -68,8 +68,12 @@ impl NetGeometry {
     pub fn half_perimeter(&self) -> f64 {
         let xs = std::iter::once(self.source.x).chain(self.sinks.iter().map(|(p, _)| p.x));
         let ys = std::iter::once(self.source.y).chain(self.sinks.iter().map(|(p, _)| p.y));
-        let (mut xmin, mut xmax, mut ymin, mut ymax) =
-            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        let (mut xmin, mut xmax, mut ymin, mut ymax) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
         for x in xs {
             xmin = xmin.min(x);
             xmax = xmax.max(x);
@@ -177,11 +181,10 @@ pub fn steiner_tree_routed_with(
         // L-shape: first leg per policy, then the other.
         let dx = (to.x - from.x).abs();
         let dy = (to.y - from.y).abs();
-        let (bend, first_len, second_len) =
-            match policy(edge_idx, from, to) {
-                BendPolicy::HorizontalFirst => (Point::new(to.x, from.y), dx, dy),
-                BendPolicy::VerticalFirst => (Point::new(from.x, to.y), dy, dx),
-            };
+        let (bend, first_len, second_len) = match policy(edge_idx, from, to) {
+            BendPolicy::HorizontalFirst => (Point::new(to.x, from.y), dx, dy),
+            BendPolicy::VerticalFirst => (Point::new(from.x, to.y), dy, dx),
+        };
         let mut attach = parent_node;
         let mut leg_start = from;
         if dx > 0.0 && dy > 0.0 {
@@ -291,7 +294,11 @@ mod tests {
     fn chained_sinks_produce_taps() {
         // Three collinear sinks: the middle ones carry MST children, so
         // they must become taps with leaf pins.
-        let n = net(vec![sink(1000.0, 0.0), sink(2000.0, 0.0), sink(3000.0, 0.0)]);
+        let n = net(vec![
+            sink(1000.0, 0.0),
+            sink(2000.0, 0.0),
+            sink(3000.0, 0.0),
+        ]);
         let t = steiner_tree(&n, &Technology::global_layer()).expect("tree");
         assert_eq!(t.sinks().len(), 3);
         for &s in t.sinks() {

@@ -140,12 +140,19 @@ mod tests {
                 best = best.min(len);
             }
         }
-        assert!((prim_total - best).abs() < 1e-9, "prim {prim_total} vs {best}");
+        assert!(
+            (prim_total - best).abs() < 1e-9,
+            "prim {prim_total} vs {best}"
+        );
     }
 
     #[test]
     fn duplicate_points_zero_edges() {
-        let pts = [Point::new(5.0, 5.0), Point::new(5.0, 5.0), Point::new(9.0, 5.0)];
+        let pts = [
+            Point::new(5.0, 5.0),
+            Point::new(5.0, 5.0),
+            Point::new(9.0, 5.0),
+        ];
         let e = prim_mst(&pts);
         assert_eq!(e.len(), 2);
         assert!((total(&pts, &e) - 4.0).abs() < 1e-12);

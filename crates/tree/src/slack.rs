@@ -102,9 +102,7 @@ mod tests {
     #[test]
     fn branch_slack_takes_minimum() {
         let mut b = TreeBuilder::new(Driver::new(0.0, 0.0));
-        let a = b
-            .add_internal(b.source(), Wire::dummy())
-            .expect("a");
+        let a = b.add_internal(b.source(), Wire::dummy()).expect("a");
         // Critical sink: tight RAT through a slow wire.
         b.add_sink(
             a,

@@ -1,0 +1,162 @@
+//! Adversarial nets for exercising the fault-isolated pipeline.
+//!
+//! The generated population (`population.rs`) is deliberately benign —
+//! every net is optimizable. Robustness testing needs the opposite:
+//! nets engineered to defeat each layer of defence, so batch drivers can
+//! prove that one bad net degrades *that net only*. Each constructor
+//! documents which defence it attacks.
+
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::{Driver, RoutingTree, SinkSpec, Technology, TreeBuilder, Wire};
+
+use crate::estimation_scenario;
+use crate::WorkloadConfig;
+
+/// A healthy single-sink global net: long enough to carry a noise
+/// violation, relaxed enough in timing that BuffOpt's Problem 3 serves
+/// it. The batch-pipeline control case.
+pub fn valid_net(config: &WorkloadConfig) -> (RoutingTree, NoiseScenario) {
+    let tech = Technology::global_layer();
+    let mut b = TreeBuilder::new(Driver::new(300.0, 1e-11));
+    b.add_sink(
+        b.source(),
+        tech.wire(8_000.0),
+        SinkSpec::new(2e-14, 3e-9, config.noise_margin),
+    )
+    .expect("one sink under the source");
+    let tree = b.build().expect("two-node tree");
+    let scenario = estimation_scenario(&tree, config);
+    (tree, scenario)
+}
+
+/// A net whose timing cannot be met by any buffering: the required
+/// arrival time is below the pure flight time of the wire. Attacks the
+/// ladder's first rung — Problem 3 must fall through to Problem 2 (or
+/// further), not loop or panic.
+pub fn timing_infeasible_net(config: &WorkloadConfig) -> (RoutingTree, NoiseScenario) {
+    let tech = Technology::global_layer();
+    let mut b = TreeBuilder::new(Driver::new(500.0, 1e-11));
+    b.add_sink(
+        b.source(),
+        tech.wire(20_000.0),
+        SinkSpec::new(2e-14, 1e-12, config.noise_margin),
+    )
+    .expect("one sink under the source");
+    let tree = b.build().expect("two-node tree");
+    let scenario = estimation_scenario(&tree, config);
+    (tree, scenario)
+}
+
+/// A net no buffering can quiet. On distributed wires Algorithm 2 can
+/// always rescue a positive margin by sliding a buffer arbitrarily close
+/// to the sink, so true infeasibility needs a **lumped** load: a
+/// zero-length wire (a pre-routed macro pin, say) whose own coupled
+/// noise `Rb·I_w + R_w·I_w/2` exceeds every buffer's input margin. No
+/// insertion point exists inside it, so every ladder rung fails and only
+/// the unbuffered diagnosis remains. Attacks the ladder's bottom — the
+/// pipeline must classify it infeasible, not loop.
+pub fn noise_infeasible_net(config: &WorkloadConfig) -> (RoutingTree, NoiseScenario) {
+    let tech = Technology::global_layer();
+    let mut b = TreeBuilder::new(Driver::new(300.0, 1e-11));
+    let elbow = b
+        .add_internal(b.source(), tech.wire(5_000.0))
+        .expect("stem under the source");
+    // 2 pF of lumped coupling through 100 Ω: ~1.2 V of unavoidable noise
+    // against sub-volt margins, for any buffer in the catalog.
+    b.add_sink(
+        elbow,
+        Wire::from_rc(100.0, 2e-12, 0.0),
+        SinkSpec::new(2e-14, 2e-9, config.noise_margin),
+    )
+    .expect("lumped sink under the elbow");
+    let tree = b.build().expect("three-node tree");
+    let scenario = estimation_scenario(&tree, config);
+    (tree, scenario)
+}
+
+/// A long many-node chain that busts small tree-node budgets on every
+/// rung (the DP rungs see it segmented, Algorithm 2 sees it raw, and
+/// both must report [`buffopt::CoreError::BudgetExceeded`] rather than
+/// grind). Under an unlimited budget it is just a big valid net.
+pub fn budget_busting_net(
+    config: &WorkloadConfig,
+    internal_nodes: usize,
+) -> (RoutingTree, NoiseScenario) {
+    let tech = Technology::global_layer();
+    let mut b = TreeBuilder::new(Driver::new(300.0, 1e-11));
+    let mut at = b.source();
+    for _ in 0..internal_nodes {
+        at = b
+            .add_internal(at, tech.wire(1_000.0))
+            .expect("chain extends");
+    }
+    b.add_sink(
+        at,
+        tech.wire(1_000.0),
+        SinkSpec::new(2e-14, 1e-7, config.noise_margin),
+    )
+    .expect("sink terminates the chain");
+    let tree = b.build().expect("chain tree");
+    let scenario = estimation_scenario(&tree, config);
+    (tree, scenario)
+}
+
+/// Malformed net-format text (a cycle plus a bad number) for parser
+/// paths: `buffopt_netlist::parse` must reject it with a typed error,
+/// and a batch must carry it as a parse-error record.
+pub fn malformed_net_text() -> &'static str {
+    "driver 300 oops\nwire a b 1 1e-15 1\nwire b a 1 1e-15 1\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_consistent_pairs() {
+        let cfg = WorkloadConfig::default();
+        for (tree, scenario) in [
+            valid_net(&cfg),
+            timing_infeasible_net(&cfg),
+            noise_infeasible_net(&cfg),
+            budget_busting_net(&cfg, 40),
+        ] {
+            assert!(tree.check_invariants().is_empty());
+            assert_eq!(scenario.len(), tree.len());
+        }
+    }
+
+    #[test]
+    fn budget_buster_has_the_requested_size() {
+        let cfg = WorkloadConfig::default();
+        let (tree, _) = budget_busting_net(&cfg, 40);
+        // source + 40 internals + 1 sink
+        assert_eq!(tree.len(), 42);
+    }
+
+    #[test]
+    fn noise_infeasible_really_is() {
+        let cfg = WorkloadConfig::default();
+        let (tree, scenario) = noise_infeasible_net(&cfg);
+        let sink = tree.sinks()[0];
+        let wire = tree.parent_wire(sink).expect("lumped wire");
+        let i_w = scenario.factor(sink) * wire.capacitance;
+        // Even the strongest (lowest-resistance) buffer in the catalog,
+        // placed right above the lumped wire, leaves more noise at the
+        // sink than any margin in the library allows.
+        let lib = buffopt_buffers::catalog::ibm_like();
+        let best = lib.buffer(lib.min_resistance().expect("catalog"));
+        let floor = best.resistance * i_w + wire.resistance * i_w / 2.0;
+        let most_tolerant = lib.iter().map(|b| b.noise_margin).fold(0.0, f64::max);
+        assert!(floor > most_tolerant.max(cfg.noise_margin));
+    }
+
+    #[test]
+    fn timing_infeasible_really_is() {
+        let cfg = WorkloadConfig::default();
+        let (tree, _) = timing_infeasible_net(&cfg);
+        // RAT is below even the zero-resistance flight time, so no
+        // buffering can save it.
+        assert!(buffopt_tree::slack::source_slack(&tree) < 0.0);
+    }
+}

@@ -40,7 +40,10 @@ impl GeneratedNet {
 /// an empty distribution).
 pub fn generate(config: &WorkloadConfig) -> Vec<GeneratedNet> {
     assert!(config.net_count > 0, "net count must be positive");
-    assert!(!config.drivers.is_empty(), "driver catalog must be non-empty");
+    assert!(
+        !config.drivers.is_empty(),
+        "driver catalog must be non-empty"
+    );
     assert!(
         config.distribution.total() > 0,
         "sink distribution must be non-empty"
@@ -49,9 +52,7 @@ pub fn generate(config: &WorkloadConfig) -> Vec<GeneratedNet> {
 
     // Draw sink counts: expand the distribution, shuffle, and resize to
     // net_count by cycling (exact when net_count == distribution total).
-    let mut counts = config
-        .distribution
-        .expand(|lo, hi| rng.gen_range(lo..=hi));
+    let mut counts = config.distribution.expand(|lo, hi| rng.gen_range(lo..=hi));
     counts.shuffle(&mut rng);
     while counts.len() < config.net_count {
         let idx = rng.gen_range(0..counts.len());
@@ -102,8 +103,8 @@ pub fn generate(config: &WorkloadConfig) -> Vec<GeneratedNet> {
             driver: Driver::new(rso, dso),
             sinks,
         };
-        let tree = steiner_tree(&geometry, &config.technology)
-            .expect("generated nets always have sinks");
+        let tree =
+            steiner_tree(&geometry, &config.technology).expect("generated nets always have sinks");
         nets.push(GeneratedNet { id, geometry, tree });
     }
     nets
@@ -162,7 +163,10 @@ mod tests {
             ..WorkloadConfig::default()
         };
         let a = generate(&cfg);
-        let b = generate(&WorkloadConfig { seed: 1, ..cfg.clone() });
+        let b = generate(&WorkloadConfig {
+            seed: 1,
+            ..cfg.clone()
+        });
         assert!(a.iter().zip(&b).any(|(x, y)| x.tree != y.tree));
     }
 

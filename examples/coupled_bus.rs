@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = CouplingModel::default();
     let mu = 1.8 / 0.25e-9; // 7.2 V/ns edges on the neighbours
 
-    println!("victim: {:.0} mm bus bit; neighbours above and below at pitch d", len / 1000.0);
+    println!(
+        "victim: {:.0} mm bus bit; neighbours above and below at pitch d",
+        len / 1000.0
+    );
     println!(
         "{:>9} {:>12} {:>14} {:>10}",
         "d (um)", "lambda_eff", "noise (mV)", "buffers"

@@ -17,11 +17,21 @@ use buffopt_bench::{
 fn main() {
     let mut setup = ExperimentSetup::default();
     setup.config.net_count = 60;
-    let nets = prepare(&setup);
+    let nets = match prepare(&setup) {
+        Ok(nets) => nets,
+        Err(e) => {
+            eprintln!("population preparation failed: {e}");
+            return;
+        }
+    };
     let none = vec![None; nets.len()];
 
     let before = metric_violations(&nets, &setup.library, &none);
-    println!("{} of {} nets violate the Devgan metric unbuffered", before, nets.len());
+    println!(
+        "{} of {} nets violate the Devgan metric unbuffered",
+        before,
+        nets.len()
+    );
 
     let b = run_buffopt(&nets, &setup.library);
     let after = metric_violations(&nets, &setup.library, &b.solutions);

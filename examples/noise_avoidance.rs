@@ -53,7 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "bus bit after: worst headroom {:+.1} mV ({})",
         after.worst_headroom() * 1e3,
-        if after.has_violation() { "VIOLATING" } else { "clean" }
+        if after.has_violation() {
+            "VIOLATING"
+        } else {
+            "clean"
+        }
     );
     assert!(!after.has_violation());
 
@@ -85,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for check in &audit2.checks {
         println!(
             "  {} at {}: {:.0} mV / {:.0} mV",
-            if check.is_buffer_input { "repeater" } else { "sink    " },
+            if check.is_buffer_input {
+                "repeater"
+            } else {
+                "sink    "
+            },
             check.node,
             check.noise * 1e3,
             check.margin * 1e3

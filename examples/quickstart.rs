@@ -19,8 +19,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::global_layer();
     let mut b = TreeBuilder::new(Driver::new(400.0, 30.0e-12));
     let junction = b.add_internal(b.source(), tech.wire(4_000.0))?;
-    b.add_sink(junction, tech.wire(3_000.0), SinkSpec::new(20.0e-15, 1.2e-9, 0.8))?;
-    b.add_sink(junction, tech.wire(1_500.0), SinkSpec::new(12.0e-15, 1.2e-9, 0.8))?;
+    b.add_sink(
+        junction,
+        tech.wire(3_000.0),
+        SinkSpec::new(20.0e-15, 1.2e-9, 0.8),
+    )?;
+    b.add_sink(
+        junction,
+        tech.wire(1_500.0),
+        SinkSpec::new(12.0e-15, 1.2e-9, 0.8),
+    )?;
     let net = b.build()?;
 
     // 2. Segment wires so the DP has candidate buffer sites every 500 µm.
@@ -33,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "before: worst sink noise headroom = {:+.1} mV ({})",
         before.worst_headroom() * 1e3,
-        if before.has_violation() { "VIOLATING" } else { "clean" }
+        if before.has_violation() {
+            "VIOLATING"
+        } else {
+            "clean"
+        }
     );
 
     // 4. Optimize with the 11-buffer library.
@@ -55,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "after: worst noise headroom = {:+.1} mV ({})",
         noise.worst_headroom() * 1e3,
-        if noise.has_violation() { "VIOLATING" } else { "clean" }
+        if noise.has_violation() {
+            "VIOLATING"
+        } else {
+            "clean"
+        }
     );
     println!(
         "max source-to-sink delay: {:.1} ps -> {:.1} ps",

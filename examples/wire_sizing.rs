@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An 8 mm route on the resistive intermediate layer.
     let tech = Technology::intermediate_layer();
     let mut b = TreeBuilder::new(Driver::new(300.0, 20.0e-12));
-    b.add_sink(b.source(), tech.wire(8_000.0), SinkSpec::new(20.0e-15, 1.5e-9, 0.8))?;
+    b.add_sink(
+        b.source(),
+        tech.wire(8_000.0),
+        SinkSpec::new(20.0e-15, 1.5e-9, 0.8),
+    )?;
     let tree = segment::segment_wires(&b.build()?, 800.0)?.tree;
     let scenario = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
     let lib = catalog::ibm_like();

@@ -147,10 +147,7 @@ fn wiresize_dp_matches_exhaustive() {
     let alpha = 0.6;
 
     // Every node with a parent wire can pick a width.
-    let wire_nodes: Vec<NodeId> = t
-        .node_ids()
-        .filter(|&v| t.parent(v).is_some())
-        .collect();
+    let wire_nodes: Vec<NodeId> = t.node_ids().filter(|&v| t.parent(v).is_some()).collect();
     let mut best = f64::NEG_INFINITY;
     let combos = widths.len().pow(wire_nodes.len() as u32);
     for code in 0..combos {

@@ -17,7 +17,7 @@ fn small_setup(net_count: usize) -> ExperimentSetup {
 #[test]
 fn buffopt_fixes_every_net_and_referee_confirms() {
     let setup = small_setup(30);
-    let nets = prepare(&setup);
+    let nets = prepare(&setup).expect("prepare");
     let lib = &setup.library;
     let ropts = RefereeOptions {
         segments_per_wire: 2,
@@ -50,7 +50,7 @@ fn buffopt_fixes_every_net_and_referee_confirms() {
 fn delay_only_optimization_leaves_noise_violations() {
     // The empirical side of Theorem 2, on the population.
     let setup = small_setup(40);
-    let nets = prepare(&setup);
+    let nets = prepare(&setup).expect("prepare");
     let lib = &setup.library;
     let mut left_over = 0;
     for net in &nets {
@@ -81,7 +81,7 @@ fn delay_only_optimization_leaves_noise_violations() {
 fn buffopt_slack_never_exceeds_delayopt_slack() {
     // DelayOpt is an unconstrained upper bound (paper Section V-C).
     let setup = small_setup(25);
-    let nets = prepare(&setup);
+    let nets = prepare(&setup).expect("prepare");
     let lib = &setup.library;
     for net in &nets {
         let d = delayopt::optimize(&net.tree, lib, &DelayOptOptions::default())
@@ -101,7 +101,7 @@ fn buffopt_slack_never_exceeds_delayopt_slack() {
 #[test]
 fn audits_match_dp_bookkeeping_across_population() {
     let setup = small_setup(25);
-    let nets = prepare(&setup);
+    let nets = prepare(&setup).expect("prepare");
     let lib = &setup.library;
     for net in &nets {
         let sol = algo3::optimize(&net.tree, &net.scenario, lib, &BuffOptOptions::default())
@@ -120,7 +120,7 @@ fn audits_match_dp_bookkeeping_across_population() {
 #[test]
 fn problem3_uses_at_most_problem2_buffers() {
     let setup = small_setup(25);
-    let nets = prepare(&setup);
+    let nets = prepare(&setup).expect("prepare");
     let lib = &setup.library;
     for net in &nets {
         let p2 = algo3::optimize(&net.tree, &net.scenario, lib, &BuffOptOptions::default())
@@ -146,7 +146,7 @@ fn inverting_library_subset_is_sufficient() {
     // The non-inverting half of the library alone must also fix
     // everything (fewer choices, same feasibility).
     let setup = small_setup(15);
-    let nets = prepare(&setup);
+    let nets = prepare(&setup).expect("prepare");
     let lib = catalog::ibm_like().non_inverting();
     for net in &nets {
         let sol = algo3::min_buffers(&net.tree, &net.scenario, &lib, &BuffOptOptions::default())

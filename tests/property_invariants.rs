@@ -6,7 +6,9 @@ use buffopt::{algorithm1, algorithm2, audit, Assignment};
 use buffopt_buffers::{BufferLibrary, BufferType};
 use buffopt_noise::{metric, NoiseScenario};
 use buffopt_sim::referee::{self, RefereeOptions};
-use buffopt_tree::{elmore, segment, slack, Driver, RoutingTree, SinkSpec, Technology, TreeBuilder};
+use buffopt_tree::{
+    elmore, segment, slack, Driver, RoutingTree, SinkSpec, Technology, TreeBuilder,
+};
 use proptest::prelude::*;
 
 fn single_lib() -> BufferLibrary {
@@ -17,11 +19,11 @@ fn single_lib() -> BufferLibrary {
 /// covers chains, stars and bushy shapes while staying easy to shrink.
 fn arb_net() -> impl Strategy<Value = RoutingTree> {
     (
-        2usize..8,                        // trunk segments
+        2usize..8,                              // trunk segments
         prop::collection::vec(0usize..3, 2..8), // teeth per trunk node
-        500.0f64..4_000.0,                // trunk segment length
-        200.0f64..6_000.0,                // tooth length
-        100.0f64..800.0,                  // driver resistance
+        500.0f64..4_000.0,                      // trunk segment length
+        200.0f64..6_000.0,                      // tooth length
+        100.0f64..800.0,                        // driver resistance
     )
         .prop_map(|(trunk, teeth, seg_len, tooth_len, rso)| {
             let tech = Technology::global_layer();
@@ -41,15 +43,15 @@ fn arb_net() -> impl Strategy<Value = RoutingTree> {
                 }
             }
             if sinks == 0 {
-                b.add_sink(prev, tech.wire(tooth_len), SinkSpec::new(15e-15, 1.5e-9, 0.8))
-                    .expect("fallback sink");
-            } else {
                 b.add_sink(
                     prev,
-                    tech.wire(seg_len),
+                    tech.wire(tooth_len),
                     SinkSpec::new(15e-15, 1.5e-9, 0.8),
                 )
-                .expect("tip sink");
+                .expect("fallback sink");
+            } else {
+                b.add_sink(prev, tech.wire(seg_len), SinkSpec::new(15e-15, 1.5e-9, 0.8))
+                    .expect("tip sink");
             }
             b.build().expect("tree")
         })

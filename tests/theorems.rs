@@ -164,7 +164,7 @@ fn theorem5_assumptions_matter_for_pruning() {
 #[test]
 fn source_fix_only_for_weak_drivers() {
     let lib = single_lib(); // Rb = 200
-    // Strong driver (Rso < Rb): never needs the below-source buffer.
+                            // Strong driver (Rso < Rb): never needs the below-source buffer.
     let t = two_pin(2_500.0, 100.0, 0.8);
     let s = estimation(&t);
     let report = metric::NoiseReport::analyze(&t, &s);
@@ -270,7 +270,10 @@ fn infeasible_sites_are_respected() {
     let lib = single_lib();
     let sol = algo3::min_buffers(&t, &s, &lib, &BuffOptOptions::default()).expect("solves");
     for n in blocked {
-        assert!(sol.assignment.buffer_at(n).is_none(), "buffer at blocked {n}");
+        assert!(
+            sol.assignment.buffer_at(n).is_none(),
+            "buffer at blocked {n}"
+        );
     }
     assert!(!audit::noise(&t, &s, &lib, &sol.assignment).has_violation());
     let _ = Assignment::empty(&t);

@@ -1,0 +1,206 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the group/bench API surface the workspace's benches use. It is a
+//! *minimal* harness: each `Bencher::iter` closure is warmed up once and
+//! then timed over a small fixed number of iterations, and the mean is
+//! printed to stdout. There is no statistical analysis, no HTML report,
+//! and no outlier rejection — enough to smoke-run the benches and catch
+//! regressions by eye, not to publish numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 10 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { c: self, name }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the per-bench iteration count (upstream: sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Times `f` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IdLike,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.c.iters,
+            elapsed: 0.0,
+            timed: 0,
+        };
+        f(&mut b);
+        b.report(&self.name, &id.id_string());
+        self
+    }
+
+    /// Times `f` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IdLike,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.c.iters,
+            elapsed: 0.0,
+            timed: 0,
+        };
+        f(&mut b, input);
+        b.report(&self.name, &id.id_string());
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; here it is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: f64,
+    timed: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `iters` timed calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed().as_secs_f64();
+        self.timed += self.iters;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.timed == 0 {
+            println!("  {group}/{id}: no iterations");
+        } else {
+            let mean = self.elapsed / self.timed as f64;
+            println!(
+                "  {group}/{id}: {:.3} ms/iter ({} iters)",
+                mean * 1e3,
+                self.timed
+            );
+        }
+    }
+}
+
+/// Accepted benchmark identifiers (`&str` or [`BenchmarkId`]).
+pub trait IdLike {
+    /// The display form of the identifier.
+    fn id_string(&self) -> String;
+}
+
+impl IdLike for &str {
+    fn id_string(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLike for String {
+    fn id_string(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn id_string(&self) -> String {
+        self.0.clone()
+    }
+}
+
+/// A function-plus-parameter benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Bundles benchmark functions into one named runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+        assert_eq!(BenchmarkId::new("f", 3).id_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).id_string(), "7");
+    }
+}
