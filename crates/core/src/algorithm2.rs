@@ -266,6 +266,8 @@ pub fn avoid_noise_budgeted(
             scenario_len: scenario.len(),
         });
     }
+    // Arm the wall clock at run start so queue wait costs nothing.
+    let budget = budget.armed();
     budget.admit_tree(tree.len())?;
 
     let mut lists: Vec<Option<Vec<Cand>>> = vec![None; tree.len()];

@@ -28,6 +28,15 @@ pub struct RunBudget {
     ///
     /// [`CoreError::DeadlineExceeded`]: crate::CoreError::DeadlineExceeded
     pub deadline: Option<Instant>,
+    /// A relative wall-clock allowance, armed into [`deadline`] by
+    /// [`armed`] when the run actually starts. Budgets are often built
+    /// long before the work runs (batch drivers enqueue nets behind a
+    /// worker pool); carrying the `Duration` here means queue wait does
+    /// not burn the net's time allowance.
+    ///
+    /// [`deadline`]: RunBudget::deadline
+    /// [`armed`]: RunBudget::armed
+    pub time_limit: Option<Duration>,
     /// Abort with [`CoreError::BudgetExceeded`] when a candidate list (or
     /// a pending merge product) would exceed this many entries. This is
     /// the Shi–Li resource: candidate growth is what makes the DP
@@ -45,11 +54,37 @@ impl RunBudget {
         RunBudget::default()
     }
 
-    /// This budget with a deadline `limit` from now.
+    /// This budget with a wall-clock allowance of `limit`, measured from
+    /// the moment the run starts (see [`RunBudget::armed`]) — *not* from
+    /// this call. A budget can therefore sit in a queue indefinitely
+    /// without losing any of its allowance.
     #[must_use]
     pub fn with_time_limit(mut self, limit: Duration) -> Self {
-        self.deadline = Instant::now().checked_add(limit).or(self.deadline);
+        self.time_limit = Some(limit);
         self
+    }
+
+    /// Starts the clock: resolves [`time_limit`] into an absolute
+    /// [`deadline`] anchored at `Instant::now()`. Every optimizer entry
+    /// point arms its budget first thing, so callers holding a budget
+    /// with only a relative limit need not call this themselves; arming
+    /// an already-armed budget (or one without a time limit) is a no-op.
+    /// When both a deadline and a time limit are present, the earlier of
+    /// the two wins.
+    ///
+    /// [`time_limit`]: RunBudget::time_limit
+    /// [`deadline`]: RunBudget::deadline
+    #[must_use]
+    pub fn armed(&self) -> Self {
+        let mut b = *self;
+        if let Some(limit) = b.time_limit.take() {
+            let from_now = Instant::now().checked_add(limit);
+            b.deadline = match (b.deadline, from_now) {
+                (Some(d), Some(n)) => Some(d.min(n)),
+                (d, n) => n.or(d),
+            };
+        }
+        b
     }
 
     /// This budget with a candidate-list cap.
@@ -127,8 +162,54 @@ mod tests {
 
     #[test]
     fn future_deadline_passes() {
-        let b = RunBudget::default().with_time_limit(Duration::from_secs(3600));
+        let b = RunBudget::default()
+            .with_time_limit(Duration::from_secs(3600))
+            .armed();
         assert!(b.check_deadline().is_ok());
+    }
+
+    #[test]
+    fn time_limit_is_not_armed_at_construction() {
+        // The allowance is relative until the run starts: a zero limit
+        // only expires once armed.
+        let b = RunBudget::default().with_time_limit(Duration::ZERO);
+        assert_eq!(b.deadline, None, "construction must not start the clock");
+        assert!(b.check_deadline().is_ok());
+        assert!(matches!(
+            b.armed().check_deadline(),
+            Err(CoreError::DeadlineExceeded)
+        ));
+    }
+
+    #[test]
+    fn queue_wait_does_not_burn_the_allowance() {
+        // Construct the budget, simulate sitting in a queue longer than
+        // the whole allowance, then arm: the full window is still there.
+        let b = RunBudget::default().with_time_limit(Duration::from_millis(30));
+        std::thread::sleep(Duration::from_millis(60));
+        let armed = b.armed();
+        assert!(armed.check_deadline().is_ok(), "clock started at arm time");
+        assert_eq!(armed.time_limit, None, "arming consumes the limit");
+    }
+
+    #[test]
+    fn arming_keeps_the_earlier_of_deadline_and_limit() {
+        let past = Instant::now() - Duration::from_secs(1);
+        let b = RunBudget {
+            deadline: Some(past),
+            ..RunBudget::default()
+        }
+        .with_time_limit(Duration::from_secs(3600));
+        assert!(
+            matches!(b.armed().check_deadline(), Err(CoreError::DeadlineExceeded)),
+            "an explicit earlier deadline survives arming"
+        );
+        // And arming twice is a no-op.
+        let a = RunBudget::default()
+            .with_time_limit(Duration::from_secs(3600))
+            .armed();
+        let twice = a.armed();
+        assert_eq!(a.deadline, twice.deadline);
     }
 
     #[test]

@@ -369,6 +369,9 @@ pub(crate) fn run(
         !cfg.noise || scenario.is_some(),
         "noise mode requires a scenario"
     );
+    // Start the wall clock now, not when the budget was built: a net that
+    // waited in a batch queue still gets its whole time allowance.
+    let budget = budget.armed();
     budget.admit_tree(tree.len())?;
     let wire_current = |v: NodeId| -> f64 { scenario.map_or(0.0, |s| s.wire_current(tree, v)) };
 

@@ -65,7 +65,9 @@ pub fn optimize(
             scenario_len: scenario.len(),
         });
     }
-    options.budget.admit_tree(tree.len())?;
+    // Arm the wall clock at run start so queue wait costs nothing.
+    let budget = options.budget.armed();
+    budget.admit_tree(tree.len())?;
     let score = |a: &Assignment| -> (usize, f64) {
         let violations = if options.noise {
             audit::noise(tree, scenario, lib, a)
@@ -89,7 +91,7 @@ pub fn optimize(
     let mut current = Assignment::empty(tree);
     let mut current_score = score(&current);
     loop {
-        options.budget.check_deadline()?;
+        budget.check_deadline()?;
         if let Some(max) = options.max_buffers {
             if current.count() >= max {
                 break;

@@ -6,9 +6,11 @@
 //!             [--lib ibm|single] [--polarity] [--conservative] [--verify]
 //!             [--dump] [--time-limit-ms N] [--max-candidates N]
 //!             [--max-tree-nodes N]
-//! buffopt-cli --batch DIR [--segment UM] [--lib ibm|single] [--polarity]
-//!             [--conservative] [--time-limit-ms N] [--max-candidates N]
-//!             [--max-tree-nodes N]
+//! buffopt-cli --batch DIR [--jobs N] [--segment UM] [--lib ibm|single]
+//!             [--polarity] [--conservative] [--time-limit-ms N]
+//!             [--max-candidates N] [--max-tree-nodes N]
+//! buffopt-cli serve [--listen ADDR] [--jobs N] [--cache N]
+//!             [shared flags as above]
 //! ```
 //!
 //! * `--segment UM` — Alpert–Devgan wire segmenting pitch (default 500);
@@ -26,8 +28,20 @@
 //!   file in `DIR`: one JSONL outcome record per net on stdout, summary on
 //!   stderr. A malformed, infeasible, or budget-busting net degrades that
 //!   net only; the batch always completes;
+//! * `--jobs N` — worker threads for `--batch` and `serve` (default: the
+//!   machine's available parallelism). Records are emitted in input order
+//!   with identical content whatever `N` is (only measured `wall_ms`
+//!   timings vary, exactly as they do between two serial runs);
+//! * `serve` — long-running newline-JSON TCP service over the same
+//!   pipeline: one `{"id":...,"net":...}` request line per net, one
+//!   record line per response (plus `cache` and `worker` fields), with
+//!   `{"cmd":"stats"}` and `{"cmd":"shutdown"}` commands. Prints
+//!   `listening on ADDR` once ready; `--listen` defaults to
+//!   `127.0.0.1:0` (an OS-assigned port), `--cache` sets the solution
+//!   cache capacity in records (0 disables; default 1024);
 //! * `--time-limit-ms` / `--max-candidates` / `--max-tree-nodes` —
-//!   per-net resource budget (unlimited when omitted).
+//!   per-net resource budget (unlimited when omitted). The clock starts
+//!   when a net is dequeued by a worker, not while it waits in line.
 //!
 //! Exit codes: `0` every net optimized (noise and timing met); `1` at
 //! least one net degraded (noise clean, timing unmet); `2` at least one
@@ -43,7 +57,8 @@ use buffopt::{algorithm2, audit, Assignment, CoreError, RunBudget};
 use buffopt_buffers::{catalog, BufferLibrary};
 use buffopt_netlist::parse;
 use buffopt_noise::NoiseScenario;
-use buffopt_pipeline::{run_batch, NetInput, PipelineConfig};
+use buffopt_pipeline::{NetInput, PipelineConfig};
+use buffopt_server::{default_jobs, serve, Engine, EngineOptions, Job, NetDecoder};
 use buffopt_sim::referee::{self, RefereeOptions};
 use buffopt_tree::{segment, RoutingTree};
 
@@ -55,6 +70,10 @@ const EXIT_USAGE: u8 = 3;
 struct Args {
     file: Option<String>,
     batch: Option<String>,
+    serve: bool,
+    listen: String,
+    jobs: Option<usize>,
+    cache: usize,
     segment: f64,
     mode: Mode,
     library: BufferLibrary,
@@ -69,15 +88,35 @@ struct Args {
 
 impl Args {
     fn budget(&self) -> RunBudget {
-        let mut b = RunBudget {
+        // The time limit stays relative here; the optimizer arms it into
+        // a deadline when the net is dequeued, so in single-net mode the
+        // behavior is unchanged and in pooled modes queue wait is free.
+        RunBudget {
             deadline: None,
+            time_limit: self.time_limit_ms.map(Duration::from_millis),
             max_candidates: self.max_candidates,
             max_tree_nodes: self.max_tree_nodes,
-        };
-        if let Some(ms) = self.time_limit_ms {
-            b = b.with_time_limit(Duration::from_millis(ms));
         }
-        b
+    }
+
+    fn pipeline_config(&self) -> PipelineConfig {
+        PipelineConfig {
+            library: self.library.clone(),
+            max_segment: Some(self.segment),
+            time_limit: self.time_limit_ms.map(Duration::from_millis),
+            max_candidates: self.max_candidates,
+            max_tree_nodes: self.max_tree_nodes,
+            conservative: self.conservative,
+            polarity: self.polarity,
+        }
+    }
+
+    fn engine_options(&self) -> EngineOptions {
+        EngineOptions {
+            jobs: self.jobs.unwrap_or_else(default_jobs),
+            cache_capacity: self.cache,
+            ..EngineOptions::default()
+        }
     }
 }
 
@@ -94,7 +133,9 @@ fn usage() -> String {
     "usage: buffopt-cli NET_FILE [--segment UM] [--mode p2|p3|cost|noise|greedy] \
      [--lib ibm|single] [--polarity] [--conservative] [--verify] [--dump] \
      [--time-limit-ms N] [--max-candidates N] [--max-tree-nodes N]\n\
-     \x20      buffopt-cli --batch DIR [shared flags as above]"
+     \x20      buffopt-cli --batch DIR [--jobs N] [shared flags as above]\n\
+     \x20      buffopt-cli serve [--listen ADDR] [--jobs N] [--cache N] \
+     [shared flags as above]"
         .to_string()
 }
 
@@ -102,6 +143,10 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         file: None,
         batch: None,
+        serve: false,
+        listen: "127.0.0.1:0".to_string(),
+        jobs: None,
+        cache: 1024,
         segment: 500.0,
         mode: Mode::P3,
         library: catalog::ibm_like(),
@@ -140,6 +185,24 @@ fn parse_args() -> Result<Args, String> {
             "--batch" => {
                 args.batch = Some(it.next().ok_or_else(usage)?);
             }
+            "serve" if args.file.is_none() && !args.serve => {
+                args.serve = true;
+            }
+            "--listen" => {
+                args.listen = it.next().ok_or_else(usage)?;
+            }
+            "--jobs" => {
+                let v = it.next().ok_or_else(usage)?;
+                let n: usize = v.parse().map_err(|_| format!("bad --jobs {v:?}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                args.jobs = Some(n);
+            }
+            "--cache" => {
+                let v = it.next().ok_or_else(usage)?;
+                args.cache = v.parse().map_err(|_| format!("bad --cache {v:?}"))?;
+            }
             "--time-limit-ms" => {
                 let v = it.next().ok_or_else(usage)?;
                 args.time_limit_ms = Some(
@@ -172,11 +235,17 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unexpected argument {other:?}\n{}", usage())),
         }
     }
-    if args.batch.is_none() && args.file.is_none() {
+    let modes = usize::from(args.serve)
+        + usize::from(args.batch.is_some())
+        + usize::from(args.file.is_some());
+    if modes == 0 {
         return Err(usage());
     }
-    if args.batch.is_some() && args.file.is_some() {
-        return Err(format!("--batch and NET_FILE are exclusive\n{}", usage()));
+    if modes > 1 {
+        return Err(format!(
+            "serve, --batch, and NET_FILE are exclusive\n{}",
+            usage()
+        ));
     }
     Ok(args)
 }
@@ -269,7 +338,8 @@ fn run_batch_mode(args: &Args, dir: &str) -> ExitCode {
         return ExitCode::from(EXIT_USAGE);
     }
 
-    let inputs: Vec<NetInput> = paths
+    let engine = Engine::new(args.pipeline_config(), args.engine_options());
+    let jobs: Vec<Job> = paths
         .iter()
         .map(|p| {
             let name = p
@@ -277,38 +347,85 @@ fn run_batch_mode(args: &Args, dir: &str) -> ExitCode {
                 .map(|s| s.to_string_lossy().into_owned())
                 .unwrap_or_else(|| p.display().to_string());
             match std::fs::read_to_string(p) {
-                Err(e) => NetInput::Failed {
-                    name,
-                    error: format!("cannot read: {e}"),
-                },
-                Ok(text) => match parse(&text) {
-                    Ok(net) => NetInput::Parsed {
-                        name: net.name.clone().unwrap_or(name),
-                        tree: net.tree,
-                        scenario: net.scenario,
-                    },
-                    Err(e) => NetInput::Failed {
+                Err(e) => Job {
+                    input: NetInput::Failed {
                         name,
-                        error: e.to_string(),
+                        error: format!("cannot read: {e}"),
+                    },
+                    cache_key: None,
+                },
+                Ok(text) => Job {
+                    cache_key: Some(engine.key_for(&name, &text)),
+                    input: match parse(&text) {
+                        Ok(net) => NetInput::Parsed {
+                            name: net.name.clone().unwrap_or(name),
+                            tree: net.tree,
+                            scenario: net.scenario,
+                        },
+                        Err(e) => NetInput::Failed {
+                            name,
+                            error: e.to_string(),
+                        },
                     },
                 },
             }
         })
         .collect();
 
-    let cfg = PipelineConfig {
-        library: args.library.clone(),
-        max_segment: Some(args.segment),
-        time_limit: args.time_limit_ms.map(Duration::from_millis),
-        max_candidates: args.max_candidates,
-        max_tree_nodes: args.max_tree_nodes,
-        conservative: args.conservative,
-        polarity: args.polarity,
-    };
-    let report = run_batch(&inputs, &cfg);
+    let report = engine.run_jobs(jobs);
     print!("{}", report.to_jsonl());
-    eprintln!("{} in {:.1} s", report.summary(), report.wall.as_secs_f64());
+    eprintln!(
+        "{} in {:.1} s ({} workers)",
+        report.summary(),
+        report.wall.as_secs_f64(),
+        engine.jobs()
+    );
     ExitCode::from(report.exit_code().clamp(0, 255) as u8)
+}
+
+fn net_decoder() -> NetDecoder {
+    std::sync::Arc::new(|id: &str, body: &str| match parse(body) {
+        Ok(net) => NetInput::Parsed {
+            name: net.name.clone().unwrap_or_else(|| id.to_string()),
+            tree: net.tree,
+            scenario: net.scenario,
+        },
+        Err(e) => NetInput::Failed {
+            name: id.to_string(),
+            error: e.to_string(),
+        },
+    })
+}
+
+fn run_serve_mode(args: &Args) -> ExitCode {
+    let listener = match std::net::TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot listen on {}: {e}", args.listen);
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let engine = std::sync::Arc::new(Engine::new(args.pipeline_config(), args.engine_options()));
+    match listener.local_addr() {
+        Ok(addr) => {
+            // Scripts wait for this line to learn the OS-assigned port.
+            println!("listening on {addr}");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("cannot resolve listen address: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    }
+    eprintln!("{} workers, cache capacity {}", engine.jobs(), args.cache);
+    match serve(listener, engine, net_decoder()) {
+        Ok(()) => ExitCode::from(EXIT_OK),
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::from(EXIT_USAGE)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -319,6 +436,9 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
+    if args.serve {
+        return run_serve_mode(&args);
+    }
     if let Some(dir) = args.batch.clone() {
         return run_batch_mode(&args, &dir);
     }

@@ -299,3 +299,131 @@ fn batch_of_missing_dir_exits_3() {
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(3));
 }
+
+/// Replaces every measured `"wall_ms":<float>` with a placeholder so two
+/// runs can be compared byte-for-byte.
+fn normalize_wall(jsonl: &str) -> String {
+    let mut out = String::with_capacity(jsonl.len());
+    let mut rest = jsonl;
+    while let Some(at) = rest.find("\"wall_ms\":") {
+        let after = at + "\"wall_ms\":".len();
+        out.push_str(&rest[..after]);
+        out.push('X');
+        rest = rest[after..]
+            .trim_start_matches(|c: char| c.is_ascii_digit() || matches!(c, '.' | 'e' | '-' | '+'));
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn batch_jobs_flag_changes_nothing_but_wall_times() {
+    let hopeless = VIOLATING_NET.replace(" 0.8", " 1e-6");
+    let d = tempfile_like::dir(&[
+        ("a.net", CLEAN_NET),
+        ("b.net", VIOLATING_NET),
+        ("c.net", "driver 100 zero\n"),
+        ("d.net", &hopeless),
+        ("e.net", &CLEAN_NET.replace("net t2", "net t2e")),
+        ("f.net", &VIOLATING_NET.replace("net t1", "net t1f")),
+    ]);
+    let run = |jobs: &str| {
+        cli()
+            .args(["--batch", d.0.to_str().expect("utf8 path")])
+            .args(["--jobs", jobs])
+            .output()
+            .expect("binary runs")
+    };
+    let serial = run("1");
+    let parallel = run("4");
+    assert_eq!(
+        normalize_wall(&String::from_utf8_lossy(&serial.stdout)),
+        normalize_wall(&String::from_utf8_lossy(&parallel.stdout)),
+        "records must be identical modulo measured wall times"
+    );
+    assert_eq!(serial.status.code(), parallel.status.code());
+    // Both summaries count the same population.
+    for out in [&serial, &parallel] {
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("6 nets"), "{stderr}");
+    }
+    assert_eq!(serial.status.code(), Some(3), "parse error dominates");
+}
+
+#[test]
+fn zero_jobs_is_rejected() {
+    let out = cli()
+        .args(["--batch", "/tmp", "--jobs", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+}
+
+#[test]
+fn serve_answers_optimize_stats_and_shutdown() {
+    use std::io::{BufRead, BufReader, Read};
+    use std::net::TcpStream;
+    use std::process::Stdio;
+
+    let mut child = cli()
+        .args(["serve", "--listen", "127.0.0.1:0", "--jobs", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("server starts");
+    let mut child_out = BufReader::new(child.stdout.take().expect("piped"));
+    let mut banner = String::new();
+    child_out.read_line(&mut banner).expect("banner line");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut send = |line: &str| {
+        use std::io::Write as _;
+        (&stream)
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("response");
+        resp.trim_end().to_string()
+    };
+
+    let net_json = CLEAN_NET.replace('\n', "\\n");
+    let first = send(&format!("{{\"id\":\"t2\",\"net\":\"{net_json}\"}}"));
+    assert!(first.contains("\"outcome\":\"optimized\""), "{first}");
+    assert!(first.contains("\"cache\":\"miss\""), "{first}");
+    assert_eq!(
+        first.matches('{').count(),
+        first.matches('}').count(),
+        "spliced response must stay one well-formed object: {first}"
+    );
+    let second = send(&format!("{{\"id\":\"t2\",\"net\":\"{net_json}\"}}"));
+    assert!(second.contains("\"cache\":\"hit\""), "{second}");
+    assert_eq!(
+        first.replace("\"cache\":\"miss\"", "\"cache\":\"hit\""),
+        second,
+        "a hit replays the stored record"
+    );
+
+    let broken = send("{\"id\":\"bad\",\"net\":\"driver 100 zero\"}");
+    assert!(broken.contains("\"outcome\":\"parse_error\""), "{broken}");
+    let garbage = send("this is not json");
+    assert!(garbage.starts_with("{\"error\":"), "{garbage}");
+
+    let stats = send("{\"cmd\":\"stats\"}");
+    assert!(stats.contains("\"requests\":3"), "{stats}");
+    assert!(stats.contains("\"hits\":1"), "{stats}");
+    assert!(stats.contains("\"workers\":2"), "{stats}");
+
+    let ack = send("{\"cmd\":\"shutdown\"}");
+    assert_eq!(ack, "{\"ok\":\"shutdown\"}");
+    let status = child.wait().expect("server exits");
+    assert_eq!(status.code(), Some(0), "clean shutdown");
+    let mut rest = String::new();
+    child_out.read_to_string(&mut rest).expect("drained");
+}

@@ -62,6 +62,15 @@ pub enum NetInput {
     },
 }
 
+impl NetInput {
+    /// The net's name, whichever variant carries it.
+    pub fn name(&self) -> &str {
+        match self {
+            NetInput::Parsed { name, .. } | NetInput::Failed { name, .. } => name,
+        }
+    }
+}
+
 /// Batch-wide configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -97,17 +106,17 @@ impl PipelineConfig {
         }
     }
 
-    /// The budget for one net, with a fresh deadline.
+    /// The budget for one net. The time limit is carried as a relative
+    /// `Duration`; [`optimize_net`] arms it when the net actually starts
+    /// running, so a net that waited in a queue keeps its whole
+    /// allowance.
     fn budget(&self) -> RunBudget {
-        let mut b = RunBudget {
+        RunBudget {
             deadline: None,
+            time_limit: self.time_limit,
             max_candidates: self.max_candidates,
             max_tree_nodes: self.max_tree_nodes,
-        };
-        if let Some(limit) = self.time_limit {
-            b = b.with_time_limit(limit);
         }
-        b
     }
 }
 
@@ -427,7 +436,9 @@ pub fn optimize_net(
     cfg: &PipelineConfig,
 ) -> NetOutcome {
     let start = Instant::now();
-    let budget = cfg.budget();
+    // Arm the deadline now — the net is being dequeued and starts running
+    // this instant. All rungs share the one armed deadline.
+    let budget = cfg.budget().armed();
     let mut out = NetOutcome::shell(name, Outcome::Failed);
 
     // Segment for the DP rungs. Algorithm 2 (rung 3) works on the raw
@@ -587,28 +598,103 @@ fn finish(
     out
 }
 
-/// Runs the whole batch with the default panic hook silenced, so per-net
-/// panics do not spray backtraces over the batch progress output.
+/// Optimizes one [`NetInput`], whichever variant it is: parsed nets run
+/// [`optimize_net`], parse failures become their `parse_error` record.
+/// This is the `Send`-safe per-net entry point worker pools call — all
+/// the types involved are plain owned data (`Send + Sync`), so inputs
+/// can be fanned out across threads and the records collected back.
+pub fn optimize_input(input: &NetInput, cfg: &PipelineConfig) -> NetOutcome {
+    match input {
+        NetInput::Parsed {
+            name,
+            tree,
+            scenario,
+        } => optimize_net(name, tree, scenario, cfg),
+        NetInput::Failed { name, error } => {
+            let mut o = NetOutcome::shell(name, Outcome::ParseError);
+            o.error = Some(error.clone());
+            o
+        }
+    }
+}
+
+// The concurrency layer relies on these being shareable across worker
+// threads; fail compilation loudly if a future change breaks that.
+#[allow(dead_code)]
+fn _assert_send_sync() {
+    fn ok<T: Send + Sync>() {}
+    ok::<NetInput>();
+    ok::<PipelineConfig>();
+    ok::<NetOutcome>();
+    ok::<BatchReport>();
+}
+
+/// State behind [`hush_panics`]: how many guards are live and the hook
+/// they displaced.
+type PanicHook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+struct HushState {
+    depth: usize,
+    prev: Option<PanicHook>,
+}
+
+static HUSH: std::sync::Mutex<HushState> = std::sync::Mutex::new(HushState {
+    depth: 0,
+    prev: None,
+});
+
+/// Keeps the process-wide panic hook silenced while alive; see
+/// [`hush_panics`].
+pub struct PanicHush(());
+
+/// Silences the default panic hook until the returned guard drops.
+///
+/// Every per-net rung runs inside `catch_unwind`, so a panicking net is
+/// contained — but the default hook still prints a backtrace *before*
+/// unwinding reaches the boundary, and in a parallel batch every worker
+/// sprays its own. Batch drivers and worker pools hold one of these
+/// guards for the duration of the run. Guards are reference-counted, so
+/// overlapping batches (or a server engine plus an ad-hoc batch) compose:
+/// the original hook is restored only when the last guard drops.
+pub fn hush_panics() -> PanicHush {
+    let mut st = HUSH.lock().unwrap_or_else(|e| e.into_inner());
+    // `prev` may be left stashed by a guard that dropped mid-unwind (see
+    // `Drop`); in that case the no-op hook is still installed and the
+    // original must not be overwritten.
+    if st.depth == 0 && st.prev.is_none() {
+        st.prev = Some(panic::take_hook());
+        panic::set_hook(Box::new(|_| {}));
+    }
+    st.depth += 1;
+    PanicHush(())
+}
+
+impl Drop for PanicHush {
+    fn drop(&mut self) {
+        let mut st = HUSH.lock().unwrap_or_else(|e| e.into_inner());
+        st.depth -= 1;
+        // `set_hook` panics on a panicking thread, which would turn a
+        // guard dropped during unwind into a process abort. Leave the
+        // no-op hook installed and `prev` stashed; the next guard (or
+        // this one's non-panicking sibling) completes the restoration.
+        if st.depth == 0 && !std::thread::panicking() {
+            if let Some(prev) = st.prev.take() {
+                panic::set_hook(prev);
+            }
+        }
+    }
+}
+
+/// Runs the whole batch with the default panic hook silenced (see
+/// [`hush_panics`]), so per-net panics do not spray backtraces over the
+/// batch progress output.
 pub fn run_batch(inputs: &[NetInput], cfg: &PipelineConfig) -> BatchReport {
     let start = Instant::now();
-    let prev_hook = panic::take_hook();
-    panic::set_hook(Box::new(|_| {}));
+    let _hush = hush_panics();
     let outcomes = inputs
         .iter()
-        .map(|input| match input {
-            NetInput::Parsed {
-                name,
-                tree,
-                scenario,
-            } => optimize_net(name, tree, scenario, cfg),
-            NetInput::Failed { name, error } => {
-                let mut o = NetOutcome::shell(name, Outcome::ParseError);
-                o.error = Some(error.clone());
-                o
-            }
-        })
+        .map(|input| optimize_input(input, cfg))
         .collect();
-    panic::set_hook(prev_hook);
     BatchReport {
         outcomes,
         wall: start.elapsed(),
@@ -756,8 +842,58 @@ mod tests {
         assert_eq!(guarded(|| Ok(7)).unwrap(), 7);
     }
 
+    /// Tests that install or observe the process-wide panic hook must not
+    /// overlap; everything touching the hook in this binary locks this.
+    static HOOK_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn hush_guard_nests_and_restores_the_hook() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let _serial = HOOK_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        static FIRED: AtomicUsize = AtomicUsize::new(0);
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(|_| {
+            FIRED.fetch_add(1, Ordering::SeqCst);
+        }));
+        {
+            let outer = hush_panics();
+            let inner = hush_panics();
+            let _ = panic::catch_unwind(|| panic!("quiet"));
+            drop(inner);
+            // Still hushed while the outer guard lives.
+            let _ = panic::catch_unwind(|| panic!("still quiet"));
+            assert_eq!(FIRED.load(Ordering::SeqCst), 0, "hook silenced");
+            drop(outer);
+        }
+        let _ = panic::catch_unwind(|| panic!("loud again"));
+        assert_eq!(FIRED.load(Ordering::SeqCst), 1, "hook restored");
+        panic::set_hook(prev);
+    }
+
+    #[test]
+    fn optimize_input_covers_both_variants() {
+        let healthy = two_pin(12_000.0, 3e-9, 0.8);
+        let parsed = NetInput::Parsed {
+            name: "x".into(),
+            scenario: estimation(&healthy),
+            tree: healthy,
+        };
+        assert_eq!(parsed.name(), "x");
+        let o = optimize_input(&parsed, &cfg());
+        assert_eq!(o.outcome, Outcome::Optimized);
+        let failed = NetInput::Failed {
+            name: "y".into(),
+            error: "line 9: nope".into(),
+        };
+        assert_eq!(failed.name(), "y");
+        let o = optimize_input(&failed, &cfg());
+        assert_eq!(o.outcome, Outcome::ParseError);
+        assert_eq!(o.error.as_deref(), Some("line 9: nope"));
+    }
+
     #[test]
     fn batch_covers_every_input_and_exit_codes_rank() {
+        let _serial = HOOK_TESTS.lock().unwrap_or_else(|e| e.into_inner());
         let healthy = two_pin(12_000.0, 3e-9, 0.8);
         let doomed = lumped_pin();
         let inputs = vec![

@@ -1,0 +1,254 @@
+//! Sharded LRU solution cache.
+//!
+//! Production batches repeat themselves: ECO re-runs resubmit mostly
+//! unchanged nets, and a serving deployment sees the same noisy nets
+//! again after every re-extraction. Optimizing a net costs milliseconds
+//! to seconds of DP; a cache lookup costs a hash. Entries are keyed by a
+//! content digest of everything that determines the record —
+//! `(net, scenario, library, budget/config)` — computed by the caller
+//! via [`digest`] / [`Engine::key_for`], so a hit returns a record
+//! *identical* to what re-optimizing would produce (including the stored
+//! wall time, which is part of the record's provenance).
+//!
+//! The map is sharded to keep lock contention off the worker pool's hot
+//! path; each shard is an independent LRU protected by its own mutex.
+//!
+//! [`Engine::key_for`]: crate::engine::Engine::key_for
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use buffopt_pipeline::NetOutcome;
+
+/// FNV-1a 64-bit over a sequence of byte slices, with a length separator
+/// between parts so `("ab", "c")` and `("a", "bc")` digest differently.
+pub fn digest(parts: &[&[u8]]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for part in parts {
+        eat(&(part.len() as u64).to_le_bytes());
+        eat(part);
+    }
+    h
+}
+
+/// One cached record: the outcome plus the worker that computed it (the
+/// service reports the original worker on a hit).
+#[derive(Clone)]
+struct Entry {
+    tick: u64,
+    outcome: NetOutcome,
+    worker: usize,
+}
+
+struct Shard {
+    map: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// Counters published in the metrics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced to make room.
+    pub evictions: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Total capacity across shards (0 = caching disabled).
+    pub capacity: usize,
+}
+
+/// A sharded LRU cache from content digest to per-net outcome record.
+pub struct SolutionCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SolutionCache {
+    /// A cache holding at most `capacity` records spread over `shards`
+    /// shards (both rounded up so every shard holds at least one entry).
+    /// `capacity == 0` disables caching: every lookup misses and inserts
+    /// are dropped.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        SolutionCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            per_shard,
+            capacity: per_shard * shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // The digest's low bits are well mixed; pick a shard from them.
+        &self.shards[(key as usize) % self.shards.len()]
+    }
+
+    /// Looks `key` up, refreshing its recency. Returns the stored record
+    /// and the worker that originally computed it.
+    pub fn get(&self, key: u64) -> Option<(NetOutcome, usize)> {
+        if self.per_shard == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&key) {
+            Some(entry) => {
+                entry.tick = tick;
+                let hit = (entry.outcome.clone(), entry.worker);
+                drop(shard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(hit)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a record, evicting the least-recently-used entry of the
+    /// shard if it is full. Re-inserting an existing key refreshes it.
+    pub fn insert(&self, key: u64, outcome: NetOutcome, worker: usize) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.per_shard && !shard.map.contains_key(&key) {
+            // Shards are small (capacity / shards); a linear scan for the
+            // oldest tick is cheaper than maintaining an intrusive list
+            // and runs nowhere near the optimizer's hot path.
+            if let Some(&oldest) = shard.map.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| k) {
+                shard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                tick,
+                outcome,
+                worker,
+            },
+        );
+    }
+
+    /// Current counter values and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
+                .sum(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffopt_pipeline::{NetInput, Outcome};
+
+    fn record(name: &str) -> NetOutcome {
+        // A parse-error shell is the cheapest real record to make.
+        buffopt_pipeline::optimize_input(
+            &NetInput::Failed {
+                name: name.into(),
+                error: "synthetic".into(),
+            },
+            &buffopt_pipeline::PipelineConfig::new(buffopt_buffers::catalog::single_buffer()),
+        )
+    }
+
+    #[test]
+    fn digest_separates_parts() {
+        assert_ne!(digest(&[b"ab", b"c"]), digest(&[b"a", b"bc"]));
+        assert_ne!(digest(&[b"ab"]), digest(&[b"ab", b""]));
+        assert_eq!(digest(&[b"ab", b"c"]), digest(&[b"ab", b"c"]));
+    }
+
+    #[test]
+    fn hit_returns_identical_record_and_counts() {
+        let c = SolutionCache::new(8, 2);
+        assert!(c.get(1).is_none());
+        c.insert(1, record("a"), 3);
+        let (got, worker) = c.get(1).expect("hit");
+        assert_eq!(worker, 3);
+        assert_eq!(got.to_json(), record("a").to_json());
+        assert_eq!(got.outcome, Outcome::ParseError);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_not_recently_used() {
+        // One shard of 2 entries: touch `a`, insert `c` — `b` goes.
+        let c = SolutionCache::new(2, 1);
+        c.insert(10, record("a"), 0);
+        c.insert(20, record("b"), 0);
+        assert!(c.get(10).is_some(), "refresh a");
+        c.insert(30, record("c"), 0);
+        assert!(c.get(10).is_some(), "a survived");
+        assert!(c.get(20).is_none(), "b evicted");
+        assert!(c.get(30).is_some(), "c present");
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = SolutionCache::new(0, 4);
+        c.insert(1, record("a"), 0);
+        assert!(c.get(1).is_none());
+        let s = c.stats();
+        assert_eq!((s.capacity, s.entries, s.evictions), (0, 0, 0));
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let c = SolutionCache::new(64, 8);
+        for k in 0..64u64 {
+            c.insert(k, record("x"), 0);
+        }
+        assert_eq!(c.stats().entries, 64, "no shard overflowed early");
+    }
+}

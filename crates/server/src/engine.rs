@@ -1,0 +1,409 @@
+//! The concurrent execution engine: a fixed-size worker pool fed through
+//! a bounded channel, fronted by the solution cache and the metrics.
+//!
+//! # Determinism
+//!
+//! [`Engine::run_jobs`] tags every job with its input index, lets workers
+//! complete in whatever order the scheduler produces, and reassembles the
+//! records by index — so a parallel batch emits records in exactly the
+//! input order, and the content of each record is independent of which
+//! worker computed it (per-net optimization is single-threaded and
+//! deterministic). The only field that varies between runs is the
+//! measured `wall_ms`, exactly as it already does between two serial
+//! runs.
+//!
+//! # Fault isolation
+//!
+//! Per-net panics are already contained inside
+//! [`buffopt_pipeline::optimize_input`]; the worker wraps the whole call
+//! in one more `catch_unwind` so even a panic in the record-keeping path
+//! yields a `failed` record instead of a hung batch slot. The engine
+//! holds a [`hush_panics`] guard for its lifetime, so a panicking net in
+//! a parallel batch does not spray one backtrace per worker onto stderr.
+//!
+//! [`hush_panics`]: buffopt_pipeline::hush_panics
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use buffopt_pipeline::{
+    hush_panics, optimize_input, BatchReport, NetInput, NetOutcome, Outcome, PanicHush,
+    PipelineConfig,
+};
+
+use crate::cache::{digest, SolutionCache};
+use crate::metrics::{Metrics, MetricsSnapshot};
+
+/// One unit of work: a net plus an optional cache key. Jobs without a
+/// key bypass the cache entirely (both lookup and fill).
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The net to optimize (or the parse failure to record).
+    pub input: NetInput,
+    /// Content digest over `(net, scenario, library, budget)`; see
+    /// [`Engine::key_for`].
+    pub cache_key: Option<u64>,
+}
+
+/// Whether a request was answered from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the cache without re-optimizing.
+    Hit,
+    /// Computed by a worker (and cached if the job carried a key).
+    Miss,
+}
+
+impl CacheStatus {
+    /// Stable lowercase identifier used in service responses.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+        }
+    }
+}
+
+/// A served request: the record plus serving provenance.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The per-net outcome record.
+    pub outcome: NetOutcome,
+    /// Cache hit or miss.
+    pub cache: CacheStatus,
+    /// Index of the worker that computed the record (for a hit, the
+    /// worker that computed it originally).
+    pub worker: usize,
+}
+
+/// Engine construction knobs.
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Worker threads in the pool (≥ 1; clamped).
+    pub jobs: usize,
+    /// Total solution-cache capacity in records; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Cache shards (lock granularity).
+    pub cache_shards: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            jobs: default_jobs(),
+            cache_capacity: 1024,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// The machine's available parallelism (≥ 1).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+struct Task {
+    idx: usize,
+    job: Job,
+    reply: mpsc::Sender<Done>,
+}
+
+struct Done {
+    idx: usize,
+    cache_key: Option<u64>,
+    outcome: NetOutcome,
+    worker: usize,
+}
+
+/// The worker-pool execution engine. Create once, submit batches
+/// ([`Engine::run_jobs`]) or single requests ([`Engine::optimize`]) from
+/// any number of threads; drop to shut the pool down.
+pub struct Engine {
+    tx: Mutex<Option<SyncSender<Task>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    cfg: Arc<PipelineConfig>,
+    cfg_digest: u64,
+    cache: SolutionCache,
+    metrics: Metrics,
+    jobs: usize,
+    _hush: PanicHush,
+}
+
+impl Engine {
+    /// Spawns the worker pool and takes ownership of the pipeline
+    /// configuration every net will run under.
+    pub fn new(cfg: PipelineConfig, opts: EngineOptions) -> Self {
+        let jobs = opts.jobs.max(1);
+        let cfg = Arc::new(cfg);
+        // The config fingerprint folds the library, budget, and every
+        // optimizer flag into the cache key, so two engines with
+        // different configs never alias records. `Debug` output is
+        // stable within a process, which is all an in-memory cache needs.
+        let cfg_digest = digest(&[format!("{cfg:?}").as_bytes()]);
+        // Bounded queue: submitters block once the pool is saturated
+        // instead of buffering an unbounded batch in channel memory.
+        let (tx, rx) = mpsc::sync_channel::<Task>(jobs * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..jobs)
+            .map(|wid| {
+                let rx = Arc::clone(&rx);
+                let cfg = Arc::clone(&cfg);
+                std::thread::Builder::new()
+                    .name(format!("buffopt-worker-{wid}"))
+                    .spawn(move || worker_loop(wid, &rx, &cfg))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Engine {
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(workers),
+            cfg,
+            cfg_digest,
+            cache: SolutionCache::new(opts.cache_capacity, opts.cache_shards),
+            metrics: Metrics::default(),
+            jobs,
+            _hush: hush_panics(),
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The configuration every net runs under.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// The cache key for a net identified by `name` with raw content
+    /// `body` (the `.net` text, or any canonical byte form): a digest of
+    /// the content *and* this engine's full configuration, so records
+    /// computed under different libraries, budgets, or flags never alias.
+    pub fn key_for(&self, name: &str, body: &str) -> u64 {
+        digest(&[
+            &self.cfg_digest.to_le_bytes(),
+            name.as_bytes(),
+            body.as_bytes(),
+        ])
+    }
+
+    /// A point-in-time metrics snapshot (counters + cache + pool size).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.cache.stats(), self.jobs)
+    }
+
+    fn sender(&self) -> SyncSender<Task> {
+        self.tx
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+            .expect("engine is running")
+    }
+
+    /// Serves one request: cache lookup, then (on a miss) a round trip
+    /// through the worker pool, then cache fill. Blocks until the record
+    /// is ready. Callable concurrently from any number of threads.
+    pub fn optimize(&self, job: Job) -> Served {
+        self.metrics.record_request();
+        if let Some(key) = job.cache_key {
+            if let Some((outcome, worker)) = self.cache.get(key) {
+                return Served {
+                    outcome,
+                    cache: CacheStatus::Hit,
+                    worker,
+                };
+            }
+        }
+        let (reply, inbox) = mpsc::channel();
+        self.sender()
+            .send(Task { idx: 0, job, reply })
+            .expect("worker pool alive");
+        let done = inbox.recv().expect("worker replies");
+        self.metrics.record_outcome(&done.outcome);
+        if let Some(key) = done.cache_key {
+            self.cache.insert(key, done.outcome.clone(), done.worker);
+        }
+        Served {
+            outcome: done.outcome,
+            cache: CacheStatus::Miss,
+            worker: done.worker,
+        }
+    }
+
+    /// Runs a whole batch through the pool and reassembles the records
+    /// in input order. Cache hits are resolved inline; misses are fanned
+    /// out. The report is the same type the serial pipeline produces, so
+    /// summaries and exit codes are unchanged.
+    pub fn run_jobs(&self, jobs: Vec<Job>) -> BatchReport {
+        let start = Instant::now();
+        let n = jobs.len();
+        let mut results: Vec<Option<NetOutcome>> = (0..n).map(|_| None).collect();
+        let mut names: Vec<String> = jobs.iter().map(|j| j.input.name().to_string()).collect();
+        let (reply, inbox) = mpsc::channel::<Done>();
+        let mut queue: Vec<Task> = Vec::new();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            self.metrics.record_request();
+            if let Some(key) = job.cache_key {
+                if let Some((outcome, _)) = self.cache.get(key) {
+                    results[idx] = Some(outcome);
+                    continue;
+                }
+            }
+            queue.push(Task {
+                idx,
+                job,
+                reply: reply.clone(),
+            });
+        }
+        drop(reply);
+        let pending = queue.len();
+        // Feed from a separate thread: the bounded queue gives
+        // backpressure, so the feeder blocks while this thread drains
+        // replies — no deadlock however large the batch.
+        let tx = self.sender();
+        let feeder = std::thread::spawn(move || {
+            for task in queue {
+                if tx.send(task).is_err() {
+                    break;
+                }
+            }
+        });
+        for _ in 0..pending {
+            match inbox.recv() {
+                Ok(done) => {
+                    self.metrics.record_outcome(&done.outcome);
+                    if let Some(key) = done.cache_key {
+                        self.cache.insert(key, done.outcome.clone(), done.worker);
+                    }
+                    results[done.idx] = Some(done.outcome);
+                }
+                Err(_) => break, // pool died; missing slots filled below
+            }
+        }
+        feeder.join().expect("feeder thread");
+        let outcomes = results
+            .iter_mut()
+            .enumerate()
+            .map(|(idx, slot)| {
+                slot.take().unwrap_or_else(|| {
+                    failed_record(std::mem::take(&mut names[idx]), "worker pool died")
+                })
+            })
+            .collect();
+        BatchReport {
+            outcomes,
+            wall: start.elapsed(),
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Closing the channel drains the queue and lets workers exit.
+        self.tx.lock().unwrap_or_else(|e| e.into_inner()).take();
+        let workers = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn failed_record(name: String, why: &str) -> NetOutcome {
+    let mut o = optimize_input(
+        &NetInput::Failed {
+            name,
+            error: String::new(),
+        },
+        // The config is irrelevant for the Failed variant; build the
+        // cheapest possible one.
+        &PipelineConfig::new(buffopt_buffers::BufferLibrary::new()),
+    );
+    o.outcome = Outcome::Failed;
+    o.error = Some(why.to_string());
+    o
+}
+
+fn worker_loop(wid: usize, rx: &Arc<Mutex<Receiver<Task>>>, cfg: &Arc<PipelineConfig>) {
+    loop {
+        // Hold the receiver lock only while dequeuing; contention here is
+        // negligible next to per-net optimization time.
+        let task = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+            Ok(t) => t,
+            Err(_) => return, // engine dropped the sender: shut down
+        };
+        let name = task.job.input.name().to_string();
+        // `optimize_input` contains per-rung panic boundaries already;
+        // this outer guard turns even a bookkeeping panic into a record,
+        // so the batch collector never waits on a dead slot.
+        let outcome =
+            panic::catch_unwind(AssertUnwindSafe(|| optimize_input(&task.job.input, cfg)))
+                .unwrap_or_else(|_| {
+                    failed_record(name, "worker panicked outside the net boundary")
+                });
+        let _ = task.reply.send(Done {
+            idx: task.idx,
+            cache_key: task.job.cache_key,
+            outcome,
+            worker: wid,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn ok<T: Send + Sync>() {}
+        ok::<Engine>();
+        ok::<Job>();
+        ok::<Served>();
+    }
+
+    #[test]
+    fn key_for_separates_name_content_and_config() {
+        let lib = buffopt_buffers::catalog::single_buffer();
+        let e1 = Engine::new(
+            PipelineConfig::new(lib.clone()),
+            EngineOptions {
+                jobs: 1,
+                ..EngineOptions::default()
+            },
+        );
+        let k = e1.key_for("a", "body");
+        assert_eq!(k, e1.key_for("a", "body"), "stable");
+        assert_ne!(k, e1.key_for("b", "body"), "name matters");
+        assert_ne!(k, e1.key_for("a", "other"), "content matters");
+        let mut cfg2 = PipelineConfig::new(lib);
+        cfg2.conservative = true;
+        let e2 = Engine::new(
+            cfg2,
+            EngineOptions {
+                jobs: 1,
+                ..EngineOptions::default()
+            },
+        );
+        assert_ne!(k, e2.key_for("a", "body"), "config matters");
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_report() {
+        let e = Engine::new(
+            PipelineConfig::new(buffopt_buffers::catalog::single_buffer()),
+            EngineOptions {
+                jobs: 2,
+                ..EngineOptions::default()
+            },
+        );
+        let report = e.run_jobs(Vec::new());
+        assert!(report.outcomes.is_empty());
+        assert_eq!(e.metrics_snapshot().requests, 0);
+    }
+}

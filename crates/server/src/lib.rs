@@ -1,0 +1,40 @@
+//! Concurrent serving engine for the buffer-insertion pipeline.
+//!
+//! The paper's production setting is a sweep over the 500 noisiest nets
+//! of a PowerPC design; buffer insertion is embarrassingly parallel
+//! across nets (each `(tree, scenario, library)` triple is independent).
+//! This crate multiplies throughput on the hardware at hand without any
+//! external runtime — `std::thread` and bounded `std::sync::mpsc`
+//! channels only:
+//!
+//! * [`Engine`] — a fixed-size worker pool that fans batches of
+//!   [`NetInput`]s out to workers and reassembles the per-net records in
+//!   **deterministic input order**, so `--jobs N` output is
+//!   indistinguishable from serial output (modulo wall-clock timings);
+//! * [`SolutionCache`] — a sharded LRU keyed by a content digest of
+//!   `(net, scenario, library, budget)`, serving repeated nets (ECO-style
+//!   re-runs) without re-optimizing, with hit/miss/eviction counters;
+//! * [`Metrics`] — atomic request/outcome/rung counters plus a
+//!   fixed-bucket latency histogram per degradation rung, aggregated
+//!   across workers and snapshot as JSON;
+//! * [`service`] — a long-running newline-delimited-JSON TCP front end:
+//!   one request line per net, one response line per record (the
+//!   pipeline's JSONL schema plus `cache` and `worker` fields), plus
+//!   `stats` and `shutdown` commands.
+//!
+//! [`NetInput`]: buffopt_pipeline::NetInput
+//! [`SolutionCache`]: cache::SolutionCache
+//! [`Metrics`]: metrics::Metrics
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod metrics;
+pub mod service;
+
+pub use cache::{digest, SolutionCache};
+pub use engine::{default_jobs, CacheStatus, Engine, EngineOptions, Job, Served};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use service::{serve, NetDecoder};

@@ -1,0 +1,260 @@
+//! Aggregated serving metrics: atomic counters and per-rung latency
+//! histograms, shared by every worker and snapshot without stopping the
+//! world.
+//!
+//! All counters are `AtomicU64` with relaxed ordering — a snapshot is a
+//! statistically consistent view, not a linearizable one, which is what
+//! an operations dashboard needs. The latency histogram uses fixed
+//! logarithmic-ish bucket bounds ([`LATENCY_BOUNDS_MS`]) so snapshots
+//! from different workers (or machines) can be summed bucket-wise.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use buffopt_pipeline::{NetOutcome, Outcome, Rung};
+
+use crate::cache::CacheStats;
+
+/// Upper bounds (inclusive, milliseconds) of the latency histogram
+/// buckets; a final unbounded bucket catches everything slower, so each
+/// histogram has `LATENCY_BOUNDS_MS.len() + 1` counters.
+pub const LATENCY_BOUNDS_MS: [u64; 8] = [1, 3, 10, 30, 100, 300, 1000, 3000];
+
+const BUCKETS: usize = LATENCY_BOUNDS_MS.len() + 1;
+const RUNGS: [Rung; 4] = [
+    Rung::Problem3,
+    Rung::Problem2,
+    Rung::NoiseOnly,
+    Rung::Unbuffered,
+];
+const OUTCOMES: [Outcome; 5] = [
+    Outcome::Optimized,
+    Outcome::Degraded,
+    Outcome::Infeasible,
+    Outcome::ParseError,
+    Outcome::Failed,
+];
+
+fn bucket_of(wall: Duration) -> usize {
+    let ms = wall.as_secs_f64() * 1e3;
+    LATENCY_BOUNDS_MS
+        .iter()
+        .position(|&b| ms <= b as f64)
+        .unwrap_or(BUCKETS - 1)
+}
+
+fn rung_index(r: Rung) -> usize {
+    RUNGS
+        .iter()
+        .position(|&x| x == r)
+        .expect("all rungs listed")
+}
+
+fn outcome_index(o: Outcome) -> usize {
+    OUTCOMES
+        .iter()
+        .position(|&x| x == o)
+        .expect("all outcomes listed")
+}
+
+#[derive(Default)]
+struct RungStats {
+    served: AtomicU64,
+    latency: [AtomicU64; BUCKETS],
+}
+
+/// Live counters, updated concurrently by every worker.
+#[derive(Default)]
+pub struct Metrics {
+    requests: AtomicU64,
+    outcomes: [AtomicU64; 5],
+    rungs: [RungStats; 4],
+}
+
+impl Metrics {
+    /// Counts one incoming request (cache hits included).
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a freshly computed record: its outcome, the rung that
+    /// served it, and where its wall time lands in that rung's histogram.
+    /// Cache hits are *not* recorded here — the original computation
+    /// already was.
+    pub fn record_outcome(&self, o: &NetOutcome) {
+        self.outcomes[outcome_index(o.outcome)].fetch_add(1, Ordering::Relaxed);
+        if let Some(rung) = o.rung {
+            let r = &self.rungs[rung_index(rung)];
+            r.served.fetch_add(1, Ordering::Relaxed);
+            r.latency[bucket_of(o.wall)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of every counter, combined with the cache's
+    /// counters and the pool size.
+    pub fn snapshot(&self, cache: CacheStats, workers: usize) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            outcomes: std::array::from_fn(|i| self.outcomes[i].load(Ordering::Relaxed)),
+            rungs: std::array::from_fn(|i| RungSnapshot {
+                served: self.rungs[i].served.load(Ordering::Relaxed),
+                latency: std::array::from_fn(|b| self.rungs[i].latency[b].load(Ordering::Relaxed)),
+            }),
+            cache,
+            workers,
+        }
+    }
+}
+
+/// Frozen per-rung counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RungSnapshot {
+    /// Nets this rung served.
+    pub served: u64,
+    /// Wall-time histogram (bounds [`LATENCY_BOUNDS_MS`] + overflow).
+    pub latency: [u64; BUCKETS],
+}
+
+/// A frozen view of the engine's counters, serializable as one JSON
+/// object (the `stats` response of the network service).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted (cache hits included).
+    pub requests: u64,
+    /// Records per final classification, `OUTCOMES` order.
+    pub outcomes: [u64; 5],
+    /// Per-rung counters, ladder order.
+    pub rungs: [RungSnapshot; 4],
+    /// Cache counters at snapshot time.
+    pub cache: CacheStats,
+    /// Worker threads in the pool.
+    pub workers: usize,
+}
+
+impl MetricsSnapshot {
+    /// This snapshot as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str(&format!(
+            "{{\"requests\":{},\"workers\":{}",
+            self.requests, self.workers
+        ));
+        s.push_str(&format!(
+            ",\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}}",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.entries,
+            self.cache.capacity
+        ));
+        s.push_str(",\"outcomes\":{");
+        for (i, o) in OUTCOMES.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", o.as_str(), self.outcomes[i]));
+        }
+        s.push_str("},\"latency_bounds_ms\":[");
+        for (i, b) in LATENCY_BOUNDS_MS.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&b.to_string());
+        }
+        s.push_str("],\"rungs\":{");
+        for (i, r) in RUNGS.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{{\"served\":{},\"latency\":[",
+                r.as_str(),
+                self.rungs[i].served
+            ));
+            for (b, n) in self.rungs[i].latency.iter().enumerate() {
+                if b > 0 {
+                    s.push(',');
+                }
+                s.push_str(&n.to_string());
+            }
+            s.push_str("]}");
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffopt_pipeline::{NetInput, PipelineConfig};
+
+    fn parse_error_record() -> NetOutcome {
+        buffopt_pipeline::optimize_input(
+            &NetInput::Failed {
+                name: "m".into(),
+                error: "bad".into(),
+            },
+            &PipelineConfig::new(buffopt_buffers::catalog::single_buffer()),
+        )
+    }
+
+    #[test]
+    fn buckets_cover_the_axis() {
+        assert_eq!(bucket_of(Duration::ZERO), 0);
+        assert_eq!(bucket_of(Duration::from_millis(1)), 0);
+        assert_eq!(bucket_of(Duration::from_millis(2)), 1);
+        assert_eq!(bucket_of(Duration::from_millis(500)), 6);
+        assert_eq!(bucket_of(Duration::from_secs(60)), BUCKETS - 1);
+    }
+
+    #[test]
+    fn outcome_and_rung_counters_accumulate() {
+        let m = Metrics::default();
+        m.record_request();
+        m.record_request();
+        let mut rec = parse_error_record();
+        m.record_outcome(&rec);
+        // Fake a served rung to exercise the histogram path.
+        rec.outcome = Outcome::Degraded;
+        rec.rung = Some(Rung::NoiseOnly);
+        rec.wall = Duration::from_millis(7);
+        m.record_outcome(&rec);
+        let snap = m.snapshot(CacheStats::default(), 4);
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.outcomes[outcome_index(Outcome::ParseError)], 1);
+        assert_eq!(snap.outcomes[outcome_index(Outcome::Degraded)], 1);
+        let noise = &snap.rungs[rung_index(Rung::NoiseOnly)];
+        assert_eq!(noise.served, 1);
+        assert_eq!(noise.latency[2], 1, "7 ms lands in the ≤10 ms bucket");
+    }
+
+    #[test]
+    fn snapshot_serializes_every_section() {
+        let m = Metrics::default();
+        m.record_request();
+        let j = m
+            .snapshot(
+                CacheStats {
+                    hits: 1,
+                    misses: 2,
+                    evictions: 0,
+                    entries: 1,
+                    capacity: 64,
+                },
+                2,
+            )
+            .to_json();
+        for needle in [
+            "\"requests\":1",
+            "\"workers\":2",
+            "\"cache\":{\"hits\":1,\"misses\":2",
+            "\"outcomes\":{\"optimized\":0",
+            "\"latency_bounds_ms\":[1,3,10,30,100,300,1000,3000]",
+            "\"rungs\":{\"problem3\":{\"served\":0,\"latency\":[0,0,0,0,0,0,0,0,0]}",
+        ] {
+            assert!(j.contains(needle), "{needle} missing from {j}");
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

@@ -1,0 +1,332 @@
+//! Newline-delimited-JSON TCP service over an [`Engine`].
+//!
+//! # Protocol
+//!
+//! One request per line, one response line per request, on a plain TCP
+//! connection. Requests are flat JSON objects with string values:
+//!
+//! * `{"cmd":"optimize","id":"bus7","net":"driver 300 2e-11\n..."}` —
+//!   optimize one net (the `.net` text with newlines escaped). `cmd`
+//!   may be omitted when `net` is present; `id` defaults to `"net"`.
+//!   The response is the pipeline's per-net JSONL record with two extra
+//!   fields: `"cache":"hit"|"miss"` and `"worker":<index>`.
+//! * `{"cmd":"stats"}` — the engine's [`MetricsSnapshot`] as JSON.
+//! * `{"cmd":"shutdown"}` — acknowledge with `{"ok":"shutdown"}` and
+//!   stop the accept loop (in-flight connections finish their current
+//!   request).
+//!
+//! Malformed request lines get `{"error":"..."}` responses; a net that
+//! fails to *parse* is not a protocol error — it produces a regular
+//! `parse_error` record, so batch drivers see the same taxonomy the CLI
+//! emits.
+//!
+//! The service does not link the text-format parser (that would make the
+//! crate graph cyclic); callers inject a [`NetDecoder`] closure, which
+//! the CLI builds from `buffopt_netlist::parse`.
+//!
+//! [`MetricsSnapshot`]: crate::metrics::MetricsSnapshot
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use buffopt_pipeline::NetInput;
+
+use crate::engine::{Engine, Job};
+
+/// Turns a request's `(id, net text)` into a [`NetInput`] — parsed, or a
+/// `Failed` record carrying the parser's message.
+pub type NetDecoder = Arc<dyn Fn(&str, &str) -> NetInput + Send + Sync>;
+
+/// Runs the accept loop until a `shutdown` command arrives. One thread
+/// per connection; every connection shares the engine's worker pool, so
+/// concurrency is bounded by the pool no matter how many clients attach.
+pub fn serve(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    decode: NetDecoder,
+) -> std::io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = listener.local_addr()?;
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                let engine = Arc::clone(&engine);
+                let decode = Arc::clone(&decode);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let shutdown = handle_connection(stream, &engine, &decode);
+                    if shutdown {
+                        stop.store(true, Ordering::SeqCst);
+                        // Wake the blocked accept() so the loop observes
+                        // the flag.
+                        let _ = TcpStream::connect(addr);
+                    }
+                });
+            }
+            Err(_) if stop.load(Ordering::SeqCst) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Serves one connection; returns true when the client asked for a
+/// server shutdown.
+fn handle_connection(stream: TcpStream, engine: &Engine, decode: &NetDecoder) -> bool {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return false,
+    };
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // client gone
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = respond(&line, engine, decode);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if shutdown {
+            return true;
+        }
+    }
+    false
+}
+
+/// Computes the response line for one request line.
+fn respond(line: &str, engine: &Engine, decode: &NetDecoder) -> (String, bool) {
+    let fields = match parse_request(line) {
+        Ok(f) => f,
+        Err(e) => return (error_json(&format!("bad request: {e}")), false),
+    };
+    let get = |k: &str| {
+        fields
+            .iter()
+            .find(|(key, _)| key == k)
+            .map(|(_, v)| v.as_str())
+    };
+    let cmd = get("cmd").unwrap_or("optimize");
+    match cmd {
+        "optimize" => match get("net") {
+            None => (error_json("optimize request needs a \"net\" field"), false),
+            Some(net_text) => {
+                let id = get("id").unwrap_or("net");
+                let input = decode(id, net_text);
+                let key = engine.key_for(id, net_text);
+                let served = engine.optimize(Job {
+                    input,
+                    cache_key: Some(key),
+                });
+                // Splice the serving provenance into the record object.
+                let mut json = served.outcome.to_json();
+                let closed = json.pop();
+                debug_assert_eq!(closed, Some('}'));
+                json.push_str(&format!(
+                    ",\"cache\":\"{}\",\"worker\":{}}}",
+                    served.cache.as_str(),
+                    served.worker
+                ));
+                (json, false)
+            }
+        },
+        "stats" => (engine.metrics_snapshot().to_json(), false),
+        "shutdown" => ("{\"ok\":\"shutdown\"}".to_string(), true),
+        other => (error_json(&format!("unknown cmd {other:?}")), false),
+    }
+}
+
+fn error_json(msg: &str) -> String {
+    let mut s = String::from("{\"error\":");
+    push_json_str(&mut s, msg);
+    s.push('}');
+    s
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one request line: a flat JSON object whose values are strings.
+/// Returns the key/value pairs in document order. This is deliberately
+/// the whole grammar the protocol needs — nested objects, arrays, and
+/// non-string values are rejected with a descriptive error.
+fn parse_request(line: &str) -> Result<Vec<(String, String)>, String> {
+    let mut chars = line.chars().peekable();
+    let mut out = Vec::new();
+    skip_ws(&mut chars);
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return finish(chars, out);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        if chars.peek() != Some(&'"') {
+            return Err(format!("value of {key:?} must be a JSON string"));
+        }
+        let value = parse_string(&mut chars)?;
+        out.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => return finish(chars, out),
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+}
+
+fn finish(
+    mut rest: std::iter::Peekable<std::str::Chars<'_>>,
+    out: Vec<(String, String)>,
+) -> Result<Vec<(String, String)>, String> {
+    skip_ws(&mut rest);
+    match rest.next() {
+        None => Ok(out),
+        Some(c) => Err(format!("trailing content after object: {c:?}")),
+    }
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some(c) if c == want => Ok(()),
+        other => Err(format!("expected {want:?}, got {other:?}")),
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('b') => out.push('\u{0008}'),
+                Some('f') => out.push('\u{000c}'),
+                Some('u') => out.push(parse_unicode_escape(chars)?),
+                other => return Err(format!("bad escape \\{other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+fn hex4(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<u32, String> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        let c = chars.next().ok_or("truncated \\u escape")?;
+        v = v * 16
+            + c.to_digit(16)
+                .ok_or_else(|| format!("bad hex digit {c:?}"))?;
+    }
+    Ok(v)
+}
+
+fn parse_unicode_escape(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<char, String> {
+    let hi = hex4(chars)?;
+    if (0xD800..0xDC00).contains(&hi) {
+        // High surrogate: a \uXXXX low surrogate must follow.
+        if chars.next() != Some('\\') || chars.next() != Some('u') {
+            return Err("high surrogate without a low surrogate".to_string());
+        }
+        let lo = hex4(chars)?;
+        if !(0xDC00..0xE000).contains(&lo) {
+            return Err(format!("invalid low surrogate {lo:04x}"));
+        }
+        let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+        char::from_u32(cp).ok_or_else(|| format!("invalid code point {cp:x}"))
+    } else {
+        char::from_u32(hi).ok_or_else(|| format!("invalid code point {hi:x}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_string_objects() {
+        let f = parse_request(r#" {"cmd":"stats"} "#).expect("parses");
+        assert_eq!(f, vec![("cmd".to_string(), "stats".to_string())]);
+        let f = parse_request(r#"{"id":"a","net":"line1\nline2\t\"x\""}"#).expect("parses");
+        assert_eq!(f[0], ("id".to_string(), "a".to_string()));
+        assert_eq!(f[1].1, "line1\nline2\t\"x\"");
+        assert!(parse_request("{}").expect("empty object").is_empty());
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let f = parse_request(r#"{"k":"µm 😀"}"#).expect("parses");
+        assert_eq!(f[0].1, "µm 😀");
+    }
+
+    #[test]
+    fn rejects_everything_else() {
+        for bad in [
+            "",
+            "stats",
+            "[1]",
+            r#"{"k":1}"#,
+            r#"{"k":["a"]}"#,
+            r#"{"k":{"x":"y"}}"#,
+            r#"{"k":"v"} trailing"#,
+            r#"{"k":"unterminated"#,
+            r#"{"k":"\ud800 lonely"}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn error_json_escapes() {
+        assert_eq!(
+            error_json("a \"b\"\nc"),
+            r#"{"error":"a \"b\"\nc"}"#.to_string()
+        );
+    }
+}

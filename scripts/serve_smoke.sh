@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Smoke-test the `buffopt-cli serve` newline-JSON TCP service: start it on
+# an OS-assigned port, drive a healthy request, a cache hit, a malformed
+# request, and a stats query, then shut it down and check the exit code.
+#
+# usage: scripts/serve_smoke.sh [path-to-buffopt-cli]
+set -euo pipefail
+
+CLI="${1:-target/release/buffopt-cli}"
+if [[ ! -x "$CLI" ]]; then
+    echo "error: $CLI is not an executable (build it or pass a path)" >&2
+    exit 1
+fi
+
+workdir="$(mktemp -d)"
+server_out="$workdir/server.stdout"
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+"$CLI" serve --listen 127.0.0.1:0 --jobs 2 >"$server_out" &
+server_pid=$!
+
+# The first stdout line is `listening on HOST:PORT`.
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(head -n1 "$server_out" 2>/dev/null | sed -n 's/^listening on //p')"
+    [[ -n "$addr" ]] && break
+    kill -0 "$server_pid" 2>/dev/null || { echo "server died early" >&2; exit 1; }
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "server never announced its address" >&2; exit 1; }
+echo "server at $addr"
+
+python3 - "$addr" <<'PY'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+sock = socket.create_connection((host, int(port)), timeout=10)
+io = sock.makefile("rw", encoding="utf-8", newline="\n")
+
+def request(line):
+    io.write(line + "\n")
+    io.flush()
+    return io.readline().strip()
+
+net = "net smoke\ndriver 150 2e-11\nwire source s 40 1.25e-13 500\nsink s 1.5e-14 5e-10 0.8\n"
+
+first = json.loads(request(json.dumps({"id": "smoke", "net": net})))
+assert first["outcome"] == "optimized", first
+assert first["cache"] == "miss", first
+
+second = json.loads(request(json.dumps({"id": "smoke", "net": net})))
+assert second["cache"] == "hit", second
+assert second["net"] == first["net"] and second["buffers"] == first["buffers"], second
+
+bad = json.loads(request("this is not json"))
+assert "error" in bad, bad
+
+broken = json.loads(request(json.dumps({"id": "broken", "net": "driver 100 zero"})))
+assert broken["outcome"] == "parse_error", broken
+
+stats = json.loads(request(json.dumps({"cmd": "stats"})))
+assert stats["requests"] == 3, stats
+assert stats["cache"]["hits"] == 1, stats
+assert stats["workers"] == 2, stats
+
+ack = json.loads(request(json.dumps({"cmd": "shutdown"})))
+assert ack == {"ok": "shutdown"}, ack
+print("smoke requests all answered correctly")
+PY
+
+wait "$server_pid"
+status=$?
+if [[ "$status" -ne 0 ]]; then
+    echo "server exited with $status" >&2
+    exit 1
+fi
+trap 'rm -rf "$workdir"' EXIT
+echo "serve smoke test passed"
