@@ -6,10 +6,13 @@
 //!             [--lib ibm|single] [--polarity] [--conservative] [--verify]
 //!             [--dump] [--time-limit-ms N] [--max-candidates N]
 //!             [--max-tree-nodes N]
-//! buffopt-cli --batch DIR [--jobs N] [--segment UM] [--lib ibm|single]
-//!             [--polarity] [--conservative] [--time-limit-ms N]
-//!             [--max-candidates N] [--max-tree-nodes N]
+//! buffopt-cli --batch DIR [--jobs N] [--journal FILE | --resume FILE]
+//!             [--segment UM] [--lib ibm|single] [--polarity]
+//!             [--conservative] [--time-limit-ms N] [--max-candidates N]
+//!             [--max-tree-nodes N]
 //! buffopt-cli serve [--listen ADDR] [--jobs N] [--cache N]
+//!             [--queue-depth N] [--deadline-ms N] [--max-retries N]
+//!             [--read-timeout-ms N] [--max-line-bytes N]
 //!             [shared flags as above]
 //! ```
 //!
@@ -32,13 +35,30 @@
 //!   machine's available parallelism). Records are emitted in input order
 //!   with identical content whatever `N` is (only measured `wall_ms`
 //!   timings vary, exactly as they do between two serial runs);
+//! * `--journal FILE` — checkpoint each completed record to `FILE` with
+//!   an fsync'd append, keyed by a content digest of the net. A batch
+//!   killed mid-run loses at most the record being written;
+//! * `--resume FILE` — load the journal from an interrupted run, skip
+//!   every net whose content is already checkpointed (splicing the
+//!   journaled record lines into the output verbatim), compute the rest,
+//!   and keep appending to the same journal. The final JSONL output is
+//!   byte-identical to what the uninterrupted run would have produced
+//!   (modulo each record's measured `wall_ms`);
 //! * `serve` — long-running newline-JSON TCP service over the same
 //!   pipeline: one `{"id":...,"net":...}` request line per net, one
 //!   record line per response (plus `cache` and `worker` fields), with
 //!   `{"cmd":"stats"}` and `{"cmd":"shutdown"}` commands. Prints
 //!   `listening on ADDR` once ready; `--listen` defaults to
 //!   `127.0.0.1:0` (an OS-assigned port), `--cache` sets the solution
-//!   cache capacity in records (0 disables; default 1024);
+//!   cache capacity in records (0 disables; default 1024).
+//!   Overload and hardening knobs: `--queue-depth N` is the admission
+//!   high-watermark (requests beyond it get `{"error":"overloaded"}`;
+//!   default 2×jobs), `--deadline-ms N` arms a per-request deadline at
+//!   admission (`{"error":"deadline_exceeded"}`; default off),
+//!   `--max-retries N` bounds retries of requests whose worker died
+//!   (default 1), `--read-timeout-ms N` closes connections idle past the
+//!   limit (default 120000; 0 disables), and `--max-line-bytes N` caps
+//!   the request-line length (default 1 MiB);
 //! * `--time-limit-ms` / `--max-candidates` / `--max-tree-nodes` —
 //!   per-net resource budget (unlimited when omitted). The clock starts
 //!   when a net is dequeued by a worker, not while it waits in line.
@@ -57,8 +77,11 @@ use buffopt::{algorithm2, audit, Assignment, CoreError, RunBudget};
 use buffopt_buffers::{catalog, BufferLibrary};
 use buffopt_netlist::parse;
 use buffopt_noise::NoiseScenario;
-use buffopt_pipeline::{NetInput, PipelineConfig};
-use buffopt_server::{default_jobs, serve, Engine, EngineOptions, Job, NetDecoder};
+use buffopt_pipeline::journal::{self, BatchJournal};
+use buffopt_pipeline::{BatchSummary, NetInput, Outcome, PipelineConfig};
+use buffopt_server::{
+    default_jobs, serve_with, Engine, EngineOptions, Job, NetDecoder, ServeOptions,
+};
 use buffopt_sim::referee::{self, RefereeOptions};
 use buffopt_tree::{segment, RoutingTree};
 
@@ -70,10 +93,17 @@ const EXIT_USAGE: u8 = 3;
 struct Args {
     file: Option<String>,
     batch: Option<String>,
+    journal: Option<String>,
+    resume: Option<String>,
     serve: bool,
     listen: String,
     jobs: Option<usize>,
     cache: usize,
+    queue_depth: usize,
+    deadline_ms: Option<u64>,
+    max_retries: u32,
+    read_timeout_ms: Option<u64>,
+    max_line_bytes: usize,
     segment: f64,
     mode: Mode,
     library: BufferLibrary,
@@ -115,7 +145,21 @@ impl Args {
         EngineOptions {
             jobs: self.jobs.unwrap_or_else(default_jobs),
             cache_capacity: self.cache,
+            queue_depth: self.queue_depth,
+            request_deadline: self.deadline_ms.map(Duration::from_millis),
+            max_retries: self.max_retries,
             ..EngineOptions::default()
+        }
+    }
+
+    fn serve_options(&self) -> ServeOptions {
+        ServeOptions {
+            read_timeout: match self.read_timeout_ms {
+                Some(0) => None,
+                Some(ms) => Some(Duration::from_millis(ms)),
+                None => ServeOptions::default().read_timeout,
+            },
+            max_line_bytes: self.max_line_bytes,
         }
     }
 }
@@ -133,9 +177,11 @@ fn usage() -> String {
     "usage: buffopt-cli NET_FILE [--segment UM] [--mode p2|p3|cost|noise|greedy] \
      [--lib ibm|single] [--polarity] [--conservative] [--verify] [--dump] \
      [--time-limit-ms N] [--max-candidates N] [--max-tree-nodes N]\n\
-     \x20      buffopt-cli --batch DIR [--jobs N] [shared flags as above]\n\
+     \x20      buffopt-cli --batch DIR [--jobs N] [--journal FILE | --resume FILE] \
+     [shared flags as above]\n\
      \x20      buffopt-cli serve [--listen ADDR] [--jobs N] [--cache N] \
-     [shared flags as above]"
+     [--queue-depth N] [--deadline-ms N] [--max-retries N] [--read-timeout-ms N] \
+     [--max-line-bytes N] [shared flags as above]"
         .to_string()
 }
 
@@ -143,10 +189,17 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         file: None,
         batch: None,
+        journal: None,
+        resume: None,
         serve: false,
         listen: "127.0.0.1:0".to_string(),
         jobs: None,
         cache: 1024,
+        queue_depth: 0,
+        deadline_ms: None,
+        max_retries: 1,
+        read_timeout_ms: None,
+        max_line_bytes: 1 << 20,
         segment: 500.0,
         mode: Mode::P3,
         library: catalog::ibm_like(),
@@ -203,6 +256,41 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or_else(usage)?;
                 args.cache = v.parse().map_err(|_| format!("bad --cache {v:?}"))?;
             }
+            "--journal" => {
+                args.journal = Some(it.next().ok_or_else(usage)?);
+            }
+            "--resume" => {
+                args.resume = Some(it.next().ok_or_else(usage)?);
+            }
+            "--queue-depth" => {
+                let v = it.next().ok_or_else(usage)?;
+                args.queue_depth = v.parse().map_err(|_| format!("bad --queue-depth {v:?}"))?;
+            }
+            "--deadline-ms" => {
+                let v = it.next().ok_or_else(usage)?;
+                args.deadline_ms = Some(v.parse().map_err(|_| format!("bad --deadline-ms {v:?}"))?);
+            }
+            "--max-retries" => {
+                let v = it.next().ok_or_else(usage)?;
+                args.max_retries = v.parse().map_err(|_| format!("bad --max-retries {v:?}"))?;
+            }
+            "--read-timeout-ms" => {
+                let v = it.next().ok_or_else(usage)?;
+                args.read_timeout_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --read-timeout-ms {v:?}"))?,
+                );
+            }
+            "--max-line-bytes" => {
+                let v = it.next().ok_or_else(usage)?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --max-line-bytes {v:?}"))?;
+                if n == 0 {
+                    return Err("--max-line-bytes must be at least 1".to_string());
+                }
+                args.max_line_bytes = n;
+            }
             "--time-limit-ms" => {
                 let v = it.next().ok_or_else(usage)?;
                 args.time_limit_ms = Some(
@@ -246,6 +334,12 @@ fn parse_args() -> Result<Args, String> {
             "serve, --batch, and NET_FILE are exclusive\n{}",
             usage()
         ));
+    }
+    if (args.journal.is_some() || args.resume.is_some()) && args.batch.is_none() {
+        return Err("--journal/--resume only apply to --batch".to_string());
+    }
+    if args.journal.is_some() && args.resume.is_some() {
+        return Err("--journal and --resume are exclusive (--resume keeps journaling)".to_string());
     }
     Ok(args)
 }
@@ -339,48 +433,143 @@ fn run_batch_mode(args: &Args, dir: &str) -> ExitCode {
     }
 
     let engine = Engine::new(args.pipeline_config(), args.engine_options());
-    let jobs: Vec<Job> = paths
-        .iter()
-        .map(|p| {
-            let name = p
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_else(|| p.display().to_string());
-            match std::fs::read_to_string(p) {
-                Err(e) => Job {
-                    input: NetInput::Failed {
-                        name,
-                        error: format!("cannot read: {e}"),
-                    },
-                    cache_key: None,
-                },
-                Ok(text) => Job {
-                    cache_key: Some(engine.key_for(&name, &text)),
-                    input: match parse(&text) {
-                        Ok(net) => NetInput::Parsed {
-                            name: net.name.clone().unwrap_or(name),
-                            tree: net.tree,
-                            scenario: net.scenario,
-                        },
-                        Err(e) => NetInput::Failed {
-                            name,
-                            error: e.to_string(),
-                        },
-                    },
-                },
-            }
-        })
-        .collect();
 
-    let report = engine.run_jobs(jobs);
-    print!("{}", report.to_jsonl());
-    eprintln!(
-        "{} in {:.1} s ({} workers)",
-        report.summary(),
-        report.wall.as_secs_f64(),
-        engine.jobs()
-    );
-    ExitCode::from(report.exit_code().clamp(0, 255) as u8)
+    // Checkpoints from an interrupted run: content key → record line.
+    let checkpointed = match &args.resume {
+        None => std::collections::HashMap::new(),
+        Some(path) => match journal::load(std::path::Path::new(path)) {
+            Ok(map) => map,
+            Err(e) => {
+                eprintln!("cannot load journal {path}: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+    };
+    // `--journal FILE` starts a fresh journal; `--resume FILE` keeps
+    // appending to the one it loaded.
+    let journal_path = args.journal.as_ref().or(args.resume.as_ref());
+    if args.journal.is_some() {
+        if let Some(path) = journal_path {
+            // Truncate a stale journal from an unrelated earlier run.
+            if let Err(e) = std::fs::write(path, "") {
+                eprintln!("cannot create journal {path}: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    let mut journal = match journal_path {
+        None => None,
+        Some(path) => match BatchJournal::open(std::path::Path::new(path)) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("cannot open journal {path}: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+    };
+
+    // Per net, either the journaled record line (spliced into the output
+    // verbatim, so a resumed run is byte-identical to an uninterrupted
+    // one) or a job to compute.
+    let n = paths.len();
+    let mut spliced: Vec<Option<String>> = (0..n).map(|_| None).collect();
+    let mut fresh: Vec<Job> = Vec::new();
+    let mut fresh_keys: Vec<Option<u64>> = Vec::new();
+    for (idx, p) in paths.iter().enumerate() {
+        let name = p
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.display().to_string());
+        let job = match std::fs::read_to_string(p) {
+            Err(e) => Job {
+                input: NetInput::Failed {
+                    name,
+                    error: format!("cannot read: {e}"),
+                },
+                cache_key: None,
+            },
+            Ok(text) => Job {
+                cache_key: Some(engine.key_for(&name, &text)),
+                input: match parse(&text) {
+                    Ok(net) => NetInput::Parsed {
+                        name: net.name.clone().unwrap_or(name),
+                        tree: net.tree,
+                        scenario: net.scenario,
+                    },
+                    Err(e) => NetInput::Failed {
+                        name,
+                        error: e.to_string(),
+                    },
+                },
+            },
+        };
+        match job.cache_key.and_then(|k| checkpointed.get(&k)) {
+            Some(line) => {
+                spliced[idx] = Some(line.clone());
+            }
+            None => {
+                fresh_keys.push(job.cache_key);
+                fresh.push(job);
+            }
+        }
+    }
+    let resumed = n - fresh.len();
+
+    // Checkpoint each record the moment it completes; a crash between
+    // appends loses only the records not yet journaled. Journal I/O
+    // errors degrade to an un-checkpointed run, not a failed batch.
+    let mut journal_err: Option<std::io::Error> = None;
+    let report = engine.run_jobs_with(fresh, |idx, record| {
+        if journal_err.is_none() {
+            if let (Some(j), Some(key)) = (journal.as_mut(), fresh_keys[idx]) {
+                if let Err(e) = j.append(key, &record.to_json()) {
+                    journal_err = Some(e);
+                }
+            }
+        }
+    });
+    if let Some(e) = journal_err {
+        eprintln!("warning: journaling stopped: {e}");
+    }
+
+    // Reassemble in input order: journaled lines verbatim, fresh records
+    // serialized, and one shared summary over both.
+    let mut out = String::new();
+    let mut summary = BatchSummary::default();
+    let mut fresh_records = report.outcomes.into_iter();
+    for slot in spliced {
+        let line = match slot {
+            Some(line) => line,
+            None => fresh_records
+                .next()
+                .expect("one record per non-journaled net")
+                .to_json(),
+        };
+        match journal::classify(&line) {
+            Some((outcome, buffers)) => summary.count(outcome, buffers),
+            None => summary.count(Outcome::Failed, 0),
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    print!("{out}");
+    if resumed > 0 {
+        eprintln!(
+            "{} in {:.1} s ({} workers; {} resumed from journal)",
+            summary,
+            report.wall.as_secs_f64(),
+            engine.jobs(),
+            resumed
+        );
+    } else {
+        eprintln!(
+            "{} in {:.1} s ({} workers)",
+            summary,
+            report.wall.as_secs_f64(),
+            engine.jobs()
+        );
+    }
+    ExitCode::from(summary.exit_code().clamp(0, 255) as u8)
 }
 
 fn net_decoder() -> NetDecoder {
@@ -419,7 +608,7 @@ fn run_serve_mode(args: &Args) -> ExitCode {
         }
     }
     eprintln!("{} workers, cache capacity {}", engine.jobs(), args.cache);
-    match serve(listener, engine, net_decoder()) {
+    match serve_with(listener, engine, net_decoder(), args.serve_options()) {
         Ok(()) => ExitCode::from(EXIT_OK),
         Err(e) => {
             eprintln!("serve failed: {e}");

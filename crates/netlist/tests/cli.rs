@@ -360,6 +360,170 @@ fn zero_jobs_is_rejected() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
 }
 
+/// A journal path in the temp dir, removed on drop.
+fn journal_path(tag: &str) -> tempfile_like::TempPath {
+    let p = std::env::temp_dir().join(format!(
+        "buffopt-cli-journal-{}-{tag}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    tempfile_like::TempPath(p)
+}
+
+#[test]
+fn interrupted_batch_resumes_byte_identical_modulo_wall_times() {
+    let d = tempfile_like::dir(&[
+        ("a.net", CLEAN_NET),
+        ("b.net", VIOLATING_NET),
+        ("c.net", &CLEAN_NET.replace("net t2", "net t2c")),
+        ("d.net", &VIOLATING_NET.replace("net t1", "net t1d")),
+    ]);
+    let dir = d.0.to_str().expect("utf8 path");
+    let journal = journal_path("resume");
+    let jpath = journal.0.to_str().expect("utf8 path");
+
+    // The uninterrupted reference run, journaling as it goes.
+    let full = cli()
+        .args(["--batch", dir, "--jobs", "2", "--journal", jpath])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        full.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&full.stderr)
+    );
+    let full_stdout = String::from_utf8_lossy(&full.stdout).into_owned();
+    assert_eq!(full_stdout.lines().count(), 4);
+
+    // Simulate a crash after two completed records: truncate the journal
+    // to its first two lines (fsync-per-append guarantees the prefix is
+    // exactly what a killed process would leave, modulo a torn tail).
+    let lines: Vec<String> = std::fs::read_to_string(&journal.0)
+        .expect("journal readable")
+        .lines()
+        .map(String::from)
+        .collect();
+    assert_eq!(lines.len(), 4, "one journal line per completed net");
+    std::fs::write(&journal.0, format!("{}\n{}\n", lines[0], lines[1])).expect("truncate");
+
+    let resumed = cli()
+        .args(["--batch", dir, "--jobs", "2", "--resume", jpath])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let resumed_stdout = String::from_utf8_lossy(&resumed.stdout).into_owned();
+    assert_eq!(
+        normalize_wall(&resumed_stdout),
+        normalize_wall(&full_stdout),
+        "resume reproduces the uninterrupted output modulo wall times"
+    );
+    // The two checkpointed records are spliced verbatim — byte-identical
+    // including their measured wall times.
+    for line in &lines[..2] {
+        let record = line.split_once(' ').expect("key-prefixed").1;
+        assert!(
+            resumed_stdout.lines().any(|l| l == record),
+            "journaled record not spliced verbatim: {record}"
+        );
+    }
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(stderr.contains("2 resumed from journal"), "{stderr}");
+
+    // The resumed run kept journaling: the journal is whole again and a
+    // second resume recomputes nothing.
+    let again = cli()
+        .args(["--batch", dir, "--resume", jpath])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&again.stderr);
+    assert!(stderr.contains("4 resumed from journal"), "{stderr}");
+    assert_eq!(
+        normalize_wall(&String::from_utf8_lossy(&again.stdout)),
+        normalize_wall(&full_stdout)
+    );
+}
+
+#[test]
+fn resume_recomputes_nets_whose_content_changed() {
+    let d = tempfile_like::dir(&[("a.net", CLEAN_NET), ("b.net", VIOLATING_NET)]);
+    let dir = d.0.to_str().expect("utf8 path");
+    let journal = journal_path("changed");
+    let jpath = journal.0.to_str().expect("utf8 path");
+
+    let first = cli()
+        .args(["--batch", dir, "--journal", jpath])
+        .output()
+        .expect("binary runs");
+    assert_eq!(first.status.code(), Some(0));
+
+    // Keys are content digests: editing a net invalidates its checkpoint.
+    std::fs::write(
+        d.0.join("b.net"),
+        VIOLATING_NET.replace("400 3e-11", "410 3e-11"),
+    )
+    .expect("edit net");
+    let resumed = cli()
+        .args(["--batch", dir, "--resume", jpath])
+        .output()
+        .expect("binary runs");
+    assert_eq!(resumed.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("1 resumed from journal"),
+        "only the untouched net is skipped: {stderr}"
+    );
+}
+
+#[test]
+fn journal_flags_are_validated() {
+    let f = write_net(CLEAN_NET);
+    let single = cli()
+        .arg(&f.0)
+        .args(["--journal", "/tmp/never.log"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(single.status.code(), Some(3));
+    assert!(
+        String::from_utf8_lossy(&single.stderr).contains("--batch"),
+        "journal requires batch mode"
+    );
+
+    let both = cli()
+        .args(["--batch", "/tmp"])
+        .args(["--journal", "/tmp/a.log", "--resume", "/tmp/b.log"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(both.status.code(), Some(3));
+    assert!(
+        String::from_utf8_lossy(&both.stderr).contains("exclusive"),
+        "journal and resume are exclusive"
+    );
+}
+
+#[test]
+fn resume_rejects_a_foreign_journal() {
+    let d = tempfile_like::dir(&[("a.net", CLEAN_NET)]);
+    let journal = journal_path("foreign");
+    std::fs::write(&journal.0, "this is not a journal\n").expect("write");
+    let out = cli()
+        .args(["--batch", d.0.to_str().expect("utf8 path")])
+        .args(["--resume", journal.0.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cannot load journal"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
 #[test]
 fn serve_answers_optimize_stats_and_shutdown() {
     use std::io::{BufRead, BufReader, Read};

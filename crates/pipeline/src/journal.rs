@@ -1,0 +1,230 @@
+//! Crash-safe batch checkpoint journal.
+//!
+//! A batch run appends one line per *completed* net — `<key-hex> <record
+//! JSON>` — and fsyncs after each append, so a killed process loses at
+//! most the record being written when the power went out. A resumed run
+//! loads the journal, skips every net whose content key is present, and
+//! splices the journaled record lines into the final output **verbatim**,
+//! so the resumed output is byte-identical to what the interrupted run
+//! would have produced (each record's measured `wall_ms` is whatever the
+//! run that actually computed it measured, exactly as two uninterrupted
+//! runs differ from each other).
+//!
+//! Keys are content digests (the same `(config, name, net text)` digest
+//! the solution cache uses), not file names or indices — so a resumed run
+//! recomputes a net whose *content* changed since the checkpoint, and a
+//! renamed-but-identical batch directory still hits its checkpoints.
+//!
+//! The loader tolerates a truncated final line (the signature of a crash
+//! mid-append): it is ignored and that net recomputed. Any other
+//! malformed line is reported as an error — a journal that does not look
+//! like ours should never be silently half-used.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::Outcome;
+
+/// An append-only, fsync-per-record checkpoint journal.
+pub struct BatchJournal {
+    file: File,
+}
+
+impl BatchJournal {
+    /// Opens (creating if absent) the journal at `path` for appending.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(BatchJournal { file })
+    }
+
+    /// Appends one completed record and fsyncs. `record_json` must be the
+    /// single-line JSON object emitted for the net (no newline).
+    pub fn append(&mut self, key: u64, record_json: &str) -> std::io::Result<()> {
+        debug_assert!(!record_json.contains('\n'), "records are single lines");
+        // One write call for the whole line: concurrent appenders aren't
+        // supported, but a crash can then only truncate the *last* line,
+        // which the loader tolerates.
+        let line = format!("{key:016x} {record_json}\n");
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+/// The journaled records of a previous (possibly interrupted) run:
+/// content key → the record line exactly as it was journaled.
+pub fn load(path: &Path) -> std::io::Result<HashMap<u64, String>> {
+    let mut text = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut text)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
+        Err(e) => return Err(e),
+    }
+    let mut map = HashMap::new();
+    let complete = match text.rfind('\n') {
+        Some(last) => &text[..=last],
+        // No newline at all: nothing but (at most) a truncated first
+        // line, i.e. an empty journal.
+        None => "",
+    };
+    // Anything after the last newline is a crashed append's partial
+    // line; it is simply not in `complete` and that net gets recomputed.
+    for (i, line) in complete.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = line.split_once(' ').and_then(|(hex, record)| {
+            let key = u64::from_str_radix(hex, 16).ok()?;
+            (hex.len() == 16 && record.starts_with('{') && record.ends_with('}'))
+                .then_some((key, record))
+        });
+        match parsed {
+            Some((key, record)) => {
+                map.insert(key, record.to_string());
+            }
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("journal line {} is not `<key16> {{record}}`", i + 1),
+                ));
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// Classifies a journaled record line without a full JSON parse:
+/// extracts the `"outcome"` token and the `"buffers"` count (0 when
+/// null/absent) so a resumed batch can fold spliced lines into the same
+/// summary and exit code a fresh run computes. Returns `None` when the
+/// line does not carry a recognizable outcome — the caller should treat
+/// that as `failed`.
+///
+/// The flat scan is safe against outcome-like text inside the record's
+/// string fields because our serializer always emits the outcome first,
+/// right after the net name, and net names escape their quotes.
+pub fn classify(record_json: &str) -> Option<(Outcome, usize)> {
+    let rest = record_json.split("\"outcome\":\"").nth(1)?;
+    let token = rest.split('"').next()?;
+    let outcome = [
+        Outcome::Optimized,
+        Outcome::Degraded,
+        Outcome::Infeasible,
+        Outcome::ParseError,
+        Outcome::Failed,
+    ]
+    .into_iter()
+    .find(|o| o.as_str() == token)?;
+    let buffers = record_json
+        .split("\"buffers\":")
+        .nth(1)
+        .and_then(|r| {
+            let digits: String = r.chars().take_while(|c| c.is_ascii_digit()).collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0);
+    Some((outcome, buffers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "buffopt-journal-{}-{tag}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn roundtrips_records_by_key() {
+        let p = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut j = BatchJournal::open(&p).expect("open");
+            j.append(7, r#"{"net":"a","outcome":"optimized"}"#)
+                .expect("append");
+            j.append(u64::MAX, r#"{"net":"b","outcome":"failed"}"#)
+                .expect("append");
+        }
+        let map = load(&p).expect("load");
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[&7], r#"{"net":"a","outcome":"optimized"}"#);
+        assert!(map[&u64::MAX].contains("\"b\""));
+        std::fs::remove_file(&p).expect("cleanup");
+    }
+
+    #[test]
+    fn missing_journal_is_empty_not_an_error() {
+        let p = temp_path("missing");
+        let _ = std::fs::remove_file(&p);
+        assert!(load(&p).expect("load").is_empty());
+    }
+
+    #[test]
+    fn truncated_final_line_is_ignored() {
+        let p = temp_path("truncated");
+        std::fs::write(
+            &p,
+            "0000000000000007 {\"net\":\"a\"}\n000000000000000a {\"net\":\"b\"",
+        )
+        .expect("write");
+        let map = load(&p).expect("load");
+        assert_eq!(map.len(), 1, "the crashed append is dropped");
+        assert!(map.contains_key(&7));
+        std::fs::remove_file(&p).expect("cleanup");
+    }
+
+    #[test]
+    fn foreign_content_is_rejected_loudly() {
+        let p = temp_path("foreign");
+        std::fs::write(&p, "this is not a journal\n").expect("write");
+        let err = load(&p).expect_err("rejects");
+        assert!(err.to_string().contains("journal line 1"), "{err}");
+        std::fs::remove_file(&p).expect("cleanup");
+    }
+
+    #[test]
+    fn classify_reads_outcome_and_buffers() {
+        let line = crate::optimize_input(
+            &crate::NetInput::Failed {
+                name: "n\"et".into(),
+                error: "bad".into(),
+            },
+            &crate::PipelineConfig::new(buffopt_buffers::BufferLibrary::new()),
+        )
+        .to_json();
+        assert_eq!(classify(&line), Some((Outcome::ParseError, 0)));
+        assert_eq!(
+            classify(r#"{"net":"a","outcome":"optimized","buffers":7}"#),
+            Some((Outcome::Optimized, 7))
+        );
+        assert_eq!(
+            classify(r#"{"net":"a","outcome":"degraded","buffers":null}"#),
+            Some((Outcome::Degraded, 0))
+        );
+        assert_eq!(classify("{\"net\":\"a\"}"), None, "no outcome token");
+        assert_eq!(classify(r#"{"outcome":"sideways"}"#), None, "unknown token");
+    }
+
+    #[test]
+    fn resumed_journal_keeps_appending() {
+        let p = temp_path("reopen");
+        let _ = std::fs::remove_file(&p);
+        {
+            let mut j = BatchJournal::open(&p).expect("open");
+            j.append(1, "{\"net\":\"a\"}").expect("append");
+        }
+        {
+            let mut j = BatchJournal::open(&p).expect("reopen");
+            j.append(2, "{\"net\":\"b\"}").expect("append");
+        }
+        assert_eq!(load(&p).expect("load").len(), 2);
+        std::fs::remove_file(&p).expect("cleanup");
+    }
+}

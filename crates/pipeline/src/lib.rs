@@ -30,6 +30,9 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
+pub mod journal;
+
 use std::panic::{self, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -348,19 +351,9 @@ pub struct BatchSummary {
 impl BatchReport {
     /// Aggregate counts.
     pub fn summary(&self) -> BatchSummary {
-        let mut s = BatchSummary {
-            total: self.outcomes.len(),
-            ..BatchSummary::default()
-        };
+        let mut s = BatchSummary::default();
         for o in &self.outcomes {
-            match o.outcome {
-                Outcome::Optimized => s.optimized += 1,
-                Outcome::Degraded => s.degraded += 1,
-                Outcome::Infeasible => s.infeasible += 1,
-                Outcome::ParseError => s.parse_errors += 1,
-                Outcome::Failed => s.failed += 1,
-            }
-            s.buffers += o.buffers.unwrap_or(0);
+            s.count(o.outcome, o.buffers.unwrap_or(0));
         }
         s
     }
@@ -378,12 +371,35 @@ impl BatchReport {
     /// The process exit code a batch driver should report: worst outcome
     /// wins — 3 parse/failure, 2 infeasible, 1 degraded, 0 all optimized.
     pub fn exit_code(&self) -> i32 {
-        let s = self.summary();
-        if s.parse_errors + s.failed > 0 {
+        self.summary().exit_code()
+    }
+}
+
+impl BatchSummary {
+    /// Folds one record's classification into the counts. Lets drivers
+    /// that assemble output from mixed sources (journaled lines spliced
+    /// next to freshly computed records) build the same aggregate a
+    /// [`BatchReport`] would.
+    pub fn count(&mut self, outcome: Outcome, buffers: usize) {
+        self.total += 1;
+        match outcome {
+            Outcome::Optimized => self.optimized += 1,
+            Outcome::Degraded => self.degraded += 1,
+            Outcome::Infeasible => self.infeasible += 1,
+            Outcome::ParseError => self.parse_errors += 1,
+            Outcome::Failed => self.failed += 1,
+        }
+        self.buffers += buffers;
+    }
+
+    /// The process exit code for these counts: worst outcome wins —
+    /// 3 parse/failure, 2 infeasible, 1 degraded, 0 all optimized.
+    pub fn exit_code(&self) -> i32 {
+        if self.parse_errors + self.failed > 0 {
             3
-        } else if s.infeasible > 0 {
+        } else if self.infeasible > 0 {
             2
-        } else if s.degraded > 0 {
+        } else if self.degraded > 0 {
             1
         } else {
             0

@@ -1,5 +1,6 @@
-//! The concurrent execution engine: a fixed-size worker pool fed through
-//! a bounded channel, fronted by the solution cache and the metrics.
+//! The concurrent execution engine: a supervised fixed-size worker pool
+//! fed through a bounded channel, fronted by the solution cache and the
+//! metrics, with admission control for interactive callers.
 //!
 //! # Determinism
 //!
@@ -12,23 +13,50 @@
 //! measured `wall_ms`, exactly as it already does between two serial
 //! runs.
 //!
-//! # Fault isolation
+//! # Supervision
 //!
-//! Per-net panics are already contained inside
-//! [`buffopt_pipeline::optimize_input`]; the worker wraps the whole call
-//! in one more `catch_unwind` so even a panic in the record-keeping path
-//! yields a `failed` record instead of a hung batch slot. The engine
-//! holds a [`hush_panics`] guard for its lifetime, so a panicking net in
-//! a parallel batch does not spray one backtrace per worker onto stderr.
+//! Per-net panics are contained inside the worker's panic boundary and
+//! become `failed` records. A worker that dies *outside* that boundary
+//! (a panic in the dequeue/bookkeeping path, or an injected
+//! [`FaultAction::KillWorker`]) is detected immediately: every dequeued
+//! task is held by a drop guard that, if the worker unwinds or exits
+//! without completing it, decrements the live-worker count and sends a
+//! "died" reply carrying the job back to the requester. The engine then
+//! joins the dead thread, spawns a replacement, counts the death and the
+//! respawn in the metrics, and retries the in-flight request up to
+//! [`EngineOptions::max_retries`] times before failing **only that
+//! request**. A completed record whose net name does not match the
+//! submitted job is treated the same way (a corrupt worker is a dead
+//! worker as far as the caller is concerned).
 //!
-//! [`hush_panics`]: buffopt_pipeline::hush_panics
+//! # Admission control
+//!
+//! The task queue is bounded. [`Engine::try_optimize`] — the TCP
+//! service's entry point — **sheds** instead of blocking when the queue
+//! is at its high-watermark ([`Rejection::Overloaded`]), arms the
+//! per-request deadline at admission (queue wait counts against it),
+//! gives up with [`Rejection::DeadlineExceeded`] when the deadline
+//! passes, and refuses new work with [`Rejection::ShuttingDown`] once
+//! [`Engine::begin_shutdown`] has been called. When a request times out
+//! while a worker is still grinding on it, the engine spawns a surplus
+//! replacement so the stalled slot does not shrink the pool; the stalled
+//! worker retires itself once it finishes and finds its reply abandoned.
+//! Workers additionally drop queued tasks whose deadline expired while
+//! waiting ("stale"), so an overloaded queue drains at memcpy speed
+//! instead of computing answers nobody is waiting for. Blocking callers
+//! ([`Engine::optimize`], [`Engine::run_jobs`]) feel backpressure
+//! instead of shedding and carry no deadline.
+//!
+//! [`FaultAction::KillWorker`]: buffopt_pipeline::fault::FaultAction::KillWorker
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use buffopt_pipeline::fault::{FaultAction, FaultPlan, Seam};
 use buffopt_pipeline::{
     hush_panics, optimize_input, BatchReport, NetInput, NetOutcome, Outcome, PanicHush,
     PipelineConfig,
@@ -79,6 +107,31 @@ pub struct Served {
     pub worker: usize,
 }
 
+/// Why an interactive request was refused without a record. Each variant
+/// maps to one structured `{"error":...}` response of the TCP service
+/// and one admission counter in the metrics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejection {
+    /// The queue is at its high-watermark; retry later.
+    Overloaded,
+    /// The per-request deadline passed before a worker finished.
+    DeadlineExceeded,
+    /// [`Engine::begin_shutdown`] was called; no new work is admitted.
+    ShuttingDown,
+}
+
+impl Rejection {
+    /// Stable lowercase identifier used in service error responses and
+    /// the metrics snapshot.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rejection::Overloaded => "overloaded",
+            Rejection::DeadlineExceeded => "deadline_exceeded",
+            Rejection::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
 /// Engine construction knobs.
 #[derive(Debug, Clone)]
 pub struct EngineOptions {
@@ -88,6 +141,19 @@ pub struct EngineOptions {
     pub cache_capacity: usize,
     /// Cache shards (lock granularity).
     pub cache_shards: usize,
+    /// Queue high-watermark for [`Engine::try_optimize`] admission;
+    /// 0 means `2 × jobs` (the default backpressure depth).
+    pub queue_depth: usize,
+    /// Per-request deadline for [`Engine::try_optimize`], armed at
+    /// admission (queue wait counts); `None` disables it. Distinct from
+    /// the pipeline's per-net compute budget, which arms at dequeue.
+    pub request_deadline: Option<Duration>,
+    /// How many times a request whose worker died (or returned a record
+    /// for the wrong net) is retried before it fails.
+    pub max_retries: u32,
+    /// Deterministic fault-injection plan for chaos tests; `None` in
+    /// production.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for EngineOptions {
@@ -96,6 +162,10 @@ impl Default for EngineOptions {
             jobs: default_jobs(),
             cache_capacity: 1024,
             cache_shards: 8,
+            queue_depth: 0,
+            request_deadline: None,
+            max_retries: 1,
+            fault_plan: None,
         }
     }
 }
@@ -109,28 +179,145 @@ pub fn default_jobs() -> usize {
 
 struct Task {
     idx: usize,
+    attempt: u32,
     job: Job,
+    deadline: Option<Instant>,
     reply: mpsc::Sender<Done>,
 }
 
 struct Done {
     idx: usize,
-    cache_key: Option<u64>,
-    outcome: NetOutcome,
+    attempt: u32,
+    /// The job travels back with the reply so a retry never clones the
+    /// input tree.
+    job: Job,
+    /// `None` means the worker died before producing a record (or
+    /// dropped the task as stale).
+    outcome: Option<NetOutcome>,
+    /// The task's deadline had already passed when a worker dequeued it;
+    /// it was dropped unstarted.
+    stale: bool,
     worker: usize,
 }
 
+/// State shared by every worker thread and the engine's supervisor.
+struct WorkerShared {
+    rx: Mutex<mpsc::Receiver<Task>>,
+    cfg: Arc<PipelineConfig>,
+    plan: Option<Arc<FaultPlan>>,
+    /// Worker threads alive right now — incremented when a thread is
+    /// promised (at spawn), decremented by the death guard and by
+    /// surplus retirement, so supervisors never over-spawn.
+    live: AtomicUsize,
+    /// Outstanding stalled-slot replacements: incremented when a
+    /// deadline expiry spawns an extra worker, consumed when a worker
+    /// retires to shrink the pool back to target strength.
+    surplus: AtomicUsize,
+    /// Nominal pool size.
+    target: usize,
+}
+
+impl WorkerShared {
+    /// Consumes one surplus credit if any is outstanding; the calling
+    /// worker retires on `true`.
+    fn try_retire(&self) -> bool {
+        let won = self
+            .surplus
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |s| s.checked_sub(1))
+            .is_ok();
+        if won {
+            self.live.fetch_sub(1, Ordering::SeqCst);
+        }
+        won
+    }
+}
+
+/// Holds a dequeued task and sends the "died" reply if the worker
+/// unwinds or exits without completing it — the supervisor's detection
+/// signal. The live count is decremented *before* that reply is sent,
+/// so by the time the engine reacts to a death the pool accounting
+/// already reflects it.
+struct TaskGuard<'a> {
+    shared: &'a WorkerShared,
+    reply: mpsc::Sender<Done>,
+    payload: Option<(usize, u32, Job)>,
+    worker: usize,
+}
+
+impl TaskGuard<'_> {
+    fn input_name(&self) -> String {
+        self.payload
+            .as_ref()
+            .map(|(_, _, job)| job.input.name().to_string())
+            .unwrap_or_default()
+    }
+
+    /// Sends the completed (or stale-dropped) reply; returns whether the
+    /// requester was still listening.
+    fn complete(&mut self, outcome: Option<NetOutcome>, stale: bool) -> bool {
+        match self.payload.take() {
+            Some((idx, attempt, job)) => self
+                .reply
+                .send(Done {
+                    idx,
+                    attempt,
+                    job,
+                    outcome,
+                    stale,
+                    worker: self.worker,
+                })
+                .is_ok(),
+            None => true,
+        }
+    }
+}
+
+impl Drop for TaskGuard<'_> {
+    fn drop(&mut self) {
+        if self.payload.is_some() {
+            // Dying with the task in hand: account the death first, then
+            // signal it, so the supervisor's respawn math is never early.
+            self.shared.live.fetch_sub(1, Ordering::SeqCst);
+            let _ = self.complete(None, false);
+        }
+    }
+}
+
+/// What the engine decided about one worker reply.
+//
+// `Final` dwarfs `Retried`, but a `Triage` lives only for the match
+// immediately after triage returns — boxing the outcome would cost an
+// allocation per request to shrink a value that never outlives a frame.
+#[allow(clippy::large_enum_variant)]
+enum Triage {
+    /// The task was resubmitted; wait for another reply.
+    Retried,
+    /// The record (possibly a synthesized failure) is final.
+    Final {
+        idx: usize,
+        outcome: NetOutcome,
+        cache_key: Option<u64>,
+        worker: usize,
+    },
+}
+
 /// The worker-pool execution engine. Create once, submit batches
-/// ([`Engine::run_jobs`]) or single requests ([`Engine::optimize`]) from
-/// any number of threads; drop to shut the pool down.
+/// ([`Engine::run_jobs`]) or single requests ([`Engine::optimize`] /
+/// [`Engine::try_optimize`]) from any number of threads; drop to shut
+/// the pool down.
 pub struct Engine {
     tx: Mutex<Option<SyncSender<Task>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    shared: Arc<WorkerShared>,
     cfg: Arc<PipelineConfig>,
     cfg_digest: u64,
     cache: SolutionCache,
     metrics: Metrics,
     jobs: usize,
+    max_retries: u32,
+    request_deadline: Option<Duration>,
+    shutting_down: AtomicBool,
+    next_worker_id: AtomicUsize,
     _hush: PanicHush,
 }
 
@@ -139,46 +326,89 @@ impl Engine {
     /// configuration every net will run under.
     pub fn new(cfg: PipelineConfig, opts: EngineOptions) -> Self {
         let jobs = opts.jobs.max(1);
+        let queue_depth = if opts.queue_depth == 0 {
+            jobs * 2
+        } else {
+            opts.queue_depth
+        };
         let cfg = Arc::new(cfg);
         // The config fingerprint folds the library, budget, and every
         // optimizer flag into the cache key, so two engines with
         // different configs never alias records. `Debug` output is
         // stable within a process, which is all an in-memory cache needs.
         let cfg_digest = digest(&[format!("{cfg:?}").as_bytes()]);
-        // Bounded queue: submitters block once the pool is saturated
-        // instead of buffering an unbounded batch in channel memory.
-        let (tx, rx) = mpsc::sync_channel::<Task>(jobs * 2);
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..jobs)
-            .map(|wid| {
-                let rx = Arc::clone(&rx);
-                let cfg = Arc::clone(&cfg);
-                std::thread::Builder::new()
-                    .name(format!("buffopt-worker-{wid}"))
-                    .spawn(move || worker_loop(wid, &rx, &cfg))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-        Engine {
+        // Bounded queue: submitters block (or shed, for try_optimize)
+        // once the pool is saturated instead of buffering an unbounded
+        // batch in channel memory.
+        let (tx, rx) = mpsc::sync_channel::<Task>(queue_depth);
+        let shared = Arc::new(WorkerShared {
+            rx: Mutex::new(rx),
+            cfg: Arc::clone(&cfg),
+            plan: opts.fault_plan,
+            live: AtomicUsize::new(0),
+            surplus: AtomicUsize::new(0),
+            target: jobs,
+        });
+        let engine = Engine {
             tx: Mutex::new(Some(tx)),
-            workers: Mutex::new(workers),
+            workers: Mutex::new(Vec::with_capacity(jobs)),
+            shared,
             cfg,
             cfg_digest,
             cache: SolutionCache::new(opts.cache_capacity, opts.cache_shards),
             metrics: Metrics::default(),
             jobs,
+            max_retries: opts.max_retries,
+            request_deadline: opts.request_deadline,
+            shutting_down: AtomicBool::new(false),
+            next_worker_id: AtomicUsize::new(0),
             _hush: hush_panics(),
+        };
+        {
+            let mut workers = engine.workers.lock().unwrap_or_else(|e| e.into_inner());
+            for _ in 0..jobs {
+                let handle = engine.spawn_worker();
+                workers.push(handle);
+            }
         }
+        engine
     }
 
-    /// Worker threads in the pool.
+    fn spawn_worker(&self) -> JoinHandle<()> {
+        let wid = self.next_worker_id.fetch_add(1, Ordering::SeqCst);
+        let shared = Arc::clone(&self.shared);
+        // Count the worker as live from the moment it is promised, so
+        // concurrent supervisors never over-spawn.
+        shared.live.fetch_add(1, Ordering::SeqCst);
+        std::thread::Builder::new()
+            .name(format!("buffopt-worker-{wid}"))
+            .spawn(move || worker_loop(wid, &shared))
+            .expect("spawn worker thread")
+    }
+
+    /// Worker threads the pool targets (its nominal size).
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Worker threads alive right now (may briefly exceed
+    /// [`Engine::jobs`] while a stalled worker's surplus replacement is
+    /// active).
+    pub fn live_workers(&self) -> usize {
+        self.shared.live.load(Ordering::SeqCst)
     }
 
     /// The configuration every net runs under.
     pub fn config(&self) -> &PipelineConfig {
         &self.cfg
+    }
+
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    pub(crate) fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.shared.plan.as_deref()
     }
 
     /// The cache key for a net identified by `name` with raw content
@@ -198,40 +428,243 @@ impl Engine {
         self.metrics.snapshot(self.cache.stats(), self.jobs)
     }
 
-    fn sender(&self) -> SyncSender<Task> {
-        self.tx
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .clone()
-            .expect("engine is running")
+    /// Stops admitting new requests: every subsequent
+    /// [`Engine::try_optimize`] returns [`Rejection::ShuttingDown`].
+    /// Work already admitted (queued or in flight) still completes —
+    /// dropping the engine joins the workers after the queue drains.
+    pub fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
     }
 
-    /// Serves one request: cache lookup, then (on a miss) a round trip
-    /// through the worker pool, then cache fill. Blocks until the record
-    /// is ready. Callable concurrently from any number of threads.
+    /// Whether [`Engine::begin_shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    fn sender(&self) -> Option<SyncSender<Task>> {
+        self.tx.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Reaps dead worker threads and spawns replacements until the pool
+    /// is back at target strength. Called whenever a death is detected;
+    /// idempotent and safe to call concurrently.
+    fn supervise(&self) {
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        let mut i = 0;
+        while i < workers.len() {
+            if workers[i].is_finished() {
+                let _ = workers.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        // The death guard decrements `live` before signalling, so this
+        // count already reflects the death being reacted to.
+        while self.shared.live.load(Ordering::SeqCst) < self.jobs {
+            workers.push(self.spawn_worker());
+            self.metrics.record_respawn();
+        }
+    }
+
+    /// Restores pool capacity around a stalled worker: one surplus
+    /// credit plus one extra thread. The stalled worker retires itself
+    /// against the credit when it eventually finishes.
+    fn add_surplus_worker(&self) {
+        self.shared.surplus.fetch_add(1, Ordering::SeqCst);
+        self.metrics.record_respawn();
+        let handle = self.spawn_worker();
+        self.workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+    }
+
+    /// Serves one request with admission control: cache lookup, then a
+    /// shed-don't-block submit, then a deadline-bounded wait, with
+    /// supervised retries if the worker dies. This is the TCP service's
+    /// entry point.
+    pub fn try_optimize(&self, job: Job) -> Result<Served, Rejection> {
+        self.serve_one(job, true)
+    }
+
+    /// Serves one request, blocking for queue space and without a
+    /// request deadline (for in-process callers that prefer backpressure
+    /// over shedding). Worker-death supervision and retries still apply;
+    /// the only rejection left — submitting during shutdown — surfaces
+    /// as a `failed` record.
     pub fn optimize(&self, job: Job) -> Served {
+        let name = job.input.name().to_string();
+        match self.serve_one(job, false) {
+            Ok(served) => served,
+            Err(r) => Served {
+                outcome: failed_record(name, &format!("engine is {}", r.as_str())),
+                cache: CacheStatus::Miss,
+                worker: 0,
+            },
+        }
+    }
+
+    fn serve_one(&self, job: Job, shed: bool) -> Result<Served, Rejection> {
+        if self.is_shutting_down() {
+            self.metrics.record_rejection(Rejection::ShuttingDown);
+            return Err(Rejection::ShuttingDown);
+        }
         self.metrics.record_request();
         if let Some(key) = job.cache_key {
             if let Some((outcome, worker)) = self.cache.get(key) {
-                return Served {
+                return Ok(Served {
                     outcome,
                     cache: CacheStatus::Hit,
                     worker,
-                };
+                });
             }
         }
+        let Some(tx) = self.sender() else {
+            self.metrics.record_rejection(Rejection::ShuttingDown);
+            return Err(Rejection::ShuttingDown);
+        };
         let (reply, inbox) = mpsc::channel();
-        self.sender()
-            .send(Task { idx: 0, job, reply })
-            .expect("worker pool alive");
-        let done = inbox.recv().expect("worker replies");
-        self.metrics.record_outcome(&done.outcome);
-        if let Some(key) = done.cache_key {
-            self.cache.insert(key, done.outcome.clone(), done.worker);
+        // The deadline arms here — at admission — so time spent queued
+        // behind other requests counts against it.
+        let deadline = if shed {
+            self.request_deadline.map(|d| Instant::now() + d)
+        } else {
+            None
+        };
+        let task = Task {
+            idx: 0,
+            attempt: 0,
+            job,
+            deadline,
+            reply: reply.clone(),
+        };
+        if shed {
+            match tx.try_send(task) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    self.metrics.record_rejection(Rejection::Overloaded);
+                    return Err(Rejection::Overloaded);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.metrics.record_rejection(Rejection::ShuttingDown);
+                    return Err(Rejection::ShuttingDown);
+                }
+            }
+        } else if tx.send(task).is_err() {
+            self.metrics.record_rejection(Rejection::ShuttingDown);
+            return Err(Rejection::ShuttingDown);
         }
-        Served {
-            outcome: done.outcome,
-            cache: CacheStatus::Miss,
+        loop {
+            let received = match deadline {
+                Some(d) => inbox.recv_timeout(d.saturating_duration_since(Instant::now())),
+                None => inbox.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            };
+            let done = match received {
+                Ok(done) => done,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.metrics.record_rejection(Rejection::DeadlineExceeded);
+                    // A worker is (or will be) stalled on this request
+                    // past its deadline; restore pool capacity around it.
+                    self.add_surplus_worker();
+                    return Err(Rejection::DeadlineExceeded);
+                }
+                // `reply` is alive in this scope, so a disconnect cannot
+                // happen; treat it like a timeout for robustness.
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.metrics.record_rejection(Rejection::DeadlineExceeded);
+                    return Err(Rejection::DeadlineExceeded);
+                }
+            };
+            if done.stale {
+                // A worker dropped the task unstarted because its
+                // deadline passed while it sat in the queue.
+                self.metrics.record_stale_drop();
+                self.metrics.record_rejection(Rejection::DeadlineExceeded);
+                return Err(Rejection::DeadlineExceeded);
+            }
+            match self.triage(done, deadline, &reply, &tx) {
+                Triage::Retried => continue,
+                Triage::Final {
+                    outcome,
+                    cache_key,
+                    worker,
+                    ..
+                } => {
+                    self.metrics.record_outcome(&outcome);
+                    if let Some(key) = cache_key {
+                        self.cache.insert(key, outcome.clone(), worker);
+                    }
+                    return Ok(Served {
+                        outcome,
+                        cache: CacheStatus::Miss,
+                        worker,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Decides what to do with one worker reply: accept the record,
+    /// retry after a death or a wrong-net record, or give up and fail
+    /// just this request.
+    fn triage(
+        &self,
+        done: Done,
+        deadline: Option<Instant>,
+        reply: &mpsc::Sender<Done>,
+        tx: &SyncSender<Task>,
+    ) -> Triage {
+        let failure = match &done.outcome {
+            None => {
+                self.metrics.record_worker_death();
+                self.supervise();
+                Some("worker died while holding the request")
+            }
+            Some(outcome) if outcome.name != done.job.input.name() => {
+                // Integrity check: a record for the wrong net means the
+                // worker (or an injected fault) corrupted its output.
+                self.metrics.record_bad_output();
+                Some("worker returned a record for the wrong net")
+            }
+            Some(_) => None,
+        };
+        let Some(failure) = failure else {
+            return Triage::Final {
+                idx: done.idx,
+                outcome: done.outcome.expect("present when no failure"),
+                cache_key: done.job.cache_key,
+                worker: done.worker,
+            };
+        };
+        let name = done.job.input.name().to_string();
+        if done.attempt < self.max_retries {
+            self.metrics.record_retry();
+            let resubmit = Task {
+                idx: done.idx,
+                attempt: done.attempt + 1,
+                job: done.job,
+                deadline,
+                reply: reply.clone(),
+            };
+            if tx.send(resubmit).is_ok() {
+                return Triage::Retried;
+            }
+            // The queue closed under us (shutdown); fall through to a
+            // failure record.
+            return Triage::Final {
+                idx: done.idx,
+                outcome: failed_record(name, "engine shut down while retrying the request"),
+                cache_key: None,
+                worker: done.worker,
+            };
+        }
+        let attempts = done.attempt + 1;
+        Triage::Final {
+            idx: done.idx,
+            outcome: failed_record(name, &format!("{failure} ({attempts} attempts)")),
+            // Never cache a synthesized failure: the next request for
+            // this net deserves a fresh computation.
+            cache_key: None,
             worker: done.worker,
         }
     }
@@ -241,6 +674,18 @@ impl Engine {
     /// out. The report is the same type the serial pipeline produces, so
     /// summaries and exit codes are unchanged.
     pub fn run_jobs(&self, jobs: Vec<Job>) -> BatchReport {
+        self.run_jobs_with(jobs, |_, _| {})
+    }
+
+    /// [`Engine::run_jobs`], invoking `on_done(idx, record)` the moment
+    /// each record is final (in completion order, not input order; cache
+    /// hits fire inline during submission). Batch drivers use the
+    /// callback to checkpoint completed records before the run finishes.
+    pub fn run_jobs_with(
+        &self,
+        jobs: Vec<Job>,
+        mut on_done: impl FnMut(usize, &NetOutcome),
+    ) -> BatchReport {
         let start = Instant::now();
         let n = jobs.len();
         let mut results: Vec<Option<NetOutcome>> = (0..n).map(|_| None).collect();
@@ -251,48 +696,72 @@ impl Engine {
             self.metrics.record_request();
             if let Some(key) = job.cache_key {
                 if let Some((outcome, _)) = self.cache.get(key) {
+                    on_done(idx, &outcome);
                     results[idx] = Some(outcome);
                     continue;
                 }
             }
             queue.push(Task {
                 idx,
+                attempt: 0,
                 job,
+                deadline: None,
                 reply: reply.clone(),
             });
         }
-        drop(reply);
         let pending = queue.len();
-        // Feed from a separate thread: the bounded queue gives
-        // backpressure, so the feeder blocks while this thread drains
-        // replies — no deadlock however large the batch.
-        let tx = self.sender();
-        let feeder = std::thread::spawn(move || {
-            for task in queue {
-                if tx.send(task).is_err() {
-                    break;
-                }
-            }
-        });
-        for _ in 0..pending {
-            match inbox.recv() {
-                Ok(done) => {
-                    self.metrics.record_outcome(&done.outcome);
-                    if let Some(key) = done.cache_key {
-                        self.cache.insert(key, done.outcome.clone(), done.worker);
+        if pending > 0 {
+            if let Some(tx) = self.sender() {
+                // Feed from a separate thread: the bounded queue gives
+                // backpressure, so the feeder blocks while this thread
+                // drains replies — no deadlock however large the batch.
+                let feeder_tx = tx.clone();
+                let feeder = std::thread::spawn(move || {
+                    for task in queue {
+                        if feeder_tx.send(task).is_err() {
+                            break;
+                        }
                     }
-                    results[done.idx] = Some(done.outcome);
+                });
+                let mut completed = 0usize;
+                while completed < pending {
+                    // `reply` is alive in this scope, so the channel
+                    // cannot disconnect while work is outstanding.
+                    let Ok(done) = inbox.recv() else { break };
+                    // Batch tasks carry no deadline, so stale drops
+                    // cannot happen here.
+                    match self.triage(done, None, &reply, &tx) {
+                        Triage::Retried => continue,
+                        Triage::Final {
+                            idx,
+                            outcome,
+                            cache_key,
+                            worker,
+                        } => {
+                            self.metrics.record_outcome(&outcome);
+                            if let Some(key) = cache_key {
+                                self.cache.insert(key, outcome.clone(), worker);
+                            }
+                            on_done(idx, &outcome);
+                            results[idx] = Some(outcome);
+                            completed += 1;
+                        }
+                    }
                 }
-                Err(_) => break, // pool died; missing slots filled below
+                feeder.join().expect("feeder thread");
             }
         }
-        feeder.join().expect("feeder thread");
         let outcomes = results
             .iter_mut()
             .enumerate()
             .map(|(idx, slot)| {
                 slot.take().unwrap_or_else(|| {
-                    failed_record(std::mem::take(&mut names[idx]), "worker pool died")
+                    let rec = failed_record(
+                        std::mem::take(&mut names[idx]),
+                        "engine shut down before this net was computed",
+                    );
+                    on_done(idx, &rec);
+                    rec
                 })
             })
             .collect();
@@ -329,29 +798,105 @@ fn failed_record(name: String, why: &str) -> NetOutcome {
     o
 }
 
-fn worker_loop(wid: usize, rx: &Arc<Mutex<Receiver<Task>>>, cfg: &Arc<PipelineConfig>) {
+fn worker_loop(wid: usize, shared: &WorkerShared) {
     loop {
+        // Bleed off surplus capacity: if a stalled worker's replacement
+        // outlived the stall, whichever worker reaches this check first
+        // retires (threads are fungible).
+        if shared.live.load(Ordering::SeqCst) > shared.target && shared.try_retire() {
+            return;
+        }
         // Hold the receiver lock only while dequeuing; contention here is
         // negligible next to per-net optimization time.
-        let task = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+        let task = match shared.rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
             Ok(t) => t,
             Err(_) => return, // engine dropped the sender: shut down
         };
-        let name = task.job.input.name().to_string();
-        // `optimize_input` contains per-rung panic boundaries already;
-        // this outer guard turns even a bookkeeping panic into a record,
-        // so the batch collector never waits on a dead slot.
-        let outcome =
-            panic::catch_unwind(AssertUnwindSafe(|| optimize_input(&task.job.input, cfg)))
-                .unwrap_or_else(|_| {
-                    failed_record(name, "worker panicked outside the net boundary")
-                });
-        let _ = task.reply.send(Done {
-            idx: task.idx,
-            cache_key: task.job.cache_key,
-            outcome,
+        let deadline = task.deadline;
+        let mut guard = TaskGuard {
+            shared,
+            reply: task.reply,
+            payload: Some((task.idx, task.attempt, task.job)),
             worker: wid,
-        });
+        };
+        // Drop tasks whose deadline expired while queued: the requester
+        // is gone (or about to be), so computing would only stall the
+        // pool for nobody.
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            if !guard.complete(None, true) && shared.try_retire() {
+                return;
+            }
+            continue;
+        }
+        // Worker-seam faults fire OUTSIDE the panic boundary: they model
+        // defects in the worker machinery itself, which is exactly what
+        // the supervisor exists to repair.
+        let mut corrupt_output = false;
+        match shared.plan.as_deref().and_then(|p| p.fire(Seam::Worker)) {
+            Some(FaultAction::Panic) => panic!("injected worker panic"),
+            // Exiting with the task in hand: the guard's drop reports
+            // the death.
+            Some(FaultAction::KillWorker) => return,
+            Some(FaultAction::StallMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+            Some(FaultAction::WrongOutput) => corrupt_output = true,
+            Some(FaultAction::IoError) => {
+                let name = guard.input_name();
+                let delivered = guard.complete(
+                    Some(failed_record(name, "injected worker I/O error")),
+                    false,
+                );
+                if !delivered && shared.try_retire() {
+                    return;
+                }
+                continue;
+            }
+            None => {}
+        }
+        let mut outcome = {
+            let (_, _, job) = guard.payload.as_ref().expect("task in hand");
+            let input = &job.input;
+            // Optimize-seam faults fire INSIDE the panic boundary: they
+            // model defects in per-net computation, which must stay
+            // contained to one record.
+            let fault = shared.plan.as_deref().and_then(|p| p.fire(Seam::Optimize));
+            // `optimize_input` contains per-rung panic boundaries
+            // already; this outer guard turns even a bookkeeping panic
+            // into a record, so the collector never waits on a dead slot.
+            panic::catch_unwind(AssertUnwindSafe(|| match fault {
+                Some(FaultAction::Panic) | Some(FaultAction::KillWorker) => {
+                    panic!("injected optimizer panic")
+                }
+                Some(FaultAction::IoError) => failed_record(
+                    input.name().to_string(),
+                    "injected I/O error while optimizing",
+                ),
+                Some(FaultAction::StallMs(ms)) => {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    optimize_input(input, &shared.cfg)
+                }
+                Some(FaultAction::WrongOutput) => {
+                    let mut r = optimize_input(input, &shared.cfg);
+                    r.name = format!("__fault__{}", r.name);
+                    r
+                }
+                None => optimize_input(input, &shared.cfg),
+            }))
+            .unwrap_or_else(|_| {
+                failed_record(
+                    input.name().to_string(),
+                    "worker panicked outside the net boundary",
+                )
+            })
+        };
+        if corrupt_output {
+            outcome.name = format!("__fault__{}", outcome.name);
+        }
+        let delivered = guard.complete(Some(outcome), false);
+        if !delivered && shared.try_retire() {
+            // The requester abandoned this reply (a deadline expiry
+            // spawned a replacement); shrink the pool back to target.
+            return;
+        }
     }
 }
 
@@ -405,5 +950,27 @@ mod tests {
         let report = e.run_jobs(Vec::new());
         assert!(report.outcomes.is_empty());
         assert_eq!(e.metrics_snapshot().requests, 0);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests() {
+        let e = Engine::new(
+            PipelineConfig::new(buffopt_buffers::catalog::single_buffer()),
+            EngineOptions {
+                jobs: 1,
+                ..EngineOptions::default()
+            },
+        );
+        e.begin_shutdown();
+        let r = e.try_optimize(Job {
+            input: NetInput::Failed {
+                name: "n".into(),
+                error: "x".into(),
+            },
+            cache_key: None,
+        });
+        assert_eq!(r.unwrap_err(), Rejection::ShuttingDown);
+        let snap = e.metrics_snapshot();
+        assert_eq!(snap.rejections[2], 1, "shutdown rejection counted");
     }
 }

@@ -7,10 +7,14 @@
 //! external runtime — `std::thread` and bounded `std::sync::mpsc`
 //! channels only:
 //!
-//! * [`Engine`] — a fixed-size worker pool that fans batches of
-//!   [`NetInput`]s out to workers and reassembles the per-net records in
-//!   **deterministic input order**, so `--jobs N` output is
-//!   indistinguishable from serial output (modulo wall-clock timings);
+//! * [`Engine`] — a supervised fixed-size worker pool that fans batches
+//!   of [`NetInput`]s out to workers and reassembles the per-net records
+//!   in **deterministic input order**, so `--jobs N` output is
+//!   indistinguishable from serial output (modulo wall-clock timings).
+//!   The pool detects workers that die outside their panic boundary,
+//!   respawns them, retries the orphaned request a bounded number of
+//!   times, and sheds load ([`Rejection`]) when the bounded queue hits
+//!   its high-watermark or a per-request deadline expires;
 //! * [`SolutionCache`] — a sharded LRU keyed by a content digest of
 //!   `(net, scenario, library, budget)`, serving repeated nets (ECO-style
 //!   re-runs) without re-optimizing, with hit/miss/eviction counters;
@@ -35,6 +39,6 @@ pub mod metrics;
 pub mod service;
 
 pub use cache::{digest, SolutionCache};
-pub use engine::{default_jobs, CacheStatus, Engine, EngineOptions, Job, Served};
+pub use engine::{default_jobs, CacheStatus, Engine, EngineOptions, Job, Rejection, Served};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use service::{serve, NetDecoder};
+pub use service::{serve, serve_with, NetDecoder, ServeOptions};

@@ -14,6 +14,22 @@ use std::time::Duration;
 use buffopt_pipeline::{NetOutcome, Outcome, Rung};
 
 use crate::cache::CacheStats;
+use crate::engine::Rejection;
+
+/// Admission-rejection counter order: `overloaded`,
+/// `deadline_exceeded`, `shutting_down`.
+pub const REJECTIONS: [Rejection; 3] = [
+    Rejection::Overloaded,
+    Rejection::DeadlineExceeded,
+    Rejection::ShuttingDown,
+];
+
+fn rejection_index(r: Rejection) -> usize {
+    REJECTIONS
+        .iter()
+        .position(|&x| x == r)
+        .expect("all rejections listed")
+}
 
 /// Upper bounds (inclusive, milliseconds) of the latency histogram
 /// buckets; a final unbounded bucket catches everything slower, so each
@@ -69,12 +85,56 @@ pub struct Metrics {
     requests: AtomicU64,
     outcomes: [AtomicU64; 5],
     rungs: [RungStats; 4],
+    rejections: [AtomicU64; 3],
+    worker_deaths: AtomicU64,
+    respawns: AtomicU64,
+    retries: AtomicU64,
+    stale_drops: AtomicU64,
+    bad_outputs: AtomicU64,
+    conn_errors: AtomicU64,
 }
 
 impl Metrics {
     /// Counts one incoming request (cache hits included).
     pub fn record_request(&self) {
         self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request refused by admission control.
+    pub fn record_rejection(&self, r: Rejection) {
+        self.rejections[rejection_index(r)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one worker thread that died outside its panic boundary.
+    pub fn record_worker_death(&self) {
+        self.worker_deaths.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one replacement worker spawned by the supervisor.
+    pub fn record_respawn(&self) {
+        self.respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one bounded retry of a request whose worker died.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one queued task dropped unstarted because its deadline
+    /// expired while waiting.
+    pub fn record_stale_drop(&self) {
+        self.stale_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one record rejected by the output integrity check.
+    pub fn record_bad_output(&self) {
+        self.bad_outputs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection terminated for a protocol violation
+    /// (oversized request line, read timeout, or unreadable stream).
+    pub fn record_conn_error(&self) {
+        self.conn_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a freshly computed record: its outcome, the rung that
@@ -100,6 +160,13 @@ impl Metrics {
                 served: self.rungs[i].served.load(Ordering::Relaxed),
                 latency: std::array::from_fn(|b| self.rungs[i].latency[b].load(Ordering::Relaxed)),
             }),
+            rejections: std::array::from_fn(|i| self.rejections[i].load(Ordering::Relaxed)),
+            worker_deaths: self.worker_deaths.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            stale_drops: self.stale_drops.load(Ordering::Relaxed),
+            bad_outputs: self.bad_outputs.load(Ordering::Relaxed),
+            conn_errors: self.conn_errors.load(Ordering::Relaxed),
             cache,
             workers,
         }
@@ -125,6 +192,21 @@ pub struct MetricsSnapshot {
     pub outcomes: [u64; 5],
     /// Per-rung counters, ladder order.
     pub rungs: [RungSnapshot; 4],
+    /// Requests refused by admission control, [`REJECTIONS`] order.
+    pub rejections: [u64; 3],
+    /// Worker threads that died outside their panic boundary.
+    pub worker_deaths: u64,
+    /// Replacement workers spawned (deaths repaired + stalled slots
+    /// backfilled).
+    pub respawns: u64,
+    /// Bounded retries of requests whose worker died.
+    pub retries: u64,
+    /// Queued tasks dropped unstarted after their deadline expired.
+    pub stale_drops: u64,
+    /// Records rejected by the output integrity check.
+    pub bad_outputs: u64,
+    /// Connections terminated for protocol violations.
+    pub conn_errors: u64,
     /// Cache counters at snapshot time.
     pub cache: CacheStats,
     /// Worker threads in the pool.
@@ -146,6 +228,22 @@ impl MetricsSnapshot {
             self.cache.evictions,
             self.cache.entries,
             self.cache.capacity
+        ));
+        s.push_str(",\"admission\":{");
+        for (i, r) in REJECTIONS.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", r.as_str(), self.rejections[i]));
+        }
+        s.push_str(&format!(",\"stale_drops\":{}}}", self.stale_drops));
+        s.push_str(&format!(
+            ",\"supervision\":{{\"worker_deaths\":{},\"respawns\":{},\"retries\":{},\"bad_outputs\":{}}}",
+            self.worker_deaths, self.respawns, self.retries, self.bad_outputs
+        ));
+        s.push_str(&format!(
+            ",\"connections\":{{\"errors\":{}}}",
+            self.conn_errors
         ));
         s.push_str(",\"outcomes\":{");
         for (i, o) in OUTCOMES.iter().enumerate() {
@@ -249,6 +347,9 @@ mod tests {
             "\"requests\":1",
             "\"workers\":2",
             "\"cache\":{\"hits\":1,\"misses\":2",
+            "\"admission\":{\"overloaded\":0,\"deadline_exceeded\":0,\"shutting_down\":0,\"stale_drops\":0}",
+            "\"supervision\":{\"worker_deaths\":0,\"respawns\":0,\"retries\":0,\"bad_outputs\":0}",
+            "\"connections\":{\"errors\":0}",
             "\"outcomes\":{\"optimized\":0",
             "\"latency_bounds_ms\":[1,3,10,30,100,300,1000,3000]",
             "\"rungs\":{\"problem3\":{\"served\":0,\"latency\":[0,0,0,0,0,0,0,0,0]}",
@@ -256,5 +357,30 @@ mod tests {
             assert!(j.contains(needle), "{needle} missing from {j}");
         }
         assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn supervision_and_admission_counters_accumulate() {
+        let m = Metrics::default();
+        m.record_rejection(Rejection::Overloaded);
+        m.record_rejection(Rejection::Overloaded);
+        m.record_rejection(Rejection::DeadlineExceeded);
+        m.record_worker_death();
+        m.record_respawn();
+        m.record_retry();
+        m.record_stale_drop();
+        m.record_bad_output();
+        m.record_conn_error();
+        let snap = m.snapshot(CacheStats::default(), 1);
+        assert_eq!(snap.rejections, [2, 1, 0]);
+        assert_eq!(snap.worker_deaths, 1);
+        assert_eq!(snap.respawns, 1);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.stale_drops, 1);
+        assert_eq!(snap.bad_outputs, 1);
+        assert_eq!(snap.conn_errors, 1);
+        let j = snap.to_json();
+        assert!(j.contains("\"admission\":{\"overloaded\":2"), "{j}");
+        assert!(j.contains("\"worker_deaths\":1"), "{j}");
     }
 }

@@ -12,13 +12,31 @@
 //!   fields: `"cache":"hit"|"miss"` and `"worker":<index>`.
 //! * `{"cmd":"stats"}` — the engine's [`MetricsSnapshot`] as JSON.
 //! * `{"cmd":"shutdown"}` — acknowledge with `{"ok":"shutdown"}` and
-//!   stop the accept loop (in-flight connections finish their current
-//!   request).
+//!   stop the accept loop. Shutdown *drains*: the engine stops admitting
+//!   new work first, every connection's read side is closed, in-flight
+//!   requests finish and their responses are written, and requests that
+//!   arrive during the drain get an explicit
+//!   `{"error":"shutting_down"}` instead of a silently dropped line.
 //!
 //! Malformed request lines get `{"error":"..."}` responses; a net that
 //! fails to *parse* is not a protocol error — it produces a regular
 //! `parse_error` record, so batch drivers see the same taxonomy the CLI
-//! emits.
+//! emits. Requests refused by admission control get
+//! `{"error":"overloaded"}` / `{"error":"deadline_exceeded"}` responses
+//! (see [`Rejection`]).
+//!
+//! # Hardening
+//!
+//! Connections are bounded in both dimensions ([`ServeOptions`]): a
+//! request line longer than `max_line_bytes` gets one structured error
+//! response and the connection is closed (a client cannot make the
+//! server buffer without limit), and a connection idle past
+//! `read_timeout` is closed the same way (a stalled client cannot pin a
+//! handler thread forever). Both terminations are counted in the metrics
+//! snapshot's `connections.errors`. A panic while serving a request —
+//! injected via the [`Seam::Decode`] fault hook or real — is contained
+//! to one `{"error":...}` response; the connection and the server
+//! survive.
 //!
 //! The service does not link the text-format parser (that would make the
 //! crate graph cyclic); callers inject a [`NetDecoder`] closure, which
@@ -26,11 +44,15 @@
 //!
 //! [`MetricsSnapshot`]: crate::metrics::MetricsSnapshot
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
 
+use buffopt_pipeline::fault::{FaultAction, Seam};
 use buffopt_pipeline::NetInput;
 
 use crate::engine::{Engine, Job};
@@ -39,27 +61,68 @@ use crate::engine::{Engine, Job};
 /// `Failed` record carrying the parser's message.
 pub type NetDecoder = Arc<dyn Fn(&str, &str) -> NetInput + Send + Sync>;
 
-/// Runs the accept loop until a `shutdown` command arrives. One thread
-/// per connection; every connection shares the engine's worker pool, so
-/// concurrency is bounded by the pool no matter how many clients attach.
+/// Per-connection hardening knobs for [`serve_with`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Close a connection that sends no complete request for this long;
+    /// `None` waits forever (not recommended outside tests).
+    pub read_timeout: Option<Duration>,
+    /// Maximum accepted request-line length in bytes; longer lines get
+    /// one structured error response and the connection is closed.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            read_timeout: Some(Duration::from_secs(120)),
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// [`serve_with`] under [`ServeOptions::default`].
 pub fn serve(
     listener: TcpListener,
     engine: Arc<Engine>,
     decode: NetDecoder,
 ) -> std::io::Result<()> {
+    serve_with(listener, engine, decode, ServeOptions::default())
+}
+
+/// Runs the accept loop until a `shutdown` command arrives, then drains:
+/// stops admission, wakes idle connections, and joins every handler so
+/// each in-flight response is written before this function returns. One
+/// thread per connection; every connection shares the engine's worker
+/// pool, so compute concurrency is bounded by the pool no matter how
+/// many clients attach.
+pub fn serve_with(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    decode: NetDecoder,
+    opts: ServeOptions,
+) -> std::io::Result<()> {
     let stop = Arc::new(AtomicBool::new(false));
     let addr = listener.local_addr()?;
+    // The acceptor is the sole owner of the connection registry: a clone
+    // of each stream (to close its read side at drain time) plus the
+    // handler's join handle.
+    let mut conns: Vec<(TcpStream, JoinHandle<()>)> = Vec::new();
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         match conn {
             Ok(stream) => {
+                // Finished connections need no drain bookkeeping.
+                conns.retain(|(_, h)| !h.is_finished());
+                let peer = stream.try_clone();
                 let engine = Arc::clone(&engine);
                 let decode = Arc::clone(&decode);
                 let stop = Arc::clone(&stop);
-                std::thread::spawn(move || {
-                    let shutdown = handle_connection(stream, &engine, &decode);
+                let opts = opts.clone();
+                let handle = std::thread::spawn(move || {
+                    let shutdown = handle_connection(stream, &engine, &decode, &opts);
                     if shutdown {
                         stop.store(true, Ordering::SeqCst);
                         // Wake the blocked accept() so the loop observes
@@ -67,41 +130,123 @@ pub fn serve(
                         let _ = TcpStream::connect(addr);
                     }
                 });
+                match peer {
+                    Ok(peer) => conns.push((peer, handle)),
+                    // Cannot reach this connection at drain time; let it
+                    // run detached (its reads still time out).
+                    Err(_) => drop(handle),
+                }
             }
             Err(_) if stop.load(Ordering::SeqCst) => break,
             Err(e) => return Err(e),
         }
     }
+    // Drain. Admission closes first, so a request racing the shutdown
+    // gets an explicit `shutting_down` error, not a dropped line; then
+    // the read sides close, waking handlers blocked in read() while
+    // leaving write sides open for in-flight responses; then every
+    // handler is joined so its last response reaches the wire.
+    engine.begin_shutdown();
+    for (stream, _) in &conns {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+    for (_, handle) in conns {
+        let _ = handle.join();
+    }
     Ok(())
+}
+
+fn write_line(writer: &mut BufWriter<TcpStream>, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
 }
 
 /// Serves one connection; returns true when the client asked for a
 /// server shutdown.
-fn handle_connection(stream: TcpStream, engine: &Engine, decode: &NetDecoder) -> bool {
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    decode: &NetDecoder,
+    opts: &ServeOptions,
+) -> bool {
+    let _ = stream.set_read_timeout(opts.read_timeout);
     let reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return false,
     };
+    let mut reader = reader;
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
+    let shutdown_requested = serve_lines(&mut reader, &mut writer, engine, decode, opts);
+    // The acceptor holds a clone of this stream for drain bookkeeping;
+    // shutting the socket down (not just dropping our handles) makes the
+    // close visible to the client *now* instead of at the next accept.
+    let _ = writer.flush();
+    let _ = writer.get_ref().shutdown(Shutdown::Both);
+    shutdown_requested
+}
+
+/// The connection's request/response loop; returns true when the client
+/// asked for a server shutdown.
+fn serve_lines(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    engine: &Engine,
+    decode: &NetDecoder,
+    opts: &ServeOptions,
+) -> bool {
+    loop {
+        let mut buf: Vec<u8> = Vec::new();
+        // The +1 makes an over-limit line distinguishable from one that
+        // is exactly at the limit.
+        let read = reader
+            .by_ref()
+            .take(opts.max_line_bytes as u64 + 1)
+            .read_until(b'\n', &mut buf);
+        match read {
+            Ok(0) => break, // client closed (or drain closed the read side)
+            Ok(_) => {
+                if !buf.ends_with(b"\n") && buf.len() > opts.max_line_bytes {
+                    engine.metrics().record_conn_error();
+                    let _ = write_line(
+                        writer,
+                        &error_json(&format!(
+                            "request line exceeds {} bytes; closing connection",
+                            opts.max_line_bytes
+                        )),
+                    );
+                    break;
+                }
+                let line = String::from_utf8_lossy(&buf);
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                // A panic while serving — injected at the decode seam or
+                // real — costs one error response, not the connection or
+                // the server.
+                let served =
+                    panic::catch_unwind(AssertUnwindSafe(|| respond(line, engine, decode)));
+                let (response, shutdown) = served.unwrap_or_else(|_| {
+                    engine.metrics().record_conn_error();
+                    (
+                        error_json("internal error while serving the request"),
+                        false,
+                    )
+                });
+                if write_line(writer, &response).is_err() {
+                    break;
+                }
+                if shutdown {
+                    return true;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                engine.metrics().record_conn_error();
+                let _ = write_line(writer, &error_json("read timed out; closing connection"));
+                break;
+            }
             Err(_) => break, // client gone
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, shutdown) = respond(&line, engine, decode);
-        if writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            break;
-        }
-        if shutdown {
-            return true;
         }
     }
     false
@@ -125,28 +270,61 @@ fn respond(line: &str, engine: &Engine, decode: &NetDecoder) -> (String, bool) {
             None => (error_json("optimize request needs a \"net\" field"), false),
             Some(net_text) => {
                 let id = get("id").unwrap_or("net");
-                let input = decode(id, net_text);
+                let mut input = decode(id, net_text);
+                // Decode-seam fault hook: models a defective decoder.
+                match engine.fault_plan().and_then(|p| p.fire(Seam::Decode)) {
+                    None => {}
+                    Some(FaultAction::Panic) | Some(FaultAction::KillWorker) => {
+                        panic!("injected decode panic")
+                    }
+                    Some(FaultAction::StallMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+                    Some(FaultAction::IoError) => {
+                        return (error_json("injected decode I/O error"), false)
+                    }
+                    Some(FaultAction::WrongOutput) => {
+                        input = NetInput::Failed {
+                            name: id.to_string(),
+                            error: "injected decode corruption".to_string(),
+                        }
+                    }
+                }
                 let key = engine.key_for(id, net_text);
-                let served = engine.optimize(Job {
+                match engine.try_optimize(Job {
                     input,
                     cache_key: Some(key),
-                });
-                // Splice the serving provenance into the record object.
-                let mut json = served.outcome.to_json();
-                let closed = json.pop();
-                debug_assert_eq!(closed, Some('}'));
-                json.push_str(&format!(
-                    ",\"cache\":\"{}\",\"worker\":{}}}",
-                    served.cache.as_str(),
-                    served.worker
-                ));
-                (json, false)
+                }) {
+                    Ok(served) => {
+                        // Splice the serving provenance into the record.
+                        let mut json = served.outcome.to_json();
+                        let closed = json.pop();
+                        debug_assert_eq!(closed, Some('}'));
+                        json.push_str(&format!(
+                            ",\"cache\":\"{}\",\"worker\":{}}}",
+                            served.cache.as_str(),
+                            served.worker
+                        ));
+                        (json, false)
+                    }
+                    Err(rejection) => (error_json(rejection.as_str()), false),
+                }
             }
         },
         "stats" => (engine.metrics_snapshot().to_json(), false),
-        "shutdown" => ("{\"ok\":\"shutdown\"}".to_string(), true),
+        "shutdown" => {
+            // Close admission before acknowledging, so requests racing
+            // the shutdown are refused explicitly from this moment on.
+            engine.begin_shutdown();
+            ("{\"ok\":\"shutdown\"}".to_string(), true)
+        }
         other => (error_json(&format!("unknown cmd {other:?}")), false),
     }
+}
+
+/// Test-only export of the request-line parser so the fuzz suite can
+/// drive it directly; not part of the crate's API.
+#[doc(hidden)]
+pub fn parse_request_line(line: &str) -> Result<Vec<(String, String)>, String> {
+    parse_request(line)
 }
 
 fn error_json(msg: &str) -> String {

@@ -1,0 +1,511 @@
+//! Chaos suite: deterministic fault injection against the serving
+//! stack's self-healing guarantees.
+//!
+//! Every test builds a small engine with a [`FaultPlan`] and asserts the
+//! blast radius the design promises: a killed worker costs a respawn and
+//! at most one request; an over-watermark burst is shed with explicit
+//! `overloaded` errors while admitted work completes; optimizer-seam
+//! faults stay inside one record; decode-seam faults cost one error line
+//! on one connection; shutdown drains in-flight requests instead of
+//! dropping them.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use buffopt_buffers::catalog;
+use buffopt_netlist::{parse, write as write_net, ParsedNet};
+use buffopt_pipeline::fault::{FaultAction, FaultPlan, Seam};
+use buffopt_pipeline::{NetInput, Outcome, PipelineConfig};
+use buffopt_server::{serve_with, Engine, EngineOptions, Job, NetDecoder, Rejection, ServeOptions};
+use buffopt_workload::{adversarial, WorkloadConfig};
+
+fn healthy(name: &str) -> NetInput {
+    let (tree, scenario) = adversarial::valid_net(&WorkloadConfig::default());
+    NetInput::Parsed {
+        name: name.to_string(),
+        tree,
+        scenario,
+    }
+}
+
+fn job(name: &str) -> Job {
+    Job {
+        input: healthy(name),
+        cache_key: None,
+    }
+}
+
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        max_tree_nodes: Some(70),
+        time_limit: Some(Duration::from_secs(60)),
+        ..PipelineConfig::new(catalog::ibm_like())
+    }
+}
+
+fn engine_with(plan: FaultPlan, opts: EngineOptions) -> (Engine, Arc<FaultPlan>) {
+    let plan = Arc::new(plan);
+    let engine = Engine::new(
+        pipeline_config(),
+        EngineOptions {
+            fault_plan: Some(Arc::clone(&plan)),
+            ..opts
+        },
+    );
+    (engine, plan)
+}
+
+/// Spins until `cond` holds, failing the test after a generous timeout.
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn killed_worker_is_respawned_and_the_request_retried_to_success() {
+    let (engine, _plan) = engine_with(
+        FaultPlan::new().on_nth(Seam::Worker, 1, FaultAction::KillWorker),
+        EngineOptions {
+            jobs: 2,
+            max_retries: 1,
+            ..EngineOptions::default()
+        },
+    );
+    let served = engine.optimize(job("kill-me"));
+    assert_eq!(served.outcome.name, "kill-me");
+    assert_eq!(
+        served.outcome.outcome,
+        Outcome::Optimized,
+        "the retry must succeed: {:?}",
+        served.outcome.error
+    );
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.worker_deaths, 1, "the death was detected");
+    assert_eq!(snap.retries, 1, "the orphaned request was retried once");
+    assert!(snap.respawns >= 1, "the supervisor repaired the pool");
+    wait_for("pool back at target strength", || {
+        engine.live_workers() == 2
+    });
+}
+
+#[test]
+fn injected_worker_panic_is_detected_like_a_death() {
+    let (engine, _plan) = engine_with(
+        FaultPlan::new().on_nth(Seam::Worker, 1, FaultAction::Panic),
+        EngineOptions {
+            jobs: 1,
+            max_retries: 1,
+            ..EngineOptions::default()
+        },
+    );
+    let served = engine.optimize(job("panic-me"));
+    assert_eq!(served.outcome.outcome, Outcome::Optimized);
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.worker_deaths, 1);
+    assert_eq!(snap.retries, 1);
+    wait_for("pool back at target strength", || {
+        engine.live_workers() == 1
+    });
+}
+
+#[test]
+fn worker_kill_fails_only_the_request_it_held() {
+    const NETS: usize = 6;
+    let (engine, _plan) = engine_with(
+        FaultPlan::new().on_nth(Seam::Worker, 3, FaultAction::KillWorker),
+        EngineOptions {
+            jobs: 2,
+            max_retries: 0, // no retry: the orphaned request must fail alone
+            ..EngineOptions::default()
+        },
+    );
+    let jobs = (0..NETS).map(|i| job(&format!("net{i}"))).collect();
+    let report = engine.run_jobs(jobs);
+
+    assert_eq!(report.outcomes.len(), NETS, "no record lost");
+    let failed: Vec<&str> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.outcome == Outcome::Failed)
+        .map(|o| o.name.as_str())
+        .collect();
+    assert_eq!(failed.len(), 1, "exactly one request died: {failed:?}");
+    let victim = report
+        .outcomes
+        .iter()
+        .find(|o| o.outcome == Outcome::Failed)
+        .expect("one failure");
+    assert!(
+        victim
+            .error
+            .as_deref()
+            .unwrap_or_default()
+            .contains("worker died while holding the request"),
+        "failure names the cause: {:?}",
+        victim.error
+    );
+    for o in report.outcomes.iter().filter(|o| o.name != victim.name) {
+        assert_eq!(o.outcome, Outcome::Optimized, "{} suffered", o.name);
+    }
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.worker_deaths, 1);
+    assert_eq!(snap.retries, 0);
+    assert!(snap.respawns >= 1);
+    wait_for("pool back at target strength", || {
+        engine.live_workers() == 2
+    });
+}
+
+#[test]
+fn optimizer_seam_faults_stay_inside_one_record() {
+    let (engine, _plan) = engine_with(
+        FaultPlan::new()
+            .on_nth(Seam::Optimize, 1, FaultAction::Panic)
+            .on_nth(Seam::Optimize, 2, FaultAction::IoError),
+        EngineOptions {
+            jobs: 1,
+            ..EngineOptions::default()
+        },
+    );
+    let panicked = engine.optimize(job("panics"));
+    assert_eq!(panicked.outcome.outcome, Outcome::Failed);
+    let io = engine.optimize(job("io-errors"));
+    assert_eq!(io.outcome.outcome, Outcome::Failed);
+    assert!(
+        io.outcome
+            .error
+            .as_deref()
+            .unwrap_or_default()
+            .contains("injected I/O error"),
+        "{:?}",
+        io.outcome.error
+    );
+    let clean = engine.optimize(job("clean"));
+    assert_eq!(clean.outcome.outcome, Outcome::Optimized);
+
+    // Contained faults never look like deaths: the pool was untouched.
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.worker_deaths, 0);
+    assert_eq!(snap.respawns, 0);
+    assert_eq!(snap.retries, 0);
+    assert_eq!(engine.live_workers(), 1);
+}
+
+#[test]
+fn wrong_output_is_caught_by_the_integrity_check_and_retried() {
+    let (engine, _plan) = engine_with(
+        FaultPlan::new().on_nth(Seam::Worker, 1, FaultAction::WrongOutput),
+        EngineOptions {
+            jobs: 1,
+            max_retries: 1,
+            ..EngineOptions::default()
+        },
+    );
+    let served = engine.optimize(job("verify-me"));
+    assert_eq!(served.outcome.name, "verify-me", "corrupt record rejected");
+    assert_eq!(served.outcome.outcome, Outcome::Optimized);
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.bad_outputs, 1);
+    assert_eq!(snap.retries, 1);
+    assert_eq!(snap.worker_deaths, 0, "corruption is not a thread death");
+}
+
+#[test]
+fn wrong_output_with_retries_exhausted_fails_the_request() {
+    let (engine, _plan) = engine_with(
+        FaultPlan::new().on_nth(Seam::Worker, 1, FaultAction::WrongOutput),
+        EngineOptions {
+            jobs: 1,
+            max_retries: 0,
+            ..EngineOptions::default()
+        },
+    );
+    let served = engine.optimize(job("doomed"));
+    assert_eq!(served.outcome.name, "doomed");
+    assert_eq!(served.outcome.outcome, Outcome::Failed);
+    assert!(
+        served
+            .outcome
+            .error
+            .as_deref()
+            .unwrap_or_default()
+            .contains("wrong net"),
+        "{:?}",
+        served.outcome.error
+    );
+    assert_eq!(engine.metrics_snapshot().bad_outputs, 1);
+}
+
+#[test]
+fn over_watermark_burst_is_shed_while_in_flight_completes() {
+    const BURST: usize = 4;
+    let (engine, plan) = engine_with(
+        // The first dequeued task stalls its worker long enough for the
+        // whole burst to arrive while the single queue slot is occupied.
+        FaultPlan::new().on_nth(Seam::Worker, 1, FaultAction::StallMs(1500)),
+        EngineOptions {
+            jobs: 1,
+            queue_depth: 1,
+            ..EngineOptions::default()
+        },
+    );
+    let engine = Arc::new(engine);
+
+    let in_flight = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || engine.try_optimize(job("in-flight")))
+    };
+    // The worker has dequeued the in-flight request (arming the seam)
+    // and is now stalled; the queue slot is free for exactly one more.
+    wait_for("the stalled worker to hold the first request", || {
+        plan.armed(Seam::Worker) >= 1
+    });
+
+    let burst: Vec<_> = (0..BURST)
+        .map(|i| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || engine.try_optimize(job(&format!("burst{i}"))))
+        })
+        .collect();
+    let results: Vec<Result<_, _>> = burst
+        .into_iter()
+        .map(|t| t.join().expect("burst thread"))
+        .collect();
+
+    let shed = results
+        .iter()
+        .filter(|r| matches!(r, Err(Rejection::Overloaded)))
+        .count();
+    let admitted = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(admitted, 1, "one burst request fit the queue: {results:?}");
+    assert_eq!(shed, BURST - 1, "the rest were shed: {results:?}");
+    for r in results.iter().flatten() {
+        assert_eq!(r.outcome.outcome, Outcome::Optimized);
+    }
+
+    let served = in_flight
+        .join()
+        .expect("in-flight thread")
+        .expect("in-flight request was admitted");
+    assert_eq!(
+        served.outcome.outcome,
+        Outcome::Optimized,
+        "shedding never touches admitted work"
+    );
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.rejections[0], (BURST - 1) as u64, "overloaded counted");
+    assert_eq!(snap.worker_deaths, 0);
+}
+
+#[test]
+fn deadline_expiry_sheds_the_request_and_the_pool_recovers() {
+    let (engine, _plan) = engine_with(
+        FaultPlan::new().on_nth(Seam::Worker, 1, FaultAction::StallMs(600)),
+        EngineOptions {
+            jobs: 1,
+            request_deadline: Some(Duration::from_millis(80)),
+            ..EngineOptions::default()
+        },
+    );
+    let r = engine.try_optimize(job("too-slow"));
+    assert_eq!(r.unwrap_err(), Rejection::DeadlineExceeded);
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.rejections[1], 1, "deadline_exceeded counted");
+    assert_eq!(
+        snap.respawns, 1,
+        "a surplus worker backfilled the stalled slot"
+    );
+    assert_eq!(snap.worker_deaths, 0, "a stall is not a death");
+
+    // The stalled worker eventually finishes, finds its reply abandoned,
+    // and retires against the surplus credit: back to one worker.
+    wait_for("the stalled worker to retire", || {
+        engine.live_workers() == 1
+    });
+    // The blocking path (no deadline) proves the pool serves again —
+    // through the surplus worker that replaced the stalled slot.
+    let served = engine.optimize(job("after-recovery"));
+    assert_eq!(served.outcome.outcome, Outcome::Optimized);
+}
+
+// ---------------------------------------------------------------------
+// TCP-level chaos: decode-seam faults, connection hardening, and the
+// shutdown drain, exercised over a real socket.
+// ---------------------------------------------------------------------
+
+fn decoder() -> NetDecoder {
+    Arc::new(|name: &str, body: &str| match parse(body) {
+        Ok(net) => NetInput::Parsed {
+            name: name.to_string(),
+            tree: net.tree,
+            scenario: net.scenario,
+        },
+        Err(e) => NetInput::Failed {
+            name: name.to_string(),
+            error: e.to_string(),
+        },
+    })
+}
+
+fn healthy_net_request(id: &str) -> String {
+    let (tree, scenario) = adversarial::valid_net(&WorkloadConfig::default());
+    let node_names = (0..tree.len()).map(|_| None).collect();
+    let text = write_net(&ParsedNet {
+        name: None,
+        tree,
+        scenario,
+        node_names,
+    });
+    let escaped = text
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+    format!("{{\"id\":\"{id}\",\"net\":\"{escaped}\"}}")
+}
+
+fn start_chaos_server(
+    plan: FaultPlan,
+    opts: ServeOptions,
+) -> (
+    std::net::SocketAddr,
+    Arc<Engine>,
+    Arc<FaultPlan>,
+    std::thread::JoinHandle<()>,
+) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let plan = Arc::new(plan);
+    let engine = Arc::new(Engine::new(
+        pipeline_config(),
+        EngineOptions {
+            jobs: 1,
+            fault_plan: Some(Arc::clone(&plan)),
+            ..EngineOptions::default()
+        },
+    ));
+    let server_engine = Arc::clone(&engine);
+    let handle = std::thread::spawn(move || {
+        serve_with(listener, server_engine, decoder(), opts).expect("serve runs");
+    });
+    (addr, engine, plan, handle)
+}
+
+fn connect(addr: std::net::SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    (BufReader::new(stream.try_clone().expect("clone")), stream)
+}
+
+fn roundtrip(conn: &mut (BufReader<TcpStream>, TcpStream), request: &str) -> String {
+    conn.1
+        .write_all(format!("{request}\n").as_bytes())
+        .expect("send");
+    let mut line = String::new();
+    conn.0.read_line(&mut line).expect("response");
+    line.trim_end().to_string()
+}
+
+#[test]
+fn decode_seam_faults_cost_one_error_line_each_and_the_server_survives() {
+    let (addr, engine, _plan, server) = start_chaos_server(
+        FaultPlan::new()
+            .on_nth(Seam::Decode, 1, FaultAction::Panic)
+            .on_nth(Seam::Decode, 2, FaultAction::IoError),
+        ServeOptions::default(),
+    );
+    let mut conn = connect(addr);
+
+    let panicked = roundtrip(&mut conn, &healthy_net_request("a"));
+    assert_eq!(
+        panicked, "{\"error\":\"internal error while serving the request\"}",
+        "a decode panic is contained to one structured error"
+    );
+    let io = roundtrip(&mut conn, &healthy_net_request("b"));
+    assert!(io.contains("injected decode I/O error"), "{io}");
+    let clean = roundtrip(&mut conn, &healthy_net_request("c"));
+    assert!(
+        clean.contains("\"outcome\":\"optimized\""),
+        "the connection and server outlive the faults: {clean}"
+    );
+    assert_eq!(engine.metrics_snapshot().conn_errors, 1, "panic counted");
+
+    let ack = roundtrip(&mut conn, "{\"cmd\":\"shutdown\"}");
+    assert_eq!(ack, "{\"ok\":\"shutdown\"}");
+    server.join().expect("accept loop exits");
+}
+
+#[test]
+fn oversized_lines_and_idle_connections_are_cut_with_structured_errors() {
+    let (addr, engine, _plan, server) = start_chaos_server(
+        FaultPlan::new(),
+        ServeOptions {
+            read_timeout: Some(Duration::from_millis(200)),
+            max_line_bytes: 256,
+        },
+    );
+
+    // A request line over the limit: one error response, then EOF.
+    let mut conn = connect(addr);
+    let huge = format!("{{\"id\":\"x\",\"net\":\"{}\"}}", "a".repeat(1024));
+    let resp = roundtrip(&mut conn, &huge);
+    assert!(resp.contains("exceeds 256 bytes"), "{resp}");
+    let mut rest = String::new();
+    conn.0.read_line(&mut rest).expect("read");
+    assert!(
+        rest.is_empty(),
+        "connection closed after the error: {rest:?}"
+    );
+
+    // An idle connection: timed out with an error line, then EOF.
+    let mut idle = connect(addr);
+    let mut line = String::new();
+    idle.0.read_line(&mut line).expect("read");
+    assert!(line.contains("read timed out"), "{line}");
+
+    // The server itself is unharmed and counted both terminations.
+    wait_for("both connection errors to be recorded", || {
+        engine.metrics_snapshot().conn_errors == 2
+    });
+    let mut conn = connect(addr);
+    let ok = roundtrip(&mut conn, "{\"cmd\":\"stats\"}");
+    assert!(ok.contains("\"connections\":{\"errors\":2}"), "{ok}");
+    let ack = roundtrip(&mut conn, "{\"cmd\":\"shutdown\"}");
+    assert_eq!(ack, "{\"ok\":\"shutdown\"}");
+    server.join().expect("accept loop exits");
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests_instead_of_dropping_them() {
+    let (addr, _engine, plan, server) = start_chaos_server(
+        // Stall the in-flight request long enough for the shutdown to
+        // land squarely while it is being computed.
+        FaultPlan::new().on_nth(Seam::Worker, 1, FaultAction::StallMs(400)),
+        ServeOptions::default(),
+    );
+
+    let mut in_flight = connect(addr);
+    in_flight
+        .1
+        .write_all(format!("{}\n", healthy_net_request("survivor")).as_bytes())
+        .expect("send");
+    wait_for("the worker to hold the in-flight request", || {
+        plan.armed(Seam::Worker) >= 1
+    });
+
+    let mut admin = connect(addr);
+    let ack = roundtrip(&mut admin, "{\"cmd\":\"shutdown\"}");
+    assert_eq!(ack, "{\"ok\":\"shutdown\"}");
+
+    // The drain must deliver the stalled request's record, not cut it.
+    let mut resp = String::new();
+    in_flight.0.read_line(&mut resp).expect("drained response");
+    assert!(
+        resp.contains("\"net\":\"survivor\"") && resp.contains("\"outcome\":\"optimized\""),
+        "in-flight request completed through the drain: {resp}"
+    );
+    server.join().expect("accept loop exits after the drain");
+}
