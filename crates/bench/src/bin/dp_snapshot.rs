@@ -1,0 +1,197 @@
+//! Reproducible DP performance snapshot: arena engine vs seed engine.
+//!
+//! Runs both van Ginneken engines over comb nets of growing sink count
+//! (the `dp_scaling` shape) and writes one machine-readable JSON file —
+//! `BENCH_dp.json` by default — with per-size median wall time, candidate
+//! pressure, and (under `--features alloc-count`) heap allocation counts
+//! per run. This is the artifact `scripts/bench_snapshot.sh` produces and
+//! CI archives, so the perf trajectory of the DP core is diffable across
+//! commits.
+//!
+//! Usage: `dp_snapshot [--quick] [--out PATH]`
+//!
+//! `--quick` drops the per-size sample count (CI smoke); the full mode is
+//! what EXPERIMENTS.md records.
+
+use std::time::Instant;
+
+use buffopt::dp_reference::{run_arena, run_reference, EngineConfig};
+use buffopt::{DpWorkspace, RunBudget};
+use buffopt_buffers::catalog;
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::{segment, Driver, RoutingTree, SinkSpec, Technology, TreeBuilder};
+
+/// Counting global allocator, compiled in only when the snapshot should
+/// report allocator traffic (`--features alloc-count`). Counts every
+/// `alloc`/`realloc` call and the bytes requested; `dealloc` is free.
+#[cfg(feature = "alloc-count")]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static A: CountingAlloc = CountingAlloc;
+
+    pub fn reading() -> (u64, u64) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            BYTES.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(not(feature = "alloc-count"))]
+mod counting_alloc {
+    pub fn reading() -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+/// The `dp_scaling` comb: a trunk of 800 µm spans with one tooth per
+/// sink, segmented at 400 µm.
+fn comb_net(sinks: usize) -> RoutingTree {
+    let tech = Technology::global_layer();
+    let mut b = TreeBuilder::new(Driver::new(300.0, 20e-12));
+    let mut trunk = b.source();
+    for i in 0..sinks {
+        trunk = b.add_internal(trunk, tech.wire(800.0)).expect("trunk");
+        b.add_sink(
+            trunk,
+            tech.wire(600.0 + 100.0 * (i % 5) as f64),
+            SinkSpec::new(15e-15, 1.5e-9, 0.8),
+        )
+        .expect("tooth");
+    }
+    segment::segment_wires(&b.build().expect("tree"), 400.0)
+        .expect("segment")
+        .tree
+}
+
+struct Measured {
+    median_ns: u64,
+    min_ns: u64,
+    allocs_per_run: u64,
+    alloc_bytes_per_run: u64,
+}
+
+/// Medians over `samples` timed runs of `f`, with allocator traffic
+/// averaged across the whole timed region (per-sample counting would
+/// attribute the warm-up of reused scratch unevenly).
+fn measure(samples: usize, mut f: impl FnMut()) -> Measured {
+    // One untimed warm-up so one-time growth (workspace capacity, lazy
+    // init) lands outside the measurement.
+    f();
+    let mut times: Vec<u64> = Vec::with_capacity(samples);
+    let (a0, b0) = counting_alloc::reading();
+    for _ in 0..samples {
+        let t = Instant::now();
+        f();
+        times.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+    let (a1, b1) = counting_alloc::reading();
+    times.sort_unstable();
+    Measured {
+        median_ns: times[times.len() / 2],
+        min_ns: times[0],
+        allocs_per_run: (a1 - a0) / samples as u64,
+        alloc_bytes_per_run: (b1 - b0) / samples as u64,
+    }
+}
+
+fn json_engine(m: &Measured) -> String {
+    format!(
+        "{{\"median_ns\":{},\"min_ns\":{},\"allocs_per_run\":{},\"alloc_bytes_per_run\":{}}}",
+        m.median_ns, m.min_ns, m.allocs_per_run, m.alloc_bytes_per_run
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_dp.json", |s| s.as_str());
+    let samples = if quick { 5 } else { 31 };
+
+    let lib = catalog::ibm_like();
+    let cfg = EngineConfig::default();
+    let budget = RunBudget::default();
+    let mut ws = DpWorkspace::new();
+
+    let mut rows: Vec<String> = Vec::new();
+    for sinks in [2usize, 4, 8, 16] {
+        let tree = comb_net(sinks);
+        let scenario = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
+
+        let (_, stats) = run_arena(&tree, Some(&scenario), &lib, &cfg, &budget, &mut ws)
+            .expect("comb net solves");
+        let arena = measure(samples, || {
+            run_arena(&tree, Some(&scenario), &lib, &cfg, &budget, &mut ws).expect("solves");
+        });
+        let (_, ref_stats) =
+            run_reference(&tree, Some(&scenario), &lib, &cfg, &budget).expect("comb net solves");
+        let reference = measure(samples, || {
+            run_reference(&tree, Some(&scenario), &lib, &cfg, &budget).expect("solves");
+        });
+
+        let speedup = reference.median_ns as f64 / arena.median_ns.max(1) as f64;
+        eprintln!(
+            "sinks {sinks:>2}: arena {:>9} ns, reference {:>9} ns ({speedup:.2}x), \
+             peak {} candidates / {} merge product, {} vs {} allocs/run",
+            arena.median_ns,
+            reference.median_ns,
+            stats.peak_candidates,
+            stats.peak_merge_product,
+            arena.allocs_per_run,
+            reference.allocs_per_run,
+        );
+        rows.push(format!(
+            "{{\"sinks\":{},\"nodes\":{},\"arena\":{},\"reference\":{},\
+             \"speedup\":{:.3},\"peak_candidates\":{},\"peak_merge_product\":{},\
+             \"reference_peak_candidates\":{}}}",
+            sinks,
+            tree.len(),
+            json_engine(&arena),
+            json_engine(&reference),
+            speedup,
+            stats.peak_candidates,
+            stats.peak_merge_product,
+            ref_stats.peak_candidates,
+        ));
+    }
+
+    let alloc_counted = cfg!(feature = "alloc-count");
+    let json = format!(
+        "{{\"bench\":\"dp_snapshot\",\"mode\":\"{}\",\"samples\":{},\
+         \"alloc_counted\":{},\"net\":\"comb/400um\",\"sizes\":[{}]}}\n",
+        if quick { "quick" } else { "full" },
+        samples,
+        alloc_counted,
+        rows.join(",")
+    );
+    std::fs::write(out_path, &json).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+}

@@ -19,12 +19,13 @@ use buffopt_buffers::{BufferId, BufferLibrary, BufferType};
 use buffopt_noise::NoiseScenario;
 use buffopt_tree::{NodeId, RoutingTree};
 
+use crate::arena::{ProvArena, NONE};
 use crate::assignment::Assignment;
 use crate::budget::RunBudget;
-use crate::candidate::PSet;
 use crate::climb::{climb_wire, ClimbState, NOISE_TOL};
 use crate::error::CoreError;
 use crate::rebuild::{rebuild_with_insertions, Rebuilt, WireInsertion};
+use crate::workspace::DpWorkspace;
 
 /// A buffered multi-sink net produced by [`avoid_noise`].
 #[derive(Debug, Clone)]
@@ -46,12 +47,13 @@ impl MultiSinkSolution {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Cand {
     current: f64,
     slack: f64,
     count: usize,
-    set: PSet<WireInsertion>,
+    /// Provenance of the partial solution in the run's insertion arena.
+    prov: u32,
 }
 
 impl Cand {
@@ -82,6 +84,7 @@ fn prune(cands: &mut Vec<Cand>) {
 
 /// Climbs every candidate across the parent wire of `c`; candidates whose
 /// climb fails are dropped.
+#[allow(clippy::too_many_arguments)]
 fn climb_list(
     tree: &RoutingTree,
     scenario: &NoiseScenario,
@@ -89,6 +92,7 @@ fn climb_list(
     buffer_id: BufferId,
     c: NodeId,
     list: Vec<Cand>,
+    arena: &mut ProvArena<WireInsertion>,
 ) -> Result<Vec<Cand>, CoreError> {
     let wire = tree.parent_wire(c).expect("non-source child");
     let factor = scenario.factor(c);
@@ -101,21 +105,24 @@ fn climb_list(
         };
         match climb_wire(wire, factor, buffer, c, state) {
             Ok((next, dists)) => {
-                let mut set = cand.set;
+                let mut prov = cand.prov;
                 let mut count = cand.count;
                 for d in dists {
-                    set = set.insert(WireInsertion {
-                        wire: c,
-                        dist_from_bottom: d,
-                        buffer: buffer_id,
-                    });
+                    prov = arena.elem(
+                        WireInsertion {
+                            wire: c,
+                            dist_from_bottom: d,
+                            buffer: buffer_id,
+                        },
+                        prov,
+                    );
                     count += 1;
                 }
                 out.push(Cand {
                     current: next.current,
                     slack: next.slack,
                     count,
-                    set,
+                    prov,
                 });
             }
             Err(e) => last_err = Some(e),
@@ -139,13 +146,15 @@ fn branch_insertion(tree: &RoutingTree, c: NodeId, buffer: BufferId) -> WireInse
 
 /// The cheapest candidate a buffer of resistance `rb` can legally drive
 /// (`Rb·I ≤ NS`).
-fn cheapest_driveable(list: &[Cand], rb: f64) -> Option<&Cand> {
+fn cheapest_driveable(list: &[Cand], rb: f64) -> Option<Cand> {
     list.iter()
         .filter(|c| rb * c.current <= c.slack + NOISE_TOL)
         .min_by_key(|c| c.count)
+        .copied()
 }
 
 /// Merges the candidate lists of the two children of `v` (paper Steps 4–6).
+#[allow(clippy::too_many_arguments)]
 fn merge(
     tree: &RoutingTree,
     buffer: &BufferType,
@@ -154,6 +163,7 @@ fn merge(
     right_child: NodeId,
     left: &[Cand],
     right: &[Cand],
+    arena: &mut ProvArena<WireInsertion>,
 ) -> Vec<Cand> {
     let rb = buffer.resistance;
     let nm_b = buffer.noise_margin;
@@ -174,7 +184,7 @@ fn merge(
                     current,
                     slack,
                     count: a.count + b.count,
-                    set: a.set.join(&b.set),
+                    prov: arena.join(a.prov, b.prov),
                 });
             }
         }
@@ -186,11 +196,12 @@ fn merge(
     if let Some(a) = cheapest_driveable(left, rb) {
         let ins = branch_insertion(tree, left_child, buffer_id);
         for b in right {
+            let joined = arena.join(a.prov, b.prov);
             out.push(Cand {
                 current: b.current,
                 slack: nm_b.min(b.slack),
                 count: a.count + b.count + 1,
-                set: a.set.join(&b.set).insert(ins),
+                prov: arena.elem(ins, joined),
             });
         }
     }
@@ -198,26 +209,26 @@ fn merge(
     if let Some(b) = cheapest_driveable(right, rb) {
         let ins = branch_insertion(tree, right_child, buffer_id);
         for a in left {
+            let joined = arena.join(a.prov, b.prov);
             out.push(Cand {
                 current: a.current,
                 slack: nm_b.min(a.slack),
                 count: a.count + b.count + 1,
-                set: a.set.join(&b.set).insert(ins),
+                prov: arena.elem(ins, joined),
             });
         }
     }
     // Buffers on both branches (needed when each branch alone saturates
     // the other buffer's input margin).
     if let (Some(a), Some(b)) = (cheapest_driveable(left, rb), cheapest_driveable(right, rb)) {
+        let joined = arena.join(a.prov, b.prov);
+        let with_left = arena.elem(branch_insertion(tree, left_child, buffer_id), joined);
+        let prov = arena.elem(branch_insertion(tree, right_child, buffer_id), with_left);
         out.push(Cand {
             current: 0.0,
             slack: nm_b,
             count: a.count + b.count + 2,
-            set: a
-                .set
-                .join(&b.set)
-                .insert(branch_insertion(tree, left_child, buffer_id))
-                .insert(branch_insertion(tree, right_child, buffer_id)),
+            prov,
         });
     }
     out
@@ -258,6 +269,24 @@ pub fn avoid_noise_budgeted(
     lib: &BufferLibrary,
     budget: &RunBudget,
 ) -> Result<MultiSinkSolution, CoreError> {
+    avoid_noise_budgeted_with(&mut DpWorkspace::new(), tree, scenario, lib, budget)
+}
+
+/// [`avoid_noise_budgeted`] with a reused [`DpWorkspace`], so batch
+/// drivers amortize the insertion arena across nets.
+///
+/// # Errors
+///
+/// Those of [`avoid_noise_budgeted`].
+pub fn avoid_noise_budgeted_with(
+    ws: &mut DpWorkspace,
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    budget: &RunBudget,
+) -> Result<MultiSinkSolution, CoreError> {
+    let arena = &mut ws.alg2;
+    arena.clear();
     let buffer_id = lib.min_resistance().ok_or(CoreError::EmptyLibrary)?;
     let buffer = lib.buffer(buffer_id).clone();
     if scenario.len() != tree.len() {
@@ -278,7 +307,7 @@ pub fn avoid_noise_budgeted(
                 current: 0.0,
                 slack: spec.noise_margin,
                 count: 0,
-                set: PSet::empty(),
+                prov: NONE,
             }]
         } else {
             let children = tree.children(v);
@@ -286,14 +315,14 @@ pub fn avoid_noise_budgeted(
                 [] => unreachable!("internal nodes have children"),
                 [c] => {
                     let child_list = lists[c.index()].take().expect("postorder");
-                    climb_list(tree, scenario, &buffer, buffer_id, *c, child_list)?
+                    climb_list(tree, scenario, &buffer, buffer_id, *c, child_list, arena)?
                 }
                 [cl, cr] => {
                     let ll = lists[cl.index()].take().expect("postorder");
                     let rl = lists[cr.index()].take().expect("postorder");
-                    let lc = climb_list(tree, scenario, &buffer, buffer_id, *cl, ll)?;
-                    let rc = climb_list(tree, scenario, &buffer, buffer_id, *cr, rl)?;
-                    let merged = merge(tree, &buffer, buffer_id, *cl, *cr, &lc, &rc);
+                    let lc = climb_list(tree, scenario, &buffer, buffer_id, *cl, ll, arena)?;
+                    let rc = climb_list(tree, scenario, &buffer, buffer_id, *cr, rl, arena)?;
+                    let merged = merge(tree, &buffer, buffer_id, *cl, *cr, &lc, &rc, arena);
                     if merged.is_empty() {
                         return Err(CoreError::NoiseUnfixable(v));
                     }
@@ -314,32 +343,32 @@ pub fn avoid_noise_budgeted(
         [c] => Some(*c),
         _ => None,
     };
-    let mut best: Option<(usize, f64, PSet<WireInsertion>)> = None;
+    let mut best: Option<(usize, f64, u32)> = None;
     for cand in &source_list {
         let headroom = cand.slack - rso * cand.current;
         let option = if headroom >= -NOISE_TOL {
-            Some((cand.count, headroom, cand.set.clone()))
+            Some((cand.count, headroom, cand.prov))
         } else if let Some(c) = single_child {
             // The climb invariant guarantees a buffer just below the source
             // fixes the driver (Rb·I ≤ NS, and its own input then sees no
             // wire noise).
-            let set = cand.set.insert(branch_insertion(tree, c, buffer_id));
-            Some((cand.count + 1, buffer.noise_margin, set))
+            let prov = arena.elem(branch_insertion(tree, c, buffer_id), cand.prov);
+            Some((cand.count + 1, buffer.noise_margin, prov))
         } else {
             None
         };
-        if let Some((count, head, set)) = option {
+        if let Some((count, head, prov)) = option {
             let better = match &best {
                 None => true,
                 Some((bc, bh, _)) => count < *bc || (count == *bc && head > *bh),
             };
             if better {
-                best = Some((count, head, set));
+                best = Some((count, head, prov));
             }
         }
     }
     let (_, _, winner) = best.ok_or(CoreError::NoFeasibleCandidate)?;
-    let insertions = winner.to_vec();
+    let insertions = arena.resolve(winner);
     let Rebuilt {
         tree,
         scenario,
@@ -637,7 +666,7 @@ mod tests {
             current: i,
             slack: ns,
             count: n,
-            set: PSet::empty(),
+            prov: NONE,
         };
         let mut v = vec![
             mk(1.0, 0.5, 1),

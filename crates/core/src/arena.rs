@@ -1,0 +1,203 @@
+//! Append-only provenance arena for DP candidate reconstruction.
+//!
+//! The van Ginneken DP used to carry every candidate's insertion set as a
+//! persistent [`crate::candidate::PSet`] — an `Arc` DAG cloned on every
+//! wire climb and joined on every merge pair. The arena replaces that with
+//! a plain `u32` index per candidate: inserting a buffer appends one
+//! *elem* entry `(payload, pred)`, merging two branches appends one *join*
+//! entry `(left, right)`, and the winning solution is reconstructed once
+//! at the source by walking the entry DAG iteratively. Intermediate
+//! candidates are then plain-old-data rows with no allocation, no
+//! reference counting, and no recursive `Drop`.
+//!
+//! Entries are never freed individually; the arena is `clear`ed between
+//! runs and its backing vectors are reused, so steady-state cost per run
+//! is amortized to zero allocations.
+
+/// Sentinel provenance index meaning "empty set" (no insertions yet).
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// One arena entry. Either an *elem* (a payload plus a predecessor) or a
+/// *join* of two predecessor chains; `payload == NONE` marks a join.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    left: u32,
+    right: u32,
+    payload: u32,
+}
+
+/// Append-only arena of provenance entries over payloads of type `T`.
+///
+/// Indices returned by [`ProvArena::elem`] / [`ProvArena::join`] are only
+/// valid until the next [`ProvArena::clear`].
+#[derive(Debug)]
+pub(crate) struct ProvArena<T> {
+    payloads: Vec<T>,
+    entries: Vec<Entry>,
+    /// Scratch stack for iterative resolution (reused across calls).
+    stack: Vec<u32>,
+}
+
+// Derived `Default` would demand `T: Default`; the arena never constructs
+// a `T`, so implement it manually without the bound.
+impl<T> Default for ProvArena<T> {
+    fn default() -> Self {
+        Self {
+            payloads: Vec::new(),
+            entries: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+}
+
+impl<T: Copy> ProvArena<T> {
+    /// Drop all entries, keeping the backing allocations for reuse.
+    pub(crate) fn clear(&mut self) {
+        self.payloads.clear();
+        self.entries.clear();
+        self.stack.clear();
+    }
+
+    /// Number of entries currently in the arena.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn push(&mut self, e: Entry) -> u32 {
+        let idx = u32::try_from(self.entries.len()).expect("arena overflow: > 4G entries");
+        debug_assert!(idx != NONE, "arena overflow: reserved sentinel reached");
+        self.entries.push(e);
+        idx
+    }
+
+    /// New chain link: `value` appended to the (possibly empty) chain `pred`.
+    pub(crate) fn elem(&mut self, value: T, pred: u32) -> u32 {
+        let payload = u32::try_from(self.payloads.len()).expect("arena overflow: > 4G payloads");
+        self.payloads.push(value);
+        self.push(Entry {
+            left: pred,
+            right: NONE,
+            payload,
+        })
+    }
+
+    /// Join of two chains. Joining with the empty chain is the identity and
+    /// allocates nothing.
+    pub(crate) fn join(&mut self, left: u32, right: u32) -> u32 {
+        if left == NONE {
+            return right;
+        }
+        if right == NONE {
+            return left;
+        }
+        self.push(Entry {
+            left,
+            right,
+            payload: NONE,
+        })
+    }
+
+    /// Collect every payload reachable from `prov`, iteratively (no
+    /// recursion, so arbitrarily deep chains cannot overflow the stack).
+    /// Order is unspecified; callers that need determinism sort afterwards.
+    pub(crate) fn resolve(&mut self, prov: u32) -> Vec<T> {
+        let mut out = Vec::new();
+        self.resolve_into(prov, &mut out);
+        out
+    }
+
+    /// Like [`ProvArena::resolve`] but appends into a caller vector.
+    pub(crate) fn resolve_into(&mut self, prov: u32, out: &mut Vec<T>) {
+        self.stack.clear();
+        if prov != NONE {
+            self.stack.push(prov);
+        }
+        while let Some(idx) = self.stack.pop() {
+            let e = self.entries[idx as usize];
+            if e.payload != NONE {
+                out.push(self.payloads[e.payload as usize]);
+                if e.left != NONE {
+                    self.stack.push(e.left);
+                }
+            } else {
+                self.stack.push(e.left);
+                self.stack.push(e.right);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(mut v: Vec<u32>) -> Vec<u32> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_chain_resolves_to_nothing() {
+        let mut a: ProvArena<u32> = ProvArena::default();
+        assert!(a.resolve(NONE).is_empty());
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn elem_chains_accumulate() {
+        let mut a: ProvArena<u32> = ProvArena::default();
+        let p1 = a.elem(10, NONE);
+        let p2 = a.elem(20, p1);
+        let p3 = a.elem(30, p2);
+        assert_eq!(sorted(a.resolve(p3)), vec![10, 20, 30]);
+        // Earlier indices still resolve to their own prefixes.
+        assert_eq!(sorted(a.resolve(p2)), vec![10, 20]);
+        assert_eq!(sorted(a.resolve(p1)), vec![10]);
+    }
+
+    #[test]
+    fn join_unions_multisets() {
+        let mut a: ProvArena<u32> = ProvArena::default();
+        let l = a.elem(1, NONE);
+        let l2 = a.elem(2, l);
+        let r = a.elem(3, NONE);
+        let j = a.join(l2, r);
+        assert_eq!(sorted(a.resolve(j)), vec![1, 2, 3]);
+        // Multiset semantics: shared structure counts once per path.
+        let jj = a.join(j, r);
+        assert_eq!(sorted(a.resolve(jj)), vec![1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn join_with_empty_is_identity_and_free() {
+        let mut a: ProvArena<u32> = ProvArena::default();
+        let l = a.elem(7, NONE);
+        let before = a.len();
+        assert_eq!(a.join(l, NONE), l);
+        assert_eq!(a.join(NONE, l), l);
+        assert_eq!(a.join(NONE, NONE), NONE);
+        assert_eq!(a.len(), before);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let mut a: ProvArena<u32> = ProvArena::default();
+        let mut p = NONE;
+        for i in 0..200_000u32 {
+            p = a.elem(i, p);
+        }
+        assert_eq!(a.resolve(p).len(), 200_000);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut a: ProvArena<u32> = ProvArena::default();
+        let p = a.elem(1, NONE);
+        assert_eq!(a.resolve(p).len(), 1);
+        a.clear();
+        assert_eq!(a.len(), 0);
+        let p2 = a.elem(9, NONE);
+        assert_eq!(a.resolve(p2), vec![9]);
+    }
+}

@@ -12,6 +12,7 @@ use crate::budget::RunBudget;
 use crate::delayopt::Solution;
 use crate::dp::{self, DpConfig, DpStats, SourceCand};
 use crate::error::CoreError;
+use crate::workspace::DpWorkspace;
 
 /// Options for the BuffOpt optimizers.
 #[derive(Debug, Clone, Copy, Default)]
@@ -34,12 +35,13 @@ pub struct BuffOptOptions {
 
 fn to_solution(tree: &RoutingTree, c: SourceCand, stats: &DpStats) -> Solution {
     Solution {
-        assignment: Assignment::from_pairs(tree, c.set.to_vec()),
+        assignment: Assignment::from_pairs(tree, c.insertions),
         slack: c.slack,
         buffers: c.count,
         cost: c.cost,
         meets_noise: true,
         peak_candidates: stats.peak_candidates,
+        peak_merge_product: stats.peak_merge_product,
     }
 }
 
@@ -72,7 +74,24 @@ pub fn optimize(
     lib: &BufferLibrary,
     options: &BuffOptOptions,
 ) -> Result<Solution, CoreError> {
-    let (cands, stats) = dp::run(
+    optimize_with(&mut DpWorkspace::new(), tree, scenario, lib, options)
+}
+
+/// [`optimize`] with a reused [`DpWorkspace`], so batch drivers and server
+/// workers amortize the DP scratch across nets.
+///
+/// # Errors
+///
+/// Those of [`optimize`].
+pub fn optimize_with(
+    ws: &mut DpWorkspace,
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    options: &BuffOptOptions,
+) -> Result<Solution, CoreError> {
+    let (cands, stats) = dp::run_with(
+        &mut ws.dp,
         tree,
         Some(scenario),
         lib,
@@ -100,11 +119,35 @@ pub fn optimize_per_count(
     max_buffers: usize,
     options: &BuffOptOptions,
 ) -> Result<Vec<Option<Solution>>, CoreError> {
+    optimize_per_count_with(
+        &mut DpWorkspace::new(),
+        tree,
+        scenario,
+        lib,
+        max_buffers,
+        options,
+    )
+}
+
+/// [`optimize_per_count`] with a reused [`DpWorkspace`].
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn optimize_per_count_with(
+    ws: &mut DpWorkspace,
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    max_buffers: usize,
+    options: &BuffOptOptions,
+) -> Result<Vec<Option<Solution>>, CoreError> {
     let cfg = DpConfig {
         max_buffers: Some(max_buffers),
         ..config_of(options)
     };
-    let (cands, stats) = dp::run(tree, Some(scenario), lib, &cfg, &options.budget)?;
+    let (cands, stats) =
+        dp::run_with(&mut ws.dp, tree, Some(scenario), lib, &cfg, &options.budget)?;
     let mut out: Vec<Option<Solution>> = (0..=max_buffers).map(|_| None).collect();
     for c in cands {
         let count = c.count;
@@ -133,7 +176,23 @@ pub fn min_buffers(
     lib: &BufferLibrary,
     options: &BuffOptOptions,
 ) -> Result<Solution, CoreError> {
-    let (mut cands, stats) = dp::run(
+    min_buffers_with(&mut DpWorkspace::new(), tree, scenario, lib, options)
+}
+
+/// [`min_buffers`] with a reused [`DpWorkspace`].
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn min_buffers_with(
+    ws: &mut DpWorkspace,
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    options: &BuffOptOptions,
+) -> Result<Solution, CoreError> {
+    let (mut cands, stats) = dp::run_with(
+        &mut ws.dp,
         tree,
         Some(scenario),
         lib,
@@ -177,11 +236,27 @@ pub fn min_cost(
     lib: &BufferLibrary,
     options: &BuffOptOptions,
 ) -> Result<Solution, CoreError> {
+    min_cost_with(&mut DpWorkspace::new(), tree, scenario, lib, options)
+}
+
+/// [`min_cost`] with a reused [`DpWorkspace`].
+///
+/// # Errors
+///
+/// Same as [`optimize`].
+pub fn min_cost_with(
+    ws: &mut DpWorkspace,
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    options: &BuffOptOptions,
+) -> Result<Solution, CoreError> {
     let cfg = DpConfig {
         cost_aware: true,
         ..config_of(options)
     };
-    let (cands, stats) = dp::run(tree, Some(scenario), lib, &cfg, &options.budget)?;
+    let (cands, stats) =
+        dp::run_with(&mut ws.dp, tree, Some(scenario), lib, &cfg, &options.budget)?;
     let best_meeting = cands
         .iter()
         .filter(|c| c.slack >= 0.0)

@@ -10,6 +10,7 @@ use crate::assignment::Assignment;
 use crate::budget::RunBudget;
 use crate::dp::{self, DpConfig};
 use crate::error::CoreError;
+use crate::workspace::DpWorkspace;
 
 /// Options for [`optimize`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -39,10 +40,16 @@ pub struct Solution {
     pub cost: f64,
     /// True when the solution was produced under noise constraints.
     pub meets_noise: bool,
-    /// Largest candidate list the DP held at any node (before pruning) —
-    /// how close the run came to a candidate budget. Zero for optimizers
-    /// that do not run the DP (e.g. the greedy baseline).
+    /// Largest candidate list the DP held live at any node (after the
+    /// fused merge-prune, including freshly buffered candidates) — the
+    /// count the candidate budget gates on. Zero for optimizers that do
+    /// not run the DP (e.g. the greedy baseline).
     pub peak_candidates: usize,
+    /// Largest raw |L|·|R| merge cross product the DP swept (it is pruned
+    /// on the fly and never materialized). Always ≥ `peak_candidates` on
+    /// branching nets; the gap is the fused prune's savings. Zero for
+    /// non-DP optimizers.
+    pub peak_merge_product: usize,
 }
 
 /// Maximizes the source timing slack (Problem 2 without noise
@@ -58,24 +65,40 @@ pub fn optimize(
     lib: &BufferLibrary,
     options: &DelayOptOptions,
 ) -> Result<Solution, CoreError> {
+    optimize_with(&mut DpWorkspace::new(), tree, lib, options)
+}
+
+/// [`optimize`] with a reused [`DpWorkspace`], so batch drivers amortize
+/// the DP scratch across nets.
+///
+/// # Errors
+///
+/// Those of [`optimize`].
+pub fn optimize_with(
+    ws: &mut DpWorkspace,
+    tree: &RoutingTree,
+    lib: &BufferLibrary,
+    options: &DelayOptOptions,
+) -> Result<Solution, CoreError> {
     let cfg = DpConfig {
         noise: false,
         max_buffers: options.max_buffers,
         polarity: options.polarity_aware,
         ..DpConfig::default()
     };
-    let (cands, stats) = dp::run(tree, None, lib, &cfg, &options.budget)?;
+    let (cands, stats) = dp::run_with(&mut ws.dp, tree, None, lib, &cfg, &options.budget)?;
     let best = cands
         .into_iter()
         .max_by(|a, b| a.slack.partial_cmp(&b.slack).expect("finite slack"))
         .ok_or(CoreError::NoFeasibleCandidate)?;
     Ok(Solution {
-        assignment: Assignment::from_pairs(tree, best.set.to_vec()),
+        assignment: Assignment::from_pairs(tree, best.insertions),
         slack: best.slack,
         buffers: best.count,
         cost: best.cost,
         meets_noise: false,
         peak_candidates: stats.peak_candidates,
+        peak_merge_product: stats.peak_merge_product,
     })
 }
 
@@ -106,12 +129,13 @@ pub fn optimize_per_count(
                 .is_none_or(|prev| c.slack > prev.slack)
         {
             out[c.count] = Some(Solution {
-                assignment: Assignment::from_pairs(tree, c.set.to_vec()),
+                assignment: Assignment::from_pairs(tree, c.insertions),
                 slack: c.slack,
                 buffers: c.count,
                 cost: c.cost,
                 meets_noise: false,
                 peak_candidates: stats.peak_candidates,
+                peak_merge_product: stats.peak_merge_product,
             });
         }
     }

@@ -1,0 +1,239 @@
+//! Differential tests: the arena engine versus the seed engine.
+//!
+//! Every test drives [`crate::dp_reference::run_arena`] and
+//! [`crate::dp_reference::run_reference`] over the same input and demands
+//! *identical* output — same number of source solutions, bitwise-equal
+//! slack/cost, equal buffer counts, and equal (sorted) insertion sets —
+//! in every operating mode: noise-constrained, DelayOpt, polarity-aware,
+//! cost-aware, conservative pairwise, and buffer-capped. Inputs come from
+//! two directions: the `data/` corpus (real net files, segmented as the
+//! CLI would) and proptest-generated random binary trees.
+//!
+//! The arena rewrite deliberately changed *how* the DP computes — fused
+//! merge-prune, in-place wire climb, index provenance — while keeping
+//! *what* it computes expression-identical. These tests are the proof.
+
+#![cfg(test)]
+
+use buffopt_buffers::{catalog, BufferLibrary};
+use buffopt_netlist::parse;
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::{segment, Driver, RoutingTree, SinkSpec, Technology, TreeBuilder};
+use proptest::prelude::*;
+
+use crate::budget::RunBudget;
+use crate::dp_reference::{run_arena, run_reference, EngineConfig};
+use crate::workspace::DpWorkspace;
+
+/// Runs both engines and asserts identical results (or identical errors).
+/// Returns the shared workspace so corpus loops exercise scratch reuse.
+fn assert_equiv(
+    tree: &RoutingTree,
+    scenario: Option<&NoiseScenario>,
+    lib: &BufferLibrary,
+    cfg: &EngineConfig,
+    ws: &mut DpWorkspace,
+    label: &str,
+) {
+    let budget = RunBudget::default();
+    let reference = run_reference(tree, scenario, lib, cfg, &budget);
+    let arena = run_arena(tree, scenario, lib, cfg, &budget, ws);
+    match (reference, arena) {
+        (Ok((rs, rstats)), Ok((av, astats))) => {
+            assert_eq!(
+                rs.len(),
+                av.len(),
+                "{label}: solution count {} (reference) vs {} (arena)",
+                rs.len(),
+                av.len()
+            );
+            for (i, (r, a)) in rs.iter().zip(av.iter()).enumerate() {
+                assert!(
+                    r.slack.to_bits() == a.slack.to_bits(),
+                    "{label}: solution {i} slack {:.17e} vs {:.17e}",
+                    r.slack,
+                    a.slack
+                );
+                assert_eq!(r.count, a.count, "{label}: solution {i} buffer count");
+                assert!(
+                    r.cost.to_bits() == a.cost.to_bits(),
+                    "{label}: solution {i} cost {} vs {}",
+                    r.cost,
+                    a.cost
+                );
+                assert_eq!(r.insertions, a.insertions, "{label}: solution {i} set");
+            }
+            assert_eq!(
+                rstats.peak_merge_product, astats.peak_merge_product,
+                "{label}: merge product"
+            );
+        }
+        (Err(re), Err(ae)) => {
+            assert_eq!(re, ae, "{label}: engines failed differently");
+        }
+        (Ok((rs, _)), Err(ae)) => {
+            panic!(
+                "{label}: reference found {} solutions, arena errored: {ae}",
+                rs.len()
+            );
+        }
+        (Err(re), Ok((av, _))) => {
+            panic!(
+                "{label}: reference errored ({re}), arena found {} solutions",
+                av.len()
+            );
+        }
+    }
+}
+
+/// The mode matrix every input is checked under.
+fn modes() -> Vec<(&'static str, EngineConfig)> {
+    vec![
+        ("noise", EngineConfig::default()),
+        (
+            "delayopt",
+            EngineConfig {
+                noise: false,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "polarity",
+            EngineConfig {
+                polarity: true,
+                ..EngineConfig::default()
+            },
+        ),
+        // The pairwise modes keep 4-D-incomparable candidates, so lists grow
+        // combinatorially on deep random trees; a buffer cap bounds the count
+        // classes (and the runtime) without changing what the test proves.
+        (
+            "cost_aware",
+            EngineConfig {
+                cost_aware: true,
+                max_buffers: Some(4),
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "conservative",
+            EngineConfig {
+                conservative: true,
+                max_buffers: Some(4),
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "conservative+polarity",
+            EngineConfig {
+                conservative: true,
+                polarity: true,
+                max_buffers: Some(3),
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "capped",
+            EngineConfig {
+                max_buffers: Some(2),
+                ..EngineConfig::default()
+            },
+        ),
+    ]
+}
+
+fn check_all_modes(tree: &RoutingTree, scenario: &NoiseScenario, ws: &mut DpWorkspace, tag: &str) {
+    let lib = catalog::ibm_like();
+    for (mode, cfg) in modes() {
+        let s = if cfg.noise { Some(scenario) } else { None };
+        assert_equiv(tree, s, &lib, &cfg, ws, &format!("{tag}/{mode}"));
+    }
+}
+
+#[test]
+fn corpus_nets_all_modes() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../data");
+    let mut ws = DpWorkspace::new();
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(dir).expect("data/ corpus present") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "net") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable net file");
+        let net = parse(&text).expect("valid corpus net");
+        // Segment as the CLI default would, at a couple of granularities so
+        // both short lists and long lists flow through the engines.
+        for seg_len in [500.0, 1500.0] {
+            let seg = segment::segment_wires(&net.tree, seg_len).expect("segment");
+            let scenario = net.scenario.for_segmented(&seg);
+            let tag = format!("{}@{seg_len}", path.file_name().unwrap().to_string_lossy());
+            check_all_modes(&seg.tree, &scenario, &mut ws, &tag);
+        }
+        seen += 1;
+    }
+    assert!(seen >= 2, "expected the corpus to hold at least two nets");
+}
+
+/// Instructions for one random binary tree: each step attaches either an
+/// internal node or a sink to a node that still has a free child slot.
+fn build_random_tree(steps: &[(u8, bool, f64, f64)]) -> Option<RoutingTree> {
+    let tech = Technology::global_layer();
+    let mut b = TreeBuilder::new(Driver::new(250.0, 20e-12));
+    // (node, free child slots); source is binary like every internal node.
+    let mut open = vec![(b.source(), 2usize)];
+    let mut childless = Vec::new();
+    for &(sel, branch, len, rat_ns) in steps {
+        if open.is_empty() {
+            break;
+        }
+        let slot = sel as usize % open.len();
+        let (parent, free) = open[slot];
+        if free == 1 {
+            open.swap_remove(slot);
+        } else {
+            open[slot].1 -= 1;
+        }
+        if branch {
+            let id = b.add_internal(parent, tech.wire(len)).ok()?;
+            open.push((id, 2));
+            childless.push(id);
+        } else {
+            b.add_sink(
+                parent,
+                tech.wire(len),
+                SinkSpec::new(25e-15, rat_ns * 1e-9, 0.8),
+            )
+            .ok()?;
+        }
+        childless.retain(|&n| n != parent);
+    }
+    // Internals that never received a child get a sink so the tree builds.
+    for n in childless {
+        b.add_sink(n, tech.wire(900.0), SinkSpec::new(25e-15, 2.0e-9, 0.8))
+            .ok()?;
+    }
+    if b.len() < 2 {
+        return None;
+    }
+    let t = b.build().ok()?;
+    Some(segment::segment_wires(&t, 800.0).ok()?.tree)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_trees_all_modes(
+        steps in prop::collection::vec(
+            (0u8..16, prop::bool::ANY, 400.0f64..4000.0, 0.8f64..4.0),
+            1..14,
+        )
+    ) {
+        if let Some(tree) = build_random_tree(&steps) {
+            let scenario = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
+            let mut ws = DpWorkspace::new();
+            check_all_modes(&tree, &scenario, &mut ws, "random");
+        }
+    }
+}

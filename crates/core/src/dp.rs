@@ -10,7 +10,10 @@
 //! * `q` — timing slack `min (RAT − delay)` over downstream sinks (eq. 5);
 //! * `I` — downstream coupling current (eq. 7);
 //! * `NS` — noise slack (eq. 12);
-//! * `M` — the partial solution, held as a persistent set (footnote 7).
+//! * `M` — the partial solution, held as a `u32` provenance index into a
+//!   per-run [`ProvArena`] (see DESIGN §10) instead of the paper's explicit
+//!   set: candidates are plain `Copy` rows and the winning solution is
+//!   reconstructed once at the source.
 //!
 //! The noise modifications (boldface in the paper's Fig. 10/11) are:
 //! a buffer is only inserted when it can legally drive its subtree
@@ -20,19 +23,35 @@
 //! to dominate higher ones); an optional *conservative* mode also requires
 //! `(I, NS)` dominance before discarding, which restores exactness for
 //! libraries that break Theorem 5's assumptions.
+//!
+//! Hot-path layout (the arena rewrite; the pre-arena engine survives in
+//! [`crate::dp_reference`] for differential testing):
+//!
+//! * **in-place wire climb** — the taken child list is mutated and
+//!   `retain`ed instead of map-allocating a new one;
+//! * **fused merge-prune** — cross-product rows accumulate in a scratch
+//!   buffer that is compacted by the dominance sweep whenever it doubles,
+//!   so the full |L|·|R| product never has to be held live and the
+//!   `budget.admit_candidates` gate applies to the *surviving* count;
+//! * **scratch reuse** — every list, frontier, and best-per-class table
+//!   lives in a [`DpScratch`] reused across nodes and (via
+//!   [`crate::workspace::DpWorkspace`]) across nets.
 
-use buffopt_buffers::{BufferId, BufferLibrary};
+use std::mem;
+
+use buffopt_buffers::{BufferId, BufferLibrary, BufferType};
 use buffopt_noise::NoiseScenario;
 use buffopt_tree::{NodeId, RoutingTree, Wire};
 
+use crate::arena::{ProvArena, NONE};
 use crate::budget::RunBudget;
-use crate::candidate::PSet;
 use crate::climb::NOISE_TOL;
 use crate::error::CoreError;
 
 /// A DP candidate (paper Fig. 10: `(C, q, I, NS, M)` plus the Lillis
 /// extensions: buffer count, total buffer cost, and signal parity).
-#[derive(Debug, Clone)]
+/// Plain-old-data: the partial solution is the `prov` index.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct DpCand {
     pub cap: f64,
     pub q: f64,
@@ -45,7 +64,9 @@ pub(crate) struct DpCand {
     /// of a candidate share it (mixed-parity merges are rejected when
     /// polarity tracking is on).
     pub parity: bool,
-    pub set: PSet<(NodeId, BufferId)>,
+    /// Provenance of the partial solution in the run's arena
+    /// ([`NONE`] = no insertions).
+    pub prov: u32,
 }
 
 /// Engine configuration.
@@ -84,11 +105,18 @@ impl Default for DpConfig {
 /// drivers can record how close a net came to its resource caps.
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct DpStats {
-    /// Largest candidate list observed at any node, before pruning.
+    /// Largest candidate list held live at any node (after the fused
+    /// merge-prune, including freshly buffered candidates) — the count
+    /// the budget gate sees.
     pub peak_candidates: usize,
+    /// Largest raw |L|·|R| merge product encountered, i.e. the work the
+    /// fused sweep consumed without ever materializing it. Always ≥ the
+    /// corresponding live list; the gap is the fused prune's savings.
+    pub peak_merge_product: usize,
 }
 
-/// A feasible solution observed at the source, after the driver.
+/// A feasible solution observed at the source, after the driver, with its
+/// insertion list already reconstructed from the arena.
 #[derive(Debug, Clone)]
 pub(crate) struct SourceCand {
     /// Timing slack at the source including the driver gate delay.
@@ -97,99 +125,252 @@ pub(crate) struct SourceCand {
     pub count: usize,
     /// Total cost of the inserted buffers.
     pub cost: f64,
-    /// The insertions.
-    pub set: PSet<(NodeId, BufferId)>,
+    /// The insertions (unspecified order; rebuild/assignment consumers
+    /// are order-insensitive).
+    pub insertions: Vec<(NodeId, BufferId)>,
 }
 
-fn prune(cands: &mut Vec<DpCand>, cfg: &DpConfig) {
+/// Best already-seen candidate for one (buffer, count/parity class) slot
+/// during buffer insertion; the spawn is deferred so dominated rows pay
+/// nothing.
+#[derive(Debug, Clone, Copy)]
+struct BestBuf {
+    q_new: f64,
+    cand: DpCand,
+    /// Deferred provenance: the spawn's predecessor is `join(left, right)`
+    /// (for plain candidates `left = cand.prov`, `right = NONE`).
+    left: u32,
+    right: u32,
+}
+
+/// A cross-product row whose provenance join is deferred until it survives
+/// the fused prune.
+#[derive(Debug, Clone, Copy)]
+struct MergeRow {
+    cand: DpCand,
+    left: u32,
+    right: u32,
+}
+
+/// Anything the dominance sweep can prune: a plain candidate or a merge
+/// row carrying deferred provenance.
+trait Row: Copy {
+    fn cand(&self) -> &DpCand;
+}
+
+impl Row for DpCand {
+    #[inline]
+    fn cand(&self) -> &DpCand {
+        self
+    }
+}
+
+impl Row for MergeRow {
+    #[inline]
+    fn cand(&self) -> &DpCand {
+        &self.cand
+    }
+}
+
+/// Reusable scratch for one DP run: the provenance arena plus every
+/// intermediate vector, so steady-state runs allocate nothing. Obtain one
+/// via [`crate::workspace::DpWorkspace`] and reuse it across nets.
+#[derive(Debug, Default)]
+pub(crate) struct DpScratch {
+    arena: ProvArena<(NodeId, BufferId)>,
+    /// Per-node candidate lists (postorder producer/consumer).
+    lists: Vec<Vec<DpCand>>,
+    /// Recycled list vectors.
+    pool: Vec<Vec<DpCand>>,
+    /// Fused-merge row buffer.
+    rows: Vec<MergeRow>,
+    /// Dominance frontier: (cap ascending, prefix-max q).
+    frontier: Vec<(f64, f64)>,
+    /// Per-buffer best-per-class tables.
+    best: Vec<Vec<Option<BestBuf>>>,
+    /// Freshly buffered candidates (plain insertion path).
+    fresh: Vec<DpCand>,
+    /// Pairwise prune: candidate indices in presorted order.
+    order: Vec<u32>,
+    /// Pairwise prune: surviving candidate indices.
+    keep: Vec<u32>,
+}
+
+impl DpScratch {
+    /// Prepares the scratch for a run over `nodes` tree nodes and `nbuf`
+    /// buffer types. Clears everything (so a panic mid-run cannot poison
+    /// the next one) while keeping the backing allocations.
+    fn reset(&mut self, nodes: usize, nbuf: usize) {
+        self.arena.clear();
+        for l in &mut self.lists {
+            l.clear();
+        }
+        if self.lists.len() < nodes {
+            self.lists.resize_with(nodes, Vec::new);
+        }
+        for t in &mut self.best {
+            t.clear();
+        }
+        if self.best.len() < nbuf {
+            self.best.resize_with(nbuf, Vec::new);
+        }
+        self.rows.clear();
+        self.frontier.clear();
+        self.fresh.clear();
+        self.order.clear();
+        self.keep.clear();
+    }
+
+    fn alloc(&mut self) -> Vec<DpCand> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    fn recycle(&mut self, mut v: Vec<DpCand>) {
+        v.clear();
+        self.pool.push(v);
+    }
+}
+
+fn prune(cands: &mut Vec<DpCand>, cfg: &DpConfig, scratch: &mut DpScratch) {
     if cands.len() <= 1 {
         return;
     }
     if cfg.conservative || cfg.cost_aware {
-        // Pairwise dominance over every tracked dimension. With
-        // `cost_aware` the cost joins the comparison; with `polarity`
-        // only same-parity candidates are comparable.
-        let noise_dims = cfg.conservative;
-        let mut keep: Vec<DpCand> = Vec::with_capacity(cands.len());
-        'outer: for c in cands.drain(..) {
-            let mut i = 0;
-            while i < keep.len() {
-                let k = &keep[i];
-                let comparable = !cfg.polarity || k.parity == c.parity;
-                let k_dominates = comparable
-                    && k.cap <= c.cap
-                    && k.q >= c.q
-                    && (!noise_dims || (k.cur <= c.cur && k.ns >= c.ns))
-                    && k.count <= c.count
-                    && (!cfg.cost_aware || k.cost <= c.cost);
-                if k_dominates {
-                    continue 'outer;
-                }
-                let c_dominates = comparable
-                    && c.cap <= k.cap
-                    && c.q >= k.q
-                    && (!noise_dims || (c.cur <= k.cur && c.ns >= k.ns))
-                    && c.count <= k.count
-                    && (!cfg.cost_aware || c.cost <= k.cost);
-                if c_dominates {
-                    keep.swap_remove(i);
-                } else {
-                    i += 1;
-                }
-            }
-            keep.push(c);
-        }
-        *cands = keep;
+        prune_pairwise(cands, cfg, &mut scratch.order, &mut scratch.keep);
+    } else {
+        sweep_prune(cands, &mut scratch.frontier);
+    }
+}
+
+/// Paper pruning as an in-place sweep: sort by (parity, count, cap, −q)
+/// and compact, carrying the cumulative lower-count frontier per parity.
+/// A candidate survives its class iff its q strictly exceeds everything
+/// cheaper in-class and beats the frontier of lower counts.
+fn sweep_prune<R: Row>(items: &mut Vec<R>, frontier: &mut Vec<(f64, f64)>) {
+    if items.len() <= 1 {
         return;
     }
-    // Paper pruning: (C, q) dominance, where a candidate may also be
-    // dominated by one with fewer (or equal) buffers. Sort by
-    // (parity, count, cap, -q) and sweep classes in ascending count,
-    // carrying the cumulative frontier of lower counts per parity.
-    cands.sort_by(|a, b| {
+    frontier.clear();
+    items.sort_by(|a, b| {
+        let (a, b) = (a.cand(), b.cand());
         a.parity
             .cmp(&b.parity)
             .then(a.count.cmp(&b.count))
             .then(a.cap.partial_cmp(&b.cap).expect("finite caps"))
             .then(b.q.partial_cmp(&a.q).expect("finite slacks"))
     });
-    // cumulative frontier: (cap ascending, prefix-max q) from lower counts.
-    let mut frontier: Vec<(f64, f64)> = Vec::new();
-    let mut out: Vec<DpCand> = Vec::new();
+    let n = items.len();
     let mut i = 0;
-    let n = cands.len();
+    let mut write = 0;
+    let mut prev_parity = items[0].cand().parity;
     while i < n {
-        let count = cands[i].count;
-        let parity = cands[i].parity;
-        if i > 0 && cands[i - 1].parity != parity {
+        let head = *items[i].cand();
+        let (count, parity) = (head.count, head.parity);
+        if parity != prev_parity {
             frontier.clear(); // parities are incomparable
+            prev_parity = parity;
         }
-        let mut class_survivors: Vec<DpCand> = Vec::new();
+        let class_start = write;
         let mut best_q = f64::NEG_INFINITY;
-        while i < n && cands[i].count == count && cands[i].parity == parity {
-            let c = &cands[i];
-            // In-class sweep: caps ascend, so c survives the class iff its
-            // q strictly exceeds everything cheaper seen so far...
-            let dominated_in_class = c.q <= best_q;
-            // ...and the cumulative lower-count frontier: max q among
-            // entries with cap ≤ c.cap.
-            let dominated_cross = frontier_max_q(&frontier, c.cap) >= c.q;
-            if !dominated_in_class && !dominated_cross {
+        while i < n {
+            let r = items[i];
+            let c = *r.cand();
+            if c.count != count || c.parity != parity {
+                break;
+            }
+            let dominated = c.q <= best_q || frontier_max_q(frontier, c.cap) >= c.q;
+            if !dominated {
                 best_q = c.q;
-                class_survivors.push(c.clone());
+                items[write] = r;
+                write += 1;
             }
             i += 1;
         }
-        for c in &class_survivors {
-            frontier_insert(&mut frontier, c.cap, c.q);
+        // Class survivors join the frontier for higher counts.
+        for r in &items[class_start..write] {
+            let c = r.cand();
+            frontier_insert(frontier, c.cap, c.q);
         }
-        out.extend(class_survivors);
     }
-    *cands = out;
+    items.truncate(write);
+}
+
+/// Pairwise dominance over every tracked dimension (conservative /
+/// cost-aware modes). Candidates are visited in `(parity?, count, cap)`
+/// presorted order, so a candidate can only be dominated by entries
+/// already kept — except inside an exact sort-key tie group, which forms
+/// the tail of `keep` and is scanned both ways. Survivors are compacted
+/// back in original (generation) order.
+fn prune_pairwise(
+    cands: &mut Vec<DpCand>,
+    cfg: &DpConfig,
+    order: &mut Vec<u32>,
+    keep: &mut Vec<u32>,
+) {
+    let noise_dims = cfg.conservative;
+    let dominates = |k: &DpCand, c: &DpCand| -> bool {
+        (!cfg.polarity || k.parity == c.parity)
+            && k.cap <= c.cap
+            && k.q >= c.q
+            && (!noise_dims || (k.cur <= c.cur && k.ns >= c.ns))
+            && k.count <= c.count
+            && (!cfg.cost_aware || k.cost <= c.cost)
+    };
+    order.clear();
+    order.extend(0..u32::try_from(cands.len()).expect("candidate list fits u32"));
+    order.sort_unstable_by(|&x, &y| {
+        let (a, b) = (&cands[x as usize], &cands[y as usize]);
+        let by_parity = if cfg.polarity {
+            // Without polarity, parities are mutually comparable, so the
+            // key must not separate them.
+            a.parity.cmp(&b.parity)
+        } else {
+            std::cmp::Ordering::Equal
+        };
+        by_parity
+            .then(a.count.cmp(&b.count))
+            .then(a.cap.partial_cmp(&b.cap).expect("finite caps"))
+            .then(x.cmp(&y)) // generation order breaks ties (first wins)
+    });
+    keep.clear();
+    'outer: for &ci in order.iter() {
+        let c = cands[ci as usize];
+        for &ki in keep.iter() {
+            if dominates(&cands[ki as usize], &c) {
+                continue 'outer;
+            }
+        }
+        // c can only dominate kept entries sharing its exact sort key
+        // (k earlier in key order with k.count ≤/cap ≤ both ways forces
+        // equality); those form a contiguous tail of `keep`.
+        let same_key = |k: &DpCand| {
+            k.count == c.count && k.cap == c.cap && (!cfg.polarity || k.parity == c.parity)
+        };
+        let mut start = keep.len();
+        while start > 0 && same_key(&cands[keep[start - 1] as usize]) {
+            start -= 1;
+        }
+        let mut j = start;
+        while j < keep.len() {
+            if dominates(&c, &cands[keep[j] as usize]) {
+                keep.remove(j);
+            } else {
+                j += 1;
+            }
+        }
+        keep.push(ci);
+    }
+    // Compact survivors in generation order (indices ascend, so in-place
+    // copies never clobber unread entries).
+    keep.sort_unstable();
+    for (w, &ki) in keep.iter().enumerate() {
+        cands[w] = cands[ki as usize];
+    }
+    cands.truncate(keep.len());
 }
 
 /// Max `q` among frontier entries with `cap ≤ limit` (−∞ if none).
-fn frontier_max_q(frontier: &[(f64, f64)], limit: f64) -> f64 {
+pub(crate) fn frontier_max_q(frontier: &[(f64, f64)], limit: f64) -> f64 {
     // frontier is sorted by cap ascending with strictly increasing prefix
     // max q (we store the running max directly).
     match frontier.binary_search_by(|&(cap, _)| cap.partial_cmp(&limit).expect("finite caps")) {
@@ -206,7 +387,7 @@ fn frontier_max_q(frontier: &[(f64, f64)], limit: f64) -> f64 {
 }
 
 /// Inserts `(cap, q)` keeping caps ascending and q the running prefix max.
-fn frontier_insert(frontier: &mut Vec<(f64, f64)>, cap: f64, q: f64) {
+pub(crate) fn frontier_insert(frontier: &mut Vec<(f64, f64)>, cap: f64, q: f64) {
     let pos = frontier
         .binary_search_by(|&(c, _)| c.partial_cmp(&cap).expect("finite caps"))
         .unwrap_or_else(|e| e);
@@ -233,29 +414,258 @@ fn frontier_insert(frontier: &mut Vec<(f64, f64)>, cap: f64, q: f64) {
     }
 }
 
-/// Applies the parent wire of a node to a candidate (paper Step 6).
-fn add_wire(c: &DpCand, wire: &Wire, wire_current: f64) -> DpCand {
+/// Applies the parent wire of a node to every candidate in place (paper
+/// Step 6), dropping candidates whose noise slack dies. The arithmetic
+/// matches the seed engine expression-for-expression (q and ns update
+/// before cap and cur, which they read).
+fn climb_in_place(
+    list: &mut Vec<DpCand>,
+    wire: &Wire,
+    wire_current: f64,
+    cfg: &DpConfig,
+) -> Result<(), CoreError> {
+    list.retain_mut(|c| {
+        c.q -= wire.resistance * (wire.capacitance / 2.0 + c.cap);
+        c.ns -= wire.resistance * (wire_current / 2.0 + c.cur);
+        c.cap += wire.capacitance;
+        c.cur += wire_current;
+        !cfg.noise || c.ns >= -NOISE_TOL
+    });
+    if list.is_empty() {
+        return Err(CoreError::NoFeasibleCandidate);
+    }
+    Ok(())
+}
+
+/// The candidate created by placing buffer `bid` at `v` on top of `c`,
+/// whose partial solution has provenance `pred`.
+fn buffered_candidate(
+    v: NodeId,
+    c: &DpCand,
+    bid: BufferId,
+    buf: &BufferType,
+    q_new: f64,
+    pred: u32,
+    arena: &mut ProvArena<(NodeId, BufferId)>,
+) -> DpCand {
     DpCand {
-        cap: c.cap + wire.capacitance,
-        q: c.q - wire.resistance * (wire.capacitance / 2.0 + c.cap),
-        cur: c.cur + wire_current,
-        ns: c.ns - wire.resistance * (wire_current / 2.0 + c.cur),
-        count: c.count,
-        cost: c.cost,
-        parity: c.parity,
-        set: c.set.clone(),
+        cap: buf.input_capacitance,
+        q: q_new,
+        cur: 0.0,
+        ns: buf.noise_margin,
+        count: c.count + 1,
+        cost: c.cost + buf.cost,
+        parity: c.parity ^ buf.inverting,
+        prov: arena.elem((v, bid), pred),
     }
 }
 
-/// Merges the candidate lists of two children (paper Steps 3–4): loads and
-/// currents add, slacks take the minimum.
-fn merge(left: &[DpCand], right: &[DpCand], cfg: &DpConfig) -> Vec<DpCand> {
-    let mut out = Vec::with_capacity(left.len() + right.len());
+/// Buffer-insertion step at a feasible node (paper Step 5 with the
+/// boldface noise guard): for every buffer type and every count class,
+/// the candidate producing the largest post-buffer slack — such that the
+/// buffer can legally drive the subtree — spawns a new candidate. With
+/// cost tracking, different downstream costs are incomparable, so every
+/// feasible candidate spawns one (pairwise pruning collapses the list
+/// afterwards).
+fn insert_buffers_plain(
+    v: NodeId,
+    cands: &mut Vec<DpCand>,
+    lib: &BufferLibrary,
+    cfg: &DpConfig,
+    scratch: &mut DpScratch,
+) {
+    let DpScratch {
+        arena, best, fresh, ..
+    } = scratch;
+    fresh.clear();
+    for (bi, (bid, buf)) in lib.entries().enumerate() {
+        let table = &mut best[bi];
+        table.clear();
+        for c in cands.iter() {
+            if let Some(max) = cfg.max_buffers {
+                if c.count + 1 > max {
+                    continue;
+                }
+            }
+            if cfg.noise && buf.resistance * c.cur > c.ns + NOISE_TOL {
+                continue; // the buffer would violate downstream noise
+            }
+            let q_new = c.q - buf.delay(c.cap);
+            if cfg.cost_aware {
+                fresh.push(buffered_candidate(v, c, bid, buf, q_new, c.prov, arena));
+                continue;
+            }
+            let class = 2 * c.count + usize::from(c.parity);
+            if table.len() <= class {
+                table.resize(class + 1, None);
+            }
+            let slot = &mut table[class];
+            if slot.is_none_or(|s| q_new > s.q_new) {
+                *slot = Some(BestBuf {
+                    q_new,
+                    cand: *c,
+                    left: c.prov,
+                    right: NONE,
+                });
+            }
+        }
+        for slot in table.iter().flatten() {
+            let pred = arena.join(slot.left, slot.right);
+            fresh.push(buffered_candidate(
+                v, &slot.cand, bid, buf, slot.q_new, pred, arena,
+            ));
+        }
+    }
+    cands.append(fresh);
+}
+
+/// Fused merge + buffer-insert + prune for the paper's (C, q) pruning
+/// modes: cross-product rows are generated with *deferred* provenance,
+/// the best-per-(buffer, class) tables are updated row-by-row in
+/// generation order (so buffered spawns see the same pre-prune product
+/// the seed engine did), and the row buffer is compacted by the dominance
+/// sweep whenever it doubles — the full |L|·|R| product is never live.
+/// Returns the pruned product plus the freshly buffered candidates.
+#[allow(clippy::too_many_arguments)]
+fn merge_fused(
+    v: NodeId,
+    left: &[DpCand],
+    right: &[DpCand],
+    lib: &BufferLibrary,
+    cfg: &DpConfig,
+    feasible: bool,
+    budget: &RunBudget,
+    scratch: &mut DpScratch,
+    stats: &mut DpStats,
+) -> Result<Vec<DpCand>, CoreError> {
+    debug_assert!(!cfg.conservative && !cfg.cost_aware);
+    let product = left.len().saturating_mul(right.len());
+    stats.peak_merge_product = stats.peak_merge_product.max(product);
+    let mut out = scratch.alloc();
+    let DpScratch {
+        arena,
+        rows,
+        frontier,
+        best,
+        ..
+    } = scratch;
+    rows.clear();
+    for t in best.iter_mut() {
+        t.clear();
+    }
+    let mut generated = 0usize;
+    let mut compact_at = 1024usize;
     for a in left {
         for b in right {
             if cfg.polarity && a.parity != b.parity {
                 // Mixed-parity merge would feed one branch an inverted
                 // signal; only same-parity pairs are legal.
+                continue;
+            }
+            let count = a.count + b.count;
+            if let Some(max) = cfg.max_buffers {
+                if count > max {
+                    continue;
+                }
+            }
+            let row = DpCand {
+                cap: a.cap + b.cap,
+                q: a.q.min(b.q),
+                cur: a.cur + b.cur,
+                ns: a.ns.min(b.ns),
+                count,
+                cost: a.cost + b.cost,
+                parity: a.parity,
+                prov: NONE,
+            };
+            generated += 1;
+            if feasible {
+                // Best-table updates happen pre-prune, in generation
+                // order, exactly like the seed's insert_buffers over the
+                // materialized product.
+                for (bi, (_, buf)) in lib.entries().enumerate() {
+                    if let Some(max) = cfg.max_buffers {
+                        if row.count + 1 > max {
+                            continue;
+                        }
+                    }
+                    if cfg.noise && buf.resistance * row.cur > row.ns + NOISE_TOL {
+                        continue;
+                    }
+                    let q_new = row.q - buf.delay(row.cap);
+                    let class = 2 * row.count + usize::from(row.parity);
+                    let table = &mut best[bi];
+                    if table.len() <= class {
+                        table.resize(class + 1, None);
+                    }
+                    let slot = &mut table[class];
+                    if slot.is_none_or(|s| q_new > s.q_new) {
+                        *slot = Some(BestBuf {
+                            q_new,
+                            cand: row,
+                            left: a.prov,
+                            right: b.prov,
+                        });
+                    }
+                }
+            }
+            rows.push(MergeRow {
+                cand: row,
+                left: a.prov,
+                right: b.prov,
+            });
+            if rows.len() >= compact_at {
+                budget.check_deadline()?;
+                sweep_prune(rows, frontier);
+                compact_at = (rows.len() * 2).max(1024);
+            }
+        }
+    }
+    if generated == 0 {
+        return Err(CoreError::NoFeasibleCandidate);
+    }
+    sweep_prune(rows, frontier);
+    out.reserve(rows.len());
+    for r in rows.iter() {
+        let mut c = r.cand;
+        c.prov = arena.join(r.left, r.right);
+        out.push(c);
+    }
+    if feasible {
+        for (bi, (bid, buf)) in lib.entries().enumerate() {
+            for slot in best[bi].iter().flatten() {
+                let pred = arena.join(slot.left, slot.right);
+                out.push(buffered_candidate(
+                    v, &slot.cand, bid, buf, slot.q_new, pred, arena,
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Materialized merge for the pairwise pruning modes (conservative /
+/// cost-aware), matching the seed engine: the full cross product is built
+/// (and gated on the budget up front, as the seed did), then buffer
+/// insertion scans it.
+fn merge_materialized(
+    left: &[DpCand],
+    right: &[DpCand],
+    cfg: &DpConfig,
+    budget: &RunBudget,
+    scratch: &mut DpScratch,
+    stats: &mut DpStats,
+) -> Result<Vec<DpCand>, CoreError> {
+    let product = left.len().saturating_mul(right.len());
+    stats.peak_merge_product = stats.peak_merge_product.max(product);
+    // The merge product is the resource that explodes on adversarial
+    // nets — gate on it *before* allocating.
+    budget.admit_candidates(product)?;
+    let mut out = scratch.alloc();
+    out.reserve(left.len() + right.len());
+    for a in left {
+        for b in right {
+            if cfg.polarity && a.parity != b.parity {
                 continue;
             }
             let count = a.count + b.count;
@@ -272,74 +682,27 @@ fn merge(left: &[DpCand], right: &[DpCand], cfg: &DpConfig) -> Vec<DpCand> {
                 count,
                 cost: a.cost + b.cost,
                 parity: a.parity,
-                set: a.set.join(&b.set),
+                prov: scratch.arena.join(a.prov, b.prov),
             });
         }
     }
-    out
+    if out.is_empty() {
+        scratch.recycle(out);
+        return Err(CoreError::NoFeasibleCandidate);
+    }
+    Ok(out)
 }
 
-/// Buffer-insertion step at a feasible node (paper Step 5 with the
-/// boldface noise guard): for every buffer type and every count class,
-/// the candidate producing the largest post-buffer slack — such that the
-/// buffer can legally drive the subtree — spawns a new candidate.
-fn insert_buffers(v: NodeId, cands: &mut Vec<DpCand>, lib: &BufferLibrary, cfg: &DpConfig) {
-    let mut fresh: Vec<DpCand> = Vec::new();
-    for (bid, buf) in lib.entries() {
-        // Best per (count, parity) class. With cost tracking, different
-        // downstream costs are incomparable, so every feasible candidate
-        // spawns one (pairwise pruning collapses the list afterwards).
-        let mut best: Vec<Option<(f64, usize)>> = Vec::new(); // q_new, index
-        for (idx, c) in cands.iter().enumerate() {
-            if let Some(max) = cfg.max_buffers {
-                if c.count + 1 > max {
-                    continue;
-                }
-            }
-            if cfg.noise && buf.resistance * c.cur > c.ns + NOISE_TOL {
-                continue; // the buffer would violate downstream noise
-            }
-            let q_new = c.q - buf.delay(c.cap);
-            if cfg.cost_aware {
-                fresh.push(buffered_candidate(v, c, bid, buf, q_new));
-                continue;
-            }
-            let class = 2 * c.count + usize::from(c.parity);
-            if best.len() <= class {
-                best.resize(class + 1, None);
-            }
-            let slot = &mut best[class];
-            if slot.is_none_or(|(bq, _)| q_new > bq) {
-                *slot = Some((q_new, idx));
-            }
-        }
-        for slot in best.into_iter().flatten() {
-            let (q_new, idx) = slot;
-            let c = &cands[idx];
-            fresh.push(buffered_candidate(v, c, bid, buf, q_new));
-        }
-    }
-    cands.extend(fresh);
-}
-
-/// The candidate created by placing buffer `bid` at `v` on top of `c`.
-fn buffered_candidate(
-    v: NodeId,
-    c: &DpCand,
-    bid: BufferId,
-    buf: &buffopt_buffers::BufferType,
-    q_new: f64,
-) -> DpCand {
-    DpCand {
-        cap: buf.input_capacitance,
-        q: q_new,
-        cur: 0.0,
-        ns: buf.noise_margin,
-        count: c.count + 1,
-        cost: c.cost + buf.cost,
-        parity: c.parity ^ buf.inverting,
-        set: c.set.insert((v, bid)),
-    }
+/// Runs the DP with a throwaway scratch. Prefer [`run_with`] plus a
+/// reused [`DpScratch`] on hot paths.
+pub(crate) fn run(
+    tree: &RoutingTree,
+    scenario: Option<&NoiseScenario>,
+    lib: &BufferLibrary,
+    cfg: &DpConfig,
+    budget: &RunBudget,
+) -> Result<(Vec<SourceCand>, DpStats), CoreError> {
+    run_with(&mut DpScratch::default(), tree, scenario, lib, cfg, budget)
 }
 
 /// Runs the DP over `tree` and returns every feasible source solution,
@@ -347,7 +710,8 @@ fn buffered_candidate(
 ///
 /// With `cfg.noise` set, `scenario` must match the tree and all returned
 /// solutions satisfy every noise constraint.
-pub(crate) fn run(
+pub(crate) fn run_with(
+    scratch: &mut DpScratch,
     tree: &RoutingTree,
     scenario: Option<&NoiseScenario>,
     lib: &BufferLibrary,
@@ -373,14 +737,19 @@ pub(crate) fn run(
     // waited in a batch queue still gets its whole time allowance.
     let budget = budget.armed();
     budget.admit_tree(tree.len())?;
+    scratch.reset(tree.len(), lib.len());
     let wire_current = |v: NodeId| -> f64 { scenario.map_or(0.0, |s| s.wire_current(tree, v)) };
 
     let mut stats = DpStats::default();
-    let mut lists: Vec<Option<Vec<DpCand>>> = vec![None; tree.len()];
+    let pairwise = cfg.conservative || cfg.cost_aware;
     for v in tree.postorder() {
         budget.check_deadline()?;
+        let feasible = tree.node(v).kind.is_feasible_site();
+        // The fused path folds buffer insertion into the merge.
+        let mut buffered = false;
         let mut cands: Vec<DpCand> = if let Some(spec) = tree.sink_spec(v) {
-            vec![DpCand {
+            let mut list = scratch.alloc();
+            list.push(DpCand {
                 cap: spec.capacitance,
                 q: spec.required_arrival_time,
                 cur: 0.0,
@@ -388,56 +757,59 @@ pub(crate) fn run(
                 count: 0,
                 cost: 0.0,
                 parity: false,
-                set: PSet::empty(),
-            }]
+                prov: NONE,
+            });
+            list
         } else {
-            // Wire-adjust each child list up to v, then merge.
-            let mut climbed: Vec<Vec<DpCand>> = Vec::new();
-            for &c in tree.children(v) {
-                let wire = tree.parent_wire(c).expect("child has wire");
-                let iw = wire_current(c);
-                let list = lists[c.index()].take().expect("postorder order");
-                let adjusted: Vec<DpCand> = list
-                    .iter()
-                    .map(|cand| add_wire(cand, wire, iw))
-                    .filter(|cand| !cfg.noise || cand.ns >= -NOISE_TOL)
-                    .collect();
-                if adjusted.is_empty() {
-                    return Err(CoreError::NoFeasibleCandidate);
+            match *tree.children(v) {
+                [c] => {
+                    let mut list = mem::take(&mut scratch.lists[c.index()]);
+                    let wire = tree.parent_wire(c).expect("child has wire");
+                    climb_in_place(&mut list, wire, wire_current(c), cfg)?;
+                    list
                 }
-                climbed.push(adjusted);
-            }
-            match climbed.len() {
-                1 => climbed.pop().expect("one child"),
-                2 => {
-                    let right = climbed.pop().expect("two children");
-                    let left = climbed.pop().expect("two children");
-                    // The merge product is the resource that explodes on
-                    // adversarial nets — gate on it *before* allocating.
-                    budget.admit_candidates(left.len().saturating_mul(right.len()))?;
-                    let merged = merge(&left, &right, cfg);
-                    if merged.is_empty() {
-                        return Err(CoreError::NoFeasibleCandidate);
-                    }
+                [cl, cr] => {
+                    let mut left = mem::take(&mut scratch.lists[cl.index()]);
+                    let mut right = mem::take(&mut scratch.lists[cr.index()]);
+                    let lw = tree.parent_wire(cl).expect("child has wire");
+                    let rw = tree.parent_wire(cr).expect("child has wire");
+                    climb_in_place(&mut left, lw, wire_current(cl), cfg)?;
+                    climb_in_place(&mut right, rw, wire_current(cr), cfg)?;
+                    let merged = if pairwise {
+                        merge_materialized(&left, &right, cfg, &budget, scratch, &mut stats)?
+                    } else {
+                        buffered = true;
+                        merge_fused(
+                            v, &left, &right, lib, cfg, feasible, &budget, scratch, &mut stats,
+                        )?
+                    };
+                    scratch.recycle(left);
+                    scratch.recycle(right);
                     merged
                 }
                 _ => unreachable!("trees are binary and internals have children"),
             }
         };
-        if tree.node(v).kind.is_feasible_site() {
-            insert_buffers(v, &mut cands, lib, cfg);
+        if feasible && !buffered {
+            insert_buffers_plain(v, &mut cands, lib, cfg, scratch);
         }
         budget.admit_candidates(cands.len())?;
         stats.peak_candidates = stats.peak_candidates.max(cands.len());
-        prune(&mut cands, cfg);
-        lists[v.index()] = Some(cands);
+        prune(&mut cands, cfg, scratch);
+        scratch.lists[v.index()] = cands;
     }
 
     // The driver (paper Fig. 10 Steps 2–4).
     let d = tree.driver();
-    let source_list = lists[tree.source().index()].take().expect("source");
-    let mut out: Vec<SourceCand> = Vec::new();
-    for c in source_list {
+    let source_list = mem::take(&mut scratch.lists[tree.source().index()]);
+    struct Raw {
+        slack: f64,
+        count: usize,
+        cost: f64,
+        prov: u32,
+    }
+    let mut out: Vec<Raw> = Vec::new();
+    for c in source_list.iter() {
         if cfg.noise && d.resistance * c.cur > c.ns + NOISE_TOL {
             continue;
         }
@@ -445,13 +817,14 @@ pub(crate) fn run(
             continue; // sinks would receive the complemented signal
         }
         let slack = c.q - (d.intrinsic_delay + d.resistance * c.cap);
-        out.push(SourceCand {
+        out.push(Raw {
             slack,
             count: c.count,
             cost: c.cost,
-            set: c.set,
+            prov: c.prov,
         });
     }
+    scratch.recycle(source_list);
     // Reduce: drop solutions dominated in (slack, count, cost).
     out.sort_by(|a, b| {
         a.count
@@ -459,7 +832,7 @@ pub(crate) fn run(
             .then(a.cost.partial_cmp(&b.cost).expect("finite costs"))
             .then(b.slack.partial_cmp(&a.slack).expect("finite slacks"))
     });
-    let mut reduced: Vec<SourceCand> = Vec::new();
+    let mut reduced: Vec<Raw> = Vec::new();
     for c in out {
         let dominated = reduced
             .iter()
@@ -471,12 +844,25 @@ pub(crate) fn run(
     if reduced.is_empty() {
         return Err(CoreError::NoFeasibleCandidate);
     }
-    Ok((reduced, stats))
+    // Reconstruction pass: only the reduced winners walk the arena.
+    let solutions = reduced
+        .into_iter()
+        .map(|c| SourceCand {
+            slack: c.slack,
+            count: c.count,
+            cost: c.cost,
+            insertions: scratch.arena.resolve(c.prov),
+        })
+        .collect();
+    Ok((solutions, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use buffopt_buffers::catalog;
+    use buffopt_tree::{Driver, SinkSpec, TreeBuilder};
+    use proptest::prelude::*;
 
     fn cand(cap: f64, q: f64, count: usize) -> DpCand {
         DpCand {
@@ -487,8 +873,13 @@ mod tests {
             count,
             cost: count as f64,
             parity: false,
-            set: PSet::empty(),
+            prov: NONE,
         }
+    }
+
+    fn prune_standalone(v: &mut Vec<DpCand>, cfg: &DpConfig) {
+        let mut scratch = DpScratch::default();
+        prune(v, cfg, &mut scratch);
     }
 
     #[test]
@@ -503,7 +894,7 @@ mod tests {
             cand(0.5, 8.0, 0),  // survives: cheapest
             cand(3.0, 12.0, 0), // survives: best q
         ];
-        prune(&mut v, &cfg);
+        prune_standalone(&mut v, &cfg);
         assert_eq!(v.len(), 3);
     }
 
@@ -515,7 +906,7 @@ mod tests {
         };
         let mut v = vec![cand(1.0, 10.0, 0), cand(1.5, 9.0, 2), cand(0.9, 11.0, 1)];
         // count-2 candidate is worse than count-0 in cap and q: dropped.
-        prune(&mut v, &cfg);
+        prune_standalone(&mut v, &cfg);
         assert_eq!(v.len(), 2);
         assert!(v.iter().all(|c| c.count != 2));
     }
@@ -534,7 +925,7 @@ mod tests {
         b.cur = 1e-6;
         b.ns = 0.8; // good noise, worse timing
         let mut v = vec![a, b];
-        prune(&mut v, &cfg);
+        prune_standalone(&mut v, &cfg);
         assert_eq!(v.len(), 2, "conservative mode keeps the noise-clean one");
     }
 
@@ -552,8 +943,30 @@ mod tests {
         b.cur = 1e-6;
         b.ns = 0.8;
         let mut v = vec![a, b];
-        prune(&mut v, &cfg);
+        prune_standalone(&mut v, &cfg);
         assert_eq!(v.len(), 1, "paper pruning is (C, q) only");
+    }
+
+    #[test]
+    fn pairwise_prune_keeps_generation_order() {
+        let cfg = DpConfig {
+            noise: true,
+            conservative: true,
+            ..DpConfig::default()
+        };
+        // Mutually incomparable candidates in deliberately unsorted order.
+        let mut a = cand(3.0, 12.0, 0);
+        a.ns = 0.9;
+        let mut b = cand(1.0, 10.0, 0);
+        b.ns = 0.5;
+        let mut c = cand(0.5, 8.0, 1);
+        c.ns = 0.1;
+        let mut v = vec![a, b, c];
+        prune_standalone(&mut v, &cfg);
+        assert_eq!(v.len(), 3);
+        assert!((v[0].cap - 3.0).abs() < 1e-12, "generation order preserved");
+        assert!((v[1].cap - 1.0).abs() < 1e-12);
+        assert!((v[2].cap - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -568,9 +981,253 @@ mod tests {
         assert!((frontier_max_q(&f, 10.0) - 5.0).abs() < 1e-12);
     }
 
+    /// Dominance as each pruning mode defines it (weak form: ties count
+    /// as domination, which is what makes "mutually non-dominated" mean
+    /// "no duplicates survive either").
+    fn dominates(k: &DpCand, c: &DpCand, cfg: &DpConfig) -> bool {
+        if cfg.conservative || cfg.cost_aware {
+            (!cfg.polarity || k.parity == c.parity)
+                && k.cap <= c.cap
+                && k.q >= c.q
+                && (!cfg.conservative || (k.cur <= c.cur && k.ns >= c.ns))
+                && k.count <= c.count
+                && (!cfg.cost_aware || k.cost <= c.cost)
+        } else {
+            k.parity == c.parity && k.count <= c.count && k.cap <= c.cap && k.q >= c.q
+        }
+    }
+
+    /// Grid-quantized random candidate: coarse grids force the cap/q/cost
+    /// ties that stress tie-group handling in both prune paths.
+    fn grid_cand(g: (u8, u8, u8, u8, u8, u8)) -> DpCand {
+        let (cap_g, q_g, cur_g, ns_g, count, flags) = g;
+        DpCand {
+            cap: f64::from(cap_g) * 5e-14,
+            q: f64::from(q_g) * 2.5e-10 - 1e-9,
+            cur: f64::from(cur_g) * 4e-5,
+            ns: f64::from(ns_g) * 0.3,
+            count: usize::from(count),
+            cost: f64::from(flags >> 1) * 0.5,
+            parity: flags & 1 == 1,
+            prov: NONE,
+        }
+    }
+
+    fn grid_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, u8, u8, u8)>> {
+        prop::collection::vec((0u8..6, 0u8..10, 0u8..4, 0u8..4, 0u8..4, 0u8..8), 0..40)
+    }
+
+    fn prune_mode_matrix() -> Vec<DpConfig> {
+        let base = DpConfig {
+            noise: false,
+            ..DpConfig::default()
+        };
+        vec![
+            base,
+            DpConfig {
+                polarity: true,
+                ..base
+            },
+            DpConfig {
+                conservative: true,
+                ..base
+            },
+            DpConfig {
+                conservative: true,
+                polarity: true,
+                ..base
+            },
+            DpConfig {
+                cost_aware: true,
+                ..base
+            },
+            DpConfig {
+                conservative: true,
+                cost_aware: true,
+                polarity: true,
+                ..base
+            },
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// After pruning, in every mode: no survivor dominates another,
+        /// every dropped candidate is dominated by some survivor, and
+        /// survivors are a subset of the input.
+        #[test]
+        fn prop_pruned_lists_mutually_non_dominated(grids in grid_strategy()) {
+            let input: Vec<DpCand> = grids.iter().map(|&g| grid_cand(g)).collect();
+            for cfg in prune_mode_matrix() {
+                let mut v = input.clone();
+                prune_standalone(&mut v, &cfg);
+                for (i, a) in v.iter().enumerate() {
+                    for (j, b) in v.iter().enumerate() {
+                        prop_assert!(
+                            i == j || !dominates(a, b, &cfg),
+                            "survivor {i} dominates survivor {j} (cfg {cfg:?})"
+                        );
+                    }
+                }
+                for c in input.iter() {
+                    prop_assert!(
+                        v.iter().any(|k| dominates(k, c, &cfg)),
+                        "dropped candidate not covered by any survivor (cfg {cfg:?})"
+                    );
+                }
+                let key = |c: &DpCand| (c.cap.to_bits(), c.q.to_bits(), c.count, c.parity);
+                for s in v.iter() {
+                    prop_assert!(input.iter().any(|c| key(c) == key(s)));
+                }
+            }
+        }
+
+        /// The pairwise prune (presorted, index-based) returns exactly what
+        /// the naive generation-order O(n²) oracle returns, in the same
+        /// order.
+        #[test]
+        fn prop_pairwise_prune_matches_naive_oracle(grids in grid_strategy()) {
+            let input: Vec<DpCand> = grids.iter().map(|&g| grid_cand(g)).collect();
+            for cfg in prune_mode_matrix() {
+                if !(cfg.conservative || cfg.cost_aware) {
+                    continue;
+                }
+                let mut expect: Vec<DpCand> = Vec::new();
+                'outer: for c in input.iter() {
+                    for k in expect.iter() {
+                        if dominates(k, c, &cfg) {
+                            continue 'outer;
+                        }
+                    }
+                    expect.retain(|k| !dominates(c, k, &cfg));
+                    expect.push(*c);
+                }
+                let mut got = input.clone();
+                prune_standalone(&mut got, &cfg);
+                prop_assert_eq!(got.len(), expect.len(), "cfg {:?}", cfg);
+                for (g, e) in got.iter().zip(expect.iter()) {
+                    prop_assert!(
+                        g.cap.to_bits() == e.cap.to_bits()
+                            && g.q.to_bits() == e.q.to_bits()
+                            && g.cur.to_bits() == e.cur.to_bits()
+                            && g.ns.to_bits() == e.ns.to_bits()
+                            && g.count == e.count
+                            && g.cost.to_bits() == e.cost.to_bits()
+                            && g.parity == e.parity,
+                        "pairwise prune diverged from the oracle (cfg {:?})",
+                        cfg
+                    );
+                }
+            }
+        }
+
+        /// Fused merge-prune computes exactly `prune(insert_buffers(merge(L, R)))`
+        /// of the materialized seed pipeline, in every sweep-pruned mode —
+        /// the core claim that lets the |L|·|R| product stay virtual.
+        #[test]
+        fn prop_fused_merge_equals_prune_of_materialized(
+            lg in grid_strategy(),
+            rg in grid_strategy(),
+            feasible in prop::bool::ANY,
+        ) {
+            let left: Vec<DpCand> = lg.iter().map(|&g| grid_cand(g)).collect();
+            let right: Vec<DpCand> = rg.iter().map(|&g| grid_cand(g)).collect();
+            let lib = catalog::ibm_like();
+            let mut b = TreeBuilder::new(Driver::new(100.0, 1e-12));
+            b.add_sink(
+                b.source(),
+                Wire::from_rc(1.0, 1e-15, 1.0),
+                SinkSpec::new(1e-15, 1e-9, 0.5),
+            )
+            .expect("sink");
+            let tree = b.build().expect("tree");
+            let v = tree.source();
+            let budget = RunBudget::default().armed();
+            let sweep_modes = [
+                DpConfig { noise: false, ..DpConfig::default() },
+                DpConfig::default(),
+                DpConfig { polarity: true, ..DpConfig::default() },
+                DpConfig { max_buffers: Some(3), noise: false, ..DpConfig::default() },
+            ];
+            for cfg in sweep_modes {
+                let mut s1 = DpScratch::default();
+                s1.reset(2, lib.len());
+                let mut stats1 = DpStats::default();
+                let fused = merge_fused(
+                    v, &left, &right, &lib, &cfg, feasible, &budget, &mut s1, &mut stats1,
+                );
+                let mut s2 = DpScratch::default();
+                s2.reset(2, lib.len());
+                let mut stats2 = DpStats::default();
+                let mat = merge_materialized(&left, &right, &cfg, &budget, &mut s2, &mut stats2);
+                match (fused, mat) {
+                    (Ok(mut f), Ok(mut m)) => {
+                        if feasible {
+                            insert_buffers_plain(v, &mut m, &lib, &cfg, &mut s2);
+                        }
+                        prune(&mut f, &cfg, &mut s1);
+                        prune(&mut m, &cfg, &mut s2);
+                        prop_assert_eq!(f.len(), m.len(), "cfg {:?}", cfg);
+                        for (a, b) in f.iter().zip(m.iter()) {
+                            prop_assert!(
+                                a.cap.to_bits() == b.cap.to_bits()
+                                    && a.q.to_bits() == b.q.to_bits()
+                                    && a.cur.to_bits() == b.cur.to_bits()
+                                    && a.ns.to_bits() == b.ns.to_bits()
+                                    && a.count == b.count
+                                    && a.cost.to_bits() == b.cost.to_bits()
+                                    && a.parity == b.parity,
+                                "fused row diverged from materialized pipeline (cfg {:?})",
+                                cfg
+                            );
+                        }
+                        prop_assert_eq!(stats1.peak_merge_product, stats2.peak_merge_product);
+                    }
+                    (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+                    (f, m) => prop_assert!(
+                        false,
+                        "engines disagree on feasibility: fused {:?}, materialized {:?}",
+                        f.map(|x| x.len()),
+                        m.map(|x| x.len())
+                    ),
+                }
+            }
+        }
+
+        /// The incremental frontier answers every query exactly like a flat
+        /// list of all inserted points scanned in O(n).
+        #[test]
+        fn prop_frontier_matches_naive_oracle(
+            ops in prop::collection::vec((0u8..12, 0u8..12, prop::bool::ANY), 1..60)
+        ) {
+            let mut frontier: Vec<(f64, f64)> = Vec::new();
+            let mut naive: Vec<(f64, f64)> = Vec::new();
+            for (cap_g, q_g, is_insert) in ops {
+                let cap = f64::from(cap_g) * 0.25;
+                let q = f64::from(q_g) * 0.5 - 2.0;
+                if is_insert {
+                    frontier_insert(&mut frontier, cap, q);
+                    naive.push((cap, q));
+                } else {
+                    let got = frontier_max_q(&frontier, cap);
+                    let expect = naive
+                        .iter()
+                        .filter(|&&(c, _)| c <= cap)
+                        .map(|&(_, q)| q)
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    prop_assert!(
+                        got == expect,
+                        "query at {cap}: frontier says {got}, oracle says {expect}"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn add_wire_matches_formulas() {
-        let c = DpCand {
+        let mut c = DpCand {
             cap: 10e-15,
             q: 1e-9,
             cur: 5e-6,
@@ -578,13 +1235,19 @@ mod tests {
             count: 0,
             cost: 0.0,
             parity: false,
-            set: PSet::empty(),
+            prov: NONE,
         };
         let w = Wire::from_rc(100.0, 40e-15, 200.0);
-        let out = add_wire(&c, &w, 8e-6);
-        assert!((out.cap - 50e-15).abs() < 1e-27);
-        assert!((out.q - (1e-9 - 100.0 * (20e-15 + 10e-15))).abs() < 1e-21);
-        assert!((out.cur - 13e-6).abs() < 1e-15);
-        assert!((out.ns - (0.5 - 100.0 * (4e-6 + 5e-6))).abs() < 1e-12);
+        let cfg = DpConfig {
+            noise: false,
+            ..DpConfig::default()
+        };
+        let mut list = vec![c];
+        climb_in_place(&mut list, &w, 8e-6, &cfg).expect("survives");
+        c = list[0];
+        assert!((c.cap - 50e-15).abs() < 1e-27);
+        assert!((c.q - (1e-9 - 100.0 * (20e-15 + 10e-15))).abs() < 1e-21);
+        assert!((c.cur - 13e-6).abs() < 1e-15);
+        assert!((c.ns - (0.5 - 100.0 * (4e-6 + 5e-6))).abs() < 1e-12);
     }
 }

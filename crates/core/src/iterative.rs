@@ -134,6 +134,7 @@ pub fn optimize(
         cost,
         meets_noise: options.noise,
         peak_candidates: 0, // greedy holds no candidate lists
+        peak_merge_product: 0,
     })
 }
 

@@ -49,6 +49,7 @@
 
 pub mod algorithm1;
 pub mod algorithm2;
+mod arena;
 mod assignment;
 pub mod audit;
 mod budget;
@@ -56,14 +57,20 @@ pub mod buffopt;
 mod candidate;
 mod climb;
 pub mod delayopt;
+#[cfg(test)]
+mod difftest;
 mod dp;
+#[cfg(any(test, feature = "reference"))]
+pub mod dp_reference;
 mod error;
 pub mod feasibility;
 pub mod iterative;
 mod rebuild;
 pub mod wiresize;
+mod workspace;
 
 pub use assignment::Assignment;
 pub use budget::RunBudget;
 pub use delayopt::Solution;
 pub use error::{BudgetResource, CoreError};
+pub use workspace::DpWorkspace;

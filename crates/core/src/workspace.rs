@@ -1,0 +1,35 @@
+//! Reusable optimizer scratch memory.
+//!
+//! Every DP run needs a provenance arena plus a handful of candidate
+//! lists, frontiers, and best-per-class tables. Allocating them per net is
+//! cheap but not free — batch pipelines and server workers run thousands
+//! of nets, and the allocator traffic was the dominant setup cost after
+//! the arena rewrite removed `PSet`. A [`DpWorkspace`] owns all of that
+//! scratch; thread one through the `*_with` optimizer entry points
+//! ([`crate::buffopt::optimize_with`], [`crate::delayopt::optimize_with`],
+//! …) and steady-state runs allocate (almost) nothing.
+//!
+//! A workspace is plain mutable state — not `Sync` — so give each worker
+//! thread its own. Every run fully resets the scratch on entry, which
+//! makes a workspace safe to reuse even after a run panicked or errored
+//! out mid-way.
+
+use crate::arena::ProvArena;
+use crate::dp::DpScratch;
+use crate::rebuild::WireInsertion;
+
+/// Reusable scratch for the DP optimizers. See the module docs.
+#[derive(Debug, Default)]
+pub struct DpWorkspace {
+    pub(crate) dp: DpScratch,
+    /// Insertion arena for Algorithm 2 (`avoid_noise_budgeted_with`).
+    pub(crate) alg2: ProvArena<WireInsertion>,
+}
+
+impl DpWorkspace {
+    /// Creates an empty workspace. Capacity grows to the largest net it
+    /// has processed and is retained across runs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -37,7 +37,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use buffopt::buffopt::{self as algo3, BuffOptOptions};
-use buffopt::{algorithm2, audit, Assignment, CoreError, RunBudget, Solution};
+use buffopt::{algorithm2, audit, Assignment, CoreError, DpWorkspace, RunBudget, Solution};
 use buffopt_buffers::BufferLibrary;
 use buffopt_noise::NoiseScenario;
 use buffopt_tree::{segment, RoutingTree};
@@ -204,6 +204,10 @@ pub struct NetOutcome {
     /// Peak DP candidate-list size across the successful rung (0 when no
     /// DP rung succeeded).
     pub candidate_peak: usize,
+    /// Peak raw |L|·|R| merge product the successful DP rung swept (0 when
+    /// no DP rung succeeded). The gap to `candidate_peak` is how much the
+    /// fused merge-prune saved on this net.
+    pub merge_peak: usize,
     /// Buffers inserted by the serving solution.
     pub buffers: Option<usize>,
     /// Audited timing slack of the serving solution (seconds).
@@ -225,6 +229,7 @@ impl NetOutcome {
             attempts: Vec::new(),
             wall: Duration::ZERO,
             candidate_peak: 0,
+            merge_peak: 0,
             buffers: None,
             slack: None,
             worst_headroom: None,
@@ -236,8 +241,8 @@ impl NetOutcome {
     ///
     /// Schema (all keys always present):
     /// `net`, `outcome`, `rung`, `error`, `wall_ms`, `candidate_peak`,
-    /// `buffers`, `slack`, `worst_headroom`, `attempts` (array of
-    /// `{rung, error}`).
+    /// `merge_peak`, `buffers`, `slack`, `worst_headroom`, `attempts`
+    /// (array of `{rung, error}`).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256);
         s.push_str("{\"net\":");
@@ -262,6 +267,8 @@ impl NetOutcome {
         push_json_f64(&mut s, self.wall.as_secs_f64() * 1e3);
         s.push_str(",\"candidate_peak\":");
         s.push_str(&self.candidate_peak.to_string());
+        s.push_str(",\"merge_peak\":");
+        s.push_str(&self.merge_peak.to_string());
         s.push_str(",\"buffers\":");
         match self.buffers {
             Some(b) => s.push_str(&b.to_string()),
@@ -451,6 +458,20 @@ pub fn optimize_net(
     scenario: &NoiseScenario,
     cfg: &PipelineConfig,
 ) -> NetOutcome {
+    optimize_net_with(&mut DpWorkspace::new(), name, tree, scenario, cfg)
+}
+
+/// [`optimize_net`] with a caller-owned [`DpWorkspace`], so batch drivers
+/// and server workers amortize the DP scratch across nets. Rungs run
+/// inside `catch_unwind`; a workspace is fully reset at the start of every
+/// run, so reusing one after a panicked net is safe.
+pub fn optimize_net_with(
+    ws: &mut DpWorkspace,
+    name: &str,
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    cfg: &PipelineConfig,
+) -> NetOutcome {
     let start = Instant::now();
     // Arm the deadline now — the net is being dequeued and starts running
     // this instant. All rungs share the one armed deadline.
@@ -480,7 +501,9 @@ pub fn optimize_net(
 
     if let Ok((work_tree, work_scenario)) = &segmented {
         // Rung 1 — Problem 3: fewest buffers meeting noise AND timing.
-        match guarded(|| algo3::min_buffers(work_tree, work_scenario, &cfg.library, &options)) {
+        match guarded(|| {
+            algo3::min_buffers_with(ws, work_tree, work_scenario, &cfg.library, &options)
+        }) {
             Ok(sol) if sol.slack >= 0.0 => {
                 return finish(
                     out,
@@ -505,7 +528,8 @@ pub fn optimize_net(
 
         // Rung 2 — Problem 2: maximize slack under noise; negative slack
         // is accepted as a degraded (noise-clean) result.
-        match guarded(|| algo3::optimize(work_tree, work_scenario, &cfg.library, &options)) {
+        match guarded(|| algo3::optimize_with(ws, work_tree, work_scenario, &cfg.library, &options))
+        {
             Ok(sol) => {
                 let outcome = if sol.slack >= 0.0 {
                     Outcome::Optimized
@@ -538,7 +562,9 @@ pub fn optimize_net(
     // Rung 3 — Algorithm 2 noise-only, continuous positions on the raw
     // tree (independent of segmentation, so it also rescues nets whose
     // segmentation failed).
-    match guarded(|| algorithm2::avoid_noise_budgeted(tree, scenario, &cfg.library, &budget)) {
+    match guarded(|| {
+        algorithm2::avoid_noise_budgeted_with(ws, tree, scenario, &cfg.library, &budget)
+    }) {
         Ok(sol) => {
             let audit_result = guarded(|| {
                 let noise = audit::noise(&sol.tree, &sol.scenario, &cfg.library, &sol.assignment);
@@ -604,6 +630,7 @@ fn finish(
     out.buffers = Some(sol.buffers);
     out.slack = Some(sol.slack);
     out.candidate_peak = sol.peak_candidates;
+    out.merge_peak = sol.peak_merge_product;
     if let Ok(headroom) =
         guarded(|| Ok(audit::noise(tree, scenario, lib, &sol.assignment).worst_headroom()))
     {
@@ -620,12 +647,22 @@ fn finish(
 /// the types involved are plain owned data (`Send + Sync`), so inputs
 /// can be fanned out across threads and the records collected back.
 pub fn optimize_input(input: &NetInput, cfg: &PipelineConfig) -> NetOutcome {
+    optimize_input_with(&mut DpWorkspace::new(), input, cfg)
+}
+
+/// [`optimize_input`] with a caller-owned [`DpWorkspace`] (see
+/// [`optimize_net_with`]).
+pub fn optimize_input_with(
+    ws: &mut DpWorkspace,
+    input: &NetInput,
+    cfg: &PipelineConfig,
+) -> NetOutcome {
     match input {
         NetInput::Parsed {
             name,
             tree,
             scenario,
-        } => optimize_net(name, tree, scenario, cfg),
+        } => optimize_net_with(ws, name, tree, scenario, cfg),
         NetInput::Failed { name, error } => {
             let mut o = NetOutcome::shell(name, Outcome::ParseError);
             o.error = Some(error.clone());
@@ -707,9 +744,12 @@ impl Drop for PanicHush {
 pub fn run_batch(inputs: &[NetInput], cfg: &PipelineConfig) -> BatchReport {
     let start = Instant::now();
     let _hush = hush_panics();
+    // One workspace for the whole batch: candidate lists, arenas, and
+    // frontiers grow to the largest net once and are reused thereafter.
+    let mut ws = DpWorkspace::new();
     let outcomes = inputs
         .iter()
-        .map(|input| optimize_input(input, cfg))
+        .map(|input| optimize_input_with(&mut ws, input, cfg))
         .collect();
     BatchReport {
         outcomes,

@@ -58,8 +58,8 @@ use std::time::{Duration, Instant};
 
 use buffopt_pipeline::fault::{FaultAction, FaultPlan, Seam};
 use buffopt_pipeline::{
-    hush_panics, optimize_input, BatchReport, NetInput, NetOutcome, Outcome, PanicHush,
-    PipelineConfig,
+    hush_panics, optimize_input, optimize_input_with, BatchReport, NetInput, NetOutcome, Outcome,
+    PanicHush, PipelineConfig,
 };
 
 use crate::cache::{digest, SolutionCache};
@@ -799,6 +799,10 @@ fn failed_record(name: String, why: &str) -> NetOutcome {
 }
 
 fn worker_loop(wid: usize, shared: &WorkerShared) {
+    // One DP workspace per worker thread, reused across every net this
+    // worker serves. A run fully resets the scratch on entry, so reuse
+    // after a caught panic is safe.
+    let mut ws = buffopt::DpWorkspace::new();
     loop {
         // Bleed off surplus capacity: if a stalled worker's replacement
         // outlived the stall, whichever worker reaches this check first
@@ -872,14 +876,14 @@ fn worker_loop(wid: usize, shared: &WorkerShared) {
                 ),
                 Some(FaultAction::StallMs(ms)) => {
                     std::thread::sleep(Duration::from_millis(ms));
-                    optimize_input(input, &shared.cfg)
+                    optimize_input_with(&mut ws, input, &shared.cfg)
                 }
                 Some(FaultAction::WrongOutput) => {
-                    let mut r = optimize_input(input, &shared.cfg);
+                    let mut r = optimize_input_with(&mut ws, input, &shared.cfg);
                     r.name = format!("__fault__{}", r.name);
                     r
                 }
-                None => optimize_input(input, &shared.cfg),
+                None => optimize_input_with(&mut ws, input, &shared.cfg),
             }))
             .unwrap_or_else(|_| {
                 failed_record(

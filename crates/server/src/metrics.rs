@@ -92,6 +92,8 @@ pub struct Metrics {
     stale_drops: AtomicU64,
     bad_outputs: AtomicU64,
     conn_errors: AtomicU64,
+    candidate_peak: AtomicU64,
+    merge_peak: AtomicU64,
 }
 
 impl Metrics {
@@ -148,6 +150,13 @@ impl Metrics {
             r.served.fetch_add(1, Ordering::Relaxed);
             r.latency[bucket_of(o.wall)].fetch_add(1, Ordering::Relaxed);
         }
+        // Candidate-pressure gauges: high-water marks over every served
+        // net, the serving-side view of how close the DP runs to its
+        // candidate budget.
+        self.candidate_peak
+            .fetch_max(o.candidate_peak as u64, Ordering::Relaxed);
+        self.merge_peak
+            .fetch_max(o.merge_peak as u64, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of every counter, combined with the cache's
@@ -167,6 +176,8 @@ impl Metrics {
             stale_drops: self.stale_drops.load(Ordering::Relaxed),
             bad_outputs: self.bad_outputs.load(Ordering::Relaxed),
             conn_errors: self.conn_errors.load(Ordering::Relaxed),
+            candidate_peak: self.candidate_peak.load(Ordering::Relaxed),
+            merge_peak: self.merge_peak.load(Ordering::Relaxed),
             cache,
             workers,
         }
@@ -207,6 +218,11 @@ pub struct MetricsSnapshot {
     pub bad_outputs: u64,
     /// Connections terminated for protocol violations.
     pub conn_errors: u64,
+    /// Largest per-net DP candidate list served so far (high-water mark).
+    pub candidate_peak: u64,
+    /// Largest raw |L|·|R| merge product served so far (high-water mark);
+    /// the gap to `candidate_peak` is the fused merge-prune's savings.
+    pub merge_peak: u64,
     /// Cache counters at snapshot time.
     pub cache: CacheStats,
     /// Worker threads in the pool.
@@ -244,6 +260,10 @@ impl MetricsSnapshot {
         s.push_str(&format!(
             ",\"connections\":{{\"errors\":{}}}",
             self.conn_errors
+        ));
+        s.push_str(&format!(
+            ",\"candidates\":{{\"peak\":{},\"merge_peak\":{}}}",
+            self.candidate_peak, self.merge_peak
         ));
         s.push_str(",\"outcomes\":{");
         for (i, o) in OUTCOMES.iter().enumerate() {
@@ -328,6 +348,26 @@ mod tests {
     }
 
     #[test]
+    fn candidate_pressure_gauges_track_high_water_marks() {
+        let m = Metrics::default();
+        let mut rec = parse_error_record();
+        rec.candidate_peak = 40;
+        rec.merge_peak = 900;
+        m.record_outcome(&rec);
+        rec.candidate_peak = 25;
+        rec.merge_peak = 1200;
+        m.record_outcome(&rec);
+        let snap = m.snapshot(CacheStats::default(), 1);
+        assert_eq!(snap.candidate_peak, 40, "keeps the max, not the last");
+        assert_eq!(snap.merge_peak, 1200);
+        let j = snap.to_json();
+        assert!(
+            j.contains("\"candidates\":{\"peak\":40,\"merge_peak\":1200}"),
+            "{j}"
+        );
+    }
+
+    #[test]
     fn snapshot_serializes_every_section() {
         let m = Metrics::default();
         m.record_request();
@@ -350,6 +390,7 @@ mod tests {
             "\"admission\":{\"overloaded\":0,\"deadline_exceeded\":0,\"shutting_down\":0,\"stale_drops\":0}",
             "\"supervision\":{\"worker_deaths\":0,\"respawns\":0,\"retries\":0,\"bad_outputs\":0}",
             "\"connections\":{\"errors\":0}",
+            "\"candidates\":{\"peak\":0,\"merge_peak\":0}",
             "\"outcomes\":{\"optimized\":0",
             "\"latency_bounds_ms\":[1,3,10,30,100,300,1000,3000]",
             "\"rungs\":{\"problem3\":{\"served\":0,\"latency\":[0,0,0,0,0,0,0,0,0]}",

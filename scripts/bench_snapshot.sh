@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build and run the DP performance snapshot, producing BENCH_dp.json: per
+# net size, median wall time for the arena engine vs the seed engine,
+# candidate-pressure stats, and (with allocation counting compiled in)
+# allocator traffic per run.
+#
+# usage: scripts/bench_snapshot.sh [--quick] [--out PATH] [--no-alloc-count]
+#
+#   --quick           5 samples per size instead of 31 (CI smoke)
+#   --out PATH        where to write the JSON (default BENCH_dp.json)
+#   --no-alloc-count  skip the counting-allocator build; wall times then
+#                     come from the stock allocator (marginally faster)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+features=(--features alloc-count)
+args=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --no-alloc-count) features=() ;;
+        --quick) args+=(--quick) ;;
+        --out)
+            args+=(--out "$2")
+            shift
+            ;;
+        *)
+            echo "error: unknown argument $1" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+
+cargo build --release -p buffopt-bench --bin dp_snapshot "${features[@]}"
+exec target/release/dp_snapshot "${args[@]}"
