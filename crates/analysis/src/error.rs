@@ -1,0 +1,40 @@
+//! Typed analysis failures.
+
+use std::fmt;
+
+/// What went wrong inside a kernel sweep.
+///
+/// The seed implementations `assert_eq!`-panicked on mismatched table
+/// lengths, killing the calling worker; kernel-backed paths surface the
+/// same conditions as values so the pipeline's degradation ladder can
+/// handle them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A caller-supplied table does not match the topology's node count.
+    TableMismatch {
+        /// Which table was wrong (e.g. `"current table"`).
+        table: &'static str,
+        /// The topology's node count.
+        expected: usize,
+        /// The supplied table's length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::TableMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{table} does not match the tree: expected {expected} entries, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}

@@ -1,0 +1,359 @@
+//! The propagation kernel: topology and metric traits plus the sweeps.
+//!
+//! Bitwise-equality contract: downstream crates re-express their seed
+//! analyses as [`AdditiveMetric`] instances and demand the kernel produce
+//! *bitwise identical* tables. Every accumulation below therefore fixes
+//! the floating-point operation order — child terms fold left-to-right
+//! from `-0.0` (the IEEE additive identity `Iterator::sum` uses, which
+//! childless nodes expose in the output), the injection is added last as
+//! `injection + below` *only when the metric reports one* (a forced
+//! `0.0 + below` would flip a childless node's `-0.0` to `+0.0`), the
+//! π-model term is `r * (q / 2.0 + below)`, and optional gate terms are
+//! likewise only applied when present.
+
+use crate::error::AnalysisError;
+
+/// The rooted-tree shape the sweeps operate on.
+///
+/// Nodes are dense `u32` indices in `0..node_count()`. The trait is
+/// deliberately minimal — parent/child navigation only — so the kernel
+/// crate stays dependency-free and `RoutingTree` (or any test fixture)
+/// can implement it without adapters.
+///
+/// Implementations must describe a tree: exactly one root (the node whose
+/// [`Topology::parent_of`] is `None`), every other node reachable from it,
+/// and `parent_of(child_of(v, i)) == Some(v)`.
+pub trait Topology {
+    /// Number of nodes; valid ids are `0..node_count()` as `u32`.
+    fn node_count(&self) -> usize;
+    /// The root node (the source of a routing tree).
+    fn root_node(&self) -> u32;
+    /// Parent of `v`, or `None` when `v` is the root.
+    fn parent_of(&self, v: u32) -> Option<u32>;
+    /// Number of children of `v`.
+    fn child_count(&self, v: u32) -> usize;
+    /// The `i`-th child of `v` (`i < child_count(v)`); order is fixed and
+    /// determines the floating-point fold order at branches.
+    fn child_of(&self, v: u32, i: usize) -> u32;
+}
+
+/// One additively-propagated metric over a [`Topology`].
+///
+/// The kernel understands four ingredients, each queried per node `v`
+/// (with "the edge of `v`" meaning the wire from `v`'s parent to `v`):
+///
+/// * [`node_injection`](Self::node_injection) — quantity introduced at
+///   `v` itself (sink pin capacitance; `None` for coupling current,
+///   which injects nothing anywhere).
+/// * [`edge_quantity`](Self::edge_quantity) / [`edge_resistance`](Self::edge_resistance)
+///   — the series quantity and resistance of `v`'s edge (wire capacitance
+///   and resistance; injected coupling current and wire resistance).
+/// * [`cut`](Self::cut) — if `v` is a restoring gate (an inserted
+///   buffer), the value it *presents* upstream instead of its subtree
+///   accumulation (buffer input capacitance; zero current).
+/// * [`gate_extra`](Self::gate_extra) — extra series term a gate at `v`
+///   adds on the way down (the buffer's load-dependent delay), and
+/// * [`requirement`](Self::requirement) — the leaf requirement that seeds
+///   a min-merge (required arrival time; noise margin).
+pub trait AdditiveMetric<T: Topology + ?Sized> {
+    /// Quantity injected at node `v` itself, or `None` when the metric
+    /// has no per-node source at all. `None` differs from `Some(0.0)`
+    /// only in the sign of zero: a childless node's accumulation is
+    /// `-0.0`, and an injectionless metric must report it unchanged
+    /// (bitwise) where `0.0 + -0.0` would yield `+0.0`.
+    fn node_injection(&self, t: &T, v: u32) -> Option<f64>;
+    /// Series quantity of the edge above `v`; never queried at the root.
+    fn edge_quantity(&self, t: &T, v: u32) -> f64;
+    /// Resistance of the edge above `v`; never queried at the root.
+    fn edge_resistance(&self, t: &T, v: u32) -> f64;
+    /// Presented value when `v` is a cut point (restoring gate), else
+    /// `None`. The default metric has no cuts.
+    fn cut(&self, t: &T, v: u32) -> Option<f64> {
+        let _ = (t, v);
+        None
+    }
+    /// Extra series term added below a gate at `v` driving `below`, else
+    /// `None`. The default metric has no gates.
+    fn gate_extra(&self, t: &T, v: u32, below: f64) -> Option<f64> {
+        let _ = (t, v, below);
+        None
+    }
+    /// Requirement at leaf `v` seeding the min-merge, else `None`.
+    fn requirement(&self, t: &T, v: u32) -> Option<f64> {
+        let _ = (t, v);
+        None
+    }
+}
+
+/// The π-model wire term `R·(X/2 + X_below)`.
+///
+/// One half of the wire's own series quantity plus everything presented
+/// below it, scaled by the wire resistance. This is eq. 2 (Elmore) and
+/// eq. 8 (Devgan) of the paper and the *single* implementation both
+/// `elmore::wire_delay` and `noise::wire_noise` now call.
+#[inline]
+pub fn pi_wire_term(resistance: f64, quantity: f64, below: f64) -> f64 {
+    resistance * (quantity / 2.0 + below)
+}
+
+/// Checks a caller-supplied table length against the topology.
+pub(crate) fn check_table(
+    table: &'static str,
+    expected: usize,
+    got: usize,
+) -> Result<(), AnalysisError> {
+    if expected == got {
+        Ok(())
+    } else {
+        Err(AnalysisError::TableMismatch {
+            table,
+            expected,
+            got,
+        })
+    }
+}
+
+/// Drives `f` over every node of the subtree of `root` in postorder
+/// (children before parents).
+pub(crate) fn for_each_postorder<T: Topology + ?Sized>(t: &T, root: u32, mut f: impl FnMut(u32)) {
+    let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+    while let Some(top) = stack.last_mut() {
+        let (v, i) = *top;
+        if i < t.child_count(v) {
+            top.1 += 1;
+            stack.push((t.child_of(v, i), 0));
+        } else {
+            stack.pop();
+            f(v);
+        }
+    }
+}
+
+/// Drives `f` over every node of the subtree of `root` in preorder
+/// (parents before children).
+pub(crate) fn for_each_preorder<T: Topology + ?Sized>(t: &T, root: u32, mut f: impl FnMut(u32)) {
+    let mut stack: Vec<u32> = vec![root];
+    while let Some(v) = stack.pop() {
+        f(v);
+        for i in (0..t.child_count(v)).rev() {
+            stack.push(t.child_of(v, i));
+        }
+    }
+}
+
+/// Postorder accumulation without cut points:
+/// `down[v] = injection(v) + Σ_children (edge_quantity(c) + down[c])`.
+///
+/// This is downstream capacitance (eq. 1) when the metric carries wire
+/// capacitance and sink loads, and downstream coupling current (eq. 7)
+/// when it carries injected current. `out` is cleared and refilled.
+pub fn sweep_down<T, M>(t: &T, m: &M, out: &mut Vec<f64>)
+where
+    T: Topology + ?Sized,
+    M: AdditiveMetric<T> + ?Sized,
+{
+    let n = t.node_count();
+    out.clear();
+    out.resize(n, 0.0);
+    for_each_postorder(t, t.root_node(), |v| {
+        let mut below = -0.0;
+        for i in 0..t.child_count(v) {
+            let c = t.child_of(v, i);
+            below += m.edge_quantity(t, c) + out[c as usize];
+        }
+        out[v as usize] = match m.node_injection(t, v) {
+            Some(inj) => inj + below,
+            None => below,
+        };
+    });
+}
+
+/// Postorder accumulation *with* cut points, producing two tables:
+/// `below[v]` is the full subtree accumulation (what a gate at `v` would
+/// drive), `presented[v]` is what `v` shows its parent — the metric's
+/// [`AdditiveMetric::cut`] value at gates, `below[v]` elsewhere.
+///
+/// This is the audit path's buffered-loads/buffered-currents sweep: an
+/// inserted buffer decouples its subtree, presenting its input
+/// capacitance (or zero current) upstream.
+pub fn sweep_down_cut<T, M>(t: &T, m: &M, below: &mut Vec<f64>, presented: &mut Vec<f64>)
+where
+    T: Topology + ?Sized,
+    M: AdditiveMetric<T> + ?Sized,
+{
+    let n = t.node_count();
+    below.clear();
+    below.resize(n, 0.0);
+    presented.clear();
+    presented.resize(n, 0.0);
+    for_each_postorder(t, t.root_node(), |v| {
+        let mut acc = -0.0;
+        for i in 0..t.child_count(v) {
+            let c = t.child_of(v, i) as usize;
+            acc += m.edge_quantity(t, c as u32) + presented[c];
+        }
+        let b = match m.node_injection(t, v) {
+            Some(inj) => inj + acc,
+            None => acc,
+        };
+        below[v as usize] = b;
+        presented[v as usize] = match m.cut(t, v) {
+            Some(p) => p,
+            None => b,
+        };
+    });
+}
+
+/// Preorder accumulation from the root:
+/// `up[root] = root_term`, and for every other node
+/// `up[v] = up[parent] + π(edge_r(v), edge_q(v), presented[v])`, plus the
+/// metric's [`AdditiveMetric::gate_extra`] when `v` carries a gate.
+///
+/// With the capacitance metric and `root_term` the driver's gate delay
+/// this is the Elmore arrival-time sweep (eq. 3–4); with the buffered
+/// metrics it is the audit's stage-aware arrival sweep.
+pub fn sweep_up<T, M>(
+    t: &T,
+    m: &M,
+    below: &[f64],
+    presented: &[f64],
+    root_term: f64,
+    out: &mut Vec<f64>,
+) -> Result<(), AnalysisError>
+where
+    T: Topology + ?Sized,
+    M: AdditiveMetric<T> + ?Sized,
+{
+    let n = t.node_count();
+    check_table("below table", n, below.len())?;
+    check_table("presented table", n, presented.len())?;
+    out.clear();
+    out.resize(n, 0.0);
+    let root = t.root_node();
+    for_each_preorder(t, root, |v| {
+        if v == root {
+            out[v as usize] = root_term;
+        } else {
+            let p = t.parent_of(v).expect("non-root node has a parent") as usize;
+            let mut a = out[p]
+                + pi_wire_term(
+                    m.edge_resistance(t, v),
+                    m.edge_quantity(t, v),
+                    presented[v as usize],
+                );
+            if let Some(g) = m.gate_extra(t, v, below[v as usize]) {
+                a += g;
+            }
+            out[v as usize] = a;
+        }
+    });
+    Ok(())
+}
+
+/// Preorder accumulation over the *stage* rooted at `from`, visiting each
+/// node with its accumulated value and letting the visitor decide whether
+/// to descend (return `true`) or treat the node as a stage boundary.
+///
+/// `visit(from, from_term)` is called first; for a child `c` of a visited
+/// node with value `acc`, the child's value is
+/// `acc + π(edge_r(c), edge_q(c), presented[c])`. This is the Devgan
+/// noise walk from a restoring gate (eq. 9–12): the audit stops at
+/// inserted buffers, the sink-noise report walks the whole tree.
+pub fn accumulate_from<T, M>(
+    t: &T,
+    m: &M,
+    presented: &[f64],
+    from: u32,
+    from_term: f64,
+    mut visit: impl FnMut(u32, f64) -> bool,
+) -> Result<(), AnalysisError>
+where
+    T: Topology + ?Sized,
+    M: AdditiveMetric<T> + ?Sized,
+{
+    check_table("presented table", t.node_count(), presented.len())?;
+    let mut stack: Vec<(u32, f64)> = Vec::new();
+    if visit(from, from_term) {
+        stack.push((from, from_term));
+    }
+    while let Some((v, acc)) = stack.pop() {
+        for i in (0..t.child_count(v)).rev() {
+            let c = t.child_of(v, i);
+            let a = acc
+                + pi_wire_term(
+                    m.edge_resistance(t, c),
+                    m.edge_quantity(t, c),
+                    presented[c as usize],
+                );
+            if visit(c, a) {
+                stack.push((c, a));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Postorder min-merge: leaves take the metric's requirement, and every
+/// internal node takes
+/// `min_children ((q[c] − gate_extra(c)) − π(edge_r(c), edge_q(c), presented[c]))`,
+/// folding from `+∞` in child order.
+///
+/// With the capacitance metric this is the timing-slack sweep; with the
+/// coupling-current metric it is Devgan noise slack (eq. 12). Leaves
+/// without a requirement keep `+∞`, matching the seed fold.
+pub fn sweep_slack<T, M>(
+    t: &T,
+    m: &M,
+    below: &[f64],
+    presented: &[f64],
+    out: &mut Vec<f64>,
+) -> Result<(), AnalysisError>
+where
+    T: Topology + ?Sized,
+    M: AdditiveMetric<T> + ?Sized,
+{
+    let n = t.node_count();
+    check_table("below table", n, below.len())?;
+    check_table("presented table", n, presented.len())?;
+    out.clear();
+    out.resize(n, 0.0);
+    for_each_postorder(t, t.root_node(), |v| {
+        out[v as usize] = merge_node(t, m, below, presented, out, v);
+    });
+    Ok(())
+}
+
+/// The per-node min-merge used by [`sweep_slack`] and the incremental
+/// refresh — one definition so both produce bitwise-identical tables.
+pub(crate) fn merge_node<T, M>(
+    t: &T,
+    m: &M,
+    below: &[f64],
+    presented: &[f64],
+    q: &[f64],
+    v: u32,
+) -> f64
+where
+    T: Topology + ?Sized,
+    M: AdditiveMetric<T> + ?Sized,
+{
+    if let Some(req) = m.requirement(t, v) {
+        return req;
+    }
+    let mut best = f64::INFINITY;
+    for i in 0..t.child_count(v) {
+        let c = t.child_of(v, i);
+        let mut qc = q[c as usize];
+        if let Some(g) = m.gate_extra(t, c, below[c as usize]) {
+            qc -= g;
+        }
+        best = best.min(
+            qc - pi_wire_term(
+                m.edge_resistance(t, c),
+                m.edge_quantity(t, c),
+                presented[c as usize],
+            ),
+        );
+    }
+    best
+}

@@ -1,0 +1,53 @@
+//! Generic additive-metric propagation kernel.
+//!
+//! The paper's central structural insight is that the Devgan noise metric
+//! (eq. 7–12) is the *same additive postorder propagation* as Elmore delay
+//! (eq. 1–4) — it just carries coupling current instead of capacitance.
+//! Before this crate existed the workspace re-implemented that propagation
+//! five times (`elmore.rs`, `metric.rs`, `theorem1.rs`, `audit.rs`,
+//! `moments.rs`), each with its own postorder sweep, π-model wire term,
+//! and panic-on-mismatch table checks.
+//!
+//! This crate collapses all of them onto one kernel:
+//!
+//! * [`Topology`] — the minimal rooted-tree shape the sweeps need. The
+//!   crate is dependency-free; `buffopt_tree::RoutingTree` implements the
+//!   trait downstream, which keeps the crate graph acyclic.
+//! * [`AdditiveMetric`] — what a metric contributes per node (injection),
+//!   per wire (series quantity and resistance), at a restoring gate
+//!   (cut value and extra series term), and at a leaf (requirement).
+//! * [`sweep_down`] / [`sweep_down_cut`] — postorder accumulation
+//!   (downstream capacitance, downstream coupling current, buffered
+//!   loads/currents with buffer-boundary cut points).
+//! * [`sweep_up`] / [`accumulate_from`] — preorder accumulation (arrival
+//!   times, Devgan noise from a restoring gate).
+//! * [`sweep_slack`] — postorder min-merge (timing slack, noise slack).
+//! * [`pi_wire_term`] — the single implementation of the π-model wire
+//!   term `R·(X/2 + X_below)` shared by every instance.
+//! * [`IncrementalSweep`] — dirty-subtree re-analysis: after
+//!   [`IncrementalSweep::mark_dirty`], only the path to the root (with
+//!   early exit on bitwise-unchanged values) is recomputed, so an
+//!   optimizer probing one buffer site pays `O(depth)` instead of `O(n)`.
+//! * [`AnalysisWorkspace`] — pooled tables in the spirit of the DP
+//!   workspace, so batch pipelines and server workers keep per-request
+//!   allocations flat.
+//!
+//! Every sweep reproduces the seed implementations' floating-point
+//! operation order exactly; the differential suites in the downstream
+//! crates prove bitwise equality over the corpus and proptest trees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod incremental;
+mod kernel;
+mod workspace;
+
+pub use error::AnalysisError;
+pub use incremental::IncrementalSweep;
+pub use kernel::{
+    accumulate_from, pi_wire_term, sweep_down, sweep_down_cut, sweep_slack, sweep_up,
+    AdditiveMetric, Topology,
+};
+pub use workspace::AnalysisWorkspace;

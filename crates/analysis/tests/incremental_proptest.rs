@@ -1,0 +1,238 @@
+//! Property tests for the incremental sweep: after any sequence of
+//! metric edits, `mark_dirty` + `refresh` must leave the tables *bitwise*
+//! equal to a from-scratch rebuild, and a probe (`begin_probe` … edit …
+//! `rollback`) must restore them bitwise. These are the guarantees the
+//! optimizer probes in the core crate lean on.
+
+use buffopt_analysis::{sweep_down_cut, sweep_slack, AdditiveMetric, IncrementalSweep, Topology};
+use proptest::prelude::*;
+
+/// A random rooted tree: node 0 is the root, `parent[i] < i`.
+#[derive(Debug, Clone)]
+struct Fixture {
+    parent: Vec<Option<u32>>,
+    children: Vec<Vec<u32>>,
+}
+
+impl Fixture {
+    /// Builds a tree of `selectors.len() + 1` nodes; selector `i` picks
+    /// the parent of node `i + 1` among the nodes created before it.
+    fn from_selectors(selectors: &[u8]) -> Self {
+        let n = selectors.len() + 1;
+        let mut parent = vec![None; n];
+        let mut children = vec![Vec::new(); n];
+        for (i, &sel) in selectors.iter().enumerate() {
+            let v = (i + 1) as u32;
+            let p = u32::from(sel) % (i as u32 + 1);
+            parent[v as usize] = Some(p);
+            children[p as usize].push(v);
+        }
+        Fixture { parent, children }
+    }
+}
+
+impl Topology for Fixture {
+    fn node_count(&self) -> usize {
+        self.parent.len()
+    }
+    fn root_node(&self) -> u32 {
+        0
+    }
+    fn parent_of(&self, v: u32) -> Option<u32> {
+        self.parent[v as usize]
+    }
+    fn child_count(&self, v: u32) -> usize {
+        self.children[v as usize].len()
+    }
+    fn child_of(&self, v: u32, i: usize) -> u32 {
+        self.children[v as usize][i]
+    }
+}
+
+/// A fully table-driven metric, so proptest can edit any ingredient at
+/// any node between refreshes.
+#[derive(Debug, Clone)]
+struct TableMetric {
+    injection: Vec<f64>,
+    edge_q: Vec<f64>,
+    edge_r: Vec<f64>,
+    cut: Vec<Option<f64>>,
+    gate_r: Vec<Option<f64>>,
+    requirement: Vec<Option<f64>>,
+}
+
+impl AdditiveMetric<Fixture> for TableMetric {
+    fn node_injection(&self, _t: &Fixture, v: u32) -> Option<f64> {
+        Some(self.injection[v as usize])
+    }
+    fn edge_quantity(&self, _t: &Fixture, v: u32) -> f64 {
+        self.edge_q[v as usize]
+    }
+    fn edge_resistance(&self, _t: &Fixture, v: u32) -> f64 {
+        self.edge_r[v as usize]
+    }
+    fn cut(&self, _t: &Fixture, v: u32) -> Option<f64> {
+        self.cut[v as usize]
+    }
+    fn gate_extra(&self, _t: &Fixture, v: u32, below: f64) -> Option<f64> {
+        self.gate_r[v as usize].map(|r| r * below)
+    }
+    fn requirement(&self, t: &Fixture, v: u32) -> Option<f64> {
+        if t.child_count(v) == 0 {
+            self.requirement[v as usize]
+        } else {
+            None
+        }
+    }
+}
+
+/// One random instance: tree selectors, per-node metric ingredients, and
+/// a list of edits to apply.
+type Instance = (Vec<u8>, Vec<(f64, f64, f64, u8, f64)>, Vec<(u8, u8, f64)>);
+
+fn metric_for(fix: &Fixture, rows: &[(f64, f64, f64, u8, f64)]) -> TableMetric {
+    let n = fix.node_count();
+    let row = |i: usize| rows[i % rows.len().max(1)];
+    let mut m = TableMetric {
+        injection: Vec::with_capacity(n),
+        edge_q: Vec::with_capacity(n),
+        edge_r: Vec::with_capacity(n),
+        cut: vec![None; n],
+        gate_r: vec![None; n],
+        requirement: vec![None; n],
+    };
+    for i in 0..n {
+        let (inj, q, r, flags, aux) = if rows.is_empty() {
+            (1.0, 0.5, 2.0, 0, 1.0)
+        } else {
+            row(i)
+        };
+        m.injection.push(inj);
+        m.edge_q.push(q);
+        m.edge_r.push(r);
+        // Bit 0: cut point (never at the root); bit 1: gate term.
+        if i != 0 && flags & 1 != 0 {
+            m.cut[i] = Some(aux);
+            m.gate_r[i] = Some(aux * 0.25);
+        }
+        m.requirement[i] = Some(aux + 3.0);
+    }
+    m
+}
+
+/// Applies one edit in place; `kind` selects the edited ingredient.
+fn apply_edit(m: &mut TableMetric, node: usize, kind: u8, value: f64) {
+    match kind % 4 {
+        0 => m.injection[node] = value,
+        1 => m.edge_q[node] = value.abs(),
+        2 => {
+            // Toggle the cut/gate pair, as a buffer probe would.
+            if m.cut[node].is_some() {
+                m.cut[node] = None;
+                m.gate_r[node] = None;
+            } else {
+                m.cut[node] = Some(value.abs());
+                m.gate_r[node] = Some(value.abs() * 0.5);
+            }
+        }
+        _ => m.requirement[node] = Some(value),
+    }
+}
+
+fn assert_tables_bitwise(a: &IncrementalSweep, b: &IncrementalSweep, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: table length");
+    for i in 0..a.len() {
+        assert_eq!(
+            a.below()[i].to_bits(),
+            b.below()[i].to_bits(),
+            "{what}: below[{i}] {} vs {}",
+            a.below()[i],
+            b.below()[i]
+        );
+        assert_eq!(
+            a.presented()[i].to_bits(),
+            b.presented()[i].to_bits(),
+            "{what}: presented[{i}]"
+        );
+        assert_eq!(
+            a.slack()[i].to_bits(),
+            b.slack()[i].to_bits(),
+            "{what}: slack[{i}]"
+        );
+    }
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (
+        prop::collection::vec(0u8..=255, 1..40),
+        prop::collection::vec(
+            (0.1f64..5.0, 0.0f64..2.0, 0.1f64..4.0, 0u8..=3, 0.2f64..3.0),
+            1..40,
+        ),
+        prop::collection::vec((0u8..=255, 0u8..=255, -2.0f64..6.0), 1..12),
+    )
+}
+
+proptest! {
+    /// A rebuilt sweep agrees bitwise with the kernel's one-shot sweeps.
+    #[test]
+    fn rebuild_matches_kernel_sweeps(inst in instance_strategy()) {
+        let (selectors, rows, _) = inst;
+        let fix = Fixture::from_selectors(&selectors);
+        let metric = metric_for(&fix, &rows);
+        let mut sweep = IncrementalSweep::new();
+        sweep.rebuild(&fix, &metric, true);
+        let (mut below, mut presented, mut slack) = (Vec::new(), Vec::new(), Vec::new());
+        sweep_down_cut(&fix, &metric, &mut below, &mut presented);
+        sweep_slack(&fix, &metric, &below, &presented, &mut slack)
+            .expect("tables sized by sweep_down_cut");
+        for i in 0..fix.node_count() {
+            prop_assert_eq!(sweep.below()[i].to_bits(), below[i].to_bits());
+            prop_assert_eq!(sweep.presented()[i].to_bits(), presented[i].to_bits());
+            prop_assert_eq!(sweep.slack()[i].to_bits(), slack[i].to_bits());
+        }
+    }
+
+    /// After any edit sequence, dirty-path refresh equals a from-scratch
+    /// rebuild of the edited metric — bitwise, all three tables.
+    #[test]
+    fn refresh_matches_rebuild(inst in instance_strategy()) {
+        let (selectors, rows, edits) = inst;
+        let fix = Fixture::from_selectors(&selectors);
+        let mut metric = metric_for(&fix, &rows);
+        let mut incremental = IncrementalSweep::new();
+        incremental.rebuild(&fix, &metric, true);
+        for (node_sel, kind, value) in edits {
+            let node = usize::from(node_sel) % fix.node_count();
+            apply_edit(&mut metric, node, kind, value);
+            incremental.mark_dirty(node as u32);
+            incremental.refresh(&fix, &metric);
+        }
+        let mut scratch = IncrementalSweep::new();
+        scratch.rebuild(&fix, &metric, true);
+        assert_tables_bitwise(&incremental, &scratch, "refresh vs rebuild");
+    }
+
+    /// A probe that edits, refreshes, and rolls back restores every table
+    /// entry bitwise — rejected trials are exactly free.
+    #[test]
+    fn rollback_restores_tables_bitwise(inst in instance_strategy()) {
+        let (selectors, rows, edits) = inst;
+        let fix = Fixture::from_selectors(&selectors);
+        let mut metric = metric_for(&fix, &rows);
+        let mut sweep = IncrementalSweep::new();
+        sweep.rebuild(&fix, &metric, true);
+        let reference = sweep.clone();
+        for (node_sel, kind, value) in edits {
+            let node = usize::from(node_sel) % fix.node_count();
+            let saved = metric.clone();
+            sweep.begin_probe();
+            apply_edit(&mut metric, node, kind, value);
+            sweep.mark_dirty(node as u32);
+            sweep.refresh(&fix, &metric);
+            sweep.rollback();
+            metric = saved;
+            assert_tables_bitwise(&sweep, &reference, "rollback");
+        }
+    }
+}

@@ -4,9 +4,11 @@
 //! (the `dp_scaling` shape) and writes one machine-readable JSON file —
 //! `BENCH_dp.json` by default — with per-size median wall time, candidate
 //! pressure, and (under `--features alloc-count`) heap allocation counts
-//! per run. This is the artifact `scripts/bench_snapshot.sh` produces and
-//! CI archives, so the perf trajectory of the DP core is diffable across
-//! commits.
+//! per run. A second `analysis` section times the greedy iterative
+//! optimizer with incremental probe re-analysis against the seed's
+//! full-resweep scoring, per size. This is the artifact
+//! `scripts/bench_snapshot.sh` produces and CI archives, so the perf
+//! trajectory of the DP core is diffable across commits.
 //!
 //! Usage: `dp_snapshot [--quick] [--out PATH]`
 //!
@@ -16,6 +18,7 @@
 use std::time::Instant;
 
 use buffopt::dp_reference::{run_arena, run_reference, EngineConfig};
+use buffopt::iterative::{self, IterativeOptions};
 use buffopt::{DpWorkspace, RunBudget};
 use buffopt_buffers::catalog;
 use buffopt_noise::NoiseScenario;
@@ -142,6 +145,7 @@ fn main() {
     let mut ws = DpWorkspace::new();
 
     let mut rows: Vec<String> = Vec::new();
+    let mut analysis_rows: Vec<String> = Vec::new();
     for sinks in [2usize, 4, 8, 16] {
         let tree = comb_net(sinks);
         let scenario = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
@@ -181,16 +185,51 @@ fn main() {
             stats.peak_merge_product,
             ref_stats.peak_candidates,
         ));
+
+        // Greedy iterative insertion, probe-scored two ways: incremental
+        // O(depth) table refreshes vs the seed's from-scratch re-audit of
+        // the whole tree per trial. Same objective, same result; the gap
+        // is the analysis kernel's incremental re-analysis payoff.
+        let incr_opts = IterativeOptions {
+            noise: true,
+            ..IterativeOptions::default()
+        };
+        let full_opts = IterativeOptions {
+            full_resweep: true,
+            ..incr_opts
+        };
+        let incremental = measure(samples, || {
+            iterative::optimize(&tree, &scenario, &lib, &incr_opts).expect("greedy solves");
+        });
+        let full = measure(samples, || {
+            iterative::optimize(&tree, &scenario, &lib, &full_opts).expect("greedy solves");
+        });
+        let greedy_speedup = full.median_ns as f64 / incremental.median_ns.max(1) as f64;
+        eprintln!(
+            "          greedy incremental {:>9} ns, full resweep {:>9} ns ({greedy_speedup:.2}x)",
+            incremental.median_ns, full.median_ns,
+        );
+        analysis_rows.push(format!(
+            "{{\"sinks\":{},\"nodes\":{},\"incremental\":{},\"full_resweep\":{},\
+             \"speedup\":{:.3}}}",
+            sinks,
+            tree.len(),
+            json_engine(&incremental),
+            json_engine(&full),
+            greedy_speedup,
+        ));
     }
 
     let alloc_counted = cfg!(feature = "alloc-count");
     let json = format!(
         "{{\"bench\":\"dp_snapshot\",\"mode\":\"{}\",\"samples\":{},\
-         \"alloc_counted\":{},\"net\":\"comb/400um\",\"sizes\":[{}]}}\n",
+         \"alloc_counted\":{},\"net\":\"comb/400um\",\"sizes\":[{}],\
+         \"analysis\":[{}]}}\n",
         if quick { "quick" } else { "full" },
         samples,
         alloc_counted,
-        rows.join(",")
+        rows.join(","),
+        analysis_rows.join(",")
     );
     std::fs::write(out_path, &json).expect("write snapshot");
     eprintln!("wrote {out_path}");

@@ -55,7 +55,7 @@ fn main() {
         .expect("segmenting created a midpoint");
     let mut a = Assignment::empty(&tree);
     a.insert(mid, buffopt_buffers::BufferId::from_index(0));
-    let n_audit = audit::noise(&tree, &scenario, &lib, &a);
+    let n_audit = audit::noise(&tree, &scenario, &lib, &a).expect("audit");
     let worst_metric = n_audit
         .checks
         .iter()

@@ -49,7 +49,7 @@ fn main() {
     for (name, v) in [("w1 = (so,a)", a), ("w2 = (a,s1)", s1), ("w3 = (a,s2)", s2)] {
         println!(
             "  Noise({name}) = {:.2} mV",
-            metric::wire_noise(&tree, &scenario, v, &currents) * 1e3
+            metric::wire_noise(&tree, &scenario, v, &currents).expect("tables match") * 1e3
         );
     }
     println!("eq. 9  sink noise from the driver (Rso = {r_so} ohm):");

@@ -168,7 +168,9 @@ pub fn metric_violations(
         .filter(|(n, sol)| {
             let empty = Assignment::empty(&n.tree);
             let a = sol.as_ref().map(|s| &s.assignment).unwrap_or(&empty);
-            audit::noise(&n.tree, &n.scenario, library, a).has_violation()
+            audit::noise(&n.tree, &n.scenario, library, a)
+                .expect("prepared nets audit cleanly")
+                .has_violation()
         })
         .count()
 }
@@ -230,7 +232,9 @@ pub fn audited_max_delay(
     library: &BufferLibrary,
     assignment: &Assignment,
 ) -> f64 {
-    audit::delay(tree, library, assignment).max_delay()
+    audit::delay(tree, library, assignment)
+        .expect("prepared nets audit cleanly")
+        .max_delay()
 }
 
 /// Formats a `Duration` in seconds with two decimals.

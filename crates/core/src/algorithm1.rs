@@ -189,7 +189,11 @@ mod tests {
         let s = estimation(&t);
         let sol = avoid_noise(&t, &s, &lib()).expect("solve");
         assert_eq!(sol.inserted(), 0);
-        assert!(!audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment).has_violation());
+        assert!(
+            !audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment)
+                .expect("audit")
+                .has_violation()
+        );
     }
 
     #[test]
@@ -199,7 +203,8 @@ mod tests {
             let s = estimation(&t);
             let before = buffopt_noise::metric::NoiseReport::analyze(&t, &s);
             let sol = avoid_noise(&t, &s, &lib()).expect("solve");
-            let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment);
+            let after =
+                audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment).expect("audit");
             if before.has_violation() {
                 assert!(sol.inserted() > 0, "violating net needs buffers at {len}");
             }
@@ -235,7 +240,7 @@ mod tests {
         assert!(report.has_violation(), "driver noise must violate");
         let sol = avoid_noise(&t, &s, &lib()).expect("solve");
         assert!(sol.inserted() >= 1);
-        let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment);
+        let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment).expect("audit");
         assert!(!after.has_violation());
         // The inserted buffer hangs right below the source.
         let (buf_node, _) = sol.assignment.iter().next().expect("buffer");
@@ -320,7 +325,10 @@ mod tests {
                     a.insert(site, BufferId::from_index(0));
                 }
             }
-            if !audit::noise(&seg.tree, &s_seg, &lib(), &a).has_violation() {
+            if !audit::noise(&seg.tree, &s_seg, &lib(), &a)
+                .expect("audit")
+                .has_violation()
+            {
                 best = popcount;
             }
         }
@@ -340,7 +348,7 @@ mod tests {
         let seg = segment::segment_wires(&t, 1000.0).expect("segment");
         let s = estimation(&t).for_segmented(&seg);
         let sol = avoid_noise(&seg.tree, &s, &lib()).expect("solve");
-        let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment);
+        let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment).expect("audit");
         assert!(!after.has_violation());
         // Same net unsegmented: buffer counts agree (positions are
         // continuous either way).

@@ -433,7 +433,8 @@ mod tests {
             assert!(before.has_violation(), "{trunk}/{arm} should violate");
             let sol = avoid_noise(&t, &s, &lib()).expect("solve");
             assert!(sol.inserted() > 0);
-            let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment);
+            let after =
+                audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment).expect("audit");
             assert!(
                 !after.has_violation(),
                 "{trunk}/{arm}: worst headroom {}",
@@ -502,7 +503,7 @@ mod tests {
         }
         assert_eq!(on_light_path, 0, "no buffer on the short quiet arm");
         let _ = (heavy, light);
-        let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment);
+        let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment).expect("audit");
         assert!(!after.has_violation());
     }
 
@@ -535,7 +536,10 @@ mod tests {
                     a.insert(site, BufferId::from_index(0));
                 }
             }
-            if !audit::noise(&seg.tree, &s_seg, &lib(), &a).has_violation() {
+            if !audit::noise(&seg.tree, &s_seg, &lib(), &a)
+                .expect("audit")
+                .has_violation()
+            {
                 best = pop;
             }
         }
@@ -564,7 +568,7 @@ mod tests {
         let t = b.build().expect("tree");
         let s = estimation(&t);
         let sol = avoid_noise(&t, &s, &lib()).expect("solve");
-        let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment);
+        let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment).expect("audit");
         assert!(!after.has_violation());
     }
 
@@ -587,7 +591,7 @@ mod tests {
         let before = NoiseReport::analyze(&t, &s);
         assert!(before.has_violation());
         let sol = avoid_noise(&t, &s, &lib()).expect("solve");
-        let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment);
+        let after = audit::noise(&sol.tree, &sol.scenario, &lib(), &sol.assignment).expect("audit");
         assert!(!after.has_violation());
     }
 
@@ -622,7 +626,7 @@ mod tests {
         let _ = i;
 
         let sol = avoid_noise(&t, &s, &lib).expect("solvable");
-        let after = audit::noise(&sol.tree, &sol.scenario, &lib, &sol.assignment);
+        let after = audit::noise(&sol.tree, &sol.scenario, &lib, &sol.assignment).expect("audit");
         assert!(!after.has_violation());
 
         // Discrete lower bound: exhaustive over a fine segmentation must
@@ -647,7 +651,10 @@ mod tests {
                     a.insert(site, BufferId::from_index(0));
                 }
             }
-            if !audit::noise(&seg.tree, &s_seg, &lib, &a).has_violation() {
+            if !audit::noise(&seg.tree, &s_seg, &lib, &a)
+                .expect("audit")
+                .has_violation()
+            {
                 best = pop;
             }
         }

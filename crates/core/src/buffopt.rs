@@ -319,13 +319,13 @@ mod tests {
         assert!(NoiseReport::analyze(&t, &s).has_violation());
         let sol = optimize(&t, &s, &lib, &BuffOptOptions::default()).expect("solve");
         assert!(sol.buffers > 0);
-        let na = audit::noise(&t, &s, &lib, &sol.assignment);
+        let na = audit::noise(&t, &s, &lib, &sol.assignment).expect("audit");
         assert!(
             !na.has_violation(),
             "worst headroom {}",
             na.worst_headroom()
         );
-        let da = audit::delay(&t, &lib, &sol.assignment);
+        let da = audit::delay(&t, &lib, &sol.assignment).expect("audit");
         assert!((sol.slack - da.slack).abs() < 1e-15);
     }
 
@@ -340,7 +340,9 @@ mod tests {
         // DelayOpt is an upper bound on BuffOpt's slack (paper Section V-C).
         assert!(noise_sol.slack <= delay_sol.slack + 1e-15);
         // And BuffOpt is noise-clean while DelayOpt need not be.
-        assert!(!audit::noise(&t, &s, &lib, &noise_sol.assignment).has_violation());
+        assert!(!audit::noise(&t, &s, &lib, &noise_sol.assignment)
+            .expect("audit")
+            .has_violation());
     }
 
     #[test]
@@ -366,10 +368,13 @@ mod tests {
                     a.insert(site, buffopt_buffers::BufferId::from_index(0));
                 }
             }
-            if audit::noise(&t, &s, &lib, &a).has_violation() {
+            if audit::noise(&t, &s, &lib, &a)
+                .expect("audit")
+                .has_violation()
+            {
                 continue;
             }
-            best = best.max(audit::delay(&t, &lib, &a).slack);
+            best = best.max(audit::delay(&t, &lib, &a).expect("audit").slack);
         }
         assert!(best > f64::NEG_INFINITY, "some legal assignment exists");
         assert!(
@@ -389,7 +394,9 @@ mod tests {
         let frugal = min_buffers(&t, &s, &lib, &BuffOptOptions::default()).expect("p3");
         assert!(frugal.buffers <= max_slack.buffers);
         assert!(frugal.slack >= 0.0, "timing met");
-        assert!(!audit::noise(&t, &s, &lib, &frugal.assignment).has_violation());
+        assert!(!audit::noise(&t, &s, &lib, &frugal.assignment)
+            .expect("audit")
+            .has_violation());
     }
 
     #[test]
@@ -399,7 +406,9 @@ mod tests {
         let lib = catalog::ibm_like();
         let sol = min_buffers(&t, &s, &lib, &BuffOptOptions::default()).expect("p3");
         assert!(sol.slack < 0.0, "timing is unmeetable");
-        assert!(!audit::noise(&t, &s, &lib, &sol.assignment).has_violation());
+        assert!(!audit::noise(&t, &s, &lib, &sol.assignment)
+            .expect("audit")
+            .has_violation());
     }
 
     #[test]
@@ -413,7 +422,9 @@ mod tests {
         assert!(per[0].is_none(), "unbuffered candidate violates noise");
         assert!(per.iter().flatten().count() >= 1);
         for sol in per.iter().flatten() {
-            assert!(!audit::noise(&t, &s, &lib, &sol.assignment).has_violation());
+            assert!(!audit::noise(&t, &s, &lib, &sol.assignment)
+                .expect("audit")
+                .has_violation());
         }
     }
 
@@ -437,7 +448,9 @@ mod tests {
             },
         );
         let safe_sol = safe.expect("conservative mode must find the fix");
-        assert!(!audit::noise(&t, &s, &lib, &safe_sol.assignment).has_violation());
+        assert!(!audit::noise(&t, &s, &lib, &safe_sol.assignment)
+            .expect("audit")
+            .has_violation());
         if let Ok(p) = paper {
             // When both succeed, conservative is at least as good.
             assert!(safe_sol.slack >= p.slack - 1e-15);
@@ -463,7 +476,9 @@ mod tests {
         assert!(audit::polarity_legal(&t, &lib, &strict.assignment));
         // Polarity is a restriction: it can never beat the free optimum.
         assert!(strict.slack <= free.slack + 1e-15);
-        assert!(!audit::noise(&t, &s, &lib, &strict.assignment).has_violation());
+        assert!(!audit::noise(&t, &s, &lib, &strict.assignment)
+            .expect("audit")
+            .has_violation());
     }
 
     #[test]
@@ -502,7 +517,9 @@ mod tests {
         let frugal_cost = min_cost(&t, &s, &lib, &BuffOptOptions::default()).expect("cost");
         assert!(frugal_cost.cost <= frugal_count.cost + 1e-12);
         assert!(frugal_cost.slack >= 0.0, "timing met");
-        assert!(!audit::noise(&t, &s, &lib, &frugal_cost.assignment).has_violation());
+        assert!(!audit::noise(&t, &s, &lib, &frugal_cost.assignment)
+            .expect("audit")
+            .has_violation());
         // The reported cost matches the assignment.
         assert!((frugal_cost.cost - frugal_cost.assignment.total_cost(&lib)).abs() < 1e-12);
     }

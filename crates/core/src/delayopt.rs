@@ -163,7 +163,7 @@ mod tests {
         let t = two_pin_segmented(8000.0, 8);
         let lib = catalog::ibm_like();
         let sol = optimize(&t, &lib, &DelayOptOptions::default()).expect("solve");
-        let audit = audit::delay(&t, &lib, &sol.assignment);
+        let audit = audit::delay(&t, &lib, &sol.assignment).expect("audit");
         assert!(
             (sol.slack - audit.slack).abs() < 1e-15,
             "DP slack {} vs audited {}",
@@ -176,7 +176,7 @@ mod tests {
     fn buffering_beats_unbuffered_on_long_nets() {
         let t = two_pin_segmented(10_000.0, 10);
         let lib = catalog::ibm_like();
-        let unbuffered = audit::delay(&t, &lib, &Assignment::empty(&t));
+        let unbuffered = audit::delay(&t, &lib, &Assignment::empty(&t)).expect("audit");
         let sol = optimize(&t, &lib, &DelayOptOptions::default()).expect("solve");
         assert!(sol.buffers > 0);
         assert!(sol.slack > unbuffered.slack);
@@ -208,7 +208,7 @@ mod tests {
                     a.insert(site, buffopt_buffers::BufferId::from_index(pick - 1));
                 }
             }
-            best = best.max(audit::delay(&t, &lib, &a).slack);
+            best = best.max(audit::delay(&t, &lib, &a).expect("audit").slack);
         }
         assert!(
             (sol.slack - best).abs() < 1e-15,
@@ -249,7 +249,7 @@ mod tests {
         }
         // Count-0 exists and matches the unbuffered audit.
         let zero = per[0].as_ref().expect("unbuffered candidate");
-        let audit = audit::delay(&t, &lib, &Assignment::empty(&t));
+        let audit = audit::delay(&t, &lib, &Assignment::empty(&t)).expect("audit");
         assert!((zero.slack - audit.slack).abs() < 1e-15);
     }
 
@@ -286,7 +286,7 @@ mod tests {
         let t0 = b.build().expect("tree");
         let t = segment::segment_uniform(&t0, 4).expect("segment").tree;
         let lib = catalog::ibm_like();
-        let unbuffered = audit::delay(&t, &lib, &Assignment::empty(&t));
+        let unbuffered = audit::delay(&t, &lib, &Assignment::empty(&t)).expect("audit");
         let sol = optimize(&t, &lib, &DelayOptOptions::default()).expect("solve");
         assert!(sol.buffers >= 1);
         assert!(sol.slack > unbuffered.slack + 50e-12, "decoupling wins big");

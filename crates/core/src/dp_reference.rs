@@ -3,7 +3,7 @@
 //!
 //! This is the implementation `crate::dp` shipped with before the
 //! arena-backed rewrite: every candidate carries its partial solution as a
-//! persistent [`PSet`] (`Arc` DAG), `merge` materializes the full |L|·|R|
+//! persistent `PSet` (`Arc` DAG), `merge` materializes the full |L|·|R|
 //! cross product, and pruning runs after the fact. It is compiled only for
 //! tests and under the `reference` feature (the bench crate enables it),
 //! so release binaries carry exactly one engine.

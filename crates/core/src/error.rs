@@ -1,6 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
+use buffopt_analysis::AnalysisError;
 use buffopt_tree::{NodeId, TreeError};
 
 /// Error raised by the buffer-insertion algorithms.
@@ -29,6 +30,17 @@ pub enum CoreError {
         /// Entries in the scenario.
         scenario_len: usize,
     },
+    /// The provided buffer assignment does not match the tree (length
+    /// mismatch); it was probably built for a different tree. The seed
+    /// audit `assert_eq!`-panicked here, killing the calling worker.
+    AssignmentMismatch {
+        /// Nodes in the tree.
+        tree_len: usize,
+        /// Entries in the assignment.
+        assignment_len: usize,
+    },
+    /// An analysis-kernel sweep rejected its input tables.
+    Analysis(AnalysisError),
     /// A tree transformation failed while materializing a solution.
     Tree(TreeError),
     /// A [`RunBudget`](crate::RunBudget) resource cap was exceeded; the
@@ -86,6 +98,14 @@ impl fmt::Display for CoreError {
                 f,
                 "noise scenario covers {scenario_len} nodes but tree has {tree_len}"
             ),
+            CoreError::AssignmentMismatch {
+                tree_len,
+                assignment_len,
+            } => write!(
+                f,
+                "buffer assignment covers {assignment_len} nodes but tree has {tree_len}"
+            ),
+            CoreError::Analysis(e) => write!(f, "analysis sweep failed: {e}"),
             CoreError::Tree(e) => write!(f, "tree transformation failed: {e}"),
             CoreError::BudgetExceeded {
                 resource,
@@ -104,6 +124,7 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Tree(e) => Some(e),
+            CoreError::Analysis(e) => Some(e),
             _ => None,
         }
     }
@@ -112,6 +133,12 @@ impl Error for CoreError {
 impl From<TreeError> for CoreError {
     fn from(e: TreeError) -> Self {
         CoreError::Tree(e)
+    }
+}
+
+impl From<AnalysisError> for CoreError {
+    fn from(e: AnalysisError) -> Self {
+        CoreError::Analysis(e)
     }
 }
 

@@ -65,6 +65,7 @@ pub mod dp_reference;
 mod error;
 pub mod feasibility;
 pub mod iterative;
+mod probe;
 mod rebuild;
 pub mod wiresize;
 mod workspace;

@@ -1,0 +1,259 @@
+//! Incremental probe audit for the greedy optimizer.
+//!
+//! The seed greedy re-audited the whole net for every `(site, buffer)`
+//! trial — `O(n)` sweeps per probe, `O(n²·|B|)` per round. This module
+//! keeps the audit tables alive in two [`IncrementalSweep`]s (Elmore
+//! loads with min-merged slack, Devgan currents) and scores a trial by
+//! marking the site dirty, refreshing the path to the root, and rolling
+//! the tables back — `O(depth)` per probe.
+//!
+//! Noise violations are maintained *per stage*. Inserting a buffer at
+//! `v` only touches the stage of `v`'s nearest restoring ancestor `g`
+//! (it is split in two: the shrunk stage of `g` and the new stage rooted
+//! at `v`); every other stage keeps its count because `reported[g]` is
+//! pinned to zero by `g`'s cut, which stops the current change from
+//! leaking upward. A probe therefore recounts exactly two stage walks.
+
+use buffopt_analysis::{accumulate_from, IncrementalSweep};
+use buffopt_buffers::{BufferId, BufferLibrary};
+use buffopt_noise::NoiseScenario;
+use buffopt_tree::{elmore, NodeId, RoutingTree};
+
+use crate::assignment::Assignment;
+use crate::audit::{BufferedCurrentMetric, BufferedLoadMetric, NoiseCheck};
+
+/// Live audit state for greedy probing: incremental load/current tables
+/// plus per-stage noise-violation counts.
+pub(crate) struct IncrementalAudit<'a> {
+    tree: &'a RoutingTree,
+    scenario: &'a NoiseScenario,
+    lib: &'a BufferLibrary,
+    noise: bool,
+    assignment: Assignment,
+    loads: IncrementalSweep,
+    currents: IncrementalSweep,
+    /// Violations of the stage rooted at each node (gates only).
+    stage_viol: Vec<usize>,
+    total_viol: usize,
+}
+
+impl<'a> IncrementalAudit<'a> {
+    pub fn new(
+        tree: &'a RoutingTree,
+        scenario: &'a NoiseScenario,
+        lib: &'a BufferLibrary,
+        noise: bool,
+    ) -> Self {
+        let assignment = Assignment::empty(tree);
+        let mut loads = IncrementalSweep::new();
+        loads.rebuild(tree, &BufferedLoadMetric::new(lib, &assignment), true);
+        let mut currents = IncrementalSweep::new();
+        let mut stage_viol = vec![0; tree.len()];
+        let mut total_viol = 0;
+        if noise {
+            currents.rebuild(
+                tree,
+                &BufferedCurrentMetric::new(scenario, &assignment),
+                false,
+            );
+            let v = count_stage(
+                tree,
+                scenario,
+                lib,
+                &assignment,
+                currents.below(),
+                currents.presented(),
+                tree.source(),
+                tree.driver().resistance,
+                None,
+            );
+            stage_viol[tree.source().index()] = v;
+            total_viol = v;
+        }
+        IncrementalAudit {
+            tree,
+            scenario,
+            lib,
+            noise,
+            assignment,
+            loads,
+            currents,
+            stage_viol,
+            total_viol,
+        }
+    }
+
+    pub fn assignment(&self) -> &Assignment {
+        &self.assignment
+    }
+
+    pub fn into_assignment(self) -> Assignment {
+        self.assignment
+    }
+
+    pub fn violations(&self) -> usize {
+        self.total_viol
+    }
+
+    /// Source slack of the current tables: `q(source) − gate delay`, the
+    /// Lillis q-form (identical to the audited min-over-sinks up to
+    /// association order).
+    pub fn slack(&self) -> f64 {
+        let src = self.tree.source().index();
+        let d = self.tree.driver();
+        self.loads.slack()[src]
+            - elmore::gate_delay(d.intrinsic_delay, d.resistance, self.loads.below()[src])
+    }
+
+    /// Scores inserting `buffer` at `site` without committing it:
+    /// `(noise violations, timing slack)`. The tables are rolled back
+    /// before returning, so consecutive probes are independent.
+    pub fn probe(&mut self, site: NodeId, buffer: BufferId) -> (usize, f64) {
+        let dirty = site.index() as u32;
+        let lm = BufferedLoadMetric::new(self.lib, &self.assignment).with_probe(site, buffer);
+        self.loads.begin_probe();
+        self.loads.mark_dirty(dirty);
+        self.loads.refresh(self.tree, &lm);
+        let slack = self.slack();
+        self.loads.rollback();
+        let violations = if self.noise {
+            let cm = BufferedCurrentMetric::new(self.scenario, &self.assignment).with_probe(site);
+            self.currents.begin_probe();
+            self.currents.mark_dirty(dirty);
+            self.currents.refresh(self.tree, &cm);
+            let g = self.nearest_gate_above(site);
+            let probe = Some((site, buffer));
+            let in_shrunk = self.count_stage_here(g, self.gate_resistance(g), probe);
+            let in_new = self.count_stage_here(site, self.lib.buffer(buffer).resistance, probe);
+            let v = self.total_viol - self.stage_viol[g.index()] + in_shrunk + in_new;
+            self.currents.rollback();
+            v
+        } else {
+            0
+        };
+        (violations, slack)
+    }
+
+    /// Commits an insertion: updates the assignment, refreshes both
+    /// sweeps for real, and re-splits the affected stage counts.
+    pub fn commit_insert(&mut self, site: NodeId, buffer: BufferId) {
+        let dirty = site.index() as u32;
+        self.assignment.insert(site, buffer);
+        let lm = BufferedLoadMetric::new(self.lib, &self.assignment);
+        self.loads.mark_dirty(dirty);
+        self.loads.refresh(self.tree, &lm);
+        if self.noise {
+            let cm = BufferedCurrentMetric::new(self.scenario, &self.assignment);
+            self.currents.mark_dirty(dirty);
+            self.currents.refresh(self.tree, &cm);
+            let g = self.nearest_gate_above(site);
+            let in_shrunk = self.count_stage_here(g, self.gate_resistance(g), None);
+            let in_new = self.count_stage_here(site, self.lib.buffer(buffer).resistance, None);
+            self.total_viol = self.total_viol - self.stage_viol[g.index()] + in_shrunk + in_new;
+            self.stage_viol[g.index()] = in_shrunk;
+            self.stage_viol[site.index()] = in_new;
+        }
+    }
+
+    /// The nearest restoring gate strictly above `v` (a buffered node or
+    /// the source).
+    fn nearest_gate_above(&self, v: NodeId) -> NodeId {
+        let mut cur = v;
+        while let Some(p) = self.tree.parent(cur) {
+            if p == self.tree.source() || self.assignment.buffer_at(p).is_some() {
+                return p;
+            }
+            cur = p;
+        }
+        self.tree.source()
+    }
+
+    fn gate_resistance(&self, g: NodeId) -> f64 {
+        if g == self.tree.source() {
+            self.tree.driver().resistance
+        } else {
+            let b = self.assignment.buffer_at(g).expect("gate is buffered");
+            self.lib.buffer(b).resistance
+        }
+    }
+
+    fn count_stage_here(
+        &self,
+        root: NodeId,
+        gate_r: f64,
+        probe: Option<(NodeId, BufferId)>,
+    ) -> usize {
+        count_stage(
+            self.tree,
+            self.scenario,
+            self.lib,
+            &self.assignment,
+            self.currents.below(),
+            self.currents.presented(),
+            root,
+            gate_r,
+            probe,
+        )
+    }
+}
+
+/// Walks one restoring stage over the given current tables and counts
+/// violated checks, treating `probe` (if any) as an extra buffer.
+#[allow(clippy::too_many_arguments)]
+fn count_stage(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    assignment: &Assignment,
+    below: &[f64],
+    reported: &[f64],
+    root: NodeId,
+    gate_r: f64,
+    probe: Option<(NodeId, BufferId)>,
+) -> usize {
+    let mut metric = BufferedCurrentMetric::new(scenario, assignment);
+    if let Some((site, _)) = probe {
+        metric = metric.with_probe(site);
+    }
+    let gate_term = gate_r * below[root.index()];
+    let mut violations = 0;
+    let mut tally = |node: NodeId, noise: f64, margin: f64, is_buffer_input: bool| {
+        let check = NoiseCheck {
+            node,
+            noise,
+            margin,
+            is_buffer_input,
+        };
+        if check.is_violation() {
+            violations += 1;
+        }
+    };
+    accumulate_from(
+        tree,
+        &metric,
+        reported,
+        root.index() as u32,
+        gate_term,
+        |vu, acc| {
+            let v = NodeId::from_index(vu as usize);
+            if v == root {
+                return true;
+            }
+            let buffer_margin = match probe {
+                Some((site, b)) if site == v => Some(lib.buffer(b).noise_margin),
+                _ => assignment.buffer_at(v).map(|b| lib.buffer(b).noise_margin),
+            };
+            if let Some(margin) = buffer_margin {
+                tally(v, acc, margin, true);
+                false
+            } else if let Some(spec) = tree.sink_spec(v) {
+                tally(v, acc, spec.noise_margin, false);
+                false
+            } else {
+                true
+            }
+        },
+    )
+    .expect("incremental tables are sized to the tree");
+    violations
+}

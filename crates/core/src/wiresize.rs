@@ -415,14 +415,14 @@ mod tests {
         for v in resized.node_ids() {
             s1.set_factor(v, s0.factor(v));
         }
-        let d = audit::delay(&resized, &lib, &sol.assignment);
+        let d = audit::delay(&resized, &lib, &sol.assignment).expect("audit");
         assert!(
             (d.slack - sol.slack).abs() < 1e-13,
             "audited {} vs DP {}",
             d.slack,
             sol.slack
         );
-        let n = audit::noise(&resized, &s1, &lib, &sol.assignment);
+        let n = audit::noise(&resized, &s1, &lib, &sol.assignment).expect("audit");
         assert!(!n.has_violation(), "worst {}", n.worst_headroom());
     }
 
@@ -500,7 +500,7 @@ mod tests {
         let lib = catalog::ibm_like();
         let sol = optimize(&t, &s, &lib, &WireSizeOptions::default()).expect("sized");
         let resized = sol.apply_widths(&t);
-        let d = audit::delay(&resized, &lib, &sol.assignment);
+        let d = audit::delay(&resized, &lib, &sol.assignment).expect("audit");
         assert!((d.slack - sol.slack).abs() < 1e-13);
     }
 

@@ -14,6 +14,8 @@
 //! makes a workspace safe to reuse even after a run panicked or errored
 //! out mid-way.
 
+use buffopt_analysis::AnalysisWorkspace;
+
 use crate::arena::ProvArena;
 use crate::dp::DpScratch;
 use crate::rebuild::WireInsertion;
@@ -24,6 +26,10 @@ pub struct DpWorkspace {
     pub(crate) dp: DpScratch,
     /// Insertion arena for Algorithm 2 (`avoid_noise_budgeted_with`).
     pub(crate) alg2: ProvArena<WireInsertion>,
+    /// Analysis-kernel tables for the pooled audit summaries
+    /// ([`crate::audit::delay_summary_with`],
+    /// [`crate::audit::noise_summary_with`]).
+    pub(crate) analysis: AnalysisWorkspace,
 }
 
 impl DpWorkspace {
@@ -31,5 +37,11 @@ impl DpWorkspace {
     /// has processed and is retained across runs.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The analysis-kernel tables, for running pooled audit summaries
+    /// against the same workspace the optimizers use.
+    pub fn analysis(&mut self) -> &mut AnalysisWorkspace {
+        &mut self.analysis
     }
 }

@@ -352,8 +352,8 @@ fn report(
     assignment: &Assignment,
     verify: bool,
 ) -> (bool, bool) {
-    let d = audit::delay(tree, lib, assignment);
-    let n = audit::noise(tree, scenario, lib, assignment);
+    let d = audit::delay(tree, lib, assignment).expect("assignment matches tree");
+    let n = audit::noise(tree, scenario, lib, assignment).expect("scenario matches tree");
     println!(
         "buffers: {} (cost {:.0}), max delay {:.1} ps, timing slack {:+.1} ps, \
          worst noise headroom {:+.1} mV",
@@ -709,6 +709,7 @@ fn main() -> ExitCode {
                 noise: true,
                 max_buffers: None,
                 budget,
+                ..IterativeOptions::default()
             },
         ),
         Mode::Noise => unreachable!("handled above"),

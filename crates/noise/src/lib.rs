@@ -50,5 +50,5 @@ mod scenario;
 pub mod theorem1;
 
 pub use aggressor::Aggressor;
-pub use metric::{NoiseReport, SinkNoise};
+pub use metric::{CouplingCurrent, NoiseReport, SinkNoise};
 pub use scenario::NoiseScenario;

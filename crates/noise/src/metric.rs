@@ -4,47 +4,126 @@
 //! restoring gates, which the `buffopt` core crate does on top of these
 //! primitives.
 
+use buffopt_analysis::{
+    accumulate_from, pi_wire_term, sweep_down, sweep_slack, AdditiveMetric, AnalysisError,
+};
 use buffopt_tree::{NodeId, RoutingTree};
 
 use crate::scenario::NoiseScenario;
 
+/// The Devgan-metric instance of the analysis kernel's
+/// [`AdditiveMetric`]: wires carry their injected coupling current as the
+/// series quantity, nodes inject nothing, and sinks require their noise
+/// margin. [`downstream_current`], [`noise_slack`], and [`sink_noise`]
+/// are this metric driven through the same kernel sweeps as Elmore delay
+/// — the paper's footnote-5 isomorphism, made literal.
+#[derive(Debug, Clone, Copy)]
+pub struct CouplingCurrent<'a> {
+    scenario: &'a NoiseScenario,
+}
+
+impl<'a> CouplingCurrent<'a> {
+    /// Wraps a scenario; the caller must have checked it matches the tree
+    /// (the metric queries factors unguarded for speed).
+    pub fn new(scenario: &'a NoiseScenario) -> Self {
+        CouplingCurrent { scenario }
+    }
+}
+
+impl AdditiveMetric<RoutingTree> for CouplingCurrent<'_> {
+    #[inline]
+    fn node_injection(&self, _t: &RoutingTree, _v: u32) -> Option<f64> {
+        // Coupling current has no per-node source (eq. 7): reporting
+        // `None` rather than `Some(0.0)` keeps a childless node's `-0.0`
+        // accumulation bitwise intact.
+        None
+    }
+
+    #[inline]
+    fn edge_quantity(&self, t: &RoutingTree, v: u32) -> f64 {
+        self.scenario
+            .wire_current_unguarded(t, NodeId::from_index(v as usize))
+    }
+
+    #[inline]
+    fn edge_resistance(&self, t: &RoutingTree, v: u32) -> f64 {
+        t.parent_wire(NodeId::from_index(v as usize))
+            .expect("non-source child has a wire")
+            .resistance
+    }
+
+    #[inline]
+    fn requirement(&self, t: &RoutingTree, v: u32) -> Option<f64> {
+        t.sink_spec(NodeId::from_index(v as usize))
+            .map(|s| s.noise_margin)
+    }
+}
+
+/// Checks that `scenario` was built for `tree`.
+fn check_scenario(tree: &RoutingTree, scenario: &NoiseScenario) -> Result<(), AnalysisError> {
+    if scenario.len() == tree.len() {
+        Ok(())
+    } else {
+        Err(AnalysisError::TableMismatch {
+            table: "noise scenario",
+            expected: tree.len(),
+            got: scenario.len(),
+        })
+    }
+}
+
+/// Checks a caller-supplied current table against `tree`.
+fn check_currents(tree: &RoutingTree, currents: &[f64]) -> Result<(), AnalysisError> {
+    if currents.len() == tree.len() {
+        Ok(())
+    } else {
+        Err(AnalysisError::TableMismatch {
+            table: "current table",
+            expected: tree.len(),
+            got: currents.len(),
+        })
+    }
+}
+
 /// Total downstream coupling current `I(v)` for every node (eq. 7):
 /// `I(v) = Σ_{children c} (I_wire(c) + I(c))`. Sinks inject no current of
 /// their own. Index by [`NodeId`].
+///
+/// # Panics
+///
+/// Panics if the scenario was built for a different tree.
 pub fn downstream_current(tree: &RoutingTree, scenario: &NoiseScenario) -> Vec<f64> {
-    let mut current = vec![0.0; tree.len()];
-    for v in tree.postorder() {
-        let below: f64 = tree
-            .children(v)
-            .iter()
-            .map(|&c| scenario.wire_current(tree, c) + current[c.index()])
-            .sum();
-        current[v.index()] = below;
-    }
+    assert_eq!(scenario.len(), tree.len(), "scenario does not match tree");
+    let mut current = Vec::new();
+    sweep_down(tree, &CouplingCurrent::new(scenario), &mut current);
     current
 }
 
 /// Noise voltage added by the parent wire of `v` (eq. 8, π-model):
-/// `Noise(w) = R_w · (I_w / 2 + I(v))`, where `I(v)` is the downstream
-/// current at the wire's lower end. Zero for the source (no parent wire).
+/// `Noise(w) = R_w · (I_w / 2 + I(v))` — the kernel's
+/// [`pi_wire_term`] — where `I(v)` is the downstream current at the
+/// wire's lower end. Zero for the source (no parent wire).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `currents` does not match the tree.
+/// Returns [`AnalysisError::TableMismatch`] if `currents` or `scenario`
+/// does not match the tree (the seed implementation panicked here; typed
+/// errors let the pipeline degrade instead of killing a worker).
 pub fn wire_noise(
     tree: &RoutingTree,
     scenario: &NoiseScenario,
     v: NodeId,
     currents: &[f64],
-) -> f64 {
-    assert_eq!(currents.len(), tree.len(), "current table does not match");
-    match tree.parent_wire(v) {
+) -> Result<f64, AnalysisError> {
+    check_currents(tree, currents)?;
+    check_scenario(tree, scenario)?;
+    Ok(match tree.parent_wire(v) {
         Some(w) => {
-            let i_w = scenario.wire_current(tree, v);
-            w.resistance * (i_w / 2.0 + currents[v.index()])
+            let i_w = scenario.wire_current_unguarded(tree, v);
+            pi_wire_term(w.resistance, i_w, currents[v.index()])
         }
         None => 0.0,
-    }
+    })
 }
 
 /// Noise slack `NS(v)` for every node (eq. 12):
@@ -55,36 +134,37 @@ pub fn wire_noise(
 /// `NS(v)` is the noise budget left for everything at or above `v`: the
 /// downstream noise constraints hold iff the noise seen at `v` (gate term
 /// plus upstream wires) is at most `NS(v)`.
+///
+/// # Panics
+///
+/// Panics if the scenario was built for a different tree.
 pub fn noise_slack(tree: &RoutingTree, scenario: &NoiseScenario) -> Vec<f64> {
     let currents = downstream_current(tree, scenario);
-    noise_slack_with_currents(tree, scenario, &currents)
+    noise_slack_with_currents(tree, scenario, &currents).expect("lengths checked above")
 }
 
 /// Same as [`noise_slack`] but reuses a [`downstream_current`] table.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `currents` does not match the tree.
+/// Returns [`AnalysisError::TableMismatch`] if `currents` or `scenario`
+/// does not match the tree.
 pub fn noise_slack_with_currents(
     tree: &RoutingTree,
     scenario: &NoiseScenario,
     currents: &[f64],
-) -> Vec<f64> {
-    assert_eq!(currents.len(), tree.len(), "current table does not match");
-    let mut ns = vec![f64::INFINITY; tree.len()];
-    for v in tree.postorder() {
-        if let Some(s) = tree.sink_spec(v) {
-            ns[v.index()] = s.noise_margin;
-        } else {
-            let mut best = f64::INFINITY;
-            for &c in tree.children(v) {
-                let w_noise = wire_noise(tree, scenario, c, currents);
-                best = best.min(ns[c.index()] - w_noise);
-            }
-            ns[v.index()] = best;
-        }
-    }
-    ns
+) -> Result<Vec<f64>, AnalysisError> {
+    check_currents(tree, currents)?;
+    check_scenario(tree, scenario)?;
+    let mut ns = Vec::new();
+    sweep_slack(
+        tree,
+        &CouplingCurrent::new(scenario),
+        currents,
+        currents,
+        &mut ns,
+    )?;
+    Ok(ns)
 }
 
 /// Noise measured at one sink.
@@ -132,28 +212,27 @@ pub fn sink_noise_from(
 ) -> Vec<SinkNoise> {
     let currents = downstream_current(tree, scenario);
     let gate_term = gate_resistance * currents[u.index()];
-    // Accumulate wire noise down from u.
-    let mut acc = vec![f64::NAN; tree.len()];
-    acc[u.index()] = gate_term;
+    // Accumulate wire noise down from u through the kernel's stage walk.
     let mut out = Vec::new();
-    // Preorder restricted to the subtree of u.
-    let mut stack = vec![u];
-    while let Some(v) = stack.pop() {
-        if v != u {
-            let p = tree.parent(v).expect("below u");
-            acc[v.index()] = acc[p.index()] + wire_noise(tree, scenario, v, &currents);
-        }
-        if let Some(spec) = tree.sink_spec(v) {
-            out.push(SinkNoise {
-                sink: v,
-                noise: acc[v.index()],
-                margin: spec.noise_margin,
-            });
-        }
-        for &c in tree.children(v) {
-            stack.push(c);
-        }
-    }
+    accumulate_from(
+        tree,
+        &CouplingCurrent::new(scenario),
+        &currents,
+        u.index() as u32,
+        gate_term,
+        |v, acc| {
+            let v = NodeId::from_index(v as usize);
+            if let Some(spec) = tree.sink_spec(v) {
+                out.push(SinkNoise {
+                    sink: v,
+                    noise: acc,
+                    margin: spec.noise_margin,
+                });
+            }
+            true
+        },
+    )
+    .expect("current table built from this tree");
     out.sort_by_key(|sn| sn.sink);
     out
 }
@@ -264,14 +343,53 @@ mod tests {
         let f = fig3();
         let i = downstream_current(&f.tree, &f.scenario);
         // Noise(w1) = R1 (I1/2 + I(a)) = 100 (50µ + 100µ) = 15 mV.
-        let n1 = wire_noise(&f.tree, &f.scenario, f.a, &i);
+        let n1 = wire_noise(&f.tree, &f.scenario, f.a, &i).expect("tables match");
         assert!((n1 - 15.0e-3).abs() < 1e-12);
         // Noise(w2) = 80 (30µ + 0) = 2.4 mV.
-        let n2 = wire_noise(&f.tree, &f.scenario, f.s1, &i);
+        let n2 = wire_noise(&f.tree, &f.scenario, f.s1, &i).expect("tables match");
         assert!((n2 - 2.4e-3).abs() < 1e-12);
         // Noise(w3) = 120 (20µ + 0) = 2.4 mV.
-        let n3 = wire_noise(&f.tree, &f.scenario, f.s2, &i);
+        let n3 = wire_noise(&f.tree, &f.scenario, f.s2, &i).expect("tables match");
         assert!((n3 - 2.4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_current_table_is_a_typed_error() {
+        let f = fig3();
+        let err = wire_noise(&f.tree, &f.scenario, f.a, &[0.0]).unwrap_err();
+        assert_eq!(
+            err,
+            buffopt_analysis::AnalysisError::TableMismatch {
+                table: "current table",
+                expected: f.tree.len(),
+                got: 1,
+            }
+        );
+        assert!(noise_slack_with_currents(&f.tree, &f.scenario, &[0.0]).is_err());
+    }
+
+    #[test]
+    fn mismatched_scenario_is_a_typed_error() {
+        let f = fig3();
+        let other = {
+            let mut b = TreeBuilder::new(Driver::new(50.0, 0.0));
+            b.add_sink(
+                b.source(),
+                Wire::from_rc(10.0, 1e-15, 10.0),
+                SinkSpec::new(1e-15, 1e-9, 0.8),
+            )
+            .expect("sink");
+            NoiseScenario::quiet(&b.build().expect("tree"))
+        };
+        let i = downstream_current(&f.tree, &f.scenario);
+        let err = wire_noise(&f.tree, &other, f.a, &i).unwrap_err();
+        assert!(matches!(
+            err,
+            buffopt_analysis::AnalysisError::TableMismatch {
+                table: "noise scenario",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -110,6 +110,14 @@ impl NoiseScenario {
             tree.len(),
             "scenario does not match tree"
         );
+        self.wire_current_unguarded(tree, v)
+    }
+
+    /// [`wire_current`](Self::wire_current) without the per-call length
+    /// guard, for kernel metric instances that validate the scenario once
+    /// up front and then query every wire of the tree.
+    #[inline]
+    pub(crate) fn wire_current_unguarded(&self, tree: &RoutingTree, v: NodeId) -> f64 {
         match tree.parent_wire(v) {
             Some(w) => self.factors[v.index()] * w.capacitance,
             None => 0.0,

@@ -59,8 +59,10 @@ pub fn noise_across(
     downstream_current: f64,
     l: f64,
 ) -> f64 {
+    // The wire contribution is the kernel's π-model term with the whole
+    // wire lumped: resistance r·l, injected current i·l.
     driver_resistance * (downstream_current + i_per_micron * l)
-        + r_per_micron * l * (i_per_micron * l / 2.0 + downstream_current)
+        + buffopt_analysis::pi_wire_term(r_per_micron * l, i_per_micron * l, downstream_current)
 }
 
 /// Theorem 1 (eq. 13): the maximum length of a uniform wire driven by a

@@ -506,6 +506,7 @@ pub fn optimize_net_with(
         }) {
             Ok(sol) if sol.slack >= 0.0 => {
                 return finish(
+                    ws,
                     out,
                     Outcome::Optimized,
                     Rung::Problem3,
@@ -537,6 +538,7 @@ pub fn optimize_net_with(
                     Outcome::Degraded
                 };
                 return finish(
+                    ws,
                     out,
                     outcome,
                     Rung::Problem2,
@@ -567,9 +569,20 @@ pub fn optimize_net_with(
     }) {
         Ok(sol) => {
             let audit_result = guarded(|| {
-                let noise = audit::noise(&sol.tree, &sol.scenario, &cfg.library, &sol.assignment);
-                let delay = audit::delay(&sol.tree, &cfg.library, &sol.assignment);
-                Ok((noise.worst_headroom(), delay.slack))
+                let noise = audit::noise_summary_with(
+                    ws.analysis(),
+                    &sol.tree,
+                    &sol.scenario,
+                    &cfg.library,
+                    &sol.assignment,
+                )?;
+                let delay = audit::delay_summary_with(
+                    ws.analysis(),
+                    &sol.tree,
+                    &cfg.library,
+                    &sol.assignment,
+                )?;
+                Ok((noise.worst_headroom, delay.slack))
             });
             out.outcome = Outcome::Degraded;
             out.rung = Some(Rung::NoiseOnly);
@@ -590,9 +603,9 @@ pub fn optimize_net_with(
     // Rung 4 — unbuffered diagnosis: report how bad the untouched net is.
     match guarded(|| {
         let empty = Assignment::empty(tree);
-        let noise = audit::noise(tree, scenario, &cfg.library, &empty);
-        let delay = audit::delay(tree, &cfg.library, &empty);
-        Ok((noise.worst_headroom(), delay.slack))
+        let noise = audit::noise_summary_with(ws.analysis(), tree, scenario, &cfg.library, &empty)?;
+        let delay = audit::delay_summary_with(ws.analysis(), tree, &cfg.library, &empty)?;
+        Ok((noise.worst_headroom, delay.slack))
     }) {
         Ok((headroom, slack)) => {
             out.outcome = Outcome::Infeasible;
@@ -613,9 +626,11 @@ pub fn optimize_net_with(
     out
 }
 
-/// Builds the success record for a DP rung, auditing noise headroom.
+/// Builds the success record for a DP rung, auditing noise headroom
+/// through the workspace's pooled analysis tables.
 #[allow(clippy::too_many_arguments)]
 fn finish(
+    ws: &mut DpWorkspace,
     mut out: NetOutcome,
     outcome: Outcome,
     rung: Rung,
@@ -631,9 +646,12 @@ fn finish(
     out.slack = Some(sol.slack);
     out.candidate_peak = sol.peak_candidates;
     out.merge_peak = sol.peak_merge_product;
-    if let Ok(headroom) =
-        guarded(|| Ok(audit::noise(tree, scenario, lib, &sol.assignment).worst_headroom()))
-    {
+    if let Ok(headroom) = guarded(|| {
+        Ok(
+            audit::noise_summary_with(ws.analysis(), tree, scenario, lib, &sol.assignment)?
+                .worst_headroom,
+        )
+    }) {
         out.worst_headroom = Some(headroom);
     }
     out.solution = Some(sol);

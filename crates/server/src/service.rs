@@ -23,7 +23,7 @@
 //! `parse_error` record, so batch drivers see the same taxonomy the CLI
 //! emits. Requests refused by admission control get
 //! `{"error":"overloaded"}` / `{"error":"deadline_exceeded"}` responses
-//! (see [`Rejection`]).
+//! (see [`Rejection`](crate::Rejection)).
 //!
 //! # Hardening
 //!

@@ -11,7 +11,18 @@
 //! computed by repeated two-pass tree traversals in `O(k·n)`. `m₁` is the
 //! Elmore delay; `m₂` feeds the D2M two-moment delay estimate, which is
 //! far less conservative than Elmore on far-from-source sinks.
+//!
+//! Each pass is one `MomentMetric` instance driven through the shared
+//! analysis kernel ([`buffopt_analysis::sweep_down`] +
+//! [`buffopt_analysis::sweep_up`]): the per-node weight is the metric's
+//! injection, the edge carries no series quantity (so the π-term
+//! degenerates to `R · down`, bitwise), and the driver resistance seeds
+//! the preorder. The only floating-point difference from the pre-kernel
+//! code is at *branch* nodes, where the kernel folds child sums before
+//! adding the node's own weight (one reassociated addition, ≤ 1 ulp);
+//! chains are bitwise identical, as the differential suite checks.
 
+use buffopt_analysis::{sweep_down, sweep_up, AdditiveMetric};
 use buffopt_tree::{NodeId, RoutingTree};
 
 /// The first three moments at every node of a routing tree.
@@ -56,30 +67,45 @@ fn node_capacitances(tree: &RoutingTree) -> Vec<f64> {
     cap
 }
 
+/// One moment pass as an [`AdditiveMetric`]: the node injection is the
+/// per-node weight `w_v` (π-model capacitance times the previous moment),
+/// and the edge carries only resistance — no series quantity — so the
+/// kernel's π-term `R·(0/2 + down)` is `R · down`, bitwise.
+struct MomentMetric<'a> {
+    weights: &'a [f64],
+}
+
+impl AdditiveMetric<RoutingTree> for MomentMetric<'_> {
+    #[inline]
+    fn node_injection(&self, _t: &RoutingTree, v: u32) -> Option<f64> {
+        Some(self.weights[v as usize])
+    }
+
+    #[inline]
+    fn edge_quantity(&self, _t: &RoutingTree, _v: u32) -> f64 {
+        0.0
+    }
+
+    #[inline]
+    fn edge_resistance(&self, t: &RoutingTree, v: u32) -> f64 {
+        t.parent_wire(NodeId::from_index(v as usize))
+            .expect("edge queried at non-root only")
+            .resistance
+    }
+}
+
 /// One moment pass: given per-node weights `w_i`, computes
-/// `S(v) = Σ_i R(shared path incl. driver) · w_i` for every `v`.
+/// `S(v) = Σ_i R(path(s→v) ∩ path(s→i)) · w_i` for every `v` — the
+/// kernel's downstream sweep followed by its preorder sweep seeded with
+/// the driver-resistance term.
 fn moment_pass(tree: &RoutingTree, weights: &[f64]) -> Vec<f64> {
-    // Postorder: subtree weight sums.
-    let mut down = vec![0.0; tree.len()];
-    for v in tree.postorder() {
-        let mut acc = weights[v.index()];
-        for &c in tree.children(v) {
-            acc += down[c.index()];
-        }
-        down[v.index()] = acc;
-    }
-    // Preorder: accumulate resistance × downstream weight.
-    let rso = tree.driver().resistance;
-    let mut s = vec![0.0; tree.len()];
-    for v in tree.preorder() {
-        if v == tree.source() {
-            s[v.index()] = rso * down[tree.source().index()];
-        } else {
-            let p = tree.parent(v).expect("non-source");
-            let w = tree.parent_wire(v).expect("non-source");
-            s[v.index()] = s[p.index()] + w.resistance * down[v.index()];
-        }
-    }
+    let m = MomentMetric { weights };
+    let mut down = Vec::new();
+    sweep_down(tree, &m, &mut down);
+    let root_term = tree.driver().resistance * down[tree.source().index()];
+    let mut s = Vec::new();
+    sweep_up(tree, &m, &down, &down, root_term, &mut s)
+        .expect("tables come from sweep_down over the same tree");
     s
 }
 

@@ -4,36 +4,68 @@
 //! *additive* — a path delay is the sum of its edge delays — which is what
 //! makes the dynamic programs provably optimal (paper footnote 4).
 
+use buffopt_analysis::{pi_wire_term, sweep_down, sweep_up, AdditiveMetric};
+
 use crate::node::{NodeId, Wire};
 use crate::tree::RoutingTree;
+
+/// The Elmore-delay instance of the analysis kernel's
+/// [`AdditiveMetric`]: nodes inject sink pin capacitance, wires carry
+/// their own capacitance as the series quantity, and sinks require their
+/// RAT. [`downstream_capacitance`], [`arrival_times`], and
+/// [`crate::slack::timing_slack`] are this metric driven through the
+/// kernel sweeps.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Capacitance;
+
+impl AdditiveMetric<RoutingTree> for Capacitance {
+    #[inline]
+    fn node_injection(&self, t: &RoutingTree, v: u32) -> Option<f64> {
+        Some(
+            t.sink_spec(NodeId::from_index(v as usize))
+                .map_or(0.0, |s| s.capacitance),
+        )
+    }
+
+    #[inline]
+    fn edge_quantity(&self, t: &RoutingTree, v: u32) -> f64 {
+        t.parent_wire(NodeId::from_index(v as usize))
+            .expect("non-source child has a wire")
+            .capacitance
+    }
+
+    #[inline]
+    fn edge_resistance(&self, t: &RoutingTree, v: u32) -> f64 {
+        t.parent_wire(NodeId::from_index(v as usize))
+            .expect("non-source child has a wire")
+            .resistance
+    }
+
+    #[inline]
+    fn requirement(&self, t: &RoutingTree, v: u32) -> Option<f64> {
+        t.sink_spec(NodeId::from_index(v as usize))
+            .map(|s| s.required_arrival_time)
+    }
+}
 
 /// Downstream lumped capacitance `C(v)` for every node (eq. 1):
 /// the total capacitance of the subtree hanging below `v`, i.e. all subtree
 /// wire capacitance plus all subtree sink pin capacitance.
 ///
-/// Runs in `O(n)` over a postorder sweep. Index the result by [`NodeId`].
+/// Runs in `O(n)` over a kernel postorder sweep. Index the result by
+/// [`NodeId`].
 pub fn downstream_capacitance(tree: &RoutingTree) -> Vec<f64> {
-    let mut cap = vec![0.0; tree.len()];
-    for v in tree.postorder() {
-        let own = tree.sink_spec(v).map_or(0.0, |s| s.capacitance);
-        let below: f64 = tree
-            .children(v)
-            .iter()
-            .map(|&c| {
-                let w = tree.parent_wire(c).expect("non-source child has a wire");
-                w.capacitance + cap[c.index()]
-            })
-            .sum();
-        cap[v.index()] = own + below;
-    }
+    let mut cap = Vec::new();
+    sweep_down(tree, &Capacitance, &mut cap);
     cap
 }
 
 /// Elmore delay of a single wire `w = (u, v)` given the downstream load
-/// `C(v)` at its lower end (eq. 2): `R_w · (C_w / 2 + C(v))`.
+/// `C(v)` at its lower end (eq. 2): `R_w · (C_w / 2 + C(v))` — the
+/// kernel's [`pi_wire_term`].
 #[inline]
 pub fn wire_delay(wire: &Wire, load_below: f64) -> f64 {
-    wire.resistance * (wire.capacitance / 2.0 + load_below)
+    pi_wire_term(wire.resistance, wire.capacitance, load_below)
 }
 
 /// Linear gate delay (eq. 3): `D_g + R_g · C(load)`.
@@ -60,17 +92,10 @@ pub fn arrival_times(tree: &RoutingTree) -> Vec<f64> {
 /// Panics if `cap` has a different length than the tree.
 pub fn arrival_times_with_loads(tree: &RoutingTree, cap: &[f64]) -> Vec<f64> {
     assert_eq!(cap.len(), tree.len(), "load table does not match tree");
-    let mut t = vec![0.0; tree.len()];
     let d = tree.driver();
-    for v in tree.preorder() {
-        if v == tree.source() {
-            t[v.index()] = gate_delay(d.intrinsic_delay, d.resistance, cap[v.index()]);
-        } else {
-            let p = tree.parent(v).expect("non-source has parent");
-            let w = tree.parent_wire(v).expect("non-source has wire");
-            t[v.index()] = t[p.index()] + wire_delay(w, cap[v.index()]);
-        }
-    }
+    let root_term = gate_delay(d.intrinsic_delay, d.resistance, cap[tree.source().index()]);
+    let mut t = Vec::new();
+    sweep_up(tree, &Capacitance, cap, cap, root_term, &mut t).expect("table length checked above");
     t
 }
 

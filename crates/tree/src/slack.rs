@@ -7,7 +7,9 @@
 //! and only if the slack at the source, after subtracting the driver gate
 //! delay, is non-negative.
 
-use crate::elmore::{self, downstream_capacitance};
+use buffopt_analysis::sweep_slack;
+
+use crate::elmore::{self, downstream_capacitance, Capacitance};
 use crate::tree::RoutingTree;
 
 /// Per-node timing slack `q(v)` of the unbuffered tree, computed bottom-up
@@ -30,20 +32,8 @@ pub fn timing_slack(tree: &RoutingTree) -> Vec<f64> {
 /// Panics if `cap` has a different length than the tree.
 pub fn timing_slack_with_loads(tree: &RoutingTree, cap: &[f64]) -> Vec<f64> {
     assert_eq!(cap.len(), tree.len(), "load table does not match tree");
-    let mut q = vec![f64::INFINITY; tree.len()];
-    for v in tree.postorder() {
-        if let Some(s) = tree.sink_spec(v) {
-            q[v.index()] = s.required_arrival_time;
-        } else {
-            let mut best = f64::INFINITY;
-            for &c in tree.children(v) {
-                let w = tree.parent_wire(c).expect("non-source child has wire");
-                let through = q[c.index()] - elmore::wire_delay(w, cap[c.index()]);
-                best = best.min(through);
-            }
-            q[v.index()] = best;
-        }
-    }
+    let mut q = Vec::new();
+    sweep_slack(tree, &Capacitance, cap, cap, &mut q).expect("table length checked above");
     q
 }
 

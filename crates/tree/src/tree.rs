@@ -197,6 +197,37 @@ impl RoutingTree {
     }
 }
 
+/// The analysis kernel sees a routing tree as a plain rooted topology:
+/// node ids are the arena indices, the root is the source, and child
+/// order is the tree's left-to-right order (fixing the floating-point
+/// fold order at branches).
+impl buffopt_analysis::Topology for RoutingTree {
+    #[inline]
+    fn node_count(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn root_node(&self) -> u32 {
+        self.source.0
+    }
+
+    #[inline]
+    fn parent_of(&self, v: u32) -> Option<u32> {
+        self.parent(NodeId(v)).map(|p| p.0)
+    }
+
+    #[inline]
+    fn child_count(&self, v: u32) -> usize {
+        self.children(NodeId(v)).len()
+    }
+
+    #[inline]
+    fn child_of(&self, v: u32, i: usize) -> u32 {
+        self.children(NodeId(v))[i].0
+    }
+}
+
 /// Postorder traversal over a [`RoutingTree`], produced by
 /// [`RoutingTree::postorder`].
 #[derive(Debug)]

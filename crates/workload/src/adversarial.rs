@@ -76,7 +76,7 @@ pub fn noise_infeasible_net(config: &WorkloadConfig) -> (RoutingTree, NoiseScena
 
 /// A long many-node chain that busts small tree-node budgets on every
 /// rung (the DP rungs see it segmented, Algorithm 2 sees it raw, and
-/// both must report [`buffopt::CoreError::BudgetExceeded`] rather than
+/// both must report `buffopt::CoreError::BudgetExceeded` rather than
 /// grind). Under an unlimited budget it is just a big valid net.
 pub fn budget_busting_net(
     config: &WorkloadConfig,

@@ -40,8 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tree = seg.tree;
     let lib = catalog::ibm_like();
 
-    let unbuffered_delay = audit::delay(&tree, &lib, &Assignment::empty(&tree));
-    let unbuffered_noise = audit::noise(&tree, &scenario, &lib, &Assignment::empty(&tree));
+    let unbuffered_delay = audit::delay(&tree, &lib, &Assignment::empty(&tree)).expect("audit");
+    let unbuffered_noise =
+        audit::noise(&tree, &scenario, &lib, &Assignment::empty(&tree)).expect("audit");
     println!(
         "unbuffered: max delay {:.0} ps, worst noise headroom {:+.0} mV",
         unbuffered_delay.max_delay() * 1e12,
@@ -49,8 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let sol = algo3::min_buffers(&tree, &scenario, &lib, &BuffOptOptions::default())?;
-    let d = audit::delay(&tree, &lib, &sol.assignment);
-    let n = audit::noise(&tree, &scenario, &lib, &sol.assignment);
+    let d = audit::delay(&tree, &lib, &sol.assignment).expect("audit");
+    let n = audit::noise(&tree, &scenario, &lib, &sol.assignment).expect("audit");
     println!(
         "BuffOpt: {} buffers, max delay {:.0} ps, worst headroom {:+.0} mV, timing {}",
         sol.buffers,

@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Algorithm 1 placed {} repeaters (each at its maximal Theorem 1 distance)",
         sol.inserted()
     );
-    let after = audit::noise(&sol.tree, &sol.scenario, &lib, &sol.assignment);
+    let after = audit::noise(&sol.tree, &sol.scenario, &lib, &sol.assignment).expect("audit");
     println!(
         "bus bit after: worst headroom {:+.1} mV ({})",
         after.worst_headroom() * 1e3,
@@ -85,7 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nAlgorithm 2 fixed the fanout net with {} repeaters",
         sol2.inserted()
     );
-    let audit2 = audit::noise(&sol2.tree, &sol2.scenario, &lib, &sol2.assignment);
+    let audit2 = audit::noise(&sol2.tree, &sol2.scenario, &lib, &sol2.assignment).expect("audit");
     for check in &audit2.checks {
         println!(
             "  {} at {}: {:.0} mV / {:.0} mV",

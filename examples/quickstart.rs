@@ -61,9 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 5. Independent audits: noise and delay recomputed from scratch.
-    let noise = audit::noise(&tree, &scenario, &lib, &sol.assignment);
-    let delay = audit::delay(&tree, &lib, &sol.assignment);
-    let unbuffered = audit::delay(&tree, &lib, &Assignment::empty(&tree));
+    let noise = audit::noise(&tree, &scenario, &lib, &sol.assignment).expect("audit");
+    let delay = audit::delay(&tree, &lib, &sol.assignment).expect("audit");
+    let unbuffered = audit::delay(&tree, &lib, &Assignment::empty(&tree)).expect("audit");
     println!(
         "after: worst noise headroom = {:+.1} mV ({})",
         noise.worst_headroom() * 1e3,

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
     let lib = catalog::ibm_like();
 
-    let unbuffered = audit::delay(&tree, &lib, &Assignment::empty(&tree));
+    let unbuffered = audit::delay(&tree, &lib, &Assignment::empty(&tree)).expect("audit");
     println!(
         "unbuffered: max delay {:.0} ps",
         unbuffered.max_delay() * 1e12
@@ -50,8 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for v in resized.node_ids() {
             s2.set_factor(v, scenario.factor(v));
         }
-        let d = audit::delay(&resized, &lib, &sol.assignment);
-        let n = audit::noise(&resized, &s2, &lib, &sol.assignment);
+        let d = audit::delay(&resized, &lib, &sol.assignment).expect("audit");
+        let n = audit::noise(&resized, &s2, &lib, &sol.assignment).expect("audit");
         let widened = sol
             .widths
             .iter()

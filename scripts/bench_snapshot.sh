@@ -2,7 +2,9 @@
 # Build and run the DP performance snapshot, producing BENCH_dp.json: per
 # net size, median wall time for the arena engine vs the seed engine,
 # candidate-pressure stats, and (with allocation counting compiled in)
-# allocator traffic per run.
+# allocator traffic per run. The snapshot's "analysis" section also times
+# the greedy iterative optimizer with incremental probe re-analysis
+# against its full-resweep baseline.
 #
 # usage: scripts/bench_snapshot.sh [--quick] [--out PATH] [--no-alloc-count]
 #

@@ -1,0 +1,566 @@
+//! Differential suite: the kernel-backed analyses versus inline copies
+//! of the pre-kernel (seed) implementations.
+//!
+//! The analysis-kernel refactor re-expressed five hand-rolled sweeps —
+//! Elmore loads/arrivals, Devgan currents/noise-slack/sink-noise, the
+//! buffered-tree audit, and the moment passes — as [`AdditiveMetric`]
+//! instances over one propagation engine. The contract is *bitwise*
+//! output equality: the kernel fixes the same floating-point operation
+//! order the seed code used. This file carries verbatim copies of the
+//! seed computations and demands `to_bits()` equality over the `data/`
+//! corpus (segmented at two granularities), hand-built nets, and
+//! proptest-generated random trees, under empty and non-trivial buffer
+//! assignments.
+//!
+//! One documented exception: the seed *moment* down-pass folded the node
+//! weight first (`acc = w[v]; acc += down[c]`), while the kernel folds
+//! children first and adds the injection last. On chains the two orders
+//! are identical (bitwise asserted); at branch nodes the single
+//! reassociated addition can differ by ≤ 1 ulp, so branch trees assert
+//! relative agreement at 1e-12 instead.
+
+use buffopt::audit;
+use buffopt::Assignment;
+use buffopt_buffers::{catalog, BufferId, BufferLibrary};
+use buffopt_netlist::parse;
+use buffopt_noise::{metric, NoiseScenario};
+use buffopt_sim::moments::moments;
+use buffopt_tree::{
+    elmore, segment, Driver, NodeId, RoutingTree, SinkSpec, Technology, TreeBuilder,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Inline seed implementations (pre-kernel, copied from the last commit
+// before the refactor).
+// ---------------------------------------------------------------------
+
+fn seed_downstream_capacitance(tree: &RoutingTree) -> Vec<f64> {
+    let mut cap = vec![0.0; tree.len()];
+    for v in tree.postorder() {
+        let own = tree.sink_spec(v).map_or(0.0, |s| s.capacitance);
+        let below: f64 = tree
+            .children(v)
+            .iter()
+            .map(|&c| {
+                let w = tree.parent_wire(c).expect("non-source child has a wire");
+                w.capacitance + cap[c.index()]
+            })
+            .sum();
+        cap[v.index()] = own + below;
+    }
+    cap
+}
+
+fn seed_arrival_times(tree: &RoutingTree) -> Vec<f64> {
+    let cap = seed_downstream_capacitance(tree);
+    let mut t = vec![0.0; tree.len()];
+    let d = tree.driver();
+    for v in tree.preorder() {
+        if v == tree.source() {
+            t[v.index()] = d.intrinsic_delay + d.resistance * cap[v.index()];
+        } else {
+            let p = tree.parent(v).expect("non-source has parent");
+            let w = tree.parent_wire(v).expect("non-source has wire");
+            t[v.index()] = t[p.index()] + w.resistance * (w.capacitance / 2.0 + cap[v.index()]);
+        }
+    }
+    t
+}
+
+fn seed_downstream_current(tree: &RoutingTree, scenario: &NoiseScenario) -> Vec<f64> {
+    let mut current = vec![0.0; tree.len()];
+    for v in tree.postorder() {
+        let below: f64 = tree
+            .children(v)
+            .iter()
+            .map(|&c| scenario.wire_current(tree, c) + current[c.index()])
+            .sum();
+        current[v.index()] = below;
+    }
+    current
+}
+
+fn seed_wire_noise(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    v: NodeId,
+    currents: &[f64],
+) -> f64 {
+    match tree.parent_wire(v) {
+        Some(w) => {
+            let i_w = scenario.wire_current(tree, v);
+            w.resistance * (i_w / 2.0 + currents[v.index()])
+        }
+        None => 0.0,
+    }
+}
+
+fn seed_noise_slack(tree: &RoutingTree, scenario: &NoiseScenario) -> Vec<f64> {
+    let currents = seed_downstream_current(tree, scenario);
+    let mut ns = vec![f64::INFINITY; tree.len()];
+    for v in tree.postorder() {
+        if let Some(s) = tree.sink_spec(v) {
+            ns[v.index()] = s.noise_margin;
+        } else {
+            let mut best = f64::INFINITY;
+            for &c in tree.children(v) {
+                let w_noise = seed_wire_noise(tree, scenario, c, &currents);
+                best = best.min(ns[c.index()] - w_noise);
+            }
+            ns[v.index()] = best;
+        }
+    }
+    ns
+}
+
+/// Seed sink noise from a restoring gate at `u` (eq. 9).
+fn seed_sink_noise_from(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    u: NodeId,
+    gate_resistance: f64,
+) -> Vec<(NodeId, f64)> {
+    let currents = seed_downstream_current(tree, scenario);
+    let gate_term = gate_resistance * currents[u.index()];
+    let mut acc = vec![f64::NAN; tree.len()];
+    acc[u.index()] = gate_term;
+    let mut out = Vec::new();
+    let mut stack = vec![u];
+    while let Some(v) = stack.pop() {
+        if v != u {
+            let p = tree.parent(v).expect("below u");
+            acc[v.index()] = acc[p.index()] + seed_wire_noise(tree, scenario, v, &currents);
+        }
+        if tree.sink_spec(v).is_some() {
+            out.push((v, acc[v.index()]));
+        }
+        for &c in tree.children(v) {
+            stack.push(c);
+        }
+    }
+    out.sort_by_key(|&(sn, _)| sn);
+    out
+}
+
+fn seed_buffered_loads(
+    tree: &RoutingTree,
+    lib: &BufferLibrary,
+    assignment: &Assignment,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut below = vec![0.0; tree.len()];
+    let mut presented = vec![0.0; tree.len()];
+    for v in tree.postorder() {
+        let own = tree.sink_spec(v).map_or(0.0, |s| s.capacitance);
+        let sum: f64 = tree
+            .children(v)
+            .iter()
+            .map(|&c| {
+                let w = tree.parent_wire(c).expect("child has wire");
+                w.capacitance + presented[c.index()]
+            })
+            .sum();
+        below[v.index()] = own + sum;
+        presented[v.index()] = match assignment.buffer_at(v) {
+            Some(b) => lib.buffer(b).input_capacitance,
+            None => below[v.index()],
+        };
+    }
+    (below, presented)
+}
+
+fn seed_buffered_currents(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    assignment: &Assignment,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut below = vec![0.0; tree.len()];
+    let mut reported = vec![0.0; tree.len()];
+    for v in tree.postorder() {
+        let sum: f64 = tree
+            .children(v)
+            .iter()
+            .map(|&c| scenario.wire_current(tree, c) + reported[c.index()])
+            .sum();
+        below[v.index()] = sum;
+        reported[v.index()] = if assignment.buffer_at(v).is_some() {
+            0.0
+        } else {
+            sum
+        };
+    }
+    (below, reported)
+}
+
+/// Seed buffered-delay audit: arrival table and worst slack.
+fn seed_audit_delay(
+    tree: &RoutingTree,
+    lib: &BufferLibrary,
+    assignment: &Assignment,
+) -> (Vec<f64>, f64) {
+    let (below, presented) = seed_buffered_loads(tree, lib, assignment);
+    let mut arrival = vec![0.0; tree.len()];
+    let d = tree.driver();
+    for v in tree.preorder() {
+        if v == tree.source() {
+            arrival[v.index()] = d.intrinsic_delay + d.resistance * below[v.index()];
+            continue;
+        }
+        let p = tree.parent(v).expect("non-source");
+        let w = tree.parent_wire(v).expect("non-source");
+        let mut t =
+            arrival[p.index()] + w.resistance * (w.capacitance / 2.0 + presented[v.index()]);
+        if let Some(b) = assignment.buffer_at(v) {
+            let buf = lib.buffer(b);
+            t += buf.delay(below[v.index()]);
+        }
+        arrival[v.index()] = t;
+    }
+    let slack = tree
+        .sinks()
+        .iter()
+        .map(|&s| tree.sink_spec(s).expect("is sink").required_arrival_time - arrival[s.index()])
+        .fold(f64::INFINITY, f64::min);
+    (arrival, slack)
+}
+
+/// Seed buffered-noise audit: sorted `(node, noise, margin, is_buffer)`.
+fn seed_audit_noise(
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    lib: &BufferLibrary,
+    assignment: &Assignment,
+) -> Vec<(NodeId, f64, f64, bool)> {
+    let (below, reported) = seed_buffered_currents(tree, scenario, assignment);
+    let mut checks = Vec::new();
+    let mut gates: Vec<(NodeId, f64)> = vec![(tree.source(), tree.driver().resistance)];
+    for (v, b) in assignment.iter() {
+        gates.push((v, lib.buffer(b).resistance));
+    }
+    for (root, gate_r) in gates {
+        let gate_term = gate_r * below[root.index()];
+        let mut stack = vec![(root, gate_term)];
+        while let Some((v, acc)) = stack.pop() {
+            for &c in tree.children(v) {
+                let w = tree.parent_wire(c).expect("child has wire");
+                let i_w = scenario.wire_current(tree, c);
+                let acc_c = acc + w.resistance * (i_w / 2.0 + reported[c.index()]);
+                if let Some(b) = assignment.buffer_at(c) {
+                    checks.push((c, acc_c, lib.buffer(b).noise_margin, true));
+                } else if let Some(spec) = tree.sink_spec(c) {
+                    checks.push((c, acc_c, spec.noise_margin, false));
+                } else {
+                    stack.push((c, acc_c));
+                }
+            }
+        }
+    }
+    checks.sort_by_key(|c| c.0);
+    checks
+}
+
+/// Seed moment pass: `acc = w[v]; acc += down[c]` fold order.
+fn seed_moment_pass(tree: &RoutingTree, weights: &[f64]) -> Vec<f64> {
+    let mut down = vec![0.0; tree.len()];
+    for v in tree.postorder() {
+        let mut acc = weights[v.index()];
+        for &c in tree.children(v) {
+            acc += down[c.index()];
+        }
+        down[v.index()] = acc;
+    }
+    let rso = tree.driver().resistance;
+    let mut s = vec![0.0; tree.len()];
+    for v in tree.preorder() {
+        if v == tree.source() {
+            s[v.index()] = rso * down[tree.source().index()];
+        } else {
+            let p = tree.parent(v).expect("non-source");
+            let w = tree.parent_wire(v).expect("non-source");
+            s[v.index()] = s[p.index()] + w.resistance * down[v.index()];
+        }
+    }
+    s
+}
+
+fn seed_moments(tree: &RoutingTree) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut cap = vec![0.0; tree.len()];
+    for v in tree.node_ids() {
+        if let Some(spec) = tree.sink_spec(v) {
+            cap[v.index()] += spec.capacitance;
+        }
+        if let Some(w) = tree.parent_wire(v) {
+            cap[v.index()] += w.capacitance / 2.0;
+            let p = tree.parent(v).expect("has wire so has parent");
+            cap[p.index()] += w.capacitance / 2.0;
+        }
+    }
+    let m1 = seed_moment_pass(tree, &cap);
+    let w2: Vec<f64> = cap.iter().zip(&m1).map(|(c, m)| c * m).collect();
+    let m2 = seed_moment_pass(tree, &w2);
+    let w3: Vec<f64> = cap.iter().zip(&m2).map(|(c, m)| c * m).collect();
+    let m3 = seed_moment_pass(tree, &w3);
+    (m1, m2, m3)
+}
+
+// ---------------------------------------------------------------------
+// Comparison driver
+// ---------------------------------------------------------------------
+
+fn assert_bitwise(seed: &[f64], kernel: &[f64], what: &str, tag: &str) {
+    assert_eq!(seed.len(), kernel.len(), "{tag}: {what} length");
+    for (i, (s, k)) in seed.iter().zip(kernel).enumerate() {
+        assert_eq!(
+            s.to_bits(),
+            k.to_bits(),
+            "{tag}: {what}[{i}] seed {s:.17e} vs kernel {k:.17e}"
+        );
+    }
+}
+
+/// Every node has at most one child: the moment fold order is identical.
+fn is_chain(tree: &RoutingTree) -> bool {
+    tree.node_ids().all(|v| tree.children(v).len() <= 1)
+}
+
+/// Buffer assignments to audit under: empty, plus every-`stride`-th
+/// feasible site with cycling buffer types.
+fn assignments_for(tree: &RoutingTree, lib: &BufferLibrary) -> Vec<Assignment> {
+    let mut out = vec![Assignment::empty(tree)];
+    let sites: Vec<NodeId> = tree
+        .node_ids()
+        .filter(|&v| tree.node(v).kind.is_feasible_site())
+        .collect();
+    for stride in [2usize, 3] {
+        let mut a = Assignment::empty(tree);
+        for (i, &v) in sites.iter().step_by(stride).enumerate() {
+            a.insert(v, BufferId::from_index(i % lib.len()));
+        }
+        if a.count() > 0 {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// Runs every seed-vs-kernel comparison over one net.
+fn check_net(tree: &RoutingTree, scenario: &NoiseScenario, tag: &str) {
+    let lib = catalog::ibm_like();
+
+    // Elmore: loads and arrivals.
+    assert_bitwise(
+        &seed_downstream_capacitance(tree),
+        &elmore::downstream_capacitance(tree),
+        "downstream_capacitance",
+        tag,
+    );
+    assert_bitwise(
+        &seed_arrival_times(tree),
+        &elmore::arrival_times(tree),
+        "arrival_times",
+        tag,
+    );
+
+    // Devgan: currents, per-wire noise, noise slack, sink noise.
+    let seed_cur = seed_downstream_current(tree, scenario);
+    let cur = metric::downstream_current(tree, scenario);
+    assert_bitwise(&seed_cur, &cur, "downstream_current", tag);
+    for v in tree.node_ids() {
+        let s = seed_wire_noise(tree, scenario, v, &seed_cur);
+        let k = metric::wire_noise(tree, scenario, v, &cur).expect("tables match");
+        assert_eq!(s.to_bits(), k.to_bits(), "{tag}: wire_noise[{v:?}]");
+    }
+    assert_bitwise(
+        &seed_noise_slack(tree, scenario),
+        &metric::noise_slack(tree, scenario),
+        "noise_slack",
+        tag,
+    );
+    let seed_sn = seed_sink_noise_from(tree, scenario, tree.source(), tree.driver().resistance);
+    let sn = metric::sink_noise(tree, scenario);
+    assert_eq!(seed_sn.len(), sn.len(), "{tag}: sink_noise count");
+    for (s, k) in seed_sn.iter().zip(&sn) {
+        assert_eq!(s.0, k.sink, "{tag}: sink_noise node");
+        assert_eq!(s.1.to_bits(), k.noise.to_bits(), "{tag}: sink_noise value");
+    }
+
+    // Buffered audit under several assignments.
+    for (ai, assignment) in assignments_for(tree, &lib).iter().enumerate() {
+        let atag = format!("{tag}/assignment{ai}");
+        let (sb, sp) = seed_buffered_loads(tree, &lib, assignment);
+        let (kb, kp) = audit::buffered_loads(tree, &lib, assignment);
+        assert_bitwise(&sb, &kb, "buffered_loads.below", &atag);
+        assert_bitwise(&sp, &kp, "buffered_loads.presented", &atag);
+
+        let (scb, scr) = seed_buffered_currents(tree, scenario, assignment);
+        let (kcb, kcr) = audit::buffered_currents(tree, scenario, assignment);
+        assert_bitwise(&scb, &kcb, "buffered_currents.below", &atag);
+        assert_bitwise(&scr, &kcr, "buffered_currents.reported", &atag);
+
+        let (sa, ss) = seed_audit_delay(tree, &lib, assignment);
+        let da = audit::delay(tree, &lib, assignment).expect("assignment matches");
+        assert_bitwise(&sa, &da.arrival, "audit arrival", &atag);
+        assert_eq!(ss.to_bits(), da.slack.to_bits(), "{atag}: audit slack");
+
+        let s_checks = seed_audit_noise(tree, scenario, &lib, assignment);
+        let na = audit::noise(tree, scenario, &lib, assignment).expect("matches");
+        assert_eq!(s_checks.len(), na.checks.len(), "{atag}: noise check count");
+        for (s, k) in s_checks.iter().zip(&na.checks) {
+            assert_eq!(s.0, k.node, "{atag}: check node");
+            assert_eq!(s.1.to_bits(), k.noise.to_bits(), "{atag}: check noise");
+            assert_eq!(s.2.to_bits(), k.margin.to_bits(), "{atag}: check margin");
+            assert_eq!(s.3, k.is_buffer_input, "{atag}: check kind");
+        }
+    }
+
+    // Moments: bitwise on chains, ≤1e-12 relative at branch nodes (the
+    // kernel reassociates one addition per branch node).
+    let (sm1, sm2, sm3) = seed_moments(tree);
+    let m = moments(tree);
+    if is_chain(tree) {
+        assert_bitwise(&sm1, &m.m1, "m1", tag);
+        assert_bitwise(&sm2, &m.m2, "m2", tag);
+        assert_bitwise(&sm3, &m.m3, "m3", tag);
+    } else {
+        for (what, seed, kernel) in [
+            ("m1", &sm1, &m.m1),
+            ("m2", &sm2, &m.m2),
+            ("m3", &sm3, &m.m3),
+        ] {
+            for (i, (s, k)) in seed.iter().zip(kernel).enumerate() {
+                let scale = s.abs().max(k.abs()).max(1e-300);
+                assert!(
+                    ((s - k) / scale).abs() <= 1e-12,
+                    "{tag}: {what}[{i}] seed {s:.17e} vs kernel {k:.17e}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Inputs
+// ---------------------------------------------------------------------
+
+#[test]
+fn corpus_nets_match_seed_bitwise() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/data");
+    let mut seen = 0usize;
+    for entry in std::fs::read_dir(dir).expect("data/ corpus present") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "net") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable net file");
+        let net = parse(&text).expect("valid corpus net");
+        for seg_len in [500.0, 1500.0] {
+            let seg = segment::segment_wires(&net.tree, seg_len).expect("segment");
+            let scenario = net.scenario.for_segmented(&seg);
+            let tag = format!("{}@{seg_len}", path.file_name().unwrap().to_string_lossy());
+            check_net(&seg.tree, &scenario, &tag);
+        }
+        seen += 1;
+    }
+    assert!(seen >= 2, "expected the corpus to hold at least two nets");
+}
+
+#[test]
+fn hand_built_nets_match_seed_bitwise() {
+    let tech = Technology::global_layer();
+
+    // A long chain (exercises the bitwise moment path).
+    let mut b = TreeBuilder::new(Driver::new(150.0, 30e-12));
+    b.add_sink(
+        b.source(),
+        tech.wire(6000.0),
+        SinkSpec::new(20e-15, 1.2e-9, 0.8),
+    )
+    .expect("sink");
+    let chain = segment::segment_wires(&b.build().expect("tree"), 500.0)
+        .expect("segment")
+        .tree;
+    assert!(is_chain(&chain));
+    check_net(
+        &chain,
+        &NoiseScenario::estimation(&chain, 0.7, 7.2e9),
+        "chain",
+    );
+
+    // A branching comb.
+    let mut b = TreeBuilder::new(Driver::new(300.0, 20e-12));
+    let mut trunk = b.source();
+    for i in 0..5 {
+        trunk = b.add_internal(trunk, tech.wire(800.0)).expect("trunk");
+        b.add_sink(
+            trunk,
+            tech.wire(600.0 + 150.0 * i as f64),
+            SinkSpec::new(15e-15, 1.5e-9, 0.8),
+        )
+        .expect("tooth");
+    }
+    let comb = segment::segment_wires(&b.build().expect("tree"), 400.0)
+        .expect("segment")
+        .tree;
+    assert!(!is_chain(&comb));
+    check_net(&comb, &NoiseScenario::estimation(&comb, 0.7, 7.2e9), "comb");
+}
+
+/// Instructions for one random binary tree, mirroring the core
+/// differential suite's generator.
+fn build_random_tree(steps: &[(u8, bool, f64, f64)]) -> Option<RoutingTree> {
+    let tech = Technology::global_layer();
+    let mut b = TreeBuilder::new(Driver::new(250.0, 20e-12));
+    let mut open = vec![(b.source(), 2usize)];
+    let mut childless = Vec::new();
+    for &(sel, branch, len, rat_ns) in steps {
+        if open.is_empty() {
+            break;
+        }
+        let slot = sel as usize % open.len();
+        let (parent, free) = open[slot];
+        if free == 1 {
+            open.swap_remove(slot);
+        } else {
+            open[slot].1 -= 1;
+        }
+        if branch {
+            let id = b.add_internal(parent, tech.wire(len)).ok()?;
+            open.push((id, 2));
+            childless.push(id);
+        } else {
+            b.add_sink(
+                parent,
+                tech.wire(len),
+                SinkSpec::new(25e-15, rat_ns * 1e-9, 0.8),
+            )
+            .ok()?;
+        }
+        childless.retain(|&n| n != parent);
+    }
+    for n in childless {
+        b.add_sink(n, tech.wire(900.0), SinkSpec::new(25e-15, 2.0e-9, 0.8))
+            .ok()?;
+    }
+    if b.len() < 2 {
+        return None;
+    }
+    let t = b.build().ok()?;
+    Some(segment::segment_wires(&t, 800.0).ok()?.tree)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_trees_match_seed_bitwise(
+        steps in prop::collection::vec(
+            (0u8..16, prop::bool::ANY, 400.0f64..4000.0, 0.8f64..4.0),
+            1..14,
+        )
+    ) {
+        if let Some(tree) = build_random_tree(&steps) {
+            let scenario = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
+            check_net(&tree, &scenario, "random");
+        }
+    }
+}

@@ -68,10 +68,13 @@ fn polarity_dp_matches_exhaustive() {
         if !audit::polarity_legal(&t, &lib, a) {
             return;
         }
-        if audit::noise(&t, &s, &lib, a).has_violation() {
+        if audit::noise(&t, &s, &lib, a)
+            .expect("audit")
+            .has_violation()
+        {
             return;
         }
-        best = best.max(audit::delay(&t, &lib, a).slack);
+        best = best.max(audit::delay(&t, &lib, a).expect("audit").slack);
     });
     assert!(best > f64::NEG_INFINITY, "a legal assignment exists");
 
@@ -106,10 +109,13 @@ fn min_cost_matches_exhaustive() {
 
     let mut best_cost = f64::INFINITY;
     for_all_assignments(&t, &site_list, lib.len(), |a| {
-        if audit::noise(&t, &s, &lib, a).has_violation() {
+        if audit::noise(&t, &s, &lib, a)
+            .expect("audit")
+            .has_violation()
+        {
             return;
         }
-        if audit::delay(&t, &lib, a).slack < 0.0 {
+        if audit::delay(&t, &lib, a).expect("audit").slack < 0.0 {
             return;
         }
         best_cost = best_cost.min(a.total_cost(&lib));
@@ -163,10 +169,13 @@ fn wiresize_dp_matches_exhaustive() {
             s1.set_factor(v, s0.factor(v));
         }
         for_all_assignments(&resized, &site_list, lib.len(), |a| {
-            if audit::noise(&resized, &s1, &lib, a).has_violation() {
+            if audit::noise(&resized, &s1, &lib, a)
+                .expect("audit")
+                .has_violation()
+            {
                 return;
             }
-            best = best.max(audit::delay(&resized, &lib, a).slack);
+            best = best.max(audit::delay(&resized, &lib, a).expect("audit").slack);
         });
     }
     assert!(best > f64::NEG_INFINITY);
@@ -230,7 +239,9 @@ fn cost_and_count_objectives_are_consistent() {
     // Cost optimum may use more (smaller) buffers but never costs more.
     assert!(by_cost.cost <= by_count.cost + 1e-9);
     for sol in [&by_count, &by_cost] {
-        assert!(!audit::noise(&t, &s, &lib, &sol.assignment).has_violation());
+        assert!(!audit::noise(&t, &s, &lib, &sol.assignment)
+            .expect("audit")
+            .has_violation());
         assert!(sol.slack >= 0.0);
     }
 }

@@ -27,10 +27,10 @@ fn buffopt_fixes_every_net_and_referee_confirms() {
     let mut fixed_any = false;
     for net in &nets {
         let empty = Assignment::empty(&net.tree);
-        let before = audit::noise(&net.tree, &net.scenario, lib, &empty);
+        let before = audit::noise(&net.tree, &net.scenario, lib, &empty).expect("audit");
         let sol = algo3::min_buffers(&net.tree, &net.scenario, lib, &BuffOptOptions::default())
             .expect("every population net is fixable");
-        let after = audit::noise(&net.tree, &net.scenario, lib, &sol.assignment);
+        let after = audit::noise(&net.tree, &net.scenario, lib, &sol.assignment).expect("audit");
         assert!(!after.has_violation(), "net {} still violates", net.id);
         if before.has_violation() {
             fixed_any = true;
@@ -67,7 +67,10 @@ fn delay_only_optimization_leaves_noise_violations() {
             },
         )
         .expect("delay-only always solves");
-        if audit::noise(&net.tree, &net.scenario, lib, &sol.assignment).has_violation() {
+        if audit::noise(&net.tree, &net.scenario, lib, &sol.assignment)
+            .expect("audit")
+            .has_violation()
+        {
             left_over += 1;
         }
     }
@@ -106,7 +109,7 @@ fn audits_match_dp_bookkeeping_across_population() {
     for net in &nets {
         let sol = algo3::optimize(&net.tree, &net.scenario, lib, &BuffOptOptions::default())
             .expect("solves");
-        let audit = audit::delay(&net.tree, lib, &sol.assignment);
+        let audit = audit::delay(&net.tree, lib, &sol.assignment).expect("audit");
         assert!(
             (sol.slack - audit.slack).abs() < 1e-13,
             "net {}: DP slack {} vs audit {}",
@@ -151,6 +154,10 @@ fn inverting_library_subset_is_sufficient() {
     for net in &nets {
         let sol = algo3::min_buffers(&net.tree, &net.scenario, &lib, &BuffOptOptions::default())
             .expect("non-inverting subset suffices");
-        assert!(!audit::noise(&net.tree, &net.scenario, &lib, &sol.assignment).has_violation());
+        assert!(
+            !audit::noise(&net.tree, &net.scenario, &lib, &sol.assignment)
+                .expect("audit")
+                .has_violation()
+        );
     }
 }

@@ -80,7 +80,7 @@ proptest! {
         let s = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
         let lib = single_lib();
         let sol = algorithm2::avoid_noise(&tree, &s, &lib).expect("fixable");
-        let audit = audit::noise(&sol.tree, &sol.scenario, &lib, &sol.assignment);
+        let audit = audit::noise(&sol.tree, &sol.scenario, &lib, &sol.assignment).expect("audit");
         prop_assert!(!audit.has_violation(), "worst {}", audit.worst_headroom());
         let before = metric::NoiseReport::analyze(&tree, &s);
         if !before.has_violation() {
@@ -111,9 +111,9 @@ proptest! {
         let s = NoiseScenario::estimation(&tree, 0.7, 7.2e9).for_segmented(&seg);
         let lib = single_lib();
         if let Ok(sol) = algo3::optimize(&seg.tree, &s, &lib, &BuffOptOptions::default()) {
-            let d = audit::delay(&seg.tree, &lib, &sol.assignment);
+            let d = audit::delay(&seg.tree, &lib, &sol.assignment).expect("audit");
             prop_assert!((sol.slack - d.slack).abs() < 1e-13);
-            let n = audit::noise(&seg.tree, &s, &lib, &sol.assignment);
+            let n = audit::noise(&seg.tree, &s, &lib, &sol.assignment).expect("audit");
             prop_assert!(!n.has_violation());
         }
     }

@@ -70,7 +70,7 @@ fn theorem2_delay_optimal_buffering_can_violate_noise() {
     let lib = single_lib();
 
     let d = delayopt::optimize(&t, &lib, &DelayOptOptions::default()).expect("delay solves");
-    let d_noise = audit::noise(&t, &s, &lib, &d.assignment);
+    let d_noise = audit::noise(&t, &s, &lib, &d.assignment).expect("audit");
     assert!(
         d_noise.has_violation(),
         "delay-optimal solution must violate here (worst headroom {})",
@@ -78,7 +78,7 @@ fn theorem2_delay_optimal_buffering_can_violate_noise() {
     );
 
     let b = algo3::optimize(&t, &s, &lib, &BuffOptOptions::default()).expect("buffopt solves");
-    let b_noise = audit::noise(&t, &s, &lib, &b.assignment);
+    let b_noise = audit::noise(&t, &s, &lib, &b.assignment).expect("audit");
     assert!(!b_noise.has_violation());
 }
 
@@ -152,7 +152,9 @@ fn theorem5_assumptions_matter_for_pruning() {
         },
     )
     .expect("conservative pruning always finds the fix when one exists");
-    assert!(!audit::noise(&t, &s, &lib, &conservative.assignment).has_violation());
+    assert!(!audit::noise(&t, &s, &lib, &conservative.assignment)
+        .expect("audit")
+        .has_violation());
     // Paper pruning either fails or is no better.
     if let Ok(paper) = algo3::optimize(&t, &s, &lib, &BuffOptOptions::default()) {
         assert!(paper.slack <= conservative.slack + 1e-15);
@@ -179,7 +181,11 @@ fn source_fix_only_for_weak_drivers() {
     assert!(metric::NoiseReport::analyze(&t2, &s2).has_violation());
     let sol2 = algorithm1::avoid_noise(&t2, &s2, &lib).expect("alg1");
     assert!(sol2.inserted() >= 1);
-    assert!(!audit::noise(&sol2.tree, &sol2.scenario, &lib, &sol2.assignment).has_violation());
+    assert!(
+        !audit::noise(&sol2.tree, &sol2.scenario, &lib, &sol2.assignment)
+            .expect("audit")
+            .has_violation()
+    );
 }
 
 /// Footnote 5's analogy table: the noise recursion is structurally the
@@ -275,6 +281,8 @@ fn infeasible_sites_are_respected() {
             "buffer at blocked {n}"
         );
     }
-    assert!(!audit::noise(&t, &s, &lib, &sol.assignment).has_violation());
+    assert!(!audit::noise(&t, &s, &lib, &sol.assignment)
+        .expect("audit")
+        .has_violation());
     let _ = Assignment::empty(&t);
 }
