@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::cancel::CancelReason;
+
 /// What went wrong inside a kernel sweep.
 ///
 /// The seed implementations `assert_eq!`-panicked on mismatched table
@@ -20,6 +22,11 @@ pub enum AnalysisError {
         /// The supplied table's length.
         got: usize,
     },
+    /// The run's [`crate::cancel::CancelToken`] was tripped mid-sweep.
+    Cancelled {
+        /// Why the run was cancelled.
+        reason: CancelReason,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -33,6 +40,7 @@ impl fmt::Display for AnalysisError {
                 f,
                 "{table} does not match the tree: expected {expected} entries, got {got}"
             ),
+            AnalysisError::Cancelled { reason } => write!(f, "cancelled: {reason}"),
         }
     }
 }

@@ -11,6 +11,7 @@
 //! π-model term is `r * (q / 2.0 + below)`, and optional gate terms are
 //! likewise only applied when present.
 
+use crate::cancel::CancelToken;
 use crate::error::AnalysisError;
 
 /// The rooted-tree shape the sweeps operate on.
@@ -129,6 +130,42 @@ pub(crate) fn for_each_postorder<T: Topology + ?Sized>(t: &T, root: u32, mut f: 
     }
 }
 
+/// Visit stride between cancellation polls in the cancellable walkers:
+/// one relaxed atomic load per this many nodes, so the poll overhead is
+/// unmeasurable while an abort still lands within a few hundred visits.
+const CANCEL_STRIDE: u32 = 256;
+
+/// The post-order walk, polling `cancel` every `CANCEL_STRIDE` (256)
+/// visits. A tripped token aborts the walk with
+/// [`AnalysisError::Cancelled`]; whatever `f` wrote so far stays written,
+/// so callers must treat their output tables as garbage on `Err`.
+pub fn for_each_postorder_cancellable<T: Topology + ?Sized>(
+    t: &T,
+    root: u32,
+    cancel: &CancelToken,
+    mut f: impl FnMut(u32),
+) -> Result<(), AnalysisError> {
+    let mut tick = 0u32;
+    let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+    while let Some(top) = stack.last_mut() {
+        let (v, i) = *top;
+        if i < t.child_count(v) {
+            top.1 += 1;
+            stack.push((t.child_of(v, i), 0));
+        } else {
+            stack.pop();
+            tick += 1;
+            if tick.is_multiple_of(CANCEL_STRIDE) {
+                if let Some(reason) = cancel.cancelled() {
+                    return Err(AnalysisError::Cancelled { reason });
+                }
+            }
+            f(v);
+        }
+    }
+    Ok(())
+}
+
 /// Drives `f` over every node of the subtree of `root` in preorder
 /// (parents before children).
 pub(crate) fn for_each_preorder<T: Topology + ?Sized>(t: &T, root: u32, mut f: impl FnMut(u32)) {
@@ -202,6 +239,44 @@ where
             None => b,
         };
     });
+}
+
+/// [`sweep_down_cut`] with cooperative cancellation: identical tables
+/// (same fold order, bitwise) when the sweep completes, or
+/// [`AnalysisError::Cancelled`] if `cancel` trips mid-walk (the output
+/// tables are then partially written and must be discarded).
+pub fn sweep_down_cut_cancellable<T, M>(
+    t: &T,
+    m: &M,
+    below: &mut Vec<f64>,
+    presented: &mut Vec<f64>,
+    cancel: &CancelToken,
+) -> Result<(), AnalysisError>
+where
+    T: Topology + ?Sized,
+    M: AdditiveMetric<T> + ?Sized,
+{
+    let n = t.node_count();
+    below.clear();
+    below.resize(n, 0.0);
+    presented.clear();
+    presented.resize(n, 0.0);
+    for_each_postorder_cancellable(t, t.root_node(), cancel, |v| {
+        let mut acc = -0.0;
+        for i in 0..t.child_count(v) {
+            let c = t.child_of(v, i) as usize;
+            acc += m.edge_quantity(t, c as u32) + presented[c];
+        }
+        let b = match m.node_injection(t, v) {
+            Some(inj) => inj + acc,
+            None => acc,
+        };
+        below[v as usize] = b;
+        presented[v as usize] = match m.cut(t, v) {
+            Some(p) => p,
+            None => b,
+        };
+    })
 }
 
 /// Preorder accumulation from the root:

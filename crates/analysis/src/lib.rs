@@ -24,6 +24,10 @@
 //! * [`sweep_slack`] — postorder min-merge (timing slack, noise slack).
 //! * [`pi_wire_term`] — the single implementation of the π-model wire
 //!   term `R·(X/2 + X_below)` shared by every instance.
+//! * [`CancelToken`] / [`CancelReason`] — a shared atomic cancellation
+//!   flag polled by the cancellable walkers ([`sweep_down_cut_cancellable`],
+//!   [`for_each_postorder_cancellable`]) and, downstream, by the DP merge
+//!   loops, so a doomed run aborts in microseconds.
 //! * [`IncrementalSweep`] — dirty-subtree re-analysis: after
 //!   [`IncrementalSweep::mark_dirty`], only the path to the root (with
 //!   early exit on bitwise-unchanged values) is recomputed, so an
@@ -39,15 +43,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod error;
 mod incremental;
 mod kernel;
 mod workspace;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use error::AnalysisError;
 pub use incremental::IncrementalSweep;
 pub use kernel::{
-    accumulate_from, pi_wire_term, sweep_down, sweep_down_cut, sweep_slack, sweep_up,
-    AdditiveMetric, Topology,
+    accumulate_from, for_each_postorder_cancellable, pi_wire_term, sweep_down, sweep_down_cut,
+    sweep_down_cut_cancellable, sweep_slack, sweep_up, AdditiveMetric, Topology,
 };
 pub use workspace::AnalysisWorkspace;

@@ -196,7 +196,7 @@ fn main() {
         };
         let full_opts = IterativeOptions {
             full_resweep: true,
-            ..incr_opts
+            ..incr_opts.clone()
         };
         let incremental = measure(samples, || {
             iterative::optimize(&tree, &scenario, &lib, &incr_opts).expect("greedy solves");

@@ -153,7 +153,14 @@ fn cheapest_driveable(list: &[Cand], rb: f64) -> Option<Cand> {
         .copied()
 }
 
+/// Cancellation/deadline check stride inside the merge cross product, in
+/// candidate pairs. Power of two so the tick test compiles to a mask.
+const CHECK_STRIDE: usize = 1024;
+
 /// Merges the candidate lists of the two children of `v` (paper Steps 4–6).
+///
+/// The cross product checkpoints the budget every [`CHECK_STRIDE`] pairs,
+/// so a cancelled run unwinds mid-merge instead of at the next tree node.
 #[allow(clippy::too_many_arguments)]
 fn merge(
     tree: &RoutingTree,
@@ -164,7 +171,8 @@ fn merge(
     left: &[Cand],
     right: &[Cand],
     arena: &mut ProvArena<WireInsertion>,
-) -> Vec<Cand> {
+    budget: &RunBudget,
+) -> Result<Vec<Cand>, CoreError> {
     let rb = buffer.resistance;
     let nm_b = buffer.noise_margin;
     let mut out = Vec::new();
@@ -175,8 +183,13 @@ fn merge(
     // descending and sweeping yields all frontier pairs in
     // O(|L|·|R|) worst case but O(|L| + |R|) after pruning; lists are tiny
     // in practice, so the simple cross product is used for exactness.
+    let mut tick = 0usize;
     for a in left {
         for b in right {
+            tick += 1;
+            if tick & (CHECK_STRIDE - 1) == 0 {
+                budget.checkpoint()?;
+            }
             let current = a.current + b.current;
             let slack = a.slack.min(b.slack);
             if rb * current <= slack + NOISE_TOL {
@@ -231,7 +244,7 @@ fn merge(
             prov,
         });
     }
-    out
+    Ok(out)
 }
 
 /// Runs Algorithm 2 on a (possibly multi-sink) net, inserting the minimum
@@ -254,10 +267,12 @@ pub fn avoid_noise(
     avoid_noise_budgeted(tree, scenario, lib, &RunBudget::default())
 }
 
-/// [`avoid_noise`] under a [`RunBudget`]: the deadline is checked at every
-/// tree node and candidate lists are gated on the budget's candidate cap,
-/// so a pathological net aborts with a typed error instead of running
-/// away. The default budget reproduces [`avoid_noise`] exactly.
+/// [`avoid_noise`] under a [`RunBudget`]: cancellation and the deadline
+/// are checked at every tree node (and at a stride inside merge cross
+/// products), candidate lists are gated on the budget's candidate cap,
+/// and the insertion arena is gated on the byte cap, so a pathological
+/// net aborts with a typed error instead of running away. The default
+/// budget reproduces [`avoid_noise`] exactly.
 ///
 /// # Errors
 ///
@@ -301,7 +316,7 @@ pub fn avoid_noise_budgeted_with(
 
     let mut lists: Vec<Option<Vec<Cand>>> = vec![None; tree.len()];
     for v in tree.postorder() {
-        budget.check_deadline()?;
+        budget.checkpoint()?;
         let mut list = if let Some(spec) = tree.sink_spec(v) {
             vec![Cand {
                 current: 0.0,
@@ -322,7 +337,8 @@ pub fn avoid_noise_budgeted_with(
                     let rl = lists[cr.index()].take().expect("postorder");
                     let lc = climb_list(tree, scenario, &buffer, buffer_id, *cl, ll, arena)?;
                     let rc = climb_list(tree, scenario, &buffer, buffer_id, *cr, rl, arena)?;
-                    let merged = merge(tree, &buffer, buffer_id, *cl, *cr, &lc, &rc, arena);
+                    let merged =
+                        merge(tree, &buffer, buffer_id, *cl, *cr, &lc, &rc, arena, &budget)?;
                     if merged.is_empty() {
                         return Err(CoreError::NoiseUnfixable(v));
                     }
@@ -333,6 +349,10 @@ pub fn avoid_noise_budgeted_with(
         };
         budget.admit_candidates(list.len())?;
         prune(&mut list);
+        // Algorithm 2's Pareto lists cannot be clamped without risking a
+        // false NoiseUnfixable, so the arena cap is a hard error here —
+        // degrade-in-place is a DP-only behavior.
+        budget.admit_arena_bytes(arena.bytes())?;
         lists[v.index()] = Some(list);
     }
 

@@ -64,6 +64,18 @@ impl<T: Copy> ProvArena<T> {
         self.entries.len()
     }
 
+    /// Bytes of provenance state currently *live* in the arena.
+    ///
+    /// Deliberately length-based, not capacity-based: two runs producing
+    /// the same entries report the same byte count regardless of the
+    /// allocator's growth history, so memory-budget decisions made on
+    /// this number are deterministic and a degraded run is bitwise
+    /// reproducible.
+    pub(crate) fn bytes(&self) -> usize {
+        self.payloads.len() * std::mem::size_of::<T>()
+            + self.entries.len() * std::mem::size_of::<Entry>()
+    }
+
     fn push(&mut self, e: Entry) -> u32 {
         let idx = u32::try_from(self.entries.len()).expect("arena overflow: > 4G entries");
         debug_assert!(idx != NONE, "arena overflow: reserved sentinel reached");
@@ -188,6 +200,23 @@ mod tests {
             p = a.elem(i, p);
         }
         assert_eq!(a.resolve(p).len(), 200_000);
+    }
+
+    #[test]
+    fn bytes_track_length_not_capacity() {
+        let mut a: ProvArena<u32> = ProvArena::default();
+        assert_eq!(a.bytes(), 0);
+        let p = a.elem(1, NONE);
+        let one = a.bytes();
+        assert!(one > 0);
+        let q = a.elem(2, p);
+        a.join(p, q);
+        let three = a.bytes();
+        assert!(three > one);
+        a.clear();
+        assert_eq!(a.bytes(), 0, "clear drops live bytes to zero");
+        a.elem(1, NONE);
+        assert_eq!(a.bytes(), one, "byte accounting is history-independent");
     }
 
     #[test]

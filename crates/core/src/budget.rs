@@ -16,11 +16,17 @@
 
 use std::time::{Duration, Instant};
 
+use buffopt_analysis::CancelToken;
+
 use crate::error::{BudgetResource, CoreError};
 
 /// Resource limits for one optimizer run. All limits default to `None`
 /// (unlimited), which reproduces the unbudgeted behaviour exactly.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+///
+/// Equality compares the limits and the degrade flag only — the
+/// [`cancel`](RunBudget::cancel) token is identity-shared runtime state,
+/// not configuration.
+#[derive(Debug, Clone, Default)]
 pub struct RunBudget {
     /// Abort with [`CoreError::DeadlineExceeded`] once this instant has
     /// passed. Checked at every tree node (DP) or round (greedy), so the
@@ -46,6 +52,44 @@ pub struct RunBudget {
     pub max_candidates: Option<usize>,
     /// Refuse trees with more nodes than this before doing any work.
     pub max_tree_nodes: Option<usize>,
+    /// Cap on the bytes held by the DP's provenance arena. Arena growth
+    /// is append-only within a run, so once the cap trips it stays
+    /// tripped: the run either aborts ([`CoreError::BudgetExceeded`] with
+    /// [`BudgetResource::ArenaBytes`]) or — with [`degrade`] set —
+    /// clamps its frontier and finishes with a feasible-but-suboptimal
+    /// solution.
+    ///
+    /// [`CoreError::BudgetExceeded`]: crate::CoreError::BudgetExceeded
+    /// [`BudgetResource::ArenaBytes`]: crate::BudgetResource::ArenaBytes
+    /// [`degrade`]: RunBudget::degrade
+    pub max_arena_bytes: Option<usize>,
+    /// Degrade in place instead of erroring on candidate or arena
+    /// pressure: the DP deterministically clamps its candidate frontier
+    /// to a bounded top-K and finishes, tagging the solution with the
+    /// resource that tripped ([`Solution::degraded_by`]). Off by
+    /// default — the fail-hard contract (and bitwise reproducibility of
+    /// unbudgeted runs) is unchanged unless a caller opts in.
+    ///
+    /// [`Solution::degraded_by`]: crate::Solution::degraded_by
+    pub degrade: bool,
+    /// Shared cooperative-cancellation flag, polled at merge-row stride
+    /// inside the DP loops. Cancelling aborts the run with
+    /// [`CoreError::Cancelled`] within microseconds; a default token is
+    /// never cancelled and costs one relaxed load per stride.
+    ///
+    /// [`CoreError::Cancelled`]: crate::CoreError::Cancelled
+    pub cancel: CancelToken,
+}
+
+impl PartialEq for RunBudget {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+            && self.time_limit == other.time_limit
+            && self.max_candidates == other.max_candidates
+            && self.max_tree_nodes == other.max_tree_nodes
+            && self.max_arena_bytes == other.max_arena_bytes
+            && self.degrade == other.degrade
+    }
 }
 
 impl RunBudget {
@@ -76,7 +120,7 @@ impl RunBudget {
     /// [`deadline`]: RunBudget::deadline
     #[must_use]
     pub fn armed(&self) -> Self {
-        let mut b = *self;
+        let mut b = self.clone();
         if let Some(limit) = b.time_limit.take() {
             let from_now = Instant::now().checked_add(limit);
             b.deadline = match (b.deadline, from_now) {
@@ -101,12 +145,38 @@ impl RunBudget {
         self
     }
 
+    /// This budget with an arena-byte cap.
+    #[must_use]
+    pub fn with_max_arena_bytes(mut self, max: usize) -> Self {
+        self.max_arena_bytes = Some(max);
+        self
+    }
+
+    /// This budget with degrade-in-place enabled (see
+    /// [`degrade`](RunBudget::degrade)).
+    #[must_use]
+    pub fn with_degrade(mut self) -> Self {
+        self.degrade = true;
+        self
+    }
+
     /// Errors when the deadline has passed.
     pub(crate) fn check_deadline(&self) -> Result<(), CoreError> {
         match self.deadline {
             Some(d) if Instant::now() > d => Err(CoreError::DeadlineExceeded),
             _ => Ok(()),
         }
+    }
+
+    /// The stride checkpoint the DP inner loops poll: cancellation first
+    /// (one relaxed atomic load — cheap enough for per-row strides), then
+    /// the deadline. Cancellation wins when both have tripped, because it
+    /// carries the caller's attribution.
+    pub(crate) fn checkpoint(&self) -> Result<(), CoreError> {
+        if let Some(reason) = self.cancel.cancelled() {
+            return Err(CoreError::Cancelled { reason });
+        }
+        self.check_deadline()
     }
 
     /// Errors when a tree of `nodes` nodes is over the cap.
@@ -127,6 +197,18 @@ impl RunBudget {
         match self.max_candidates {
             Some(limit) if observed > limit => Err(CoreError::BudgetExceeded {
                 resource: BudgetResource::Candidates,
+                limit,
+                observed,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Errors when the provenance arena holds more than the cap.
+    pub(crate) fn admit_arena_bytes(&self, observed: usize) -> Result<(), CoreError> {
+        match self.max_arena_bytes {
+            Some(limit) if observed > limit => Err(CoreError::BudgetExceeded {
+                resource: BudgetResource::ArenaBytes,
                 limit,
                 observed,
             }),
@@ -232,5 +314,74 @@ mod tests {
         let b = RunBudget::default().with_max_tree_nodes(100);
         assert!(b.admit_tree(100).is_ok());
         assert!(b.admit_tree(101).is_err());
+    }
+
+    #[test]
+    fn arena_cap_is_inclusive() {
+        let b = RunBudget::default().with_max_arena_bytes(4096);
+        assert!(b.admit_arena_bytes(4096).is_ok());
+        let err = b.admit_arena_bytes(4097).expect_err("over cap");
+        assert!(matches!(
+            err,
+            CoreError::BudgetExceeded {
+                resource: BudgetResource::ArenaBytes,
+                limit: 4096,
+                observed: 4097,
+            }
+        ));
+    }
+
+    #[test]
+    fn checkpoint_reports_cancellation_before_the_deadline() {
+        use buffopt_analysis::CancelReason;
+        let b = RunBudget {
+            deadline: Some(Instant::now() - Duration::from_secs(1)),
+            ..RunBudget::default()
+        };
+        assert!(matches!(b.checkpoint(), Err(CoreError::DeadlineExceeded)));
+        b.cancel.cancel(CancelReason::Disconnect);
+        assert!(
+            matches!(
+                b.checkpoint(),
+                Err(CoreError::Cancelled {
+                    reason: CancelReason::Disconnect
+                })
+            ),
+            "cancellation carries the attribution even when the deadline also expired"
+        );
+    }
+
+    #[test]
+    fn equality_ignores_the_cancel_token() {
+        use buffopt_analysis::CancelReason;
+        let a = RunBudget::default().with_max_candidates(10);
+        let b = RunBudget::default().with_max_candidates(10);
+        b.cancel.cancel(CancelReason::Shutdown);
+        assert_eq!(a, b, "the token is runtime state, not configuration");
+        assert_ne!(a, RunBudget::default().with_max_candidates(11));
+        assert_ne!(a, a.clone().with_degrade());
+        assert_ne!(a, a.clone().with_max_arena_bytes(1));
+    }
+
+    #[test]
+    fn clones_share_the_cancel_token() {
+        use buffopt_analysis::CancelReason;
+        let a = RunBudget::default();
+        let b = a.clone();
+        a.cancel.cancel(CancelReason::Supervisor);
+        assert!(
+            matches!(
+                b.checkpoint(),
+                Err(CoreError::Cancelled {
+                    reason: CancelReason::Supervisor
+                })
+            ),
+            "a clone observes the original's cancellation"
+        );
+        // Arming preserves the shared flag too.
+        let c = RunBudget::default().with_time_limit(Duration::from_secs(60));
+        let armed = c.armed();
+        c.cancel.cancel(CancelReason::Deadline);
+        assert!(armed.checkpoint().is_err());
     }
 }

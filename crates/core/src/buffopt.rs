@@ -15,7 +15,11 @@ use crate::error::CoreError;
 use crate::workspace::DpWorkspace;
 
 /// Options for the BuffOpt optimizers.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Not `Copy`: the embedded [`RunBudget`] carries a shared
+/// [`crate::CancelToken`], so options are cloned explicitly where a run
+/// needs its own handle.
+#[derive(Debug, Clone, Default)]
 pub struct BuffOptOptions {
     /// Hard cap on the number of inserted buffers.
     pub max_buffers: Option<usize>,
@@ -42,6 +46,8 @@ fn to_solution(tree: &RoutingTree, c: SourceCand, stats: &DpStats) -> Solution {
         meets_noise: true,
         peak_candidates: stats.peak_candidates,
         peak_merge_product: stats.peak_merge_product,
+        peak_arena_bytes: stats.peak_arena_bytes,
+        degraded_by: stats.degraded_by,
     }
 }
 

@@ -9,11 +9,15 @@ use buffopt_tree::RoutingTree;
 use crate::assignment::Assignment;
 use crate::budget::RunBudget;
 use crate::dp::{self, DpConfig};
-use crate::error::CoreError;
+use crate::error::{BudgetResource, CoreError};
 use crate::workspace::DpWorkspace;
 
 /// Options for [`optimize`].
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Not `Copy`: the embedded [`RunBudget`] carries a shared
+/// [`crate::CancelToken`], so options are cloned explicitly where a run
+/// needs its own handle.
+#[derive(Debug, Clone, Default)]
 pub struct DelayOptOptions {
     /// Hard cap on the number of inserted buffers — the paper's
     /// `DelayOpt(k)`.
@@ -50,6 +54,15 @@ pub struct Solution {
     /// branching nets; the gap is the fused prune's savings. Zero for
     /// non-DP optimizers.
     pub peak_merge_product: usize,
+    /// High-water mark of the provenance arena during the run, in bytes —
+    /// the quantity a [`RunBudget::with_max_arena_bytes`] cap gates on.
+    /// Zero for optimizers that do not run the DP.
+    pub peak_arena_bytes: usize,
+    /// `Some(resource)` when the run hit a resource cap and — because the
+    /// budget opted into [`RunBudget::with_degrade`] — finished by
+    /// tightening pruning instead of erroring. The solution is feasible
+    /// but possibly suboptimal; `None` means the full search ran.
+    pub degraded_by: Option<BudgetResource>,
 }
 
 /// Maximizes the source timing slack (Problem 2 without noise
@@ -99,6 +112,8 @@ pub fn optimize_with(
         meets_noise: false,
         peak_candidates: stats.peak_candidates,
         peak_merge_product: stats.peak_merge_product,
+        peak_arena_bytes: stats.peak_arena_bytes,
+        degraded_by: stats.degraded_by,
     })
 }
 
@@ -136,6 +151,8 @@ pub fn optimize_per_count(
                 meets_noise: false,
                 peak_candidates: stats.peak_candidates,
                 peak_merge_product: stats.peak_merge_product,
+                peak_arena_bytes: stats.peak_arena_bytes,
+                degraded_by: stats.degraded_by,
             });
         }
     }

@@ -46,7 +46,7 @@ use buffopt_tree::{NodeId, RoutingTree, Wire};
 use crate::arena::{ProvArena, NONE};
 use crate::budget::RunBudget;
 use crate::climb::NOISE_TOL;
-use crate::error::CoreError;
+use crate::error::{BudgetResource, CoreError};
 
 /// A DP candidate (paper Fig. 10: `(C, q, I, NS, M)` plus the Lillis
 /// extensions: buffer count, total buffer cost, and signal parity).
@@ -113,6 +113,13 @@ pub(crate) struct DpStats {
     /// fused sweep consumed without ever materializing it. Always ≥ the
     /// corresponding live list; the gap is the fused prune's savings.
     pub peak_merge_product: usize,
+    /// High-water mark of the provenance arena's live bytes — what the
+    /// `max_arena_bytes` budget gates on.
+    pub peak_arena_bytes: usize,
+    /// Set when the run finished under degrade-in-place: the first
+    /// resource whose pressure forced the frontier clamp. `None` means
+    /// the result is the exact DP optimum.
+    pub degraded_by: Option<BudgetResource>,
 }
 
 /// A feasible solution observed at the source, after the driver, with its
@@ -229,6 +236,51 @@ impl DpScratch {
         v.clear();
         self.pool.push(v);
     }
+}
+
+/// Merge-row stride between budget checkpoints inside the fused merge:
+/// one cancel poll + deadline read per this many cross-product rows, so a
+/// single huge merge can no longer overrun the deadline by seconds while
+/// the amortized overhead stays unmeasurable (power of two — the stride
+/// test is a mask).
+const CHECK_STRIDE: usize = 1024;
+
+/// Frontier width a degraded run clamps its candidate lists to once
+/// arena-byte pressure trips. Small enough to stop arena growth almost
+/// immediately, wide enough to keep a useful (C, q) spread per node.
+const DEGRADE_TOP_K: usize = 32;
+
+/// Deterministically clamps `cands` to at most `k` entries by sorting on
+/// the full candidate key and keeping `k` evenly-spaced (stratified)
+/// entries — both frontier extremes always survive, so the degraded run
+/// keeps its cheapest-load and best-slack options. Stable for exact key
+/// ties, hence bitwise-reproducible for a fixed budget.
+fn clamp_stratified(cands: &mut Vec<DpCand>, k: usize) {
+    if cands.len() <= k {
+        return;
+    }
+    cands.sort_by(|a, b| {
+        a.parity
+            .cmp(&b.parity)
+            .then(a.count.cmp(&b.count))
+            .then(a.cap.partial_cmp(&b.cap).expect("finite caps"))
+            .then(b.q.partial_cmp(&a.q).expect("finite slacks"))
+            .then(a.cost.partial_cmp(&b.cost).expect("finite costs"))
+    });
+    let n = cands.len();
+    if k == 1 {
+        cands.truncate(1);
+        return;
+    }
+    // keep indices round(i·(n−1)/(k−1)): integer arithmetic, ascending,
+    // first and last always included.
+    let mut write = 0;
+    for i in 0..k {
+        let idx = (i * (n - 1) + (k - 1) / 2) / (k - 1);
+        cands[write] = cands[idx];
+        write += 1;
+    }
+    cands.truncate(write);
 }
 
 fn prune(cands: &mut Vec<DpCand>, cfg: &DpConfig, scratch: &mut DpScratch) {
@@ -555,8 +607,17 @@ fn merge_fused(
     }
     let mut generated = 0usize;
     let mut compact_at = 1024usize;
+    let mut tick = 0usize;
     for a in left {
         for b in right {
+            // Stride checkpoint: without it a single huge fused merge
+            // only observed the budget at its (growth-gated) compaction
+            // points, overrunning deadlines and ignoring cancellation
+            // for the whole |L|·|R| product.
+            tick += 1;
+            if tick & (CHECK_STRIDE - 1) == 0 {
+                budget.checkpoint()?;
+            }
             if cfg.polarity && a.parity != b.parity {
                 // Mixed-parity merge would feed one branch an inverted
                 // signal; only same-parity pairs are legal.
@@ -615,7 +676,7 @@ fn merge_fused(
                 right: b.prov,
             });
             if rows.len() >= compact_at {
-                budget.check_deadline()?;
+                budget.checkpoint()?;
                 sweep_prune(rows, frontier);
                 compact_at = (rows.len() * 2).max(1024);
             }
@@ -642,6 +703,39 @@ fn merge_fused(
         }
     }
     Ok(out)
+}
+
+/// Degrade-in-place for the materialized merge: when the pending |L|·|R|
+/// product would bust the candidate cap, deterministically clamp both
+/// operands to ⌊√cap⌋ entries so the product fits, and record which
+/// resource bent the run. No-op when the product is within budget.
+fn degrade_merge_operands(
+    left: &mut Vec<DpCand>,
+    right: &mut Vec<DpCand>,
+    budget: &RunBudget,
+    stats: &mut DpStats,
+) {
+    let Some(cap) = budget.max_candidates else {
+        return;
+    };
+    if left.len().saturating_mul(right.len()) <= cap {
+        return;
+    }
+    // Integer ⌊√cap⌋ (seeded by the correctly-rounded float sqrt, then
+    // corrected — exact for every usize, hence deterministic).
+    let mut k = (cap as f64).sqrt() as usize;
+    while k.saturating_mul(k) > cap {
+        k -= 1;
+    }
+    while (k + 1).saturating_mul(k + 1) <= cap {
+        k += 1;
+    }
+    let k = k.max(1);
+    clamp_stratified(left, k);
+    clamp_stratified(right, k);
+    if stats.degraded_by.is_none() {
+        stats.degraded_by = Some(BudgetResource::Candidates);
+    }
 }
 
 /// Materialized merge for the pairwise pruning modes (conservative /
@@ -743,7 +837,7 @@ pub(crate) fn run_with(
     let mut stats = DpStats::default();
     let pairwise = cfg.conservative || cfg.cost_aware;
     for v in tree.postorder() {
-        budget.check_deadline()?;
+        budget.checkpoint()?;
         let feasible = tree.node(v).kind.is_feasible_site();
         // The fused path folds buffer insertion into the merge.
         let mut buffered = false;
@@ -776,6 +870,13 @@ pub(crate) fn run_with(
                     climb_in_place(&mut left, lw, wire_current(cl), cfg)?;
                     climb_in_place(&mut right, rw, wire_current(cr), cfg)?;
                     let merged = if pairwise {
+                        if budget.degrade {
+                            // The materialized merge gates |L|·|R| up
+                            // front; under degrade-in-place, shrink the
+                            // operands so the product fits instead of
+                            // erroring.
+                            degrade_merge_operands(&mut left, &mut right, &budget, &mut stats);
+                        }
                         merge_materialized(&left, &right, cfg, &budget, scratch, &mut stats)?
                     } else {
                         buffered = true;
@@ -793,9 +894,38 @@ pub(crate) fn run_with(
         if feasible && !buffered {
             insert_buffers_plain(v, &mut cands, lib, cfg, scratch);
         }
-        budget.admit_candidates(cands.len())?;
+        match budget.admit_candidates(cands.len()) {
+            Ok(()) => {}
+            Err(_) if budget.degrade => {
+                // Candidate-cap pressure under degrade-in-place: prune
+                // first (the gate intentionally sees the pre-prune
+                // count), then clamp the survivors to the cap. The run
+                // finishes with a feasible-but-suboptimal frontier.
+                prune(&mut cands, cfg, scratch);
+                let cap = budget.max_candidates.unwrap_or(usize::MAX).max(1);
+                clamp_stratified(&mut cands, cap);
+                if stats.degraded_by.is_none() {
+                    stats.degraded_by = Some(BudgetResource::Candidates);
+                }
+            }
+            Err(e) => return Err(e),
+        }
         stats.peak_candidates = stats.peak_candidates.max(cands.len());
         prune(&mut cands, cfg, scratch);
+        let arena_bytes = scratch.arena.bytes();
+        stats.peak_arena_bytes = stats.peak_arena_bytes.max(arena_bytes);
+        if let Err(e) = budget.admit_arena_bytes(arena_bytes) {
+            if !budget.degrade {
+                return Err(e);
+            }
+            // Arena growth is append-only, so once over the cap the run
+            // stays degraded: clamp every subsequent frontier hard to
+            // slow further growth to a crawl and finish.
+            if stats.degraded_by.is_none() {
+                stats.degraded_by = Some(BudgetResource::ArenaBytes);
+            }
+            clamp_stratified(&mut cands, DEGRADE_TOP_K);
+        }
         scratch.lists[v.index()] = cands;
     }
 

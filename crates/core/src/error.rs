@@ -1,7 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
-use buffopt_analysis::AnalysisError;
+use buffopt_analysis::{AnalysisError, CancelReason};
 use buffopt_tree::{NodeId, TreeError};
 
 /// Error raised by the buffer-insertion algorithms.
@@ -56,6 +56,13 @@ pub enum CoreError {
     /// The [`RunBudget`](crate::RunBudget) deadline passed before the run
     /// finished.
     DeadlineExceeded,
+    /// The run's [`CancelToken`](crate::CancelToken) was tripped: someone
+    /// upstream (deadline, disconnect, supervisor) no longer wants the
+    /// result, and the run unwound at its next stride checkpoint.
+    Cancelled {
+        /// Why the run was cancelled.
+        reason: CancelReason,
+    },
 }
 
 /// The cappable resources of a [`RunBudget`](crate::RunBudget).
@@ -67,6 +74,8 @@ pub enum BudgetResource {
     Candidates,
     /// Nodes in the routing tree.
     TreeNodes,
+    /// Bytes held by the provenance arena (entries plus payloads).
+    ArenaBytes,
 }
 
 impl fmt::Display for BudgetResource {
@@ -74,6 +83,7 @@ impl fmt::Display for BudgetResource {
         match self {
             BudgetResource::Candidates => write!(f, "candidates"),
             BudgetResource::TreeNodes => write!(f, "tree nodes"),
+            BudgetResource::ArenaBytes => write!(f, "arena bytes"),
         }
     }
 }
@@ -116,6 +126,7 @@ impl fmt::Display for CoreError {
                 "resource budget exceeded: {observed} {resource} over cap {limit}"
             ),
             CoreError::DeadlineExceeded => write!(f, "deadline exceeded before run finished"),
+            CoreError::Cancelled { reason } => write!(f, "cancelled: {reason}"),
         }
     }
 }
@@ -190,6 +201,21 @@ mod tests {
             observed: 9,
         };
         assert!(t.to_string().contains("tree nodes"));
+    }
+
+    #[test]
+    fn cancelled_displays_its_reason() {
+        let e = CoreError::Cancelled {
+            reason: CancelReason::Disconnect,
+        };
+        assert_eq!(e.to_string(), "cancelled: disconnect");
+        assert!(e.source().is_none());
+        let t = CoreError::BudgetExceeded {
+            resource: BudgetResource::ArenaBytes,
+            limit: 1024,
+            observed: 4096,
+        };
+        assert!(t.to_string().contains("arena bytes"));
     }
 
     #[test]

@@ -30,7 +30,11 @@ use crate::error::CoreError;
 use crate::probe::IncrementalAudit;
 
 /// Options for [`optimize`].
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Not `Copy`: the embedded [`RunBudget`] carries a shared
+/// [`crate::CancelToken`], so options are cloned explicitly where a run
+/// needs its own handle.
+#[derive(Debug, Clone, Default)]
 pub struct IterativeOptions {
     /// Enforce noise constraints: an insertion that leaves or creates a
     /// noise violation is only accepted while violations are still being
@@ -38,9 +42,10 @@ pub struct IterativeOptions {
     pub noise: bool,
     /// Stop after this many insertions.
     pub max_buffers: Option<usize>,
-    /// Resource limits; the default is unlimited. The deadline is checked
-    /// once per greedy round (each round audits every site × buffer pair,
-    /// so rounds are the unit of progress).
+    /// Resource limits; the default is unlimited. Cancellation and the
+    /// deadline are checked once per greedy round and once per probed
+    /// site (each site audits every buffer type, so sites are the unit
+    /// of progress inside a round).
     pub budget: RunBudget,
     /// Score every trial with a from-scratch audit instead of the
     /// incremental sweeps. This is the seed behavior, kept as the
@@ -108,6 +113,8 @@ pub fn optimize(
         meets_noise: options.noise,
         peak_candidates: 0, // greedy holds no candidate lists
         peak_merge_product: 0,
+        peak_arena_bytes: 0,
+        degraded_by: None, // greedy has no frontier to clamp
     })
 }
 
@@ -124,7 +131,7 @@ fn greedy_incremental(
     let mut live = IncrementalAudit::new(tree, scenario, lib, options.noise);
     let mut current_score = (live.violations(), live.slack());
     loop {
-        budget.check_deadline()?;
+        budget.checkpoint()?;
         if let Some(max) = options.max_buffers {
             if live.assignment().count() >= max {
                 break;
@@ -132,6 +139,7 @@ fn greedy_incremental(
         }
         let mut best: Option<((usize, f64), NodeId, BufferId)> = None;
         for &site in sites {
+            budget.checkpoint()?;
             if live.assignment().buffer_at(site).is_some() {
                 continue;
             }
@@ -183,7 +191,7 @@ fn greedy_resweep(
     let mut current = Assignment::empty(tree);
     let mut current_score = score(&current)?;
     loop {
-        budget.check_deadline()?;
+        budget.checkpoint()?;
         if let Some(max) = options.max_buffers {
             if current.count() >= max {
                 break;
@@ -191,6 +199,7 @@ fn greedy_resweep(
         }
         let mut best: Option<((usize, f64), Assignment)> = None;
         for &site in sites {
+            budget.checkpoint()?;
             if current.buffer_at(site).is_some() {
                 continue;
             }

@@ -72,6 +72,7 @@ mod workspace;
 
 pub use assignment::Assignment;
 pub use budget::RunBudget;
+pub use buffopt_analysis::{CancelReason, CancelToken};
 pub use delayopt::Solution;
 pub use error::{BudgetResource, CoreError};
 pub use workspace::DpWorkspace;

@@ -61,7 +61,12 @@
 //!   the request-line length (default 1 MiB);
 //! * `--time-limit-ms` / `--max-candidates` / `--max-tree-nodes` —
 //!   per-net resource budget (unlimited when omitted). The clock starts
-//!   when a net is dequeued by a worker, not while it waits in line.
+//!   when a net is dequeued by a worker, not while it waits in line;
+//! * `--mem-budget-mb N` — cap the DP's provenance arena at N MiB per
+//!   net **and** switch the DP to degrade-in-place: under arena or
+//!   candidate pressure it tightens pruning and finishes with a feasible
+//!   but possibly suboptimal solution (batch records carry
+//!   `degraded_by`) instead of erroring.
 //!
 //! Exit codes: `0` every net optimized (noise and timing met); `1` at
 //! least one net degraded (noise clean, timing unmet); `2` at least one
@@ -114,6 +119,7 @@ struct Args {
     time_limit_ms: Option<u64>,
     max_candidates: Option<usize>,
     max_tree_nodes: Option<usize>,
+    mem_budget_mb: Option<usize>,
 }
 
 impl Args {
@@ -126,6 +132,9 @@ impl Args {
             time_limit: self.time_limit_ms.map(Duration::from_millis),
             max_candidates: self.max_candidates,
             max_tree_nodes: self.max_tree_nodes,
+            max_arena_bytes: self.mem_budget_mb.map(|mb| mb << 20),
+            degrade: self.mem_budget_mb.is_some(),
+            ..RunBudget::default()
         }
     }
 
@@ -136,6 +145,7 @@ impl Args {
             time_limit: self.time_limit_ms.map(Duration::from_millis),
             max_candidates: self.max_candidates,
             max_tree_nodes: self.max_tree_nodes,
+            max_arena_bytes: self.mem_budget_mb.map(|mb| mb << 20),
             conservative: self.conservative,
             polarity: self.polarity,
         }
@@ -176,7 +186,8 @@ enum Mode {
 fn usage() -> String {
     "usage: buffopt-cli NET_FILE [--segment UM] [--mode p2|p3|cost|noise|greedy] \
      [--lib ibm|single] [--polarity] [--conservative] [--verify] [--dump] \
-     [--time-limit-ms N] [--max-candidates N] [--max-tree-nodes N]\n\
+     [--time-limit-ms N] [--max-candidates N] [--max-tree-nodes N] \
+     [--mem-budget-mb N]\n\
      \x20      buffopt-cli --batch DIR [--jobs N] [--journal FILE | --resume FILE] \
      [shared flags as above]\n\
      \x20      buffopt-cli serve [--listen ADDR] [--jobs N] [--cache N] \
@@ -210,6 +221,7 @@ fn parse_args() -> Result<Args, String> {
         time_limit_ms: None,
         max_candidates: None,
         max_tree_nodes: None,
+        mem_budget_mb: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -311,6 +323,16 @@ fn parse_args() -> Result<Args, String> {
                     v.parse()
                         .map_err(|_| format!("bad --max-tree-nodes {v:?}"))?,
                 );
+            }
+            "--mem-budget-mb" => {
+                let v = it.next().ok_or_else(usage)?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --mem-budget-mb {v:?}"))?;
+                if n == 0 {
+                    return Err("--mem-budget-mb must be at least 1".to_string());
+                }
+                args.mem_budget_mb = Some(n);
             }
             "--polarity" => args.polarity = true,
             "--conservative" => args.conservative = true,
@@ -708,7 +730,7 @@ fn main() -> ExitCode {
             &IterativeOptions {
                 noise: true,
                 max_buffers: None,
-                budget,
+                budget: opts.budget.clone(),
                 ..IterativeOptions::default()
             },
         ),

@@ -49,6 +49,17 @@ pub enum FaultAction {
     /// Make the worker thread exit its loop without replying — a clean
     /// thread death the supervisor must notice and repair.
     KillWorker,
+    /// Force the run's arena memory budget down to `at_bytes` with
+    /// degrade-in-place on, simulating a host under memory pressure: the
+    /// DP must clamp its frontier and still produce an audit-feasible
+    /// solution.
+    MemPressure {
+        /// The forced [`buffopt::RunBudget::max_arena_bytes`] cap.
+        at_bytes: u64,
+    },
+    /// Trip the run's cancel token (supervisor reason) at the seam, as
+    /// if an operator or watchdog killed the request mid-flight.
+    CancelRun,
 }
 
 /// One injection rule: fire `action` at `seam` on its `nth` arming
@@ -168,6 +179,23 @@ mod tests {
             Some(FaultAction::IoError),
             "other seams' arms do not advance the decode counter"
         );
+    }
+
+    #[test]
+    fn resource_faults_carry_their_payload() {
+        let plan = FaultPlan::new()
+            .on_nth(
+                Seam::Optimize,
+                1,
+                FaultAction::MemPressure { at_bytes: 4096 },
+            )
+            .on_nth(Seam::Optimize, 2, FaultAction::CancelRun);
+        assert_eq!(
+            plan.fire(Seam::Optimize),
+            Some(FaultAction::MemPressure { at_bytes: 4096 })
+        );
+        assert_eq!(plan.fire(Seam::Optimize), Some(FaultAction::CancelRun));
+        assert_eq!(plan.fire(Seam::Optimize), None);
     }
 
     #[test]

@@ -37,7 +37,10 @@ use std::panic::{self, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 use buffopt::buffopt::{self as algo3, BuffOptOptions};
-use buffopt::{algorithm2, audit, Assignment, CoreError, DpWorkspace, RunBudget, Solution};
+use buffopt::{
+    algorithm2, audit, Assignment, BudgetResource, CancelToken, CoreError, DpWorkspace, RunBudget,
+    Solution,
+};
 use buffopt_buffers::BufferLibrary;
 use buffopt_noise::NoiseScenario;
 use buffopt_tree::{segment, RoutingTree};
@@ -88,6 +91,13 @@ pub struct PipelineConfig {
     pub max_candidates: Option<usize>,
     /// Tree-size cap (see [`RunBudget::max_tree_nodes`]).
     pub max_tree_nodes: Option<usize>,
+    /// Per-run provenance-arena byte cap (see
+    /// [`RunBudget::max_arena_bytes`]). Setting it also turns on
+    /// degrade-in-place for the DP rungs: under arena or candidate-cap
+    /// pressure the DP clamps its frontier and finishes with a feasible
+    /// but possibly suboptimal solution, tagged in the record, instead of
+    /// erroring.
+    pub max_arena_bytes: Option<usize>,
     /// Conservative 4-D pruning in the DP rungs.
     pub conservative: bool,
     /// Polarity-aware DP rungs.
@@ -104,6 +114,7 @@ impl PipelineConfig {
             time_limit: None,
             max_candidates: None,
             max_tree_nodes: None,
+            max_arena_bytes: None,
             conservative: false,
             polarity: false,
         }
@@ -119,6 +130,9 @@ impl PipelineConfig {
             time_limit: self.time_limit,
             max_candidates: self.max_candidates,
             max_tree_nodes: self.max_tree_nodes,
+            max_arena_bytes: self.max_arena_bytes,
+            degrade: self.max_arena_bytes.is_some(),
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -208,6 +222,13 @@ pub struct NetOutcome {
     /// no DP rung succeeded). The gap to `candidate_peak` is how much the
     /// fused merge-prune saved on this net.
     pub merge_peak: usize,
+    /// High-water mark of the provenance arena across the successful DP
+    /// rung, in bytes (0 when no DP rung succeeded).
+    pub arena_peak: usize,
+    /// Which resource cap the serving DP rung degraded under, when the
+    /// budget ran in degrade-in-place mode; `None` for a full-search
+    /// result. A degraded solution is still audit-feasible.
+    pub degraded_by: Option<BudgetResource>,
     /// Buffers inserted by the serving solution.
     pub buffers: Option<usize>,
     /// Audited timing slack of the serving solution (seconds).
@@ -230,6 +251,8 @@ impl NetOutcome {
             wall: Duration::ZERO,
             candidate_peak: 0,
             merge_peak: 0,
+            arena_peak: 0,
+            degraded_by: None,
             buffers: None,
             slack: None,
             worst_headroom: None,
@@ -240,9 +263,9 @@ impl NetOutcome {
     /// This record as one JSON object (no trailing newline).
     ///
     /// Schema (all keys always present):
-    /// `net`, `outcome`, `rung`, `error`, `wall_ms`, `candidate_peak`,
-    /// `merge_peak`, `buffers`, `slack`, `worst_headroom`, `attempts`
-    /// (array of `{rung, error}`).
+    /// `net`, `outcome`, `rung`, `degraded_by`, `error`, `wall_ms`,
+    /// `candidate_peak`, `merge_peak`, `arena_peak`, `buffers`, `slack`,
+    /// `worst_headroom`, `attempts` (array of `{rung, error}`).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256);
         s.push_str("{\"net\":");
@@ -258,6 +281,15 @@ impl NetOutcome {
             }
             None => s.push_str("null"),
         }
+        s.push_str(",\"degraded_by\":");
+        match self.degraded_by {
+            Some(r) => {
+                s.push('"');
+                s.push_str(resource_slug(r));
+                s.push('"');
+            }
+            None => s.push_str("null"),
+        }
         s.push_str(",\"error\":");
         match &self.error {
             Some(e) => push_json_str(&mut s, e),
@@ -269,6 +301,8 @@ impl NetOutcome {
         s.push_str(&self.candidate_peak.to_string());
         s.push_str(",\"merge_peak\":");
         s.push_str(&self.merge_peak.to_string());
+        s.push_str(",\"arena_peak\":");
+        s.push_str(&self.arena_peak.to_string());
         s.push_str(",\"buffers\":");
         match self.buffers {
             Some(b) => s.push_str(&b.to_string()),
@@ -297,6 +331,16 @@ impl NetOutcome {
         }
         s.push_str("]}");
         s
+    }
+}
+
+/// Stable lowercase identifier for a budget resource in JSONL records.
+fn resource_slug(r: BudgetResource) -> &'static str {
+    match r {
+        BudgetResource::Candidates => "candidates",
+        BudgetResource::TreeNodes => "tree_nodes",
+        BudgetResource::ArenaBytes => "arena_bytes",
+        _ => "resource",
     }
 }
 
@@ -472,10 +516,29 @@ pub fn optimize_net_with(
     scenario: &NoiseScenario,
     cfg: &PipelineConfig,
 ) -> NetOutcome {
+    optimize_net_cancellable(ws, name, tree, scenario, cfg, CancelToken::new())
+}
+
+/// When `cancel` trips, the in-flight rung unwinds at its next stride
+/// checkpoint and remaining rungs are skipped; the record comes back as
+/// `failed` with `cancelled: <reason>`.
+fn optimize_net_cancellable(
+    ws: &mut DpWorkspace,
+    name: &str,
+    tree: &RoutingTree,
+    scenario: &NoiseScenario,
+    cfg: &PipelineConfig,
+    cancel: CancelToken,
+) -> NetOutcome {
     let start = Instant::now();
     // Arm the deadline now — the net is being dequeued and starts running
-    // this instant. All rungs share the one armed deadline.
-    let budget = cfg.budget().armed();
+    // this instant. All rungs share the one armed deadline (and the one
+    // cancel token).
+    let budget = {
+        let mut b = cfg.budget();
+        b.cancel = cancel;
+        b.armed()
+    };
     let mut out = NetOutcome::shell(name, Outcome::Failed);
 
     // Segment for the DP rungs. Algorithm 2 (rung 3) works on the raw
@@ -495,7 +558,7 @@ pub fn optimize_net_with(
     let options = BuffOptOptions {
         conservative_pruning: cfg.conservative,
         polarity_aware: cfg.polarity,
-        budget,
+        budget: budget.clone(),
         ..BuffOptOptions::default()
     };
 
@@ -517,6 +580,23 @@ pub fn optimize_net_with(
                     start,
                 );
             }
+            Ok(sol) if sol.degraded_by.is_some() => {
+                // Resource pressure already tightened this run's search;
+                // lower rungs share the same budget and would hit the same
+                // wall. Serve the feasible-but-suboptimal result and record
+                // which cap tripped instead of rerunning.
+                return finish(
+                    ws,
+                    out,
+                    Outcome::Degraded,
+                    Rung::Problem3,
+                    sol,
+                    work_tree,
+                    work_scenario,
+                    &cfg.library,
+                    start,
+                );
+            }
             Ok(sol) => out.attempts.push(Attempt {
                 rung: Rung::Problem3,
                 error: format!("timing unmet: best noise-clean slack {:e} s", sol.slack),
@@ -525,6 +605,9 @@ pub fn optimize_net_with(
                 rung: Rung::Problem3,
                 error: e,
             }),
+        }
+        if let Some(rec) = cancelled_record(&budget, &mut out, start) {
+            return rec;
         }
 
         // Rung 2 — Problem 2: maximize slack under noise; negative slack
@@ -559,6 +642,9 @@ pub fn optimize_net_with(
             rung: Rung::Problem3,
             error: e.clone(),
         });
+    }
+    if let Some(rec) = cancelled_record(&budget, &mut out, start) {
+        return rec;
     }
 
     // Rung 3 — Algorithm 2 noise-only, continuous positions on the raw
@@ -599,6 +685,9 @@ pub fn optimize_net_with(
             error: e,
         }),
     }
+    if let Some(rec) = cancelled_record(&budget, &mut out, start) {
+        return rec;
+    }
 
     // Rung 4 — unbuffered diagnosis: report how bad the untouched net is.
     match guarded(|| {
@@ -626,6 +715,22 @@ pub fn optimize_net_with(
     out
 }
 
+/// When the run's cancel token has tripped, takes `out` and returns the
+/// terminal `failed` record: nobody is waiting for the result, so the
+/// remaining rungs are skipped rather than run to completion.
+fn cancelled_record(
+    budget: &RunBudget,
+    out: &mut NetOutcome,
+    start: Instant,
+) -> Option<NetOutcome> {
+    let reason = budget.cancel.cancelled()?;
+    let mut rec = std::mem::replace(out, NetOutcome::shell("", Outcome::Failed));
+    rec.outcome = Outcome::Failed;
+    rec.error = Some(format!("cancelled: {reason}"));
+    rec.wall = start.elapsed();
+    Some(rec)
+}
+
 /// Builds the success record for a DP rung, auditing noise headroom
 /// through the workspace's pooled analysis tables.
 #[allow(clippy::too_many_arguments)]
@@ -646,6 +751,8 @@ fn finish(
     out.slack = Some(sol.slack);
     out.candidate_peak = sol.peak_candidates;
     out.merge_peak = sol.peak_merge_product;
+    out.arena_peak = sol.peak_arena_bytes;
+    out.degraded_by = sol.degraded_by;
     if let Ok(headroom) = guarded(|| {
         Ok(
             audit::noise_summary_with(ws.analysis(), tree, scenario, lib, &sol.assignment)?
@@ -675,12 +782,26 @@ pub fn optimize_input_with(
     input: &NetInput,
     cfg: &PipelineConfig,
 ) -> NetOutcome {
+    optimize_input_with_cancel(ws, input, cfg, &CancelToken::new())
+}
+
+/// [`optimize_input_with`] under a caller-held [`CancelToken`]: a server
+/// that learns mid-run that nobody wants the answer (deadline expiry,
+/// client disconnect, shutdown) trips the token, the run unwinds at its
+/// next stride checkpoint — microseconds, not the next per-net boundary —
+/// and the record comes back `failed` with `cancelled: <reason>`.
+pub fn optimize_input_with_cancel(
+    ws: &mut DpWorkspace,
+    input: &NetInput,
+    cfg: &PipelineConfig,
+    cancel: &CancelToken,
+) -> NetOutcome {
     match input {
         NetInput::Parsed {
             name,
             tree,
             scenario,
-        } => optimize_net_with(ws, name, tree, scenario, cfg),
+        } => optimize_net_cancellable(ws, name, tree, scenario, cfg, cancel.clone()),
         NetInput::Failed { name, error } => {
             let mut o = NetOutcome::shell(name, Outcome::ParseError);
             o.error = Some(error.clone());
@@ -1009,9 +1130,70 @@ mod tests {
         let j = o.to_json();
         assert!(j.contains(r#""net":"we\"ird\\name\n""#), "{j}");
         assert!(j.contains(r#""error":"tab\there""#), "{j}");
+        assert!(j.contains("\"degraded_by\":null"), "{j}");
+        assert!(j.contains("\"arena_peak\":0"), "{j}");
         // Non-finite floats serialize as null, not as invalid JSON.
         o.slack = Some(f64::INFINITY);
         assert!(o.to_json().contains("\"slack\":null"));
+        o.degraded_by = Some(BudgetResource::ArenaBytes);
+        assert!(o.to_json().contains("\"degraded_by\":\"arena_bytes\""));
+    }
+
+    #[test]
+    fn arena_pressure_degrades_in_place_and_short_circuits() {
+        let t = two_pin(20_000.0, 2e-9, 0.8);
+        let s = estimation(&t);
+        let mut c = cfg();
+        // A cap far below what this net's full search needs, but enough
+        // to hold a clamped frontier.
+        c.max_arena_bytes = Some(2 * 1024);
+        let o = optimize_net("squeezed", &t, &s, &c);
+        assert!(
+            o.degraded_by.is_some(),
+            "expected resource pressure, got {o:?}"
+        );
+        // Short-circuit: the serving rung is a DP rung, not a rerun of
+        // the noise-only ladder bottom.
+        assert!(
+            matches!(o.rung, Some(Rung::Problem3) | Some(Rung::Problem2)),
+            "{:?}",
+            o.rung
+        );
+        // Degraded, not failed — and the output still audits clean.
+        assert!(matches!(o.outcome, Outcome::Optimized | Outcome::Degraded));
+        assert!(o.worst_headroom.unwrap() >= 0.0, "audit-feasible");
+        assert!(o.to_json().contains("\"degraded_by\":\""));
+
+        // Bitwise reproducible for a fixed budget.
+        let o2 = optimize_net("squeezed", &t, &s, &c);
+        assert_eq!(o.buffers, o2.buffers);
+        assert_eq!(o.slack.unwrap().to_bits(), o2.slack.unwrap().to_bits());
+        assert_eq!(o.degraded_by, o2.degraded_by);
+    }
+
+    #[test]
+    fn pre_tripped_token_cancels_without_running_lower_rungs() {
+        let t = two_pin(20_000.0, 2e-9, 0.8);
+        let s = estimation(&t);
+        let c = cfg();
+        let token = CancelToken::new();
+        token.cancel(buffopt::CancelReason::Disconnect);
+        let input = NetInput::Parsed {
+            name: "gone".into(),
+            scenario: s,
+            tree: t,
+        };
+        let o = optimize_input_with_cancel(&mut DpWorkspace::new(), &input, &c, &token);
+        assert_eq!(o.outcome, Outcome::Failed);
+        assert_eq!(o.error.as_deref(), Some("cancelled: disconnect"));
+        assert_eq!(o.rung, None, "no rung served a cancelled net");
+        // The noise-only rung was never reached: at most the DP attempts
+        // are recorded before the short-circuit.
+        assert!(
+            o.attempts.iter().all(|a| a.rung != Rung::NoiseOnly),
+            "{:?}",
+            o.attempts
+        );
     }
 
     #[test]

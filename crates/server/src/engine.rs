@@ -47,6 +47,21 @@
 //! ([`Engine::optimize`], [`Engine::run_jobs`]) feel backpressure
 //! instead of shedding and carry no deadline.
 //!
+//! # Cancellation
+//!
+//! Every task carries a [`CancelToken`] checked by the optimizer at
+//! merge-row stride granularity. A deadline expiry trips it before the
+//! surplus worker is spawned, so the stalled run aborts within
+//! microseconds and the slot retires against the surplus credit instead
+//! of grinding to completion for nobody; the TCP service trips the same
+//! token when it sees the client disconnect mid-request
+//! ([`Engine::try_optimize_with`]). Injected resource faults resolve
+//! into the run rather than the machinery: `MemPressure` forces one run
+//! under a tiny arena cap with degrade-in-place on, and `CancelRun`
+//! trips the token with the supervisor reason. Shutdown deliberately
+//! does NOT cancel in-flight work — the drain contract ("every admitted
+//! request gets its response") stays intact.
+//!
 //! [`FaultAction::KillWorker`]: buffopt_pipeline::fault::FaultAction::KillWorker
 
 use std::panic::{self, AssertUnwindSafe};
@@ -56,10 +71,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use buffopt::{CancelReason, CancelToken};
 use buffopt_pipeline::fault::{FaultAction, FaultPlan, Seam};
 use buffopt_pipeline::{
-    hush_panics, optimize_input, optimize_input_with, BatchReport, NetInput, NetOutcome, Outcome,
-    PanicHush, PipelineConfig,
+    hush_panics, optimize_input, optimize_input_with_cancel, BatchReport, NetInput, NetOutcome,
+    Outcome, PanicHush, PipelineConfig,
 };
 
 use crate::cache::{digest, SolutionCache};
@@ -182,6 +198,10 @@ struct Task {
     attempt: u32,
     job: Job,
     deadline: Option<Instant>,
+    /// Shared cancellation flag for this request: the submitter keeps a
+    /// clone and trips it (deadline expiry, client disconnect) to abort
+    /// the worker's run at its next stride checkpoint.
+    cancel: CancelToken,
     reply: mpsc::Sender<Done>,
 }
 
@@ -191,6 +211,9 @@ struct Done {
     /// The job travels back with the reply so a retry never clones the
     /// input tree.
     job: Job,
+    /// The request's cancel token travels back too, so a retry keeps
+    /// answering to the same submitter-held flag.
+    cancel: CancelToken,
     /// `None` means the worker died before producing a record (or
     /// dropped the task as stale).
     outcome: Option<NetOutcome>,
@@ -205,6 +228,9 @@ struct WorkerShared {
     rx: Mutex<mpsc::Receiver<Task>>,
     cfg: Arc<PipelineConfig>,
     plan: Option<Arc<FaultPlan>>,
+    /// Shared with the engine so workers can attribute cancellations
+    /// they deliver themselves (stale drops, injected supervisor kills).
+    metrics: Arc<Metrics>,
     /// Worker threads alive right now — incremented when a thread is
     /// promised (at spawn), decremented by the death guard and by
     /// surplus retirement, so supervisors never over-spawn.
@@ -240,7 +266,7 @@ impl WorkerShared {
 struct TaskGuard<'a> {
     shared: &'a WorkerShared,
     reply: mpsc::Sender<Done>,
-    payload: Option<(usize, u32, Job)>,
+    payload: Option<(usize, u32, Job, CancelToken)>,
     worker: usize,
 }
 
@@ -248,7 +274,7 @@ impl TaskGuard<'_> {
     fn input_name(&self) -> String {
         self.payload
             .as_ref()
-            .map(|(_, _, job)| job.input.name().to_string())
+            .map(|(_, _, job, _)| job.input.name().to_string())
             .unwrap_or_default()
     }
 
@@ -256,12 +282,13 @@ impl TaskGuard<'_> {
     /// requester was still listening.
     fn complete(&mut self, outcome: Option<NetOutcome>, stale: bool) -> bool {
         match self.payload.take() {
-            Some((idx, attempt, job)) => self
+            Some((idx, attempt, job, cancel)) => self
                 .reply
                 .send(Done {
                     idx,
                     attempt,
                     job,
+                    cancel,
                     outcome,
                     stale,
                     worker: self.worker,
@@ -312,7 +339,7 @@ pub struct Engine {
     cfg: Arc<PipelineConfig>,
     cfg_digest: u64,
     cache: SolutionCache,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
     jobs: usize,
     max_retries: u32,
     request_deadline: Option<Duration>,
@@ -341,10 +368,12 @@ impl Engine {
         // once the pool is saturated instead of buffering an unbounded
         // batch in channel memory.
         let (tx, rx) = mpsc::sync_channel::<Task>(queue_depth);
+        let metrics = Arc::new(Metrics::default());
         let shared = Arc::new(WorkerShared {
             rx: Mutex::new(rx),
             cfg: Arc::clone(&cfg),
             plan: opts.fault_plan,
+            metrics: Arc::clone(&metrics),
             live: AtomicUsize::new(0),
             surplus: AtomicUsize::new(0),
             target: jobs,
@@ -356,7 +385,7 @@ impl Engine {
             cfg,
             cfg_digest,
             cache: SolutionCache::new(opts.cache_capacity, opts.cache_shards),
-            metrics: Metrics::default(),
+            metrics,
             jobs,
             max_retries: opts.max_retries,
             request_deadline: opts.request_deadline,
@@ -484,7 +513,17 @@ impl Engine {
     /// supervised retries if the worker dies. This is the TCP service's
     /// entry point.
     pub fn try_optimize(&self, job: Job) -> Result<Served, Rejection> {
-        self.serve_one(job, true)
+        self.serve_one(job, true, CancelToken::new())
+    }
+
+    /// [`Engine::try_optimize`] with a caller-held [`CancelToken`]: the
+    /// caller (the TCP service's disconnect monitor, a watchdog) trips
+    /// the token to abort the run at its next stride checkpoint —
+    /// microseconds, not the next per-net boundary — and the worker slot
+    /// frees immediately. A cancelled run comes back as a `failed`
+    /// record carrying `cancelled: <reason>`, not as a rejection.
+    pub fn try_optimize_with(&self, job: Job, cancel: CancelToken) -> Result<Served, Rejection> {
+        self.serve_one(job, true, cancel)
     }
 
     /// Serves one request, blocking for queue space and without a
@@ -494,7 +533,7 @@ impl Engine {
     /// as a `failed` record.
     pub fn optimize(&self, job: Job) -> Served {
         let name = job.input.name().to_string();
-        match self.serve_one(job, false) {
+        match self.serve_one(job, false, CancelToken::new()) {
             Ok(served) => served,
             Err(r) => Served {
                 outcome: failed_record(name, &format!("engine is {}", r.as_str())),
@@ -504,7 +543,7 @@ impl Engine {
         }
     }
 
-    fn serve_one(&self, job: Job, shed: bool) -> Result<Served, Rejection> {
+    fn serve_one(&self, job: Job, shed: bool, cancel: CancelToken) -> Result<Served, Rejection> {
         if self.is_shutting_down() {
             self.metrics.record_rejection(Rejection::ShuttingDown);
             return Err(Rejection::ShuttingDown);
@@ -536,6 +575,7 @@ impl Engine {
             attempt: 0,
             job,
             deadline,
+            cancel: cancel.clone(),
             reply: reply.clone(),
         };
         if shed {
@@ -562,6 +602,13 @@ impl Engine {
             let done = match received {
                 Ok(done) => done,
                 Err(RecvTimeoutError::Timeout) => {
+                    // Trip the token first: the worker grinding on this
+                    // request aborts at its next stride checkpoint and
+                    // retires against the surplus credit, instead of
+                    // computing to completion for nobody.
+                    if cancel.cancel(CancelReason::Deadline) {
+                        self.metrics.record_cancelled(CancelReason::Deadline);
+                    }
                     self.metrics.record_rejection(Rejection::DeadlineExceeded);
                     // A worker is (or will be) stalled on this request
                     // past its deadline; restore pool capacity around it.
@@ -644,6 +691,7 @@ impl Engine {
                 attempt: done.attempt + 1,
                 job: done.job,
                 deadline,
+                cancel: done.cancel,
                 reply: reply.clone(),
             };
             if tx.send(resubmit).is_ok() {
@@ -706,6 +754,7 @@ impl Engine {
                 attempt: 0,
                 job,
                 deadline: None,
+                cancel: CancelToken::new(),
                 reply: reply.clone(),
             });
         }
@@ -817,16 +866,21 @@ fn worker_loop(wid: usize, shared: &WorkerShared) {
             Err(_) => return, // engine dropped the sender: shut down
         };
         let deadline = task.deadline;
+        let cancel = task.cancel.clone();
         let mut guard = TaskGuard {
             shared,
             reply: task.reply,
-            payload: Some((task.idx, task.attempt, task.job)),
+            payload: Some((task.idx, task.attempt, task.job, task.cancel)),
             worker: wid,
         };
         // Drop tasks whose deadline expired while queued: the requester
         // is gone (or about to be), so computing would only stall the
-        // pool for nobody.
+        // pool for nobody. Trip the token too, so any racing retry of
+        // the same request aborts instead of recomputing.
         if deadline.is_some_and(|d| Instant::now() >= d) {
+            if cancel.cancel(CancelReason::Deadline) {
+                shared.metrics.record_cancelled(CancelReason::Deadline);
+            }
             if !guard.complete(None, true) && shared.try_retire() {
                 return;
             }
@@ -834,8 +888,11 @@ fn worker_loop(wid: usize, shared: &WorkerShared) {
         }
         // Worker-seam faults fire OUTSIDE the panic boundary: they model
         // defects in the worker machinery itself, which is exactly what
-        // the supervisor exists to repair.
+        // the supervisor exists to repair. Resource faults are the
+        // exception — they resolve into this run's budget or token
+        // rather than into worker death.
         let mut corrupt_output = false;
+        let mut forced_cap: Option<usize> = None;
         match shared.plan.as_deref().and_then(|p| p.fire(Seam::Worker)) {
             Some(FaultAction::Panic) => panic!("injected worker panic"),
             // Exiting with the task in hand: the guard's drop reports
@@ -854,15 +911,46 @@ fn worker_loop(wid: usize, shared: &WorkerShared) {
                 }
                 continue;
             }
+            Some(FaultAction::MemPressure { at_bytes }) => forced_cap = Some(at_bytes as usize),
+            Some(FaultAction::CancelRun) => {
+                let won = cancel.cancel(CancelReason::Supervisor);
+                if won {
+                    shared.metrics.record_cancelled(CancelReason::Supervisor);
+                }
+            }
             None => {}
         }
         let mut outcome = {
-            let (_, _, job) = guard.payload.as_ref().expect("task in hand");
+            let (_, _, job, _) = guard.payload.as_ref().expect("task in hand");
             let input = &job.input;
             // Optimize-seam faults fire INSIDE the panic boundary: they
             // model defects in per-net computation, which must stay
             // contained to one record.
-            let fault = shared.plan.as_deref().and_then(|p| p.fire(Seam::Optimize));
+            let mut fault = shared.plan.as_deref().and_then(|p| p.fire(Seam::Optimize));
+            // Resolve resource faults at this seam the same way: into
+            // the run's budget/token, then optimize normally under them.
+            match fault {
+                Some(FaultAction::MemPressure { at_bytes }) => {
+                    forced_cap = Some(at_bytes as usize);
+                    fault = None;
+                }
+                Some(FaultAction::CancelRun) => {
+                    if cancel.cancel(CancelReason::Supervisor) {
+                        shared.metrics.record_cancelled(CancelReason::Supervisor);
+                    }
+                    fault = None;
+                }
+                _ => {}
+            }
+            // An injected memory-pressure fault forces this one run under
+            // a tiny arena cap (degrade-in-place turns on with it); the
+            // shared config is untouched.
+            let cfg_override = forced_cap.map(|cap| {
+                let mut c = (*shared.cfg).clone();
+                c.max_arena_bytes = Some(cap);
+                c
+            });
+            let run_cfg: &PipelineConfig = cfg_override.as_ref().unwrap_or(&shared.cfg);
             // `optimize_input` contains per-rung panic boundaries
             // already; this outer guard turns even a bookkeeping panic
             // into a record, so the collector never waits on a dead slot.
@@ -876,14 +964,18 @@ fn worker_loop(wid: usize, shared: &WorkerShared) {
                 ),
                 Some(FaultAction::StallMs(ms)) => {
                     std::thread::sleep(Duration::from_millis(ms));
-                    optimize_input_with(&mut ws, input, &shared.cfg)
+                    optimize_input_with_cancel(&mut ws, input, run_cfg, &cancel)
                 }
                 Some(FaultAction::WrongOutput) => {
-                    let mut r = optimize_input_with(&mut ws, input, &shared.cfg);
+                    let mut r = optimize_input_with_cancel(&mut ws, input, run_cfg, &cancel);
                     r.name = format!("__fault__{}", r.name);
                     r
                 }
-                None => optimize_input_with(&mut ws, input, &shared.cfg),
+                // Resource faults were folded into `run_cfg`/`cancel`
+                // above, so they take the normal path.
+                Some(FaultAction::MemPressure { .. }) | Some(FaultAction::CancelRun) | None => {
+                    optimize_input_with_cancel(&mut ws, input, run_cfg, &cancel)
+                }
             }))
             .unwrap_or_else(|_| {
                 failed_record(

@@ -11,6 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use buffopt::CancelReason;
 use buffopt_pipeline::{NetOutcome, Outcome, Rung};
 
 use crate::cache::CacheStats;
@@ -29,6 +30,13 @@ fn rejection_index(r: Rejection) -> usize {
         .iter()
         .position(|&x| x == r)
         .expect("all rejections listed")
+}
+
+fn cancel_index(r: CancelReason) -> usize {
+    CancelReason::ALL
+        .iter()
+        .position(|&x| x == r)
+        .expect("all cancel reasons listed")
 }
 
 /// Upper bounds (inclusive, milliseconds) of the latency histogram
@@ -94,6 +102,9 @@ pub struct Metrics {
     conn_errors: AtomicU64,
     candidate_peak: AtomicU64,
     merge_peak: AtomicU64,
+    cancellations: [AtomicU64; 4],
+    arena_peak_bytes: AtomicU64,
+    degraded_pressure: AtomicU64,
 }
 
 impl Metrics {
@@ -139,6 +150,14 @@ impl Metrics {
         self.conn_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one in-flight run cancelled, attributed to `reason`. Call
+    /// only when [`buffopt::CancelToken::cancel`] reported the winning
+    /// delivery, so each cancellation is counted exactly once however
+    /// many parties race to trip the token.
+    pub fn record_cancelled(&self, reason: CancelReason) {
+        self.cancellations[cancel_index(reason)].fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a freshly computed record: its outcome, the rung that
     /// served it, and where its wall time lands in that rung's histogram.
     /// Cache hits are *not* recorded here — the original computation
@@ -157,6 +176,14 @@ impl Metrics {
             .fetch_max(o.candidate_peak as u64, Ordering::Relaxed);
         self.merge_peak
             .fetch_max(o.merge_peak as u64, Ordering::Relaxed);
+        // Resource-governor gauges: the provenance arena's high-water
+        // mark across every worker, and how many runs finished by
+        // degrading in place under a memory cap.
+        self.arena_peak_bytes
+            .fetch_max(o.arena_peak as u64, Ordering::Relaxed);
+        if o.degraded_by.is_some() {
+            self.degraded_pressure.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// A point-in-time copy of every counter, combined with the cache's
@@ -178,6 +205,9 @@ impl Metrics {
             conn_errors: self.conn_errors.load(Ordering::Relaxed),
             candidate_peak: self.candidate_peak.load(Ordering::Relaxed),
             merge_peak: self.merge_peak.load(Ordering::Relaxed),
+            cancellations: std::array::from_fn(|i| self.cancellations[i].load(Ordering::Relaxed)),
+            arena_peak_bytes: self.arena_peak_bytes.load(Ordering::Relaxed),
+            degraded_pressure: self.degraded_pressure.load(Ordering::Relaxed),
             cache,
             workers,
         }
@@ -223,6 +253,15 @@ pub struct MetricsSnapshot {
     /// Largest raw |L|·|R| merge product served so far (high-water mark);
     /// the gap to `candidate_peak` is the fused merge-prune's savings.
     pub merge_peak: u64,
+    /// In-flight runs cancelled, by reason ([`CancelReason::ALL`] order:
+    /// `deadline`, `shutdown`, `disconnect`, `supervisor`).
+    pub cancellations: [u64; 4],
+    /// Largest provenance-arena footprint any worker's run reached so
+    /// far, in bytes (high-water mark over every served net).
+    pub arena_peak_bytes: u64,
+    /// Runs that finished by degrading in place under a memory cap
+    /// (feasible but possibly suboptimal, tagged in their records).
+    pub degraded_pressure: u64,
     /// Cache counters at snapshot time.
     pub cache: CacheStats,
     /// Worker threads in the pool.
@@ -254,8 +293,12 @@ impl MetricsSnapshot {
         }
         s.push_str(&format!(",\"stale_drops\":{}}}", self.stale_drops));
         s.push_str(&format!(
-            ",\"supervision\":{{\"worker_deaths\":{},\"respawns\":{},\"retries\":{},\"bad_outputs\":{}}}",
-            self.worker_deaths, self.respawns, self.retries, self.bad_outputs
+            ",\"supervision\":{{\"worker_deaths\":{},\"respawns\":{},\"retries\":{},\"bad_outputs\":{},\"cancelled\":{}}}",
+            self.worker_deaths,
+            self.respawns,
+            self.retries,
+            self.bad_outputs,
+            self.cancellations.iter().sum::<u64>()
         ));
         s.push_str(&format!(
             ",\"connections\":{{\"errors\":{}}}",
@@ -265,6 +308,17 @@ impl MetricsSnapshot {
             ",\"candidates\":{{\"peak\":{},\"merge_peak\":{}}}",
             self.candidate_peak, self.merge_peak
         ));
+        s.push_str(&format!(
+            ",\"resource\":{{\"arena_peak_bytes\":{},\"degraded_pressure\":{},\"cancellations\":{{",
+            self.arena_peak_bytes, self.degraded_pressure
+        ));
+        for (i, r) in CancelReason::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{}", r.as_str(), self.cancellations[i]));
+        }
+        s.push_str("}}");
         s.push_str(",\"outcomes\":{");
         for (i, o) in OUTCOMES.iter().enumerate() {
             if i > 0 {
@@ -388,9 +442,11 @@ mod tests {
             "\"workers\":2",
             "\"cache\":{\"hits\":1,\"misses\":2",
             "\"admission\":{\"overloaded\":0,\"deadline_exceeded\":0,\"shutting_down\":0,\"stale_drops\":0}",
-            "\"supervision\":{\"worker_deaths\":0,\"respawns\":0,\"retries\":0,\"bad_outputs\":0}",
+            "\"supervision\":{\"worker_deaths\":0,\"respawns\":0,\"retries\":0,\"bad_outputs\":0,\"cancelled\":0}",
             "\"connections\":{\"errors\":0}",
             "\"candidates\":{\"peak\":0,\"merge_peak\":0}",
+            "\"resource\":{\"arena_peak_bytes\":0,\"degraded_pressure\":0,\
+             \"cancellations\":{\"deadline\":0,\"shutdown\":0,\"disconnect\":0,\"supervisor\":0}}",
             "\"outcomes\":{\"optimized\":0",
             "\"latency_bounds_ms\":[1,3,10,30,100,300,1000,3000]",
             "\"rungs\":{\"problem3\":{\"served\":0,\"latency\":[0,0,0,0,0,0,0,0,0]}",
@@ -398,6 +454,34 @@ mod tests {
             assert!(j.contains(needle), "{needle} missing from {j}");
         }
         assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn resource_gauges_and_cancellations_accumulate() {
+        let m = Metrics::default();
+        let mut rec = parse_error_record();
+        rec.arena_peak = 4096;
+        rec.degraded_by = Some(buffopt::BudgetResource::ArenaBytes);
+        m.record_outcome(&rec);
+        rec.arena_peak = 1024; // lower peak must not shrink the gauge
+        rec.degraded_by = None;
+        m.record_outcome(&rec);
+        m.record_cancelled(CancelReason::Deadline);
+        m.record_cancelled(CancelReason::Disconnect);
+        m.record_cancelled(CancelReason::Disconnect);
+        let snap = m.snapshot(CacheStats::default(), 1);
+        assert_eq!(snap.arena_peak_bytes, 4096, "keeps the max, not the last");
+        assert_eq!(snap.degraded_pressure, 1);
+        assert_eq!(snap.cancellations, [1, 0, 2, 0]);
+        let j = snap.to_json();
+        assert!(
+            j.contains(
+                "\"resource\":{\"arena_peak_bytes\":4096,\"degraded_pressure\":1,\
+                 \"cancellations\":{\"deadline\":1,\"shutdown\":0,\"disconnect\":2,\"supervisor\":0}}"
+            ),
+            "{j}"
+        );
+        assert!(j.contains("\"cancelled\":3"), "{j}");
     }
 
     #[test]

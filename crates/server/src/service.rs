@@ -38,6 +38,14 @@
 //! to one `{"error":...}` response; the connection and the server
 //! survive.
 //!
+//! While an optimize request is in flight, a monitor thread probes the
+//! client socket every 25 ms (`DISCONNECT_POLL`); if the client has hung
+//! up,
+//! the request's [`CancelToken`] trips with the `disconnect` reason and
+//! the worker abandons the run at its next stride checkpoint instead of
+//! computing an answer nobody will read. The cancellation is counted in
+//! the snapshot's `resource.cancellations.disconnect`.
+//!
 //! The service does not link the text-format parser (that would make the
 //! crate graph cyclic); callers inject a [`NetDecoder`] closure, which
 //! the CLI builds from `buffopt_netlist::parse`.
@@ -52,10 +60,17 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use buffopt::{CancelReason, CancelToken};
 use buffopt_pipeline::fault::{FaultAction, Seam};
 use buffopt_pipeline::NetInput;
 
 use crate::engine::{Engine, Job};
+
+/// How often the disconnect monitor probes the client socket while a
+/// request is in flight. Small enough that a vanished client frees its
+/// worker within tens of milliseconds; large enough that the probe is
+/// noise next to per-net optimization.
+const DISCONNECT_POLL: Duration = Duration::from_millis(25);
 
 /// Turns a request's `(id, net text)` into a [`NetInput`] — parsed, or a
 /// `Failed` record carrying the parser's message.
@@ -225,8 +240,9 @@ fn serve_lines(
                 // A panic while serving — injected at the decode seam or
                 // real — costs one error response, not the connection or
                 // the server.
-                let served =
-                    panic::catch_unwind(AssertUnwindSafe(|| respond(line, engine, decode)));
+                let served = panic::catch_unwind(AssertUnwindSafe(|| {
+                    respond(line, engine, decode, Some(writer.get_ref()))
+                }));
                 let (response, shutdown) = served.unwrap_or_else(|_| {
                     engine.metrics().record_conn_error();
                     (
@@ -252,8 +268,68 @@ fn serve_lines(
     false
 }
 
-/// Computes the response line for one request line.
-fn respond(line: &str, engine: &Engine, decode: &NetDecoder) -> (String, bool) {
+/// Runs `f` — one blocking engine call — while a monitor thread probes
+/// the client socket for a hang-up; a disconnect trips `cancel` so the
+/// worker abandons the run at its next stride checkpoint. `SO_RCVTIMEO`
+/// is a property of the socket (shared with the connection's reader
+/// through the clone), so the original read timeout is restored after
+/// the scope joins — never concurrently with a monitor probe.
+fn with_disconnect_monitor<T>(
+    conn: Option<&TcpStream>,
+    engine: &Engine,
+    cancel: &CancelToken,
+    f: impl FnOnce() -> T,
+) -> T {
+    let Some(probe) = conn.and_then(|c| c.try_clone().ok()) else {
+        return f();
+    };
+    let original = probe.read_timeout().ok().flatten();
+    if probe.set_read_timeout(Some(DISCONNECT_POLL)).is_err() {
+        return f();
+    }
+    let done = AtomicBool::new(false);
+    let result = std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut buf = [0u8; 1];
+            loop {
+                if done.load(Ordering::Relaxed) {
+                    return;
+                }
+                match probe.peek(&mut buf) {
+                    // EOF: the client hung up mid-request.
+                    Ok(0) => break,
+                    // Pipelined bytes are waiting; the client is alive.
+                    Ok(_) => std::thread::sleep(DISCONNECT_POLL),
+                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                    // Any other socket error: treat the client as gone.
+                    Err(_) => break,
+                }
+            }
+            // The shutdown drain closes every connection's read side,
+            // which looks exactly like a client hang-up from here. The
+            // drain contract is that admitted work completes and its
+            // response is written, so EOF during shutdown never cancels.
+            if !engine.is_shutting_down() && cancel.cancel(CancelReason::Disconnect) {
+                engine.metrics().record_cancelled(CancelReason::Disconnect);
+            }
+        });
+        let result = f();
+        done.store(true, Ordering::Relaxed);
+        result
+    });
+    let _ = probe.set_read_timeout(original);
+    result
+}
+
+/// Computes the response line for one request line. `conn` is the
+/// request's client socket, watched for disconnects while the engine
+/// call is in flight (`None` leaves the run uncancellable).
+fn respond(
+    line: &str,
+    engine: &Engine,
+    decode: &NetDecoder,
+    conn: Option<&TcpStream>,
+) -> (String, bool) {
     let fields = match parse_request(line) {
         Ok(f) => f,
         Err(e) => return (error_json(&format!("bad request: {e}")), false),
@@ -271,6 +347,7 @@ fn respond(line: &str, engine: &Engine, decode: &NetDecoder) -> (String, bool) {
             Some(net_text) => {
                 let id = get("id").unwrap_or("net");
                 let mut input = decode(id, net_text);
+                let cancel = CancelToken::new();
                 // Decode-seam fault hook: models a defective decoder.
                 match engine.fault_plan().and_then(|p| p.fire(Seam::Decode)) {
                     None => {}
@@ -287,12 +364,28 @@ fn respond(line: &str, engine: &Engine, decode: &NetDecoder) -> (String, bool) {
                             error: "injected decode corruption".to_string(),
                         }
                     }
+                    // Models a watchdog killing the request before it
+                    // reaches a worker: the run aborts at its first
+                    // checkpoint.
+                    Some(FaultAction::CancelRun) => {
+                        let won = cancel.cancel(CancelReason::Supervisor);
+                        if won {
+                            engine.metrics().record_cancelled(CancelReason::Supervisor);
+                        }
+                    }
+                    // Memory pressure is a worker-seam behavior; nothing
+                    // to squeeze at decode time.
+                    Some(FaultAction::MemPressure { .. }) => {}
                 }
                 let key = engine.key_for(id, net_text);
-                match engine.try_optimize(Job {
+                let job = Job {
                     input,
                     cache_key: Some(key),
-                }) {
+                };
+                let served = with_disconnect_monitor(conn, engine, &cancel, || {
+                    engine.try_optimize_with(job, cancel.clone())
+                });
+                match served {
                     Ok(served) => {
                         // Splice the serving provenance into the record.
                         let mut json = served.outcome.to_json();

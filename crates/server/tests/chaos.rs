@@ -162,6 +162,114 @@ fn worker_kill_fails_only_the_request_it_held() {
 }
 
 #[test]
+fn mem_pressure_fault_degrades_in_place_with_a_feasible_record() {
+    let (engine, _plan) = engine_with(
+        FaultPlan::new().on_nth(
+            Seam::Optimize,
+            1,
+            FaultAction::MemPressure { at_bytes: 512 },
+        ),
+        EngineOptions {
+            jobs: 1,
+            ..EngineOptions::default()
+        },
+    );
+    let served = engine.optimize(job("squeezed"));
+    assert!(
+        matches!(
+            served.outcome.outcome,
+            Outcome::Optimized | Outcome::Degraded
+        ),
+        "pressure degrades, never fails: {:?} {:?}",
+        served.outcome.outcome,
+        served.outcome.error
+    );
+    assert_eq!(
+        served.outcome.degraded_by,
+        Some(buffopt::BudgetResource::ArenaBytes),
+        "the record attributes the degradation to the memory cap"
+    );
+    assert!(
+        served.outcome.arena_peak > 512,
+        "the recorded peak shows the cap was actually hit: {}",
+        served.outcome.arena_peak
+    );
+
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.degraded_pressure, 1);
+    assert!(snap.arena_peak_bytes > 512);
+    assert_eq!(snap.worker_deaths, 0, "pressure is not a death");
+
+    // The forced cap was one run's view, not the shared config: the next
+    // request runs unsqueezed.
+    let clean = engine.optimize(job("clean"));
+    assert_eq!(clean.outcome.outcome, Outcome::Optimized);
+    assert_eq!(clean.outcome.degraded_by, None);
+}
+
+#[test]
+fn cancel_run_fault_fails_fast_with_the_supervisor_reason() {
+    let (engine, _plan) = engine_with(
+        FaultPlan::new().on_nth(Seam::Optimize, 1, FaultAction::CancelRun),
+        EngineOptions {
+            jobs: 1,
+            ..EngineOptions::default()
+        },
+    );
+    let served = engine.optimize(job("killed"));
+    assert_eq!(served.outcome.outcome, Outcome::Failed);
+    assert!(
+        served
+            .outcome
+            .error
+            .as_deref()
+            .unwrap_or_default()
+            .contains("cancelled: supervisor"),
+        "the record names the cancellation reason: {:?}",
+        served.outcome.error
+    );
+    let snap = engine.metrics_snapshot();
+    assert_eq!(
+        snap.cancellations,
+        [0, 0, 0, 1],
+        "attributed to the supervisor reason"
+    );
+    assert_eq!(snap.worker_deaths, 0, "a cancelled run is not a death");
+    assert_eq!(snap.respawns, 0);
+
+    let clean = engine.optimize(job("clean"));
+    assert_eq!(clean.outcome.outcome, Outcome::Optimized);
+}
+
+#[test]
+fn deadline_cancellation_aborts_the_stalled_run_and_is_counted() {
+    let (engine, _plan) = engine_with(
+        // Stall INSIDE the per-net boundary: when the sleep ends the
+        // token is already tripped, so the optimizer aborts at its first
+        // checkpoint instead of computing to completion for nobody.
+        FaultPlan::new().on_nth(Seam::Optimize, 1, FaultAction::StallMs(600)),
+        EngineOptions {
+            jobs: 1,
+            request_deadline: Some(Duration::from_millis(80)),
+            ..EngineOptions::default()
+        },
+    );
+    let r = engine.try_optimize(job("too-slow"));
+    assert_eq!(r.unwrap_err(), Rejection::DeadlineExceeded);
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.cancellations, [1, 0, 0, 0], "deadline cancel counted");
+    assert_eq!(snap.rejections[1], 1);
+
+    // The cancelled worker aborts right after the stall and retires
+    // against the surplus credit: back to one worker.
+    wait_for("the cancelled worker to retire", || {
+        engine.live_workers() == 1
+    });
+    let served = engine.optimize(job("after-recovery"));
+    assert_eq!(served.outcome.outcome, Outcome::Optimized);
+}
+
+#[test]
 fn optimizer_seam_faults_stay_inside_one_record() {
     let (engine, _plan) = engine_with(
         FaultPlan::new()
@@ -508,4 +616,53 @@ fn shutdown_drains_in_flight_requests_instead_of_dropping_them() {
         "in-flight request completed through the drain: {resp}"
     );
     server.join().expect("accept loop exits after the drain");
+}
+
+#[test]
+fn client_disconnect_mid_optimize_cancels_the_run_and_frees_the_worker() {
+    let (addr, engine, plan, server) = start_chaos_server(
+        // Stall inside the per-net boundary so the request is reliably
+        // in flight when the client vanishes; after the sleep the token
+        // is tripped and the run aborts at its first checkpoint.
+        FaultPlan::new().on_nth(Seam::Optimize, 1, FaultAction::StallMs(400)),
+        ServeOptions::default(),
+    );
+
+    {
+        let mut doomed = connect(addr);
+        doomed
+            .1
+            .write_all(format!("{}\n", healthy_net_request("abandoned")).as_bytes())
+            .expect("send");
+        wait_for("the worker to hold the request", || {
+            plan.armed(Seam::Optimize) >= 1
+        });
+        // Hang up mid-optimize: both handles drop here, closing the
+        // socket while the worker is still grinding.
+    }
+
+    // The disconnect monitor trips the token and attributes it.
+    wait_for("the disconnect cancellation to be recorded", || {
+        engine.metrics_snapshot().cancellations[2] == 1
+    });
+
+    // The worker shook off the abandoned run and serves the next client.
+    let mut conn = connect(addr);
+    let clean = roundtrip(&mut conn, &healthy_net_request("next"));
+    assert!(
+        clean.contains("\"outcome\":\"optimized\""),
+        "the freed worker serves the next request: {clean}"
+    );
+    let stats = roundtrip(&mut conn, "{\"cmd\":\"stats\"}");
+    assert!(
+        stats.contains(
+            "\"cancellations\":{\"deadline\":0,\"shutdown\":0,\"disconnect\":1,\"supervisor\":0}"
+        ),
+        "{stats}"
+    );
+    assert!(stats.contains("\"cancelled\":1"), "{stats}");
+
+    let ack = roundtrip(&mut conn, "{\"cmd\":\"shutdown\"}");
+    assert_eq!(ack, "{\"ok\":\"shutdown\"}");
+    server.join().expect("accept loop exits");
 }
