@@ -3,7 +3,10 @@
 //! buffers such that noise *and* timing are satisfied, slack maximized as
 //! a secondary objective).
 
+use std::sync::Arc;
+
 use buffopt_buffers::BufferLibrary;
+use buffopt_memo::MemoTable;
 use buffopt_noise::NoiseScenario;
 use buffopt_tree::RoutingTree;
 
@@ -35,6 +38,13 @@ pub struct BuffOptOptions {
     /// with [`CoreError::BudgetExceeded`] / [`CoreError::DeadlineExceeded`]
     /// instead of exhausting the machine.
     pub budget: RunBudget,
+    /// Cross-request subtree memo table (`None` = no memoization). Shared
+    /// via `Arc` so batch workers reuse each other's frontiers; seeded
+    /// runs return solutions bitwise-identical to cold runs. Ignored when
+    /// `budget.max_arena_bytes` is set — see
+    /// [`buffopt_memo`] and DESIGN §13 for why arena-byte degrade cannot
+    /// be memoized.
+    pub memo: Option<Arc<MemoTable>>,
 }
 
 fn to_solution(tree: &RoutingTree, c: SourceCand, stats: &DpStats) -> Solution {
@@ -96,13 +106,14 @@ pub fn optimize_with(
     lib: &BufferLibrary,
     options: &BuffOptOptions,
 ) -> Result<Solution, CoreError> {
-    let (cands, stats) = dp::run_with(
+    let (cands, stats) = dp::run_with_memo(
         &mut ws.dp,
         tree,
         Some(scenario),
         lib,
         &config_of(options),
         &options.budget,
+        options.memo.as_deref(),
     )?;
     let best = cands
         .into_iter()
@@ -152,8 +163,15 @@ pub fn optimize_per_count_with(
         max_buffers: Some(max_buffers),
         ..config_of(options)
     };
-    let (cands, stats) =
-        dp::run_with(&mut ws.dp, tree, Some(scenario), lib, &cfg, &options.budget)?;
+    let (cands, stats) = dp::run_with_memo(
+        &mut ws.dp,
+        tree,
+        Some(scenario),
+        lib,
+        &cfg,
+        &options.budget,
+        options.memo.as_deref(),
+    )?;
     let mut out: Vec<Option<Solution>> = (0..=max_buffers).map(|_| None).collect();
     for c in cands {
         let count = c.count;
@@ -197,13 +215,14 @@ pub fn min_buffers_with(
     lib: &BufferLibrary,
     options: &BuffOptOptions,
 ) -> Result<Solution, CoreError> {
-    let (mut cands, stats) = dp::run_with(
+    let (mut cands, stats) = dp::run_with_memo(
         &mut ws.dp,
         tree,
         Some(scenario),
         lib,
         &config_of(options),
         &options.budget,
+        options.memo.as_deref(),
     )?;
     cands.sort_by(|a, b| {
         a.count
@@ -261,8 +280,15 @@ pub fn min_cost_with(
         cost_aware: true,
         ..config_of(options)
     };
-    let (cands, stats) =
-        dp::run_with(&mut ws.dp, tree, Some(scenario), lib, &cfg, &options.budget)?;
+    let (cands, stats) = dp::run_with_memo(
+        &mut ws.dp,
+        tree,
+        Some(scenario),
+        lib,
+        &cfg,
+        &options.budget,
+        options.memo.as_deref(),
+    )?;
     let best_meeting = cands
         .iter()
         .filter(|c| c.slack >= 0.0)

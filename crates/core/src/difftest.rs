@@ -177,7 +177,8 @@ fn corpus_nets_all_modes() {
 
 /// Instructions for one random binary tree: each step attaches either an
 /// internal node or a sink to a node that still has a free child slot.
-fn build_random_tree(steps: &[(u8, bool, f64, f64)]) -> Option<RoutingTree> {
+/// Shared with the memo differential tests ([`crate::memotest`]).
+pub(crate) fn build_random_tree(steps: &[(u8, bool, f64, f64)]) -> Option<RoutingTree> {
     let tech = Technology::global_layer();
     let mut b = TreeBuilder::new(Driver::new(250.0, 20e-12));
     // (node, free child slots); source is binary like every internal node.

@@ -38,8 +38,10 @@
 //!   [`crate::workspace::DpWorkspace`]) across nets.
 
 use std::mem;
+use std::sync::Arc;
 
 use buffopt_buffers::{BufferId, BufferLibrary, BufferType};
+use buffopt_memo::{FrontierRow, Hasher64, MemoTable, SubtreeDigests};
 use buffopt_noise::NoiseScenario;
 use buffopt_tree::{NodeId, RoutingTree, Wire};
 
@@ -787,6 +789,174 @@ fn merge_materialized(
     Ok(out)
 }
 
+/// Smallest subtree (node count, including the merge point) worth a memo
+/// table entry: below this the lookup + snapshot overhead beats the DP
+/// work saved.
+const MEMO_MIN_SUBTREE: u32 = 4;
+
+/// Digest seed binding the full optimizer configuration: two runs may
+/// share a memo entry only when every knob that shapes a subtree frontier
+/// is identical. Folded are the [`DpConfig`] flags, the subtree-pure
+/// budget knobs (`max_candidates` + `degrade` — their clamps depend only
+/// on the node's own list, so a stored entry proves the storing run passed
+/// identical gates), and every electrical field of the buffer library
+/// (names are display-only and stay out). Whole-run budget state
+/// (`max_arena_bytes`) cannot be folded — memoization is disabled outright
+/// when it is set; time limits and cancellation never change frontier
+/// *content*, only whether a run finishes.
+fn memo_config_seed(cfg: &DpConfig, budget: &RunBudget, lib: &BufferLibrary) -> u64 {
+    let mut h = Hasher64::new();
+    h.write(&[
+        u8::from(cfg.noise),
+        u8::from(cfg.conservative),
+        u8::from(cfg.polarity),
+        u8::from(cfg.cost_aware),
+        u8::from(budget.degrade),
+    ]);
+    let fold_opt = |h: &mut Hasher64, v: Option<usize>| match v {
+        Some(x) => h.write(&(x as u64).to_le_bytes()),
+        None => h.write(&[]),
+    };
+    fold_opt(&mut h, cfg.max_buffers);
+    fold_opt(&mut h, budget.max_candidates);
+    for (_, b) in lib.entries() {
+        for f in [
+            b.input_capacitance,
+            b.resistance,
+            b.intrinsic_delay,
+            b.noise_margin,
+            b.cost,
+        ] {
+            h.write(&f.to_bits().to_le_bytes());
+        }
+        h.write(&[u8::from(b.inverting)]);
+    }
+    h.finish()
+}
+
+/// What the DP loop should do at one node, decided up front by
+/// [`plan_memo`].
+enum PlanKind {
+    /// Run the node normally (default; also all non-merge nodes).
+    Normal,
+    /// Eligible merge point that missed: run normally, then snapshot the
+    /// pruned frontier into the table.
+    StoreOnMiss,
+    /// Eligible merge point that hit: materialize this stored frontier
+    /// instead of computing the subtree.
+    Seed(Arc<Vec<FrontierRow>>),
+    /// Interior of a seeded subtree: never visited.
+    Skip,
+}
+
+/// Per-run memo plan: lookups happen once, in a preorder walk, *before*
+/// the DP runs. The topmost hit wins and its subtree is not descended
+/// into, so nested hits neither inflate the lookup counters nor waste
+/// digest comparisons.
+struct MemoPlan {
+    digests: SubtreeDigests,
+    kinds: Vec<PlanKind>,
+}
+
+fn plan_memo(
+    tree: &RoutingTree,
+    scenario: Option<&NoiseScenario>,
+    table: &MemoTable,
+    seed: u64,
+) -> MemoPlan {
+    let digests = SubtreeDigests::compute(tree, scenario, seed);
+    let mut kinds: Vec<PlanKind> = (0..tree.len()).map(|_| PlanKind::Normal).collect();
+    let mut stack = vec![tree.source()];
+    while let Some(v) = stack.pop() {
+        // Only 2-child merge points are worth memoizing: that is where the
+        // cross-product work lives, and a merged frontier summarizes the
+        // whole subtree.
+        if tree.children(v).len() == 2 && digests.subtree_nodes(v) >= MEMO_MIN_SUBTREE {
+            if let Some(rows) = table.lookup(digests.canonical(v), digests.eval_sig(v)) {
+                for &u in digests.subtree_slice(v) {
+                    kinds[u.index()] = PlanKind::Skip;
+                }
+                kinds[v.index()] = PlanKind::Seed(rows);
+                continue; // the subtree will not run; don't plan inside it
+            }
+            kinds[v.index()] = PlanKind::StoreOnMiss;
+        }
+        stack.extend_from_slice(tree.children(v));
+    }
+    MemoPlan { digests, kinds }
+}
+
+/// Materializes a stored frontier as this run's candidate list for `v`,
+/// rebuilding provenance chains in the run's own arena so reconstruction
+/// and audits are indistinguishable from a cold run.
+fn seed_frontier(
+    v: NodeId,
+    rows: &[FrontierRow],
+    plan: &MemoPlan,
+    scratch: &mut DpScratch,
+) -> Vec<DpCand> {
+    let slice = plan.digests.subtree_slice(v);
+    let mut list = scratch.alloc();
+    for r in rows {
+        let mut prov = NONE;
+        for &(pos, buf) in &r.insertions {
+            let node = slice[pos as usize];
+            prov = scratch
+                .arena
+                .elem((node, BufferId::from_index(buf as usize)), prov);
+        }
+        list.push(DpCand {
+            cap: r.cap,
+            q: r.q,
+            cur: r.cur,
+            ns: r.ns,
+            count: r.count as usize,
+            cost: r.cost,
+            parity: r.parity,
+            prov,
+        });
+    }
+    list
+}
+
+/// Snapshots the pruned frontier at `v` into the memo table, translating
+/// each candidate's insertions to sorted subtree-relative postorder
+/// coordinates so the snapshot is host-independent.
+fn store_frontier(
+    table: &MemoTable,
+    v: NodeId,
+    cands: &[DpCand],
+    plan: &MemoPlan,
+    scratch: &mut DpScratch,
+) {
+    let slice = plan.digests.subtree_slice(v);
+    let base = plan.digests.position(slice[0]);
+    let mut buf: Vec<(NodeId, BufferId)> = Vec::new();
+    let rows: Vec<FrontierRow> = cands
+        .iter()
+        .map(|c| {
+            buf.clear();
+            scratch.arena.resolve_into(c.prov, &mut buf);
+            let mut insertions: Vec<(u32, u32)> = buf
+                .iter()
+                .map(|&(n, b)| (plan.digests.position(n) - base, b.index() as u32))
+                .collect();
+            insertions.sort_unstable();
+            FrontierRow {
+                cap: c.cap,
+                q: c.q,
+                cur: c.cur,
+                ns: c.ns,
+                count: c.count as u32,
+                cost: c.cost,
+                parity: c.parity,
+                insertions,
+            }
+        })
+        .collect();
+    table.store(plan.digests.canonical(v), plan.digests.eval_sig(v), rows);
+}
+
 /// Runs the DP with a throwaway scratch. Prefer [`run_with`] plus a
 /// reused [`DpScratch`] on hot paths.
 pub(crate) fn run(
@@ -812,6 +982,34 @@ pub(crate) fn run_with(
     cfg: &DpConfig,
     budget: &RunBudget,
 ) -> Result<(Vec<SourceCand>, DpStats), CoreError> {
+    run_with_memo(scratch, tree, scenario, lib, cfg, budget, None)
+}
+
+/// [`run_with`] consulting a cross-request subtree memo table.
+///
+/// At every eligible merge point whose subtree digest hits the table (and
+/// whose evaluation signature matches — see `buffopt-memo`), the stored
+/// pruned frontier is re-materialized with fresh provenance and the
+/// subtree below is skipped entirely; misses run normally and snapshot
+/// their frontier for the next run. Seeded runs return solutions
+/// bitwise-identical to cold runs (the differential tests assert this);
+/// only the run *statistics* may differ, since skipped subtrees
+/// contribute no peak-candidate or merge-product samples.
+///
+/// Memoization is silently disabled when the table is absent or budget-0,
+/// or when `budget.max_arena_bytes` is set: the arena-byte clamp is
+/// whole-run state that a subtree-keyed entry cannot bind, unlike the
+/// subtree-pure `max_candidates`/`degrade` knobs which are folded into
+/// the digest seed.
+pub(crate) fn run_with_memo(
+    scratch: &mut DpScratch,
+    tree: &RoutingTree,
+    scenario: Option<&NoiseScenario>,
+    lib: &BufferLibrary,
+    cfg: &DpConfig,
+    budget: &RunBudget,
+    memo: Option<&MemoTable>,
+) -> Result<(Vec<SourceCand>, DpStats), CoreError> {
     if lib.is_empty() {
         return Err(CoreError::EmptyLibrary);
     }
@@ -834,10 +1032,31 @@ pub(crate) fn run_with(
     scratch.reset(tree.len(), lib.len());
     let wire_current = |v: NodeId| -> f64 { scenario.map_or(0.0, |s| s.wire_current(tree, v)) };
 
+    let memo = memo.filter(|t| t.enabled() && budget.max_arena_bytes.is_none());
+    let plan = memo.map(|t| plan_memo(tree, scenario, t, memo_config_seed(cfg, &budget, lib)));
+
     let mut stats = DpStats::default();
     let pairwise = cfg.conservative || cfg.cost_aware;
     for v in tree.postorder() {
         budget.checkpoint()?;
+        let plan_kind = plan
+            .as_ref()
+            .map_or(&PlanKind::Normal, |p| &p.kinds[v.index()]);
+        match plan_kind {
+            PlanKind::Skip => continue,
+            PlanKind::Seed(rows) => {
+                let rows = Arc::clone(rows);
+                let plan = plan.as_ref().expect("Seed implies a plan");
+                let list = seed_frontier(v, &rows, plan, scratch);
+                memo.expect("Seed implies a table").note_seeded();
+                stats.peak_candidates = stats.peak_candidates.max(list.len());
+                stats.peak_arena_bytes = stats.peak_arena_bytes.max(scratch.arena.bytes());
+                scratch.lists[v.index()] = list;
+                continue;
+            }
+            PlanKind::Normal | PlanKind::StoreOnMiss => {}
+        }
+        let store_here = matches!(plan_kind, PlanKind::StoreOnMiss);
         let feasible = tree.node(v).kind.is_feasible_site();
         // The fused path folds buffer insertion into the merge.
         let mut buffered = false;
@@ -925,6 +1144,15 @@ pub(crate) fn run_with(
                 stats.degraded_by = Some(BudgetResource::ArenaBytes);
             }
             clamp_stratified(&mut cands, DEGRADE_TOP_K);
+        }
+        if store_here {
+            store_frontier(
+                memo.expect("StoreOnMiss implies a table"),
+                v,
+                &cands,
+                plan.as_ref().expect("StoreOnMiss implies a plan"),
+                scratch,
+            );
         }
         scratch.lists[v.index()] = cands;
     }

@@ -65,6 +65,8 @@ pub mod dp_reference;
 mod error;
 pub mod feasibility;
 pub mod iterative;
+#[cfg(test)]
+mod memotest;
 mod probe;
 mod rebuild;
 pub mod wiresize;
@@ -73,6 +75,7 @@ mod workspace;
 pub use assignment::Assignment;
 pub use budget::RunBudget;
 pub use buffopt_analysis::{CancelReason, CancelToken};
+pub use buffopt_memo::{MemoStats, MemoTable};
 pub use delayopt::Solution;
 pub use error::{BudgetResource, CoreError};
 pub use workspace::DpWorkspace;

@@ -1,0 +1,369 @@
+//! The sharded, byte-budgeted memo table.
+//!
+//! Same shape as the server's `SolutionCache` (sharded `Mutex` maps with a
+//! logical-tick LRU and linear-scan eviction — shards are small enough
+//! that a scan beats an intrusive list), but budgeted in **bytes** rather
+//! than entries: frontier snapshots vary by orders of magnitude, and the
+//! operator's knob (`--memo-budget-mb`) is a memory bound.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::mem;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One pruned DP candidate, snapshotted in a host-independent form.
+///
+/// The electrical fields mirror the DP's candidate 5-tuple plus the Lillis
+/// extensions; `insertions` holds the partial solution as
+/// `(subtree-relative postorder position, buffer index)` pairs in sorted
+/// order, so the snapshot is meaningful in any tree containing an
+/// evaluation-identical copy of the subtree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierRow {
+    /// Downstream load capacitance (farads).
+    pub cap: f64,
+    /// Timing slack (seconds).
+    pub q: f64,
+    /// Downstream coupled current (amperes).
+    pub cur: f64,
+    /// Noise slack (volts).
+    pub ns: f64,
+    /// Inserted-buffer count.
+    pub count: u32,
+    /// Total inserted-buffer cost.
+    pub cost: f64,
+    /// Signal parity (number of inversions mod 2).
+    pub parity: bool,
+    /// Partial solution: `(postorder position within the subtree, buffer
+    /// library index)`, sorted ascending.
+    pub insertions: Vec<(u32, u32)>,
+}
+
+/// Counter snapshot of a [`MemoTable`], surfaced through the server's
+/// `stats` response and the memo benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Lookups that returned a seedable frontier.
+    pub hits: u64,
+    /// Lookups that found nothing usable (including signature conflicts).
+    pub misses: u64,
+    /// Canonical-key hits rejected because the evaluation signature
+    /// differed (counted within `misses` as well).
+    pub sig_conflicts: u64,
+    /// Merge points actually seeded from the table by the DP.
+    pub seeded: u64,
+    /// Frontier snapshots stored.
+    pub stores: u64,
+    /// Entries evicted to stay inside the byte budget.
+    pub evictions: u64,
+    /// Current estimated bytes held across all shards.
+    pub bytes: usize,
+    /// Current entry count across all shards.
+    pub entries: usize,
+    /// Configured byte budget (0 = table disabled).
+    pub budget_bytes: usize,
+}
+
+struct Entry {
+    sig: u64,
+    rows: Arc<Vec<FrontierRow>>,
+    bytes: usize,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u128, Entry>,
+    tick: u64,
+    bytes: usize,
+}
+
+/// A sharded, byte-budgeted, LRU-evicting map from canonical subtree
+/// digests to pruned candidate frontiers.
+///
+/// Thread-safe and meant to be shared (`Arc`) across engine workers; all
+/// operations take a shard lock only. A table built with budget `0` is
+/// disabled: every lookup misses without counting and stores are dropped.
+///
+/// `Debug` is intentionally *configuration-only* (budget and shard count,
+/// never contents): the pipeline's config digest — which keys the server's
+/// solution cache — is derived from `Debug` output, so table state must
+/// not leak into it.
+pub struct MemoTable {
+    shards: Vec<Mutex<Shard>>,
+    budget: usize,
+    per_shard: usize,
+    bytes: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    sig_conflicts: AtomicU64,
+    seeded: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl fmt::Debug for MemoTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoTable")
+            .field("budget_bytes", &self.budget)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Fixed per-entry overhead estimate: key, signature, map slot, ticks.
+const ENTRY_OVERHEAD: usize = 96;
+
+fn entry_bytes(rows: &[FrontierRow]) -> usize {
+    ENTRY_OVERHEAD
+        + mem::size_of_val(rows)
+        + rows
+            .iter()
+            .map(|r| r.insertions.len() * mem::size_of::<(u32, u32)>())
+            .sum::<usize>()
+}
+
+impl MemoTable {
+    /// Creates a table with a total byte budget spread over `shards`
+    /// shards (shard count is clamped to at least 1). A zero budget
+    /// disables the table entirely.
+    pub fn new(budget_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        MemoTable {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            budget: budget_bytes,
+            per_shard: budget_bytes.div_ceil(shards),
+            bytes: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            sig_conflicts: AtomicU64::new(0),
+            seeded: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the table can ever hold an entry.
+    pub fn enabled(&self) -> bool {
+        self.budget > 0
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget
+    }
+
+    fn shard_of(&self, key: u128) -> &Mutex<Shard> {
+        let folded = (key as u64) ^ ((key >> 64) as u64);
+        &self.shards[(folded % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up the frontier stored for `key`, provided its evaluation
+    /// signature matches `sig`. A canonical hit with a differing signature
+    /// is a miss (the frontier of a reordered twin cannot seed this run
+    /// bitwise-exactly) and is additionally counted in
+    /// [`MemoStats::sig_conflicts`].
+    pub fn lookup(&self, key: u128, sig: u64) -> Option<Arc<Vec<FrontierRow>>> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut shard = self.shard_of(key).lock().expect("memo shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(&key) {
+            Some(e) if e.sig == sig => {
+                e.tick = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&e.rows))
+            }
+            Some(_) => {
+                self.sig_conflicts.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores (or replaces) the frontier for `key`, evicting
+    /// least-recently-used entries from the shard until the snapshot fits
+    /// its byte budget. A snapshot larger than a whole shard's budget is
+    /// dropped rather than stored.
+    pub fn store(&self, key: u128, sig: u64, rows: Vec<FrontierRow>) {
+        if !self.enabled() {
+            return;
+        }
+        let new_bytes = entry_bytes(&rows);
+        if new_bytes > self.per_shard {
+            return;
+        }
+        let mut shard = self.shard_of(key).lock().expect("memo shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if let Some(old) = shard.map.remove(&key) {
+            shard.bytes -= old.bytes;
+            self.bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+        }
+        while shard.bytes + new_bytes > self.per_shard {
+            // Linear scan for the stalest entry; shards stay small enough
+            // that this beats maintaining an intrusive LRU list.
+            let Some((&stale, _)) = shard.map.iter().min_by_key(|(_, e)| e.tick) else {
+                break;
+            };
+            let evicted = shard.map.remove(&stale).expect("key just observed");
+            shard.bytes -= evicted.bytes;
+            self.bytes.fetch_sub(evicted.bytes, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.bytes += new_bytes;
+        self.bytes.fetch_add(new_bytes, Ordering::Relaxed);
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        shard.map.insert(
+            key,
+            Entry {
+                sig,
+                rows: Arc::new(rows),
+                bytes: new_bytes,
+                tick,
+            },
+        );
+    }
+
+    /// Records that the DP seeded one merge point from a hit. Kept
+    /// separate from [`lookup`](MemoTable::lookup) because hit planning
+    /// happens before the DP runs and a cancelled run may seed fewer
+    /// merges than it looked up.
+    pub fn note_seeded(&self) {
+        self.seeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough counter snapshot (entry count sums shard sizes
+    /// under their locks; counters are relaxed atomics).
+    pub fn stats(&self) -> MemoStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").map.len())
+            .sum();
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            sig_conflicts: self.sig_conflicts.load(Ordering::Relaxed),
+            seeded: self.seeded.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            entries,
+            budget_bytes: self.budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(tag: u32, insertions: usize) -> FrontierRow {
+        FrontierRow {
+            cap: f64::from(tag),
+            q: 1.0,
+            cur: 0.0,
+            ns: 0.5,
+            count: insertions as u32,
+            cost: 0.0,
+            parity: false,
+            insertions: (0..insertions as u32).map(|i| (i, 0)).collect(),
+        }
+    }
+
+    #[test]
+    fn lookup_roundtrip_and_sig_guard() {
+        let t = MemoTable::new(1 << 20, 4);
+        assert!(t.lookup(7, 1).is_none());
+        t.store(7, 1, vec![row(1, 2)]);
+        let hit = t.lookup(7, 1).expect("stored entry hits");
+        assert_eq!(hit.len(), 1);
+        assert_eq!(hit[0].insertions, vec![(0, 0), (1, 0)]);
+        // Same canonical key, different evaluation order: miss.
+        assert!(t.lookup(7, 2).is_none());
+        let s = t.stats();
+        assert_eq!((s.hits, s.misses, s.sig_conflicts), (1, 2, 1));
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes > 0 && s.bytes <= s.budget_bytes);
+    }
+
+    #[test]
+    fn replacement_updates_bytes_not_duplicates() {
+        let t = MemoTable::new(1 << 20, 1);
+        t.store(9, 1, vec![row(1, 8)]);
+        let b1 = t.stats().bytes;
+        t.store(9, 2, vec![row(1, 1)]);
+        let s = t.stats();
+        assert_eq!(s.entries, 1);
+        assert!(s.bytes < b1, "smaller replacement shrinks the gauge");
+        assert!(t.lookup(9, 1).is_none(), "old signature replaced");
+        assert!(t.lookup(9, 2).is_some());
+    }
+
+    #[test]
+    fn byte_budget_is_respected_via_lru_eviction() {
+        let t = MemoTable::new(4096, 2);
+        for k in 0..256u128 {
+            t.store(k, 0, vec![row(k as u32, 4)]);
+            assert!(
+                t.stats().bytes <= t.budget_bytes(),
+                "gauge exceeds budget after store {k}"
+            );
+        }
+        let s = t.stats();
+        assert!(s.evictions > 0, "budget pressure must evict");
+        assert!(s.entries < 256);
+        // Recently-touched entries are the survivors: refresh one key,
+        // then push until eviction happens again and check it survived.
+        let survivor = (0..256u128)
+            .find(|&k| t.lookup(k, 0).is_some())
+            .expect("some entry survives");
+        for k in 1000..1016u128 {
+            t.store(k, 0, vec![row(0, 4)]);
+        }
+        assert!(
+            t.lookup(survivor, 0).is_some(),
+            "freshly-touched entry outlives LRU pressure"
+        );
+    }
+
+    #[test]
+    fn zero_budget_disables_everything() {
+        let t = MemoTable::new(0, 4);
+        assert!(!t.enabled());
+        t.store(1, 1, vec![row(1, 1)]);
+        assert!(t.lookup(1, 1).is_none());
+        let s = t.stats();
+        assert_eq!(
+            (s.hits, s.misses, s.stores, s.entries, s.bytes),
+            (0, 0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn oversized_snapshot_is_dropped() {
+        let t = MemoTable::new(512, 1);
+        t.store(1, 0, vec![row(0, 4000)]);
+        assert!(t.lookup(1, 0).is_none());
+        assert_eq!(t.stats().bytes, 0);
+    }
+
+    #[test]
+    fn debug_output_is_configuration_only() {
+        let t = MemoTable::new(1 << 20, 4);
+        let before = format!("{t:?}");
+        t.store(1, 0, vec![row(1, 1)]);
+        t.lookup(1, 0);
+        assert_eq!(before, format!("{t:?}"), "state must not leak into Debug");
+        assert!(before.contains("budget_bytes"));
+    }
+}

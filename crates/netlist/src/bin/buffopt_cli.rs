@@ -5,7 +5,7 @@
 //! buffopt-cli NET_FILE [--segment UM] [--mode p2|p3|cost|noise|greedy]
 //!             [--lib ibm|single] [--polarity] [--conservative] [--verify]
 //!             [--dump] [--time-limit-ms N] [--max-candidates N]
-//!             [--max-tree-nodes N]
+//!             [--max-tree-nodes N] [--memo-budget-mb N] [--no-memo]
 //! buffopt-cli --batch DIR [--jobs N] [--journal FILE | --resume FILE]
 //!             [--segment UM] [--lib ibm|single] [--polarity]
 //!             [--conservative] [--time-limit-ms N] [--max-candidates N]
@@ -66,7 +66,16 @@
 //!   net **and** switch the DP to degrade-in-place: under arena or
 //!   candidate pressure it tightens pruning and finishes with a feasible
 //!   but possibly suboptimal solution (batch records carry
-//!   `degraded_by`) instead of erroring.
+//!   `degraded_by`) instead of erroring;
+//! * `--memo-budget-mb N` — enable the structural subtree memo: a shared,
+//!   byte-budgeted table keyed by canonical subtree digests that seeds
+//!   repeated merge-point frontiers across nets (and across requests in
+//!   `serve`). Solutions are bitwise-identical to memo-free runs; only the
+//!   per-record peak statistics can differ, so the memo defaults to off.
+//!   Ignored when `--mem-budget-mb` is set (arena-capped runs carry
+//!   whole-run state the memo cannot replay);
+//! * `--no-memo` — force the memo off even if `--memo-budget-mb` was
+//!   given (handy for A/B comparisons in scripts).
 //!
 //! Exit codes: `0` every net optimized (noise and timing met); `1` at
 //! least one net degraded (noise clean, timing unmet); `2` at least one
@@ -120,6 +129,8 @@ struct Args {
     max_candidates: Option<usize>,
     max_tree_nodes: Option<usize>,
     mem_budget_mb: Option<usize>,
+    memo_budget_mb: Option<usize>,
+    no_memo: bool,
 }
 
 impl Args {
@@ -138,6 +149,17 @@ impl Args {
         }
     }
 
+    /// The shared cross-net memo table, when enabled. Off by default:
+    /// seeding changes which merges run, so per-record *peak statistics*
+    /// become schedule-dependent under a shared table (solutions do not).
+    fn memo_table(&self) -> Option<std::sync::Arc<buffopt::MemoTable>> {
+        if self.no_memo {
+            return None;
+        }
+        self.memo_budget_mb
+            .map(|mb| std::sync::Arc::new(buffopt::MemoTable::new(mb << 20, 8)))
+    }
+
     fn pipeline_config(&self) -> PipelineConfig {
         PipelineConfig {
             library: self.library.clone(),
@@ -148,6 +170,7 @@ impl Args {
             max_arena_bytes: self.mem_budget_mb.map(|mb| mb << 20),
             conservative: self.conservative,
             polarity: self.polarity,
+            memo: self.memo_table(),
         }
     }
 
@@ -187,7 +210,7 @@ fn usage() -> String {
     "usage: buffopt-cli NET_FILE [--segment UM] [--mode p2|p3|cost|noise|greedy] \
      [--lib ibm|single] [--polarity] [--conservative] [--verify] [--dump] \
      [--time-limit-ms N] [--max-candidates N] [--max-tree-nodes N] \
-     [--mem-budget-mb N]\n\
+     [--mem-budget-mb N] [--memo-budget-mb N] [--no-memo]\n\
      \x20      buffopt-cli --batch DIR [--jobs N] [--journal FILE | --resume FILE] \
      [shared flags as above]\n\
      \x20      buffopt-cli serve [--listen ADDR] [--jobs N] [--cache N] \
@@ -222,6 +245,8 @@ fn parse_args() -> Result<Args, String> {
         max_candidates: None,
         max_tree_nodes: None,
         mem_budget_mb: None,
+        memo_budget_mb: None,
+        no_memo: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -334,6 +359,17 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.mem_budget_mb = Some(n);
             }
+            "--memo-budget-mb" => {
+                let v = it.next().ok_or_else(usage)?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --memo-budget-mb {v:?}"))?;
+                if n == 0 {
+                    return Err("--memo-budget-mb must be at least 1".to_string());
+                }
+                args.memo_budget_mb = Some(n);
+            }
+            "--no-memo" => args.no_memo = true,
             "--polarity" => args.polarity = true,
             "--conservative" => args.conservative = true,
             "--verify" => args.verify = true,
@@ -718,6 +754,7 @@ fn main() -> ExitCode {
         conservative_pruning: args.conservative,
         polarity_aware: args.polarity,
         budget,
+        memo: args.memo_table(),
     };
     let sol = match args.mode {
         Mode::P2 => algo3::optimize(&tree, &scenario, &args.library, &opts),

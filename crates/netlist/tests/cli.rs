@@ -350,6 +350,76 @@ fn batch_jobs_flag_changes_nothing_but_wall_times() {
     assert_eq!(serial.status.code(), Some(3), "parse error dominates");
 }
 
+/// Replaces the numeric value after every `"key":` occurrence with a
+/// placeholder (same trick as [`normalize_wall`]).
+fn normalize_field(jsonl: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":");
+    let mut out = String::with_capacity(jsonl.len());
+    let mut rest = jsonl;
+    while let Some(at) = rest.find(&needle) {
+        let after = at + needle.len();
+        out.push_str(&rest[..after]);
+        out.push('X');
+        rest = rest[after..]
+            .trim_start_matches(|c: char| c.is_ascii_digit() || matches!(c, '.' | 'e' | '-' | '+'));
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn batch_memo_changes_nothing_but_peaks_and_wall_times() {
+    // Two structurally identical (renamed) copies of the violating net so
+    // the second is a guaranteed memo hit, plus assorted other nets.
+    let d = tempfile_like::dir(&[
+        ("a.net", VIOLATING_NET),
+        ("b.net", CLEAN_NET),
+        ("c.net", &VIOLATING_NET.replace("net t1", "net t1c")),
+        ("d.net", &VIOLATING_NET.replace("2e-14", "2.5e-14")),
+    ]);
+    let run = |extra: &[&str]| {
+        cli()
+            .args(["--batch", d.0.to_str().expect("utf8 path")])
+            .args(["--jobs", "1"])
+            .args(extra)
+            .output()
+            .expect("binary runs")
+    };
+    let plain = run(&[]);
+    let memo = run(&["--memo-budget-mb", "16"]);
+    let off = run(&["--memo-budget-mb", "16", "--no-memo"]);
+    let scrub = |out: &std::process::Output| {
+        let mut s = normalize_wall(&String::from_utf8_lossy(&out.stdout));
+        for key in ["candidate_peak", "merge_peak", "arena_peak"] {
+            s = normalize_field(&s, key);
+        }
+        s
+    };
+    // Seeded runs skip merges, so only the measured peaks (and timings)
+    // may differ; every solution field must be byte-identical.
+    assert_eq!(
+        scrub(&plain),
+        scrub(&memo),
+        "memo-seeded records must match modulo peak statistics"
+    );
+    assert_eq!(plain.status.code(), memo.status.code());
+    // --no-memo wins over --memo-budget-mb: byte-identical modulo wall.
+    assert_eq!(
+        normalize_wall(&String::from_utf8_lossy(&plain.stdout)),
+        normalize_wall(&String::from_utf8_lossy(&off.stdout)),
+        "--no-memo must restore the memo-free records exactly"
+    );
+}
+
+#[test]
+fn zero_memo_budget_is_rejected() {
+    let out = cli()
+        .args(["--batch", "/tmp", "--memo-budget-mb", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+}
+
 #[test]
 fn zero_jobs_is_rejected() {
     let out = cli()

@@ -102,6 +102,14 @@ pub struct PipelineConfig {
     pub conservative: bool,
     /// Polarity-aware DP rungs.
     pub polarity: bool,
+    /// Cross-request subtree memo table shared by every net run under
+    /// this config (`None` = no memoization). Ignored by the DP whenever
+    /// `max_arena_bytes` is set — arena-byte degrade is whole-run state a
+    /// subtree entry cannot bind (see DESIGN §13). Note that seeded runs
+    /// return bitwise-identical *solutions* but may report different
+    /// peak statistics, so batch drivers wanting byte-stable JSONL keep
+    /// this off.
+    pub memo: Option<std::sync::Arc<buffopt::MemoTable>>,
 }
 
 impl PipelineConfig {
@@ -117,6 +125,7 @@ impl PipelineConfig {
             max_arena_bytes: None,
             conservative: false,
             polarity: false,
+            memo: None,
         }
     }
 
@@ -559,6 +568,7 @@ fn optimize_net_cancellable(
         conservative_pruning: cfg.conservative,
         polarity_aware: cfg.polarity,
         budget: budget.clone(),
+        memo: cfg.memo.clone(),
         ..BuffOptOptions::default()
     };
 
@@ -1194,6 +1204,47 @@ mod tests {
             "{:?}",
             o.attempts
         );
+    }
+
+    /// A branchy net (the memo only engages at 2-child merge points).
+    fn y_net(trunk: f64, arm: f64) -> RoutingTree {
+        let tech = Technology::global_layer();
+        let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
+        let j = b.add_internal(b.source(), tech.wire(trunk)).expect("trunk");
+        b.add_sink(j, tech.wire(arm), SinkSpec::new(20e-15, 2.5e-9, 0.8))
+            .expect("far sink");
+        b.add_sink(j, tech.wire(arm * 1.3), SinkSpec::new(15e-15, 2.5e-9, 0.8))
+            .expect("near sink");
+        b.build().expect("tree")
+    }
+
+    #[test]
+    fn shared_memo_table_preserves_solutions_and_counts_hits() {
+        let t = y_net(6_000.0, 4_000.0);
+        let s = estimation(&t);
+        let cold = optimize_net("y", &t, &s, &cfg());
+
+        let table = std::sync::Arc::new(buffopt::MemoTable::new(32 << 20, 4));
+        let mut warm_cfg = cfg();
+        warm_cfg.memo = Some(table.clone());
+        let first = optimize_net("y", &t, &s, &warm_cfg);
+        let second = optimize_net("y", &t, &s, &warm_cfg);
+        for (tag, o) in [("first", &first), ("second", &second)] {
+            assert_eq!(o.outcome, cold.outcome, "{tag}");
+            assert_eq!(o.rung, cold.rung, "{tag}");
+            assert_eq!(o.buffers, cold.buffers, "{tag}");
+            assert_eq!(
+                o.slack.unwrap().to_bits(),
+                cold.slack.unwrap().to_bits(),
+                "{tag}: seeded slack must be bitwise-identical"
+            );
+            assert!(o.worst_headroom.unwrap() >= 0.0, "{tag}: audit-clean");
+        }
+        let stats = table.stats();
+        assert!(stats.stores > 0, "first run stores frontiers: {stats:?}");
+        assert!(stats.hits > 0, "second run hits: {stats:?}");
+        assert!(stats.seeded > 0, "hits actually seed merges: {stats:?}");
+        assert!(stats.bytes > 0 && stats.bytes <= stats.budget_bytes);
     }
 
     #[test]

@@ -452,9 +452,16 @@ impl Engine {
         ])
     }
 
-    /// A point-in-time metrics snapshot (counters + cache + pool size).
+    /// A point-in-time metrics snapshot (counters + cache + subtree memo
+    /// table + pool size).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.cache.stats(), self.jobs)
+        let memo = self
+            .cfg
+            .memo
+            .as_ref()
+            .map(|t| t.stats())
+            .unwrap_or_default();
+        self.metrics.snapshot(self.cache.stats(), memo, self.jobs)
     }
 
     /// Stops admitting new requests: every subsequent

@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use buffopt::CancelReason;
+use buffopt::{CancelReason, MemoStats};
 use buffopt_pipeline::{NetOutcome, Outcome, Rung};
 
 use crate::cache::CacheStats;
@@ -187,8 +187,9 @@ impl Metrics {
     }
 
     /// A point-in-time copy of every counter, combined with the cache's
-    /// counters and the pool size.
-    pub fn snapshot(&self, cache: CacheStats, workers: usize) -> MetricsSnapshot {
+    /// counters, the subtree memo table's counters (zeroed default when
+    /// the engine runs without one), and the pool size.
+    pub fn snapshot(&self, cache: CacheStats, memo: MemoStats, workers: usize) -> MetricsSnapshot {
         MetricsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             outcomes: std::array::from_fn(|i| self.outcomes[i].load(Ordering::Relaxed)),
@@ -209,6 +210,7 @@ impl Metrics {
             arena_peak_bytes: self.arena_peak_bytes.load(Ordering::Relaxed),
             degraded_pressure: self.degraded_pressure.load(Ordering::Relaxed),
             cache,
+            memo,
             workers,
         }
     }
@@ -264,6 +266,9 @@ pub struct MetricsSnapshot {
     pub degraded_pressure: u64,
     /// Cache counters at snapshot time.
     pub cache: CacheStats,
+    /// Subtree memo table counters at snapshot time (all-zero when the
+    /// engine runs without a memo table).
+    pub memo: MemoStats,
     /// Worker threads in the pool.
     pub workers: usize,
 }
@@ -283,6 +288,18 @@ impl MetricsSnapshot {
             self.cache.evictions,
             self.cache.entries,
             self.cache.capacity
+        ));
+        s.push_str(&format!(
+            ",\"memo\":{{\"hits\":{},\"misses\":{},\"sig_conflicts\":{},\"seeded_merges\":{},\"stores\":{},\"evictions\":{},\"bytes\":{},\"entries\":{},\"budget_bytes\":{}}}",
+            self.memo.hits,
+            self.memo.misses,
+            self.memo.sig_conflicts,
+            self.memo.seeded,
+            self.memo.stores,
+            self.memo.evictions,
+            self.memo.bytes,
+            self.memo.entries,
+            self.memo.budget_bytes
         ));
         s.push_str(",\"admission\":{");
         for (i, r) in REJECTIONS.iter().enumerate() {
@@ -392,7 +409,7 @@ mod tests {
         rec.rung = Some(Rung::NoiseOnly);
         rec.wall = Duration::from_millis(7);
         m.record_outcome(&rec);
-        let snap = m.snapshot(CacheStats::default(), 4);
+        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 4);
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.outcomes[outcome_index(Outcome::ParseError)], 1);
         assert_eq!(snap.outcomes[outcome_index(Outcome::Degraded)], 1);
@@ -411,7 +428,7 @@ mod tests {
         rec.candidate_peak = 25;
         rec.merge_peak = 1200;
         m.record_outcome(&rec);
-        let snap = m.snapshot(CacheStats::default(), 1);
+        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 1);
         assert_eq!(snap.candidate_peak, 40, "keeps the max, not the last");
         assert_eq!(snap.merge_peak, 1200);
         let j = snap.to_json();
@@ -434,6 +451,7 @@ mod tests {
                     entries: 1,
                     capacity: 64,
                 },
+                MemoStats::default(),
                 2,
             )
             .to_json();
@@ -441,6 +459,8 @@ mod tests {
             "\"requests\":1",
             "\"workers\":2",
             "\"cache\":{\"hits\":1,\"misses\":2",
+            "\"memo\":{\"hits\":0,\"misses\":0,\"sig_conflicts\":0,\"seeded_merges\":0,\
+             \"stores\":0,\"evictions\":0,\"bytes\":0,\"entries\":0,\"budget_bytes\":0}",
             "\"admission\":{\"overloaded\":0,\"deadline_exceeded\":0,\"shutting_down\":0,\"stale_drops\":0}",
             "\"supervision\":{\"worker_deaths\":0,\"respawns\":0,\"retries\":0,\"bad_outputs\":0,\"cancelled\":0}",
             "\"connections\":{\"errors\":0}",
@@ -469,7 +489,7 @@ mod tests {
         m.record_cancelled(CancelReason::Deadline);
         m.record_cancelled(CancelReason::Disconnect);
         m.record_cancelled(CancelReason::Disconnect);
-        let snap = m.snapshot(CacheStats::default(), 1);
+        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 1);
         assert_eq!(snap.arena_peak_bytes, 4096, "keeps the max, not the last");
         assert_eq!(snap.degraded_pressure, 1);
         assert_eq!(snap.cancellations, [1, 0, 2, 0]);
@@ -496,7 +516,7 @@ mod tests {
         m.record_stale_drop();
         m.record_bad_output();
         m.record_conn_error();
-        let snap = m.snapshot(CacheStats::default(), 1);
+        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 1);
         assert_eq!(snap.rejections, [2, 1, 0]);
         assert_eq!(snap.worker_deaths, 1);
         assert_eq!(snap.respawns, 1);

@@ -25,9 +25,11 @@
 
 pub mod adversarial;
 mod config;
+pub mod perturbed;
 mod population;
 
 pub use config::{SinkDistribution, WorkloadConfig};
+pub use perturbed::{perturbed_family, PerturbationConfig};
 pub use population::{generate, sink_histogram, GeneratedNet};
 
 use buffopt_noise::NoiseScenario;

@@ -1,0 +1,286 @@
+//! Perturbed net families for the subtree-memo benchmarks.
+//!
+//! A memo table earns its keep when a stream of nets *shares structure*:
+//! ECO iterations, repeated macro placements, incremental re-optimization.
+//! This module manufactures that stream deterministically: take a base
+//! routing tree and emit a family of variants, each differing by a few
+//! **local** edits while the rest of the tree — and therefore most of its
+//! canonical subtree digests — is untouched:
+//!
+//! * **sink-cap jitter** — scale one sink's load capacitance (a cell swap
+//!   or a re-characterized pin);
+//! * **wire resegmenting** — split one edge in two at its midpoint (a
+//!   router detour that preserves total RC);
+//! * **subtree graft** — split an edge and hang a short stub with a new
+//!   non-critical sink off the midpoint (an ECO tap).
+//!
+//! Every edit invalidates only the digests on the edited node's
+//! root path; sibling subtrees keep their keys and stay warm in the
+//! [`buffopt::MemoTable`](../buffopt/struct.MemoTable.html).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use buffopt_tree::{NodeId, NodeKind, RoutingTree, TreeBuilder, Wire};
+
+/// Knobs for [`perturbed_family`]. All randomness flows through `seed`,
+/// so a family is bit-for-bit reproducible.
+#[derive(Debug, Clone)]
+pub struct PerturbationConfig {
+    /// Seed for the family's edit stream.
+    pub seed: u64,
+    /// Number of variants to emit (the base tree is not included).
+    pub variants: usize,
+    /// Local edits applied to each variant.
+    pub edits_per_variant: usize,
+    /// Relative sink-capacitance jitter: a jittered sink's load scales by
+    /// a factor drawn from `[1 - cap_jitter, 1 + cap_jitter]`.
+    pub cap_jitter: f64,
+    /// Load capacitance of grafted stub sinks, in farads.
+    pub stub_cap: f64,
+}
+
+impl Default for PerturbationConfig {
+    fn default() -> Self {
+        PerturbationConfig {
+            seed: 0xFA41_17EC,
+            variants: 8,
+            edits_per_variant: 2,
+            cap_jitter: 0.2,
+            stub_cap: 5e-15,
+        }
+    }
+}
+
+/// The edit plan for one variant, keyed by base-tree node.
+#[derive(Default)]
+struct EditPlan {
+    /// Sink → capacitance scale factor.
+    jitter: HashMap<NodeId, f64>,
+    /// Non-source node → split the edge above it at its midpoint.
+    resegment: HashMap<NodeId, bool>,
+    /// Non-source node → split the edge above it and graft a stub sink
+    /// (with this name) at the midpoint. Implies the split of `resegment`.
+    graft: HashMap<NodeId, String>,
+}
+
+/// Emits `cfg.variants` deterministic local-edit variants of `base`.
+///
+/// Each variant is a fresh [`RoutingTree`] rebuilt from `base` with
+/// `cfg.edits_per_variant` edits applied; sink names, feasibility flags,
+/// and child order are preserved everywhere an edit does not touch.
+///
+/// # Panics
+///
+/// Panics if `base` is degenerate (no sinks) or `cfg.cap_jitter >= 1`
+/// (which could drive a sink capacitance negative).
+pub fn perturbed_family(base: &RoutingTree, cfg: &PerturbationConfig) -> Vec<RoutingTree> {
+    assert!(!base.sinks().is_empty(), "base tree must have sinks");
+    assert!(
+        cfg.cap_jitter < 1.0,
+        "cap_jitter must stay below 1 to keep capacitances positive"
+    );
+    let editable: Vec<NodeId> = base
+        .node_ids()
+        .filter(|&v| base.parent(v).is_some())
+        .collect();
+    (0..cfg.variants)
+        .map(|i| {
+            let mut rng =
+                StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut plan = EditPlan::default();
+            for e in 0..cfg.edits_per_variant {
+                match rng.gen_range(0..3u8) {
+                    0 => {
+                        let sink = base.sinks()[rng.gen_range(0..base.sinks().len())];
+                        let factor = 1.0 + cfg.cap_jitter * rng.gen_range(-1.0..1.0);
+                        plan.jitter.insert(sink, factor);
+                    }
+                    1 => {
+                        let v = editable[rng.gen_range(0..editable.len())];
+                        plan.resegment.insert(v, true);
+                    }
+                    _ => {
+                        let v = editable[rng.gen_range(0..editable.len())];
+                        plan.graft.insert(v, format!("stub_v{i}_e{e}"));
+                    }
+                }
+            }
+            rebuild(base, cfg, &plan)
+        })
+        .collect()
+}
+
+/// Rebuilds `base` with `plan` applied: a preorder walk that re-attaches
+/// every node, inserting midpoints and stubs where the plan says so.
+fn rebuild(base: &RoutingTree, cfg: &PerturbationConfig, plan: &EditPlan) -> RoutingTree {
+    let stub_margin = base
+        .sink_spec(base.sinks()[0])
+        .expect("sink ids carry specs")
+        .noise_margin;
+    let mut b = TreeBuilder::new(*base.driver());
+    let mut map: Vec<Option<NodeId>> = vec![None; base.len()];
+    map[base.source().index()] = Some(b.source());
+    for v in base.preorder() {
+        let Some(p) = base.parent(v) else { continue };
+        let new_parent = map[p.index()].expect("preorder visits parents first");
+        let wire = *base.parent_wire(v).expect("non-source nodes carry wires");
+        // Edge edits: split the edge above `v`, optionally grafting a
+        // stub sink (non-critical: infinite required arrival time) at the
+        // fresh midpoint. Graft subsumes a plain resegment of the same
+        // edge.
+        let grafted = plan.graft.get(&v);
+        let attach_at = if grafted.is_some() || plan.resegment.contains_key(&v) {
+            let mid = b
+                .add_internal(new_parent, wire.split(2))
+                .expect("midpoint attaches below a live parent");
+            if let Some(name) = grafted {
+                let stub = Wire::from_rc(
+                    wire.resistance / 4.0,
+                    wire.capacitance / 4.0,
+                    wire.length / 4.0,
+                );
+                b.add_sink(
+                    mid,
+                    stub,
+                    buffopt_tree::SinkSpec::new(cfg.stub_cap, f64::INFINITY, stub_margin)
+                        .with_name(name.clone()),
+                )
+                .expect("stub attaches below the midpoint");
+            }
+            mid
+        } else {
+            new_parent
+        };
+        let half = if attach_at == new_parent {
+            wire
+        } else {
+            wire.split(2)
+        };
+        let new_v = match &base.node(v).kind {
+            NodeKind::Source(_) => unreachable!("source has no parent"),
+            NodeKind::Sink(spec) => {
+                let mut spec = spec.clone();
+                if let Some(f) = plan.jitter.get(&v) {
+                    spec.capacitance *= f;
+                }
+                b.add_sink(attach_at, half, spec)
+            }
+            NodeKind::Internal { feasible: true } => b.add_internal(attach_at, half),
+            NodeKind::Internal { feasible: false } => b.add_infeasible_internal(attach_at, half),
+        }
+        .expect("rebuild re-attaches every base node");
+        map[v.index()] = Some(new_v);
+    }
+    b.build().expect("base had sinks, so does every variant")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use buffopt_tree::{Driver, SinkSpec, Technology};
+
+    /// A three-level, four-sink base with named sinks.
+    fn base_tree() -> RoutingTree {
+        let tech = Technology::global_layer();
+        let mut b = TreeBuilder::new(Driver::new(200.0, 2e-11));
+        let trunk = b.add_internal(b.source(), tech.wire(2_000.0)).unwrap();
+        let left = b.add_internal(trunk, tech.wire(1_500.0)).unwrap();
+        let right = b.add_internal(trunk, tech.wire(1_200.0)).unwrap();
+        for (i, (at, len)) in [
+            (left, 900.0),
+            (left, 700.0),
+            (right, 1_100.0),
+            (right, 600.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            b.add_sink(
+                at,
+                tech.wire(len),
+                SinkSpec::new(18e-15, 2.2e-9, 0.8).with_name(format!("s{i}")),
+            )
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn family_is_deterministic() {
+        let base = base_tree();
+        let cfg = PerturbationConfig::default();
+        let a = perturbed_family(&base, &cfg);
+        let b = perturbed_family(&base, &cfg);
+        assert_eq!(a.len(), cfg.variants);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_families() {
+        let base = base_tree();
+        let a = perturbed_family(&base, &PerturbationConfig::default());
+        let b = perturbed_family(
+            &base,
+            &PerturbationConfig {
+                seed: 1,
+                ..PerturbationConfig::default()
+            },
+        );
+        assert!(a.iter().zip(&b).any(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn variants_are_well_formed_and_keep_every_base_sink() {
+        let base = base_tree();
+        let base_names: Vec<String> = base
+            .sinks()
+            .iter()
+            .filter_map(|&s| base.sink_spec(s).and_then(|sp| sp.name.clone()))
+            .collect();
+        for tree in perturbed_family(&base, &PerturbationConfig::default()) {
+            assert!(tree.check_invariants().is_empty());
+            assert!(tree.sinks().len() >= base.sinks().len());
+            let names: Vec<Option<&String>> = tree
+                .sinks()
+                .iter()
+                .map(|&s| tree.sink_spec(s).and_then(|sp| sp.name.as_ref()))
+                .collect();
+            for n in &base_names {
+                assert!(names.contains(&Some(n)), "base sink {n} lost");
+            }
+        }
+    }
+
+    #[test]
+    fn edits_change_trees_but_preserve_edge_totals() {
+        let base = base_tree();
+        let family = perturbed_family(&base, &PerturbationConfig::default());
+        assert!(
+            family.iter().any(|t| *t != base),
+            "default config must actually edit something"
+        );
+        for tree in &family {
+            // Splits conserve wire RC; only grafted stubs add length.
+            assert!(tree.total_wire_length() >= base.total_wire_length() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_edits_reproduces_the_base_structure() {
+        let base = base_tree();
+        let cfg = PerturbationConfig {
+            edits_per_variant: 0,
+            variants: 2,
+            ..PerturbationConfig::default()
+        };
+        for tree in perturbed_family(&base, &cfg) {
+            assert_eq!(tree.len(), base.len());
+            assert_eq!(tree.sinks().len(), base.sinks().len());
+            assert!((tree.total_capacitance() - base.total_capacitance()).abs() < 1e-24);
+            assert!((tree.total_wire_length() - base.total_wire_length()).abs() < 1e-9);
+        }
+    }
+}

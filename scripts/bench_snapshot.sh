@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
-# Build and run the DP performance snapshot, producing BENCH_dp.json: per
-# net size, median wall time for the arena engine vs the seed engine,
-# candidate-pressure stats, and (with allocation counting compiled in)
-# allocator traffic per run. The snapshot's "analysis" section also times
-# the greedy iterative optimizer with incremental probe re-analysis
-# against its full-resweep baseline.
+# Build and run the performance snapshots:
 #
-# usage: scripts/bench_snapshot.sh [--quick] [--out PATH] [--no-alloc-count]
+# * BENCH_dp.json — per net size, median wall time for the arena engine
+#   vs the seed engine, candidate-pressure stats, and (with allocation
+#   counting compiled in) allocator traffic per run, plus the greedy
+#   optimizer's incremental-vs-full-resweep "analysis" section;
+# * BENCH_memo.json — cold vs memo-warm family passes over the perturbed
+#   net workload: median pass times, steady-state subtree hit rate, and
+#   the memo-table counters. The memo snapshot exits nonzero if the warm
+#   hit rate drops below 30 %, if a seeded solution deviates bitwise from
+#   its cold twin, or if a small-budget table overruns its byte budget.
+#
+# usage: scripts/bench_snapshot.sh [--quick] [--out PATH] [--memo-out PATH]
+#                                  [--no-alloc-count]
 #
 #   --quick           5 samples per size instead of 31 (CI smoke)
-#   --out PATH        where to write the JSON (default BENCH_dp.json)
+#   --out PATH        where to write the DP JSON (default BENCH_dp.json)
+#   --memo-out PATH   where to write the memo JSON (default BENCH_memo.json)
 #   --no-alloc-count  skip the counting-allocator build; wall times then
 #                     come from the stock allocator (marginally faster)
 set -euo pipefail
@@ -18,12 +25,20 @@ cd "$(dirname "$0")/.."
 
 features=(--features alloc-count)
 args=()
+memo_args=()
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --no-alloc-count) features=() ;;
-        --quick) args+=(--quick) ;;
+        --quick)
+            args+=(--quick)
+            memo_args+=(--quick)
+            ;;
         --out)
             args+=(--out "$2")
+            shift
+            ;;
+        --memo-out)
+            memo_args+=(--out "$2")
             shift
             ;;
         *)
@@ -35,4 +50,8 @@ while [[ $# -gt 0 ]]; do
 done
 
 cargo build --release -p buffopt-bench --bin dp_snapshot "${features[@]}"
-exec target/release/dp_snapshot "${args[@]}"
+# The memo snapshot times whole optimizer passes; the counting allocator
+# is pure overhead there, so it builds without the feature.
+cargo build --release -p buffopt-bench --bin memo_snapshot
+target/release/dp_snapshot "${args[@]}"
+target/release/memo_snapshot "${memo_args[@]}"
