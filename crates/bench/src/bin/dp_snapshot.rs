@@ -10,10 +10,20 @@
 //! `scripts/bench_snapshot.sh` produces and CI archives, so the perf
 //! trajectory of the DP core is diffable across commits.
 //!
-//! Usage: `dp_snapshot [--quick] [--out PATH]`
+//! Usage: `dp_snapshot [--quick] [--out PATH] [--gate BASELINE]
+//!                     [--gate-tolerance-pct P]`
 //!
 //! `--quick` drops the per-size sample count (CI smoke); the full mode is
 //! what EXPERIMENTS.md records.
+//!
+//! `--gate BASELINE` compares the fresh snapshot against a committed
+//! baseline (typically the repo's `BENCH_dp.json`) and exits nonzero if
+//! any size's arena-vs-reference median ratio drifted by more than the
+//! tolerance (default 2%). Gating on the *ratio* — not the raw medians —
+//! makes the check portable across machines: both engines share the
+//! hardware, so a genuine regression in the arena engine (say, integrity
+//! bookkeeping leaking into the DP hot path) moves the ratio while mere
+//! machine speed does not.
 
 use std::time::Instant;
 
@@ -129,6 +139,77 @@ fn json_engine(m: &Measured) -> String {
     )
 }
 
+/// The integer right after `field` in `json`, or `None`.
+fn number_after(json: &str, field: &str) -> Option<u64> {
+    let rest = &json[json.find(field)? + field.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Per size row of a snapshot's `sizes` section:
+/// `(sinks, arena (median_ns, min_ns), reference (median_ns, min_ns))`.
+fn size_medians(json: &str) -> Vec<(u64, (u64, u64), (u64, u64))> {
+    // The `analysis` rows also carry `"sinks"`, so only read up to there.
+    let sizes = json.split("\"analysis\":").next().unwrap_or(json);
+    let mut out = Vec::new();
+    for row in sizes.split("{\"sinks\":").skip(1) {
+        let digits: String = row.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let (Ok(sinks), Some(arena_at), Some(ref_at)) = (
+            digits.parse::<u64>(),
+            row.find("\"arena\":"),
+            row.find("\"reference\":"),
+        ) else {
+            continue;
+        };
+        if let (Some(arena), Some(arena_min), Some(reference), Some(ref_min)) = (
+            number_after(&row[arena_at..], "\"median_ns\":"),
+            number_after(&row[arena_at..], "\"min_ns\":"),
+            number_after(&row[ref_at..], "\"median_ns\":"),
+            number_after(&row[ref_at..], "\"min_ns\":"),
+        ) {
+            out.push((sinks, (arena, arena_min), (reference, ref_min)));
+        }
+    }
+    out
+}
+
+/// Compares the fresh snapshot's arena/reference median ratios against
+/// `baseline`'s, size by size. A size fails only if both its median
+/// ratio *and* its min-time ratio drifted beyond `tolerance_pct` — the
+/// min is far less sampling-noisy than a 5-sample median, so a genuine
+/// slowdown (which moves both) still trips while scheduler jitter on one
+/// sample does not. Returns `Err` naming the first failing size.
+fn gate_against(baseline: &str, fresh: &str, tolerance_pct: f64) -> Result<(), String> {
+    let base = size_medians(baseline);
+    let new = size_medians(fresh);
+    if base.is_empty() {
+        return Err("baseline has no sizes section".to_string());
+    }
+    for (sinks, arena, reference) in &new {
+        let Some((_, b_arena, b_reference)) = base.iter().find(|(s, _, _)| s == sinks) else {
+            return Err(format!("baseline has no {sinks}-sink row"));
+        };
+        let drift = |n: u64, d: u64, bn: u64, bd: u64| {
+            let base_ratio = bn as f64 / bd.max(1) as f64;
+            let ratio = n as f64 / d.max(1) as f64;
+            (ratio / base_ratio - 1.0) * 100.0
+        };
+        let median_drift = drift(arena.0, reference.0, b_arena.0, b_reference.0);
+        let min_drift = drift(arena.1, reference.1, b_arena.1, b_reference.1);
+        eprintln!(
+            "gate: sinks {sinks:>2}: arena/reference median drift {median_drift:+.1}%, \
+             min drift {min_drift:+.1}%"
+        );
+        if median_drift > tolerance_pct && min_drift > tolerance_pct {
+            return Err(format!(
+                "{sinks}-sink arena/reference ratio regressed (median {median_drift:+.1}%, \
+                 min {min_drift:+.1}%; tolerance {tolerance_pct}%)"
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -137,6 +218,15 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_dp.json", |s| s.as_str());
+    let gate_path = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1));
+    let tolerance_pct: f64 = args
+        .iter()
+        .position(|a| a == "--gate-tolerance-pct")
+        .and_then(|i| args.get(i + 1))
+        .map_or(2.0, |s| s.parse().expect("numeric tolerance"));
     let samples = if quick { 5 } else { 31 };
 
     let lib = catalog::ibm_like();
@@ -233,4 +323,16 @@ fn main() {
     );
     std::fs::write(out_path, &json).expect("write snapshot");
     eprintln!("wrote {out_path}");
+
+    if let Some(base_path) = gate_path {
+        let baseline = std::fs::read_to_string(base_path)
+            .unwrap_or_else(|e| panic!("cannot read gate baseline {base_path}: {e}"));
+        match gate_against(&baseline, &json, tolerance_pct) {
+            Ok(()) => eprintln!("gate: medians within {tolerance_pct}% of {base_path}"),
+            Err(why) => {
+                eprintln!("gate FAILED against {base_path}: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -1,0 +1,57 @@
+//! Quarantine sidecars for corrupt journal lines.
+//!
+//! A line that fails its checksum is evidence, not garbage: it is
+//! appended verbatim to `<journal>.quarantine` so an operator can
+//! inspect what the disk actually returned, while the in-memory
+//! journal simply omits the record and the affected net is recomputed.
+
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The sidecar path for a journal: `<path>.quarantine`.
+pub fn quarantine_path(journal: &Path) -> PathBuf {
+    let mut name = journal.as_os_str().to_os_string();
+    name.push(".quarantine");
+    PathBuf::from(name)
+}
+
+/// Append one corrupt line (raw bytes, possibly not UTF-8) to the
+/// journal's quarantine sidecar, newline-terminated.
+pub fn quarantine_append(journal: &Path, line: &[u8]) -> io::Result<()> {
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(quarantine_path(journal))?;
+    f.write_all(line)?;
+    f.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sidecar_accumulates_raw_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "buffopt-quarantine-test-{}.log",
+            std::process::id()
+        ));
+        let side = quarantine_path(&path);
+        let _ = std::fs::remove_file(&side);
+
+        quarantine_append(&path, b"first bad line").expect("append");
+        quarantine_append(&path, &[0xff, 0x00, b'x']).expect("append non-utf8");
+        let got = std::fs::read(&side).expect("sidecar exists");
+        assert_eq!(got, b"first bad line\n\xff\x00x\n");
+        let _ = std::fs::remove_file(&side);
+    }
+
+    #[test]
+    fn sidecar_path_appends_suffix() {
+        assert_eq!(
+            quarantine_path(Path::new("/tmp/run.journal")),
+            PathBuf::from("/tmp/run.journal.quarantine")
+        );
+    }
+}

@@ -12,6 +12,8 @@ use std::mem;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use buffopt_integrity::Crc64;
+
 /// One pruned DP candidate, snapshotted in a host-independent form.
 ///
 /// The electrical fields mirror the DP's candidate 5-tuple plus the Lillis
@@ -63,6 +65,11 @@ pub struct MemoStats {
     pub entries: usize,
     /// Configured byte budget (0 = table disabled).
     pub budget_bytes: usize,
+    /// Verify-on-hit checksum validations performed.
+    pub integrity_checks: u64,
+    /// Entries evicted because their checksum no longer matched
+    /// (each is also a miss — corrupt frontiers never seed a DP).
+    pub corrupt_evictions: u64,
 }
 
 struct Entry {
@@ -70,6 +77,31 @@ struct Entry {
     rows: Arc<Vec<FrontierRow>>,
     bytes: usize,
     tick: u64,
+    /// CRC-64 of the frontier rows at store time, re-checked on every
+    /// signature-matching hit before the rows may seed a DP.
+    crc: u64,
+}
+
+/// Streaming CRC-64 over every field of every row (floats by bit
+/// pattern), so any single-bit corruption of a stored frontier is
+/// detected at the next hit.
+fn rows_crc(rows: &[FrontierRow]) -> u64 {
+    let mut h = Crc64::new();
+    h.update_u64(rows.len() as u64);
+    for r in rows {
+        h.update_u64(r.cap.to_bits());
+        h.update_u64(r.q.to_bits());
+        h.update_u64(r.cur.to_bits());
+        h.update_u64(r.ns.to_bits());
+        h.update_u64(u64::from(r.count));
+        h.update_u64(r.cost.to_bits());
+        h.update_u64(u64::from(r.parity));
+        h.update_u64(r.insertions.len() as u64);
+        for &(pos, buf) in &r.insertions {
+            h.update_u64((u64::from(pos) << 32) | u64::from(buf));
+        }
+    }
+    h.finish()
 }
 
 #[derive(Default)]
@@ -101,6 +133,8 @@ pub struct MemoTable {
     seeded: AtomicU64,
     stores: AtomicU64,
     evictions: AtomicU64,
+    integrity_checks: AtomicU64,
+    corrupt_evictions: AtomicU64,
 }
 
 impl fmt::Debug for MemoTable {
@@ -141,6 +175,8 @@ impl MemoTable {
             seeded: AtomicU64::new(0),
             stores: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            integrity_checks: AtomicU64::new(0),
+            corrupt_evictions: AtomicU64::new(0),
         }
     }
 
@@ -171,22 +207,32 @@ impl MemoTable {
         let mut shard = self.shard_of(key).lock().expect("memo shard poisoned");
         shard.tick += 1;
         let tick = shard.tick;
-        match shard.map.get_mut(&key) {
+        let corrupt = match shard.map.get_mut(&key) {
             Some(e) if e.sig == sig => {
-                e.tick = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&e.rows))
+                // Verify-on-hit: a frontier that fails its store-time
+                // checksum must never seed a DP — evict it and miss.
+                self.integrity_checks.fetch_add(1, Ordering::Relaxed);
+                if rows_crc(&e.rows) == e.crc {
+                    e.tick = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(Arc::clone(&e.rows));
+                }
+                true
             }
             Some(_) => {
                 self.sig_conflicts.fetch_add(1, Ordering::Relaxed);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                false
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+            None => false,
+        };
+        if corrupt {
+            let evicted = shard.map.remove(&key).expect("entry just observed");
+            shard.bytes -= evicted.bytes;
+            self.bytes.fetch_sub(evicted.bytes, Ordering::Relaxed);
+            self.corrupt_evictions.fetch_add(1, Ordering::Relaxed);
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
     /// Stores (or replaces) the frontier for `key`, evicting
@@ -222,6 +268,7 @@ impl MemoTable {
         shard.bytes += new_bytes;
         self.bytes.fetch_add(new_bytes, Ordering::Relaxed);
         self.stores.fetch_add(1, Ordering::Relaxed);
+        let crc = rows_crc(&rows);
         shard.map.insert(
             key,
             Entry {
@@ -229,8 +276,32 @@ impl MemoTable {
                 rows: Arc::new(rows),
                 bytes: new_bytes,
                 tick,
+                crc,
             },
         );
+    }
+
+    /// Test hook: silently bit-flips one stored frontier row (keeping
+    /// the recorded checksum), simulating in-memory corruption. Returns
+    /// false when the table holds no entries. The next
+    /// signature-matching lookup of the damaged key must detect the
+    /// mismatch, evict the entry, and miss.
+    #[doc(hidden)]
+    pub fn corrupt_any(&self) -> bool {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("memo shard poisoned");
+            if let Some(entry) = shard.map.values_mut().next() {
+                let mut rows: Vec<FrontierRow> = entry.rows.as_ref().clone();
+                if let Some(row) = rows.first_mut() {
+                    row.q = f64::from_bits(row.q.to_bits() ^ (1 << 51));
+                } else {
+                    return false;
+                }
+                entry.rows = Arc::new(rows);
+                return true;
+            }
+        }
+        false
     }
 
     /// Records that the DP seeded one merge point from a hit. Kept
@@ -259,6 +330,8 @@ impl MemoTable {
             bytes: self.bytes.load(Ordering::Relaxed),
             entries,
             budget_bytes: self.budget,
+            integrity_checks: self.integrity_checks.load(Ordering::Relaxed),
+            corrupt_evictions: self.corrupt_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -355,6 +428,81 @@ mod tests {
         t.store(1, 0, vec![row(0, 4000)]);
         assert!(t.lookup(1, 0).is_none());
         assert_eq!(t.stats().bytes, 0);
+    }
+
+    #[test]
+    fn hits_are_integrity_checked() {
+        let t = MemoTable::new(1 << 20, 4);
+        t.store(7, 1, vec![row(1, 2)]);
+        t.lookup(7, 1).expect("clean hit");
+        let s = t.stats();
+        assert_eq!(s.integrity_checks, 1);
+        assert_eq!(s.corrupt_evictions, 0);
+        // Signature conflicts and absent keys never reach the checker.
+        t.lookup(7, 99);
+        t.lookup(8, 1);
+        assert_eq!(t.stats().integrity_checks, 1);
+    }
+
+    #[test]
+    fn corrupt_entry_is_detected_evicted_and_missed() {
+        let t = MemoTable::new(1 << 20, 4);
+        t.store(7, 1, vec![row(1, 2)]);
+        assert!(t.corrupt_any(), "one entry to damage");
+        assert!(
+            t.lookup(7, 1).is_none(),
+            "a corrupt frontier must never seed a DP"
+        );
+        let s = t.stats();
+        assert_eq!(s.corrupt_evictions, 1);
+        assert_eq!(s.entries, 0, "the damaged entry is gone");
+        assert_eq!(s.bytes, 0, "the byte gauge is released");
+        assert_eq!((s.hits, s.misses), (0, 1), "corruption is a miss");
+        // The table heals: a fresh store for the same key works again.
+        t.store(7, 1, vec![row(1, 2)]);
+        assert!(t.lookup(7, 1).is_some());
+        assert_eq!(t.stats().corrupt_evictions, 1);
+    }
+
+    #[test]
+    fn rows_crc_sees_every_field() {
+        let base = vec![row(1, 2)];
+        let reference = rows_crc(&base);
+        let variants: Vec<Vec<FrontierRow>> = vec![
+            {
+                let mut v = base.clone();
+                v[0].cap = f64::from_bits(v[0].cap.to_bits() ^ 1);
+                v
+            },
+            {
+                let mut v = base.clone();
+                v[0].q = f64::from_bits(v[0].q.to_bits() ^ 1);
+                v
+            },
+            {
+                let mut v = base.clone();
+                v[0].parity = true;
+                v
+            },
+            {
+                let mut v = base.clone();
+                v[0].count += 1;
+                v
+            },
+            {
+                let mut v = base.clone();
+                v[0].insertions[1] = (1, 1);
+                v
+            },
+            {
+                let mut v = base.clone();
+                v.push(row(2, 0));
+                v
+            },
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(rows_crc(v), reference, "variant {i} must change the crc");
+        }
     }
 
     #[test]

@@ -7,13 +7,13 @@
 //!             [--dump] [--time-limit-ms N] [--max-candidates N]
 //!             [--max-tree-nodes N] [--memo-budget-mb N] [--no-memo]
 //! buffopt-cli --batch DIR [--jobs N] [--journal FILE | --resume FILE]
-//!             [--segment UM] [--lib ibm|single] [--polarity]
-//!             [--conservative] [--time-limit-ms N] [--max-candidates N]
-//!             [--max-tree-nodes N]
+//!             [--verify-sample-rate R] [--segment UM] [--lib ibm|single]
+//!             [--polarity] [--conservative] [--time-limit-ms N]
+//!             [--max-candidates N] [--max-tree-nodes N]
 //! buffopt-cli serve [--listen ADDR] [--jobs N] [--cache N]
 //!             [--queue-depth N] [--deadline-ms N] [--max-retries N]
-//!             [--read-timeout-ms N] [--max-line-bytes N]
-//!             [shared flags as above]
+//!             [--read-timeout-ms N] [--max-line-bytes N] [--frame-check]
+//!             [--verify-sample-rate R] [shared flags as above]
 //! ```
 //!
 //! * `--segment UM` — Alpert–Devgan wire segmenting pitch (default 500);
@@ -43,7 +43,18 @@
 //!   journaled record lines into the output verbatim), compute the rest,
 //!   and keep appending to the same journal. The final JSONL output is
 //!   byte-identical to what the uninterrupted run would have produced
-//!   (modulo each record's measured `wall_ms`);
+//!   (modulo each record's measured `wall_ms`). Every journal line
+//!   carries a CRC-64 checksum: a torn or corrupted line is quarantined
+//!   to a `FILE.quarantine` sidecar (with a stderr warning) and its net
+//!   recomputed, so corruption costs work, never wrong output. A journal
+//!   written by an incompatible version is refused outright;
+//! * `--verify-sample-rate R` — sampled post-hoc re-verification
+//!   (`--batch` and `serve`): an off-critical-path auditor re-derives
+//!   the delay and noise summaries of roughly `R`·100% of served
+//!   records — cache hits included — from their original inputs and
+//!   invalidates any cached record that disagrees. `R` is in `[0, 1]`;
+//!   default 0 (off). Batch mode reports the audit tally on stderr;
+//!   `serve` reports it in the `stats` integrity section;
 //! * `serve` — long-running newline-JSON TCP service over the same
 //!   pipeline: one `{"id":...,"net":...}` request line per net, one
 //!   record line per response (plus `cache` and `worker` fields), with
@@ -59,6 +70,12 @@
 //!   (default 1), `--read-timeout-ms N` closes connections idle past the
 //!   limit (default 120000; 0 disables), and `--max-line-bytes N` caps
 //!   the request-line length (default 1 MiB);
+//! * `--frame-check` — accept length+CRC framed request lines
+//!   (`!F <len> <crc> <payload>`) on the TCP service and mirror the
+//!   framing on responses. Negotiated per line: unframed clients on the
+//!   same socket are served exactly as before. A truncated or damaged
+//!   frame gets a typed `{"error":"bad_frame",...}` response (counted in
+//!   `stats` under `connections.bad_frames`) instead of a parse guess;
 //! * `--time-limit-ms` / `--max-candidates` / `--max-tree-nodes` —
 //!   per-net resource budget (unlimited when omitted). The clock starts
 //!   when a net is dequeued by a worker, not while it waits in line;
@@ -118,6 +135,8 @@ struct Args {
     max_retries: u32,
     read_timeout_ms: Option<u64>,
     max_line_bytes: usize,
+    frame_check: bool,
+    verify_sample_rate: f64,
     segment: f64,
     mode: Mode,
     library: BufferLibrary,
@@ -181,6 +200,7 @@ impl Args {
             queue_depth: self.queue_depth,
             request_deadline: self.deadline_ms.map(Duration::from_millis),
             max_retries: self.max_retries,
+            verify_sample_rate: self.verify_sample_rate,
             ..EngineOptions::default()
         }
     }
@@ -193,6 +213,7 @@ impl Args {
                 None => ServeOptions::default().read_timeout,
             },
             max_line_bytes: self.max_line_bytes,
+            frame_check: self.frame_check,
         }
     }
 }
@@ -212,10 +233,11 @@ fn usage() -> String {
      [--time-limit-ms N] [--max-candidates N] [--max-tree-nodes N] \
      [--mem-budget-mb N] [--memo-budget-mb N] [--no-memo]\n\
      \x20      buffopt-cli --batch DIR [--jobs N] [--journal FILE | --resume FILE] \
-     [shared flags as above]\n\
+     [--verify-sample-rate R] [shared flags as above]\n\
      \x20      buffopt-cli serve [--listen ADDR] [--jobs N] [--cache N] \
      [--queue-depth N] [--deadline-ms N] [--max-retries N] [--read-timeout-ms N] \
-     [--max-line-bytes N] [shared flags as above]"
+     [--max-line-bytes N] [--frame-check] [--verify-sample-rate R] \
+     [shared flags as above]"
         .to_string()
 }
 
@@ -234,6 +256,8 @@ fn parse_args() -> Result<Args, String> {
         max_retries: 1,
         read_timeout_ms: None,
         max_line_bytes: 1 << 20,
+        frame_check: false,
+        verify_sample_rate: 0.0,
         segment: 500.0,
         mode: Mode::P3,
         library: catalog::ibm_like(),
@@ -369,6 +393,17 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.memo_budget_mb = Some(n);
             }
+            "--frame-check" => args.frame_check = true,
+            "--verify-sample-rate" => {
+                let v = it.next().ok_or_else(usage)?;
+                let r: f64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --verify-sample-rate {v:?}"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err("--verify-sample-rate must be within [0, 1]".to_string());
+                }
+                args.verify_sample_rate = r;
+            }
             "--no-memo" => args.no_memo = true,
             "--polarity" => args.polarity = true,
             "--conservative" => args.conservative = true,
@@ -398,6 +433,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.journal.is_some() && args.resume.is_some() {
         return Err("--journal and --resume are exclusive (--resume keeps journaling)".to_string());
+    }
+    if args.frame_check && !args.serve {
+        return Err("--frame-check only applies to serve".to_string());
+    }
+    if args.verify_sample_rate > 0.0 && args.file.is_some() {
+        return Err("--verify-sample-rate only applies to --batch and serve".to_string());
     }
     Ok(args)
 }
@@ -490,13 +531,23 @@ fn run_batch_mode(args: &Args, dir: &str) -> ExitCode {
         return ExitCode::from(EXIT_USAGE);
     }
 
-    let engine = Engine::new(args.pipeline_config(), args.engine_options());
+    let mut engine = Engine::new(args.pipeline_config(), args.engine_options());
 
     // Checkpoints from an interrupted run: content key → record line.
     let checkpointed = match &args.resume {
         None => std::collections::HashMap::new(),
         Some(path) => match journal::load(std::path::Path::new(path)) {
-            Ok(map) => map,
+            Ok(loaded) => {
+                if loaded.quarantined > 0 {
+                    eprintln!(
+                        "warning: {} corrupt journal line(s) quarantined to {}; \
+                         their nets will be recomputed",
+                        loaded.quarantined,
+                        journal::sidecar_path(std::path::Path::new(path)).display()
+                    );
+                }
+                loaded.records
+            }
             Err(e) => {
                 eprintln!("cannot load journal {path}: {e}");
                 return ExitCode::from(EXIT_USAGE);
@@ -588,6 +639,20 @@ fn run_batch_mode(args: &Args, dir: &str) -> ExitCode {
     });
     if let Some(e) = journal_err {
         eprintln!("warning: journaling stopped: {e}");
+    }
+
+    // Finish the sampled audit before reporting, so the tally covers
+    // every record of this run.
+    if args.verify_sample_rate > 0.0 {
+        let (samples, failures) = engine.drain_verification();
+        if failures > 0 {
+            eprintln!(
+                "warning: sampled audit re-verified {samples} record(s), {failures} mismatched \
+                 (their cache entries were invalidated)"
+            );
+        } else {
+            eprintln!("sampled audit: {samples} record(s) re-verified, all consistent");
+        }
     }
 
     // Reassemble in input order: journaled lines verbatim, fresh records

@@ -467,15 +467,25 @@ fn interrupted_batch_resumes_byte_identical_modulo_wall_times() {
     assert_eq!(full_stdout.lines().count(), 4);
 
     // Simulate a crash after two completed records: truncate the journal
-    // to its first two lines (fsync-per-append guarantees the prefix is
-    // exactly what a killed process would leave, modulo a torn tail).
+    // to its header plus first two record lines (fsync-per-append
+    // guarantees the prefix is exactly what a killed process would
+    // leave, modulo a torn tail).
     let lines: Vec<String> = std::fs::read_to_string(&journal.0)
         .expect("journal readable")
         .lines()
         .map(String::from)
         .collect();
-    assert_eq!(lines.len(), 4, "one journal line per completed net");
-    std::fs::write(&journal.0, format!("{}\n{}\n", lines[0], lines[1])).expect("truncate");
+    assert_eq!(
+        lines.len(),
+        5,
+        "format header plus one journal line per completed net"
+    );
+    assert!(lines[0].starts_with("#buffopt-journal "), "{}", lines[0]);
+    std::fs::write(
+        &journal.0,
+        format!("{}\n{}\n{}\n", lines[0], lines[1], lines[2]),
+    )
+    .expect("truncate");
 
     let resumed = cli()
         .args(["--batch", dir, "--jobs", "2", "--resume", jpath])
@@ -495,8 +505,9 @@ fn interrupted_batch_resumes_byte_identical_modulo_wall_times() {
     );
     // The two checkpointed records are spliced verbatim — byte-identical
     // including their measured wall times.
-    for line in &lines[..2] {
-        let record = line.split_once(' ').expect("key-prefixed").1;
+    for line in &lines[1..3] {
+        // A record line is `<key> <crc> {record}`.
+        let record = line.splitn(3, ' ').nth(2).expect("key- and crc-prefixed");
         assert!(
             resumed_stdout.lines().any(|l| l == record),
             "journaled record not spliced verbatim: {record}"
@@ -587,8 +598,137 @@ fn resume_rejects_a_foreign_journal() {
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot load journal"), "{stderr}");
+    assert!(stderr.contains("not a buffopt journal"), "{stderr}");
+}
+
+#[test]
+fn resume_refuses_an_unsupported_journal_version_distinctly() {
+    let d = tempfile_like::dir(&[("a.net", CLEAN_NET)]);
+    let journal = journal_path("version");
+    std::fs::write(&journal.0, "#buffopt-journal v1\n").expect("write");
+    let out = cli()
+        .args(["--batch", d.0.to_str().expect("utf8 path")])
+        .args(["--resume", journal.0.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
-        String::from_utf8_lossy(&out.stderr).contains("cannot load journal"),
+        stderr.contains("unsupported journal format `#buffopt-journal v1`"),
+        "version refusals name the mismatch: {stderr}"
+    );
+}
+
+#[test]
+fn corrupted_journal_lines_are_quarantined_and_their_nets_recomputed() {
+    let d = tempfile_like::dir(&[("a.net", CLEAN_NET), ("b.net", VIOLATING_NET)]);
+    let dir = d.0.to_str().expect("utf8 path");
+    let journal = journal_path("corrupt");
+    let jpath = journal.0.to_str().expect("utf8 path");
+
+    let full = cli()
+        .args(["--batch", dir, "--journal", jpath])
+        .output()
+        .expect("binary runs");
+    assert_eq!(full.status.code(), Some(0));
+    let full_stdout = String::from_utf8_lossy(&full.stdout).into_owned();
+
+    // Flip one byte in the middle of the first record line — the model
+    // of silent at-rest corruption.
+    let mut bytes = std::fs::read(&journal.0).expect("journal readable");
+    let header_end = bytes.iter().position(|&b| b == b'\n').expect("header") + 1;
+    let line_end = header_end
+        + bytes[header_end..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .expect("record line");
+    let mid = header_end + (line_end - header_end) / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&journal.0, &bytes).expect("rewrite");
+
+    let resumed = cli()
+        .args(["--batch", dir, "--resume", jpath])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("1 corrupt journal line(s) quarantined"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("1 resumed from journal"), "{stderr}");
+    // The corrupt line is preserved for forensics, not silently dropped.
+    let sidecar = std::fs::read_to_string(format!("{jpath}.quarantine")).expect("sidecar exists");
+    assert_eq!(sidecar.lines().count(), 1, "{sidecar}");
+    let _ = std::fs::remove_file(format!("{jpath}.quarantine"));
+
+    // The recompute restores the exact records of the clean run.
+    assert_eq!(
+        normalize_wall(&String::from_utf8_lossy(&resumed.stdout)),
+        normalize_wall(&full_stdout),
+        "corruption costs a recompute, never wrong output"
+    );
+}
+
+#[test]
+fn batch_verify_sample_rate_audits_every_record_cleanly() {
+    let d = tempfile_like::dir(&[("a.net", CLEAN_NET), ("b.net", VIOLATING_NET)]);
+    let out = cli()
+        .args(["--batch", d.0.to_str().expect("utf8 path")])
+        .args(["--verify-sample-rate", "1.0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("sampled audit: 2 record(s) re-verified, all consistent"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn integrity_flags_are_validated() {
+    // --frame-check is a serve option.
+    let out = cli()
+        .args(["--batch", "/tmp", "--frame-check"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--frame-check only applies to serve"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The sample rate is a probability.
+    let out = cli()
+        .args(["--batch", "/tmp", "--verify-sample-rate", "1.5"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("within [0, 1]"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Single-net mode has no cache or server to audit.
+    let f = write_net(CLEAN_NET);
+    let out = cli()
+        .arg(&f.0)
+        .args(["--verify-sample-rate", "0.5"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--batch and serve"),
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
@@ -653,6 +793,12 @@ fn serve_answers_optimize_stats_and_shutdown() {
     assert!(stats.contains("\"requests\":3"), "{stats}");
     assert!(stats.contains("\"hits\":1"), "{stats}");
     assert!(stats.contains("\"workers\":2"), "{stats}");
+    assert!(stats.contains("\"uptime_ms\":"), "{stats}");
+    assert!(stats.contains("\"version\":\""), "{stats}");
+    assert!(
+        stats.contains("\"integrity\":{\"checks\":"),
+        "{stats}"
+    );
 
     let ack = send("{\"cmd\":\"shutdown\"}");
     assert_eq!(ack, "{\"ok\":\"shutdown\"}");

@@ -29,6 +29,10 @@ pub enum Seam {
     /// Around the optimizer call, *inside* the per-net panic boundary —
     /// faults here must be contained to one record.
     Optimize,
+    /// A state-commit boundary: a journal append, a cache insert, or a
+    /// memo store. Faults here corrupt *state at rest*, which the
+    /// integrity layer must detect on the next read instead of serving.
+    Store,
 }
 
 /// What happens when a rule fires. The seam owner interprets the action.
@@ -60,6 +64,19 @@ pub enum FaultAction {
     /// Trip the run's cancel token (supervisor reason) at the seam, as
     /// if an operator or watchdog killed the request mid-flight.
     CancelRun,
+    /// Flip one byte of the journal line being appended (a torn or
+    /// bit-rotted write): the CRC check at resume must quarantine the
+    /// line and recompute the net.
+    CorruptJournalLine,
+    /// Flip one bit of the solution-cache entry just inserted: the
+    /// verify-on-hit check must evict it and report a miss.
+    BitFlipCacheEntry,
+    /// Flip one bit of a stored memo frontier row: the verify-on-hit
+    /// check must evict the entry and fall back to a cold merge.
+    BitFlipMemoEntry,
+    /// Truncate the framed request being decoded: the service must
+    /// answer with a typed `bad_frame` error, never a parse guess.
+    TruncateFrame,
 }
 
 /// One injection rule: fire `action` at `seam` on its `nth` arming
@@ -90,6 +107,7 @@ pub struct FaultPlan {
     decode_arms: AtomicU64,
     worker_arms: AtomicU64,
     optimize_arms: AtomicU64,
+    store_arms: AtomicU64,
 }
 
 impl FaultPlan {
@@ -115,6 +133,7 @@ impl FaultPlan {
             Seam::Decode => &self.decode_arms,
             Seam::Worker => &self.worker_arms,
             Seam::Optimize => &self.optimize_arms,
+            Seam::Store => &self.store_arms,
         }
     }
 
@@ -201,8 +220,20 @@ mod tests {
     #[test]
     fn empty_plan_never_fires() {
         let plan = FaultPlan::new();
-        for seam in [Seam::Decode, Seam::Worker, Seam::Optimize] {
+        for seam in [Seam::Decode, Seam::Worker, Seam::Optimize, Seam::Store] {
             assert_eq!(plan.fire(seam), None);
         }
+    }
+
+    #[test]
+    fn store_seam_counts_independently() {
+        let plan = FaultPlan::new().on_nth(Seam::Store, 2, FaultAction::CorruptJournalLine);
+        assert_eq!(plan.fire(Seam::Optimize), None);
+        assert_eq!(plan.fire(Seam::Store), None);
+        assert_eq!(
+            plan.fire(Seam::Store),
+            Some(FaultAction::CorruptJournalLine)
+        );
+        assert_eq!(plan.armed(Seam::Store), 2);
     }
 }

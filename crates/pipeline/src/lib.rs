@@ -820,6 +820,107 @@ pub fn optimize_input_with_cancel(
     }
 }
 
+/// Verdict of [`reverify_outcome`]'s independent post-hoc audit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reverify {
+    /// The audit re-derived the record's slack and noise headroom.
+    Consistent,
+    /// The record carries nothing to audit (parse errors, failures,
+    /// noise-only and unbuffered rungs carry no DP solution).
+    NotApplicable,
+    /// The audit disagrees with the record — the record was corrupted
+    /// somewhere between computation and serving, or the computation
+    /// itself was wrong.
+    Mismatch(String),
+}
+
+/// Relative comparison for audited figures. The audit runs the same
+/// deterministic Elmore/noise math as the optimizer, so agreement is
+/// expected to the last few ulps; the tolerance only absorbs benign
+/// reassociation, not corruption (a single flipped mantissa bit high in
+/// a float is ~2^-52 · 2^k relative — far above 1e-6 once the bit is
+/// above the noise floor this checks at).
+fn reverify_close(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-6 * a.abs().max(b.abs()).max(1e-30)
+}
+
+/// Independently re-derives a served record's audited figures and
+/// compares them against what the record claims.
+///
+/// This is the sampled re-verification hook (`--verify-sample-rate`):
+/// given the *original* input and the record as served — whether freshly
+/// computed or replayed from a cache — it re-segments the tree exactly as
+/// [`optimize_net`] would, re-runs the delay and noise audits against the
+/// record's solution, and reports whether the record's `slack` and
+/// `worst_headroom` survive. A checksum proves bytes didn't rot; this
+/// proves the *semantics* still hold, which also catches corruption that
+/// predates checksumming (see `SolutionCache`'s verify-on-hit caveat).
+///
+/// Only DP-rung records carry a [`Solution`] to audit; everything else is
+/// [`Reverify::NotApplicable`].
+pub fn reverify_outcome(
+    ws: &mut DpWorkspace,
+    input: &NetInput,
+    cfg: &PipelineConfig,
+    out: &NetOutcome,
+) -> Reverify {
+    let (tree, scenario) = match input {
+        NetInput::Parsed { tree, scenario, .. } => (tree, scenario),
+        NetInput::Failed { .. } => return Reverify::NotApplicable,
+    };
+    let sol = match (&out.solution, out.rung) {
+        (Some(sol), Some(Rung::Problem3 | Rung::Problem2)) => sol,
+        _ => return Reverify::NotApplicable,
+    };
+    let audited = guarded(|| {
+        // Rebuild the exact tree the serving DP rung ran on (segmentation
+        // is deterministic, so this reproduces it bit-for-bit).
+        let (work_tree, work_scenario) = match cfg.max_segment {
+            None => (tree.clone(), scenario.clone()),
+            Some(max_seg) => {
+                let seg = segment::segment_wires(tree, max_seg)?;
+                let s = scenario.for_segmented(&seg);
+                (seg.tree, s)
+            }
+        };
+        let noise = audit::noise_summary_with(
+            ws.analysis(),
+            &work_tree,
+            &work_scenario,
+            &cfg.library,
+            &sol.assignment,
+        )?;
+        let delay =
+            audit::delay_summary_with(ws.analysis(), &work_tree, &cfg.library, &sol.assignment)?;
+        Ok((noise.worst_headroom, delay.slack))
+    });
+    let (headroom, slack) = match audited {
+        Ok(v) => v,
+        Err(e) => return Reverify::Mismatch(format!("audit failed: {e}")),
+    };
+    if let Some(recorded) = out.slack {
+        if !reverify_close(recorded, slack) {
+            return Reverify::Mismatch(format!(
+                "slack mismatch: record says {recorded:e} s, audit says {slack:e} s"
+            ));
+        }
+    }
+    if let Some(recorded) = out.worst_headroom {
+        if !reverify_close(recorded, headroom) {
+            return Reverify::Mismatch(format!(
+                "worst_headroom mismatch: record says {recorded:e}, audit says {headroom:e}"
+            ));
+        }
+    }
+    if out.buffers != Some(sol.buffers) {
+        return Reverify::Mismatch(format!(
+            "buffer count mismatch: record says {:?}, solution inserts {}",
+            out.buffers, sol.buffers
+        ));
+    }
+    Reverify::Consistent
+}
+
 // The concurrency layer relies on these being shareable across worker
 // threads; fail compilation loudly if a future change breaks that.
 #[allow(dead_code)]
@@ -1245,6 +1346,54 @@ mod tests {
         assert!(stats.hits > 0, "second run hits: {stats:?}");
         assert!(stats.seeded > 0, "hits actually seed merges: {stats:?}");
         assert!(stats.bytes > 0 && stats.bytes <= stats.budget_bytes);
+    }
+
+    #[test]
+    fn reverify_confirms_an_honest_record_and_catches_a_doctored_one() {
+        let t = two_pin(12_000.0, 3e-9, 0.8);
+        let s = estimation(&t);
+        let c = cfg();
+        let input = NetInput::Parsed {
+            name: "audit-me".into(),
+            tree: t,
+            scenario: s,
+        };
+        let mut ws = DpWorkspace::new();
+        let o = optimize_input_with(&mut ws, &input, &c);
+        assert_eq!(o.rung, Some(Rung::Problem3));
+        assert_eq!(reverify_outcome(&mut ws, &input, &c, &o), Reverify::Consistent);
+
+        // A flipped high mantissa bit in the recorded slack — the model
+        // of a corrupted cache entry — must not survive the audit.
+        let mut doctored = o.clone();
+        doctored.slack = doctored.slack.map(|v| f64::from_bits(v.to_bits() ^ (1 << 51)));
+        match reverify_outcome(&mut ws, &input, &c, &doctored) {
+            Reverify::Mismatch(why) => assert!(why.contains("slack mismatch"), "{why}"),
+            v => panic!("doctored slack passed the audit: {v:?}"),
+        }
+
+        // Same for a doctored buffer count.
+        let mut doctored = o.clone();
+        doctored.buffers = doctored.buffers.map(|b| b + 1);
+        match reverify_outcome(&mut ws, &input, &c, &doctored) {
+            Reverify::Mismatch(why) => assert!(why.contains("buffer count"), "{why}"),
+            v => panic!("doctored buffer count passed the audit: {v:?}"),
+        }
+    }
+
+    #[test]
+    fn reverify_skips_records_without_a_solution() {
+        let mut ws = DpWorkspace::new();
+        let c = cfg();
+        let failed = NetInput::Failed {
+            name: "no-parse".into(),
+            error: "nope".into(),
+        };
+        let o = optimize_input_with(&mut ws, &failed, &c);
+        assert_eq!(
+            reverify_outcome(&mut ws, &failed, &c, &o),
+            Reverify::NotApplicable
+        );
     }
 
     #[test]

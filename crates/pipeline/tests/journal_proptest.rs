@@ -1,0 +1,99 @@
+//! Journal corruption properties: whatever single mutation hits the
+//! file at rest — a truncation at any byte, a flipped bit, an injected
+//! byte — `journal::load` must either refuse the whole file (header
+//! damage) or recover only records that are verbatim what was appended.
+//! Corruption may cost recomputes; it must never yield an altered
+//! record.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use buffopt_pipeline::journal::{self, BatchJournal};
+use proptest::prelude::*;
+
+/// A fresh scratch path per test case (proptest reruns the closure many
+/// times in one process).
+fn scratch_path() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "buffopt-journal-prop-{}-{}.log",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Removes the journal and its quarantine sidecar.
+fn cleanup(path: &PathBuf) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(journal::sidecar_path(path));
+}
+
+/// One single-line JSON-ish record body over a small alphabet (so
+/// mutations regularly land inside structure, not just padding).
+fn arb_record() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..16u8, 1..40).prop_map(|picks| {
+        const ALPHABET: &[u8; 16] = b"{}\":,abc0189 .-e";
+        let body: String = picks.iter().map(|&p| ALPHABET[p as usize] as char).collect();
+        format!("{{\"net\":\"{}\"}}", body.replace(['"', '\\'], "x"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn any_single_mutation_yields_only_verbatim_records(
+        records in prop::collection::vec(arb_record(), 1..8),
+        kind in 0u8..3,
+        offset in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let path = scratch_path();
+        let mut j = BatchJournal::open(&path).expect("open scratch journal");
+        for (i, rec) in records.iter().enumerate() {
+            j.append(i as u64, rec).expect("append");
+        }
+        drop(j);
+        let pristine = std::fs::read(&path).expect("journal readable");
+
+        // One mutation, anywhere: a torn tail (truncation), a flipped
+        // bit, or an injected byte.
+        let mut bytes = pristine.clone();
+        match kind {
+            0 => bytes.truncate(offset % (bytes.len() + 1)),
+            1 => {
+                let at = offset % bytes.len();
+                bytes[at] ^= 1 << bit;
+            }
+            _ => {
+                let at = offset % (bytes.len() + 1);
+                bytes.insert(at, b'0' + (bit % 10));
+            }
+        }
+        let unchanged = bytes == pristine;
+        std::fs::write(&path, &bytes).expect("write mutated journal");
+
+        match journal::load(&path) {
+            // Header damage: the whole file is refused, never half-used.
+            Err(e) => {
+                prop_assert!(!unchanged, "a pristine journal was refused: {e}");
+            }
+            Ok(loaded) => {
+                for (key, line) in &loaded.records {
+                    let idx = *key as usize;
+                    prop_assert!(idx < records.len(), "invented key {key}");
+                    prop_assert_eq!(
+                        line,
+                        &records[idx],
+                        "a recovered record must be verbatim what was appended"
+                    );
+                }
+                if unchanged {
+                    prop_assert_eq!(loaded.records.len(), records.len());
+                    prop_assert_eq!(loaded.quarantined, 0);
+                }
+            }
+        }
+        cleanup(&path);
+    }
+}

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use buffopt_integrity::Crc64;
 use buffopt_pipeline::NetOutcome;
 
 /// FNV-1a 64-bit over a sequence of byte slices, with a length separator
@@ -41,12 +42,25 @@ pub fn digest(parts: &[&[u8]]) -> u64 {
 }
 
 /// One cached record: the outcome plus the worker that computed it (the
-/// service reports the original worker on a hit).
+/// service reports the original worker on a hit) and a checksum of the
+/// serialized record at insert time, re-verified on every hit.
 #[derive(Clone)]
 struct Entry {
     tick: u64,
     outcome: NetOutcome,
     worker: usize,
+    crc: u64,
+}
+
+/// CRC-64 over everything a hit serves: the serialized record plus the
+/// reported worker. (The in-memory `solution` is not covered here — it
+/// never reaches a client directly; the sampled re-verification audit
+/// is the layer that checks solutions semantically.)
+fn entry_crc(outcome: &NetOutcome, worker: usize) -> u64 {
+    let mut h = Crc64::new();
+    h.update(outcome.to_json().as_bytes());
+    h.update_u64(worker as u64);
+    h.finish()
 }
 
 struct Shard {
@@ -67,6 +81,11 @@ pub struct CacheStats {
     pub entries: usize,
     /// Total capacity across shards (0 = caching disabled).
     pub capacity: usize,
+    /// Verify-on-hit checksum validations performed.
+    pub integrity_checks: u64,
+    /// Entries evicted because their checksum no longer matched (each
+    /// is also a miss — a corrupt record is never served).
+    pub corrupt_evictions: u64,
 }
 
 /// A sharded LRU cache from content digest to per-net outcome record.
@@ -77,6 +96,8 @@ pub struct SolutionCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    integrity_checks: AtomicU64,
+    corrupt_evictions: AtomicU64,
 }
 
 impl SolutionCache {
@@ -105,6 +126,8 @@ impl SolutionCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            integrity_checks: AtomicU64::new(0),
+            corrupt_evictions: AtomicU64::new(0),
         }
     }
 
@@ -123,20 +146,41 @@ impl SolutionCache {
         let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
         shard.tick += 1;
         let tick = shard.tick;
-        match shard.map.get_mut(&key) {
+        let corrupt = match shard.map.get_mut(&key) {
             Some(entry) => {
-                entry.tick = tick;
-                let hit = (entry.outcome.clone(), entry.worker);
-                drop(shard);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(hit)
+                // Verify-on-hit: a record that fails its insert-time
+                // checksum is evicted and reported as a miss, never
+                // served.
+                self.integrity_checks.fetch_add(1, Ordering::Relaxed);
+                if entry_crc(&entry.outcome, entry.worker) == entry.crc {
+                    entry.tick = tick;
+                    let hit = (entry.outcome.clone(), entry.worker);
+                    drop(shard);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(hit);
+                }
+                true
             }
-            None => {
-                drop(shard);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+            None => false,
+        };
+        if corrupt {
+            shard.map.remove(&key);
+            self.corrupt_evictions.fetch_add(1, Ordering::Relaxed);
         }
+        drop(shard);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Drops `key` outright (used when a sampled re-verification finds
+    /// the served solution inconsistent with its own audit). Returns
+    /// whether an entry was present.
+    pub fn remove(&self, key: u64) -> bool {
+        if self.per_shard == 0 {
+            return false;
+        }
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        shard.map.remove(&key).is_some()
     }
 
     /// Stores a record, evicting the least-recently-used entry of the
@@ -157,14 +201,40 @@ impl SolutionCache {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
+        let crc = entry_crc(&outcome, worker);
         shard.map.insert(
             key,
             Entry {
                 tick,
                 outcome,
                 worker,
+                crc,
             },
         );
+    }
+
+    /// Test hook: silently damages the stored record for `key` (flips a
+    /// high mantissa bit of its slack). With `rehash` false the stored
+    /// checksum is kept, so the next `get` must detect the mismatch;
+    /// with `rehash` true the checksum is recomputed over the damaged
+    /// record, modelling corruption that happened *before* insert —
+    /// invisible to verify-on-hit and catchable only by the sampled
+    /// re-verification audit. Returns false when the key is absent.
+    #[doc(hidden)]
+    pub fn corrupt(&self, key: u64, rehash: bool) -> bool {
+        if self.per_shard == 0 {
+            return false;
+        }
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        let Some(entry) = shard.map.get_mut(&key) else {
+            return false;
+        };
+        let slack = entry.outcome.slack.unwrap_or(0.0);
+        entry.outcome.slack = Some(f64::from_bits(slack.to_bits() ^ (1 << 51)));
+        if rehash {
+            entry.crc = entry_crc(&entry.outcome, entry.worker);
+        }
+        true
     }
 
     /// Current counter values and occupancy.
@@ -179,6 +249,8 @@ impl SolutionCache {
                 .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).map.len())
                 .sum(),
             capacity: self.capacity,
+            integrity_checks: self.integrity_checks.load(Ordering::Relaxed),
+            corrupt_evictions: self.corrupt_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -241,6 +313,48 @@ mod tests {
         assert!(c.get(1).is_none());
         let s = c.stats();
         assert_eq!((s.capacity, s.entries, s.evictions), (0, 0, 0));
+    }
+
+    #[test]
+    fn corrupt_entry_is_evicted_and_missed_never_served() {
+        let c = SolutionCache::new(8, 2);
+        c.insert(1, record("a"), 3);
+        assert!(c.corrupt(1, false), "entry present to damage");
+        assert!(c.get(1).is_none(), "a corrupt record is never served");
+        let s = c.stats();
+        assert_eq!(s.corrupt_evictions, 1);
+        assert_eq!(s.entries, 0, "the damaged entry is gone");
+        assert_eq!((s.hits, s.misses), (0, 1), "corruption is a miss");
+        // The slot heals on re-insert.
+        c.insert(1, record("a"), 3);
+        assert!(c.get(1).is_some());
+        assert_eq!(c.stats().corrupt_evictions, 1);
+    }
+
+    #[test]
+    fn rehashed_corruption_slips_past_verify_on_hit() {
+        // Corruption that predates the checksum (rehash=true) is the
+        // case verify-on-hit cannot see — that's what the sampled
+        // re-verification audit is for.
+        let c = SolutionCache::new(8, 2);
+        c.insert(1, record("a"), 3);
+        assert!(c.corrupt(1, true));
+        let (got, _) = c.get(1).expect("served: checksum matches the lie");
+        assert_ne!(got.to_json(), record("a").to_json());
+        assert_eq!(c.stats().corrupt_evictions, 0);
+        assert!(c.remove(1), "explicit invalidation still works");
+        assert!(c.get(1).is_none());
+    }
+
+    #[test]
+    fn hits_count_integrity_checks() {
+        let c = SolutionCache::new(8, 2);
+        c.insert(1, record("a"), 0);
+        c.get(1);
+        c.get(1);
+        c.get(2);
+        let s = c.stats();
+        assert_eq!(s.integrity_checks, 2, "only found entries are checked");
     }
 
     #[test]

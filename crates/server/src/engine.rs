@@ -65,7 +65,7 @@
 //! [`FaultAction::KillWorker`]: buffopt_pipeline::fault::FaultAction::KillWorker
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -74,8 +74,8 @@ use std::time::{Duration, Instant};
 use buffopt::{CancelReason, CancelToken};
 use buffopt_pipeline::fault::{FaultAction, FaultPlan, Seam};
 use buffopt_pipeline::{
-    hush_panics, optimize_input, optimize_input_with_cancel, BatchReport, NetInput, NetOutcome,
-    Outcome, PanicHush, PipelineConfig,
+    hush_panics, optimize_input, optimize_input_with_cancel, reverify_outcome, BatchReport,
+    NetInput, NetOutcome, Outcome, PanicHush, PipelineConfig, Reverify,
 };
 
 use crate::cache::{digest, SolutionCache};
@@ -170,6 +170,15 @@ pub struct EngineOptions {
     /// Deterministic fault-injection plan for chaos tests; `None` in
     /// production.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Fraction of served responses (cache hits included) handed to an
+    /// off-critical-path audit thread that independently re-derives the
+    /// record's slack and noise headroom
+    /// ([`buffopt_pipeline::reverify_outcome`]). `0.0` (the default)
+    /// disables the auditor entirely; `1.0` audits every response.
+    /// Sampling is deterministic (every ⌈1/rate⌉-th response), never
+    /// random. A failed audit counts `integrity.verify_failures` and
+    /// evicts the record's cache entry so the lie is never served again.
+    pub verify_sample_rate: f64,
 }
 
 impl Default for EngineOptions {
@@ -182,6 +191,7 @@ impl Default for EngineOptions {
             request_deadline: None,
             max_retries: 1,
             fault_plan: None,
+            verify_sample_rate: 0.0,
         }
     }
 }
@@ -325,7 +335,19 @@ enum Triage {
         outcome: NetOutcome,
         cache_key: Option<u64>,
         worker: usize,
+        /// The original job, for the sampled re-verification audit
+        /// (`None` when the record is a synthesized failure — there is
+        /// nothing to audit).
+        job: Option<Job>,
     },
+}
+
+/// One response handed to the audit thread: everything needed to
+/// independently re-derive the record's figures.
+struct VerifyTask {
+    cache_key: Option<u64>,
+    input: NetInput,
+    outcome: NetOutcome,
 }
 
 /// The worker-pool execution engine. Create once, submit batches
@@ -338,13 +360,19 @@ pub struct Engine {
     shared: Arc<WorkerShared>,
     cfg: Arc<PipelineConfig>,
     cfg_digest: u64,
-    cache: SolutionCache,
+    cache: Arc<SolutionCache>,
     metrics: Arc<Metrics>,
     jobs: usize,
     max_retries: u32,
     request_deadline: Option<Duration>,
     shutting_down: AtomicBool,
     next_worker_id: AtomicUsize,
+    started: Instant,
+    /// Sampled re-verification (see [`EngineOptions::verify_sample_rate`]).
+    verify_rate: f64,
+    verify_seen: AtomicU64,
+    verify_tx: Option<mpsc::Sender<VerifyTask>>,
+    verify_handle: Option<JoinHandle<()>>,
     _hush: PanicHush,
 }
 
@@ -378,19 +406,39 @@ impl Engine {
             surplus: AtomicUsize::new(0),
             target: jobs,
         });
+        let cache = Arc::new(SolutionCache::new(opts.cache_capacity, opts.cache_shards));
+        let verify_rate = opts.verify_sample_rate.clamp(0.0, 1.0);
+        let (verify_tx, verify_handle) = if verify_rate > 0.0 {
+            let (vtx, vrx) = mpsc::channel::<VerifyTask>();
+            let vcfg = Arc::clone(&cfg);
+            let vcache = Arc::clone(&cache);
+            let vmetrics = Arc::clone(&metrics);
+            let handle = std::thread::Builder::new()
+                .name("buffopt-verifier".into())
+                .spawn(move || verifier_loop(vrx, &vcfg, &vcache, &vmetrics))
+                .expect("spawn verifier thread");
+            (Some(vtx), Some(handle))
+        } else {
+            (None, None)
+        };
         let engine = Engine {
             tx: Mutex::new(Some(tx)),
             workers: Mutex::new(Vec::with_capacity(jobs)),
             shared,
             cfg,
             cfg_digest,
-            cache: SolutionCache::new(opts.cache_capacity, opts.cache_shards),
+            cache,
             metrics,
             jobs,
             max_retries: opts.max_retries,
             request_deadline: opts.request_deadline,
             shutting_down: AtomicBool::new(false),
             next_worker_id: AtomicUsize::new(0),
+            started: Instant::now(),
+            verify_rate,
+            verify_seen: AtomicU64::new(0),
+            verify_tx,
+            verify_handle,
             _hush: hush_panics(),
         };
         {
@@ -461,7 +509,78 @@ impl Engine {
             .as_ref()
             .map(|t| t.stats())
             .unwrap_or_default();
-        self.metrics.snapshot(self.cache.stats(), memo, self.jobs)
+        self.metrics
+            .snapshot(self.cache.stats(), memo, self.jobs, self.started.elapsed())
+    }
+
+    /// Closes the sampled-verification channel, waits for the auditor to
+    /// drain its backlog, and returns the final `(samples, failures)`
+    /// tally. For batch runs that want a complete audit before printing
+    /// their summary; sampling stops afterwards. `(0, 0)` when sampling
+    /// was off.
+    pub fn drain_verification(&mut self) -> (u64, u64) {
+        self.verify_tx.take();
+        if let Some(v) = self.verify_handle.take() {
+            let _ = v.join();
+        }
+        self.metrics.verify_tally()
+    }
+
+    /// Arms the [`Seam::Store`] fault seam right after a cache insert and
+    /// applies any state-corruption fault to the state just committed —
+    /// modelling bit rot between the write and the next read, which the
+    /// verify-on-hit checks must turn into a detected eviction instead of
+    /// a served lie.
+    fn fire_store_fault(&self, key: u64) {
+        let Some(plan) = self.fault_plan() else { return };
+        match plan.fire(Seam::Store) {
+            Some(FaultAction::BitFlipCacheEntry) => {
+                self.cache.corrupt(key, false);
+            }
+            Some(FaultAction::BitFlipMemoEntry) => {
+                if let Some(memo) = self.cfg.memo.as_ref() {
+                    memo.corrupt_any();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Test-only: corrupts the cached record for `key` in place (see
+    /// `SolutionCache::corrupt`). `rehash` recomputes the stored checksum
+    /// over the corrupted bytes, modelling corruption that *predates*
+    /// checksumming — invisible to verify-on-hit, catchable only by the
+    /// sampled audit.
+    #[doc(hidden)]
+    pub fn corrupt_cache_entry(&self, key: u64, rehash: bool) -> bool {
+        self.cache.corrupt(key, rehash)
+    }
+
+    /// Deterministic sampler for the audit thread: response `n` is
+    /// sampled iff `⌊n·rate⌋` advances, which spaces samples evenly at
+    /// any rate and samples everything at 1.0.
+    fn should_sample(&self) -> bool {
+        if self.verify_rate <= 0.0 {
+            return false;
+        }
+        let n = self.verify_seen.fetch_add(1, Ordering::Relaxed) + 1;
+        let scaled = |k: u64| (k as f64 * self.verify_rate).floor();
+        scaled(n) > scaled(n - 1)
+    }
+
+    /// Hands this response to the audit thread if it wins the sample.
+    /// Called on every serving path — fresh computations AND cache hits —
+    /// so replayed corruption is as auditable as fresh corruption.
+    fn maybe_verify(&self, cache_key: Option<u64>, input: &NetInput, outcome: &NetOutcome) {
+        let Some(tx) = &self.verify_tx else { return };
+        if !self.should_sample() {
+            return;
+        }
+        let _ = tx.send(VerifyTask {
+            cache_key,
+            input: input.clone(),
+            outcome: outcome.clone(),
+        });
     }
 
     /// Stops admitting new requests: every subsequent
@@ -558,6 +677,7 @@ impl Engine {
         self.metrics.record_request();
         if let Some(key) = job.cache_key {
             if let Some((outcome, worker)) = self.cache.get(key) {
+                self.maybe_verify(Some(key), &job.input, &outcome);
                 return Ok(Served {
                     outcome,
                     cache: CacheStatus::Hit,
@@ -642,11 +762,16 @@ impl Engine {
                     outcome,
                     cache_key,
                     worker,
+                    job,
                     ..
                 } => {
                     self.metrics.record_outcome(&outcome);
                     if let Some(key) = cache_key {
                         self.cache.insert(key, outcome.clone(), worker);
+                        self.fire_store_fault(key);
+                    }
+                    if let Some(job) = &job {
+                        self.maybe_verify(cache_key, &job.input, &outcome);
                     }
                     return Ok(Served {
                         outcome,
@@ -688,6 +813,7 @@ impl Engine {
                 outcome: done.outcome.expect("present when no failure"),
                 cache_key: done.job.cache_key,
                 worker: done.worker,
+                job: Some(done.job),
             };
         };
         let name = done.job.input.name().to_string();
@@ -711,6 +837,7 @@ impl Engine {
                 outcome: failed_record(name, "engine shut down while retrying the request"),
                 cache_key: None,
                 worker: done.worker,
+                job: None,
             };
         }
         let attempts = done.attempt + 1;
@@ -721,6 +848,7 @@ impl Engine {
             // this net deserves a fresh computation.
             cache_key: None,
             worker: done.worker,
+            job: None,
         }
     }
 
@@ -751,6 +879,7 @@ impl Engine {
             self.metrics.record_request();
             if let Some(key) = job.cache_key {
                 if let Some((outcome, _)) = self.cache.get(key) {
+                    self.maybe_verify(Some(key), &job.input, &outcome);
                     on_done(idx, &outcome);
                     results[idx] = Some(outcome);
                     continue;
@@ -793,10 +922,15 @@ impl Engine {
                             outcome,
                             cache_key,
                             worker,
+                            job,
                         } => {
                             self.metrics.record_outcome(&outcome);
                             if let Some(key) = cache_key {
                                 self.cache.insert(key, outcome.clone(), worker);
+                                self.fire_store_fault(key);
+                            }
+                            if let Some(job) = &job {
+                                self.maybe_verify(cache_key, &job.input, &outcome);
                             }
                             on_done(idx, &outcome);
                             results[idx] = Some(outcome);
@@ -835,6 +969,42 @@ impl Drop for Engine {
         let workers = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
         for w in workers {
             let _ = w.join();
+        }
+        // Then drain the audit backlog: closing the sample channel lets
+        // the verifier finish its queue and exit, so every sample taken
+        // before shutdown is actually audited.
+        self.verify_tx.take();
+        if let Some(v) = self.verify_handle.take() {
+            let _ = v.join();
+        }
+    }
+}
+
+/// The audit thread (see [`EngineOptions::verify_sample_rate`]): drains
+/// sampled responses and independently re-derives each record's audited
+/// figures, off the serving path. Every received sample counts
+/// `integrity.verify_samples`; a mismatch counts
+/// `integrity.verify_failures` and evicts the record's cache entry so a
+/// corrupted record is never served again.
+fn verifier_loop(
+    rx: mpsc::Receiver<VerifyTask>,
+    cfg: &PipelineConfig,
+    cache: &SolutionCache,
+    metrics: &Metrics,
+) {
+    let mut ws = buffopt::DpWorkspace::new();
+    while let Ok(task) = rx.recv() {
+        metrics.record_verify_sample();
+        match reverify_outcome(&mut ws, &task.input, cfg, &task.outcome) {
+            Reverify::Consistent | Reverify::NotApplicable => {}
+            Reverify::Mismatch(_why) => {
+                // Evict first, then count: anyone who observes the
+                // failure counter is guaranteed the lie is already gone.
+                if let Some(key) = task.cache_key {
+                    cache.remove(key);
+                }
+                metrics.record_verify_failure();
+            }
         }
     }
 }
@@ -925,7 +1095,14 @@ fn worker_loop(wid: usize, shared: &WorkerShared) {
                     shared.metrics.record_cancelled(CancelReason::Supervisor);
                 }
             }
-            None => {}
+            // State-corruption faults belong to the Store and Decode
+            // seams; armed here they are plan misconfigurations and do
+            // nothing.
+            Some(FaultAction::CorruptJournalLine)
+            | Some(FaultAction::BitFlipCacheEntry)
+            | Some(FaultAction::BitFlipMemoEntry)
+            | Some(FaultAction::TruncateFrame)
+            | None => {}
         }
         let mut outcome = {
             let (_, _, job, _) = guard.payload.as_ref().expect("task in hand");
@@ -979,10 +1156,15 @@ fn worker_loop(wid: usize, shared: &WorkerShared) {
                     r
                 }
                 // Resource faults were folded into `run_cfg`/`cancel`
-                // above, so they take the normal path.
-                Some(FaultAction::MemPressure { .. }) | Some(FaultAction::CancelRun) | None => {
-                    optimize_input_with_cancel(&mut ws, input, run_cfg, &cancel)
-                }
+                // above; state-corruption faults belong to other seams.
+                // Both take the normal path.
+                Some(FaultAction::MemPressure { .. })
+                | Some(FaultAction::CancelRun)
+                | Some(FaultAction::CorruptJournalLine)
+                | Some(FaultAction::BitFlipCacheEntry)
+                | Some(FaultAction::BitFlipMemoEntry)
+                | Some(FaultAction::TruncateFrame)
+                | None => optimize_input_with_cancel(&mut ws, input, run_cfg, &cancel),
             }))
             .unwrap_or_else(|_| {
                 failed_record(

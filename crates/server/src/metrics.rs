@@ -105,6 +105,9 @@ pub struct Metrics {
     cancellations: [AtomicU64; 4],
     arena_peak_bytes: AtomicU64,
     degraded_pressure: AtomicU64,
+    bad_frames: AtomicU64,
+    verify_samples: AtomicU64,
+    verify_failures: AtomicU64,
 }
 
 impl Metrics {
@@ -150,6 +153,32 @@ impl Metrics {
         self.conn_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one framed request rejected by its length/CRC check (the
+    /// client got a typed `bad_frame` error, not a parse guess).
+    pub fn record_bad_frame(&self) {
+        self.bad_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one served response picked up by the sampled
+    /// re-verification audit.
+    pub fn record_verify_sample(&self) {
+        self.verify_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one sampled response whose independent audit disagreed
+    /// with the served record (the cache entry was invalidated).
+    pub fn record_verify_failure(&self) {
+        self.verify_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current sampled-audit tally as `(samples, failures)`.
+    pub fn verify_tally(&self) -> (u64, u64) {
+        (
+            self.verify_samples.load(Ordering::Relaxed),
+            self.verify_failures.load(Ordering::Relaxed),
+        )
+    }
+
     /// Counts one in-flight run cancelled, attributed to `reason`. Call
     /// only when [`buffopt::CancelToken::cancel`] reported the winning
     /// delivery, so each cancellation is counted exactly once however
@@ -189,7 +218,13 @@ impl Metrics {
     /// A point-in-time copy of every counter, combined with the cache's
     /// counters, the subtree memo table's counters (zeroed default when
     /// the engine runs without one), and the pool size.
-    pub fn snapshot(&self, cache: CacheStats, memo: MemoStats, workers: usize) -> MetricsSnapshot {
+    pub fn snapshot(
+        &self,
+        cache: CacheStats,
+        memo: MemoStats,
+        workers: usize,
+        uptime: Duration,
+    ) -> MetricsSnapshot {
         MetricsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             outcomes: std::array::from_fn(|i| self.outcomes[i].load(Ordering::Relaxed)),
@@ -209,9 +244,14 @@ impl Metrics {
             cancellations: std::array::from_fn(|i| self.cancellations[i].load(Ordering::Relaxed)),
             arena_peak_bytes: self.arena_peak_bytes.load(Ordering::Relaxed),
             degraded_pressure: self.degraded_pressure.load(Ordering::Relaxed),
+            bad_frames: self.bad_frames.load(Ordering::Relaxed),
+            verify_samples: self.verify_samples.load(Ordering::Relaxed),
+            verify_failures: self.verify_failures.load(Ordering::Relaxed),
             cache,
             memo,
             workers,
+            uptime_ms: uptime.as_millis() as u64,
+            version: env!("CARGO_PKG_VERSION"),
         }
     }
 }
@@ -264,6 +304,13 @@ pub struct MetricsSnapshot {
     /// Runs that finished by degrading in place under a memory cap
     /// (feasible but possibly suboptimal, tagged in their records).
     pub degraded_pressure: u64,
+    /// Framed requests rejected by their length/CRC check.
+    pub bad_frames: u64,
+    /// Served responses picked up by the sampled re-verification audit.
+    pub verify_samples: u64,
+    /// Sampled responses whose independent audit disagreed with the
+    /// served record.
+    pub verify_failures: u64,
     /// Cache counters at snapshot time.
     pub cache: CacheStats,
     /// Subtree memo table counters at snapshot time (all-zero when the
@@ -271,6 +318,11 @@ pub struct MetricsSnapshot {
     pub memo: MemoStats,
     /// Worker threads in the pool.
     pub workers: usize,
+    /// Milliseconds since the engine was created, so operators can
+    /// correlate counter deltas across restarts.
+    pub uptime_ms: u64,
+    /// The serving crate's version string.
+    pub version: &'static str,
 }
 
 impl MetricsSnapshot {
@@ -278,8 +330,8 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512);
         s.push_str(&format!(
-            "{{\"requests\":{},\"workers\":{}",
-            self.requests, self.workers
+            "{{\"requests\":{},\"workers\":{},\"uptime_ms\":{},\"version\":\"{}\"",
+            self.requests, self.workers, self.uptime_ms, self.version
         ));
         s.push_str(&format!(
             ",\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"entries\":{},\"capacity\":{}}}",
@@ -318,8 +370,18 @@ impl MetricsSnapshot {
             self.cancellations.iter().sum::<u64>()
         ));
         s.push_str(&format!(
-            ",\"connections\":{{\"errors\":{}}}",
-            self.conn_errors
+            ",\"connections\":{{\"errors\":{},\"bad_frames\":{}}}",
+            self.conn_errors, self.bad_frames
+        ));
+        // Aggregated integrity counters: checks and corrupt evictions
+        // sum the solution cache's and memo table's verify-on-hit work;
+        // samples/failures come from the post-hoc audit.
+        s.push_str(&format!(
+            ",\"integrity\":{{\"checks\":{},\"corrupt_evictions\":{},\"verify_samples\":{},\"verify_failures\":{}}}",
+            self.cache.integrity_checks + self.memo.integrity_checks,
+            self.cache.corrupt_evictions + self.memo.corrupt_evictions,
+            self.verify_samples,
+            self.verify_failures
         ));
         s.push_str(&format!(
             ",\"candidates\":{{\"peak\":{},\"merge_peak\":{}}}",
@@ -409,7 +471,7 @@ mod tests {
         rec.rung = Some(Rung::NoiseOnly);
         rec.wall = Duration::from_millis(7);
         m.record_outcome(&rec);
-        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 4);
+        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 4, Duration::ZERO);
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.outcomes[outcome_index(Outcome::ParseError)], 1);
         assert_eq!(snap.outcomes[outcome_index(Outcome::Degraded)], 1);
@@ -428,7 +490,7 @@ mod tests {
         rec.candidate_peak = 25;
         rec.merge_peak = 1200;
         m.record_outcome(&rec);
-        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 1);
+        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 1, Duration::ZERO);
         assert_eq!(snap.candidate_peak, 40, "keeps the max, not the last");
         assert_eq!(snap.merge_peak, 1200);
         let j = snap.to_json();
@@ -442,6 +504,10 @@ mod tests {
     fn snapshot_serializes_every_section() {
         let m = Metrics::default();
         m.record_request();
+        m.record_bad_frame();
+        m.record_verify_sample();
+        m.record_verify_sample();
+        m.record_verify_failure();
         let j = m
             .snapshot(
                 CacheStats {
@@ -450,20 +516,32 @@ mod tests {
                     evictions: 0,
                     entries: 1,
                     capacity: 64,
+                    integrity_checks: 5,
+                    corrupt_evictions: 1,
                 },
-                MemoStats::default(),
+                MemoStats {
+                    integrity_checks: 3,
+                    corrupt_evictions: 1,
+                    ..MemoStats::default()
+                },
                 2,
+                Duration::from_millis(1234),
             )
             .to_json();
+        let version_needle = format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"));
         for needle in [
             "\"requests\":1",
             "\"workers\":2",
+            "\"uptime_ms\":1234",
+            version_needle.as_str(),
             "\"cache\":{\"hits\":1,\"misses\":2",
             "\"memo\":{\"hits\":0,\"misses\":0,\"sig_conflicts\":0,\"seeded_merges\":0,\
              \"stores\":0,\"evictions\":0,\"bytes\":0,\"entries\":0,\"budget_bytes\":0}",
             "\"admission\":{\"overloaded\":0,\"deadline_exceeded\":0,\"shutting_down\":0,\"stale_drops\":0}",
             "\"supervision\":{\"worker_deaths\":0,\"respawns\":0,\"retries\":0,\"bad_outputs\":0,\"cancelled\":0}",
-            "\"connections\":{\"errors\":0}",
+            "\"connections\":{\"errors\":0,\"bad_frames\":1}",
+            // checks = cache 5 + memo 3, corrupt_evictions = cache 1 + memo 1.
+            "\"integrity\":{\"checks\":8,\"corrupt_evictions\":2,\"verify_samples\":2,\"verify_failures\":1}",
             "\"candidates\":{\"peak\":0,\"merge_peak\":0}",
             "\"resource\":{\"arena_peak_bytes\":0,\"degraded_pressure\":0,\
              \"cancellations\":{\"deadline\":0,\"shutdown\":0,\"disconnect\":0,\"supervisor\":0}}",
@@ -489,7 +567,7 @@ mod tests {
         m.record_cancelled(CancelReason::Deadline);
         m.record_cancelled(CancelReason::Disconnect);
         m.record_cancelled(CancelReason::Disconnect);
-        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 1);
+        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 1, Duration::ZERO);
         assert_eq!(snap.arena_peak_bytes, 4096, "keeps the max, not the last");
         assert_eq!(snap.degraded_pressure, 1);
         assert_eq!(snap.cancellations, [1, 0, 2, 0]);
@@ -516,7 +594,7 @@ mod tests {
         m.record_stale_drop();
         m.record_bad_output();
         m.record_conn_error();
-        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 1);
+        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 1, Duration::ZERO);
         assert_eq!(snap.rejections, [2, 1, 0]);
         assert_eq!(snap.worker_deaths, 1);
         assert_eq!(snap.respawns, 1);

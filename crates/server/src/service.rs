@@ -18,6 +18,13 @@
 //!   arrive during the drain get an explicit
 //!   `{"error":"shutting_down"}` instead of a silently dropped line.
 //!
+//! With [`ServeOptions::frame_check`] on, a request line may be wrapped
+//! in a length+CRC frame (`!F <len:8hex> <crc64:16hex> <json>`); the
+//! response mirrors the framing, a damaged or truncated frame gets a
+//! typed `{"error":"bad_frame","detail":...}`, and plain lines keep
+//! working untouched on the same connection (per-request negotiation, so
+//! old clients never see a frame).
+//!
 //! Malformed request lines get `{"error":"..."}` responses; a net that
 //! fails to *parse* is not a protocol error — it produces a regular
 //! `parse_error` record, so batch drivers see the same taxonomy the CLI
@@ -61,6 +68,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use buffopt::{CancelReason, CancelToken};
+use buffopt_integrity::{decode_frame, encode_frame, is_framed};
 use buffopt_pipeline::fault::{FaultAction, Seam};
 use buffopt_pipeline::NetInput;
 
@@ -85,6 +93,13 @@ pub struct ServeOptions {
     /// Maximum accepted request-line length in bytes; longer lines get
     /// one structured error response and the connection is closed.
     pub max_line_bytes: usize,
+    /// Accept length+CRC framed request lines (`!F <len> <crc> <json>`)
+    /// and mirror the framing on their responses. Negotiated per
+    /// request: plain lines keep working on the same connection, so old
+    /// clients are unaffected. A truncated or damaged frame gets a typed
+    /// `{"error":"bad_frame","detail":...}` response — never a parse
+    /// guess — and is counted in `connections.bad_frames`.
+    pub frame_check: bool,
 }
 
 impl Default for ServeOptions {
@@ -92,6 +107,7 @@ impl Default for ServeOptions {
         ServeOptions {
             read_timeout: Some(Duration::from_secs(120)),
             max_line_bytes: 1 << 20,
+            frame_check: false,
         }
     }
 }
@@ -177,6 +193,22 @@ fn write_line(writer: &mut BufWriter<TcpStream>, line: &str) -> std::io::Result<
     writer.flush()
 }
 
+/// Writes one response wrapped in a length+CRC frame (mirroring a framed
+/// request).
+fn write_framed(writer: &mut BufWriter<TcpStream>, line: &str) -> std::io::Result<()> {
+    writer.write_all(&encode_frame(line.as_bytes()))?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// The typed response for a frame that failed validation.
+fn bad_frame_json(detail: &str) -> String {
+    let mut s = String::from("{\"error\":\"bad_frame\",\"detail\":");
+    push_json_str(&mut s, detail);
+    s.push('}');
+    s
+}
+
 /// Serves one connection; returns true when the client asked for a
 /// server shutdown.
 fn handle_connection(
@@ -232,8 +264,60 @@ fn serve_lines(
                     );
                     break;
                 }
-                let line = String::from_utf8_lossy(&buf);
-                let line = line.trim();
+                // Strip the line terminator at the byte level first: a
+                // framed payload's CRC is checked over raw bytes, before
+                // any UTF-8 assumption is made about damaged content.
+                let mut bytes: &[u8] = &buf;
+                while bytes.last().is_some_and(|b| *b == b'\n' || *b == b'\r') {
+                    bytes = &bytes[..bytes.len() - 1];
+                }
+                let framed = opts.frame_check && is_framed(bytes);
+                let payload_line: String;
+                let line = if framed {
+                    // Frame validation is a decode step of its own, with
+                    // its own arming of the decode fault seam: a
+                    // `TruncateFrame` fault chops the frame mid-payload,
+                    // exactly like a sender that died mid-write. (Other
+                    // actions are not meaningful at this arming.)
+                    let torn: Vec<u8>;
+                    let frame: &[u8] = match engine
+                        .fault_plan()
+                        .and_then(|p| p.fire(Seam::Decode))
+                    {
+                        Some(FaultAction::TruncateFrame) => {
+                            torn = bytes[..bytes.len() / 2].to_vec();
+                            &torn
+                        }
+                        _ => bytes,
+                    };
+                    let payload = match decode_frame(frame) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            engine.metrics().record_bad_frame();
+                            if write_framed(writer, &bad_frame_json(&e.to_string())).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                    };
+                    match std::str::from_utf8(payload) {
+                        Ok(p) => {
+                            payload_line = p.to_string();
+                            payload_line.trim()
+                        }
+                        Err(_) => {
+                            engine.metrics().record_bad_frame();
+                            let detail = "frame payload is not UTF-8";
+                            if write_framed(writer, &bad_frame_json(detail)).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                } else {
+                    payload_line = String::from_utf8_lossy(bytes).into_owned();
+                    payload_line.trim()
+                };
                 if line.is_empty() {
                     continue;
                 }
@@ -250,7 +334,12 @@ fn serve_lines(
                         false,
                     )
                 });
-                if write_line(writer, &response).is_err() {
+                let wrote = if framed {
+                    write_framed(writer, &response)
+                } else {
+                    write_line(writer, &response)
+                };
+                if wrote.is_err() {
                     break;
                 }
                 if shutdown {
@@ -374,8 +463,13 @@ fn respond(
                         }
                     }
                     // Memory pressure is a worker-seam behavior; nothing
-                    // to squeeze at decode time.
-                    Some(FaultAction::MemPressure { .. }) => {}
+                    // to squeeze at decode time. State-corruption faults
+                    // belong to the Store seam or the framed read path.
+                    Some(FaultAction::MemPressure { .. })
+                    | Some(FaultAction::CorruptJournalLine)
+                    | Some(FaultAction::BitFlipCacheEntry)
+                    | Some(FaultAction::BitFlipMemoEntry)
+                    | Some(FaultAction::TruncateFrame) => {}
                 }
                 let key = engine.key_for(id, net_text);
                 let job = Job {

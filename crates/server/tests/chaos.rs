@@ -15,11 +15,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use buffopt_buffers::catalog;
+use buffopt_integrity::{decode_frame, encode_frame};
 use buffopt_netlist::{parse, write as write_net, ParsedNet};
 use buffopt_pipeline::fault::{FaultAction, FaultPlan, Seam};
-use buffopt_pipeline::{NetInput, Outcome, PipelineConfig};
-use buffopt_server::{serve_with, Engine, EngineOptions, Job, NetDecoder, Rejection, ServeOptions};
-use buffopt_workload::{adversarial, WorkloadConfig};
+use buffopt_pipeline::{NetInput, NetOutcome, Outcome, PipelineConfig};
+use buffopt_server::{
+    serve_with, CacheStatus, Engine, EngineOptions, Job, NetDecoder, Rejection, ServeOptions,
+};
+use buffopt_tree::{Driver, SinkSpec, Technology, TreeBuilder};
+use buffopt_workload::{adversarial, estimation_scenario, WorkloadConfig};
 
 fn healthy(name: &str) -> NetInput {
     let (tree, scenario) = adversarial::valid_net(&WorkloadConfig::default());
@@ -553,6 +557,7 @@ fn oversized_lines_and_idle_connections_are_cut_with_structured_errors() {
         ServeOptions {
             read_timeout: Some(Duration::from_millis(200)),
             max_line_bytes: 256,
+            ..ServeOptions::default()
         },
     );
 
@@ -580,7 +585,10 @@ fn oversized_lines_and_idle_connections_are_cut_with_structured_errors() {
     });
     let mut conn = connect(addr);
     let ok = roundtrip(&mut conn, "{\"cmd\":\"stats\"}");
-    assert!(ok.contains("\"connections\":{\"errors\":2}"), "{ok}");
+    assert!(
+        ok.contains("\"connections\":{\"errors\":2,\"bad_frames\":0}"),
+        "{ok}"
+    );
     let ack = roundtrip(&mut conn, "{\"cmd\":\"shutdown\"}");
     assert_eq!(ack, "{\"ok\":\"shutdown\"}");
     server.join().expect("accept loop exits");
@@ -665,4 +673,299 @@ fn client_disconnect_mid_optimize_cancels_the_run_and_frees_the_worker() {
     let ack = roundtrip(&mut conn, "{\"cmd\":\"shutdown\"}");
     assert_eq!(ack, "{\"ok\":\"shutdown\"}");
     server.join().expect("accept loop exits");
+}
+
+// ---------------------------------------------------------------------
+// Integrity chaos: injected state corruption must be detected, counted,
+// and answered with a recompute or a typed error — never served.
+// ---------------------------------------------------------------------
+
+/// The fields a recompute must reproduce bit-for-bit (everything except
+/// wall-clock timings and serving provenance).
+fn assert_same_record(a: &NetOutcome, b: &NetOutcome) {
+    assert_eq!(a.outcome, b.outcome);
+    assert_eq!(a.rung, b.rung);
+    assert_eq!(a.buffers, b.buffers);
+    assert_eq!(a.slack.map(f64::to_bits), b.slack.map(f64::to_bits));
+    assert_eq!(
+        a.worst_headroom.map(f64::to_bits),
+        b.worst_headroom.map(f64::to_bits)
+    );
+}
+
+/// A branchy net (the memo only engages at 2-child merge points).
+fn branchy(name: &str) -> NetInput {
+    let tech = Technology::global_layer();
+    let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
+    let j = b.add_internal(b.source(), tech.wire(6_000.0)).expect("trunk");
+    b.add_sink(j, tech.wire(4_000.0), SinkSpec::new(20e-15, 2.5e-9, 0.8))
+        .expect("far sink");
+    b.add_sink(j, tech.wire(5_200.0), SinkSpec::new(15e-15, 2.5e-9, 0.8))
+        .expect("near sink");
+    let tree = b.build().expect("tree");
+    let scenario = estimation_scenario(&tree, &WorkloadConfig::default());
+    NetInput::Parsed {
+        name: name.to_string(),
+        tree,
+        scenario,
+    }
+}
+
+/// Sends a raw (already framed or deliberately damaged) request line and
+/// decodes the framed response.
+fn framed_roundtrip(conn: &mut (BufReader<TcpStream>, TcpStream), request: &[u8]) -> String {
+    conn.1.write_all(request).expect("send");
+    conn.1.write_all(b"\n").expect("send newline");
+    let mut line = Vec::new();
+    conn.0.read_until(b'\n', &mut line).expect("response");
+    while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+        line.pop();
+    }
+    let payload = decode_frame(&line).expect("response frame is intact");
+    String::from_utf8(payload.to_vec()).expect("utf-8 payload")
+}
+
+#[test]
+fn cache_bit_flip_is_detected_evicted_and_recomputed_identically() {
+    let (engine, plan) = engine_with(
+        FaultPlan::new().on_nth(Seam::Store, 1, FaultAction::BitFlipCacheEntry),
+        EngineOptions {
+            jobs: 1,
+            ..EngineOptions::default()
+        },
+    );
+    let key = engine.key_for("victim", "same-body");
+    let keyed = || Job {
+        input: healthy("victim"),
+        cache_key: Some(key),
+    };
+
+    let first = engine.optimize(keyed());
+    assert_eq!(first.cache, CacheStatus::Miss);
+    assert_eq!(plan.armed(Seam::Store), 1, "the store fault fired");
+
+    // The flipped bit must never be served: verify-on-hit catches it,
+    // evicts the entry, and the request recomputes from scratch.
+    let second = engine.optimize(keyed());
+    assert_eq!(second.cache, CacheStatus::Miss, "corrupt entry not served");
+    assert_same_record(&first.outcome, &second.outcome);
+
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.cache.corrupt_evictions, 1);
+    assert!(snap.cache.integrity_checks >= 1);
+
+    // The recompute re-installed a good entry: the cache is healed.
+    let third = engine.optimize(keyed());
+    assert_eq!(third.cache, CacheStatus::Hit);
+    assert_same_record(&first.outcome, &third.outcome);
+}
+
+#[test]
+fn memo_bit_flip_is_detected_evicted_and_recomputed_identically() {
+    let memo = Arc::new(buffopt::MemoTable::new(32 << 20, 4));
+    let mut cfg = pipeline_config();
+    cfg.memo = Some(Arc::clone(&memo));
+    let plan = Arc::new(FaultPlan::new().on_nth(Seam::Store, 1, FaultAction::BitFlipMemoEntry));
+    let engine = Engine::new(
+        cfg,
+        EngineOptions {
+            jobs: 1,
+            fault_plan: Some(Arc::clone(&plan)),
+            ..EngineOptions::default()
+        },
+    );
+
+    // Distinct cache keys so the second request re-runs the DP (which is
+    // what consults the memo); the Store-seam fault flips a bit in a
+    // stored frontier row right after the first request's insert.
+    let first = engine.optimize(Job {
+        input: branchy("y-one"),
+        cache_key: Some(engine.key_for("y-one", "b1")),
+    });
+    assert!(
+        memo.stats().stores > 0,
+        "the branchy net stored frontiers: {:?}",
+        memo.stats()
+    );
+
+    let second = engine.optimize(Job {
+        input: branchy("y-two"),
+        cache_key: Some(engine.key_for("y-two", "b2")),
+    });
+    let stats = memo.stats();
+    assert_eq!(
+        stats.corrupt_evictions, 1,
+        "flipped row caught at lookup: {stats:?}"
+    );
+    assert!(stats.integrity_checks >= 1);
+    // The poisoned frontier seeded nothing; the cold merge reproduces
+    // the exact same record.
+    assert_same_record(&first.outcome, &second.outcome);
+    let snap = engine.metrics_snapshot();
+    assert_eq!(snap.memo.corrupt_evictions, 1, "surfaced in the snapshot");
+}
+
+#[test]
+fn damaged_frames_get_typed_errors_and_the_connection_survives() {
+    let (addr, engine, _plan, server) = start_chaos_server(
+        FaultPlan::new(),
+        ServeOptions {
+            frame_check: true,
+            ..ServeOptions::default()
+        },
+    );
+    let mut conn = connect(addr);
+
+    // An unframed client on the same socket is untouched by the option.
+    let plain = roundtrip(&mut conn, &healthy_net_request("plain"));
+    assert!(plain.contains("\"outcome\":\"optimized\""), "{plain}");
+
+    // A framed request gets a framed response with the same schema.
+    let ok = framed_roundtrip(
+        &mut conn,
+        &encode_frame(healthy_net_request("framed").as_bytes()),
+    );
+    assert!(
+        ok.contains("\"net\":\"framed\"") && ok.contains("\"outcome\":\"optimized\""),
+        "{ok}"
+    );
+
+    // Flip one payload byte: typed bad_frame error, connection lives.
+    let mut bent = encode_frame(healthy_net_request("bent").as_bytes());
+    let n = bent.len();
+    bent[n - 3] ^= 0x01;
+    let err = framed_roundtrip(&mut conn, &bent);
+    assert!(err.contains("\"error\":\"bad_frame\""), "{err}");
+
+    // Tear a frame in half: typed bad_frame error again.
+    let torn = encode_frame(healthy_net_request("torn").as_bytes());
+    let err = framed_roundtrip(&mut conn, &torn[..torn.len() / 2]);
+    assert!(err.contains("\"error\":\"bad_frame\""), "{err}");
+
+    assert_eq!(engine.metrics_snapshot().bad_frames, 2);
+    // The connection survived both and the stats line reports the damage.
+    let stats = framed_roundtrip(&mut conn, &encode_frame(b"{\"cmd\":\"stats\"}"));
+    assert!(stats.contains("\"bad_frames\":2"), "{stats}");
+    let ack = roundtrip(&mut conn, "{\"cmd\":\"shutdown\"}");
+    assert_eq!(ack, "{\"ok\":\"shutdown\"}");
+    server.join().expect("accept loop exits");
+}
+
+#[test]
+fn truncate_frame_fault_is_caught_by_the_length_check_and_typed() {
+    let (addr, engine, plan, server) = start_chaos_server(
+        FaultPlan::new().on_nth(Seam::Decode, 1, FaultAction::TruncateFrame),
+        ServeOptions {
+            frame_check: true,
+            ..ServeOptions::default()
+        },
+    );
+    let mut conn = connect(addr);
+
+    // The injected fault tears the first framed request mid-line, as a
+    // half-written proxy or kernel buffer would.
+    let err = framed_roundtrip(
+        &mut conn,
+        &encode_frame(healthy_net_request("torn").as_bytes()),
+    );
+    assert!(err.contains("\"error\":\"bad_frame\""), "{err}");
+    assert_eq!(plan.armed(Seam::Decode), 1);
+
+    // The retry goes through untouched on the same connection.
+    let ok = framed_roundtrip(
+        &mut conn,
+        &encode_frame(healthy_net_request("retry").as_bytes()),
+    );
+    assert!(ok.contains("\"outcome\":\"optimized\""), "{ok}");
+    assert_eq!(engine.metrics_snapshot().bad_frames, 1);
+
+    let ack = roundtrip(&mut conn, "{\"cmd\":\"shutdown\"}");
+    assert_eq!(ack, "{\"ok\":\"shutdown\"}");
+    server.join().expect("accept loop exits");
+}
+
+#[test]
+fn verify_sampling_audits_hits_and_misses_with_zero_failures() {
+    let engine = Engine::new(
+        pipeline_config(),
+        EngineOptions {
+            jobs: 1,
+            verify_sample_rate: 1.0,
+            ..EngineOptions::default()
+        },
+    );
+    let key = engine.key_for("audited", "body");
+    let keyed = || Job {
+        input: healthy("audited"),
+        cache_key: Some(key),
+    };
+
+    let first = engine.optimize(keyed());
+    assert_eq!(first.cache, CacheStatus::Miss);
+    let second = engine.optimize(keyed());
+    assert_eq!(second.cache, CacheStatus::Hit, "hits are sampled too");
+
+    wait_for("both responses to be audited", || {
+        engine.metrics_snapshot().verify_samples == 2
+    });
+    assert_eq!(
+        engine.metrics_snapshot().verify_failures,
+        0,
+        "honest records pass the audit"
+    );
+    // Nothing was invalidated: the entry still serves.
+    assert_eq!(engine.optimize(keyed()).cache, CacheStatus::Hit);
+}
+
+#[test]
+fn rehashed_corruption_slips_verify_on_hit_but_the_sampled_audit_catches_it() {
+    let engine = Engine::new(
+        pipeline_config(),
+        EngineOptions {
+            jobs: 1,
+            verify_sample_rate: 1.0,
+            ..EngineOptions::default()
+        },
+    );
+    let key = engine.key_for("sneaky", "body");
+    let keyed = || Job {
+        input: healthy("sneaky"),
+        cache_key: Some(key),
+    };
+
+    let honest = engine.optimize(keyed());
+    assert_eq!(honest.cache, CacheStatus::Miss);
+    wait_for("the honest record to be audited", || {
+        engine.metrics_snapshot().verify_samples == 1
+    });
+
+    // An adversarial corruption that also recomputes the stored
+    // checksum: verify-on-hit is blind to it by construction.
+    assert!(
+        engine.corrupt_cache_entry(key, true),
+        "entry found and doctored"
+    );
+    let lied = engine.optimize(keyed());
+    assert_eq!(lied.cache, CacheStatus::Hit, "the checksum matched the lie");
+    assert_ne!(
+        lied.outcome.slack.map(f64::to_bits),
+        honest.outcome.slack.map(f64::to_bits),
+        "the served record really was doctored"
+    );
+
+    // The off-path audit re-derives the summaries from the input,
+    // catches the disagreement, and invalidates the entry.
+    wait_for("the audit to flag the doctored record", || {
+        engine.metrics_snapshot().verify_failures == 1
+    });
+    assert_eq!(
+        engine.metrics_snapshot().cache.corrupt_evictions,
+        0,
+        "verify-on-hit never fired; only the audit saw through it"
+    );
+
+    // The poison is gone — the next request recomputes honestly.
+    let healed = engine.optimize(keyed());
+    assert_eq!(healed.cache, CacheStatus::Miss);
+    assert_same_record(&honest.outcome, &healed.outcome);
 }

@@ -12,13 +12,17 @@
 #   its cold twin, or if a small-budget table overruns its byte budget.
 #
 # usage: scripts/bench_snapshot.sh [--quick] [--out PATH] [--memo-out PATH]
-#                                  [--no-alloc-count]
+#                                  [--no-alloc-count] [--gate]
 #
 #   --quick           5 samples per size instead of 31 (CI smoke)
 #   --out PATH        where to write the DP JSON (default BENCH_dp.json)
 #   --memo-out PATH   where to write the memo JSON (default BENCH_memo.json)
 #   --no-alloc-count  skip the counting-allocator build; wall times then
 #                     come from the stock allocator (marginally faster)
+#   --gate            fail if the fresh DP snapshot's arena/reference
+#                     median ratios drift more than 2% from the committed
+#                     BENCH_dp.json (the committed file is copied aside
+#                     first, so the fresh snapshot still lands in place)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,9 +30,11 @@ cd "$(dirname "$0")/.."
 features=(--features alloc-count)
 args=()
 memo_args=()
+gate=0
 while [[ $# -gt 0 ]]; do
     case "$1" in
         --no-alloc-count) features=() ;;
+        --gate) gate=1 ;;
         --quick)
             args+=(--quick)
             memo_args+=(--quick)
@@ -48,6 +54,13 @@ while [[ $# -gt 0 ]]; do
     esac
     shift
 done
+
+if [[ $gate -eq 1 ]]; then
+    baseline=$(mktemp)
+    trap 'rm -f "$baseline"' EXIT
+    cp BENCH_dp.json "$baseline"
+    args+=(--gate "$baseline")
+fi
 
 cargo build --release -p buffopt-bench --bin dp_snapshot "${features[@]}"
 # The memo snapshot times whole optimizer passes; the counting allocator
