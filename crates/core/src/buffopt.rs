@@ -56,6 +56,8 @@ fn to_solution(tree: &RoutingTree, c: SourceCand, stats: &DpStats) -> Solution {
         meets_noise: true,
         peak_candidates: stats.peak_candidates,
         peak_merge_product: stats.peak_merge_product,
+        merge_products_enumerated: stats.merge_products_enumerated,
+        merge_products_pruned: stats.merge_products_pruned,
         peak_arena_bytes: stats.peak_arena_bytes,
         degraded_by: stats.degraded_by,
     }

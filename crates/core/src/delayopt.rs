@@ -49,11 +49,19 @@ pub struct Solution {
     /// count the candidate budget gates on. Zero for optimizers that do
     /// not run the DP (e.g. the greedy baseline).
     pub peak_candidates: usize,
-    /// Largest raw |L|·|R| merge cross product the DP swept (it is pruned
-    /// on the fly and never materialized). Always ≥ `peak_candidates` on
-    /// branching nets; the gap is the fused prune's savings. Zero for
-    /// non-DP optimizers.
+    /// Largest per-node count of merge rows the DP actually enumerated
+    /// (pre-prune). With predictive pruning this can sit well below the
+    /// raw |L|·|R| cross product; the gap is the fused prune's savings.
+    /// Zero for non-DP optimizers.
     pub peak_merge_product: usize,
+    /// Total merge rows enumerated across the whole run — the work the
+    /// DP's merge loops actually did. Zero for non-DP optimizers.
+    pub merge_products_enumerated: usize,
+    /// Total merge pairs skipped without being enumerated (polarity /
+    /// buffer-cap blocks plus predictive witness skips). Per merge node,
+    /// `enumerated + pruned` equals the raw |L|·|R| product exactly, so
+    /// the pair measures predictive-pruning effectiveness end-to-end.
+    pub merge_products_pruned: usize,
     /// High-water mark of the provenance arena during the run, in bytes —
     /// the quantity a [`RunBudget::with_max_arena_bytes`] cap gates on.
     /// Zero for optimizers that do not run the DP.
@@ -112,6 +120,8 @@ pub fn optimize_with(
         meets_noise: false,
         peak_candidates: stats.peak_candidates,
         peak_merge_product: stats.peak_merge_product,
+        merge_products_enumerated: stats.merge_products_enumerated,
+        merge_products_pruned: stats.merge_products_pruned,
         peak_arena_bytes: stats.peak_arena_bytes,
         degraded_by: stats.degraded_by,
     })
@@ -151,6 +161,8 @@ pub fn optimize_per_count(
                 meets_noise: false,
                 peak_candidates: stats.peak_candidates,
                 peak_merge_product: stats.peak_merge_product,
+                merge_products_enumerated: stats.merge_products_enumerated,
+                merge_products_pruned: stats.merge_products_pruned,
                 peak_arena_bytes: stats.peak_arena_bytes,
                 degraded_by: stats.degraded_by,
             });

@@ -63,9 +63,27 @@ fn assert_equiv(
                 );
                 assert_eq!(r.insertions, a.insertions, "{label}: solution {i} set");
             }
+            // The arena engine's predictive pruning enumerates a subset
+            // of the seed engine's legal pairs, so its peaks/totals may
+            // only shrink — while the enumerated+pruned split must
+            // conserve the raw |L|·|R| sum exactly (the frontiers feeding
+            // every merge are bitwise-identical across engines).
+            assert!(
+                astats.peak_merge_product <= rstats.peak_merge_product,
+                "{label}: arena enumerated peak {} exceeds raw-product peak {}",
+                astats.peak_merge_product,
+                rstats.peak_merge_product
+            );
+            assert!(
+                astats.merge_products_enumerated <= rstats.merge_products_enumerated,
+                "{label}: arena enumerated {} exceeds reference {}",
+                astats.merge_products_enumerated,
+                rstats.merge_products_enumerated
+            );
             assert_eq!(
-                rstats.peak_merge_product, astats.peak_merge_product,
-                "{label}: merge product"
+                astats.merge_products_enumerated + astats.merge_products_pruned,
+                rstats.merge_products_enumerated + rstats.merge_products_pruned,
+                "{label}: enumerated+pruned no longer conserves the raw merge product"
             );
         }
         (Err(re), Err(ae)) => {
@@ -235,6 +253,28 @@ proptest! {
             let scenario = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
             let mut ws = DpWorkspace::new();
             check_all_modes(&tree, &scenario, &mut ws, "random");
+        }
+    }
+}
+
+proptest! {
+    // Fewer cases, much bigger trees: steps vectors up to 127 entries
+    // build trees up to ~64 sinks, pushing merge products past the
+    // predictive-path threshold so the windowed enumeration is diffed
+    // against the seed engine at realistic frontier sizes.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn random_large_trees_all_modes(
+        steps in prop::collection::vec(
+            (0u8..16, prop::bool::ANY, 400.0f64..4000.0, 0.8f64..4.0),
+            64..128,
+        )
+    ) {
+        if let Some(tree) = build_random_tree(&steps) {
+            let scenario = NoiseScenario::estimation(&tree, 0.7, 7.2e9);
+            let mut ws = DpWorkspace::new();
+            check_all_modes(&tree, &scenario, &mut ws, "random-large");
         }
     }
 }

@@ -111,10 +111,20 @@ pub(crate) struct DpStats {
     /// merge-prune, including freshly buffered candidates) — the count
     /// the budget gate sees.
     pub peak_candidates: usize,
-    /// Largest raw |L|·|R| merge product encountered, i.e. the work the
-    /// fused sweep consumed without ever materializing it. Always ≥ the
-    /// corresponding live list; the gap is the fused prune's savings.
+    /// Largest per-node count of merge rows actually *enumerated* by a
+    /// merge (pre-prune). Before the predictive Li–Shi merge this equaled
+    /// the raw |L|·|R| product; it stays the continuity metric for
+    /// per-node candidate pressure and is always ≤ the raw product.
     pub peak_merge_product: usize,
+    /// Total merge rows enumerated across the whole run — the work the
+    /// merge loops actually did. The predictive witness skips make this
+    /// grow subquadratically where the raw product cannot.
+    pub merge_products_enumerated: usize,
+    /// Total merge pairs avoided across the whole run: block filters
+    /// (polarity mismatch, buffer cap) plus predictive witness skips. Per
+    /// merge node, enumerated + pruned equals the raw |L|·|R| product
+    /// exactly, so the split conserves the old raw-product accounting.
+    pub merge_products_pruned: usize,
     /// High-water mark of the provenance arena's live bytes — what the
     /// `max_arena_bytes` budget gates on.
     pub peak_arena_bytes: usize,
@@ -203,6 +213,18 @@ pub(crate) struct DpScratch {
     order: Vec<u32>,
     /// Pairwise prune: surviving candidate indices.
     keep: Vec<u32>,
+    /// Predictive merge: left operand's per-row witness envelope.
+    wit_l: Vec<f64>,
+    /// Predictive merge: right operand's per-row witness envelope.
+    wit_r: Vec<f64>,
+    /// Predictive merge: per-class prefix max of the right operand's q.
+    pmax_r: Vec<f64>,
+    /// Predictive merge: per-class suffix min of `wit_r`.
+    smin_r: Vec<f64>,
+    /// Predictive merge: right operand's (parity, count) class ranges.
+    rcls: Vec<(u32, u32)>,
+    /// Predictive merge: q-descending probe order within one class.
+    qord: Vec<u32>,
 }
 
 impl DpScratch {
@@ -228,6 +250,12 @@ impl DpScratch {
         self.fresh.clear();
         self.order.clear();
         self.keep.clear();
+        self.wit_l.clear();
+        self.wit_r.clear();
+        self.pmax_r.clear();
+        self.smin_r.clear();
+        self.rcls.clear();
+        self.qord.clear();
     }
 
     fn alloc(&mut self) -> Vec<DpCand> {
@@ -573,12 +601,186 @@ fn insert_buffers_plain(
     cands.append(fresh);
 }
 
+/// Raw |L|·|R| product below which the fused merge keeps the plain double
+/// loop: the Li–Shi envelope precomputation costs more than the skipped
+/// pairs save on tiny operands. Both paths emit bitwise-identical
+/// surviving rows and best-table winners (predictive skips only drop
+/// pairs the final sweep would discard anyway), so the dispatch is a pure
+/// perf knob — only the enumerated/pruned split in the stats moves.
+const PREDICTIVE_MIN_PRODUCT: usize = 256;
+
+/// The Li–Shi sorted-frontier invariant every sweep-pruned candidate list
+/// maintains (DESIGN §15): (parity, count) classes are contiguous and in
+/// ascending order, and capacitance is *strictly* ascending within each
+/// class. `sweep_prune` establishes it, `climb_in_place` (uniform cap
+/// shift, order-preserving retain) and `clamp_stratified` (sorted
+/// subsequence) preserve it, and memo-seeded frontiers inherit it from
+/// the post-prune snapshot they were stored from.
+fn frontier_is_class_sorted(list: &[DpCand]) -> bool {
+    list.windows(2).all(|w| {
+        let (a, b) = (&w[0], &w[1]);
+        match a.parity.cmp(&b.parity).then(a.count.cmp(&b.count)) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Equal => a.cap < b.cap,
+            std::cmp::Ordering::Greater => false,
+        }
+    })
+}
+
+/// Contiguous (parity, count) class ranges of a class-sorted list.
+fn class_ranges(list: &[DpCand], out: &mut Vec<(u32, u32)>) {
+    out.clear();
+    let mut s = 0;
+    while s < list.len() {
+        let (count, parity) = (list[s].count, list[s].parity);
+        let mut e = s + 1;
+        while e < list.len() && list[e].count == count && list[e].parity == parity {
+            e += 1;
+        }
+        out.push((s as u32, e as u32));
+        s = e;
+    }
+}
+
+/// Fills `wit[k]` with row k's *witness envelope*: the largest q among
+/// earlier rows of the same (parity, count) class that can stand in for
+/// row k in any merge pair — strictly smaller cap (sort order), equal
+/// count and parity, and, when `conditioned` (a noise-guarded best table
+/// is live), no worse coupling current and no worse noise slack, so the
+/// witness passes every buffer's legality guard whenever row k's pair
+/// does. A merge pair `(k, b)` with `b.q ≤ wit[k]` is weakly dominated by
+/// the witness pair `(w, b)` — generated earlier, smaller cap, merged q
+/// at least as large — so the dominance sweep would discard it and its
+/// best-table bids can never beat the witness's (strict `>` slot update,
+/// earlier-equal wins). Skipping it changes nothing downstream.
+fn witness_envelopes(list: &[DpCand], conditioned: bool, wit: &mut Vec<f64>, qord: &mut Vec<u32>) {
+    wit.clear();
+    wit.resize(list.len(), f64::NEG_INFINITY);
+    let mut s = 0;
+    while s < list.len() {
+        let (count, parity) = (list[s].count, list[s].parity);
+        let mut e = s + 1;
+        while e < list.len() && list[e].count == count && list[e].parity == parity {
+            e += 1;
+        }
+        if !conditioned {
+            let mut run = f64::NEG_INFINITY;
+            for k in s..e {
+                wit[k] = run;
+                run = run.max(list[k].q);
+            }
+        } else {
+            // Post-climb q is not monotone in cap, and the (cur, ns)
+            // conditions are per-row: probe earlier rows in q-descending
+            // order and stop at the first that qualifies — exactly the
+            // conditioned max, usually found in one or two probes.
+            qord.clear();
+            qord.extend(s as u32..e as u32);
+            qord.sort_unstable_by(|&x, &y| {
+                list[y as usize]
+                    .q
+                    .partial_cmp(&list[x as usize].q)
+                    .expect("finite slacks")
+                    .then(x.cmp(&y))
+            });
+            for k in s..e {
+                let c = &list[k];
+                for &w in qord.iter() {
+                    let w = w as usize;
+                    if w < k && list[w].cur <= c.cur && list[w].ns >= c.ns {
+                        wit[k] = list[w].q;
+                        break;
+                    }
+                }
+            }
+        }
+        s = e;
+    }
+}
+
+/// Emits one legal merge pair into the fused row buffer: updates the
+/// per-(buffer, class) best tables (pre-prune, in generation order,
+/// exactly like the seed's insert_buffers over the materialized product)
+/// and pushes the row with deferred provenance.
+// Both enumeration paths call this once per legal pair; flat arguments
+// keep the hot loop free of aggregate construction.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn fused_emit(
+    a: &DpCand,
+    b: &DpCand,
+    count: usize,
+    lib: &BufferLibrary,
+    cfg: &DpConfig,
+    feasible: bool,
+    best: &mut [Vec<Option<BestBuf>>],
+    rows: &mut Vec<MergeRow>,
+) {
+    let row = DpCand {
+        cap: a.cap + b.cap,
+        q: a.q.min(b.q),
+        cur: a.cur + b.cur,
+        ns: a.ns.min(b.ns),
+        count,
+        cost: a.cost + b.cost,
+        parity: a.parity,
+        prov: NONE,
+    };
+    if feasible {
+        for (bi, (_, buf)) in lib.entries().enumerate() {
+            if let Some(max) = cfg.max_buffers {
+                if row.count + 1 > max {
+                    continue;
+                }
+            }
+            if cfg.noise && buf.resistance * row.cur > row.ns + NOISE_TOL {
+                continue;
+            }
+            let q_new = row.q - buf.delay(row.cap);
+            let class = 2 * row.count + usize::from(row.parity);
+            let table = &mut best[bi];
+            if table.len() <= class {
+                table.resize(class + 1, None);
+            }
+            let slot = &mut table[class];
+            if slot.is_none_or(|s| q_new > s.q_new) {
+                *slot = Some(BestBuf {
+                    q_new,
+                    cand: row,
+                    left: a.prov,
+                    right: b.prov,
+                });
+            }
+        }
+    }
+    rows.push(MergeRow {
+        cand: row,
+        left: a.prov,
+        right: b.prov,
+    });
+}
+
 /// Fused merge + buffer-insert + prune for the paper's (C, q) pruning
 /// modes: cross-product rows are generated with *deferred* provenance,
 /// the best-per-(buffer, class) tables are updated row-by-row in
 /// generation order (so buffered spawns see the same pre-prune product
 /// the seed engine did), and the row buffer is compacted by the dominance
 /// sweep whenever it doubles — the full |L|·|R| product is never live.
+///
+/// Above [`PREDICTIVE_MIN_PRODUCT`], the enumeration itself goes
+/// Li–Shi (DESIGN §15): both operands are class-sorted with strictly
+/// ascending caps, so a per-row witness envelope ([`witness_envelopes`])
+/// bounds what any pair starting at that row could contribute, and whole
+/// cap ranges of the partner frontier are skipped *before* their cross
+/// products exist — via a per-class prefix-max binary search for the
+/// window start and a suffix-min early break for its end. In the clean
+/// monotone case this degenerates to the classic linear zip
+/// (|L|+|R|−1 pairs); post-climb q non-monotonicity only shrinks the
+/// skips, never the output. Skipped pairs are provably discarded by the
+/// final dominance sweep and outbid in every best-buffer slot, so the
+/// surviving rows, slot winners, provenance, and solutions are bitwise
+/// those of the full enumeration.
+///
 /// Returns the pruned product plus the freshly buffered candidates.
 #[allow(clippy::too_many_arguments)]
 fn merge_fused(
@@ -593,14 +795,27 @@ fn merge_fused(
     stats: &mut DpStats,
 ) -> Result<Vec<DpCand>, CoreError> {
     debug_assert!(!cfg.conservative && !cfg.cost_aware);
+    debug_assert!(
+        frontier_is_class_sorted(left),
+        "left merge operand violates the sorted-frontier invariant"
+    );
+    debug_assert!(
+        frontier_is_class_sorted(right),
+        "right merge operand violates the sorted-frontier invariant"
+    );
     let product = left.len().saturating_mul(right.len());
-    stats.peak_merge_product = stats.peak_merge_product.max(product);
     let mut out = scratch.alloc();
     let DpScratch {
         arena,
         rows,
         frontier,
         best,
+        wit_l,
+        wit_r,
+        pmax_r,
+        smin_r,
+        rcls,
+        qord,
         ..
     } = scratch;
     rows.clear();
@@ -610,80 +825,122 @@ fn merge_fused(
     let mut generated = 0usize;
     let mut compact_at = 1024usize;
     let mut tick = 0usize;
-    for a in left {
-        for b in right {
-            // Stride checkpoint: without it a single huge fused merge
-            // only observed the budget at its (growth-gated) compaction
-            // points, overrunning deadlines and ignoring cancellation
-            // for the whole |L|·|R| product.
-            tick += 1;
-            if tick & (CHECK_STRIDE - 1) == 0 {
-                budget.checkpoint()?;
-            }
-            if cfg.polarity && a.parity != b.parity {
-                // Mixed-parity merge would feed one branch an inverted
-                // signal; only same-parity pairs are legal.
-                continue;
-            }
-            let count = a.count + b.count;
-            if let Some(max) = cfg.max_buffers {
-                if count > max {
+    if product < PREDICTIVE_MIN_PRODUCT {
+        for a in left {
+            for b in right {
+                // Stride checkpoint: without it a single huge fused merge
+                // only observed the budget at its (growth-gated) compaction
+                // points, overrunning deadlines and ignoring cancellation
+                // for the whole |L|·|R| product.
+                tick += 1;
+                if tick & (CHECK_STRIDE - 1) == 0 {
+                    budget.checkpoint()?;
+                }
+                if cfg.polarity && a.parity != b.parity {
+                    // Mixed-parity merge would feed one branch an inverted
+                    // signal; only same-parity pairs are legal.
                     continue;
                 }
-            }
-            let row = DpCand {
-                cap: a.cap + b.cap,
-                q: a.q.min(b.q),
-                cur: a.cur + b.cur,
-                ns: a.ns.min(b.ns),
-                count,
-                cost: a.cost + b.cost,
-                parity: a.parity,
-                prov: NONE,
-            };
-            generated += 1;
-            if feasible {
-                // Best-table updates happen pre-prune, in generation
-                // order, exactly like the seed's insert_buffers over the
-                // materialized product.
-                for (bi, (_, buf)) in lib.entries().enumerate() {
-                    if let Some(max) = cfg.max_buffers {
-                        if row.count + 1 > max {
-                            continue;
-                        }
-                    }
-                    if cfg.noise && buf.resistance * row.cur > row.ns + NOISE_TOL {
+                let count = a.count + b.count;
+                if let Some(max) = cfg.max_buffers {
+                    if count > max {
                         continue;
                     }
-                    let q_new = row.q - buf.delay(row.cap);
-                    let class = 2 * row.count + usize::from(row.parity);
-                    let table = &mut best[bi];
-                    if table.len() <= class {
-                        table.resize(class + 1, None);
+                }
+                fused_emit(a, b, count, lib, cfg, feasible, best, rows);
+                generated += 1;
+                if rows.len() >= compact_at {
+                    budget.checkpoint()?;
+                    sweep_prune(rows, frontier);
+                    compact_at = (rows.len() * 2).max(1024);
+                }
+            }
+        }
+    } else {
+        // The (cur, ns) witness conditions are only needed while a
+        // noise-guarded best table is live; otherwise the plain per-class
+        // prefix max is the (larger, still sound) envelope.
+        let conditioned = feasible && cfg.noise;
+        witness_envelopes(left, conditioned, wit_l, qord);
+        witness_envelopes(right, conditioned, wit_r, qord);
+        class_ranges(right, rcls);
+        pmax_r.clear();
+        pmax_r.resize(right.len(), 0.0);
+        smin_r.clear();
+        smin_r.resize(right.len(), 0.0);
+        for &(s, e) in rcls.iter() {
+            let (s, e) = (s as usize, e as usize);
+            let mut run = f64::NEG_INFINITY;
+            for j in s..e {
+                run = run.max(right[j].q);
+                pmax_r[j] = run;
+            }
+            let mut run = f64::INFINITY;
+            for j in (s..e).rev() {
+                run = run.min(wit_r[j]);
+                smin_r[j] = run;
+            }
+        }
+        // Outer index ascending over left, inner ascending over right:
+        // the pairs that *are* emitted come out in exactly the lex order
+        // of the plain double loop, so stable-sort ties and best-table
+        // ties resolve as the seed's generation order dictates.
+        let mut ls = 0;
+        while ls < left.len() {
+            let (lc, lp) = (left[ls].count, left[ls].parity);
+            let mut le = ls + 1;
+            while le < left.len() && left[le].count == lc && left[le].parity == lp {
+                le += 1;
+            }
+            for i in ls..le {
+                let a = &left[i];
+                let wa = wit_l[i];
+                for &(rs, re) in rcls.iter() {
+                    let (rs, re) = (rs as usize, re as usize);
+                    let b0 = &right[rs];
+                    if cfg.polarity && b0.parity != lp {
+                        continue; // whole block mixes parity
                     }
-                    let slot = &mut table[class];
-                    if slot.is_none_or(|s| q_new > s.q_new) {
-                        *slot = Some(BestBuf {
-                            q_new,
-                            cand: row,
-                            left: a.prov,
-                            right: b.prov,
-                        });
+                    let count = lc + b0.count;
+                    if let Some(max) = cfg.max_buffers {
+                        if count > max {
+                            continue; // whole block busts the cap
+                        }
+                    }
+                    // Rows below the window start can never beat a's
+                    // witness: their prefix-max q is within the envelope.
+                    let jlo = rs + pmax_r[rs..re].partition_point(|&p| p <= wa);
+                    for j in jlo..re {
+                        tick += 1;
+                        if tick & (CHECK_STRIDE - 1) == 0 {
+                            budget.checkpoint()?;
+                        }
+                        let b = &right[j];
+                        if b.q <= wa {
+                            continue; // a's witness covers this pair
+                        }
+                        if a.q <= smin_r[j] {
+                            break; // every remaining row's witness covers a
+                        }
+                        if a.q <= wit_r[j] {
+                            continue; // b's witness covers this pair
+                        }
+                        fused_emit(a, b, count, lib, cfg, feasible, best, rows);
+                        generated += 1;
+                        if rows.len() >= compact_at {
+                            budget.checkpoint()?;
+                            sweep_prune(rows, frontier);
+                            compact_at = (rows.len() * 2).max(1024);
+                        }
                     }
                 }
             }
-            rows.push(MergeRow {
-                cand: row,
-                left: a.prov,
-                right: b.prov,
-            });
-            if rows.len() >= compact_at {
-                budget.checkpoint()?;
-                sweep_prune(rows, frontier);
-                compact_at = (rows.len() * 2).max(1024);
-            }
+            ls = le;
         }
     }
+    stats.peak_merge_product = stats.peak_merge_product.max(generated);
+    stats.merge_products_enumerated += generated;
+    stats.merge_products_pruned += product - generated;
     if generated == 0 {
         return Err(CoreError::NoFeasibleCandidate);
     }
@@ -753,7 +1010,6 @@ fn merge_materialized(
     stats: &mut DpStats,
 ) -> Result<Vec<DpCand>, CoreError> {
     let product = left.len().saturating_mul(right.len());
-    stats.peak_merge_product = stats.peak_merge_product.max(product);
     // The merge product is the resource that explodes on adversarial
     // nets — gate on it *before* allocating.
     budget.admit_candidates(product)?;
@@ -782,6 +1038,11 @@ fn merge_materialized(
             });
         }
     }
+    // The pairwise modes enumerate every legal pair; only the block
+    // filters (polarity, buffer cap) count as pruned here.
+    stats.peak_merge_product = stats.peak_merge_product.max(out.len());
+    stats.merge_products_enumerated += out.len();
+    stats.merge_products_pruned += product - out.len();
     if out.is_empty() {
         scratch.recycle(out);
         return Err(CoreError::NoFeasibleCandidate);
@@ -1483,14 +1744,18 @@ mod tests {
         /// Fused merge-prune computes exactly `prune(insert_buffers(merge(L, R)))`
         /// of the materialized seed pipeline, in every sweep-pruned mode —
         /// the core claim that lets the |L|·|R| product stay virtual.
+        /// Operands honor the production contract (post-prune, then a
+        /// wire climb so q is *not* monotone within classes), which is
+        /// exactly where the predictive witness skips are subtlest.
         #[test]
         fn prop_fused_merge_equals_prune_of_materialized(
             lg in grid_strategy(),
             rg in grid_strategy(),
             feasible in prop::bool::ANY,
+            wr in 0.0f64..200.0,
+            wc in 0.0f64..4e-14,
+            iw in 0.0f64..2e-5,
         ) {
-            let left: Vec<DpCand> = lg.iter().map(|&g| grid_cand(g)).collect();
-            let right: Vec<DpCand> = rg.iter().map(|&g| grid_cand(g)).collect();
             let lib = catalog::ibm_like();
             let mut b = TreeBuilder::new(Driver::new(100.0, 1e-12));
             b.add_sink(
@@ -1502,6 +1767,7 @@ mod tests {
             let tree = b.build().expect("tree");
             let v = tree.source();
             let budget = RunBudget::default().armed();
+            let wire = Wire::from_rc(wr, wc, 1.0);
             let sweep_modes = [
                 DpConfig { noise: false, ..DpConfig::default() },
                 DpConfig::default(),
@@ -1509,6 +1775,22 @@ mod tests {
                 DpConfig { max_buffers: Some(3), noise: false, ..DpConfig::default() },
             ];
             for cfg in sweep_modes {
+                // Merge operands are always pruned frontiers climbed up a
+                // wire — reproduce that here so the sorted-frontier
+                // contract holds and q-monotonicity is broken.
+                let mut left: Vec<DpCand> = lg.iter().map(|&g| grid_cand(g)).collect();
+                let mut right: Vec<DpCand> = rg.iter().map(|&g| grid_cand(g)).collect();
+                let mut s0 = DpScratch::default();
+                s0.reset(2, lib.len());
+                prune(&mut left, &cfg, &mut s0);
+                prune(&mut right, &cfg, &mut s0);
+                if left.is_empty()
+                    || right.is_empty()
+                    || climb_in_place(&mut left, &wire, iw, &cfg).is_err()
+                    || climb_in_place(&mut right, &wire, iw, &cfg).is_err()
+                {
+                    continue;
+                }
                 let mut s1 = DpScratch::default();
                 s1.reset(2, lib.len());
                 let mut stats1 = DpStats::default();
@@ -1540,7 +1822,20 @@ mod tests {
                                 cfg
                             );
                         }
-                        prop_assert_eq!(stats1.peak_merge_product, stats2.peak_merge_product);
+                        // The predictive merge enumerates a subset of the
+                        // legal pairs; the split conserves the raw product.
+                        prop_assert!(stats1.peak_merge_product <= stats2.peak_merge_product);
+                        prop_assert!(
+                            stats1.merge_products_enumerated <= stats2.merge_products_enumerated
+                        );
+                        prop_assert_eq!(
+                            stats1.merge_products_enumerated + stats1.merge_products_pruned,
+                            stats2.merge_products_enumerated + stats2.merge_products_pruned
+                        );
+                        prop_assert_eq!(
+                            stats2.merge_products_enumerated + stats2.merge_products_pruned,
+                            left.len() * right.len()
+                        );
                     }
                     (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
                     (f, m) => prop_assert!(
@@ -1549,6 +1844,161 @@ mod tests {
                         f.map(|x| x.len()),
                         m.map(|x| x.len())
                     ),
+                }
+            }
+        }
+
+        /// The sorted-frontier invariant (DESIGN §15) survives the whole
+        /// per-node pipeline: sweep_prune establishes classes in order
+        /// with strictly ascending caps and ascending q, a wire climb
+        /// preserves the order (while freely breaking q-monotonicity),
+        /// and the fused merge's pruned output re-establishes it.
+        #[test]
+        fn prop_sorted_invariant_across_prune_climb_merge(
+            lg in grid_strategy(),
+            rg in grid_strategy(),
+            wr in 0.0f64..200.0,
+            wc in 0.0f64..4e-14,
+        ) {
+            let lib = catalog::ibm_like();
+            let mut b = TreeBuilder::new(Driver::new(100.0, 1e-12));
+            b.add_sink(
+                b.source(),
+                Wire::from_rc(1.0, 1e-15, 1.0),
+                SinkSpec::new(1e-15, 1e-9, 0.5),
+            )
+            .expect("sink");
+            let tree = b.build().expect("tree");
+            let cfg = DpConfig { noise: false, ..DpConfig::default() };
+            let wire = Wire::from_rc(wr, wc, 1.0);
+            let budget = RunBudget::default().armed();
+            let mut left: Vec<DpCand> = lg.iter().map(|&g| grid_cand(g)).collect();
+            let mut right: Vec<DpCand> = rg.iter().map(|&g| grid_cand(g)).collect();
+            let mut s = DpScratch::default();
+            s.reset(2, lib.len());
+            prune(&mut left, &cfg, &mut s);
+            prune(&mut right, &cfg, &mut s);
+            prop_assert!(frontier_is_class_sorted(&left), "post-prune left unsorted");
+            prop_assert!(frontier_is_class_sorted(&right), "post-prune right unsorted");
+            // Within a class, post-prune q must ascend with cap.
+            for list in [&left, &right] {
+                for w in list.windows(2) {
+                    if w[0].parity == w[1].parity && w[0].count == w[1].count {
+                        prop_assert!(w[0].q < w[1].q, "post-prune q not ascending in class");
+                    }
+                }
+            }
+            if left.is_empty()
+                || right.is_empty()
+                || climb_in_place(&mut left, &wire, 0.0, &cfg).is_err()
+                || climb_in_place(&mut right, &wire, 0.0, &cfg).is_err()
+            {
+                return Ok(());
+            }
+            prop_assert!(frontier_is_class_sorted(&left), "post-climb left unsorted");
+            prop_assert!(frontier_is_class_sorted(&right), "post-climb right unsorted");
+            let mut stats = DpStats::default();
+            if let Ok(mut merged) = merge_fused(
+                tree.source(), &left, &right, &lib, &cfg, false, &budget, &mut s, &mut stats,
+            ) {
+                prop_assert!(
+                    frontier_is_class_sorted(&merged),
+                    "fused merge output unsorted"
+                );
+                let n = merged.len();
+                prune(&mut merged, &cfg, &mut s);
+                prop_assert_eq!(merged.len(), n, "fused output was not fully pruned");
+            }
+            let key = |c: &DpCand| (c.cap.to_bits(), c.q.to_bits(), c.count, c.parity);
+            let clamp_keys: Vec<_> = {
+                let mut l = left.clone();
+                clamp_stratified(&mut l, 5);
+                prop_assert!(
+                    frontier_is_class_sorted(&l),
+                    "clamp_stratified broke the sorted invariant"
+                );
+                l.iter().map(key).collect()
+            };
+            prop_assert!(clamp_keys.len() <= 5.max(left.len()));
+        }
+
+        /// Predictive-prune-never-drops-a-frontier-row oracle: every row
+        /// the naive cross-product merge + dominance prune keeps must
+        /// come out of the fused predictive merge bitwise — the skips may
+        /// only discard rows the sweep would have discarded anyway.
+        /// Operand sizes force the raw product past
+        /// `PREDICTIVE_MIN_PRODUCT` so the windowed path is exercised.
+        #[test]
+        fn prop_predictive_merge_keeps_every_frontier_row(
+            lg in prop::collection::vec((0u8..6, 0u8..10, 0u8..4, 0u8..4, 0u8..4, 0u8..8), 16..40),
+            rg in prop::collection::vec((0u8..6, 0u8..10, 0u8..4, 0u8..4, 0u8..4, 0u8..8), 16..40),
+            wr in 0.0f64..200.0,
+            wc in 0.0f64..4e-14,
+            iw in 0.0f64..2e-5,
+        ) {
+            let lib = catalog::ibm_like();
+            let mut b = TreeBuilder::new(Driver::new(100.0, 1e-12));
+            b.add_sink(
+                b.source(),
+                Wire::from_rc(1.0, 1e-15, 1.0),
+                SinkSpec::new(1e-15, 1e-9, 0.5),
+            )
+            .expect("sink");
+            let tree = b.build().expect("tree");
+            let budget = RunBudget::default().armed();
+            let wire = Wire::from_rc(wr, wc, 1.0);
+            for cfg in [
+                DpConfig { noise: false, ..DpConfig::default() },
+                DpConfig::default(),
+            ] {
+                let mut left: Vec<DpCand> = lg.iter().map(|&g| grid_cand(g)).collect();
+                let mut right: Vec<DpCand> = rg.iter().map(|&g| grid_cand(g)).collect();
+                let mut s = DpScratch::default();
+                s.reset(2, lib.len());
+                prune(&mut left, &cfg, &mut s);
+                prune(&mut right, &cfg, &mut s);
+                if left.is_empty()
+                    || right.is_empty()
+                    || climb_in_place(&mut left, &wire, iw, &cfg).is_err()
+                    || climb_in_place(&mut right, &wire, iw, &cfg).is_err()
+                {
+                    continue;
+                }
+                // Naive oracle: materialize every legal pair, then prune.
+                let mut naive: Vec<DpCand> = Vec::new();
+                for a in &left {
+                    for b in &right {
+                        naive.push(DpCand {
+                            cap: a.cap + b.cap,
+                            q: a.q.min(b.q),
+                            cur: a.cur + b.cur,
+                            ns: a.ns.min(b.ns),
+                            count: a.count + b.count,
+                            cost: a.cost + b.cost,
+                            parity: a.parity,
+                            prov: NONE,
+                        });
+                    }
+                }
+                prune(&mut naive, &cfg, &mut s);
+                let mut stats = DpStats::default();
+                let fused = merge_fused(
+                    tree.source(), &left, &right, &lib, &cfg, false, &budget, &mut s, &mut stats,
+                )
+                .expect("operands are non-empty");
+                let fkey = |c: &DpCand| {
+                    (
+                        c.cap.to_bits(), c.q.to_bits(), c.cur.to_bits(), c.ns.to_bits(),
+                        c.count, c.cost.to_bits(), c.parity,
+                    )
+                };
+                let fused_keys: Vec<_> = fused.iter().map(fkey).collect();
+                for row in &naive {
+                    prop_assert!(
+                        fused_keys.contains(&fkey(row)),
+                        "predictive merge dropped a frontier row (cfg {:?})",
+                        cfg
+                    );
                 }
             }
         }
@@ -1580,6 +2030,116 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Deterministic guarantee that the windowed predictive path (raw
+    /// product past `PREDICTIVE_MIN_PRODUCT`) is exercised and agrees
+    /// bitwise with prune-of-naive-cross-product: the proptests above
+    /// only cross the threshold probabilistically.
+    #[test]
+    fn predictive_path_matches_naive_on_large_frontiers() {
+        let lib = catalog::ibm_like();
+        let mut b = TreeBuilder::new(Driver::new(100.0, 1e-12));
+        b.add_sink(
+            b.source(),
+            Wire::from_rc(1.0, 1e-15, 1.0),
+            SinkSpec::new(1e-15, 1e-9, 0.5),
+        )
+        .expect("sink");
+        let tree = b.build().expect("tree");
+        let budget = RunBudget::default().armed();
+        let cfg = DpConfig {
+            noise: false,
+            ..DpConfig::default()
+        };
+        // Mutually non-dominated staircases (cap and q both strictly
+        // ascending, irregular steps) survive the prune intact, so the
+        // raw product stays large; the climb then turns the irregular
+        // steps into non-monotone q, the hard case for the windows.
+        let staircase = |phase: usize| -> Vec<DpCand> {
+            let mut cap = 1e-14;
+            let mut q = -1e-9;
+            (0..20usize)
+                .map(|i| {
+                    cap += (1 + (i * 3 + phase) % 7) as f64 * 2e-15;
+                    q += (1 + (i * 5 + phase) % 11) as f64 * 1e-13;
+                    DpCand {
+                        cap,
+                        q,
+                        cur: 1e-5,
+                        ns: 0.4,
+                        count: 0,
+                        cost: 0.0,
+                        parity: false,
+                        prov: NONE,
+                    }
+                })
+                .collect()
+        };
+        let mut left = staircase(0);
+        let mut right = staircase(4);
+        let mut s = DpScratch::default();
+        s.reset(2, lib.len());
+        prune(&mut left, &cfg, &mut s);
+        prune(&mut right, &cfg, &mut s);
+        let wire = Wire::from_rc(120.0, 2e-14, 1.0);
+        climb_in_place(&mut left, &wire, 1e-5, &cfg).expect("left survives");
+        climb_in_place(&mut right, &wire, 1e-5, &cfg).expect("right survives");
+        assert!(
+            left.windows(2).any(|w| w[1].q < w[0].q),
+            "climb failed to break q-monotonicity; fixture too tame"
+        );
+        assert!(
+            left.len() * right.len() >= PREDICTIVE_MIN_PRODUCT,
+            "fixture too small ({}x{}) to reach the windowed path",
+            left.len(),
+            right.len()
+        );
+        let mut naive: Vec<DpCand> = Vec::with_capacity(left.len() * right.len());
+        for a in &left {
+            for bb in &right {
+                naive.push(DpCand {
+                    cap: a.cap + bb.cap,
+                    q: a.q.min(bb.q),
+                    cur: a.cur + bb.cur,
+                    ns: a.ns.min(bb.ns),
+                    count: a.count + bb.count,
+                    cost: a.cost + bb.cost,
+                    parity: a.parity,
+                    prov: NONE,
+                });
+            }
+        }
+        prune(&mut naive, &cfg, &mut s);
+        let mut stats = DpStats::default();
+        let fused = merge_fused(
+            tree.source(),
+            &left,
+            &right,
+            &lib,
+            &cfg,
+            false,
+            &budget,
+            &mut s,
+            &mut stats,
+        )
+        .expect("operands are non-empty");
+        assert!(
+            stats.merge_products_pruned > 0,
+            "predictive path skipped nothing on a {}x{} product",
+            left.len(),
+            right.len()
+        );
+        assert_eq!(
+            stats.merge_products_enumerated + stats.merge_products_pruned,
+            left.len() * right.len()
+        );
+        assert_eq!(fused.len(), naive.len());
+        for (a, bb) in fused.iter().zip(naive.iter()) {
+            assert_eq!(a.cap.to_bits(), bb.cap.to_bits());
+            assert_eq!(a.q.to_bits(), bb.q.to_bits());
+            assert_eq!(a.count, bb.count);
         }
     }
 

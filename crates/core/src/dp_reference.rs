@@ -91,8 +91,19 @@ pub struct EngineSolution {
 pub struct EngineStats {
     /// Largest candidate list held live at any node.
     pub peak_candidates: usize,
-    /// Largest raw |L|·|R| merge product encountered.
+    /// Largest raw |L|·|R| merge product encountered. The seed engine
+    /// reports the raw product here; the arena engine reports its
+    /// enumerated peak, which is never larger.
     pub peak_merge_product: usize,
+    /// Total merge rows actually materialized across the run. For the
+    /// seed engine this is every legal pair; the arena engine's
+    /// predictive pruning makes it a (dominance-equivalent) subset.
+    pub merge_products_enumerated: usize,
+    /// Total merge pairs skipped: blocked (polarity, buffer cap) plus,
+    /// on the arena side, predictive witness skips. Per merge node
+    /// `enumerated + pruned` equals the raw product exactly, so the sum
+    /// is conserved across engines — the difftest asserts this.
+    pub merge_products_pruned: usize,
 }
 
 fn sorted_insertions(mut v: Vec<(NodeId, BufferId)>) -> Vec<(NodeId, BufferId)> {
@@ -155,6 +166,8 @@ pub fn run_arena(
         EngineStats {
             peak_candidates: stats.peak_candidates,
             peak_merge_product: stats.peak_merge_product,
+            merge_products_enumerated: stats.merge_products_enumerated,
+            merge_products_pruned: stats.merge_products_pruned,
         },
     ))
 }
@@ -422,6 +435,10 @@ fn run_seed(
                     stats.peak_merge_product = stats.peak_merge_product.max(product);
                     budget.admit_candidates(product)?;
                     let merged = merge(&left, &right, cfg);
+                    // Every legal pair is materialized here; only the
+                    // block filters (polarity, buffer cap) are "pruned".
+                    stats.merge_products_enumerated += merged.len();
+                    stats.merge_products_pruned += product - merged.len();
                     if merged.is_empty() {
                         return Err(CoreError::NoFeasibleCandidate);
                     }

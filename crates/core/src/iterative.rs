@@ -113,6 +113,8 @@ pub fn optimize(
         meets_noise: options.noise,
         peak_candidates: 0, // greedy holds no candidate lists
         peak_merge_product: 0,
+        merge_products_enumerated: 0,
+        merge_products_pruned: 0,
         peak_arena_bytes: 0,
         degraded_by: None, // greedy has no frontier to clamp
     })

@@ -38,10 +38,16 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::MalformedHeader => write!(f, "malformed frame header"),
             FrameError::LengthMismatch { declared, actual } => {
-                write!(f, "frame length mismatch: declared {declared}, got {actual}")
+                write!(
+                    f,
+                    "frame length mismatch: declared {declared}, got {actual}"
+                )
             }
             FrameError::CrcMismatch { declared, actual } => {
-                write!(f, "frame crc mismatch: declared {declared:016x}, got {actual:016x}")
+                write!(
+                    f,
+                    "frame crc mismatch: declared {declared:016x}, got {actual:016x}"
+                )
             }
         }
     }
@@ -159,7 +165,11 @@ mod tests {
             b"!F 0000000200000000000000000 {}",
             b"!F short",
         ] {
-            assert_eq!(decode_frame(line), Err(FrameError::MalformedHeader), "{line:?}");
+            assert_eq!(
+                decode_frame(line),
+                Err(FrameError::MalformedHeader),
+                "{line:?}"
+            );
         }
     }
 }

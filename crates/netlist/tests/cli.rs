@@ -390,7 +390,13 @@ fn batch_memo_changes_nothing_but_peaks_and_wall_times() {
     let off = run(&["--memo-budget-mb", "16", "--no-memo"]);
     let scrub = |out: &std::process::Output| {
         let mut s = normalize_wall(&String::from_utf8_lossy(&out.stdout));
-        for key in ["candidate_peak", "merge_peak", "arena_peak"] {
+        for key in [
+            "candidate_peak",
+            "merge_peak",
+            "merge_enumerated",
+            "merge_pruned",
+            "arena_peak",
+        ] {
             s = normalize_field(&s, key);
         }
         s
@@ -795,10 +801,7 @@ fn serve_answers_optimize_stats_and_shutdown() {
     assert!(stats.contains("\"workers\":2"), "{stats}");
     assert!(stats.contains("\"uptime_ms\":"), "{stats}");
     assert!(stats.contains("\"version\":\""), "{stats}");
-    assert!(
-        stats.contains("\"integrity\":{\"checks\":"),
-        "{stats}"
-    );
+    assert!(stats.contains("\"integrity\":{\"checks\":"), "{stats}");
 
     let ack = send("{\"cmd\":\"shutdown\"}");
     assert_eq!(ack, "{\"ok\":\"shutdown\"}");

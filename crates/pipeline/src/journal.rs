@@ -81,8 +81,8 @@ impl BatchJournal {
         let body = format!("{key:016x} {record_json}");
         // The CRC covers the key hex as well as the record, so a flipped
         // key bit cannot splice a valid record under the wrong digest.
-        let mut line = format!("{key:016x} {:016x} {record_json}\n", crc64(body.as_bytes()))
-            .into_bytes();
+        let mut line =
+            format!("{key:016x} {:016x} {record_json}\n", crc64(body.as_bytes())).into_bytes();
         if let Some(plan) = &self.fault {
             if let Some(FaultAction::CorruptJournalLine) = plan.fire(Seam::Store) {
                 let mid = line.len() / 2;
@@ -325,7 +325,10 @@ mod tests {
         assert!(loaded.records.contains_key(&7));
         assert_eq!(loaded.quarantined, 1);
         let side = std::fs::read(sidecar_path(&p)).expect("sidecar written");
-        assert!(side.starts_with(b"000000000000000a "), "torn line preserved");
+        assert!(
+            side.starts_with(b"000000000000000a "),
+            "torn line preserved"
+        );
         clean(&p);
     }
 
@@ -384,8 +387,11 @@ mod tests {
     fn old_format_version_is_refused_with_a_distinct_message() {
         let p = temp_path("oldformat");
         clean(&p);
-        std::fs::write(&p, "#buffopt-journal v1\n0000000000000007 {\"net\":\"a\"}\n")
-            .expect("write");
+        std::fs::write(
+            &p,
+            "#buffopt-journal v1\n0000000000000007 {\"net\":\"a\"}\n",
+        )
+        .expect("write");
         let err = load(&p).expect_err("rejects");
         let msg = err.to_string();
         assert!(msg.contains("unsupported journal format"), "{msg}");
@@ -407,13 +413,12 @@ mod tests {
     fn corrupt_journal_line_fault_flips_a_byte_on_disk() {
         let p = temp_path("fault");
         clean(&p);
-        let plan = Arc::new(FaultPlan::new().on_nth(
-            Seam::Store,
-            2,
-            FaultAction::CorruptJournalLine,
-        ));
+        let plan =
+            Arc::new(FaultPlan::new().on_nth(Seam::Store, 2, FaultAction::CorruptJournalLine));
         {
-            let mut j = BatchJournal::open(&p).expect("open").with_fault(plan.clone());
+            let mut j = BatchJournal::open(&p)
+                .expect("open")
+                .with_fault(plan.clone());
             j.append(1, "{\"net\":\"a\"}").expect("append");
             j.append(2, "{\"net\":\"b\"}").expect("append");
             j.append(3, "{\"net\":\"c\"}").expect("append");

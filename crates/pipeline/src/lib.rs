@@ -227,10 +227,19 @@ pub struct NetOutcome {
     /// Peak DP candidate-list size across the successful rung (0 when no
     /// DP rung succeeded).
     pub candidate_peak: usize,
-    /// Peak raw |L|·|R| merge product the successful DP rung swept (0 when
-    /// no DP rung succeeded). The gap to `candidate_peak` is how much the
-    /// fused merge-prune saved on this net.
+    /// Peak per-node count of merge rows the successful DP rung actually
+    /// enumerated (0 when no DP rung succeeded). The gap to
+    /// `candidate_peak` is how much the fused merge-prune saved on this
+    /// net.
     pub merge_peak: usize,
+    /// Total merge rows the successful DP rung enumerated across the net
+    /// (0 when no DP rung succeeded).
+    pub merge_enumerated: usize,
+    /// Total merge pairs the successful DP rung skipped without
+    /// enumerating them — polarity/buffer-cap blocks plus predictive
+    /// witness skips. `merge_enumerated + merge_pruned` equals the sum of
+    /// raw |L|·|R| merge products over the net.
+    pub merge_pruned: usize,
     /// High-water mark of the provenance arena across the successful DP
     /// rung, in bytes (0 when no DP rung succeeded).
     pub arena_peak: usize,
@@ -260,6 +269,8 @@ impl NetOutcome {
             wall: Duration::ZERO,
             candidate_peak: 0,
             merge_peak: 0,
+            merge_enumerated: 0,
+            merge_pruned: 0,
             arena_peak: 0,
             degraded_by: None,
             buffers: None,
@@ -273,8 +284,9 @@ impl NetOutcome {
     ///
     /// Schema (all keys always present):
     /// `net`, `outcome`, `rung`, `degraded_by`, `error`, `wall_ms`,
-    /// `candidate_peak`, `merge_peak`, `arena_peak`, `buffers`, `slack`,
-    /// `worst_headroom`, `attempts` (array of `{rung, error}`).
+    /// `candidate_peak`, `merge_peak`, `merge_enumerated`, `merge_pruned`,
+    /// `arena_peak`, `buffers`, `slack`, `worst_headroom`, `attempts`
+    /// (array of `{rung, error}`).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256);
         s.push_str("{\"net\":");
@@ -310,6 +322,10 @@ impl NetOutcome {
         s.push_str(&self.candidate_peak.to_string());
         s.push_str(",\"merge_peak\":");
         s.push_str(&self.merge_peak.to_string());
+        s.push_str(",\"merge_enumerated\":");
+        s.push_str(&self.merge_enumerated.to_string());
+        s.push_str(",\"merge_pruned\":");
+        s.push_str(&self.merge_pruned.to_string());
         s.push_str(",\"arena_peak\":");
         s.push_str(&self.arena_peak.to_string());
         s.push_str(",\"buffers\":");
@@ -761,6 +777,8 @@ fn finish(
     out.slack = Some(sol.slack);
     out.candidate_peak = sol.peak_candidates;
     out.merge_peak = sol.peak_merge_product;
+    out.merge_enumerated = sol.merge_products_enumerated;
+    out.merge_pruned = sol.merge_products_pruned;
     out.arena_peak = sol.peak_arena_bytes;
     out.degraded_by = sol.degraded_by;
     if let Ok(headroom) = guarded(|| {
@@ -1361,12 +1379,17 @@ mod tests {
         let mut ws = DpWorkspace::new();
         let o = optimize_input_with(&mut ws, &input, &c);
         assert_eq!(o.rung, Some(Rung::Problem3));
-        assert_eq!(reverify_outcome(&mut ws, &input, &c, &o), Reverify::Consistent);
+        assert_eq!(
+            reverify_outcome(&mut ws, &input, &c, &o),
+            Reverify::Consistent
+        );
 
         // A flipped high mantissa bit in the recorded slack — the model
         // of a corrupted cache entry — must not survive the audit.
         let mut doctored = o.clone();
-        doctored.slack = doctored.slack.map(|v| f64::from_bits(v.to_bits() ^ (1 << 51)));
+        doctored.slack = doctored
+            .slack
+            .map(|v| f64::from_bits(v.to_bits() ^ (1 << 51)));
         match reverify_outcome(&mut ws, &input, &c, &doctored) {
             Reverify::Mismatch(why) => assert!(why.contains("slack mismatch"), "{why}"),
             v => panic!("doctored slack passed the audit: {v:?}"),

@@ -33,7 +33,10 @@ fn cleanup(path: &PathBuf) {
 fn arb_record() -> impl Strategy<Value = String> {
     prop::collection::vec(0u8..16u8, 1..40).prop_map(|picks| {
         const ALPHABET: &[u8; 16] = b"{}\":,abc0189 .-e";
-        let body: String = picks.iter().map(|&p| ALPHABET[p as usize] as char).collect();
+        let body: String = picks
+            .iter()
+            .map(|&p| ALPHABET[p as usize] as char)
+            .collect();
         format!("{{\"net\":\"{}\"}}", body.replace(['"', '\\'], "x"))
     })
 }

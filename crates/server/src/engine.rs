@@ -532,7 +532,9 @@ impl Engine {
     /// verify-on-hit checks must turn into a detected eviction instead of
     /// a served lie.
     fn fire_store_fault(&self, key: u64) {
-        let Some(plan) = self.fault_plan() else { return };
+        let Some(plan) = self.fault_plan() else {
+            return;
+        };
         match plan.fire(Seam::Store) {
             Some(FaultAction::BitFlipCacheEntry) => {
                 self.cache.corrupt(key, false);

@@ -102,6 +102,8 @@ pub struct Metrics {
     conn_errors: AtomicU64,
     candidate_peak: AtomicU64,
     merge_peak: AtomicU64,
+    merge_enumerated: AtomicU64,
+    merge_pruned: AtomicU64,
     cancellations: [AtomicU64; 4],
     arena_peak_bytes: AtomicU64,
     degraded_pressure: AtomicU64,
@@ -205,6 +207,13 @@ impl Metrics {
             .fetch_max(o.candidate_peak as u64, Ordering::Relaxed);
         self.merge_peak
             .fetch_max(o.merge_peak as u64, Ordering::Relaxed);
+        // Cumulative merge-work split: rows the DP actually enumerated vs
+        // pairs predictive pruning (and the block filters) skipped. The
+        // ratio is the serving-side view of pruning effectiveness.
+        self.merge_enumerated
+            .fetch_add(o.merge_enumerated as u64, Ordering::Relaxed);
+        self.merge_pruned
+            .fetch_add(o.merge_pruned as u64, Ordering::Relaxed);
         // Resource-governor gauges: the provenance arena's high-water
         // mark across every worker, and how many runs finished by
         // degrading in place under a memory cap.
@@ -241,6 +250,8 @@ impl Metrics {
             conn_errors: self.conn_errors.load(Ordering::Relaxed),
             candidate_peak: self.candidate_peak.load(Ordering::Relaxed),
             merge_peak: self.merge_peak.load(Ordering::Relaxed),
+            merge_enumerated: self.merge_enumerated.load(Ordering::Relaxed),
+            merge_pruned: self.merge_pruned.load(Ordering::Relaxed),
             cancellations: std::array::from_fn(|i| self.cancellations[i].load(Ordering::Relaxed)),
             arena_peak_bytes: self.arena_peak_bytes.load(Ordering::Relaxed),
             degraded_pressure: self.degraded_pressure.load(Ordering::Relaxed),
@@ -292,9 +303,17 @@ pub struct MetricsSnapshot {
     pub conn_errors: u64,
     /// Largest per-net DP candidate list served so far (high-water mark).
     pub candidate_peak: u64,
-    /// Largest raw |L|·|R| merge product served so far (high-water mark);
-    /// the gap to `candidate_peak` is the fused merge-prune's savings.
+    /// Largest per-net count of enumerated merge rows served so far
+    /// (high-water mark); the gap to `candidate_peak` is the fused
+    /// merge-prune's savings.
     pub merge_peak: u64,
+    /// Merge rows enumerated across every served net (cumulative).
+    pub merge_enumerated: u64,
+    /// Merge pairs skipped unenumerated across every served net
+    /// (cumulative) — block filters plus predictive witness skips. The
+    /// `pruned / (enumerated + pruned)` ratio is the fleet-wide
+    /// predictive-pruning effectiveness.
+    pub merge_pruned: u64,
     /// In-flight runs cancelled, by reason ([`CancelReason::ALL`] order:
     /// `deadline`, `shutdown`, `disconnect`, `supervisor`).
     pub cancellations: [u64; 4],
@@ -384,8 +403,8 @@ impl MetricsSnapshot {
             self.verify_failures
         ));
         s.push_str(&format!(
-            ",\"candidates\":{{\"peak\":{},\"merge_peak\":{}}}",
-            self.candidate_peak, self.merge_peak
+            ",\"candidates\":{{\"peak\":{},\"merge_peak\":{},\"merge_enumerated\":{},\"merge_pruned\":{}}}",
+            self.candidate_peak, self.merge_peak, self.merge_enumerated, self.merge_pruned
         ));
         s.push_str(&format!(
             ",\"resource\":{{\"arena_peak_bytes\":{},\"degraded_pressure\":{},\"cancellations\":{{",
@@ -471,7 +490,12 @@ mod tests {
         rec.rung = Some(Rung::NoiseOnly);
         rec.wall = Duration::from_millis(7);
         m.record_outcome(&rec);
-        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 4, Duration::ZERO);
+        let snap = m.snapshot(
+            CacheStats::default(),
+            MemoStats::default(),
+            4,
+            Duration::ZERO,
+        );
         assert_eq!(snap.requests, 2);
         assert_eq!(snap.outcomes[outcome_index(Outcome::ParseError)], 1);
         assert_eq!(snap.outcomes[outcome_index(Outcome::Degraded)], 1);
@@ -486,16 +510,30 @@ mod tests {
         let mut rec = parse_error_record();
         rec.candidate_peak = 40;
         rec.merge_peak = 900;
+        rec.merge_enumerated = 1000;
+        rec.merge_pruned = 600;
         m.record_outcome(&rec);
         rec.candidate_peak = 25;
         rec.merge_peak = 1200;
+        rec.merge_enumerated = 500;
+        rec.merge_pruned = 900;
         m.record_outcome(&rec);
-        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 1, Duration::ZERO);
+        let snap = m.snapshot(
+            CacheStats::default(),
+            MemoStats::default(),
+            1,
+            Duration::ZERO,
+        );
         assert_eq!(snap.candidate_peak, 40, "keeps the max, not the last");
         assert_eq!(snap.merge_peak, 1200);
+        assert_eq!(snap.merge_enumerated, 1500, "totals accumulate");
+        assert_eq!(snap.merge_pruned, 1500);
         let j = snap.to_json();
         assert!(
-            j.contains("\"candidates\":{\"peak\":40,\"merge_peak\":1200}"),
+            j.contains(
+                "\"candidates\":{\"peak\":40,\"merge_peak\":1200,\
+                 \"merge_enumerated\":1500,\"merge_pruned\":1500}"
+            ),
             "{j}"
         );
     }
@@ -542,7 +580,7 @@ mod tests {
             "\"connections\":{\"errors\":0,\"bad_frames\":1}",
             // checks = cache 5 + memo 3, corrupt_evictions = cache 1 + memo 1.
             "\"integrity\":{\"checks\":8,\"corrupt_evictions\":2,\"verify_samples\":2,\"verify_failures\":1}",
-            "\"candidates\":{\"peak\":0,\"merge_peak\":0}",
+            "\"candidates\":{\"peak\":0,\"merge_peak\":0,\"merge_enumerated\":0,\"merge_pruned\":0}",
             "\"resource\":{\"arena_peak_bytes\":0,\"degraded_pressure\":0,\
              \"cancellations\":{\"deadline\":0,\"shutdown\":0,\"disconnect\":0,\"supervisor\":0}}",
             "\"outcomes\":{\"optimized\":0",
@@ -567,7 +605,12 @@ mod tests {
         m.record_cancelled(CancelReason::Deadline);
         m.record_cancelled(CancelReason::Disconnect);
         m.record_cancelled(CancelReason::Disconnect);
-        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 1, Duration::ZERO);
+        let snap = m.snapshot(
+            CacheStats::default(),
+            MemoStats::default(),
+            1,
+            Duration::ZERO,
+        );
         assert_eq!(snap.arena_peak_bytes, 4096, "keeps the max, not the last");
         assert_eq!(snap.degraded_pressure, 1);
         assert_eq!(snap.cancellations, [1, 0, 2, 0]);
@@ -594,7 +637,12 @@ mod tests {
         m.record_stale_drop();
         m.record_bad_output();
         m.record_conn_error();
-        let snap = m.snapshot(CacheStats::default(), MemoStats::default(), 1, Duration::ZERO);
+        let snap = m.snapshot(
+            CacheStats::default(),
+            MemoStats::default(),
+            1,
+            Duration::ZERO,
+        );
         assert_eq!(snap.rejections, [2, 1, 0]);
         assert_eq!(snap.worker_deaths, 1);
         assert_eq!(snap.respawns, 1);

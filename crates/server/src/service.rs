@@ -280,9 +280,7 @@ fn serve_lines(
                     // exactly like a sender that died mid-write. (Other
                     // actions are not meaningful at this arming.)
                     let torn: Vec<u8>;
-                    let frame: &[u8] = match engine
-                        .fault_plan()
-                        .and_then(|p| p.fire(Seam::Decode))
+                    let frame: &[u8] = match engine.fault_plan().and_then(|p| p.fire(Seam::Decode))
                     {
                         Some(FaultAction::TruncateFrame) => {
                             torn = bytes[..bytes.len() / 2].to_vec();

@@ -697,7 +697,9 @@ fn assert_same_record(a: &NetOutcome, b: &NetOutcome) {
 fn branchy(name: &str) -> NetInput {
     let tech = Technology::global_layer();
     let mut b = TreeBuilder::new(Driver::new(300.0, 10e-12));
-    let j = b.add_internal(b.source(), tech.wire(6_000.0)).expect("trunk");
+    let j = b
+        .add_internal(b.source(), tech.wire(6_000.0))
+        .expect("trunk");
     b.add_sink(j, tech.wire(4_000.0), SinkSpec::new(20e-15, 2.5e-9, 0.8))
         .expect("far sink");
     b.add_sink(j, tech.wire(5_200.0), SinkSpec::new(15e-15, 2.5e-9, 0.8))

@@ -27,10 +27,12 @@ pub mod adversarial;
 mod config;
 pub mod perturbed;
 mod population;
+pub mod scaling;
 
 pub use config::{SinkDistribution, WorkloadConfig};
 pub use perturbed::{perturbed_family, PerturbationConfig};
 pub use population::{generate, sink_histogram, GeneratedNet};
+pub use scaling::{scaling_net, ScalingConfig};
 
 use buffopt_noise::NoiseScenario;
 use buffopt_tree::RoutingTree;

@@ -1,0 +1,196 @@
+//! Large-net generator for the DP scaling benches.
+//!
+//! The paper's population (Table I) is dominated by one- and two-sink
+//! global nets — useless for probing how the DP's merge pressure grows
+//! with fan-out. This module generates single nets with an exact sink
+//! count (64–512 in the bench tier), a configurable branching shape
+//! between a caterpillar chain and a balanced binary tree, and
+//! log-uniform wire lengths, all deterministic from one seed so the
+//! scaling tier in `BENCH_dp.json` and any future serve bench draw
+//! bit-identical inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use buffopt_tree::{segment, Driver, NodeId, RoutingTree, SinkSpec, Technology, TreeBuilder};
+
+/// Configuration for [`scaling_net`].
+#[derive(Debug, Clone)]
+pub struct ScalingConfig {
+    /// Seed for the single `StdRng` all randomness flows through.
+    pub seed: u64,
+    /// Exact number of sinks in the generated net.
+    pub sinks: usize,
+    /// Branching shape: `0.0` degenerates to a caterpillar chain (every
+    /// split peels off one sink), `1.0` to a balanced binary tree (every
+    /// split halves the remainder); values between interpolate the split
+    /// point, which is then jittered ±1 to avoid perfectly regular trees.
+    pub branch_balance: f64,
+    /// Lower bound of the log-uniform per-edge wire length (µm).
+    pub min_wire_um: f64,
+    /// Upper bound of the log-uniform per-edge wire length (µm).
+    pub max_wire_um: f64,
+    /// Sink pin capacitance (farads).
+    pub sink_cap: f64,
+    /// Sink required arrival times are uniform in this range (ns).
+    pub rat_ns: (f64, f64),
+    /// Noise margin at every sink (volts, normalized) — the paper uses a
+    /// uniform 0.8 V.
+    pub noise_margin: f64,
+    /// Maximum wire-segment length handed to the segmenter (µm); shorter
+    /// segments mean more feasible buffer sites.
+    pub segment_um: f64,
+    /// The net's driver.
+    pub driver: Driver,
+}
+
+impl Default for ScalingConfig {
+    /// 64 sinks, a mildly unbalanced tree, global-layer route lengths
+    /// comparable to the population generator's long nets.
+    fn default() -> Self {
+        ScalingConfig {
+            seed: 0x5ca1ab1e,
+            sinks: 64,
+            branch_balance: 0.7,
+            min_wire_um: 200.0,
+            max_wire_um: 2_000.0,
+            sink_cap: 25e-15,
+            rat_ns: (1.5, 4.0),
+            noise_margin: 0.8,
+            segment_um: 400.0,
+            driver: Driver::new(250.0, 20e-12),
+        }
+    }
+}
+
+/// Generates one deterministic large net from `config`.
+///
+/// The tree is built by recursive binary splits: a subtree that owes `n`
+/// sinks attaches an internal node and divides the remainder per
+/// `branch_balance`, bottoming out in sinks. Every edge length is drawn
+/// log-uniform from the configured range; the finished tree is run
+/// through the wire segmenter so the DP sees realistic buffer-site
+/// density.
+///
+/// # Panics
+///
+/// Panics if `sinks` is zero, the wire-length range is not positive and
+/// ordered, or `branch_balance` is outside `[0, 1]`.
+pub fn scaling_net(config: &ScalingConfig) -> RoutingTree {
+    assert!(config.sinks > 0, "sink count must be positive");
+    assert!(
+        config.min_wire_um > 0.0 && config.max_wire_um >= config.min_wire_um,
+        "wire-length range must be positive and ordered"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.branch_balance),
+        "branch_balance must lie in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let tech = Technology::global_layer();
+    let mut b = TreeBuilder::new(config.driver);
+    let (lo, hi) = (config.min_wire_um.ln(), config.max_wire_um.ln());
+    let edge = |rng: &mut StdRng| tech.wire(rng.gen_range(lo..=hi).exp());
+    // Explicit worklist instead of recursion: a caterpillar at 512 sinks
+    // would otherwise nest 500+ frames.
+    let mut work: Vec<(NodeId, usize)> = vec![(b.source(), config.sinks)];
+    while let Some((parent, n)) = work.pop() {
+        if n == 1 {
+            let rat = rng.gen_range(config.rat_ns.0..=config.rat_ns.1) * 1e-9;
+            let w = edge(&mut rng);
+            b.add_sink(
+                parent,
+                w,
+                SinkSpec::new(config.sink_cap, rat, config.noise_margin),
+            )
+            .expect("builder accepts sinks");
+            continue;
+        }
+        let w = edge(&mut rng);
+        let node = b
+            .add_internal(parent, w)
+            .expect("builder accepts internals");
+        // Interpolate the split between "peel one off" and "halve", then
+        // jitter so the shape is not perfectly regular.
+        let half = n / 2;
+        let mut left = 1 + ((half.saturating_sub(1)) as f64 * config.branch_balance) as usize;
+        if left > 1 && left < n - 1 && rng.gen_bool(0.5) {
+            left += if rng.gen_bool(0.5) { 1 } else { 0 };
+        }
+        let left = left.clamp(1, n - 1);
+        work.push((node, n - left));
+        work.push((node, left));
+    }
+    let tree = b.build().expect("split trees are well-formed");
+    segment::segment_wires(&tree, config.segment_um)
+        .expect("positive segment length")
+        .tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fingerprint(t: &RoutingTree) -> (usize, usize, u64) {
+        let total: f64 = (0..t.len())
+            .filter_map(|i| t.parent_wire(NodeId::from_index(i)))
+            .map(|w| w.length)
+            .sum();
+        (t.len(), t.sinks().len(), total.to_bits())
+    }
+
+    #[test]
+    fn exact_sink_count_and_deterministic() {
+        for sinks in [1, 2, 64, 257] {
+            let cfg = ScalingConfig {
+                sinks,
+                ..ScalingConfig::default()
+            };
+            let a = scaling_net(&cfg);
+            let b = scaling_net(&cfg);
+            assert_eq!(a.sinks().len(), sinks);
+            assert_eq!(fingerprint(&a), fingerprint(&b), "same seed, same net");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = scaling_net(&ScalingConfig::default());
+        let b = scaling_net(&ScalingConfig {
+            seed: 1,
+            ..ScalingConfig::default()
+        });
+        assert_ne!(fingerprint(&a).2, fingerprint(&b).2);
+    }
+
+    #[test]
+    fn balance_controls_depth() {
+        let depth = |t: &RoutingTree| {
+            (0..t.len())
+                .map(|i| {
+                    let mut d = 0;
+                    let mut n = NodeId::from_index(i);
+                    while let Some(p) = t.parent(n) {
+                        d += 1;
+                        n = p;
+                    }
+                    d
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        let mk = |balance: f64| {
+            scaling_net(&ScalingConfig {
+                sinks: 128,
+                branch_balance: balance,
+                // One segment per edge keeps depth comparable across shapes.
+                segment_um: 2_000.0,
+                ..ScalingConfig::default()
+            })
+        };
+        assert!(
+            depth(&mk(0.0)) > 4 * depth(&mk(1.0)),
+            "caterpillar must be much deeper than balanced"
+        );
+    }
+}
