@@ -1,0 +1,562 @@
+//! Serving saturation snapshot: the sharded epoll reactor under
+//! connection-count sweeps, against the thread-per-connection baseline.
+//!
+//! Spawns the server as a child process (its own fd budget — the 10k+
+//! tiers need ~10k sockets on each side of the loopback), ramps N
+//! concurrent connections with a nonblocking `buffopt-netpoll` client
+//! loop, and drives two waves per tier:
+//!
+//! * **hot** — every connection asks for the same (primed) net, so each
+//!   response is a solution-cache hit and the measured latency is the
+//!   serving stack itself: accept fan-out, shard event loops, responder
+//!   hand-off, write backpressure. p50/p99/p999 and throughput per tier.
+//! * **cold** — every connection asks for a distinct net, flooding the
+//!   engines' bounded admission queue: the shed-rate curve (typed
+//!   `overloaded` refusals / total) per tier, the degrade-under-overload
+//!   contract at the TCP layer.
+//!
+//! A `comparison` section reruns the hot wave at the comparison tier
+//! against the legacy threaded front end **in the same run** and gates
+//! the reactor's p99 against it (`--max-ratio`, default 1.25): the
+//! re-platform must not cost tail latency. `--gate BASELINE` furthermore
+//! compares that ratio against a committed snapshot (tolerance
+//! `--gate-tolerance-pct`, default 75%) so drift shows up in CI without
+//! punishing slower machines — both front ends share the hardware, so
+//! the ratio is portable where raw microseconds are not.
+//!
+//! Usage: `serve_snapshot [--quick] [--out PATH] [--max-ratio R]
+//!                        [--gate BASELINE] [--gate-tolerance-pct P]`
+//!
+//! The full sweep (default) runs tiers 64–10240; `--quick` stops at
+//! 1024 (CI smoke). Writes `BENCH_serve.json` by default.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use buffopt_netlist::{parse, write as write_net, ParsedNet};
+use buffopt_netpoll::{
+    set_nonblocking, Event, FillOutcome, FlushOutcome, Interest, Poller, RecvBuf, SendBuf, TakeLine,
+};
+use buffopt_pipeline::{NetInput, PipelineConfig};
+use buffopt_server::{
+    serve_sharded, serve_threaded, Engine, EngineOptions, NetDecoder, ServeOptions,
+};
+use buffopt_workload::{adversarial, WorkloadConfig};
+
+/// Request-line cap mirrored on the client's receive side.
+const MAX_LINE: usize = 1 << 20;
+/// Hard wall per wave; a stuck wave fails the snapshot instead of
+/// hanging CI.
+const WAVE_DEADLINE: Duration = Duration::from_secs(300);
+/// Connections per ramp burst (the listener backlog is finite; bursting
+/// past it would throw the client into SYN-retransmit stalls).
+const RAMP_BURST: usize = 256;
+
+fn pipeline_config() -> PipelineConfig {
+    PipelineConfig {
+        max_tree_nodes: Some(70),
+        time_limit: Some(Duration::from_secs(60)),
+        ..PipelineConfig::new(buffopt_buffers::catalog::ibm_like())
+    }
+}
+
+fn decoder() -> NetDecoder {
+    Arc::new(|name: &str, body: &str| match parse(body) {
+        Ok(net) => NetInput::Parsed {
+            name: name.to_string(),
+            tree: net.tree,
+            scenario: net.scenario,
+        },
+        Err(e) => NetInput::Failed {
+            name: name.to_string(),
+            error: e.to_string(),
+        },
+    })
+}
+
+/// The one healthy net every request carries (deterministic).
+fn net_text_escaped() -> String {
+    let (tree, scenario) = adversarial::valid_net(&WorkloadConfig::default());
+    let node_names = (0..tree.len()).map(|_| None).collect();
+    let text = write_net(&ParsedNet {
+        name: None,
+        tree,
+        scenario,
+        node_names,
+    });
+    text.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn request(id: &str, escaped_net: &str) -> String {
+    format!("{{\"id\":\"{id}\",\"net\":\"{escaped_net}\"}}\n")
+}
+
+// ---------------------------------------------------------------------
+// Child-process server (--server): its own pid, its own fd budget.
+// ---------------------------------------------------------------------
+
+fn run_server(mode: &str, shards: usize, jobs: usize, queue_depth: usize) -> ! {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    println!("listening on {addr}");
+    std::io::stdout().flush().expect("flush");
+    let mk = || {
+        Arc::new(Engine::new(
+            pipeline_config(),
+            EngineOptions {
+                jobs,
+                queue_depth,
+                ..EngineOptions::default()
+            },
+        ))
+    };
+    let opts = ServeOptions::default();
+    let result = match mode {
+        "threaded" => serve_threaded(listener, mk(), decoder(), opts),
+        _ => serve_sharded(
+            listener,
+            (0..shards).map(|_| mk()).collect(),
+            decoder(),
+            opts,
+        ),
+    };
+    result.expect("serve runs");
+    std::process::exit(0)
+}
+
+fn spawn_server(mode: &str, shards: usize, jobs: usize, queue_depth: usize) -> (Child, SocketAddr) {
+    let exe = std::env::current_exe().expect("own path");
+    let mut child = Command::new(exe)
+        .args([
+            "--server",
+            "--mode",
+            mode,
+            "--shards",
+            &shards.to_string(),
+            "--jobs",
+            &jobs.to_string(),
+            "--queue-depth",
+            &queue_depth.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn server child");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .expect("listening prefix")
+        .parse()
+        .expect("socket addr");
+    (child, addr)
+}
+
+fn shutdown_server(addr: SocketAddr, mut child: Child) {
+    let mut stream = TcpStream::connect(addr).expect("connect for shutdown");
+    stream
+        .write_all(b"{\"cmd\":\"shutdown\"}\n")
+        .expect("send shutdown");
+    let mut ack = String::new();
+    BufReader::new(stream).read_line(&mut ack).expect("ack");
+    assert_eq!(ack.trim_end(), "{\"ok\":\"shutdown\"}", "shutdown ack");
+    let status = child.wait().expect("child exits");
+    assert!(status.success(), "server child exited cleanly");
+}
+
+/// One blocking round-trip: primes the solution cache so hot waves are
+/// pure cache-hit serving.
+fn prime(addr: SocketAddr, req: &str) {
+    let mut stream = TcpStream::connect(addr).expect("connect for prime");
+    stream.write_all(req.as_bytes()).expect("send prime");
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).expect("primed");
+    assert!(
+        line.contains("\"outcome\":\"optimized\""),
+        "prime failed: {line}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Nonblocking client driver.
+// ---------------------------------------------------------------------
+
+/// Per-connection wave state; the `TcpStream` itself stays in the
+/// caller's slab (no `try_clone` — at 10k+ connections a cloned fd per
+/// stream would double the descriptor bill).
+struct ClientConn {
+    recv: RecvBuf,
+    send: SendBuf,
+    issued: Instant,
+    done: bool,
+}
+
+struct WaveResult {
+    n: usize,
+    served: usize,
+    shed: usize,
+    errors: usize,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+    wall_ms: f64,
+    throughput_rps: f64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Opens `n` connections, bursting below the listener backlog.
+fn ramp(addr: SocketAddr, n: usize) -> Vec<TcpStream> {
+    let mut conns = Vec::with_capacity(n);
+    for i in 0..n {
+        if i > 0 && i % RAMP_BURST == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stream = TcpStream::connect(addr).expect("ramp connect");
+        set_nonblocking(stream.as_raw_fd(), true).expect("nonblocking");
+        conns.push(stream);
+    }
+    conns
+}
+
+/// Sends one request per connection and collects every response,
+/// entirely readiness-driven.
+fn run_wave(conns: &mut [TcpStream], requests: &[String]) -> WaveResult {
+    assert_eq!(conns.len(), requests.len());
+    let poller = Poller::new().expect("poller");
+    let started = Instant::now();
+    let mut clients: Vec<ClientConn> = requests
+        .iter()
+        .map(|req| {
+            let mut send = SendBuf::new();
+            send.queue(req.as_bytes());
+            ClientConn {
+                recv: RecvBuf::new(),
+                send,
+                issued: Instant::now(),
+                done: false,
+            }
+        })
+        .collect();
+    for (i, stream) in conns.iter().enumerate() {
+        poller
+            .register(stream.as_raw_fd(), i as u64, Interest::BOTH)
+            .expect("register");
+    }
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(clients.len());
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    let mut errors = 0usize;
+    let mut done = 0usize;
+    let mut events: Vec<Event> = Vec::new();
+    while done < clients.len() {
+        assert!(
+            started.elapsed() < WAVE_DEADLINE,
+            "wave stuck: {done}/{} responses after {WAVE_DEADLINE:?}",
+            clients.len()
+        );
+        poller
+            .wait(&mut events, 1024, Some(Duration::from_millis(100)))
+            .expect("wait");
+        for ev in &events {
+            let idx = ev.token as usize;
+            let c = &mut clients[idx];
+            let stream = &mut conns[idx];
+            if c.done {
+                continue;
+            }
+            if ev.error {
+                let _ = poller.deregister(stream.as_raw_fd());
+                c.done = true;
+                errors += 1;
+                done += 1;
+                continue;
+            }
+            if ev.writable && !c.send.is_empty() {
+                match c.send.flush_to(stream) {
+                    FlushOutcome::Closed => {
+                        let _ = poller.deregister(stream.as_raw_fd());
+                        c.done = true;
+                        errors += 1;
+                        done += 1;
+                        continue;
+                    }
+                    FlushOutcome::Done => {
+                        poller
+                            .modify(stream.as_raw_fd(), ev.token, Interest::READ)
+                            .expect("modify");
+                    }
+                    FlushOutcome::Pending => {}
+                }
+            }
+            if ev.readable || ev.rdhup || ev.hup {
+                let outcome = c.recv.fill_from(stream, MAX_LINE + 4096);
+                let at_eof = matches!(outcome, Err(_) | Ok(FillOutcome::Eof));
+                if let TakeLine::Line(line) = c.recv.take_line(MAX_LINE) {
+                    latencies.push(c.issued.elapsed().as_micros() as u64);
+                    if line.starts_with(b"{\"error\":\"overloaded\"") {
+                        shed += 1;
+                    } else {
+                        served += 1;
+                    }
+                    let _ = poller.deregister(stream.as_raw_fd());
+                    c.done = true;
+                    done += 1;
+                } else if at_eof {
+                    // EOF before a full line: the server cut us off.
+                    let _ = poller.deregister(stream.as_raw_fd());
+                    c.done = true;
+                    errors += 1;
+                    done += 1;
+                }
+            }
+        }
+    }
+    let wall = started.elapsed();
+    latencies.sort_unstable();
+    WaveResult {
+        n: clients.len(),
+        served,
+        shed,
+        errors,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        p999_us: percentile(&latencies, 0.999),
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_rps: if wall.as_secs_f64() > 0.0 {
+            latencies.len() as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+    }
+}
+
+fn wave_json(w: &WaveResult) -> String {
+    format!(
+        "{{\"n\":{},\"served\":{},\"shed\":{},\"errors\":{},\"shed_rate\":{:.4},\
+         \"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"wall_ms\":{:.1},\
+         \"throughput_rps\":{:.0}}}",
+        w.n,
+        w.served,
+        w.shed,
+        w.errors,
+        w.shed as f64 / w.n.max(1) as f64,
+        w.p50_us,
+        w.p99_us,
+        w.p999_us,
+        w.wall_ms,
+        w.throughput_rps,
+    )
+}
+
+/// Hot wave (primed id, cache hits) and optionally the cold wave
+/// (distinct ids, admission flood) at one connection count.
+fn run_tier(
+    addr: SocketAddr,
+    conns_n: usize,
+    tier_tag: &str,
+    escaped: &str,
+    with_cold: bool,
+) -> (WaveResult, Option<WaveResult>) {
+    let mut conns = ramp(addr, conns_n);
+    let hot_reqs: Vec<String> = (0..conns_n).map(|_| request("hot", escaped)).collect();
+    let hot = run_wave(&mut conns, &hot_reqs);
+    let cold = if with_cold {
+        let cold_reqs: Vec<String> = (0..conns_n)
+            .map(|i| request(&format!("cold-{tier_tag}-{i}"), escaped))
+            .collect();
+        Some(run_wave(&mut conns, &cold_reqs))
+    } else {
+        None
+    };
+    (hot, cold)
+}
+
+/// Pulls `"ratio":<float>` out of a committed snapshot's comparison
+/// section without a JSON parser.
+fn baseline_ratio(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let comparison = text.find("\"comparison\"")?;
+    let tail = &text[comparison..];
+    let key = tail.find("\"ratio\":")?;
+    let after = &tail[key + "\"ratio\":".len()..];
+    let end = after
+        .find(|ch: char| ch != '.' && ch != '-' && !ch.is_ascii_digit())
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut server_mode = false;
+    let mut mode = "reactor".to_string();
+    let mut shards = 2usize;
+    let mut jobs = 1usize;
+    let mut queue_depth = 64usize;
+    let mut quick = false;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut max_ratio = 1.25f64;
+    let mut gate: Option<String> = None;
+    let mut gate_tolerance_pct = 75.0f64;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--server" => server_mode = true,
+            "--mode" => mode = args.next().expect("--mode value"),
+            "--shards" => shards = args.next().expect("--shards value").parse().expect("usize"),
+            "--jobs" => jobs = args.next().expect("--jobs value").parse().expect("usize"),
+            "--queue-depth" => {
+                queue_depth = args
+                    .next()
+                    .expect("--queue-depth value")
+                    .parse()
+                    .expect("usize")
+            }
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out value"),
+            "--max-ratio" => {
+                max_ratio = args
+                    .next()
+                    .expect("--max-ratio value")
+                    .parse()
+                    .expect("float")
+            }
+            "--gate" => gate = Some(args.next().expect("--gate value")),
+            "--gate-tolerance-pct" => {
+                gate_tolerance_pct = args
+                    .next()
+                    .expect("--gate-tolerance-pct value")
+                    .parse()
+                    .expect("float")
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if server_mode {
+        run_server(&mode, shards, jobs, queue_depth);
+    }
+
+    let tiers: &[usize] = if quick {
+        &[64, 256, 1024]
+    } else {
+        &[64, 256, 1024, 4096, 10240]
+    };
+    let comparison_tier = 1024usize;
+    let escaped = net_text_escaped();
+
+    // --- The reactor sweep ---
+    let (child, addr) = spawn_server("reactor", shards, jobs, queue_depth);
+    prime(addr, &request("hot", &escaped));
+    let mut tier_rows = Vec::new();
+    let mut reactor_cmp_p99 = 0u64;
+    for &n in tiers {
+        eprintln!("reactor tier {n} ...");
+        let (hot, cold) = run_tier(addr, n, &format!("r{n}"), &escaped, true);
+        assert_eq!(hot.errors, 0, "hot wave at {n} conns had socket errors");
+        assert_eq!(
+            hot.shed, 0,
+            "hot wave at {n} conns was shed; cache-hit serving must not touch admission"
+        );
+        if n == comparison_tier {
+            reactor_cmp_p99 = hot.p99_us;
+        }
+        eprintln!(
+            "  hot p50/p99/p999 {}/{}/{} us, {:.0} rps; cold shed {}/{}",
+            hot.p50_us,
+            hot.p99_us,
+            hot.p999_us,
+            hot.throughput_rps,
+            cold.as_ref().map_or(0, |c| c.shed),
+            n
+        );
+        tier_rows.push(format!(
+            "    {{\"conns\":{n},\"hot\":{},\"cold\":{}}}",
+            wave_json(&hot),
+            wave_json(cold.as_ref().expect("cold wave ran")),
+        ));
+    }
+    shutdown_server(addr, child);
+
+    // --- The threaded baseline at the comparison tier, same run ---
+    eprintln!("threaded comparison tier {comparison_tier} ...");
+    let (child, addr) = spawn_server("threaded", 1, jobs, queue_depth);
+    prime(addr, &request("hot", &escaped));
+    let (threaded_hot, _) = run_tier(addr, comparison_tier, "t", &escaped, false);
+    shutdown_server(addr, child);
+    assert_eq!(
+        threaded_hot.errors, 0,
+        "threaded hot wave had socket errors"
+    );
+
+    let ratio = reactor_cmp_p99 as f64 / threaded_hot.p99_us.max(1) as f64;
+    eprintln!(
+        "comparison at {comparison_tier} conns: reactor p99 {} us, threaded p99 {} us, ratio {:.3}",
+        reactor_cmp_p99, threaded_hot.p99_us, ratio
+    );
+
+    let json = format!(
+        "{{\n  \"meta\":{{\"quick\":{quick},\"shards\":{shards},\"jobs\":{jobs},\
+         \"queue_depth\":{queue_depth}}},\n  \"tiers\":[\n{}\n  ],\n  \
+         \"comparison\":{{\"conns\":{comparison_tier},\"reactor_p99_us\":{reactor_cmp_p99},\
+         \"threaded_p99_us\":{},\"threaded_hot\":{},\"ratio\":{ratio:.4}}}\n}}\n",
+        tier_rows.join(",\n"),
+        threaded_hot.p99_us,
+        wave_json(&threaded_hot),
+    );
+    std::fs::write(&out, &json).expect("write snapshot");
+    eprintln!("wrote {out}");
+
+    let mut failed = false;
+    if ratio > max_ratio {
+        eprintln!(
+            "GATE: reactor p99 is {ratio:.3}x the threaded baseline at \
+             {comparison_tier} conns (max allowed {max_ratio})"
+        );
+        failed = true;
+    }
+    if let Some(path) = gate {
+        match baseline_ratio(&path) {
+            Some(base) => {
+                let limit = base * (1.0 + gate_tolerance_pct / 100.0);
+                if ratio > limit {
+                    eprintln!(
+                        "GATE: p99 ratio {ratio:.3} drifted past the committed \
+                         baseline {base:.3} by more than {gate_tolerance_pct}% \
+                         (limit {limit:.3})"
+                    );
+                    failed = true;
+                } else {
+                    eprintln!(
+                        "gate ok: ratio {ratio:.3} within {gate_tolerance_pct}% of \
+                         committed {base:.3}"
+                    );
+                }
+            }
+            None => {
+                eprintln!("GATE: no comparison ratio found in {path}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -69,7 +69,15 @@
 //!   `--max-retries N` bounds retries of requests whose worker died
 //!   (default 1), `--read-timeout-ms N` closes connections idle past the
 //!   limit (default 120000; 0 disables), and `--max-line-bytes N` caps
-//!   the request-line length (default 1 MiB);
+//!   the request-line length (default 1 MiB). The service runs on a
+//!   sharded epoll reactor: `--shards N` serves on N event-loop shards,
+//!   each with its own engine (requests route to an engine by a
+//!   rendezvous hash of the net digest; `stats` aggregates all shards),
+//!   `--max-conns N` refuses accepts beyond N live connections with a
+//!   typed `{"error":"overloaded","detail":"max_conns"}` line (0 =
+//!   unlimited), and `--threaded` falls back to the legacy
+//!   thread-per-connection front end (single engine; incompatible with
+//!   `--shards`);
 //! * `--frame-check` — accept length+CRC framed request lines
 //!   (`!F <len> <crc> <payload>`) on the TCP service and mirror the
 //!   framing on responses. Negotiated per line: unframed clients on the
@@ -111,7 +119,8 @@ use buffopt_noise::NoiseScenario;
 use buffopt_pipeline::journal::{self, BatchJournal};
 use buffopt_pipeline::{BatchSummary, NetInput, Outcome, PipelineConfig};
 use buffopt_server::{
-    default_jobs, serve_with, Engine, EngineOptions, Job, NetDecoder, ServeOptions,
+    default_jobs, serve_sharded, serve_threaded, Engine, EngineOptions, Job, NetDecoder,
+    ServeOptions,
 };
 use buffopt_sim::referee::{self, RefereeOptions};
 use buffopt_tree::{segment, RoutingTree};
@@ -128,6 +137,9 @@ struct Args {
     resume: Option<String>,
     serve: bool,
     listen: String,
+    shards: usize,
+    max_conns: usize,
+    threaded: bool,
     jobs: Option<usize>,
     cache: usize,
     queue_depth: usize,
@@ -214,6 +226,7 @@ impl Args {
             },
             max_line_bytes: self.max_line_bytes,
             frame_check: self.frame_check,
+            max_conns: self.max_conns,
         }
     }
 }
@@ -234,7 +247,8 @@ fn usage() -> String {
      [--mem-budget-mb N] [--memo-budget-mb N] [--no-memo]\n\
      \x20      buffopt-cli --batch DIR [--jobs N] [--journal FILE | --resume FILE] \
      [--verify-sample-rate R] [shared flags as above]\n\
-     \x20      buffopt-cli serve [--listen ADDR] [--jobs N] [--cache N] \
+     \x20      buffopt-cli serve [--listen ADDR] [--shards N] [--max-conns N] \
+     [--threaded] [--jobs N] [--cache N] \
      [--queue-depth N] [--deadline-ms N] [--max-retries N] [--read-timeout-ms N] \
      [--max-line-bytes N] [--frame-check] [--verify-sample-rate R] \
      [shared flags as above]"
@@ -249,6 +263,9 @@ fn parse_args() -> Result<Args, String> {
         resume: None,
         serve: false,
         listen: "127.0.0.1:0".to_string(),
+        shards: 1,
+        max_conns: 0,
+        threaded: false,
         jobs: None,
         cache: 1024,
         queue_depth: 0,
@@ -305,6 +322,19 @@ fn parse_args() -> Result<Args, String> {
             "--listen" => {
                 args.listen = it.next().ok_or_else(usage)?;
             }
+            "--shards" => {
+                let v = it.next().ok_or_else(usage)?;
+                let n: usize = v.parse().map_err(|_| format!("bad --shards {v:?}"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                args.shards = n;
+            }
+            "--max-conns" => {
+                let v = it.next().ok_or_else(usage)?;
+                args.max_conns = v.parse().map_err(|_| format!("bad --max-conns {v:?}"))?;
+            }
+            "--threaded" => args.threaded = true,
             "--jobs" => {
                 let v = it.next().ok_or_else(usage)?;
                 let n: usize = v.parse().map_err(|_| format!("bad --jobs {v:?}"))?;
@@ -436,6 +466,14 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.frame_check && !args.serve {
         return Err("--frame-check only applies to serve".to_string());
+    }
+    if (args.shards > 1 || args.max_conns > 0 || args.threaded) && !args.serve {
+        return Err("--shards/--max-conns/--threaded only apply to serve".to_string());
+    }
+    if args.threaded && args.shards > 1 {
+        return Err(
+            "--threaded serves on one engine; it is incompatible with --shards".to_string(),
+        );
     }
     if args.verify_sample_rate > 0.0 && args.file.is_some() {
         return Err("--verify-sample-rate only applies to --batch and serve".to_string());
@@ -717,7 +755,13 @@ fn run_serve_mode(args: &Args) -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
-    let engine = std::sync::Arc::new(Engine::new(args.pipeline_config(), args.engine_options()));
+    // One engine per reactor shard. Each gets its own pipeline config
+    // (and thus its own memo table, when one is enabled), so per-engine
+    // statistics stay independent and the stats aggregation never
+    // double-counts a shared structure.
+    let engines: Vec<_> = (0..args.shards)
+        .map(|_| std::sync::Arc::new(Engine::new(args.pipeline_config(), args.engine_options())))
+        .collect();
     match listener.local_addr() {
         Ok(addr) => {
             // Scripts wait for this line to learn the OS-assigned port.
@@ -730,8 +774,24 @@ fn run_serve_mode(args: &Args) -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     }
-    eprintln!("{} workers, cache capacity {}", engine.jobs(), args.cache);
-    match serve_with(listener, engine, net_decoder(), args.serve_options()) {
+    eprintln!(
+        "{} shard(s) x {} workers, cache capacity {}{}",
+        engines.len(),
+        engines[0].jobs(),
+        args.cache,
+        if args.threaded {
+            ", threaded front end"
+        } else {
+            ""
+        }
+    );
+    let result = if args.threaded {
+        let engine = engines.into_iter().next().expect("one engine");
+        serve_threaded(listener, engine, net_decoder(), args.serve_options())
+    } else {
+        serve_sharded(listener, engines, net_decoder(), args.serve_options())
+    };
+    match result {
         Ok(()) => ExitCode::from(EXIT_OK),
         Err(e) => {
             eprintln!("serve failed: {e}");

@@ -1,0 +1,71 @@
+//! Direct `extern "C"` bindings to the handful of Linux syscall wrappers
+//! the reactor needs — epoll, eventfd, `accept4`, and `fcntl` — plus the
+//! constants they take. The build environment has no registry access, so
+//! `libc`/`mio`/`tokio` are unavailable; these declarations are the
+//! whole FFI surface, kept in one module so every `unsafe` block in the
+//! crate points back here.
+//!
+//! Everything is Linux-only by construction (the serving layer targets
+//! Linux hosts; see the crate docs). On x86-64 and aarch64 the kernel
+//! ABI for these calls is identical modulo the `epoll_event` layout,
+//! which is declared packed exactly as glibc does on x86-64 (where the
+//! kernel expects the 12-byte layout).
+
+#![allow(non_camel_case_types)]
+// The declarations mirror the kernel/glibc names one-for-one; the
+// module docs above cover them collectively.
+#![allow(missing_docs)]
+
+use std::os::raw::{c_int, c_uint, c_void};
+
+/// `struct epoll_event`: an interest/readiness mask plus the caller's
+/// 64-bit token. The kernel ABI is packed (12 bytes) on x86-64 only —
+/// glibc declares it `__attribute__((packed))` there — and naturally
+/// aligned (16 bytes) everywhere else, so the packing is conditional.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub u64: u64,
+}
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half (half-close / full close). Registering for
+/// this lets the reactor see a hang-up without issuing a read.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+pub const EPOLL_CLOEXEC: c_int = 0x80000;
+
+pub const EFD_CLOEXEC: c_int = 0x80000;
+pub const EFD_NONBLOCK: c_int = 0x800;
+
+pub const F_GETFL: c_int = 3;
+pub const F_SETFL: c_int = 4;
+pub const O_NONBLOCK: c_int = 0x800;
+
+pub const SOCK_NONBLOCK: c_int = 0x800;
+pub const SOCK_CLOEXEC: c_int = 0x80000;
+
+extern "C" {
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    pub fn accept4(sockfd: c_int, addr: *mut c_void, addrlen: *mut c_uint, flags: c_int) -> c_int;
+    pub fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    pub fn close(fd: c_int) -> c_int;
+}

@@ -184,7 +184,12 @@ impl SolutionCache {
     }
 
     /// Stores a record, evicting the least-recently-used entry of the
-    /// shard if it is full. Re-inserting an existing key refreshes it.
+    /// shard if it is full. Inserting a key that is already present
+    /// keeps the stored record and only refreshes its recency: when two
+    /// concurrent requests for the same key both miss and both compute
+    /// (their timing records differ even though the solutions agree),
+    /// first-write-wins keeps every subsequent hit byte-identical
+    /// instead of flapping between the racers' records.
     pub fn insert(&self, key: u64, outcome: NetOutcome, worker: usize) {
         if self.per_shard == 0 {
             return;
@@ -192,7 +197,11 @@ impl SolutionCache {
         let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
         shard.tick += 1;
         let tick = shard.tick;
-        if shard.map.len() >= self.per_shard && !shard.map.contains_key(&key) {
+        if let Some(entry) = shard.map.get_mut(&key) {
+            entry.tick = tick;
+            return;
+        }
+        if shard.map.len() >= self.per_shard {
             // Shards are small (capacity / shards); a linear scan for the
             // oldest tick is cheaper than maintaining an intrusive list
             // and runs nowhere near the optimizer's hot path.

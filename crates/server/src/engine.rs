@@ -251,6 +251,9 @@ struct WorkerShared {
     surplus: AtomicUsize,
     /// Nominal pool size.
     target: usize,
+    /// Tasks submitted but not yet dequeued by a worker — a queue-depth
+    /// gauge for per-shard stats, maintained on every send/dequeue pair.
+    queued: AtomicUsize,
 }
 
 impl WorkerShared {
@@ -363,6 +366,7 @@ pub struct Engine {
     cache: Arc<SolutionCache>,
     metrics: Arc<Metrics>,
     jobs: usize,
+    queue_depth: usize,
     max_retries: u32,
     request_deadline: Option<Duration>,
     shutting_down: AtomicBool,
@@ -405,6 +409,7 @@ impl Engine {
             live: AtomicUsize::new(0),
             surplus: AtomicUsize::new(0),
             target: jobs,
+            queued: AtomicUsize::new(0),
         });
         let cache = Arc::new(SolutionCache::new(opts.cache_capacity, opts.cache_shards));
         let verify_rate = opts.verify_sample_rate.clamp(0.0, 1.0);
@@ -430,6 +435,7 @@ impl Engine {
             cache,
             metrics,
             jobs,
+            queue_depth,
             max_retries: opts.max_retries,
             request_deadline: opts.request_deadline,
             shutting_down: AtomicBool::new(false),
@@ -466,6 +472,18 @@ impl Engine {
     /// Worker threads the pool targets (its nominal size).
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The bounded submission queue's capacity (resolved from
+    /// [`EngineOptions::queue_depth`], so never zero).
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Tasks submitted but not yet picked up by a worker right now — a
+    /// racy instantaneous gauge, suitable for stats reporting only.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queued.load(Ordering::SeqCst)
     }
 
     /// Worker threads alive right now (may briefly exceed
@@ -709,7 +727,7 @@ impl Engine {
         };
         if shed {
             match tx.try_send(task) {
-                Ok(()) => {}
+                Ok(()) => self.shared.queued.fetch_add(1, Ordering::SeqCst),
                 Err(TrySendError::Full(_)) => {
                     self.metrics.record_rejection(Rejection::Overloaded);
                     return Err(Rejection::Overloaded);
@@ -718,10 +736,12 @@ impl Engine {
                     self.metrics.record_rejection(Rejection::ShuttingDown);
                     return Err(Rejection::ShuttingDown);
                 }
-            }
+            };
         } else if tx.send(task).is_err() {
             self.metrics.record_rejection(Rejection::ShuttingDown);
             return Err(Rejection::ShuttingDown);
+        } else {
+            self.shared.queued.fetch_add(1, Ordering::SeqCst);
         }
         loop {
             let received = match deadline {
@@ -830,6 +850,7 @@ impl Engine {
                 reply: reply.clone(),
             };
             if tx.send(resubmit).is_ok() {
+                self.shared.queued.fetch_add(1, Ordering::SeqCst);
                 return Triage::Retried;
             }
             // The queue closed under us (shutdown); fall through to a
@@ -903,11 +924,13 @@ impl Engine {
                 // backpressure, so the feeder blocks while this thread
                 // drains replies — no deadlock however large the batch.
                 let feeder_tx = tx.clone();
+                let feeder_shared = Arc::clone(&self.shared);
                 let feeder = std::thread::spawn(move || {
                     for task in queue {
                         if feeder_tx.send(task).is_err() {
                             break;
                         }
+                        feeder_shared.queued.fetch_add(1, Ordering::SeqCst);
                     }
                 });
                 let mut completed = 0usize;
@@ -1044,6 +1067,11 @@ fn worker_loop(wid: usize, shared: &WorkerShared) {
             Ok(t) => t,
             Err(_) => return, // engine dropped the sender: shut down
         };
+        // Saturating: a task could race its own dequeue with the
+        // submitter's post-send increment, so never underflow the gauge.
+        let _ = shared
+            .queued
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |q| q.checked_sub(1));
         let deadline = task.deadline;
         let cancel = task.cancel.clone();
         let mut guard = TaskGuard {

@@ -100,6 +100,7 @@ pub struct Metrics {
     stale_drops: AtomicU64,
     bad_outputs: AtomicU64,
     conn_errors: AtomicU64,
+    rejected_max_conns: AtomicU64,
     candidate_peak: AtomicU64,
     merge_peak: AtomicU64,
     merge_enumerated: AtomicU64,
@@ -159,6 +160,13 @@ impl Metrics {
     /// client got a typed `bad_frame` error, not a parse guess).
     pub fn record_bad_frame(&self) {
         self.bad_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one connection refused at accept time because the server
+    /// was at its `--max-conns` ceiling (the client got a typed
+    /// `overloaded` refusal line).
+    pub fn record_rejected_max_conns(&self) {
+        self.rejected_max_conns.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one served response picked up by the sampled
@@ -248,6 +256,7 @@ impl Metrics {
             stale_drops: self.stale_drops.load(Ordering::Relaxed),
             bad_outputs: self.bad_outputs.load(Ordering::Relaxed),
             conn_errors: self.conn_errors.load(Ordering::Relaxed),
+            rejected_max_conns: self.rejected_max_conns.load(Ordering::Relaxed),
             candidate_peak: self.candidate_peak.load(Ordering::Relaxed),
             merge_peak: self.merge_peak.load(Ordering::Relaxed),
             merge_enumerated: self.merge_enumerated.load(Ordering::Relaxed),
@@ -263,6 +272,7 @@ impl Metrics {
             workers,
             uptime_ms: uptime.as_millis() as u64,
             version: env!("CARGO_PKG_VERSION"),
+            shards: Vec::new(),
         }
     }
 }
@@ -274,6 +284,59 @@ pub struct RungSnapshot {
     pub served: u64,
     /// Wall-time histogram (bounds [`LATENCY_BOUNDS_MS`] + overflow).
     pub latency: [u64; BUCKETS],
+}
+
+/// The histogram value reported for samples past the last bucket bound:
+/// the overflow bucket has no upper edge, so percentiles landing there
+/// are pinned to twice the final bound rather than pretending precision.
+pub const LATENCY_OVERFLOW_MS: u64 = LATENCY_BOUNDS_MS[LATENCY_BOUNDS_MS.len() - 1] * 2;
+
+impl RungSnapshot {
+    /// The upper bound (ms) of the bucket where quantile `q` (in
+    /// `(0, 1]`) falls, or 0 when the histogram is empty. Samples in the
+    /// overflow bucket report [`LATENCY_OVERFLOW_MS`]. Bucketed
+    /// percentiles are upper bounds, not interpolations — good enough
+    /// to gate a benchmark, honest about their resolution.
+    pub fn percentile_ms(&self, q: f64) -> u64 {
+        let total: u64 = self.latency.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &n) in self.latency.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return LATENCY_BOUNDS_MS
+                    .get(i)
+                    .copied()
+                    .unwrap_or(LATENCY_OVERFLOW_MS);
+            }
+        }
+        LATENCY_OVERFLOW_MS
+    }
+}
+
+/// One reactor shard's live gauges and per-engine counters, reported in
+/// the `stats` response's `shards` array so operators can see routing
+/// skew and per-shard saturation at a glance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Shard index (also the engine index: shards and engines are 1:1).
+    pub shard: usize,
+    /// Connections currently owned by this shard's event loop.
+    pub conns: u64,
+    /// Tasks queued (submitted, not yet dequeued) in the shard engine's
+    /// bounded submission queue right now.
+    pub queue: u64,
+    /// Requests this shard's engine has accepted so far.
+    pub requests: u64,
+    /// Solution-cache hits on this shard's engine.
+    pub cache_hits: u64,
+    /// Solution-cache misses on this shard's engine.
+    pub cache_misses: u64,
+    /// Subtree-memo hits on this shard's engine.
+    pub memo_hits: u64,
 }
 
 /// A frozen view of the engine's counters, serializable as one JSON
@@ -301,6 +364,8 @@ pub struct MetricsSnapshot {
     pub bad_outputs: u64,
     /// Connections terminated for protocol violations.
     pub conn_errors: u64,
+    /// Connections refused at accept time by the `--max-conns` ceiling.
+    pub rejected_max_conns: u64,
     /// Largest per-net DP candidate list served so far (high-water mark).
     pub candidate_peak: u64,
     /// Largest per-net count of enumerated merge rows served so far
@@ -342,9 +407,74 @@ pub struct MetricsSnapshot {
     pub uptime_ms: u64,
     /// The serving crate's version string.
     pub version: &'static str,
+    /// Per-shard breakdown (empty for a single-engine threaded server;
+    /// the sharded front end fills this before serializing).
+    pub shards: Vec<ShardStat>,
 }
 
 impl MetricsSnapshot {
+    /// Folds another engine's snapshot into this one, producing the
+    /// fleet view the `stats` command reports when serving runs across
+    /// several per-shard engines: counters and histograms sum bucket-wise
+    /// (the bounds are shared by construction), high-water marks take
+    /// the max, and uptime keeps the longest-lived engine's clock.
+    /// `workers` sums, so the fleet view reports total pool strength.
+    /// Per-shard breakdowns concatenate.
+    pub fn absorb(&mut self, other: &MetricsSnapshot) {
+        self.requests += other.requests;
+        for (a, b) in self.outcomes.iter_mut().zip(other.outcomes) {
+            *a += b;
+        }
+        for (r, o) in self.rungs.iter_mut().zip(&other.rungs) {
+            r.served += o.served;
+            for (a, b) in r.latency.iter_mut().zip(o.latency) {
+                *a += b;
+            }
+        }
+        for (a, b) in self.rejections.iter_mut().zip(other.rejections) {
+            *a += b;
+        }
+        self.worker_deaths += other.worker_deaths;
+        self.respawns += other.respawns;
+        self.retries += other.retries;
+        self.stale_drops += other.stale_drops;
+        self.bad_outputs += other.bad_outputs;
+        self.conn_errors += other.conn_errors;
+        self.rejected_max_conns += other.rejected_max_conns;
+        self.candidate_peak = self.candidate_peak.max(other.candidate_peak);
+        self.merge_peak = self.merge_peak.max(other.merge_peak);
+        self.merge_enumerated += other.merge_enumerated;
+        self.merge_pruned += other.merge_pruned;
+        for (a, b) in self.cancellations.iter_mut().zip(other.cancellations) {
+            *a += b;
+        }
+        self.arena_peak_bytes = self.arena_peak_bytes.max(other.arena_peak_bytes);
+        self.degraded_pressure += other.degraded_pressure;
+        self.bad_frames += other.bad_frames;
+        self.verify_samples += other.verify_samples;
+        self.verify_failures += other.verify_failures;
+        self.cache.hits += other.cache.hits;
+        self.cache.misses += other.cache.misses;
+        self.cache.evictions += other.cache.evictions;
+        self.cache.entries += other.cache.entries;
+        self.cache.capacity += other.cache.capacity;
+        self.cache.integrity_checks += other.cache.integrity_checks;
+        self.cache.corrupt_evictions += other.cache.corrupt_evictions;
+        self.memo.hits += other.memo.hits;
+        self.memo.misses += other.memo.misses;
+        self.memo.sig_conflicts += other.memo.sig_conflicts;
+        self.memo.seeded += other.memo.seeded;
+        self.memo.stores += other.memo.stores;
+        self.memo.evictions += other.memo.evictions;
+        self.memo.bytes += other.memo.bytes;
+        self.memo.entries += other.memo.entries;
+        self.memo.budget_bytes += other.memo.budget_bytes;
+        self.memo.integrity_checks += other.memo.integrity_checks;
+        self.memo.corrupt_evictions += other.memo.corrupt_evictions;
+        self.workers += other.workers;
+        self.uptime_ms = self.uptime_ms.max(other.uptime_ms);
+        self.shards.extend(other.shards.iter().cloned());
+    }
     /// This snapshot as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(512);
@@ -389,9 +519,29 @@ impl MetricsSnapshot {
             self.cancellations.iter().sum::<u64>()
         ));
         s.push_str(&format!(
-            ",\"connections\":{{\"errors\":{},\"bad_frames\":{}}}",
-            self.conn_errors, self.bad_frames
+            ",\"connections\":{{\"errors\":{},\"bad_frames\":{},\"rejected_max_conns\":{}}}",
+            self.conn_errors, self.bad_frames, self.rejected_max_conns
         ));
+        if !self.shards.is_empty() {
+            s.push_str(",\"shards\":[");
+            for (i, sh) in self.shards.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"shard\":{},\"conns\":{},\"queue\":{},\"requests\":{},\
+                     \"cache_hits\":{},\"cache_misses\":{},\"memo_hits\":{}}}",
+                    sh.shard,
+                    sh.conns,
+                    sh.queue,
+                    sh.requests,
+                    sh.cache_hits,
+                    sh.cache_misses,
+                    sh.memo_hits
+                ));
+            }
+            s.push(']');
+        }
         // Aggregated integrity counters: checks and corrupt evictions
         // sum the solution cache's and memo table's verify-on-hit work;
         // samples/failures come from the post-hoc audit.
@@ -437,9 +587,12 @@ impl MetricsSnapshot {
                 s.push(',');
             }
             s.push_str(&format!(
-                "\"{}\":{{\"served\":{},\"latency\":[",
+                "\"{}\":{{\"served\":{},\"p50_ms\":{},\"p99_ms\":{},\"p999_ms\":{},\"latency\":[",
                 r.as_str(),
-                self.rungs[i].served
+                self.rungs[i].served,
+                self.rungs[i].percentile_ms(0.50),
+                self.rungs[i].percentile_ms(0.99),
+                self.rungs[i].percentile_ms(0.999)
             ));
             for (b, n) in self.rungs[i].latency.iter().enumerate() {
                 if b > 0 {
@@ -577,7 +730,7 @@ mod tests {
              \"stores\":0,\"evictions\":0,\"bytes\":0,\"entries\":0,\"budget_bytes\":0}",
             "\"admission\":{\"overloaded\":0,\"deadline_exceeded\":0,\"shutting_down\":0,\"stale_drops\":0}",
             "\"supervision\":{\"worker_deaths\":0,\"respawns\":0,\"retries\":0,\"bad_outputs\":0,\"cancelled\":0}",
-            "\"connections\":{\"errors\":0,\"bad_frames\":1}",
+            "\"connections\":{\"errors\":0,\"bad_frames\":1,\"rejected_max_conns\":0}",
             // checks = cache 5 + memo 3, corrupt_evictions = cache 1 + memo 1.
             "\"integrity\":{\"checks\":8,\"corrupt_evictions\":2,\"verify_samples\":2,\"verify_failures\":1}",
             "\"candidates\":{\"peak\":0,\"merge_peak\":0,\"merge_enumerated\":0,\"merge_pruned\":0}",
@@ -585,7 +738,8 @@ mod tests {
              \"cancellations\":{\"deadline\":0,\"shutdown\":0,\"disconnect\":0,\"supervisor\":0}}",
             "\"outcomes\":{\"optimized\":0",
             "\"latency_bounds_ms\":[1,3,10,30,100,300,1000,3000]",
-            "\"rungs\":{\"problem3\":{\"served\":0,\"latency\":[0,0,0,0,0,0,0,0,0]}",
+            "\"rungs\":{\"problem3\":{\"served\":0,\"p50_ms\":0,\"p99_ms\":0,\"p999_ms\":0,\
+             \"latency\":[0,0,0,0,0,0,0,0,0]}",
         ] {
             assert!(j.contains(needle), "{needle} missing from {j}");
         }
@@ -623,6 +777,107 @@ mod tests {
             "{j}"
         );
         assert!(j.contains("\"cancelled\":3"), "{j}");
+    }
+
+    #[test]
+    fn percentiles_read_bucket_upper_bounds() {
+        let empty = RungSnapshot {
+            served: 0,
+            latency: [0; BUCKETS],
+        };
+        assert_eq!(empty.percentile_ms(0.99), 0, "empty histogram reports 0");
+
+        // 90 fast (≤1 ms), 9 medium (≤30 ms), 1 in the overflow bucket.
+        let mut latency = [0u64; BUCKETS];
+        latency[0] = 90;
+        latency[3] = 9;
+        latency[BUCKETS - 1] = 1;
+        let r = RungSnapshot {
+            served: 100,
+            latency,
+        };
+        assert_eq!(r.percentile_ms(0.50), 1);
+        assert_eq!(r.percentile_ms(0.90), 1);
+        assert_eq!(r.percentile_ms(0.99), 30);
+        assert_eq!(r.percentile_ms(0.999), LATENCY_OVERFLOW_MS);
+        assert_eq!(r.percentile_ms(1.0), LATENCY_OVERFLOW_MS);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_keeps_high_water_marks() {
+        let a = Metrics::default();
+        a.record_request();
+        a.record_conn_error();
+        a.record_cancelled(CancelReason::Disconnect);
+        let mut rec = parse_error_record();
+        rec.candidate_peak = 40;
+        rec.rung = Some(Rung::Problem3);
+        rec.wall = Duration::from_millis(2);
+        a.record_outcome(&rec);
+
+        let b = Metrics::default();
+        b.record_request();
+        b.record_request();
+        b.record_rejected_max_conns();
+        rec.candidate_peak = 90;
+        m_record_with_wall(&b, &mut rec, Duration::from_millis(500));
+
+        let mut snap = a.snapshot(
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                ..CacheStats::default()
+            },
+            MemoStats::default(),
+            2,
+            Duration::from_millis(10),
+        );
+        snap.shards.push(ShardStat {
+            shard: 0,
+            conns: 3,
+            queue: 1,
+            requests: 1,
+            cache_hits: 1,
+            cache_misses: 2,
+            memo_hits: 0,
+        });
+        let other = b.snapshot(
+            CacheStats {
+                hits: 4,
+                misses: 1,
+                ..CacheStats::default()
+            },
+            MemoStats::default(),
+            3,
+            Duration::from_millis(25),
+        );
+        snap.absorb(&other);
+
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.conn_errors, 1);
+        assert_eq!(snap.rejected_max_conns, 1);
+        assert_eq!(snap.cancellations, [0, 0, 1, 0]);
+        assert_eq!(snap.candidate_peak, 90, "gauges keep the max");
+        assert_eq!(snap.cache.hits, 5);
+        assert_eq!(snap.cache.misses, 3);
+        assert_eq!(snap.workers, 5, "pool strength sums");
+        assert_eq!(snap.uptime_ms, 25, "longest-lived clock wins");
+        let p3 = &snap.rungs[rung_index(Rung::Problem3)];
+        assert_eq!(p3.served, 2, "histograms sum bucket-wise");
+        assert_eq!(p3.latency[1] + p3.latency[6], 2);
+        let j = snap.to_json();
+        assert!(
+            j.contains(
+                "\"shards\":[{\"shard\":0,\"conns\":3,\"queue\":1,\"requests\":1,\
+                 \"cache_hits\":1,\"cache_misses\":2,\"memo_hits\":0}]"
+            ),
+            "{j}"
+        );
+    }
+
+    fn m_record_with_wall(m: &Metrics, rec: &mut NetOutcome, wall: Duration) {
+        rec.wall = wall;
+        m.record_outcome(rec);
     }
 
     #[test]

@@ -1,0 +1,939 @@
+//! The sharded readiness-driven front end: an epoll reactor per shard,
+//! one engine per shard, and a bounded responder pool bridging the
+//! nonblocking event loops to the blocking engine calls.
+//!
+//! # Architecture
+//!
+//! ```text
+//!             ┌ acceptor (calling thread): nonblocking listener ┐
+//!             │   round-robin handoff, max-conns ceiling        │
+//!             └──────┬──────────────┬──────────────┬────────────┘
+//!                 shard 0        shard 1   ...  shard N-1   (epoll loops)
+//!                    │              │              │
+//!                    └──────── work channel ───────┘
+//!                               │
+//!                     responder pool (blocking Engine calls)
+//!                               │
+//!                    replies → shard inboxes (eventfd wakeups)
+//! ```
+//!
+//! * The **acceptor** owns the listening socket. Accepted connections
+//!   are handed round-robin to the shards through their inboxes; beyond
+//!   [`ServeOptions::max_conns`] the accept is refused with one typed
+//!   `{"error":"overloaded","detail":"max_conns"}` line.
+//! * Each **shard** is one event loop owning its connections' state
+//!   machines: nonblocking buffered reads with the line cap enforced
+//!   incrementally, frame decoding, write backpressure through
+//!   [`SendBuf`], and read deadlines in a timer heap. A connection with
+//!   a request in flight stops reading (its kernel receive buffer is
+//!   the backpressure), so per-connection memory is bounded. The clock
+//!   for [`ServeOptions::read_timeout`] arms when the connection starts
+//!   waiting for a request and is *not* reset by partial bytes — a
+//!   slow-loris client trickling one byte per tick is closed on
+//!   schedule.
+//! * Complete request lines are dispatched to the **responder pool**,
+//!   which runs the blocking [`Engine`] path (`try_optimize_with`) —
+//!   the exact code path the thread-per-connection baseline used, so
+//!   admission shedding, deadlines, retry, and fault semantics are
+//!   identical. The pool is sized past the engines' total admission
+//!   capacity (jobs + queue depth, plus slack), so control commands are
+//!   never starved behind saturated optimize calls and shedding still
+//!   manifests as `overloaded` responses.
+//! * **Cancellation by readiness**: every registration asks for
+//!   `EPOLLRDHUP`. When a client hangs up while its request is in
+//!   flight and no pipelined bytes remain buffered, the request's
+//!   [`CancelToken`] trips with the `disconnect` reason — replacing the
+//!   baseline's 25 ms polling monitor thread with a kernel
+//!   notification. Pipelined requests a client sent before hanging up
+//!   are still served (their responses go to the peer's half-open read
+//!   side, exactly like the baseline).
+//! * **Routing**: optimize requests route to an engine by a rendezvous
+//!   (highest-random-weight) hash of the net digest, so repeated nets
+//!   land on the same engine and its solution cache / memo table shard
+//!   cleanly without cross-engine chatter. `stats` aggregates every
+//!   engine's snapshot ([`MetricsSnapshot::absorb`]) and appends a
+//!   per-shard breakdown; `shutdown` closes admission on every engine
+//!   before acknowledging.
+//!
+//! # Drain contract
+//!
+//! `shutdown` acknowledges, then the acceptor stops accepting and posts
+//! a drain to every shard: idle connections close, buffered complete
+//! lines are served (the engines reject them with `shutting_down`),
+//! in-flight requests finish and their responses are flushed before the
+//! shard exits. Shards join first, then the work channel closes and the
+//! responders join — a connection is never dropped with a response in
+//! flight, and no reply can arrive at a dead shard (a connection stays
+//! in its slab until its in-flight reply returns).
+//!
+//! [`MetricsSnapshot::absorb`]: crate::metrics::MetricsSnapshot::absorb
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::io::{ErrorKind, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+use buffopt::{CancelReason, CancelToken};
+use buffopt_integrity::{decode_frame, encode_frame, is_framed};
+use buffopt_netpoll::{
+    accept_nonblocking, Event, FillOutcome, Interest, Poller, RecvBuf, SendBuf, TakeLine, Waker,
+};
+use buffopt_pipeline::fault::{FaultAction, Seam};
+
+use crate::cache::digest;
+use crate::engine::Engine;
+use crate::metrics::ShardStat;
+use crate::service::{
+    bad_frame_json, classify_request, error_json, serve_optimize, Command, NetDecoder, ServeOptions,
+};
+
+/// Token of each shard's inbox waker (never collides with connection
+/// tokens, whose high 32 bits are a generation starting at 1).
+const WAKER_TOKEN: u64 = u64::MAX;
+/// Acceptor-poller token for the listening socket.
+const LISTENER_TOKEN: u64 = 0;
+/// Acceptor-poller token for the shutdown waker.
+const ACCEPT_WAKER_TOKEN: u64 = 1;
+
+/// How many events one `epoll_wait` may deliver per loop turn.
+const EVENT_BATCH: usize = 256;
+
+/// Per-connection receive-buffer headroom past the line cap: room for
+/// pipelined complete lines in one read burst. Once the buffer is at
+/// `max_line_bytes + RECV_SLACK` the shard stops filling until lines
+/// are consumed; the kernel socket buffer backpressures the client.
+const RECV_SLACK: usize = 64 * 1024;
+
+/// The typed refusal line written to accepts beyond the
+/// [`ServeOptions::max_conns`] ceiling.
+const MAX_CONNS_REFUSAL: &[u8] = b"{\"error\":\"overloaded\",\"detail\":\"max_conns\"}\n";
+
+/// One unit of blocking work dispatched from a shard to the responder
+/// pool: a complete request line plus the routing info for its reply.
+struct Work {
+    shard: usize,
+    token: u64,
+    line: String,
+    framed: bool,
+    cancel: CancelToken,
+}
+
+/// Messages into a shard's event loop (paired with an eventfd wakeup).
+enum Inbox {
+    /// A freshly accepted connection to adopt.
+    Conn(TcpStream),
+    /// A responder finished a request; write the response.
+    Reply {
+        token: u64,
+        response: String,
+        framed: bool,
+        shutdown: bool,
+    },
+    /// Stop reading, serve what is buffered, flush, close, exit.
+    Drain,
+}
+
+/// A shard's mailbox as seen by the acceptor and the responders.
+struct ShardPost {
+    inbox: Mutex<VecDeque<Inbox>>,
+    waker: Arc<Waker>,
+}
+
+impl ShardPost {
+    fn post(&self, msg: Inbox) {
+        self.inbox
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(msg);
+        self.waker.wake();
+    }
+}
+
+/// State shared by the acceptor, every shard, and every responder.
+struct Shared {
+    engines: Vec<Arc<Engine>>,
+    decode: NetDecoder,
+    opts: ServeOptions,
+    /// Live connections across all shards (the `max_conns` gauge).
+    conn_count: AtomicUsize,
+    /// Live connections per shard (the `stats` breakdown).
+    shard_conns: Vec<AtomicUsize>,
+    /// Set by a responder that served a `shutdown` command.
+    shutdown_requested: AtomicBool,
+    /// Wakes the acceptor loop when `shutdown_requested` flips.
+    accept_waker: Arc<Waker>,
+    shard_posts: Vec<ShardPost>,
+}
+
+/// One connection's state machine, owned by exactly one shard.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    recv: RecvBuf,
+    send: SendBuf,
+    /// A request from this connection is at the responders.
+    busy: bool,
+    /// No more request bytes will ever arrive (peer write-half closed,
+    /// EOF read, or socket error).
+    eof: bool,
+    /// The write path is dead; close as soon as no reply is in flight.
+    doomed: bool,
+    /// Flush pending output, then close (error lines, shutdown ack,
+    /// drain).
+    closing: bool,
+    /// The fd is registered with the shard's poller.
+    registered: bool,
+    /// Last interest submitted to the poller, to elide no-op modifies.
+    interest: Option<Interest>,
+    /// The in-flight request's cancellation token, armed for
+    /// disconnect-by-readiness. Taken when tripped so each request is
+    /// cancelled at most once.
+    cancel: Option<CancelToken>,
+    /// The read deadline while idle-awaiting a request; `None` while a
+    /// request is in flight. Deliberately NOT refreshed by partial
+    /// bytes.
+    deadline: Option<Instant>,
+}
+
+/// One reactor shard: an epoll loop over its connections plus the inbox.
+struct Shard {
+    id: usize,
+    poller: Poller,
+    /// Kept alive by `Shared::shard_posts` past this shard's exit, so a
+    /// racing responder `wake()` can never hit a recycled fd.
+    waker: Arc<Waker>,
+    shared: Arc<Shared>,
+    /// Slot-indexed connections; `gens` gives each slot reuse a fresh
+    /// token so stale events and replies are ignored.
+    conns: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<usize>,
+    live: usize,
+    /// Read deadlines, lazily deleted (entries are validated against the
+    /// connection's current deadline when they fire).
+    timeouts: BinaryHeap<Reverse<(Instant, u64)>>,
+    draining: bool,
+}
+
+/// Serves the protocol across `engines.len()` reactor shards until a
+/// `shutdown` command arrives, then drains every shard and responder
+/// (each in-flight response is written before this returns). The
+/// calling thread runs the acceptor. See the module docs for the
+/// architecture; [`serve_with`](crate::serve_with) is the single-engine
+/// wrapper.
+pub fn serve_sharded(
+    listener: TcpListener,
+    engines: Vec<Arc<Engine>>,
+    decode: NetDecoder,
+    opts: ServeOptions,
+) -> std::io::Result<()> {
+    assert!(
+        !engines.is_empty(),
+        "serve_sharded needs at least one engine"
+    );
+    listener.set_nonblocking(true)?;
+    let nshards = engines.len();
+
+    let accept_poller = Poller::new()?;
+    let accept_waker = Arc::new(Waker::new(&accept_poller, ACCEPT_WAKER_TOKEN)?);
+    accept_poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+
+    // Shard pollers and wakers are created here (not in the shard
+    // threads) so their mailboxes exist before anything posts to them.
+    let mut shard_posts = Vec::with_capacity(nshards);
+    let mut shard_setup = Vec::with_capacity(nshards);
+    for _ in 0..nshards {
+        let poller = Poller::new()?;
+        let waker = Arc::new(Waker::new(&poller, WAKER_TOKEN)?);
+        shard_posts.push(ShardPost {
+            inbox: Mutex::new(VecDeque::new()),
+            waker: Arc::clone(&waker),
+        });
+        shard_setup.push((poller, waker));
+    }
+    let shared = Arc::new(Shared {
+        engines,
+        decode,
+        opts,
+        conn_count: AtomicUsize::new(0),
+        shard_conns: (0..nshards).map(|_| AtomicUsize::new(0)).collect(),
+        shutdown_requested: AtomicBool::new(false),
+        accept_waker: Arc::clone(&accept_waker),
+        shard_posts,
+    });
+
+    // Responder pool: sized past the engines' total admission capacity
+    // (jobs in flight + queued) plus slack, so (a) enough callers block
+    // inside the engines to keep them saturated and shedding behaves
+    // exactly as under the threaded front end, and (b) control commands
+    // (stats/shutdown) always find a free responder.
+    let responder_count: usize = shared
+        .engines
+        .iter()
+        .map(|e| e.jobs() + e.queue_depth())
+        .sum::<usize>()
+        + 2 * nshards
+        + 2;
+    let (work_tx, work_rx) = mpsc::channel::<Work>();
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let mut responder_handles = Vec::with_capacity(responder_count);
+    for i in 0..responder_count {
+        let rx = Arc::clone(&work_rx);
+        let shared = Arc::clone(&shared);
+        responder_handles.push(
+            std::thread::Builder::new()
+                .name(format!("buffopt-respond-{i}"))
+                .spawn(move || responder_loop(&rx, &shared))
+                .expect("spawn responder thread"),
+        );
+    }
+
+    let mut shard_handles = Vec::with_capacity(nshards);
+    for (id, (poller, waker)) in shard_setup.into_iter().enumerate() {
+        let shard = Shard {
+            id,
+            poller,
+            waker,
+            shared: Arc::clone(&shared),
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            timeouts: BinaryHeap::new(),
+            draining: false,
+        };
+        let tx = work_tx.clone();
+        shard_handles.push(
+            std::thread::Builder::new()
+                .name(format!("buffopt-shard-{id}"))
+                .spawn(move || shard_loop(shard, tx))
+                .expect("spawn shard thread"),
+        );
+    }
+
+    // The accept loop. Round-robin is balanced enough for homogeneous
+    // shards and keeps the handoff O(1); the max-conns ceiling is
+    // checked against the global gauge before the handoff.
+    let mut fatal: Option<std::io::Error> = None;
+    let mut events: Vec<Event> = Vec::new();
+    let mut rr = 0usize;
+    'accept: while !shared.shutdown_requested.load(Ordering::SeqCst) {
+        if let Err(e) = accept_poller.wait(&mut events, 64, None) {
+            fatal = Some(e);
+            break;
+        }
+        for ev in &events {
+            if ev.token == ACCEPT_WAKER_TOKEN {
+                accept_waker.drain();
+                continue;
+            }
+            loop {
+                match accept_nonblocking(&listener) {
+                    Ok(None) => break,
+                    Ok(Some(stream)) => {
+                        let max = shared.opts.max_conns;
+                        if max > 0 && shared.conn_count.load(Ordering::SeqCst) >= max {
+                            shared.engines[0].metrics().record_rejected_max_conns();
+                            refuse(stream);
+                            continue;
+                        }
+                        shared.conn_count.fetch_add(1, Ordering::SeqCst);
+                        shared.shard_posts[rr % nshards].post(Inbox::Conn(stream));
+                        rr += 1;
+                    }
+                    // Per-connection failures (peer reset before accept):
+                    // skip and keep accepting.
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            ErrorKind::ConnectionAborted
+                                | ErrorKind::ConnectionReset
+                                | ErrorKind::Interrupted
+                        ) =>
+                    {
+                        continue
+                    }
+                    // Listener-level failure: drain and surface it.
+                    Err(e) => {
+                        fatal = Some(e);
+                        break 'accept;
+                    }
+                }
+            }
+        }
+    }
+
+    // Drain (see the module docs for the contract). `begin_shutdown` is
+    // idempotent; the responder that served the shutdown command already
+    // called it before acknowledging.
+    for engine in &shared.engines {
+        engine.begin_shutdown();
+    }
+    for post in &shared.shard_posts {
+        post.post(Inbox::Drain);
+    }
+    for handle in shard_handles {
+        let _ = handle.join();
+    }
+    // All shard-held work senders are gone once the shards joined; drop
+    // ours and the responders see the channel close.
+    drop(work_tx);
+    for handle in responder_handles {
+        let _ = handle.join();
+    }
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Writes the typed max-conns refusal and closes. The socket is fresh
+/// out of accept, so its (empty) send buffer takes the line without
+/// blocking; a failure just means the client is already gone.
+fn refuse(mut stream: TcpStream) {
+    let _ = stream.write_all(MAX_CONNS_REFUSAL);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Picks the engine serving `(id, net)` by rendezvous hashing of the net
+/// digest: every engine scores the request, highest score wins. Stable
+/// under engine-count changes for most keys, and — the property serving
+/// actually needs — deterministic, so repeated nets always land on the
+/// engine whose cache and memo already hold them.
+fn route<'a>(engines: &'a [Arc<Engine>], id: &str, net: &str) -> &'a Arc<Engine> {
+    let key = digest(&[id.as_bytes(), net.as_bytes()]);
+    engines
+        .iter()
+        .enumerate()
+        .max_by_key(|(i, _)| digest(&[&key.to_le_bytes(), &(*i as u64).to_le_bytes()]))
+        .map(|(_, e)| e)
+        .expect("serve_sharded requires at least one engine")
+}
+
+/// The aggregated `stats` response: every engine's snapshot folded into
+/// one fleet view, plus the per-shard breakdown.
+fn aggregate_stats(shared: &Shared) -> String {
+    let mut snap = shared.engines[0].metrics_snapshot();
+    for engine in &shared.engines[1..] {
+        snap.absorb(&engine.metrics_snapshot());
+    }
+    snap.shards = shared
+        .engines
+        .iter()
+        .enumerate()
+        .map(|(i, engine)| {
+            let es = engine.metrics_snapshot();
+            ShardStat {
+                shard: i,
+                conns: shared.shard_conns[i].load(Ordering::SeqCst) as u64,
+                queue: engine.queue_len() as u64,
+                requests: es.requests,
+                cache_hits: es.cache.hits,
+                cache_misses: es.cache.misses,
+                memo_hits: es.memo.hits,
+            }
+        })
+        .collect();
+    snap.to_json()
+}
+
+/// One responder: blocks on the shared work channel, runs the request
+/// against the engines, posts the reply back to the owning shard. A
+/// panic while serving — injected at the decode seam or real — costs
+/// one error response, not the connection or the server.
+fn responder_loop(rx: &Mutex<mpsc::Receiver<Work>>, shared: &Shared) {
+    loop {
+        let work = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+            Ok(w) => w,
+            Err(_) => return, // every shard exited: shut down
+        };
+        let served = panic::catch_unwind(AssertUnwindSafe(|| {
+            handle_request(&work.line, &work.cancel, shared)
+        }));
+        let (response, shutdown) = served.unwrap_or_else(|_| {
+            shared.engines[0].metrics().record_conn_error();
+            (
+                error_json("internal error while serving the request"),
+                false,
+            )
+        });
+        if shutdown {
+            shared.shutdown_requested.store(true, Ordering::SeqCst);
+            shared.accept_waker.wake();
+        }
+        shared.shard_posts[work.shard].post(Inbox::Reply {
+            token: work.token,
+            response,
+            framed: work.framed,
+            shutdown,
+        });
+    }
+}
+
+/// Executes one request line; returns `(response, shutdown_requested)`.
+fn handle_request(line: &str, cancel: &CancelToken, shared: &Shared) -> (String, bool) {
+    match classify_request(line) {
+        Err(response) => (response, false),
+        Ok(Command::Optimize { id, net }) => {
+            let engine = route(&shared.engines, &id, &net);
+            let response = serve_optimize(engine, &shared.decode, &id, &net, cancel, |job| {
+                engine.try_optimize_with(job, cancel.clone())
+            });
+            (response, false)
+        }
+        Ok(Command::Stats) => (aggregate_stats(shared), false),
+        Ok(Command::Shutdown) => {
+            // Close admission on every engine before acknowledging, so
+            // requests racing the shutdown are refused explicitly from
+            // this moment on.
+            for engine in &shared.engines {
+                engine.begin_shutdown();
+            }
+            ("{\"ok\":\"shutdown\"}".to_string(), true)
+        }
+    }
+}
+
+/// Trips the in-flight request's disconnect cancellation, at most once
+/// per request. EOF during the shutdown drain never cancels: the drain
+/// contract is that admitted work completes and its response is written
+/// (the threaded baseline gates identically).
+fn maybe_cancel_disconnect(conn: &mut Conn, shared: &Shared) {
+    let Some(cancel) = conn.cancel.take() else {
+        return;
+    };
+    if !shared.engines[0].is_shutting_down() && cancel.cancel(CancelReason::Disconnect) {
+        shared.engines[0]
+            .metrics()
+            .record_cancelled(CancelReason::Disconnect);
+    }
+}
+
+/// Appends a response (framed or plain) and its newline to the send
+/// buffer.
+fn queue_response(conn: &mut Conn, response: &str, framed: bool) {
+    if framed {
+        conn.send.queue(&encode_frame(response.as_bytes()));
+    } else {
+        conn.send.queue(response.as_bytes());
+    }
+    conn.send.queue(b"\n");
+}
+
+/// Fills the connection's receive buffer from the socket, bounded by the
+/// line cap plus pipelining slack.
+fn fill(conn: &mut Conn, opts: &ServeOptions) -> std::io::Result<FillOutcome> {
+    let cap = opts.max_line_bytes.saturating_add(RECV_SLACK);
+    let stream = &mut conn.stream;
+    conn.recv.fill_from(stream, cap)
+}
+
+/// The shard's event loop: wait for readiness, handle inbox and
+/// connection events, expire read deadlines, exit once draining with no
+/// connections left.
+fn shard_loop(mut shard: Shard, work_tx: mpsc::Sender<Work>) {
+    let mut events: Vec<Event> = Vec::new();
+    loop {
+        let timeout = shard
+            .timeouts
+            .peek()
+            .map(|&Reverse((t, _))| t.saturating_duration_since(Instant::now()));
+        if shard
+            .poller
+            .wait(&mut events, EVENT_BATCH, timeout)
+            .is_err()
+        {
+            // An unhealthy epoll fd cannot be polled again; bail out
+            // rather than spin. Connections die with the shard.
+            return;
+        }
+        for &ev in &events {
+            if ev.token == WAKER_TOKEN {
+                shard.waker.drain();
+                shard.drain_inbox(&work_tx);
+            } else {
+                shard.on_conn_event(ev, &work_tx);
+            }
+        }
+        shard.expire_deadlines(&work_tx);
+        if shard.draining && shard.live == 0 {
+            return;
+        }
+    }
+}
+
+impl Shard {
+    /// Resolves a token to a live slot, ignoring stale generations.
+    fn lookup(&self, token: u64) -> Option<usize> {
+        let idx = (token & 0xffff_ffff) as usize;
+        let gen = (token >> 32) as u32;
+        if idx < self.gens.len() && self.gens[idx] == gen && self.conns[idx].is_some() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Processes every queued inbox message.
+    fn drain_inbox(&mut self, work_tx: &mpsc::Sender<Work>) {
+        loop {
+            let msg = self.shared.shard_posts[self.id]
+                .inbox
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front();
+            match msg {
+                None => return,
+                Some(Inbox::Conn(stream)) => self.adopt(stream, work_tx),
+                Some(Inbox::Reply {
+                    token,
+                    response,
+                    framed,
+                    shutdown,
+                }) => self.on_reply(token, &response, framed, shutdown, work_tx),
+                Some(Inbox::Drain) => {
+                    self.draining = true;
+                    for idx in 0..self.conns.len() {
+                        if self.conns[idx].is_some() {
+                            self.progress(idx, work_tx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Takes ownership of a freshly accepted connection: slab slot,
+    /// poller registration, read-deadline arming (via `progress`).
+    fn adopt(&mut self, stream: TcpStream, work_tx: &mpsc::Sender<Work>) {
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.gens.push(1);
+            self.conns.len() - 1
+        });
+        let token = ((self.gens[idx] as u64) << 32) | idx as u64;
+        let fd = stream.as_raw_fd();
+        let mut conn = Conn {
+            stream,
+            token,
+            recv: RecvBuf::new(),
+            send: SendBuf::new(),
+            busy: false,
+            eof: false,
+            doomed: false,
+            closing: false,
+            registered: false,
+            interest: None,
+            cancel: None,
+            deadline: None,
+        };
+        if self.poller.register(fd, token, Interest::READ).is_ok() {
+            conn.registered = true;
+            conn.interest = Some(Interest::READ);
+        } else {
+            // Cannot poll it; progress() closes it below.
+            conn.doomed = true;
+        }
+        self.conns[idx] = Some(conn);
+        self.live += 1;
+        self.shared.shard_conns[self.id].fetch_add(1, Ordering::SeqCst);
+        self.progress(idx, work_tx);
+    }
+
+    /// Closes a connection and retires its slot. Never called with a
+    /// request in flight — a busy connection waits for its reply so the
+    /// shard (and its waker) outlive every dispatched `Work`.
+    fn close(&mut self, idx: usize) {
+        let conn = self.conns[idx].take().expect("closing a live connection");
+        debug_assert!(!conn.busy, "close() with a request in flight");
+        if conn.registered {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        }
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        self.gens[idx] = self.gens[idx].wrapping_add(1).max(1);
+        self.free.push(idx);
+        self.live -= 1;
+        self.shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+        self.shared.shard_conns[self.id].fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// A responder finished this connection's in-flight request.
+    fn on_reply(
+        &mut self,
+        token: u64,
+        response: &str,
+        framed: bool,
+        shutdown: bool,
+        work_tx: &mpsc::Sender<Work>,
+    ) {
+        let Some(idx) = self.lookup(token) else {
+            return;
+        };
+        let conn = self.conns[idx].as_mut().expect("lookup returned live slot");
+        conn.busy = false;
+        conn.cancel = None;
+        if conn.doomed {
+            self.close(idx);
+            return;
+        }
+        queue_response(conn, response, framed);
+        if shutdown {
+            conn.closing = true;
+        }
+        self.progress(idx, work_tx);
+    }
+
+    /// Readiness arrived for a connection's socket.
+    fn on_conn_event(&mut self, ev: Event, work_tx: &mpsc::Sender<Work>) {
+        let Some(idx) = self.lookup(ev.token) else {
+            return;
+        };
+        {
+            let shared = Arc::clone(&self.shared);
+            let conn = self.conns[idx].as_mut().expect("lookup returned live slot");
+            if ev.error || ev.hup {
+                // Fully dead socket (error state or both directions
+                // closed): salvage any pipelined bytes the kernel still
+                // holds, then stop polling it — writes would fail anyway.
+                conn.eof = true;
+                conn.doomed = true;
+                let _ = fill(conn, &shared.opts);
+                if conn.registered {
+                    let _ = self.poller.deregister(conn.stream.as_raw_fd());
+                    conn.registered = false;
+                    conn.interest = None;
+                }
+            } else {
+                if ev.rdhup {
+                    // Peer closed its write half: collect the pipelined
+                    // tail now (no more readable events will announce
+                    // it), keep the write path for its responses.
+                    conn.eof = true;
+                    let _ = fill(conn, &shared.opts);
+                } else if ev.readable && !conn.busy && !conn.eof {
+                    match fill(conn, &shared.opts) {
+                        Ok(FillOutcome::Eof) => conn.eof = true,
+                        Ok(_) => {}
+                        Err(_) => {
+                            // Unreadable stream: the baseline closes
+                            // silently; mirror it.
+                            conn.eof = true;
+                            conn.doomed = true;
+                        }
+                    }
+                }
+                // Writable readiness needs no flag: progress() always
+                // starts by flushing.
+            }
+        }
+        self.progress(idx, work_tx);
+    }
+
+    /// Fires expired read deadlines: idle connections past their clock
+    /// get the typed timeout error and close. Heap entries are lazily
+    /// deleted — anything stale (slot reused, request dispatched,
+    /// deadline re-armed later) is skipped.
+    fn expire_deadlines(&mut self, work_tx: &mpsc::Sender<Work>) {
+        loop {
+            let now = Instant::now();
+            let (when, token) = match self.timeouts.peek() {
+                Some(&Reverse((t, tok))) if t <= now => (t, tok),
+                _ => return,
+            };
+            self.timeouts.pop();
+            let Some(idx) = self.lookup(token) else {
+                continue;
+            };
+            {
+                let conn = self.conns[idx].as_mut().expect("lookup returned live slot");
+                if conn.busy || conn.closing || conn.doomed || conn.deadline != Some(when) {
+                    continue;
+                }
+                conn.deadline = None;
+                self.shared.engines[0].metrics().record_conn_error();
+                queue_response(
+                    conn,
+                    &error_json("read timed out; closing connection"),
+                    false,
+                );
+                conn.closing = true;
+            }
+            self.progress(idx, work_tx);
+        }
+    }
+
+    /// The per-connection state machine: flush output, then (unless a
+    /// request is in flight) consume buffered lines — dispatching
+    /// requests, answering protocol errors inline, honoring
+    /// drain/EOF/doom transitions — until the connection blocks, closes,
+    /// or goes busy.
+    fn progress(&mut self, idx: usize, work_tx: &mpsc::Sender<Work>) {
+        loop {
+            let shared = Arc::clone(&self.shared);
+            let Some(conn) = self.conns[idx].as_mut() else {
+                return;
+            };
+            if let buffopt_netpoll::FlushOutcome::Closed = conn.send.flush_to(&mut conn.stream) {
+                conn.doomed = true;
+            }
+            if conn.doomed {
+                if conn.busy {
+                    // Keep the slot until the in-flight reply returns;
+                    // nothing more to poll for.
+                    self.update_interest(idx);
+                } else {
+                    self.close(idx);
+                }
+                return;
+            }
+            if conn.closing {
+                if conn.send.is_empty() && !conn.busy {
+                    self.close(idx);
+                } else {
+                    self.update_interest(idx);
+                }
+                return;
+            }
+            if conn.busy {
+                // Disconnect-by-readiness: the peer is gone and nothing
+                // pipelined remains, so the in-flight run is for nobody.
+                if conn.eof && conn.recv.is_empty() {
+                    maybe_cancel_disconnect(conn, &shared);
+                }
+                self.update_interest(idx);
+                return;
+            }
+            match conn.recv.take_line(shared.opts.max_line_bytes) {
+                TakeLine::TooLong(_) => {
+                    shared.engines[0].metrics().record_conn_error();
+                    let msg = format!(
+                        "request line exceeds {} bytes; closing connection",
+                        shared.opts.max_line_bytes
+                    );
+                    queue_response(conn, &error_json(&msg), false);
+                    conn.closing = true;
+                    continue;
+                }
+                TakeLine::Partial => {
+                    if conn.eof || self.draining {
+                        // No more bytes will complete this line; a
+                        // trailing fragment is discarded exactly like
+                        // the baseline's EOF mid-line.
+                        conn.closing = true;
+                        continue;
+                    }
+                    if conn.deadline.is_none() {
+                        if let Some(t) = shared.opts.read_timeout {
+                            let when = Instant::now() + t;
+                            conn.deadline = Some(when);
+                            let token = conn.token;
+                            self.timeouts.push(Reverse((when, token)));
+                        }
+                    }
+                    self.update_interest(idx);
+                    return;
+                }
+                TakeLine::Line(bytes) => {
+                    conn.deadline = None;
+                    let framed = shared.opts.frame_check && is_framed(&bytes);
+                    let line: String = if framed {
+                        // Frame validation is a decode step of its own,
+                        // with its own arming of the decode fault seam:
+                        // a `TruncateFrame` fault chops the frame
+                        // mid-payload, exactly like a sender that died
+                        // mid-write.
+                        let torn: Vec<u8>;
+                        let frame: &[u8] = match shared.engines[0]
+                            .fault_plan()
+                            .and_then(|p| p.fire(Seam::Decode))
+                        {
+                            Some(FaultAction::TruncateFrame) => {
+                                torn = bytes[..bytes.len() / 2].to_vec();
+                                &torn
+                            }
+                            _ => &bytes,
+                        };
+                        match decode_frame(frame) {
+                            Err(e) => {
+                                shared.engines[0].metrics().record_bad_frame();
+                                queue_response(conn, &bad_frame_json(&e.to_string()), true);
+                                continue;
+                            }
+                            Ok(payload) => match std::str::from_utf8(payload) {
+                                Err(_) => {
+                                    shared.engines[0].metrics().record_bad_frame();
+                                    queue_response(
+                                        conn,
+                                        &bad_frame_json("frame payload is not UTF-8"),
+                                        true,
+                                    );
+                                    continue;
+                                }
+                                Ok(p) => p.trim().to_string(),
+                            },
+                        }
+                    } else {
+                        String::from_utf8_lossy(&bytes).trim().to_string()
+                    };
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let cancel = CancelToken::new();
+                    conn.busy = true;
+                    conn.cancel = Some(cancel.clone());
+                    let token = conn.token;
+                    if work_tx
+                        .send(Work {
+                            shard: self.id,
+                            token,
+                            line,
+                            framed,
+                            cancel,
+                        })
+                        .is_err()
+                    {
+                        // The responder pool is gone (only possible
+                        // after a drain); close out politely.
+                        let conn = self.conns[idx].as_mut().expect("slot still live");
+                        conn.busy = false;
+                        conn.cancel = None;
+                        conn.closing = true;
+                    }
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// Reconciles the poller registration with the connection's state:
+    /// read interest only while idle and readable bytes matter, write
+    /// interest only while output is pending, half-close notification
+    /// only until observed. No-op when nothing changed.
+    fn update_interest(&mut self, idx: usize) {
+        let draining = self.draining;
+        let Some(conn) = self.conns[idx].as_mut() else {
+            return;
+        };
+        if !conn.registered {
+            return;
+        }
+        let want = Interest {
+            readable: !conn.busy && !conn.eof && !conn.closing && !conn.doomed && !draining,
+            writable: !conn.send.is_empty(),
+            rdhup: !conn.eof,
+        };
+        if conn.interest != Some(want)
+            && self
+                .poller
+                .modify(conn.stream.as_raw_fd(), conn.token, want)
+                .is_ok()
+        {
+            conn.interest = Some(want);
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! Newline-delimited-JSON TCP service over an [`Engine`].
+//! Newline-delimited-JSON TCP service over one or more [`Engine`]s.
 //!
 //! # Protocol
 //!
@@ -10,13 +10,15 @@
 //!   may be omitted when `net` is present; `id` defaults to `"net"`.
 //!   The response is the pipeline's per-net JSONL record with two extra
 //!   fields: `"cache":"hit"|"miss"` and `"worker":<index>`.
-//! * `{"cmd":"stats"}` — the engine's [`MetricsSnapshot`] as JSON.
+//! * `{"cmd":"stats"}` — the engine's [`MetricsSnapshot`] as JSON; when
+//!   serving runs across several per-shard engines the snapshot is the
+//!   aggregated fleet view plus a per-shard breakdown.
 //! * `{"cmd":"shutdown"}` — acknowledge with `{"ok":"shutdown"}` and
-//!   stop the accept loop. Shutdown *drains*: the engine stops admitting
-//!   new work first, every connection's read side is closed, in-flight
-//!   requests finish and their responses are written, and requests that
-//!   arrive during the drain get an explicit
-//!   `{"error":"shutting_down"}` instead of a silently dropped line.
+//!   stop the accept loop. Shutdown *drains*: every engine stops
+//!   admitting new work first, in-flight requests finish and their
+//!   responses are written, and requests that arrive during the drain
+//!   get an explicit `{"error":"shutting_down"}` instead of a silently
+//!   dropped line.
 //!
 //! With [`ServeOptions::frame_check`] on, a request line may be wrapped
 //! in a length+CRC frame (`!F <len:8hex> <crc64:16hex> <json>`); the
@@ -30,68 +32,77 @@
 //! `parse_error` record, so batch drivers see the same taxonomy the CLI
 //! emits. Requests refused by admission control get
 //! `{"error":"overloaded"}` / `{"error":"deadline_exceeded"}` responses
-//! (see [`Rejection`](crate::Rejection)).
+//! (see [`Rejection`]).
+//!
+//! # Front ends
+//!
+//! Two transports serve this protocol:
+//!
+//! * [`serve_sharded`](crate::serve_sharded) — the default: a
+//!   readiness-driven event loop (`epoll` via `buffopt-netpoll`). One
+//!   acceptor hands connections round-robin to N reactor shards; each
+//!   shard owns its connections' state machines and its own [`Engine`],
+//!   and optimize requests route to engines by a rendezvous hash of the
+//!   net digest so cache and memo state shard cleanly. Client
+//!   disconnects surface as readiness (`EPOLLRDHUP`) and trip the
+//!   in-flight request's [`CancelToken`] — no
+//!   polling monitor thread. [`serve`] and [`serve_with`] are the
+//!   single-engine wrappers.
+//! * [`serve_threaded`](crate::serve_threaded) — the original
+//!   thread-per-connection implementation, kept as the benchmark
+//!   baseline and for byte-identical differential tests against the
+//!   reactor.
 //!
 //! # Hardening
 //!
-//! Connections are bounded in both dimensions ([`ServeOptions`]): a
+//! Connections are bounded in every dimension ([`ServeOptions`]): a
 //! request line longer than `max_line_bytes` gets one structured error
-//! response and the connection is closed (a client cannot make the
-//! server buffer without limit), and a connection idle past
-//! `read_timeout` is closed the same way (a stalled client cannot pin a
-//! handler thread forever). Both terminations are counted in the metrics
-//! snapshot's `connections.errors`. A panic while serving a request —
-//! injected via the [`Seam::Decode`] fault hook or real — is contained
-//! to one `{"error":...}` response; the connection and the server
-//! survive.
-//!
-//! While an optimize request is in flight, a monitor thread probes the
-//! client socket every 25 ms (`DISCONNECT_POLL`); if the client has hung
-//! up,
-//! the request's [`CancelToken`] trips with the `disconnect` reason and
-//! the worker abandons the run at its next stride checkpoint instead of
-//! computing an answer nobody will read. The cancellation is counted in
-//! the snapshot's `resource.cancellations.disconnect`.
+//! response and the connection is closed — the cap is enforced
+//! *incrementally*, so a half-written oversized line is refused as soon
+//! as its bytes exceed the cap, newline or not; a connection that sends
+//! no complete request within `read_timeout` is closed the same way
+//! (trickling single bytes does not reset the clock, so a slow-loris
+//! client cannot pin a shard); and with `max_conns` set, accepts beyond
+//! the ceiling get one typed `{"error":"overloaded"}` refusal line and
+//! are counted in `connections.rejected_max_conns`. A panic while
+//! serving a request — injected via the [`Seam::Decode`] fault hook or
+//! real — is contained to one `{"error":...}` response; the connection
+//! and the server survive.
 //!
 //! The service does not link the text-format parser (that would make the
 //! crate graph cyclic); callers inject a [`NetDecoder`] closure, which
 //! the CLI builds from `buffopt_netlist::parse`.
 //!
 //! [`MetricsSnapshot`]: crate::metrics::MetricsSnapshot
+//! [`Rejection`]: crate::Rejection
+//! [`Seam::Decode`]: buffopt_pipeline::fault::Seam
 
-use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
-use std::net::{Shutdown, TcpListener, TcpStream};
-use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::TcpListener;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use buffopt::{CancelReason, CancelToken};
-use buffopt_integrity::{decode_frame, encode_frame, is_framed};
 use buffopt_pipeline::fault::{FaultAction, Seam};
 use buffopt_pipeline::NetInput;
 
-use crate::engine::{Engine, Job};
-
-/// How often the disconnect monitor probes the client socket while a
-/// request is in flight. Small enough that a vanished client frees its
-/// worker within tens of milliseconds; large enough that the probe is
-/// noise next to per-net optimization.
-const DISCONNECT_POLL: Duration = Duration::from_millis(25);
+use crate::engine::{Engine, Job, Rejection, Served};
 
 /// Turns a request's `(id, net text)` into a [`NetInput`] — parsed, or a
 /// `Failed` record carrying the parser's message.
 pub type NetDecoder = Arc<dyn Fn(&str, &str) -> NetInput + Send + Sync>;
 
-/// Per-connection hardening knobs for [`serve_with`].
+/// Per-connection hardening knobs for [`serve_with`] and
+/// [`serve_sharded`](crate::serve_sharded).
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Close a connection that sends no complete request for this long;
-    /// `None` waits forever (not recommended outside tests).
+    /// `None` waits forever (not recommended outside tests). The clock
+    /// arms when the connection starts waiting for a request and is NOT
+    /// reset by partial bytes, so byte-trickling clients cannot evade it.
     pub read_timeout: Option<Duration>,
     /// Maximum accepted request-line length in bytes; longer lines get
-    /// one structured error response and the connection is closed.
+    /// one structured error response and the connection is closed. The
+    /// cap is enforced incrementally as bytes arrive, before any newline.
     pub max_line_bytes: usize,
     /// Accept length+CRC framed request lines (`!F <len> <crc> <json>`)
     /// and mirror the framing on their responses. Negotiated per
@@ -100,6 +111,11 @@ pub struct ServeOptions {
     /// `{"error":"bad_frame","detail":...}` response — never a parse
     /// guess — and is counted in `connections.bad_frames`.
     pub frame_check: bool,
+    /// Maximum concurrently open client connections; `0` means
+    /// unlimited. Accepts beyond the ceiling get one typed
+    /// `{"error":"overloaded","detail":"max_conns"}` line and are closed
+    /// immediately, counted in `connections.rejected_max_conns`.
+    pub max_conns: usize,
 }
 
 impl Default for ServeOptions {
@@ -108,6 +124,7 @@ impl Default for ServeOptions {
             read_timeout: Some(Duration::from_secs(120)),
             max_line_bytes: 1 << 20,
             frame_check: false,
+            max_conns: 0,
         }
     }
 }
@@ -121,305 +138,51 @@ pub fn serve(
     serve_with(listener, engine, decode, ServeOptions::default())
 }
 
-/// Runs the accept loop until a `shutdown` command arrives, then drains:
-/// stops admission, wakes idle connections, and joins every handler so
-/// each in-flight response is written before this function returns. One
-/// thread per connection; every connection shares the engine's worker
-/// pool, so compute concurrency is bounded by the pool no matter how
-/// many clients attach.
+/// Serves the protocol on the readiness-driven reactor with a single
+/// shard/engine, until a `shutdown` command arrives; then drains (every
+/// in-flight response is written before this returns). This is
+/// [`serve_sharded`](crate::serve_sharded) with one engine — see the
+/// module docs for the transport's architecture.
 pub fn serve_with(
     listener: TcpListener,
     engine: Arc<Engine>,
     decode: NetDecoder,
     opts: ServeOptions,
 ) -> std::io::Result<()> {
-    let stop = Arc::new(AtomicBool::new(false));
-    let addr = listener.local_addr()?;
-    // The acceptor is the sole owner of the connection registry: a clone
-    // of each stream (to close its read side at drain time) plus the
-    // handler's join handle.
-    let mut conns: Vec<(TcpStream, JoinHandle<()>)> = Vec::new();
-    for conn in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        match conn {
-            Ok(stream) => {
-                // Finished connections need no drain bookkeeping.
-                conns.retain(|(_, h)| !h.is_finished());
-                let peer = stream.try_clone();
-                let engine = Arc::clone(&engine);
-                let decode = Arc::clone(&decode);
-                let stop = Arc::clone(&stop);
-                let opts = opts.clone();
-                let handle = std::thread::spawn(move || {
-                    let shutdown = handle_connection(stream, &engine, &decode, &opts);
-                    if shutdown {
-                        stop.store(true, Ordering::SeqCst);
-                        // Wake the blocked accept() so the loop observes
-                        // the flag.
-                        let _ = TcpStream::connect(addr);
-                    }
-                });
-                match peer {
-                    Ok(peer) => conns.push((peer, handle)),
-                    // Cannot reach this connection at drain time; let it
-                    // run detached (its reads still time out).
-                    Err(_) => drop(handle),
-                }
-            }
-            Err(_) if stop.load(Ordering::SeqCst) => break,
-            Err(e) => return Err(e),
-        }
-    }
-    // Drain. Admission closes first, so a request racing the shutdown
-    // gets an explicit `shutting_down` error, not a dropped line; then
-    // the read sides close, waking handlers blocked in read() while
-    // leaving write sides open for in-flight responses; then every
-    // handler is joined so its last response reaches the wire.
-    engine.begin_shutdown();
-    for (stream, _) in &conns {
-        let _ = stream.shutdown(Shutdown::Read);
-    }
-    for (_, handle) in conns {
-        let _ = handle.join();
-    }
-    Ok(())
-}
-
-fn write_line(writer: &mut BufWriter<TcpStream>, line: &str) -> std::io::Result<()> {
-    writer.write_all(line.as_bytes())?;
-    writer.write_all(b"\n")?;
-    writer.flush()
-}
-
-/// Writes one response wrapped in a length+CRC frame (mirroring a framed
-/// request).
-fn write_framed(writer: &mut BufWriter<TcpStream>, line: &str) -> std::io::Result<()> {
-    writer.write_all(&encode_frame(line.as_bytes()))?;
-    writer.write_all(b"\n")?;
-    writer.flush()
+    crate::reactor::serve_sharded(listener, vec![engine], decode, opts)
 }
 
 /// The typed response for a frame that failed validation.
-fn bad_frame_json(detail: &str) -> String {
+pub(crate) fn bad_frame_json(detail: &str) -> String {
     let mut s = String::from("{\"error\":\"bad_frame\",\"detail\":");
     push_json_str(&mut s, detail);
     s.push('}');
     s
 }
 
-/// Serves one connection; returns true when the client asked for a
-/// server shutdown.
-fn handle_connection(
-    stream: TcpStream,
-    engine: &Engine,
-    decode: &NetDecoder,
-    opts: &ServeOptions,
-) -> bool {
-    let _ = stream.set_read_timeout(opts.read_timeout);
-    let reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
-        Err(_) => return false,
-    };
-    let mut reader = reader;
-    let mut writer = BufWriter::new(stream);
-    let shutdown_requested = serve_lines(&mut reader, &mut writer, engine, decode, opts);
-    // The acceptor holds a clone of this stream for drain bookkeeping;
-    // shutting the socket down (not just dropping our handles) makes the
-    // close visible to the client *now* instead of at the next accept.
-    let _ = writer.flush();
-    let _ = writer.get_ref().shutdown(Shutdown::Both);
-    shutdown_requested
+/// A parsed, validated request — the protocol commands both front ends
+/// execute.
+#[derive(Debug)]
+pub(crate) enum Command {
+    /// Optimize one net.
+    Optimize {
+        /// The request's `id` field (default `"net"`).
+        id: String,
+        /// The `.net` text.
+        net: String,
+    },
+    /// Report the metrics snapshot.
+    Stats,
+    /// Acknowledge and drain the server.
+    Shutdown,
 }
 
-/// The connection's request/response loop; returns true when the client
-/// asked for a server shutdown.
-fn serve_lines(
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut BufWriter<TcpStream>,
-    engine: &Engine,
-    decode: &NetDecoder,
-    opts: &ServeOptions,
-) -> bool {
-    loop {
-        let mut buf: Vec<u8> = Vec::new();
-        // The +1 makes an over-limit line distinguishable from one that
-        // is exactly at the limit.
-        let read = reader
-            .by_ref()
-            .take(opts.max_line_bytes as u64 + 1)
-            .read_until(b'\n', &mut buf);
-        match read {
-            Ok(0) => break, // client closed (or drain closed the read side)
-            Ok(_) => {
-                if !buf.ends_with(b"\n") && buf.len() > opts.max_line_bytes {
-                    engine.metrics().record_conn_error();
-                    let _ = write_line(
-                        writer,
-                        &error_json(&format!(
-                            "request line exceeds {} bytes; closing connection",
-                            opts.max_line_bytes
-                        )),
-                    );
-                    break;
-                }
-                // Strip the line terminator at the byte level first: a
-                // framed payload's CRC is checked over raw bytes, before
-                // any UTF-8 assumption is made about damaged content.
-                let mut bytes: &[u8] = &buf;
-                while bytes.last().is_some_and(|b| *b == b'\n' || *b == b'\r') {
-                    bytes = &bytes[..bytes.len() - 1];
-                }
-                let framed = opts.frame_check && is_framed(bytes);
-                let payload_line: String;
-                let line = if framed {
-                    // Frame validation is a decode step of its own, with
-                    // its own arming of the decode fault seam: a
-                    // `TruncateFrame` fault chops the frame mid-payload,
-                    // exactly like a sender that died mid-write. (Other
-                    // actions are not meaningful at this arming.)
-                    let torn: Vec<u8>;
-                    let frame: &[u8] = match engine.fault_plan().and_then(|p| p.fire(Seam::Decode))
-                    {
-                        Some(FaultAction::TruncateFrame) => {
-                            torn = bytes[..bytes.len() / 2].to_vec();
-                            &torn
-                        }
-                        _ => bytes,
-                    };
-                    let payload = match decode_frame(frame) {
-                        Ok(p) => p,
-                        Err(e) => {
-                            engine.metrics().record_bad_frame();
-                            if write_framed(writer, &bad_frame_json(&e.to_string())).is_err() {
-                                break;
-                            }
-                            continue;
-                        }
-                    };
-                    match std::str::from_utf8(payload) {
-                        Ok(p) => {
-                            payload_line = p.to_string();
-                            payload_line.trim()
-                        }
-                        Err(_) => {
-                            engine.metrics().record_bad_frame();
-                            let detail = "frame payload is not UTF-8";
-                            if write_framed(writer, &bad_frame_json(detail)).is_err() {
-                                break;
-                            }
-                            continue;
-                        }
-                    }
-                } else {
-                    payload_line = String::from_utf8_lossy(bytes).into_owned();
-                    payload_line.trim()
-                };
-                if line.is_empty() {
-                    continue;
-                }
-                // A panic while serving — injected at the decode seam or
-                // real — costs one error response, not the connection or
-                // the server.
-                let served = panic::catch_unwind(AssertUnwindSafe(|| {
-                    respond(line, engine, decode, Some(writer.get_ref()))
-                }));
-                let (response, shutdown) = served.unwrap_or_else(|_| {
-                    engine.metrics().record_conn_error();
-                    (
-                        error_json("internal error while serving the request"),
-                        false,
-                    )
-                });
-                let wrote = if framed {
-                    write_framed(writer, &response)
-                } else {
-                    write_line(writer, &response)
-                };
-                if wrote.is_err() {
-                    break;
-                }
-                if shutdown {
-                    return true;
-                }
-            }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                engine.metrics().record_conn_error();
-                let _ = write_line(writer, &error_json("read timed out; closing connection"));
-                break;
-            }
-            Err(_) => break, // client gone
-        }
-    }
-    false
-}
-
-/// Runs `f` — one blocking engine call — while a monitor thread probes
-/// the client socket for a hang-up; a disconnect trips `cancel` so the
-/// worker abandons the run at its next stride checkpoint. `SO_RCVTIMEO`
-/// is a property of the socket (shared with the connection's reader
-/// through the clone), so the original read timeout is restored after
-/// the scope joins — never concurrently with a monitor probe.
-fn with_disconnect_monitor<T>(
-    conn: Option<&TcpStream>,
-    engine: &Engine,
-    cancel: &CancelToken,
-    f: impl FnOnce() -> T,
-) -> T {
-    let Some(probe) = conn.and_then(|c| c.try_clone().ok()) else {
-        return f();
-    };
-    let original = probe.read_timeout().ok().flatten();
-    if probe.set_read_timeout(Some(DISCONNECT_POLL)).is_err() {
-        return f();
-    }
-    let done = AtomicBool::new(false);
-    let result = std::thread::scope(|s| {
-        s.spawn(|| {
-            let mut buf = [0u8; 1];
-            loop {
-                if done.load(Ordering::Relaxed) {
-                    return;
-                }
-                match probe.peek(&mut buf) {
-                    // EOF: the client hung up mid-request.
-                    Ok(0) => break,
-                    // Pipelined bytes are waiting; the client is alive.
-                    Ok(_) => std::thread::sleep(DISCONNECT_POLL),
-                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
-                    // Any other socket error: treat the client as gone.
-                    Err(_) => break,
-                }
-            }
-            // The shutdown drain closes every connection's read side,
-            // which looks exactly like a client hang-up from here. The
-            // drain contract is that admitted work completes and its
-            // response is written, so EOF during shutdown never cancels.
-            if !engine.is_shutting_down() && cancel.cancel(CancelReason::Disconnect) {
-                engine.metrics().record_cancelled(CancelReason::Disconnect);
-            }
-        });
-        let result = f();
-        done.store(true, Ordering::Relaxed);
-        result
-    });
-    let _ = probe.set_read_timeout(original);
-    result
-}
-
-/// Computes the response line for one request line. `conn` is the
-/// request's client socket, watched for disconnects while the engine
-/// call is in flight (`None` leaves the run uncancellable).
-fn respond(
-    line: &str,
-    engine: &Engine,
-    decode: &NetDecoder,
-    conn: Option<&TcpStream>,
-) -> (String, bool) {
+/// Parses and validates one request line into a [`Command`], or the
+/// exact error-response line to send back.
+pub(crate) fn classify_request(line: &str) -> Result<Command, String> {
     let fields = match parse_request(line) {
         Ok(f) => f,
-        Err(e) => return (error_json(&format!("bad request: {e}")), false),
+        Err(e) => return Err(error_json(&format!("bad request: {e}"))),
     };
     let get = |k: &str| {
         fields
@@ -427,81 +190,83 @@ fn respond(
             .find(|(key, _)| key == k)
             .map(|(_, v)| v.as_str())
     };
-    let cmd = get("cmd").unwrap_or("optimize");
-    match cmd {
+    match get("cmd").unwrap_or("optimize") {
         "optimize" => match get("net") {
-            None => (error_json("optimize request needs a \"net\" field"), false),
-            Some(net_text) => {
-                let id = get("id").unwrap_or("net");
-                let mut input = decode(id, net_text);
-                let cancel = CancelToken::new();
-                // Decode-seam fault hook: models a defective decoder.
-                match engine.fault_plan().and_then(|p| p.fire(Seam::Decode)) {
-                    None => {}
-                    Some(FaultAction::Panic) | Some(FaultAction::KillWorker) => {
-                        panic!("injected decode panic")
-                    }
-                    Some(FaultAction::StallMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
-                    Some(FaultAction::IoError) => {
-                        return (error_json("injected decode I/O error"), false)
-                    }
-                    Some(FaultAction::WrongOutput) => {
-                        input = NetInput::Failed {
-                            name: id.to_string(),
-                            error: "injected decode corruption".to_string(),
-                        }
-                    }
-                    // Models a watchdog killing the request before it
-                    // reaches a worker: the run aborts at its first
-                    // checkpoint.
-                    Some(FaultAction::CancelRun) => {
-                        let won = cancel.cancel(CancelReason::Supervisor);
-                        if won {
-                            engine.metrics().record_cancelled(CancelReason::Supervisor);
-                        }
-                    }
-                    // Memory pressure is a worker-seam behavior; nothing
-                    // to squeeze at decode time. State-corruption faults
-                    // belong to the Store seam or the framed read path.
-                    Some(FaultAction::MemPressure { .. })
-                    | Some(FaultAction::CorruptJournalLine)
-                    | Some(FaultAction::BitFlipCacheEntry)
-                    | Some(FaultAction::BitFlipMemoEntry)
-                    | Some(FaultAction::TruncateFrame) => {}
-                }
-                let key = engine.key_for(id, net_text);
-                let job = Job {
-                    input,
-                    cache_key: Some(key),
-                };
-                let served = with_disconnect_monitor(conn, engine, &cancel, || {
-                    engine.try_optimize_with(job, cancel.clone())
-                });
-                match served {
-                    Ok(served) => {
-                        // Splice the serving provenance into the record.
-                        let mut json = served.outcome.to_json();
-                        let closed = json.pop();
-                        debug_assert_eq!(closed, Some('}'));
-                        json.push_str(&format!(
-                            ",\"cache\":\"{}\",\"worker\":{}}}",
-                            served.cache.as_str(),
-                            served.worker
-                        ));
-                        (json, false)
-                    }
-                    Err(rejection) => (error_json(rejection.as_str()), false),
-                }
-            }
+            None => Err(error_json("optimize request needs a \"net\" field")),
+            Some(net_text) => Ok(Command::Optimize {
+                id: get("id").unwrap_or("net").to_string(),
+                net: net_text.to_string(),
+            }),
         },
-        "stats" => (engine.metrics_snapshot().to_json(), false),
-        "shutdown" => {
-            // Close admission before acknowledging, so requests racing
-            // the shutdown are refused explicitly from this moment on.
-            engine.begin_shutdown();
-            ("{\"ok\":\"shutdown\"}".to_string(), true)
+        "stats" => Ok(Command::Stats),
+        "shutdown" => Ok(Command::Shutdown),
+        other => Err(error_json(&format!("unknown cmd {other:?}"))),
+    }
+}
+
+/// Serves one optimize request against `engine`: decodes the net, fires
+/// the decode fault seam, and runs the engine call through `run` (the
+/// front end wraps it with its own cancellation machinery — disconnect
+/// monitor thread or readiness-driven token). Returns the response line.
+pub(crate) fn serve_optimize(
+    engine: &Engine,
+    decode: &NetDecoder,
+    id: &str,
+    net_text: &str,
+    cancel: &CancelToken,
+    run: impl FnOnce(Job) -> Result<Served, Rejection>,
+) -> String {
+    let mut input = decode(id, net_text);
+    // Decode-seam fault hook: models a defective decoder.
+    match engine.fault_plan().and_then(|p| p.fire(Seam::Decode)) {
+        None => {}
+        Some(FaultAction::Panic) | Some(FaultAction::KillWorker) => {
+            panic!("injected decode panic")
         }
-        other => (error_json(&format!("unknown cmd {other:?}")), false),
+        Some(FaultAction::StallMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        Some(FaultAction::IoError) => return error_json("injected decode I/O error"),
+        Some(FaultAction::WrongOutput) => {
+            input = NetInput::Failed {
+                name: id.to_string(),
+                error: "injected decode corruption".to_string(),
+            }
+        }
+        // Models a watchdog killing the request before it reaches a
+        // worker: the run aborts at its first checkpoint.
+        Some(FaultAction::CancelRun) => {
+            let won = cancel.cancel(CancelReason::Supervisor);
+            if won {
+                engine.metrics().record_cancelled(CancelReason::Supervisor);
+            }
+        }
+        // Memory pressure is a worker-seam behavior; nothing to squeeze
+        // at decode time. State-corruption faults belong to the Store
+        // seam or the framed read path.
+        Some(FaultAction::MemPressure { .. })
+        | Some(FaultAction::CorruptJournalLine)
+        | Some(FaultAction::BitFlipCacheEntry)
+        | Some(FaultAction::BitFlipMemoEntry)
+        | Some(FaultAction::TruncateFrame) => {}
+    }
+    let key = engine.key_for(id, net_text);
+    let job = Job {
+        input,
+        cache_key: Some(key),
+    };
+    match run(job) {
+        Ok(served) => {
+            // Splice the serving provenance into the record.
+            let mut json = served.outcome.to_json();
+            let closed = json.pop();
+            debug_assert_eq!(closed, Some('}'));
+            json.push_str(&format!(
+                ",\"cache\":\"{}\",\"worker\":{}}}",
+                served.cache.as_str(),
+                served.worker
+            ));
+            json
+        }
+        Err(rejection) => error_json(rejection.as_str()),
     }
 }
 
@@ -512,7 +277,7 @@ pub fn parse_request_line(line: &str) -> Result<Vec<(String, String)>, String> {
     parse_request(line)
 }
 
-fn error_json(msg: &str) -> String {
+pub(crate) fn error_json(msg: &str) -> String {
     let mut s = String::from("{\"error\":");
     push_json_str(&mut s, msg);
     s.push('}');
@@ -691,5 +456,35 @@ mod tests {
             error_json("a \"b\"\nc"),
             r#"{"error":"a \"b\"\nc"}"#.to_string()
         );
+    }
+
+    #[test]
+    fn classify_preserves_the_error_taxonomy() {
+        assert!(matches!(
+            classify_request(r#"{"cmd":"stats"}"#),
+            Ok(Command::Stats)
+        ));
+        assert!(matches!(
+            classify_request(r#"{"cmd":"shutdown"}"#),
+            Ok(Command::Shutdown)
+        ));
+        match classify_request(r#"{"net":"x","id":"a"}"#) {
+            Ok(Command::Optimize { id, net }) => {
+                assert_eq!(id, "a");
+                assert_eq!(net, "x");
+            }
+            _ => panic!("implicit optimize"),
+        }
+        assert_eq!(
+            classify_request(r#"{"cmd":"optimize"}"#).unwrap_err(),
+            "{\"error\":\"optimize request needs a \\\"net\\\" field\"}"
+        );
+        assert_eq!(
+            classify_request(r#"{"cmd":"dance"}"#).unwrap_err(),
+            "{\"error\":\"unknown cmd \\\"dance\\\"\"}"
+        );
+        assert!(classify_request("not json")
+            .unwrap_err()
+            .starts_with("{\"error\":\"bad request:"));
     }
 }

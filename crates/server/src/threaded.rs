@@ -1,0 +1,352 @@
+//! The original thread-per-connection front end, kept as the benchmark
+//! baseline for the readiness-driven reactor
+//! ([`serve_sharded`](crate::serve_sharded)) and for byte-identical
+//! differential tests between the two transports.
+//!
+//! Serving semantics match the reactor exactly (same protocol, same
+//! error lines, same drain contract); the mechanisms differ:
+//!
+//! * one OS thread per connection, blocking reads with `SO_RCVTIMEO`;
+//! * while an optimize request is in flight, a monitor thread probes the
+//!   client socket every 25 ms ([`DISCONNECT_POLL`]); a hang-up trips
+//!   the request's [`CancelToken`] with the `disconnect` reason (the
+//!   reactor gets the same signal from `EPOLLRDHUP` readiness instead);
+//! * shutdown drains by closing every connection's read side and joining
+//!   the handler threads.
+//!
+//! Note the baseline-only limits the reactor removes: the read timeout
+//! resets on every received byte (a byte-trickling client evades it),
+//! and each connection costs a thread plus a monitor thread per
+//! in-flight request. [`ServeOptions::max_conns`] is not enforced here.
+
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use buffopt::{CancelReason, CancelToken};
+use buffopt_integrity::{decode_frame, encode_frame, is_framed};
+use buffopt_pipeline::fault::{FaultAction, Seam};
+
+use crate::engine::Engine;
+use crate::service::{
+    bad_frame_json, classify_request, error_json, serve_optimize, Command, NetDecoder, ServeOptions,
+};
+
+/// How often the disconnect monitor probes the client socket while a
+/// request is in flight. Small enough that a vanished client frees its
+/// worker within tens of milliseconds; large enough that the probe is
+/// noise next to per-net optimization.
+const DISCONNECT_POLL: Duration = Duration::from_millis(25);
+
+/// Runs the thread-per-connection accept loop until a `shutdown` command
+/// arrives, then drains: stops admission, wakes idle connections, and
+/// joins every handler so each in-flight response is written before this
+/// function returns. Every connection shares the engine's worker pool,
+/// so compute concurrency is bounded by the pool no matter how many
+/// clients attach.
+pub fn serve_threaded(
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    decode: NetDecoder,
+    opts: ServeOptions,
+) -> std::io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let addr = listener.local_addr()?;
+    // The acceptor is the sole owner of the connection registry: a clone
+    // of each stream (to close its read side at drain time) plus the
+    // handler's join handle.
+    let mut conns: Vec<(TcpStream, JoinHandle<()>)> = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                // Finished connections need no drain bookkeeping.
+                conns.retain(|(_, h)| !h.is_finished());
+                let peer = stream.try_clone();
+                let engine = Arc::clone(&engine);
+                let decode = Arc::clone(&decode);
+                let stop = Arc::clone(&stop);
+                let opts = opts.clone();
+                let handle = std::thread::spawn(move || {
+                    let shutdown = handle_connection(stream, &engine, &decode, &opts);
+                    if shutdown {
+                        stop.store(true, Ordering::SeqCst);
+                        // Wake the blocked accept() so the loop observes
+                        // the flag.
+                        let _ = TcpStream::connect(addr);
+                    }
+                });
+                match peer {
+                    Ok(peer) => conns.push((peer, handle)),
+                    // Cannot reach this connection at drain time; let it
+                    // run detached (its reads still time out).
+                    Err(_) => drop(handle),
+                }
+            }
+            Err(_) if stop.load(Ordering::SeqCst) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    // Drain. Admission closes first, so a request racing the shutdown
+    // gets an explicit `shutting_down` error, not a dropped line; then
+    // the read sides close, waking handlers blocked in read() while
+    // leaving write sides open for in-flight responses; then every
+    // handler is joined so its last response reaches the wire.
+    engine.begin_shutdown();
+    for (stream, _) in &conns {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+    for (_, handle) in conns {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+fn write_line(writer: &mut BufWriter<TcpStream>, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Writes one response wrapped in a length+CRC frame (mirroring a framed
+/// request).
+fn write_framed(writer: &mut BufWriter<TcpStream>, line: &str) -> std::io::Result<()> {
+    writer.write_all(&encode_frame(line.as_bytes()))?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Serves one connection; returns true when the client asked for a
+/// server shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    engine: &Engine,
+    decode: &NetDecoder,
+    opts: &ServeOptions,
+) -> bool {
+    let _ = stream.set_read_timeout(opts.read_timeout);
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return false,
+    };
+    let mut reader = reader;
+    let mut writer = BufWriter::new(stream);
+    let shutdown_requested = serve_lines(&mut reader, &mut writer, engine, decode, opts);
+    // The acceptor holds a clone of this stream for drain bookkeeping;
+    // shutting the socket down (not just dropping our handles) makes the
+    // close visible to the client *now* instead of at the next accept.
+    let _ = writer.flush();
+    let _ = writer.get_ref().shutdown(Shutdown::Both);
+    shutdown_requested
+}
+
+/// The connection's request/response loop; returns true when the client
+/// asked for a server shutdown.
+fn serve_lines(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+    engine: &Engine,
+    decode: &NetDecoder,
+    opts: &ServeOptions,
+) -> bool {
+    loop {
+        let mut buf: Vec<u8> = Vec::new();
+        // The +1 makes an over-limit line distinguishable from one that
+        // is exactly at the limit.
+        let read = reader
+            .by_ref()
+            .take(opts.max_line_bytes as u64 + 1)
+            .read_until(b'\n', &mut buf);
+        match read {
+            Ok(0) => break, // client closed (or drain closed the read side)
+            Ok(_) => {
+                if !buf.ends_with(b"\n") && buf.len() > opts.max_line_bytes {
+                    engine.metrics().record_conn_error();
+                    let _ = write_line(
+                        writer,
+                        &error_json(&format!(
+                            "request line exceeds {} bytes; closing connection",
+                            opts.max_line_bytes
+                        )),
+                    );
+                    break;
+                }
+                // Strip the line terminator at the byte level first: a
+                // framed payload's CRC is checked over raw bytes, before
+                // any UTF-8 assumption is made about damaged content.
+                let mut bytes: &[u8] = &buf;
+                while bytes.last().is_some_and(|b| *b == b'\n' || *b == b'\r') {
+                    bytes = &bytes[..bytes.len() - 1];
+                }
+                let framed = opts.frame_check && is_framed(bytes);
+                let payload_line: String;
+                let line = if framed {
+                    // Frame validation is a decode step of its own, with
+                    // its own arming of the decode fault seam: a
+                    // `TruncateFrame` fault chops the frame mid-payload,
+                    // exactly like a sender that died mid-write. (Other
+                    // actions are not meaningful at this arming.)
+                    let torn: Vec<u8>;
+                    let frame: &[u8] = match engine.fault_plan().and_then(|p| p.fire(Seam::Decode))
+                    {
+                        Some(FaultAction::TruncateFrame) => {
+                            torn = bytes[..bytes.len() / 2].to_vec();
+                            &torn
+                        }
+                        _ => bytes,
+                    };
+                    let payload = match decode_frame(frame) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            engine.metrics().record_bad_frame();
+                            if write_framed(writer, &bad_frame_json(&e.to_string())).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                    };
+                    match std::str::from_utf8(payload) {
+                        Ok(p) => {
+                            payload_line = p.to_string();
+                            payload_line.trim()
+                        }
+                        Err(_) => {
+                            engine.metrics().record_bad_frame();
+                            let detail = "frame payload is not UTF-8";
+                            if write_framed(writer, &bad_frame_json(detail)).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                } else {
+                    payload_line = String::from_utf8_lossy(bytes).into_owned();
+                    payload_line.trim()
+                };
+                if line.is_empty() {
+                    continue;
+                }
+                // A panic while serving — injected at the decode seam or
+                // real — costs one error response, not the connection or
+                // the server.
+                let served = panic::catch_unwind(AssertUnwindSafe(|| {
+                    respond(line, engine, decode, Some(writer.get_ref()))
+                }));
+                let (response, shutdown) = served.unwrap_or_else(|_| {
+                    engine.metrics().record_conn_error();
+                    (
+                        error_json("internal error while serving the request"),
+                        false,
+                    )
+                });
+                let wrote = if framed {
+                    write_framed(writer, &response)
+                } else {
+                    write_line(writer, &response)
+                };
+                if wrote.is_err() {
+                    break;
+                }
+                if shutdown {
+                    return true;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                engine.metrics().record_conn_error();
+                let _ = write_line(writer, &error_json("read timed out; closing connection"));
+                break;
+            }
+            Err(_) => break, // client gone
+        }
+    }
+    false
+}
+
+/// Runs `f` — one blocking engine call — while a monitor thread probes
+/// the client socket for a hang-up; a disconnect trips `cancel` so the
+/// worker abandons the run at its next stride checkpoint. `SO_RCVTIMEO`
+/// is a property of the socket (shared with the connection's reader
+/// through the clone), so the original read timeout is restored after
+/// the scope joins — never concurrently with a monitor probe.
+fn with_disconnect_monitor<T>(
+    conn: Option<&TcpStream>,
+    engine: &Engine,
+    cancel: &CancelToken,
+    f: impl FnOnce() -> T,
+) -> T {
+    let Some(probe) = conn.and_then(|c| c.try_clone().ok()) else {
+        return f();
+    };
+    let original = probe.read_timeout().ok().flatten();
+    if probe.set_read_timeout(Some(DISCONNECT_POLL)).is_err() {
+        return f();
+    }
+    let done = AtomicBool::new(false);
+    let result = std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut buf = [0u8; 1];
+            loop {
+                if done.load(Ordering::Relaxed) {
+                    return;
+                }
+                match probe.peek(&mut buf) {
+                    // EOF: the client hung up mid-request.
+                    Ok(0) => break,
+                    // Pipelined bytes are waiting; the client is alive.
+                    Ok(_) => std::thread::sleep(DISCONNECT_POLL),
+                    Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+                    // Any other socket error: treat the client as gone.
+                    Err(_) => break,
+                }
+            }
+            // The shutdown drain closes every connection's read side,
+            // which looks exactly like a client hang-up from here. The
+            // drain contract is that admitted work completes and its
+            // response is written, so EOF during shutdown never cancels.
+            if !engine.is_shutting_down() && cancel.cancel(CancelReason::Disconnect) {
+                engine.metrics().record_cancelled(CancelReason::Disconnect);
+            }
+        });
+        let result = f();
+        done.store(true, Ordering::Relaxed);
+        result
+    });
+    let _ = probe.set_read_timeout(original);
+    result
+}
+
+/// Computes the response line for one request line. `conn` is the
+/// request's client socket, watched for disconnects while the engine
+/// call is in flight (`None` leaves the run uncancellable).
+fn respond(
+    line: &str,
+    engine: &Engine,
+    decode: &NetDecoder,
+    conn: Option<&TcpStream>,
+) -> (String, bool) {
+    match classify_request(line) {
+        Err(response) => (response, false),
+        Ok(Command::Optimize { id, net }) => {
+            let cancel = CancelToken::new();
+            let response = serve_optimize(engine, decode, &id, &net, &cancel, |job| {
+                with_disconnect_monitor(conn, engine, &cancel, || {
+                    engine.try_optimize_with(job, cancel.clone())
+                })
+            });
+            (response, false)
+        }
+        Ok(Command::Stats) => (engine.metrics_snapshot().to_json(), false),
+        Ok(Command::Shutdown) => {
+            // Close admission before acknowledging, so requests racing
+            // the shutdown are refused explicitly from this moment on.
+            engine.begin_shutdown();
+            ("{\"ok\":\"shutdown\"}".to_string(), true)
+        }
+    }
+}

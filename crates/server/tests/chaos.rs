@@ -586,7 +586,7 @@ fn oversized_lines_and_idle_connections_are_cut_with_structured_errors() {
     let mut conn = connect(addr);
     let ok = roundtrip(&mut conn, "{\"cmd\":\"stats\"}");
     assert!(
-        ok.contains("\"connections\":{\"errors\":2,\"bad_frames\":0}"),
+        ok.contains("\"connections\":{\"errors\":2,\"bad_frames\":0,\"rejected_max_conns\":0}"),
         "{ok}"
     );
     let ack = roundtrip(&mut conn, "{\"cmd\":\"shutdown\"}");

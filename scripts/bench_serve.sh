@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Build and run the serving saturation snapshot:
+#
+# * BENCH_serve.json — the sharded epoll reactor swept across
+#   concurrent-connection tiers (64 → 10240; --quick stops at 1024).
+#   Each tier runs a hot cache-hit wave (front-end p50/p99/p999 and
+#   throughput) and a cold distinct-net wave (admission shed-rate
+#   curve), then the legacy thread-per-connection front end serves the
+#   same hot wave at 1024 connections in the same run. The bin exits
+#   nonzero if the reactor's p99 exceeds the in-run threaded baseline
+#   by more than the --max-ratio factor (default 1.25x).
+#
+# usage: scripts/bench_serve.sh [--quick] [--out PATH] [--gate]
+#
+#   --quick     tiers 64/256/1024 only (CI smoke; the 10k tier needs a
+#               raised fd limit and a couple of minutes)
+#   --out PATH  where to write the JSON (default BENCH_serve.json)
+#   --gate      fail if the fresh reactor/threaded p99 ratio drifts more
+#               than 75% past the committed BENCH_serve.json (the
+#               committed file is copied aside first, so the fresh
+#               snapshot still lands in place). The gate compares the
+#               ratio, not raw microseconds: both front ends share the
+#               machine, so the quotient is portable where absolute
+#               latencies are not.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+args=()
+gate=0
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --gate) gate=1 ;;
+        --quick) args+=(--quick) ;;
+        --out)
+            args+=(--out "$2")
+            shift
+            ;;
+        *)
+            echo "error: unknown argument $1" >&2
+            exit 2
+            ;;
+    esac
+    shift
+done
+
+if [[ $gate -eq 1 ]]; then
+    baseline=$(mktemp)
+    trap 'rm -f "$baseline"' EXIT
+    cp BENCH_serve.json "$baseline"
+    args+=(--gate "$baseline")
+fi
+
+cargo build --release -p buffopt-bench --bin serve_snapshot
+target/release/serve_snapshot "${args[@]}"
